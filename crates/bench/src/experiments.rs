@@ -1,0 +1,509 @@
+//! One function per paper table/figure. Each returns a printable report
+//! block; structured results are exposed where downstream code needs them.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bgp_types::{Asn, Relationship};
+use as_relationships::{per_as_agreement, AccuracyReport};
+use bgp_sim::{split_into_routers, SnapshotSeries};
+use net_topology::metrics::vantage_rows;
+use rpi_core::atoms::{atom_stats, policy_atoms};
+use rpi_core::causes::causes;
+use rpi_core::community::{infer_communities, plan_registry_rows, verify_relationships, CommunityParams};
+use rpi_core::export_policy::{common_customer_sa, homing_split, sa_prefixes, SaReport};
+use rpi_core::import_policy::{irr_typicality, lg_typicality};
+use rpi_core::nexthop::{lg_consistency, router_consistency};
+use rpi_core::peer_export::peer_export;
+use rpi_core::persistence::{sa_series, uptime_histogram};
+use rpi_core::sa_verification::{active_customer_set, verify_sa};
+use rpi_core::score::score_sa;
+use rpi_core::view::BestTable;
+
+use crate::report::{pct, table};
+use crate::world::PaperWorld;
+
+/// Table 1: characteristics of the data sources (collector + LG ASes).
+pub fn table1(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Collector peers with {} ASes (the '{}-peer RouteViews'); Looking-Glass access at {} ASes.",
+        e.spec.collector_peers.len(),
+        e.spec.collector_peers.len(),
+        e.spec.lg_ases.len()
+    );
+    let rows: Vec<Vec<String>> = vantage_rows(&e.graph, &e.spec.lg_ases)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.asn.to_string(),
+                r.name,
+                r.degree.to_string(),
+                r.region.to_string(),
+            ]
+        })
+        .collect();
+    out + &table(
+        "Table 1 — Looking-Glass vantage ASes",
+        &["AS", "name", "degree", "location"],
+        &rows,
+    )
+}
+
+/// Table 2: % typical local preference per Looking-Glass AS.
+pub fn table2(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
+    let e = &w.exp;
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for &lg in &e.spec.lg_ases {
+        let view = e.output.lg(lg).expect("lg view exists");
+        let t = lg_typicality(view, &e.inferred_graph);
+        data.push((lg, t.percent()));
+        rows.push(vec![
+            lg.to_string(),
+            pct(t.percent()),
+            t.prefixes_compared.to_string(),
+        ]);
+    }
+    let text = table(
+        "Table 2 — typical local preference (BGP tables)",
+        &["AS", "% typical", "prefixes compared"],
+        &rows,
+    );
+    (data, text)
+}
+
+/// Table 3: % typical local preference from the IRR snapshot.
+pub fn table3(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
+    let e = &w.exp;
+    let stats = irr_typicality(
+        w.irr.objects.iter(),
+        &e.inferred_graph,
+        2002,
+        w.irr_min_neighbors(),
+    );
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for (asn, s) in &stats {
+        data.push((*asn, s.percent_typical()));
+        rows.push(vec![
+            asn.to_string(),
+            pct(s.percent_typical()),
+            s.usable_neighbors.to_string(),
+        ]);
+    }
+    let discarded = w
+        .irr
+        .objects
+        .iter()
+        .filter(|o| !o.updated_in(2002))
+        .count();
+    let mut text = table(
+        "Table 3 — typical local preference (IRR)",
+        &["AS", "% typical", "neighbors"],
+        &rows,
+    );
+    let _ = writeln!(
+        text,
+        "({} stale objects discarded, {} registered total)",
+        discarded,
+        w.irr.objects.len()
+    );
+    (data, text)
+}
+
+/// Fig 2(a): next-hop consistency per Looking-Glass AS.
+pub fn fig2a(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
+    let e = &w.exp;
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for &lg in &e.spec.lg_ases {
+        let c = lg_consistency(e.output.lg(lg).expect("lg view exists"));
+        data.push((lg, c.percent()));
+        rows.push(vec![lg.to_string(), pct(c.percent()), c.prefixes.to_string()]);
+    }
+    let text = table(
+        "Fig 2a — % prefixes with next-hop-based LOCAL_PREF",
+        &["AS", "% consistent", "prefixes"],
+        &rows,
+    );
+    (data, text)
+}
+
+/// Fig 2(b): the same per border router of the largest Looking-Glass AS
+/// (the paper's 30 AT&T backbone routers).
+pub fn fig2b(w: &PaperWorld, n_routers: usize) -> (Vec<(u32, f64)>, String) {
+    let e = &w.exp;
+    let big = e.spec.lg_ases[0];
+    let views = split_into_routers(e.output.lg(big).expect("lg view"), n_routers, 30, 0.02);
+    let per_router = router_consistency(&views);
+    let data: Vec<(u32, f64)> = per_router
+        .iter()
+        .map(|(id, c)| (*id, c.percent()))
+        .collect();
+    let rows: Vec<Vec<String>> = per_router
+        .iter()
+        .map(|(id, c)| vec![format!("router-{id:02}"), pct(c.percent())])
+        .collect();
+    let text = table(
+        &format!("Fig 2b — per-router consistency inside {big}"),
+        &["router", "% consistent"],
+        &rows,
+    );
+    (data, text)
+}
+
+/// Table 4: relationships verified via BGP communities.
+pub fn table4(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
+    let e = &w.exp;
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for &lg in &e.spec.lg_ases {
+        let view = e.output.lg(lg).expect("lg view");
+        let inf = infer_communities(view, &CommunityParams::default());
+        if inf.neighbor_class.is_empty() {
+            continue; // untagged AS (stub without a community plan)
+        }
+        let (agree, total) = verify_relationships(&inf, &e.inferred_graph);
+        if total == 0 {
+            continue;
+        }
+        let pct_v = 100.0 * agree as f64 / total as f64;
+        data.push((lg, pct_v));
+        rows.push(vec![lg.to_string(), total.to_string(), pct(pct_v)]);
+    }
+    let text = table(
+        "Table 4 — AS relationships verified via communities",
+        &["AS", "# neighbors compared", "% verified"],
+        &rows,
+    );
+    (data, text)
+}
+
+/// Fig 9: number of prefixes announced by next-hop ASes, by rank.
+pub fn fig9(w: &PaperWorld) -> (Vec<(Asn, Vec<usize>)>, String) {
+    let e = &w.exp;
+    // The paper shows one huge AS (AS1), one tier-1 (AS3549) and one small
+    // transit (AS8736): first, third and last Looking-Glass AS.
+    let mut picks: Vec<Asn> = vec![e.spec.lg_ases[0]];
+    if e.spec.lg_ases.len() > 2 {
+        picks.push(e.spec.lg_ases[2]);
+    }
+    if let Some(&last) = e.spec.lg_ases.last() {
+        if !picks.contains(&last) {
+            picks.push(last);
+        }
+    }
+    let mut out = String::new();
+    let mut data = Vec::new();
+    for asn in picks {
+        let inf = infer_communities(e.output.lg(asn).expect("lg view"), &CommunityParams::default());
+        let series = inf.rank_series();
+        let _ = writeln!(
+            out,
+            "Fig 9 — {asn}: prefix counts by next-hop rank (top 10 of {}): {:?}",
+            series.len(),
+            &series[..series.len().min(10)]
+        );
+        data.push((asn, series));
+    }
+    (data, out)
+}
+
+/// Builds the best-route table for any measured AS: Looking-Glass if
+/// available, otherwise extracted from the collector.
+pub fn table_for(w: &PaperWorld, asn: Asn) -> BestTable {
+    w.exp
+        .lg_table(asn)
+        .unwrap_or_else(|| w.exp.collector_table(asn))
+}
+
+/// Table 5: % SA prefixes for the measured ASes.
+pub fn table5(w: &PaperWorld) -> (Vec<(Asn, SaReport)>, String) {
+    let e = &w.exp;
+    let mut data = Vec::new();
+    let mut rows = Vec::new();
+    for asn in e.measured_ases(w.n_measured()) {
+        let t = table_for(w, asn);
+        let r = sa_prefixes(&t, &e.inferred_graph);
+        rows.push(vec![
+            asn.to_string(),
+            pct(r.percent()),
+            r.sa.len().to_string(),
+            r.customer_prefixes.to_string(),
+        ]);
+        data.push((asn, r));
+    }
+    let text = table(
+        "Table 5 — SA prefixes per provider",
+        &["AS", "% SA", "# SA", "customer prefixes"],
+        &rows,
+    );
+    (data, text)
+}
+
+/// Table 6: per-customer SA percentages for common customers of the three
+/// headline providers.
+pub fn table6(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let providers = w.three_tier1s();
+    let tables: Vec<BestTable> = providers.iter().map(|&p| table_for(w, p)).collect();
+    let refs: Vec<&BestTable> = tables.iter().collect();
+    let min_prefixes = match w.size {
+        net_topology::InternetSize::Tiny => 2,
+        _ => 5,
+    };
+    let mut all = common_customer_sa(&refs, &e.inferred_graph, min_prefixes);
+    // The paper's eight rows are customers with substantial SA activity;
+    // rank by SA count first, then size.
+    all.sort_by_key(|r| (std::cmp::Reverse(r.sa_for_all), std::cmp::Reverse(r.prefixes)));
+    let rows: Vec<Vec<String>> = all
+        .into_iter()
+        .filter(|r| r.sa_for_all > 0)
+        .take(8)
+        .map(|r| {
+            let p = if r.prefixes == 0 {
+                0.0
+            } else {
+                100.0 * r.sa_for_all as f64 / r.prefixes as f64
+            };
+            vec![
+                r.customer.to_string(),
+                r.prefixes.to_string(),
+                format!("{} ({}%)", r.sa_for_all, p.round()),
+            ]
+        })
+        .collect();
+    table(
+        &format!(
+            "Table 6 — SA prefixes per customer of {}, {}, {}",
+            providers[0], providers[1], providers[2]
+        ),
+        &["customer", "# prefixes", "# SA for all three"],
+        &rows,
+    )
+}
+
+/// Table 7: SA-prefix verification for the three headline providers.
+pub fn table7(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let tables: Vec<BestTable> = w.three_tier1s().iter().map(|&p| table_for(w, p)).collect();
+    let refs: Vec<&BestTable> = tables.iter().collect();
+    let mut rows = Vec::new();
+    for t in &tables {
+        let report = sa_prefixes(t, &e.inferred_graph);
+        let active = active_customer_set(&e.inferred_graph, &e.output.collector, &refs, t.asn);
+        let comm = e
+            .output
+            .lg(t.asn)
+            .map(|v| infer_communities(v, &CommunityParams::default()).neighbor_class)
+            .unwrap_or_default();
+        let v = verify_sa(t, &report, &e.inferred_graph, &active, &comm);
+        rows.push(vec![
+            t.asn.to_string(),
+            v.sa_total.to_string(),
+            pct(v.percent()),
+        ]);
+    }
+    table(
+        "Table 7 — SA prefixes verified",
+        &["provider", "# SA prefixes", "% verified"],
+        &rows,
+    )
+}
+
+/// Table 8: multihomed vs single-homed SA origins.
+pub fn table8(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let mut rows = Vec::new();
+    for &p in &w.three_tier1s() {
+        let t = table_for(w, p);
+        let r = sa_prefixes(&t, &e.inferred_graph);
+        let (multi, single) = homing_split(&r, &e.inferred_graph);
+        let total = (multi + single).max(1);
+        rows.push(vec![
+            p.to_string(),
+            format!("{} ({}%)", multi, (100 * multi / total)),
+            format!("{} ({}%)", single, (100 * single / total)),
+        ]);
+    }
+    table(
+        "Table 8 — homing of ASes whose prefixes are SA",
+        &["provider", "multihomed", "single-homed"],
+        &rows,
+    )
+}
+
+/// Table 9 + Case 3: causes of SA prefixes. As in the paper, the cause
+/// analysis runs on the §5.1.3-verified SA prefixes.
+pub fn table9(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let tier1s = w.three_tier1s();
+    let tables: Vec<BestTable> = tier1s.iter().map(|&p| table_for(w, p)).collect();
+    let refs: Vec<&BestTable> = tables.iter().collect();
+    let mut rows = Vec::new();
+    let mut case3 = String::new();
+    for (i, &p) in tier1s.iter().enumerate() {
+        let t = table_for(w, p);
+        let raw = sa_prefixes(&t, &e.inferred_graph);
+        let comm = community_classes(w, p);
+        let active = active_customer_set(&e.inferred_graph, &e.output.collector, &refs, p);
+        let v = verify_sa(&t, &raw, &e.inferred_graph, &active, &comm);
+        let r = raw.restricted_to(&v.verified_prefixes);
+        let c = causes(&t, &r, &e.inferred_graph, &e.output.collector);
+        rows.push(vec![
+            p.to_string(),
+            c.sa_total.to_string(),
+            c.splitting.to_string(),
+            c.aggregating.to_string(),
+        ]);
+        if i == 0 {
+            let _ = writeln!(
+                case3,
+                "Case 3 at {p}: {}/{} SA prefixes identified in observed paths; \
+                 {:.0}% of the {} responsible customers export to a direct provider, \
+                 {:.0}% do not.",
+                c.identified,
+                c.sa_total,
+                c.customers.percent_exporting(),
+                c.customers.identified,
+                100.0 - c.customers.percent_exporting(),
+            );
+        }
+    }
+    let mut text = table(
+        "Table 9 — prefix splitting / aggregating among SA prefixes",
+        &["provider", "# SA", "# splitting", "# aggregating (upper bound)"],
+        &rows,
+    );
+    text.push_str(&case3);
+    text
+}
+
+/// Figs 6 and 7 from a snapshot series.
+pub fn fig6_fig7(w: &PaperWorld, series: &SnapshotSeries, what: &str) -> String {
+    let e = &w.exp;
+    let provider = e.spec.lg_ases[0];
+    let points = sa_series(series, provider, &e.inferred_graph);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.label.clone(),
+                p.total.to_string(),
+                p.sa.to_string(),
+            ]
+        })
+        .collect();
+    let mut text = table(
+        &format!("Fig 6 ({what}) — prefixes at {provider} per snapshot"),
+        &["snapshot", "all prefixes", "SA prefixes"],
+        &rows,
+    );
+    let hist = uptime_histogram(series, provider, &e.inferred_graph);
+    let _ = writeln!(
+        text,
+        "Fig 7 ({what}): ever-SA prefixes {} — remaining-SA by uptime {:?}; shifted by uptime {:?} (shifted fraction {:.2})",
+        hist.total(),
+        hist.remaining,
+        hist.shifted,
+        hist.shifted_fraction()
+    );
+    text
+}
+
+/// Table 10: export to peers.
+pub fn table10(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let mut rows = Vec::new();
+    for &p in &w.three_tier1s() {
+        let t = table_for(w, p);
+        let rep = peer_export(&t, &e.output.collector, &e.inferred_graph);
+        rows.push(vec![
+            p.to_string(),
+            rep.peers().to_string(),
+            pct(rep.percent_announcing()),
+        ]);
+    }
+    table(
+        "Table 10 — peers announcing their prefixes directly",
+        &["AS", "# peers", "% announcing all"],
+        &rows,
+    )
+}
+
+/// Table 11: the community registry of a tagging AS.
+pub fn table11(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    for &lg in &e.spec.lg_ases {
+        if let Some(plan) = &e.truth.policy(lg).plan {
+            let rows: Vec<Vec<String>> = plan_registry_rows(lg, plan)
+                .into_iter()
+                .map(|(c, d)| vec![c, d])
+                .collect();
+            return table(
+                &format!("Table 11 — community tagging published by {lg}"),
+                &["community", "meaning"],
+                &rows,
+            );
+        }
+    }
+    "Table 11 — no tagging AS in this world\n".to_string()
+}
+
+/// Beyond the paper: inference accuracy, per-AS agreement, SA scoring, and
+/// policy atoms.
+pub fn extras(w: &PaperWorld) -> String {
+    let e = &w.exp;
+    let mut out = String::new();
+
+    let rep = AccuracyReport::compute(&e.graph, &e.inferred);
+    let _ = writeln!(
+        out,
+        "Gao inference vs ground truth: {:.2}% over {} pairs ({} true edges unobserved)",
+        100.0 * rep.accuracy(),
+        rep.compared,
+        rep.unobserved
+    );
+    let agreement = per_as_agreement(&e.graph, &e.inferred, &e.spec.lg_ases);
+    for (asn, frac) in agreement {
+        let _ = writeln!(out, "  {asn}: {:.1}% of edges correctly inferred", 100.0 * frac);
+    }
+
+    for &p in &w.three_tier1s() {
+        let t = table_for(w, p);
+        let r = sa_prefixes(&t, &e.inferred_graph);
+        let s = score_sa(&r, &e.truth, &e.graph);
+        let _ = writeln!(
+            out,
+            "SA scoring at {p}: {} predicted, precision {:.2}, origin recall {:.2}",
+            s.predicted,
+            s.precision(),
+            s.recall()
+        );
+    }
+
+    let atoms = policy_atoms(&e.output.collector);
+    let st = atom_stats(&atoms);
+    let _ = writeln!(
+        out,
+        "Policy atoms: {} atoms over {} prefixes (mean size {:.2}); {} origins split into several atoms; ground-truth announcement classes: {}",
+        st.count,
+        st.prefixes,
+        st.mean_size,
+        st.split_origins,
+        e.truth.classes.len()
+    );
+    out
+}
+
+/// Community-derived classes per provider (reused by Table 7 and tests).
+pub fn community_classes(w: &PaperWorld, asn: Asn) -> BTreeMap<Asn, Relationship> {
+    w.exp
+        .output
+        .lg(asn)
+        .map(|v| infer_communities(v, &CommunityParams::default()).neighbor_class)
+        .unwrap_or_default()
+}

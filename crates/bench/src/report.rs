@@ -1,0 +1,74 @@
+//! Minimal fixed-width table formatting for terminal reports.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table with a header row.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:<w$}  ");
+    }
+    let _ = writeln!(out, "{}", line.trim_end());
+    let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:<w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+    }
+    out
+}
+
+/// Formats a percentage with sensible precision (`99.994` style, as the
+/// paper prints Table 2).
+pub fn pct(v: f64) -> String {
+    if (v - v.round()).abs() < 1e-9 {
+        format!("{v:.0}")
+    } else if v >= 99.9 {
+        format!("{v:.4}")
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = table(
+            "Demo",
+            &["AS", "value"],
+            &[
+                vec!["AS1".into(), "9".into()],
+                vec!["AS7018".into(), "22".into()],
+            ],
+        );
+        assert!(s.contains("== Demo =="));
+        let lines: Vec<&str> = s.lines().collect();
+        // Columns align: "value" starts at the same offset everywhere.
+        let col = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].ends_with('9'), true);
+        assert!(lines[4].find("22").unwrap() >= col - 2);
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(100.0), "100");
+        assert_eq!(pct(99.994), "99.9940");
+        assert_eq!(pct(94.3), "94.3");
+        assert_eq!(pct(22.0), "22");
+    }
+}

@@ -1,0 +1,75 @@
+//! The shared experiment world all table/figure generators run on.
+
+use bgp_types::Asn;
+use bgp_sim::{ChurnConfig, SnapshotSeries};
+use irr_rpsl::{generate_irr, IrrDatabase, IrrGenParams};
+use net_topology::InternetSize;
+use rpi_core::Experiment;
+
+/// A fully-built world: topology, policies, simulated views, inferred
+/// relationships, and the generated IRR snapshot.
+pub struct PaperWorld {
+    /// The experiment (graph, truth, views, inference).
+    pub exp: Experiment,
+    /// The synthetic IRR snapshot (Table 3's input).
+    pub irr: IrrDatabase,
+    /// The world size used.
+    pub size: InternetSize,
+}
+
+impl PaperWorld {
+    /// Builds the world for a size and seed.
+    pub fn build(size: InternetSize, seed: u64) -> PaperWorld {
+        let exp = Experiment::standard(size, seed);
+        let irr = generate_irr(
+            &exp.graph,
+            &exp.truth,
+            &IrrGenParams {
+                seed: seed ^ 0x1224,
+                ..Default::default()
+            },
+        );
+        PaperWorld { exp, irr, size }
+    }
+
+    /// The number of "Table 5" measured ASes for this world size (the
+    /// paper uses 16).
+    pub fn n_measured(&self) -> usize {
+        match self.size {
+            InternetSize::Tiny => 6,
+            InternetSize::Small => 10,
+            _ => 16,
+        }
+    }
+
+    /// The three headline providers (the paper's AS1 / AS3549 / AS7018):
+    /// the three highest-degree Looking-Glass ASes.
+    pub fn three_tier1s(&self) -> Vec<Asn> {
+        self.exp.spec.lg_ases.iter().copied().take(3).collect()
+    }
+
+    /// Minimum usable neighbors for the IRR screen (the paper requires
+    /// "more than 50 neighbors"; scaled to the world's degree range).
+    pub fn irr_min_neighbors(&self) -> usize {
+        match self.size {
+            InternetSize::Tiny => 3,
+            InternetSize::Small => 5,
+            _ => 8,
+        }
+    }
+
+    /// Runs the daily churn series (Fig 6a/7a). `steps` trims the series
+    /// for quick runs (the paper's is 31 days).
+    pub fn daily_series(&self, steps: usize) -> SnapshotSeries {
+        let mut cfg = ChurnConfig::daily(self.exp.truth.classes.len() as u64 ^ 0xD417);
+        cfg.steps = steps;
+        bgp_sim::churn::simulate_series(&self.exp.graph, &self.exp.truth, &self.exp.spec, &cfg)
+    }
+
+    /// Runs the hourly churn series (Fig 6b/7b); the paper's is 24 hours.
+    pub fn hourly_series(&self, steps: usize) -> SnapshotSeries {
+        let mut cfg = ChurnConfig::hourly(self.exp.truth.classes.len() as u64 ^ 0x4002);
+        cfg.steps = steps;
+        bgp_sim::churn::simulate_series(&self.exp.graph, &self.exp.truth, &self.exp.spec, &cfg)
+    }
+}

@@ -1,0 +1,306 @@
+//! Timed policy churn: the snapshot series behind Figs 6–7.
+//!
+//! The paper takes daily RouteViews snapshots through March 2002 and hourly
+//! snapshots on March 15, then tracks which prefixes stay SA, shift to
+//! non-SA, or disappear. Our churn engine reproduces the *mechanisms*
+//! operators use between snapshots:
+//!
+//! * **selective-set re-rolls** — a selective origin re-balances inbound
+//!   traffic by announcing to a different provider subset (possibly the
+//!   full set, turning its prefixes non-SA);
+//! * **link failures with conditional advertisement** — a customer-provider
+//!   link drops for one snapshot; the origin's announcements fall back to
+//!   the surviving providers (RFC-less but standard practice, §5.1.5).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bgp_types::{Asn, Community};
+use net_topology::AsGraph;
+
+use crate::engine::{SimOutput, Simulation, VantageSpec};
+use crate::policy::{GroundTruth, Scope};
+
+/// Churn parameters for one snapshot series.
+#[derive(Debug, Clone)]
+pub struct ChurnConfig {
+    /// RNG seed for the event stream.
+    pub seed: u64,
+    /// Number of snapshots (31 for the daily series, 24 for the hourly).
+    pub steps: usize,
+    /// Per-step probability that a selective origin re-rolls its provider
+    /// subset. The paper finds ~1/6 of SA prefixes unstable over a month
+    /// but stable within a day: ≈0.008/day and ≈0.002/hour land there.
+    pub flip_prob: f64,
+    /// Per-step probability that a multihomed origin loses one provider
+    /// link for the duration of the snapshot.
+    pub link_failure_prob: f64,
+    /// Label prefix for snapshots ("day" / "hour").
+    pub label: &'static str,
+}
+
+impl ChurnConfig {
+    /// The paper's daily series: 31 snapshots of March 2002.
+    pub fn daily(seed: u64) -> Self {
+        ChurnConfig {
+            seed,
+            steps: 31,
+            flip_prob: 0.008,
+            link_failure_prob: 0.01,
+            label: "day",
+        }
+    }
+
+    /// The paper's hourly series: 24 snapshots of March 15, 2002.
+    pub fn hourly(seed: u64) -> Self {
+        ChurnConfig {
+            seed,
+            steps: 24,
+            flip_prob: 0.002,
+            link_failure_prob: 0.001,
+            label: "hour",
+        }
+    }
+}
+
+/// A sequence of simulated snapshots.
+#[derive(Debug)]
+pub struct SnapshotSeries {
+    /// Snapshot label, e.g. `day-07`.
+    pub labels: Vec<String>,
+    /// The simulated outputs, one per step.
+    pub snapshots: Vec<SimOutput>,
+}
+
+/// Runs the churn series. Each step starts from the *previous* step's
+/// truth (churn accumulates, as in the real timeline), while link failures
+/// are transient (the link returns after its snapshot).
+pub fn simulate_series(
+    graph: &AsGraph,
+    base: &GroundTruth,
+    spec: &VantageSpec,
+    cfg: &ChurnConfig,
+) -> SnapshotSeries {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut truth = base.clone();
+    let mut labels = Vec::with_capacity(cfg.steps);
+    let mut snapshots = Vec::with_capacity(cfg.steps);
+
+    for step in 0..cfg.steps {
+        // --- persistent policy flips ---
+        let flippers: Vec<Asn> = truth
+            .selective_subset_origins
+            .iter()
+            .copied()
+            .filter(|_| rng.gen_bool(cfg.flip_prob))
+            .collect();
+        for origin in flippers {
+            reroll_selective(&mut truth, graph, origin, &mut rng);
+        }
+
+        // --- transient link failures (+ conditional advertisement) ---
+        let mut failed_graph;
+        let mut step_truth;
+        let (g_ref, t_ref): (&AsGraph, &GroundTruth) = {
+            let mut failures: Vec<(Asn, Asn)> = Vec::new();
+            for &origin in truth.selective_subset_origins.iter() {
+                if rng.gen_bool(cfg.link_failure_prob) {
+                    let providers: Vec<Asn> = graph.providers_of(origin).collect();
+                    if providers.len() >= 2 {
+                        if let Some(&victim) = providers.as_slice().choose(&mut rng) {
+                            failures.push((origin, victim));
+                        }
+                    }
+                }
+            }
+            if failures.is_empty() {
+                (graph, &truth)
+            } else {
+                failed_graph = graph.clone();
+                step_truth = truth.clone();
+                for (origin, provider) in failures {
+                    failed_graph.remove_edge(origin, provider);
+                    conditional_advertise(&mut step_truth, &failed_graph, origin, provider);
+                }
+                (&failed_graph, &step_truth)
+            }
+        };
+
+        let out = Simulation::new(g_ref, t_ref, spec).run();
+        labels.push(format!("{}-{:02}", cfg.label, step + 1));
+        snapshots.push(out);
+    }
+
+    SnapshotSeries { labels, snapshots }
+}
+
+/// Re-picks the provider subset of every explicit-scope class of `origin`.
+/// The new subset may be the full provider set, turning the class's
+/// prefixes non-SA for this and following snapshots.
+fn reroll_selective(
+    truth: &mut GroundTruth,
+    graph: &AsGraph,
+    origin: Asn,
+    rng: &mut StdRng,
+) {
+    let providers: Vec<Asn> = graph.providers_of(origin).collect();
+    if providers.len() < 2 {
+        return;
+    }
+    for class in truth.classes.iter_mut() {
+        if class.origin != origin {
+            continue;
+        }
+        if let Scope::Explicit(map) = &mut class.scope {
+            // Drop current provider entries, keep customers/peers.
+            for p in &providers {
+                map.remove(p);
+            }
+            let keep = rng.gen_range(1..=providers.len());
+            let mut shuffled = providers.clone();
+            shuffled.shuffle(rng);
+            for &p in shuffled.iter().take(keep) {
+                map.insert(p, Vec::new());
+            }
+        }
+    }
+}
+
+/// Conditional advertisement: after `origin` loses the link to `provider`,
+/// any of its classes that now reaches no provider at all falls back to
+/// announcing to every surviving provider.
+fn conditional_advertise(
+    truth: &mut GroundTruth,
+    graph: &AsGraph,
+    origin: Asn,
+    failed_provider: Asn,
+) {
+    let survivors: Vec<Asn> = graph.providers_of(origin).collect();
+    for class in truth.classes.iter_mut() {
+        if class.origin != origin {
+            continue;
+        }
+        if let Scope::Explicit(map) = &mut class.scope {
+            map.remove(&failed_provider);
+            let reaches_any = survivors.iter().any(|p| map.contains_key(p));
+            if !reaches_any {
+                for &p in &survivors {
+                    map.insert(p, Vec::<Community>::new());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyParams;
+    use net_topology::{InternetConfig, InternetSize};
+
+    fn world() -> (AsGraph, GroundTruth, VantageSpec) {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let t = GroundTruth::generate(&g, &PolicyParams::default());
+        let spec = VantageSpec::paper_like(&g, 8, 4);
+        (g, t, spec)
+    }
+
+    #[test]
+    fn series_has_requested_length_and_labels() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 5,
+            steps: 4,
+            flip_prob: 0.5,
+            link_failure_prob: 0.2,
+            label: "day",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        assert_eq!(series.snapshots.len(), 4);
+        assert_eq!(series.labels, vec!["day-01", "day-02", "day-03", "day-04"]);
+    }
+
+    #[test]
+    fn zero_churn_yields_identical_snapshots() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 5,
+            steps: 2,
+            flip_prob: 0.0,
+            link_failure_prob: 0.0,
+            label: "hour",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        let a = &series.snapshots[0].collector.rows;
+        let b = &series.snapshots[1].collector.rows;
+        assert_eq!(a.len(), b.len());
+        for (pa, rows_a) in a {
+            let rows_b = &b[pa];
+            assert_eq!(rows_a, rows_b);
+        }
+    }
+
+    #[test]
+    fn high_churn_changes_some_collector_paths() {
+        let (g, t, spec) = world();
+        if t.selective_subset_origins.is_empty() {
+            // Tiny worlds occasionally have no selective origin; nothing to
+            // flip, nothing to assert.
+            return;
+        }
+        let cfg = ChurnConfig {
+            seed: 99,
+            steps: 6,
+            flip_prob: 1.0,
+            link_failure_prob: 0.0,
+            label: "day",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        let first = &series.snapshots[0].collector.rows;
+        let changed = series.snapshots.iter().skip(1).any(|s| {
+            s.collector.rows.iter().any(|(p, rows)| {
+                first
+                    .get(p)
+                    .map(|base| base != rows)
+                    .unwrap_or(true)
+            })
+        });
+        assert!(changed, "forced re-rolls must perturb some path");
+    }
+
+    #[test]
+    fn conditional_advertisement_restores_reachability() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 123,
+            steps: 8,
+            flip_prob: 0.3,
+            link_failure_prob: 0.5,
+            label: "day",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        // Reachability at the collector never collapses: every snapshot
+        // still carries ≥95% of the prefixes of the first.
+        let base = series.snapshots[0].collector.prefix_count();
+        for s in &series.snapshots {
+            assert!(s.collector.prefix_count() * 100 >= base * 95);
+        }
+    }
+
+    #[test]
+    fn reroll_is_deterministic_under_seed() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 7,
+            steps: 3,
+            flip_prob: 0.8,
+            link_failure_prob: 0.3,
+            label: "day",
+        };
+        let s1 = simulate_series(&g, &t, &spec, &cfg);
+        let s2 = simulate_series(&g, &t, &spec, &cfg);
+        for (a, b) in s1.snapshots.iter().zip(&s2.snapshots) {
+            assert_eq!(a.collector.rows, b.collector.rows);
+        }
+    }
+}

@@ -1,0 +1,774 @@
+//! The propagation engine.
+//!
+//! One [`AnnouncementClass`] at a time, the engine computes the stable
+//! routing state of the whole AS graph under the ground-truth policies:
+//! a Gauss–Seidel sweep recomputes every AS's best route from its
+//! neighbors' current bests until nothing changes (bounded, with
+//! oscillation detection — policy dispute wheels are *possible* when
+//! atypical preferences are injected, and must not hang the simulator).
+//!
+//! Afterwards it extracts exactly what the paper's measurement had:
+//!
+//! * a **collector view** (Oregon RouteViews): each collector peer's best
+//!   path per prefix — no LOCAL_PREF visible;
+//! * **Looking-Glass views** for chosen ASes: *all* candidate routes with
+//!   LOCAL_PREF and communities, best route marked (§3 of the paper).
+//!
+//! Determinism: iteration follows `BTreeMap` order everywhere; the final
+//! tie-break (standing in for IGP metric / router ID, which are uniform at
+//! AS granularity) is the lowest neighbor ASN.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Community, Ipv4Prefix, Relationship};
+use net_topology::AsGraph;
+
+use crate::policy::{AnnouncementClass, GroundTruth};
+
+/// Where the measurement looks from: which ASes feed the route collector
+/// and which ASes expose Looking-Glass views.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantageSpec {
+    /// ASes peering with the collector (each contributes its best route).
+    pub collector_peers: Vec<Asn>,
+    /// ASes whose full (LOCAL_PREF-visible) tables are retrievable.
+    pub lg_ases: Vec<Asn>,
+}
+
+impl VantageSpec {
+    /// A paper-like setup: the collector peers with the `n_collector`
+    /// highest-degree ASes (Oregon peered with 56, "nearly all Tier-1s"),
+    /// and Looking-Glass access exists at the top `n_lg_top` ASes plus a
+    /// deterministic spread of smaller ones (Table 1 mixes AT&T with
+    /// degree-14 Lirex Net).
+    pub fn paper_like(graph: &AsGraph, n_collector: usize, n_lg: usize) -> VantageSpec {
+        let ranked = graph.by_degree_desc();
+        let collector_peers: Vec<Asn> = ranked.iter().copied().take(n_collector).collect();
+        // Looking-Glass servers belong to ISPs: every Table 1 LG AS is a
+        // transit network (down to degree-14 Lirex Net), never a stub.
+        let transit: Vec<Asn> = ranked
+            .iter()
+            .copied()
+            .filter(|&a| graph.customers_of(a).next().is_some())
+            .collect();
+        let mut lg_ases: Vec<Asn> = Vec::new();
+        let n_top = (n_lg / 2).max(1);
+        lg_ases.extend(transit.iter().copied().take(n_top));
+        // Spread the rest across the transit degree distribution.
+        let remaining = n_lg.saturating_sub(lg_ases.len());
+        if remaining > 0 && transit.len() > n_top {
+            let stride = (transit.len() - n_top) / (remaining + 1);
+            for i in 0..remaining {
+                let idx = n_top + (i + 1) * stride.max(1);
+                if idx < transit.len() && !lg_ases.contains(&transit[idx]) {
+                    lg_ases.push(transit[idx]);
+                }
+            }
+        }
+        VantageSpec {
+            collector_peers,
+            lg_ases,
+        }
+    }
+}
+
+/// One row of the collector's table: a peer's best path to a prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CollectorRow {
+    /// The collector peer that contributed the row.
+    pub peer: Asn,
+    /// AS path, speaker-first (starts with `peer`, ends at the origin).
+    pub path: Vec<Asn>,
+    /// Communities as seen at the peer.
+    pub communities: Vec<Community>,
+}
+
+/// The Oregon-RouteViews-style view: best paths only, no LOCAL_PREF.
+#[derive(Debug, Clone, Default)]
+pub struct CollectorView {
+    /// The peers, in the spec's order.
+    pub peers: Vec<Asn>,
+    /// Per-prefix rows (each peer contributes at most one).
+    pub rows: BTreeMap<Ipv4Prefix, Vec<CollectorRow>>,
+}
+
+impl CollectorView {
+    /// Iterates over every path in the table (the paper's "search all paths
+    /// in BGP routing tables", §5.1.3).
+    pub fn all_paths(&self) -> impl Iterator<Item = &CollectorRow> {
+        self.rows.values().flatten()
+    }
+
+    /// The set of prefixes present.
+    pub fn prefix_count(&self) -> usize {
+        self.rows.len()
+    }
+}
+
+/// One candidate route in a Looking-Glass view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LgRoute {
+    /// Neighbor the route was learned from.
+    pub neighbor: Asn,
+    /// AS path, speaker-first (starts with `neighbor`).
+    pub path: Vec<Asn>,
+    /// LOCAL_PREF assigned by this AS's import policy.
+    pub local_pref: u32,
+    /// Communities (including this AS's own ingress tag, if it has a plan).
+    pub communities: Vec<Community>,
+    /// Is this the best route?
+    pub best: bool,
+    /// Ground-truth relationship of `neighbor` — present only on views
+    /// produced directly by the engine, `None` on views parsed back from
+    /// wire/text formats. For scoring only: the paper's inference must not
+    /// read this; `rpi-core` derives relationships via `as-relationships`.
+    pub truth_rel: Option<Relationship>,
+}
+
+/// A Looking-Glass view: all candidate routes, LOCAL_PREF visible.
+#[derive(Debug, Clone, Default)]
+pub struct LgView {
+    /// The AS whose view this is.
+    pub asn: Asn,
+    /// Per-prefix candidate routes (best marked).
+    pub rows: BTreeMap<Ipv4Prefix, Vec<LgRoute>>,
+}
+
+impl LgView {
+    /// The best route for a prefix, if any.
+    pub fn best(&self, prefix: Ipv4Prefix) -> Option<&LgRoute> {
+        self.rows.get(&prefix)?.iter().find(|r| r.best)
+    }
+}
+
+/// Aggregate health counters of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimDiagnostics {
+    /// Number of announcement classes propagated.
+    pub classes: usize,
+    /// Classes that hit the sweep cap without stabilizing (policy dispute
+    /// wheels); their last state is kept.
+    pub non_converged: usize,
+    /// Total Gauss–Seidel sweeps across classes.
+    pub sweeps_total: usize,
+}
+
+/// Everything the measurement pipeline consumes.
+#[derive(Debug, Clone, Default)]
+pub struct SimOutput {
+    /// The collector view.
+    pub collector: CollectorView,
+    /// Looking-Glass views keyed by AS.
+    pub lgs: BTreeMap<Asn, LgView>,
+    /// Health counters.
+    pub diagnostics: SimDiagnostics,
+}
+
+impl SimOutput {
+    /// The Looking-Glass view of `asn`, if it was in the spec.
+    pub fn lg(&self, asn: Asn) -> Option<&LgView> {
+        self.lgs.get(&asn)
+    }
+}
+
+/// Sweep cap per class; hitting it flags the class as non-converged.
+const MAX_SWEEPS: usize = 64;
+
+/// A candidate route during propagation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cand {
+    neighbor: Asn,
+    path: Vec<Asn>,
+    comms: Vec<Community>,
+    lp: u32,
+    from_rel: Relationship,
+}
+
+/// Deterministic per-(owner, neighbor) mix standing in for the IGP-metric
+/// and router-ID decision steps, which differ per AS pair in reality. A
+/// global "lowest neighbor ASN" tie-break would make every AS pick the
+/// same egress at ties, collapsing path diversity Internet-wide (and with
+/// it the evidence relationship inference feeds on).
+fn tie_mix(owner: Asn, neighbor: Asn) -> u64 {
+    let mut x = ((owner.0 as u64) << 32) ^ neighbor.0 as u64 ^ 0x9E37_79B9_7F4A_7C15;
+    x ^= x >> 33;
+    x = x.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    x ^= x >> 33;
+    x
+}
+
+fn better(owner: Asn, a: &Cand, b: &Cand) -> bool {
+    // Highest LOCAL_PREF, then shortest path, then the deterministic
+    // per-pair mix, then lowest neighbor ASN as the final total order.
+    (b.lp, a.path.len(), tie_mix(owner, a.neighbor), a.neighbor)
+        < (a.lp, b.path.len(), tie_mix(owner, b.neighbor), b.neighbor)
+}
+
+/// A configured simulation, borrowing the world it runs on.
+#[derive(Debug, Clone)]
+pub struct Simulation<'a> {
+    graph: &'a AsGraph,
+    truth: &'a GroundTruth,
+    spec: &'a VantageSpec,
+}
+
+/// Per-class result as extracted at the vantage points.
+struct ClassExtract {
+    class_idx: usize,
+    collector: Vec<CollectorRow>,
+    lg: Vec<(Asn, Vec<LgRoute>)>,
+    sweeps: usize,
+    converged: bool,
+}
+
+impl<'a> Simulation<'a> {
+    /// Creates a simulation over `graph` with `truth` policies, observed
+    /// from `spec`.
+    pub fn new(graph: &'a AsGraph, truth: &'a GroundTruth, spec: &'a VantageSpec) -> Self {
+        Simulation { graph, truth, spec }
+    }
+
+    /// Runs every announcement class and assembles the vantage views.
+    /// Classes are fanned out across threads (they are independent);
+    /// results are merged in class order, so output is deterministic.
+    pub fn run(&self) -> SimOutput {
+        let n_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.truth.classes.len().max(1));
+
+        let extracts: Vec<ClassExtract> = if n_threads <= 1 {
+            self.truth
+                .classes
+                .iter()
+                .enumerate()
+                .map(|(i, c)| self.run_class(i, c))
+                .collect()
+        } else {
+            let mut results: Vec<Option<ClassExtract>> =
+                Vec::with_capacity(self.truth.classes.len());
+            results.resize_with(self.truth.classes.len(), || None);
+            let chunk = self.truth.classes.len().div_ceil(n_threads);
+            crossbeam::thread::scope(|s| {
+                let mut slots = results.as_mut_slice();
+                let mut start = 0usize;
+                let mut handles = Vec::new();
+                while !slots.is_empty() {
+                    let take = chunk.min(slots.len());
+                    let (head, tail) = slots.split_at_mut(take);
+                    slots = tail;
+                    let base = start;
+                    start += take;
+                    let sim = self.clone();
+                    handles.push(s.spawn(move |_| {
+                        for (off, slot) in head.iter_mut().enumerate() {
+                            let idx = base + off;
+                            *slot = Some(sim.run_class(idx, &sim.truth.classes[idx]));
+                        }
+                    }));
+                }
+                for h in handles {
+                    h.join().expect("simulation worker panicked");
+                }
+            })
+            .expect("crossbeam scope");
+            results.into_iter().map(|o| o.expect("all slots filled")).collect()
+        };
+
+        // Deterministic merge in class order.
+        let mut out = SimOutput {
+            collector: CollectorView {
+                peers: self.spec.collector_peers.clone(),
+                rows: BTreeMap::new(),
+            },
+            lgs: self
+                .spec
+                .lg_ases
+                .iter()
+                .map(|&a| {
+                    (
+                        a,
+                        LgView {
+                            asn: a,
+                            rows: BTreeMap::new(),
+                        },
+                    )
+                })
+                .collect(),
+            diagnostics: SimDiagnostics::default(),
+        };
+        for ex in extracts {
+            let class = &self.truth.classes[ex.class_idx];
+            out.diagnostics.classes += 1;
+            out.diagnostics.sweeps_total += ex.sweeps;
+            if !ex.converged {
+                out.diagnostics.non_converged += 1;
+            }
+            for &prefix in &class.prefixes {
+                if !ex.collector.is_empty() {
+                    out.collector
+                        .rows
+                        .entry(prefix)
+                        .or_default()
+                        .extend(ex.collector.iter().cloned());
+                }
+                for (lg_as, routes) in &ex.lg {
+                    if routes.is_empty() {
+                        continue;
+                    }
+                    out.lgs
+                        .get_mut(lg_as)
+                        .expect("lg views pre-created")
+                        .rows
+                        .entry(prefix)
+                        .or_default()
+                        .extend(routes.iter().cloned());
+                }
+            }
+        }
+        out
+    }
+
+    /// What `u` would currently export to `v` for `class`: the path as
+    /// received by `v` (starting with `u`) plus communities, or `None`
+    /// when filtered. `best` is the current per-AS best map.
+    fn exported(
+        &self,
+        class: &AnnouncementClass,
+        best: &BTreeMap<Asn, Cand>,
+        u: Asn,
+        v: Asn,
+        rel_v_wrt_u: Relationship,
+        class_pa_from: Option<Asn>,
+    ) -> Option<(Vec<Asn>, Vec<Community>)> {
+        if u == class.origin {
+            let extras = class.scope.announces_to(v)?;
+            return Some((vec![u], extras.to_vec()));
+        }
+        let b = best.get(&u)?;
+        // Well-known NO_EXPORT: never re-announced to an eBGP neighbor.
+        if b.comms.contains(&Community::NO_EXPORT) {
+            return None;
+        }
+        // Standard valley-free export rule (§2.2.2).
+        if !b.from_rel.exportable_to(rel_v_wrt_u) {
+            return None;
+        }
+        let policy = self.truth.policy(u);
+        // Customer-requested "do not announce upstream" action community.
+        if matches!(rel_v_wrt_u, Relationship::Provider | Relationship::Peer) {
+            if let Some(plan) = &policy.plan {
+                if let Some(tag) = Community::tagged(u, plan.no_upstream_code) {
+                    if b.comms.contains(&tag) {
+                        return None;
+                    }
+                }
+            }
+        }
+        // Case 2 — provider aggregates PA customer space: the specific is
+        // suppressed everywhere; only the provider's own aggregate travels.
+        if policy.export.aggregates_pa_customers
+            && b.from_rel == Relationship::Customer
+            && class_pa_from == Some(u)
+        {
+            return None;
+        }
+        // Selective announcement by an intermediate (multihomed transit).
+        if rel_v_wrt_u == Relationship::Provider && b.from_rel == Relationship::Customer {
+            if let Some(subset) = &policy.export.reexport_customers_to {
+                if !subset.contains(&v) {
+                    return None;
+                }
+            }
+        }
+        // Loop prevention: v drops paths containing itself; save the send.
+        if b.path.contains(&v) {
+            return None;
+        }
+        let mut path = Vec::with_capacity(b.path.len() + 1);
+        path.push(u);
+        path.extend_from_slice(&b.path);
+        Some((path, b.comms.clone()))
+    }
+
+    /// All candidate routes `v` currently has for `class`, in ascending
+    /// neighbor order (import policy applied).
+    fn candidates(
+        &self,
+        class: &AnnouncementClass,
+        best: &BTreeMap<Asn, Cand>,
+        v: Asn,
+        class_pa_from: Option<Asn>,
+    ) -> Vec<Cand> {
+        let rep_prefix = class.prefixes[0];
+        let mut cands = Vec::new();
+        for (u, rel_u_wrt_v) in self.graph.neighbors(v) {
+            let rel_v_wrt_u = rel_u_wrt_v.inverse();
+            if let Some((path, mut comms)) =
+                self.exported(class, best, u, v, rel_v_wrt_u, class_pa_from)
+            {
+                let policy_v = self.truth.policy(v);
+                let lp = policy_v.import.pref_for(u, rel_u_wrt_v, rep_prefix);
+                if let Some(plan) = &policy_v.plan {
+                    if let Some(tag) = plan.ingress_tag(v, u, rel_u_wrt_v) {
+                        comms.push(tag);
+                    }
+                }
+                cands.push(Cand {
+                    neighbor: u,
+                    path,
+                    comms,
+                    lp,
+                    from_rel: rel_u_wrt_v,
+                });
+            }
+        }
+        cands
+    }
+
+    /// Propagates one class to a stable state and extracts vantage data.
+    fn run_class(&self, class_idx: usize, class: &AnnouncementClass) -> ClassExtract {
+        // PA bookkeeping for the aggregation rule: the provider that
+        // allocated *all* of this class's prefixes, if there is one.
+        let class_pa_from = self.class_pa_from(class);
+
+        let mut best: BTreeMap<Asn, Cand> = BTreeMap::new();
+        let mut sweeps = 0usize;
+        let mut converged = false;
+        while sweeps < MAX_SWEEPS {
+            sweeps += 1;
+            let mut changed = false;
+            for v in self.graph.ases() {
+                if v == class.origin {
+                    continue;
+                }
+                let cands = self.candidates(class, &best, v, class_pa_from);
+                let new_best = cands.into_iter().fold(None::<Cand>, |acc, c| match acc {
+                    None => Some(c),
+                    Some(cur) => {
+                        if better(v, &c, &cur) {
+                            Some(c)
+                        } else {
+                            Some(cur)
+                        }
+                    }
+                });
+                let cur = best.get(&v);
+                if cur != new_best.as_ref() {
+                    changed = true;
+                    match new_best {
+                        Some(nb) => {
+                            best.insert(v, nb);
+                        }
+                        None => {
+                            best.remove(&v);
+                        }
+                    }
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+
+        // ---- extraction ----
+        let mut collector = Vec::new();
+        for &p in &self.spec.collector_peers {
+            if p == class.origin {
+                collector.push(CollectorRow {
+                    peer: p,
+                    path: vec![p],
+                    communities: Vec::new(),
+                });
+            } else if let Some(b) = best.get(&p) {
+                let mut path = Vec::with_capacity(b.path.len() + 1);
+                path.push(p);
+                path.extend_from_slice(&b.path);
+                collector.push(CollectorRow {
+                    peer: p,
+                    path,
+                    communities: b.comms.clone(),
+                });
+            }
+        }
+        let mut lg = Vec::new();
+        for &a in &self.spec.lg_ases {
+            if a == class.origin {
+                lg.push((a, Vec::new()));
+                continue;
+            }
+            let cands = self.candidates(class, &best, a, class_pa_from);
+            let best_neighbor = best.get(&a).map(|b| b.neighbor);
+            let routes: Vec<LgRoute> = cands
+                .into_iter()
+                .map(|c| LgRoute {
+                    best: Some(c.neighbor) == best_neighbor,
+                    neighbor: c.neighbor,
+                    path: c.path,
+                    local_pref: c.lp,
+                    communities: c.comms,
+                    truth_rel: Some(c.from_rel),
+                })
+                .collect();
+            lg.push((a, routes));
+        }
+        ClassExtract {
+            class_idx,
+            collector,
+            lg,
+            sweeps,
+            converged,
+        }
+    }
+
+    /// `Some(provider)` when every prefix of the class was allocated from
+    /// that provider's space (the precondition for Case-2 aggregation).
+    fn class_pa_from(&self, class: &AnnouncementClass) -> Option<Asn> {
+        let records = &self.graph.info(class.origin)?.prefixes;
+        let mut from: Option<Asn> = None;
+        for p in &class.prefixes {
+            let rec = records.iter().find(|r| r.prefix == *p)?;
+            match (from, rec.allocated_from) {
+                (_, None) => return None,
+                (None, Some(x)) => from = Some(x),
+                (Some(prev), Some(x)) if prev == x => {}
+                _ => return None,
+            }
+        }
+        from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{GroundTruth, PolicyParams, Scope};
+    use net_topology::{AsGraph, InternetConfig, InternetSize, NodeInfo, PrefixRecord};
+    use Relationship::*;
+
+    /// Hand-built world: the paper's Fig. 3.
+    ///
+    /// D(4) and E(5) peer at the top; B(2), C(3) are D's customers;
+    /// C is also E's customer; A(1) is a customer of B and C.
+    /// A originates 10.0.0.0/16, selectively announced only to C.
+    fn fig3_world(selective: bool) -> (AsGraph, GroundTruth) {
+        let mut g = AsGraph::new();
+        let (a, b, c, d, e) = (Asn(1), Asn(2), Asn(3), Asn(4), Asn(5));
+        for x in [a, b, c, d, e] {
+            g.add_as(x, NodeInfo::default());
+        }
+        g.add_edge(d, b, Customer).unwrap();
+        g.add_edge(d, c, Customer).unwrap();
+        g.add_edge(d, e, Peer).unwrap();
+        g.add_edge(b, a, Customer).unwrap();
+        g.add_edge(c, a, Customer).unwrap();
+        g.add_edge(e, c, Customer).unwrap();
+        g.info_mut(a).unwrap().prefixes.push(PrefixRecord {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            allocated_from: None,
+        });
+
+        let params = PolicyParams {
+            atypical_neighbor_frac: 0.0,
+            selective_frac: 0.0,
+            tag_frac: 0.0,
+            split_frac: 0.0,
+            aggregator_frac: 0.0,
+            selective_transit_frac: 0.0,
+            peer_partial_frac: 0.0,
+            ..Default::default()
+        };
+        let mut truth = GroundTruth::generate(&g, &params);
+        if selective {
+            // Rewrite A's class: announce only to C (not to B).
+            for class in &mut truth.classes {
+                if class.origin == a {
+                    class.scope = Scope::Explicit(BTreeMap::from([(c, Vec::new())]));
+                }
+            }
+        }
+        (g, truth)
+    }
+
+    fn spec_all(g: &AsGraph) -> VantageSpec {
+        VantageSpec {
+            collector_peers: g.ases().collect(),
+            lg_ases: g.ases().collect(),
+        }
+    }
+
+    #[test]
+    fn plain_propagation_reaches_everyone_with_valley_free_paths() {
+        let (g, t) = fig3_world(false);
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        let rows = &out.collector.rows[&p];
+        assert_eq!(rows.len(), 5, "all five ASes reach the prefix");
+        for row in rows {
+            assert_eq!(*row.path.last().unwrap(), Asn(1));
+            assert_eq!(
+                net_topology::classify_path(&g, &row.path),
+                net_topology::PathClass::ValleyFree,
+                "path {:?}",
+                row.path
+            );
+        }
+        assert_eq!(out.diagnostics.non_converged, 0);
+    }
+
+    #[test]
+    fn customer_route_preferred_over_peer_route() {
+        let (g, t) = fig3_world(false);
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        // D has customer routes via B and C, and a peer route via E; the
+        // best must be a customer route (per-neighbor LOCAL_PREF jitter
+        // stays inside the class bands, so any customer beats the peer).
+        let d_best = out.lg(Asn(4)).unwrap().best(p).unwrap();
+        assert_eq!(d_best.truth_rel, Some(Customer));
+        assert!(
+            d_best.path == vec![Asn(2), Asn(1)] || d_best.path == vec![Asn(3), Asn(1)],
+            "best path {:?}",
+            d_best.path
+        );
+        // And D's LG view shows 3 candidates with LOCAL_PREF ordering.
+        let rows = &out.lg(Asn(4)).unwrap().rows[&p];
+        assert_eq!(rows.len(), 3);
+        let lp_of = |n: u32| rows.iter().find(|r| r.neighbor == Asn(n)).unwrap().local_pref;
+        assert!(lp_of(2) > lp_of(5), "customer lp > peer lp");
+        assert!(lp_of(3) > lp_of(5));
+        // The best candidate carries the maximal LOCAL_PREF of the set.
+        let max_lp = rows.iter().map(|r| r.local_pref).max().unwrap();
+        assert_eq!(d_best.local_pref, max_lp);
+    }
+
+    #[test]
+    fn selective_announcement_creates_the_fig3_curving_route() {
+        let (g, t) = fig3_world(true);
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        // B no longer hears the prefix from A. B's route must come from
+        // its provider D.
+        let b_best = out.lg(Asn(2)).unwrap().best(p).unwrap();
+        assert_eq!(b_best.truth_rel, Some(Provider));
+        // D's best is now the customer path via C only.
+        let d_best = out.lg(Asn(4)).unwrap().best(p).unwrap();
+        assert_eq!(d_best.path, vec![Asn(3), Asn(1)]);
+        // E (D's peer) hears it via its customer C and has no valley route.
+        let e_best = out.lg(Asn(5)).unwrap().best(p).unwrap();
+        assert_eq!(e_best.path, vec![Asn(3), Asn(1)]);
+    }
+
+    #[test]
+    fn no_export_stops_at_first_hop() {
+        let (g, mut t) = fig3_world(false);
+        for class in &mut t.classes {
+            if class.origin == Asn(1) {
+                class.scope = Scope::Explicit(BTreeMap::from([
+                    (Asn(2), vec![Community::NO_EXPORT]),
+                    (Asn(3), Vec::new()),
+                ]));
+            }
+        }
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        // B holds the route but must not re-export it: D's only customer
+        // route is via C.
+        assert!(out.lg(Asn(2)).unwrap().best(p).is_some());
+        let d_rows = &out.lg(Asn(4)).unwrap().rows[&p];
+        assert!(
+            d_rows.iter().all(|r| r.neighbor != Asn(2)),
+            "D must not hear the NO_EXPORT route from B: {d_rows:?}"
+        );
+    }
+
+    #[test]
+    fn no_upstream_tag_reaches_provider_but_not_grandparents() {
+        let (g, mut t) = fig3_world(false);
+        // A announces to both B and C, but asks B (tag B:9000) not to
+        // export upstream. B's provider D then only has the C route.
+        let plan = crate::policy::CommunityPlan::standard();
+        for class in &mut t.classes {
+            if class.origin == Asn(1) {
+                class.scope = Scope::Explicit(BTreeMap::from([
+                    (Asn(2), vec![plan.no_upstream_tag(Asn(2)).unwrap()]),
+                    (Asn(3), Vec::new()),
+                ]));
+            }
+        }
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        // B itself has the customer route.
+        let b_best = out.lg(Asn(2)).unwrap().best(p).unwrap();
+        assert_eq!(b_best.truth_rel, Some(Customer));
+        // D hears it only from C.
+        let d_rows = &out.lg(Asn(4)).unwrap().rows[&p];
+        assert!(d_rows.iter().all(|r| r.neighbor != Asn(2)));
+        assert!(d_rows.iter().any(|r| r.neighbor == Asn(3)));
+    }
+
+    #[test]
+    fn ingress_tags_identify_neighbor_class() {
+        let (g, t) = fig3_world(false);
+        let spec = spec_all(&g);
+        let out = Simulation::new(&g, &t, &spec).run();
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        // D tags ingress routes (it is a transit AS with a plan).
+        let d_rows = &out.lg(Asn(4)).unwrap().rows[&p];
+        let from_b = d_rows.iter().find(|r| r.neighbor == Asn(2)).unwrap();
+        let tag = from_b
+            .communities
+            .iter()
+            .find(|c| c.authority_asn() == Asn(4))
+            .expect("D's ingress tag present");
+        let plan = t.policy(Asn(4)).plan.as_ref().unwrap();
+        assert_eq!(plan.classify_code(tag.value()), Some(Customer));
+        let from_e = d_rows.iter().find(|r| r.neighbor == Asn(5)).unwrap();
+        let tag_e = from_e
+            .communities
+            .iter()
+            .find(|c| c.authority_asn() == Asn(4))
+            .unwrap();
+        assert_eq!(plan.classify_code(tag_e.value()), Some(Peer));
+    }
+
+    #[test]
+    fn generated_internet_converges_and_reaches_collector() {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let params = PolicyParams::default();
+        let t = GroundTruth::generate(&g, &params);
+        let spec = VantageSpec::paper_like(&g, 10, 6);
+        let out = Simulation::new(&g, &t, &spec).run();
+        assert_eq!(out.diagnostics.non_converged, 0, "typical policies converge");
+        assert_eq!(out.diagnostics.classes, t.classes.len());
+        // The collector hears almost every prefix (selective announcement
+        // never hides a prefix from *every* vantage: peers still get it).
+        let total_prefixes: usize = t.classes.iter().map(|c| c.prefixes.len()).sum();
+        assert!(out.collector.prefix_count() as f64 >= 0.95 * total_prefixes as f64);
+        // Every collector path is loop-free.
+        for row in out.collector.all_paths() {
+            let mut seen = std::collections::BTreeSet::new();
+            for a in &row.path {
+                assert!(seen.insert(*a), "loop in {:?}", row.path);
+            }
+        }
+    }
+
+    #[test]
+    fn paper_like_spec_shapes() {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let spec = VantageSpec::paper_like(&g, 10, 6);
+        assert_eq!(spec.collector_peers.len(), 10);
+        assert!(spec.lg_ases.len() >= 4 && spec.lg_ases.len() <= 6);
+        // Top-degree AS is in both.
+        let top = g.by_degree_desc()[0];
+        assert!(spec.collector_peers.contains(&top));
+        assert!(spec.lg_ases.contains(&top));
+    }
+}

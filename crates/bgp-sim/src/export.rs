@@ -1,0 +1,218 @@
+//! Converting simulated views to and from the wire/text formats of
+//! [`bgp_wire`] — the loop a real measurement pipeline would run
+//! (RouteViews MRT archive in, analysis out).
+
+use bgp_types::{Asn, AsPath, Route};
+use bgp_wire::text::LgTable;
+use bgp_wire::{PeerEntry, RibEntry, TableDump, WireAttrs, WireError};
+
+use crate::engine::{CollectorRow, CollectorView, LgRoute, LgView};
+
+/// Serializes a collector view as an MRT TABLE_DUMP_V2 file image.
+///
+/// Peer addressing is synthetic (BGP ID = peer ASN), which is enough for
+/// the analyses; the paper's pipeline never uses peer IPs either.
+pub fn collector_to_mrt(view: &CollectorView, timestamp: u32) -> TableDump {
+    let peers: Vec<PeerEntry> = view
+        .peers
+        .iter()
+        .map(|&asn| PeerEntry {
+            bgp_id: asn.0,
+            addr: asn.0,
+            asn,
+        })
+        .collect();
+    let index_of = |asn: Asn| -> u16 {
+        view.peers
+            .iter()
+            .position(|&p| p == asn)
+            .expect("row peer is in the peer list") as u16
+    };
+    let routes = view
+        .rows
+        .iter()
+        .map(|(&prefix, rows)| {
+            let entries: Vec<RibEntry> = rows
+                .iter()
+                .map(|row| RibEntry {
+                    peer_index: index_of(row.peer),
+                    originated_time: timestamp,
+                    attrs: WireAttrs {
+                        as_path: AsPath::from_seq(row.path.iter().copied()),
+                        next_hop: row.peer.0,
+                        communities: row.communities.clone(),
+                        ..Default::default()
+                    },
+                })
+                .collect();
+            (prefix, entries)
+        })
+        .collect();
+    TableDump {
+        collector_id: 0x6F72_6567, // "oreg"
+        view_name: "synthetic-routeviews".into(),
+        peers,
+        routes,
+    }
+}
+
+/// Rebuilds a [`CollectorView`] from a parsed MRT dump (the inverse of
+/// [`collector_to_mrt`] up to timestamps).
+pub fn mrt_to_collector(dump: &TableDump) -> Result<CollectorView, WireError> {
+    let peers: Vec<Asn> = dump.peers.iter().map(|p| p.asn).collect();
+    let mut view = CollectorView {
+        peers: peers.clone(),
+        rows: Default::default(),
+    };
+    for (prefix, entries) in &dump.routes {
+        let mut rows = Vec::with_capacity(entries.len());
+        for e in entries {
+            let peer = peers
+                .get(e.peer_index as usize)
+                .copied()
+                .ok_or(WireError::BadValue {
+                    what: "peer index",
+                    got: e.peer_index as u32,
+                })?;
+            rows.push(CollectorRow {
+                peer,
+                path: e.attrs.as_path.asns().collect(),
+                communities: e.attrs.communities.clone(),
+            });
+        }
+        view.rows.insert(*prefix, rows);
+    }
+    Ok(view)
+}
+
+/// Renders a Looking-Glass view as the `lg-table v1` text format. Within a
+/// prefix the best route comes first (as `show ip bgp` effectively orders).
+pub fn lg_to_table(view: &LgView) -> LgTable {
+    let mut routes: Vec<Route> = Vec::new();
+    for (&prefix, rows) in &view.rows {
+        let mut ordered: Vec<&LgRoute> = rows.iter().collect();
+        ordered.sort_by_key(|r| (!r.best, r.neighbor));
+        for r in ordered {
+            routes.push(
+                Route::builder(prefix)
+                    .path(AsPath::from_seq(r.path.iter().copied()))
+                    .learned_from(r.neighbor)
+                    .local_pref(r.local_pref)
+                    .communities(r.communities.iter().copied())
+                    .build(),
+            );
+        }
+    }
+    LgTable {
+        local_as: view.asn,
+        router_id: view.asn.0,
+        routes,
+    }
+}
+
+/// Rebuilds a Looking-Glass view from a parsed `lg-table`. The best flag
+/// is recomputed (LOCAL_PREF desc, path length asc, neighbor ASN asc — the
+/// same order the engine used to mark it), and `truth_rel` is `None`:
+/// parsed artifacts carry no ground truth.
+pub fn table_to_lg(table: &LgTable) -> LgView {
+    let mut view = LgView {
+        asn: table.local_as,
+        rows: Default::default(),
+    };
+    for r in &table.routes {
+        view.rows.entry(r.prefix).or_default().push(LgRoute {
+            neighbor: r.attrs.learned_from,
+            path: r.attrs.as_path.asns().collect(),
+            local_pref: r.attrs.local_pref.unwrap_or(100),
+            communities: r.attrs.communities.clone(),
+            best: false,
+            truth_rel: None,
+        });
+    }
+    for routes in view.rows.values_mut() {
+        let best_idx = routes
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, r)| (std::cmp::Reverse(r.local_pref), r.path.len(), r.neighbor))
+            .map(|(i, _)| i);
+        for (i, r) in routes.iter_mut().enumerate() {
+            r.best = Some(i) == best_idx;
+        }
+    }
+    view
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Simulation, VantageSpec};
+    use crate::policy::{GroundTruth, PolicyParams};
+    use net_topology::{InternetConfig, InternetSize};
+
+    fn simulated() -> (Vec<Asn>, crate::engine::SimOutput) {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let t = GroundTruth::generate(&g, &PolicyParams::default());
+        let spec = VantageSpec::paper_like(&g, 8, 4);
+        let lg_ases = spec.lg_ases.clone();
+        (lg_ases, Simulation::new(&g, &t, &spec).run())
+    }
+
+    #[test]
+    fn collector_mrt_roundtrip() {
+        let (_, out) = simulated();
+        let dump = collector_to_mrt(&out.collector, 1_015_000_000);
+        // Through actual MRT bytes:
+        let bytes = dump.encode(1_015_000_000);
+        let parsed = TableDump::decode(bytes).unwrap();
+        let back = mrt_to_collector(&parsed).unwrap();
+        assert_eq!(back.peers, out.collector.peers);
+        assert_eq!(back.rows.len(), out.collector.rows.len());
+        for (p, rows) in &out.collector.rows {
+            let got = &back.rows[p];
+            assert_eq!(got.len(), rows.len());
+            for (a, b) in rows.iter().zip(got) {
+                assert_eq!(a.peer, b.peer);
+                assert_eq!(a.path, b.path);
+                assert_eq!(a.communities, b.communities);
+            }
+        }
+    }
+
+    #[test]
+    fn lg_text_roundtrip_preserves_rows_and_recomputes_best() {
+        let (lg_ases, out) = simulated();
+        let lg = out.lg(lg_ases[0]).unwrap();
+        let table = lg_to_table(lg);
+        // Through actual text:
+        let text = table.render();
+        let parsed = LgTable::parse(&text).unwrap();
+        let back = table_to_lg(&parsed);
+        assert_eq!(back.asn, lg.asn);
+        assert_eq!(back.rows.len(), lg.rows.len());
+        for (p, rows) in &lg.rows {
+            let got = &back.rows[p];
+            assert_eq!(got.len(), rows.len(), "row count for {p}");
+            // The recomputed best agrees with the engine's best.
+            let engine_best = rows.iter().find(|r| r.best).map(|r| r.neighbor);
+            let parsed_best = got.iter().find(|r| r.best).map(|r| r.neighbor);
+            assert_eq!(engine_best, parsed_best, "best mismatch for {p}");
+            // Parsed views carry no ground truth.
+            assert!(got.iter().all(|r| r.truth_rel.is_none()));
+        }
+    }
+
+    #[test]
+    fn empty_views_convert_cleanly() {
+        let view = CollectorView::default();
+        let dump = collector_to_mrt(&view, 0);
+        assert!(dump.routes.is_empty());
+        let lg = LgView {
+            asn: Asn(1),
+            rows: Default::default(),
+        };
+        let t = lg_to_table(&lg);
+        assert!(t.routes.is_empty());
+        let back = table_to_lg(&t);
+        assert!(back.rows.is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-border-router views of one AS (the paper's Fig. 2(b) study).
+//!
+//! The paper checks LOCAL_PREF consistency *inside* AT&T using tables from
+//! 30 backbone routers. We reproduce the setup by partitioning an AS's
+//! eBGP neighbors across `n` border routers: each router holds the
+//! candidate routes of its own neighbors plus the AS-best route received
+//! over iBGP, and may apply a few router-local prefix-based overrides (the
+//! noise that makes Fig. 2(b) interesting).
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+use crate::engine::{LgRoute, LgView};
+
+/// One border router's table.
+#[derive(Debug, Clone)]
+pub struct RouterView {
+    /// Router index, `0..n`.
+    pub router_id: u32,
+    /// The neighbors attached to this router.
+    pub neighbors: Vec<Asn>,
+    /// Candidate routes: local eBGP candidates plus the iBGP-learned
+    /// AS-best when it sits on another router.
+    pub rows: BTreeMap<Ipv4Prefix, Vec<LgRoute>>,
+}
+
+impl RouterView {
+    /// The best route for `prefix` in this router's table.
+    pub fn best(&self, prefix: Ipv4Prefix) -> Option<&LgRoute> {
+        self.rows.get(&prefix)?.iter().find(|r| r.best)
+    }
+}
+
+/// Splits `lg` into `n_routers` router views.
+///
+/// * Neighbor→router assignment is deterministic in `seed`.
+/// * Each router re-marks its own best (LOCAL_PREF, path length, neighbor
+///   ASN — same order the engine uses).
+/// * With `override_frac > 0`, each router re-pins the LOCAL_PREF of that
+///   fraction of its prefixes to a router-local value, modeling the
+///   router-specific route-maps that break next-hop consistency in
+///   Fig. 2(b).
+pub fn split_into_routers(
+    lg: &LgView,
+    n_routers: usize,
+    seed: u64,
+    override_frac: f64,
+) -> Vec<RouterView> {
+    assert!(n_routers >= 1, "need at least one router");
+    let mut rng = StdRng::seed_from_u64(seed ^ lg.asn.0 as u64);
+
+    // Deterministic neighbor → router assignment (round-robin over the
+    // shuffled neighbor set, so router loads stay balanced).
+    let mut neighbors: Vec<Asn> = {
+        let mut set = std::collections::BTreeSet::new();
+        for routes in lg.rows.values() {
+            for r in routes {
+                set.insert(r.neighbor);
+            }
+        }
+        set.into_iter().collect()
+    };
+    neighbors.shuffle(&mut rng);
+    let mut assignment: BTreeMap<Asn, u32> = BTreeMap::new();
+    for (i, n) in neighbors.iter().enumerate() {
+        assignment.insert(*n, (i % n_routers) as u32);
+    }
+
+    let mut views: Vec<RouterView> = (0..n_routers)
+        .map(|i| RouterView {
+            router_id: i as u32,
+            neighbors: assignment
+                .iter()
+                .filter(|(_, &r)| r == i as u32)
+                .map(|(&n, _)| n)
+                .collect(),
+            rows: BTreeMap::new(),
+        })
+        .collect();
+
+    // Distribute candidates; add iBGP copies of the AS-best elsewhere.
+    for (&prefix, routes) in &lg.rows {
+        let as_best = routes.iter().find(|r| r.best);
+        for view in views.iter_mut() {
+            let mut local: Vec<LgRoute> = routes
+                .iter()
+                .filter(|r| assignment.get(&r.neighbor) == Some(&view.router_id))
+                .cloned()
+                .collect();
+            if let Some(b) = as_best {
+                if assignment.get(&b.neighbor) != Some(&view.router_id) {
+                    // iBGP copy: attributes preserved (incl. LOCAL_PREF).
+                    local.push(b.clone());
+                }
+            }
+            if !local.is_empty() {
+                view.rows.insert(prefix, local);
+            }
+        }
+    }
+
+    // Router-local overrides + per-router best marking.
+    for view in views.iter_mut() {
+        let prefixes: Vec<Ipv4Prefix> = view.rows.keys().copied().collect();
+        let n_overrides = ((prefixes.len() as f64) * override_frac).round() as usize;
+        let mut overridden: std::collections::BTreeSet<Ipv4Prefix> =
+            std::collections::BTreeSet::new();
+        for _ in 0..n_overrides {
+            if let Some(&p) = prefixes.as_slice().choose(&mut rng) {
+                overridden.insert(p);
+            }
+        }
+        for (p, routes) in view.rows.iter_mut() {
+            if overridden.contains(p) {
+                let pinned = rng.gen_range(140..=160);
+                for r in routes.iter_mut() {
+                    r.local_pref = pinned;
+                }
+            }
+            // Re-mark best locally.
+            let best_idx = routes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, r)| (std::cmp::Reverse(r.local_pref), r.path.len(), r.neighbor))
+                .map(|(i, _)| i);
+            for (i, r) in routes.iter_mut().enumerate() {
+                r.best = Some(i) == best_idx;
+            }
+        }
+    }
+
+    views
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_types::Relationship;
+
+    fn lg_fixture() -> LgView {
+        let mk = |prefix: &str, routes: Vec<(u32, Vec<u32>, u32, bool)>| {
+            (
+                prefix.parse::<Ipv4Prefix>().unwrap(),
+                routes
+                    .into_iter()
+                    .map(|(n, path, lp, best)| LgRoute {
+                        neighbor: Asn(n),
+                        path: path.into_iter().map(Asn).collect(),
+                        local_pref: lp,
+                        communities: vec![],
+                        best,
+                        truth_rel: Some(Relationship::Peer),
+                    })
+                    .collect::<Vec<_>>(),
+            )
+        };
+        LgView {
+            asn: Asn(7018),
+            rows: BTreeMap::from([
+                mk(
+                    "10.0.0.0/16",
+                    vec![
+                        (701, vec![701, 9], 120, true),
+                        (1239, vec![1239, 9], 90, false),
+                        (3549, vec![3549, 8, 9], 90, false),
+                    ],
+                ),
+                mk(
+                    "11.0.0.0/16",
+                    vec![(1239, vec![1239, 11], 100, true)],
+                ),
+            ]),
+        }
+    }
+
+    #[test]
+    fn every_router_sees_the_as_best() {
+        let lg = lg_fixture();
+        let views = split_into_routers(&lg, 3, 42, 0.0);
+        assert_eq!(views.len(), 3);
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        for v in &views {
+            if let Some(routes) = v.rows.get(&p) {
+                // The AS-best (via 701, lp 120) is present everywhere,
+                // either locally or via iBGP.
+                assert!(
+                    routes.iter().any(|r| r.neighbor == Asn(701)),
+                    "router {} missing AS-best",
+                    v.router_id
+                );
+                // And it is the router-best too (no overrides).
+                assert_eq!(v.best(p).unwrap().neighbor, Asn(701));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_partition_across_routers() {
+        let lg = lg_fixture();
+        let views = split_into_routers(&lg, 2, 7, 0.0);
+        let mut seen = std::collections::BTreeSet::new();
+        for v in &views {
+            for n in &v.neighbors {
+                assert!(seen.insert(*n), "neighbor {n} on two routers");
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn single_router_reproduces_the_lg_view() {
+        let lg = lg_fixture();
+        let views = split_into_routers(&lg, 1, 0, 0.0);
+        assert_eq!(views.len(), 1);
+        let p: Ipv4Prefix = "10.0.0.0/16".parse().unwrap();
+        assert_eq!(views[0].rows[&p].len(), lg.rows[&p].len());
+        assert_eq!(views[0].best(p).unwrap().neighbor, Asn(701));
+    }
+
+    #[test]
+    fn overrides_change_local_pref_on_some_prefixes() {
+        let lg = lg_fixture();
+        let views = split_into_routers(&lg, 1, 3, 1.0);
+        // With frac 1.0 every sampled prefix is pinned into 140..=160.
+        let pinned = views[0]
+            .rows
+            .values()
+            .flatten()
+            .filter(|r| (140..=160).contains(&r.local_pref))
+            .count();
+        assert!(pinned > 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let lg = lg_fixture();
+        let a = split_into_routers(&lg, 3, 11, 0.5);
+        let b = split_into_routers(&lg, 3, 11, 0.5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.neighbors, y.neighbors);
+            assert_eq!(x.rows, y.rows);
+        }
+    }
+}

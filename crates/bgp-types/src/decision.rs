@@ -1,0 +1,336 @@
+//! The BGP best-route decision process — the seven criteria of §2.2.1 of the
+//! paper (a condensation of RFC 4271 §9.1):
+//!
+//! 1. highest LOCAL_PREF;
+//! 2. shortest AS path;
+//! 3. lowest ORIGIN (IGP < EGP < Incomplete);
+//! 4. lowest MED, *compared only between routes from the same next-hop AS*;
+//! 5. eBGP-learned preferred over iBGP-learned;
+//! 6. lowest IGP metric to the egress router;
+//! 7. lowest router ID.
+//!
+//! Step 4 makes pairwise comparison **non-transitive** in general, so
+//! [`best_route`] implements the standard sequential elimination over the
+//! whole candidate set rather than a naive `min_by`.
+
+use std::cmp::Ordering;
+
+use crate::route::{Route, Session};
+
+/// Which decision step decided a pairwise comparison (for explainability in
+/// examples and tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecisionStep {
+    /// Step 1: LOCAL_PREF.
+    LocalPref,
+    /// Step 2: AS-path hop count.
+    PathLen,
+    /// Step 3: ORIGIN attribute.
+    Origin,
+    /// Step 4: MED (same neighbor AS only).
+    Med,
+    /// Step 5: eBGP over iBGP.
+    Session,
+    /// Step 6: IGP metric to egress.
+    IgpMetric,
+    /// Step 7: router ID.
+    RouterId,
+    /// All seven steps tied.
+    Tie,
+}
+
+/// Missing LOCAL_PREF is treated as the conventional default 100
+/// (Cisco/Juniper behaviour); collector views that hide LOCAL_PREF therefore
+/// fall through to path length, like the paper's RouteViews analysis.
+const DEFAULT_LOCAL_PREF: u32 = 100;
+
+/// A missing MED compares as 0 (the IETF "missing-as-best" default; the
+/// alternative "missing-as-worst" is a router knob we do not model).
+const DEFAULT_MED: u32 = 0;
+
+fn session_rank(s: Session) -> u8 {
+    // Locally-originated wins, then eBGP, then iBGP.
+    match s {
+        Session::Local => 0,
+        Session::Ebgp => 1,
+        Session::Ibgp => 2,
+    }
+}
+
+/// Compares two candidate routes *to the same prefix*.
+///
+/// Returns `Ordering::Less` when `a` is **better** than `b` (so sorting puts
+/// the best route first), plus the step that decided.
+pub fn compare_routes(a: &Route, b: &Route) -> (Ordering, DecisionStep) {
+    debug_assert_eq!(
+        a.prefix, b.prefix,
+        "decision process compares routes to one prefix"
+    );
+
+    // 1. Highest local preference.
+    let lp_a = a.attrs.local_pref.unwrap_or(DEFAULT_LOCAL_PREF);
+    let lp_b = b.attrs.local_pref.unwrap_or(DEFAULT_LOCAL_PREF);
+    match lp_b.cmp(&lp_a) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::LocalPref),
+    }
+
+    // 2. Shortest AS path.
+    match a.attrs.as_path.hop_len().cmp(&b.attrs.as_path.hop_len()) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::PathLen),
+    }
+
+    // 3. Lowest origin.
+    match a.attrs.origin.cmp(&b.attrs.origin) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::Origin),
+    }
+
+    // 4. Lowest MED, only between routes from the same next-hop AS.
+    if a.attrs.learned_from == b.attrs.learned_from {
+        let med_a = a.attrs.med.unwrap_or(DEFAULT_MED);
+        let med_b = b.attrs.med.unwrap_or(DEFAULT_MED);
+        match med_a.cmp(&med_b) {
+            Ordering::Equal => {}
+            ord => return (ord, DecisionStep::Med),
+        }
+    }
+
+    // 5. Prefer eBGP over iBGP (locally-originated beats both).
+    match session_rank(a.attrs.session).cmp(&session_rank(b.attrs.session)) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::Session),
+    }
+
+    // 6. Lowest IGP metric to the egress border router.
+    match a.attrs.igp_metric.cmp(&b.attrs.igp_metric) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::IgpMetric),
+    }
+
+    // 7. Lowest router ID.
+    match a.attrs.router_id.cmp(&b.attrs.router_id) {
+        Ordering::Equal => {}
+        ord => return (ord, DecisionStep::RouterId),
+    }
+
+    (Ordering::Equal, DecisionStep::Tie)
+}
+
+/// Selects the best route among candidates for one prefix using sequential
+/// elimination (correct in the presence of the non-transitive MED rule).
+///
+/// Deterministic: ties after all seven steps resolve to the earliest
+/// candidate, so callers should present candidates in a stable order.
+pub fn best_route<'a, I>(candidates: I) -> Option<&'a Route>
+where
+    I: IntoIterator<Item = &'a Route>,
+{
+    let cands: Vec<&Route> = candidates.into_iter().collect();
+    let (first, rest) = cands.split_first()?;
+
+    // Sequential elimination: survivors of each step proceed to the next.
+    let mut survivors: Vec<&Route> = {
+        let mut v = vec![*first];
+        v.extend_from_slice(rest);
+        v
+    };
+
+    // Step 1: local pref.
+    let max_lp = survivors
+        .iter()
+        .map(|r| r.attrs.local_pref.unwrap_or(DEFAULT_LOCAL_PREF))
+        .max()
+        .expect("nonempty");
+    survivors.retain(|r| r.attrs.local_pref.unwrap_or(DEFAULT_LOCAL_PREF) == max_lp);
+
+    // Step 2: path length.
+    let min_len = survivors
+        .iter()
+        .map(|r| r.attrs.as_path.hop_len())
+        .min()
+        .expect("nonempty");
+    survivors.retain(|r| r.attrs.as_path.hop_len() == min_len);
+
+    // Step 3: origin.
+    let min_origin = survivors
+        .iter()
+        .map(|r| r.attrs.origin)
+        .min()
+        .expect("nonempty");
+    survivors.retain(|r| r.attrs.origin == min_origin);
+
+    // Step 4: MED among same-neighbor groups — eliminate any route that is
+    // MED-dominated by another surviving route from the same neighbor AS.
+    let med_of = |r: &Route| r.attrs.med.unwrap_or(DEFAULT_MED);
+    let snapshot = survivors.clone();
+    survivors.retain(|r| {
+        !snapshot.iter().any(|other| {
+            other.attrs.learned_from == r.attrs.learned_from && med_of(other) < med_of(r)
+        })
+    });
+
+    // Step 5: session type.
+    let min_sess = survivors
+        .iter()
+        .map(|r| session_rank(r.attrs.session))
+        .min()
+        .expect("nonempty");
+    survivors.retain(|r| session_rank(r.attrs.session) == min_sess);
+
+    // Step 6: IGP metric.
+    let min_igp = survivors
+        .iter()
+        .map(|r| r.attrs.igp_metric)
+        .min()
+        .expect("nonempty");
+    survivors.retain(|r| r.attrs.igp_metric == min_igp);
+
+    // Step 7: router ID; final tie → earliest in input order.
+    let min_rid = survivors
+        .iter()
+        .map(|r| r.attrs.router_id)
+        .min()
+        .expect("nonempty");
+    survivors.into_iter().find(|r| r.attrs.router_id == min_rid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asn::Asn;
+    use crate::prefix::Ipv4Prefix;
+    use crate::route::{Origin, Route};
+
+    fn pfx() -> Ipv4Prefix {
+        "10.0.0.0/8".parse().unwrap()
+    }
+
+    fn r() -> crate::route::RouteBuilder {
+        Route::builder(pfx())
+    }
+
+    #[test]
+    fn local_pref_dominates_path_length() {
+        let long_but_preferred = r()
+            .path_seq([Asn(1), Asn(2), Asn(3), Asn(4)])
+            .local_pref(200)
+            .build();
+        let short = r().path_seq([Asn(9)]).local_pref(100).build();
+        let routes = [long_but_preferred.clone(), short];
+        assert_eq!(best_route(&routes), Some(&routes[0]));
+        let (ord, step) = compare_routes(&routes[0], &routes[1]);
+        assert_eq!(ord, Ordering::Less);
+        assert_eq!(step, DecisionStep::LocalPref);
+    }
+
+    #[test]
+    fn missing_local_pref_defaults_to_100() {
+        let with = r().path_seq([Asn(1)]).local_pref(90).build();
+        let without = r().path_seq([Asn(2)]).build(); // implicit 100
+        let routes = [with, without];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+    }
+
+    #[test]
+    fn path_length_breaks_lp_ties() {
+        let short = r().path_seq([Asn(1), Asn(3)]).build();
+        let long = r().path_seq([Asn(2), Asn(4), Asn(3)]).build();
+        let routes = [long, short];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+        assert_eq!(
+            compare_routes(&routes[1], &routes[0]),
+            (Ordering::Less, DecisionStep::PathLen)
+        );
+    }
+
+    #[test]
+    fn origin_breaks_length_ties() {
+        let igp = r().path_seq([Asn(1)]).origin(Origin::Igp).build();
+        let incomplete = r().path_seq([Asn(2)]).origin(Origin::Incomplete).build();
+        let routes = [incomplete, igp];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+    }
+
+    #[test]
+    fn med_compared_only_within_same_neighbor() {
+        // Same neighbor: lower MED wins.
+        let a = r().path_seq([Asn(7), Asn(1)]).med(10).router_id(2).build();
+        let b = r().path_seq([Asn(7), Asn(2)]).med(5).router_id(1).build();
+        let routes = [a, b];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+        assert_eq!(
+            compare_routes(&routes[1], &routes[0]),
+            (Ordering::Less, DecisionStep::Med)
+        );
+
+        // Different neighbors: MED ignored, falls through to router ID.
+        let c = r().path_seq([Asn(7), Asn(1)]).med(10).router_id(1).build();
+        let d = r().path_seq([Asn(8), Asn(2)]).med(5).router_id(2).build();
+        let routes2 = [d, c];
+        assert_eq!(best_route(&routes2), Some(&routes2[1]));
+        assert_eq!(
+            compare_routes(&routes2[1], &routes2[0]).1,
+            DecisionStep::RouterId
+        );
+    }
+
+    #[test]
+    fn med_elimination_handles_nontransitive_sets() {
+        // Classic MED triangle: r1,r2 from AS7 (MED 10, 20), r3 from AS8.
+        // r2 must be eliminated by r1's MED even though r3's presence would
+        // let a naive pairwise min_by pick r2 under some orders.
+        let r1 = r().path_seq([Asn(7), Asn(1)]).med(10).router_id(3).build();
+        let r2 = r().path_seq([Asn(7), Asn(2)]).med(20).router_id(1).build();
+        let r3 = r().path_seq([Asn(8), Asn(3)]).med(0).router_id(2).build();
+        let routes = [r2, r1, r3];
+        let best = best_route(&routes).unwrap();
+        // Survivors of MED elimination: r1 (beats r2) and r3. Router ID picks r3.
+        assert_eq!(best.attrs.router_id, 2);
+    }
+
+    #[test]
+    fn ebgp_beats_ibgp_and_local_beats_both() {
+        let e = r().path_seq([Asn(1)]).session(Session::Ebgp).build();
+        let i = r().path_seq([Asn(2)]).session(Session::Ibgp).build();
+        let routes = [i, e];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+
+        let l = r()
+            .learned_from(Asn(5))
+            .session(Session::Local)
+            .build();
+        let routes2 = [routes[1].clone(), l];
+        // Local route has empty path (0 hops) and local session – wins.
+        assert_eq!(best_route(&routes2), Some(&routes2[1]));
+    }
+
+    #[test]
+    fn igp_metric_then_router_id() {
+        let a = r().path_seq([Asn(1)]).igp_metric(5).router_id(9).build();
+        let b = r().path_seq([Asn(2)]).igp_metric(5).router_id(3).build();
+        let c = r().path_seq([Asn(3)]).igp_metric(7).router_id(1).build();
+        let routes = [a, b, c];
+        assert_eq!(best_route(&routes), Some(&routes[1]));
+        assert_eq!(
+            compare_routes(&routes[0], &routes[2]),
+            (Ordering::Less, DecisionStep::IgpMetric)
+        );
+    }
+
+    #[test]
+    fn identical_routes_tie_and_first_wins() {
+        let a = r().path_seq([Asn(1)]).build();
+        let b = a.clone();
+        assert_eq!(compare_routes(&a, &b), (Ordering::Equal, DecisionStep::Tie));
+        let routes = [a, b];
+        let best = best_route(&routes).unwrap();
+        assert!(std::ptr::eq(best, &routes[0]));
+    }
+
+    #[test]
+    fn empty_candidate_set() {
+        assert_eq!(best_route(std::iter::empty()), None);
+    }
+}

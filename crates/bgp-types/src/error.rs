@@ -1,0 +1,134 @@
+//! Parse errors for the textual forms used throughout the reproduction
+//! (`show ip bgp` output, RPSL filters, CLI arguments).
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing a textual BGP artifact fails.
+///
+/// Carries the offending input (truncated to a sane length) so that error
+/// messages from deep inside a table parser still identify the bad token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    kind: ParseErrorKind,
+    input: String,
+}
+
+/// What kind of artifact failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// An AS number (`AS7018` / `7018`).
+    Asn,
+    /// An IPv4 CIDR prefix (`12.0.0.0/19`).
+    Prefix,
+    /// A prefix length outside `0..=32`.
+    PrefixLen,
+    /// An IPv4 dotted-quad address.
+    Addr,
+    /// A community (`7018:100` or a well-known name).
+    Community,
+    /// An AS path (`701 1239 {7018,3549}`).
+    AsPath,
+    /// A route / table line.
+    Route,
+}
+
+impl ParseError {
+    fn new(kind: ParseErrorKind, input: &str) -> Self {
+        const MAX: usize = 64;
+        let mut input = input.to_owned();
+        if input.len() > MAX {
+            // Truncate on a char boundary so multi-byte input can't panic.
+            let cut = (0..=MAX).rev().find(|&i| input.is_char_boundary(i)).unwrap_or(0);
+            input.truncate(cut);
+            input.push('…');
+        }
+        ParseError { kind, input }
+    }
+
+    pub(crate) fn invalid_asn(input: &str) -> Self {
+        Self::new(ParseErrorKind::Asn, input)
+    }
+
+    pub(crate) fn invalid_prefix(input: &str) -> Self {
+        Self::new(ParseErrorKind::Prefix, input)
+    }
+
+    pub(crate) fn invalid_prefix_len(input: &str) -> Self {
+        Self::new(ParseErrorKind::PrefixLen, input)
+    }
+
+    pub(crate) fn invalid_addr(input: &str) -> Self {
+        Self::new(ParseErrorKind::Addr, input)
+    }
+
+    pub(crate) fn invalid_community(input: &str) -> Self {
+        Self::new(ParseErrorKind::Community, input)
+    }
+
+    pub(crate) fn invalid_path(input: &str) -> Self {
+        Self::new(ParseErrorKind::AsPath, input)
+    }
+
+    /// Builds a route-level parse error (used by table parsers in other
+    /// crates that want a uniform error type).
+    pub fn invalid_route(input: &str) -> Self {
+        Self::new(ParseErrorKind::Route, input)
+    }
+
+    /// The category of artifact that failed to parse.
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
+    }
+
+    /// The (possibly truncated) offending input.
+    pub fn input(&self) -> &str {
+        &self.input
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let what = match self.kind {
+            ParseErrorKind::Asn => "AS number",
+            ParseErrorKind::Prefix => "IPv4 prefix",
+            ParseErrorKind::PrefixLen => "prefix length",
+            ParseErrorKind::Addr => "IPv4 address",
+            ParseErrorKind::Community => "community",
+            ParseErrorKind::AsPath => "AS path",
+            ParseErrorKind::Route => "route",
+        };
+        write!(f, "invalid {what}: {:?}", self.input)
+    }
+}
+
+impl Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn long_inputs_are_truncated() {
+        let long = "x".repeat(500);
+        let e = ParseError::invalid_prefix(&long);
+        assert!(e.input().chars().count() <= 65);
+        assert!(e.to_string().contains("invalid IPv4 prefix"));
+    }
+
+    #[test]
+    fn kind_is_preserved() {
+        assert_eq!(ParseError::invalid_asn("z").kind(), ParseErrorKind::Asn);
+        assert_eq!(
+            ParseError::invalid_route("z").kind(),
+            ParseErrorKind::Route
+        );
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_err<E: Error>(_: E) {}
+        takes_err(ParseError::invalid_addr("nope"));
+    }
+}

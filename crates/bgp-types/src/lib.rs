@@ -1,0 +1,47 @@
+//! # bgp-types — core BGP data model
+//!
+//! Foundation crate for the IMC'03 "On Inferring and Characterizing Internet
+//! Routing Policies" reproduction. It defines the vocabulary every other crate
+//! speaks:
+//!
+//! * [`Asn`] — autonomous system numbers (4-byte capable).
+//! * [`Ipv4Prefix`] — CIDR prefixes with aggregation / splitting algebra
+//!   (the paper's §5.1.5 "prefix splitting" and "prefix aggregating" cases).
+//! * [`AsPath`] — AS_PATH attribute with `AS_SEQUENCE` / `AS_SET` segments,
+//!   stored *speaker-first* (leftmost AS = next-hop AS, rightmost = origin),
+//!   exactly as `show ip bgp` prints it.
+//! * [`Community`] — RFC 1997 communities, including the well-known values
+//!   and the `ASN:value` tagging convention the paper's Appendix relies on.
+//! * [`Route`] / [`RouteAttrs`] — a RIB entry carrying every attribute the
+//!   BGP decision process consults.
+//! * [`decision`] — the 7-step best-route selection of §2.2.1 of the paper.
+//! * [`PrefixTrie`] — a binary trie for longest-prefix-match and
+//!   covered/covering queries, used by the cause analysis (Table 9).
+//! * [`Relationship`] — the provider / customer / peer / sibling annotation
+//!   of the AS graph (§2.1).
+//!
+//! The crate is `std`-only, has no dependencies, and never panics on
+//! malformed textual input: all parsers return [`ParseError`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod community;
+pub mod decision;
+pub mod error;
+pub mod path;
+pub mod prefix;
+pub mod relationship;
+pub mod route;
+pub mod trie;
+
+pub use asn::Asn;
+pub use community::Community;
+pub use decision::{best_route, compare_routes, DecisionStep};
+pub use error::ParseError;
+pub use path::{AsPath, PathSegment};
+pub use prefix::Ipv4Prefix;
+pub use relationship::Relationship;
+pub use route::{Origin, Route, RouteAttrs, RouteBuilder, Session};
+pub use trie::PrefixTrie;

@@ -1,0 +1,400 @@
+//! The AS_PATH attribute.
+//!
+//! Paths are stored **speaker-first**: the leftmost AS is the neighbor the
+//! route was learned from (the paper's "next hop AS"), the rightmost AS is
+//! the origin. This matches both `show ip bgp` output and the order the
+//! paper's algorithms read paths in (e.g. "given a customer path
+//! `AS1 AS12 AS14 AS15`", §5.1.3).
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::asn::Asn;
+use crate::error::ParseError;
+
+/// One AS_PATH segment: an ordered `AS_SEQUENCE` or an unordered `AS_SET`
+/// (the footprint of route aggregation).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum PathSegment {
+    /// An ordered run of ASes the announcement traversed.
+    Seq(Vec<Asn>),
+    /// An unordered set produced by aggregation; counts as one hop.
+    Set(Vec<Asn>),
+}
+
+impl PathSegment {
+    /// Hop count contribution to path length (a set counts as one, RFC 4271
+    /// §9.1.2.2).
+    pub fn hop_len(&self) -> usize {
+        match self {
+            PathSegment::Seq(v) => v.len(),
+            PathSegment::Set(v) => usize::from(!v.is_empty()),
+        }
+    }
+
+    /// All ASes mentioned in the segment.
+    pub fn asns(&self) -> &[Asn] {
+        match self {
+            PathSegment::Seq(v) | PathSegment::Set(v) => v,
+        }
+    }
+}
+
+/// An AS_PATH: a list of segments, speaker-first.
+///
+/// ```
+/// use bgp_types::{AsPath, Asn};
+/// let p: AsPath = "8220 12878 5606 15471".parse().unwrap();
+/// assert_eq!(p.next_hop_as(), Some(Asn(8220)));
+/// assert_eq!(p.origin_as(), Some(Asn(15471)));
+/// assert_eq!(p.hop_len(), 4);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct AsPath {
+    segments: Vec<PathSegment>,
+}
+
+impl AsPath {
+    /// The empty path (a route originated by the table's own AS).
+    pub fn empty() -> Self {
+        AsPath::default()
+    }
+
+    /// Builds a pure-sequence path from ASes in speaker-first order.
+    pub fn from_seq<I: IntoIterator<Item = Asn>>(asns: I) -> Self {
+        let v: Vec<Asn> = asns.into_iter().collect();
+        if v.is_empty() {
+            AsPath::empty()
+        } else {
+            AsPath {
+                segments: vec![PathSegment::Seq(v)],
+            }
+        }
+    }
+
+    /// Builds a path from explicit segments, dropping empty ones.
+    pub fn from_segments<I: IntoIterator<Item = PathSegment>>(segs: I) -> Self {
+        AsPath {
+            segments: segs
+                .into_iter()
+                .filter(|s| !s.asns().is_empty())
+                .collect(),
+        }
+    }
+
+    /// The underlying segments.
+    pub fn segments(&self) -> &[PathSegment] {
+        &self.segments
+    }
+
+    /// `true` for a locally-originated route's empty path.
+    pub fn is_empty(&self) -> bool {
+        self.segments.is_empty()
+    }
+
+    /// Path length as the decision process counts it (`AS_SET` = 1 hop).
+    pub fn hop_len(&self) -> usize {
+        self.segments.iter().map(PathSegment::hop_len).sum()
+    }
+
+    /// The neighbor AS the route was learned from (leftmost AS). `None` for
+    /// a locally-originated route, or when the path starts with an AS_SET.
+    pub fn next_hop_as(&self) -> Option<Asn> {
+        match self.segments.first()? {
+            PathSegment::Seq(v) => v.first().copied(),
+            PathSegment::Set(_) => None,
+        }
+    }
+
+    /// The origin AS (rightmost). For paths ending in an AS_SET (aggregated
+    /// routes) the origin is ambiguous and `None` is returned.
+    pub fn origin_as(&self) -> Option<Asn> {
+        match self.segments.last()? {
+            PathSegment::Seq(v) => v.last().copied(),
+            PathSegment::Set(_) => None,
+        }
+    }
+
+    /// Does the path mention `asn` anywhere (the RFC 4271 loop check)?
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.segments.iter().any(|s| s.asns().contains(&asn))
+    }
+
+    /// Returns a new path with `asn` prepended (what a speaker does before
+    /// announcing to an eBGP neighbor).
+    #[must_use]
+    pub fn prepend(&self, asn: Asn) -> AsPath {
+        let mut segments = self.segments.clone();
+        match segments.first_mut() {
+            Some(PathSegment::Seq(v)) => v.insert(0, asn),
+            _ => segments.insert(0, PathSegment::Seq(vec![asn])),
+        }
+        AsPath { segments }
+    }
+
+    /// Returns a new path with `asn` prepended `n` times (AS-path
+    /// prepending, the inbound traffic-engineering knob of §2.2.2).
+    #[must_use]
+    pub fn prepend_n(&self, asn: Asn, n: usize) -> AsPath {
+        let mut p = self.clone();
+        for _ in 0..n {
+            p = p.prepend(asn);
+        }
+        p
+    }
+
+    /// Iterates over every AS in the path, speaker-first (sets flattened in
+    /// their stored order).
+    pub fn asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.segments.iter().flat_map(|s| s.asns().iter().copied())
+    }
+
+    /// Iterates over adjacent AS pairs `(nearer_speaker, nearer_origin)`
+    /// **within sequence segments only** — adjacency across or inside an
+    /// AS_SET is not a real BGP session and is skipped. This is the iterator
+    /// relationship-inference walks (Gao's algorithm consumes these pairs).
+    pub fn adjacent_pairs(&self) -> impl Iterator<Item = (Asn, Asn)> + '_ {
+        self.segments
+            .iter()
+            .filter_map(|s| match s {
+                PathSegment::Seq(v) => Some(v),
+                PathSegment::Set(_) => None,
+            })
+            .flat_map(|v| v.windows(2).map(|w| (w[0], w[1])))
+    }
+
+    /// Strips consecutive duplicate ASes (undoes prepending), preserving
+    /// segment structure. Used when mapping a path onto AS-graph edges.
+    #[must_use]
+    pub fn dedup_prepends(&self) -> AsPath {
+        let segments = self
+            .segments
+            .iter()
+            .map(|s| match s {
+                PathSegment::Seq(v) => {
+                    let mut out: Vec<Asn> = Vec::with_capacity(v.len());
+                    for &a in v {
+                        if out.last() != Some(&a) {
+                            out.push(a);
+                        }
+                    }
+                    PathSegment::Seq(out)
+                }
+                PathSegment::Set(v) => PathSegment::Set(v.clone()),
+            })
+            .collect();
+        AsPath { segments }
+    }
+
+    /// `true` when the path consists of a single AS_SEQUENCE with no
+    /// repeated AS (the common case for non-aggregated, non-prepended
+    /// routes; the paper's path-walking analyses assume this shape).
+    pub fn is_simple(&self) -> bool {
+        match self.segments.as_slice() {
+            [] => true,
+            [PathSegment::Seq(v)] => {
+                let mut seen = std::collections::HashSet::with_capacity(v.len());
+                v.iter().all(|a| seen.insert(a))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for AsPath {
+    /// `show ip bgp` style: `8220 12878 {5606,15471}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for seg in &self.segments {
+            if !first {
+                f.write_str(" ")?;
+            }
+            first = false;
+            match seg {
+                PathSegment::Seq(v) => {
+                    let mut inner_first = true;
+                    for a in v {
+                        if !inner_first {
+                            f.write_str(" ")?;
+                        }
+                        inner_first = false;
+                        write!(f, "{}", a.0)?;
+                    }
+                }
+                PathSegment::Set(v) => {
+                    f.write_str("{")?;
+                    let mut inner_first = true;
+                    for a in v {
+                        if !inner_first {
+                            f.write_str(",")?;
+                        }
+                        inner_first = false;
+                        write!(f, "{}", a.0)?;
+                    }
+                    f.write_str("}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for AsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{self}]")
+    }
+}
+
+impl FromStr for AsPath {
+    type Err = ParseError;
+
+    /// Parses `show ip bgp` style paths: whitespace-separated ASNs with
+    /// `{a,b,c}` AS_SETs, e.g. `701 1239 {7018,3549}`. An empty string is
+    /// the empty (locally-originated) path.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut segments: Vec<PathSegment> = Vec::new();
+        let mut current_seq: Vec<Asn> = Vec::new();
+        let mut rest = s.trim();
+        while !rest.is_empty() {
+            if let Some(after) = rest.strip_prefix('{') {
+                let (set_body, tail) = after
+                    .split_once('}')
+                    .ok_or_else(|| ParseError::invalid_path(s))?;
+                if !current_seq.is_empty() {
+                    segments.push(PathSegment::Seq(std::mem::take(&mut current_seq)));
+                }
+                let mut set: Vec<Asn> = Vec::new();
+                for part in set_body.split(',') {
+                    let part = part.trim();
+                    if part.is_empty() {
+                        return Err(ParseError::invalid_path(s));
+                    }
+                    set.push(part.parse()?);
+                }
+                if set.is_empty() {
+                    return Err(ParseError::invalid_path(s));
+                }
+                segments.push(PathSegment::Set(set));
+                rest = tail.trim_start();
+            } else {
+                let end = rest
+                    .find(|c: char| c.is_whitespace() || c == '{')
+                    .unwrap_or(rest.len());
+                if end == 0 {
+                    return Err(ParseError::invalid_path(s));
+                }
+                let (tok, tail) = rest.split_at(end);
+                current_seq.push(tok.parse()?);
+                rest = tail.trim_start();
+            }
+        }
+        if !current_seq.is_empty() {
+            segments.push(PathSegment::Seq(current_seq));
+        }
+        Ok(AsPath { segments })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(s: &str) -> AsPath {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_display_roundtrip() {
+        for s in [
+            "8220 12878 5606 15471",
+            "701",
+            "701 1239 {7018,3549}",
+            "{1,2} 3",
+            "",
+        ] {
+            assert_eq!(path(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn endpoints_and_length() {
+        let p = path("8220 12878 5606 15471");
+        assert_eq!(p.next_hop_as(), Some(Asn(8220)));
+        assert_eq!(p.origin_as(), Some(Asn(15471)));
+        assert_eq!(p.hop_len(), 4);
+        assert!(!p.is_empty());
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn empty_path_is_local() {
+        let p = AsPath::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.hop_len(), 0);
+        assert_eq!(p.next_hop_as(), None);
+        assert_eq!(p.origin_as(), None);
+        assert!(p.is_simple());
+    }
+
+    #[test]
+    fn as_set_counts_one_hop_and_hides_origin() {
+        let p = path("701 {7018,3549}");
+        assert_eq!(p.hop_len(), 2);
+        assert_eq!(p.origin_as(), None);
+        assert_eq!(p.next_hop_as(), Some(Asn(701)));
+        assert!(!p.is_simple());
+    }
+
+    #[test]
+    fn loop_check() {
+        let p = path("701 1239 7018");
+        assert!(p.contains(Asn(1239)));
+        assert!(!p.contains(Asn(1)));
+        assert!(path("701 {7018,3549}").contains(Asn(3549)));
+    }
+
+    #[test]
+    fn prepend_builds_on_the_left() {
+        let p = path("1239 7018");
+        let q = p.prepend(Asn(701));
+        assert_eq!(q.to_string(), "701 1239 7018");
+        // Prepending onto a set-headed path adds a fresh sequence segment.
+        let r = path("{1,2}").prepend(Asn(9));
+        assert_eq!(r.to_string(), "9 {1,2}");
+        // Traffic-engineering triple prepend.
+        let s = AsPath::empty().prepend_n(Asn(5), 3);
+        assert_eq!(s.to_string(), "5 5 5");
+        assert!(!s.is_simple());
+    }
+
+    #[test]
+    fn adjacent_pairs_skip_sets() {
+        let p = path("1 2 {3,4} 5 6");
+        let pairs: Vec<_> = p.adjacent_pairs().collect();
+        assert_eq!(pairs, vec![(Asn(1), Asn(2)), (Asn(5), Asn(6))]);
+    }
+
+    #[test]
+    fn dedup_prepends_removes_runs() {
+        let p = path("5 5 5 9 7 7");
+        assert_eq!(p.dedup_prepends().to_string(), "5 9 7");
+        // Non-consecutive repeats (a poisoned path) are preserved.
+        let q = path("5 9 5");
+        assert_eq!(q.dedup_prepends().to_string(), "5 9 5");
+        assert!(!q.is_simple()); // repeated AS ⇒ not simple
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in ["701 {", "701 }", "{}", "{1,,2}", "701 abc", "{1 2}"] {
+            assert!(s.parse::<AsPath>().is_err(), "{s:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn from_seq_and_asns_iterator() {
+        let p = AsPath::from_seq([Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(p.asns().collect::<Vec<_>>(), vec![Asn(1), Asn(2), Asn(3)]);
+        assert_eq!(AsPath::from_seq([]), AsPath::empty());
+    }
+}

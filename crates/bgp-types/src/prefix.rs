@@ -1,0 +1,391 @@
+//! IPv4 CIDR prefixes and the aggregation / splitting algebra the paper's
+//! cause analysis (§5.1.5, Table 9) depends on.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::error::ParseError;
+
+/// An IPv4 CIDR prefix in canonical form (all host bits zero).
+///
+/// Ordering is lexicographic on `(network bits, length)`, which sorts
+/// supernets immediately before their first subnet — the order `show ip bgp`
+/// and MRT RIB dumps use.
+///
+/// ```
+/// use bgp_types::Ipv4Prefix;
+/// let p: Ipv4Prefix = "12.0.0.0/19".parse().unwrap();
+/// let q: Ipv4Prefix = "12.0.16.0/24".parse().unwrap();
+/// assert!(p.covers(q));
+/// assert_eq!(p.to_string(), "12.0.0.0/19");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ipv4Prefix {
+    bits: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// `0.0.0.0/0` — the default route.
+    pub const DEFAULT: Ipv4Prefix = Ipv4Prefix { bits: 0, len: 0 };
+
+    /// Creates a prefix, rejecting lengths above 32 and nonzero host bits.
+    ///
+    /// Use [`Ipv4Prefix::canonical`] to mask host bits instead of rejecting.
+    pub fn new(bits: u32, len: u8) -> Result<Self, ParseError> {
+        if len > 32 {
+            return Err(ParseError::invalid_prefix_len(&len.to_string()));
+        }
+        let canon = bits & mask(len);
+        if canon != bits {
+            return Err(ParseError::invalid_prefix(&format!(
+                "{}/{} has host bits set",
+                DottedQuad(bits),
+                len
+            )));
+        }
+        Ok(Ipv4Prefix { bits, len })
+    }
+
+    /// Creates a prefix, silently zeroing any host bits.
+    ///
+    /// # Panics
+    /// Panics if `len > 32` (a programming error, not a data error).
+    pub fn canonical(bits: u32, len: u8) -> Self {
+        assert!(len <= 32, "prefix length {len} > 32");
+        Ipv4Prefix {
+            bits: bits & mask(len),
+            len,
+        }
+    }
+
+    /// The network bits (host bits are always zero).
+    pub fn bits(self) -> u32 {
+        self.bits
+    }
+
+    /// The prefix length in `0..=32`.
+    pub fn len(self) -> u8 {
+        self.len
+    }
+
+    /// `true` only for the default route `0.0.0.0/0`.
+    pub fn is_default(self) -> bool {
+        self.len == 0
+    }
+
+    /// The netmask as a `u32` (`/19` → `0xFFFF_E000`).
+    pub fn netmask(self) -> u32 {
+        mask(self.len)
+    }
+
+    /// First address covered by the prefix (the network address).
+    pub fn first_addr(self) -> u32 {
+        self.bits
+    }
+
+    /// Last address covered by the prefix (the broadcast address for /≤31).
+    pub fn last_addr(self) -> u32 {
+        self.bits | !mask(self.len)
+    }
+
+    /// Number of addresses covered (saturates at `u32::MAX` for `/0`).
+    pub fn addr_count(self) -> u64 {
+        1u64 << (32 - self.len as u64)
+    }
+
+    /// Does `self` cover `other`? True when `other` is equal to or more
+    /// specific than `self` (`self` aggregates `other`).
+    pub fn covers(self, other: Ipv4Prefix) -> bool {
+        self.len <= other.len && (other.bits & mask(self.len)) == self.bits
+    }
+
+    /// Does `self` strictly cover `other` (cover and be shorter)?
+    pub fn covers_strictly(self, other: Ipv4Prefix) -> bool {
+        self.len < other.len && self.covers(other)
+    }
+
+    /// Does the prefix contain the single address `addr`?
+    pub fn contains_addr(self, addr: u32) -> bool {
+        (addr & mask(self.len)) == self.bits
+    }
+
+    /// The immediate supernet (one bit shorter), or `None` for `/0`.
+    pub fn supernet(self) -> Option<Ipv4Prefix> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Ipv4Prefix::canonical(self.bits, self.len - 1))
+        }
+    }
+
+    /// Splits into the two immediate subnets, or `None` for `/32`.
+    ///
+    /// This is the paper's *prefix splitting* primitive: `12.0.0.0/19`
+    /// splits into `12.0.0.0/20` and `12.0.16.0/20`.
+    pub fn split(self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len == 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let lo = Ipv4Prefix { bits: self.bits, len };
+        let hi = Ipv4Prefix {
+            bits: self.bits | (1u32 << (32 - len)),
+            len,
+        };
+        Some((lo, hi))
+    }
+
+    /// All subnets of `self` at length `new_len` (empty iterator if
+    /// `new_len < self.len`; at most 2^16 subnets are yielded to bound cost).
+    pub fn subnets(self, new_len: u8) -> impl Iterator<Item = Ipv4Prefix> {
+        let valid = new_len >= self.len && new_len <= 32 && (new_len - self.len) <= 16;
+        let count: u32 = if valid { 1u32 << (new_len - self.len) } else { 0 };
+        let base = self.bits;
+        (0..count).map(move |i| Ipv4Prefix {
+            bits: base | (i << (32 - new_len as u32)),
+            len: new_len,
+        })
+    }
+
+    /// The sibling prefix sharing `self`'s immediate supernet, or `None`
+    /// for `/0`.
+    pub fn sibling(self) -> Option<Ipv4Prefix> {
+        if self.len == 0 {
+            return None;
+        }
+        Some(Ipv4Prefix {
+            bits: self.bits ^ (1u32 << (32 - self.len as u32)),
+            len: self.len,
+        })
+    }
+
+    /// Aggregates two sibling prefixes into their common supernet
+    /// (the paper's *prefix aggregating* primitive), or `None` if the two
+    /// prefixes are not siblings.
+    pub fn aggregate_with(self, other: Ipv4Prefix) -> Option<Ipv4Prefix> {
+        if self.sibling() == Some(other) {
+            self.supernet()
+        } else {
+            None
+        }
+    }
+}
+
+/// Netmask for a prefix length; `mask(0) == 0`.
+fn mask(len: u8) -> u32 {
+    debug_assert!(len <= 32);
+    if len == 0 {
+        0
+    } else {
+        u32::MAX << (32 - len as u32)
+    }
+}
+
+impl PartialOrd for Ipv4Prefix {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ipv4Prefix {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.bits
+            .cmp(&other.bits)
+            .then_with(|| self.len.cmp(&other.len))
+    }
+}
+
+struct DottedQuad(u32);
+
+impl fmt::Display for DottedQuad {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(f, "{}.{}.{}.{}", b[0], b[1], b[2], b[3])
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", DottedQuad(self.bits), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+/// Parses a bare dotted-quad IPv4 address into a `u32`.
+pub fn parse_addr(s: &str) -> Result<u32, ParseError> {
+    let mut octets = [0u8; 4];
+    let mut parts = s.trim().split('.');
+    for slot in octets.iter_mut() {
+        let part = parts.next().ok_or_else(|| ParseError::invalid_addr(s))?;
+        if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseError::invalid_addr(s));
+        }
+        *slot = part.parse::<u8>().map_err(|_| ParseError::invalid_addr(s))?;
+    }
+    if parts.next().is_some() {
+        return Err(ParseError::invalid_addr(s));
+    }
+    Ok(u32::from_be_bytes(octets))
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = ParseError;
+
+    /// Parses `a.b.c.d/len`. A bare address is treated as a host route
+    /// (`/32`), matching router CLI behaviour.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let t = s.trim();
+        let (addr_part, len) = match t.split_once('/') {
+            Some((a, l)) => {
+                let len = l
+                    .parse::<u8>()
+                    .map_err(|_| ParseError::invalid_prefix_len(l))?;
+                (a, len)
+            }
+            None => (t, 32),
+        };
+        let bits = parse_addr(addr_part)?;
+        if len > 32 {
+            return Err(ParseError::invalid_prefix_len(t));
+        }
+        // Router CLIs reject host bits in route filters; we do the same so a
+        // typo like 12.0.0.1/19 is caught rather than silently reinterpreted.
+        Ipv4Prefix::new(bits, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for s in ["0.0.0.0/0", "12.0.0.0/19", "192.168.69.0/24", "10.0.0.1/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+
+    #[test]
+    fn bare_address_is_host_route() {
+        assert_eq!(p("80.96.180.7"), p("80.96.180.7/32"));
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for s in [
+            "12.0.0.0/33",
+            "12.0.0/19",
+            "12.0.0.0.0/19",
+            "256.0.0.0/8",
+            "12.0.0.1/19", // host bits set
+            "a.b.c.d/8",
+            "",
+            "12.0.0.0/",
+            "12.00a.0.0/8",
+        ] {
+            assert!(s.parse::<Ipv4Prefix>().is_err(), "{s} should not parse");
+        }
+    }
+
+    #[test]
+    fn canonical_masks_host_bits() {
+        let q = Ipv4Prefix::canonical(0x0C00_0001, 19);
+        assert_eq!(q, p("12.0.0.0/19"));
+    }
+
+    #[test]
+    fn covers_is_a_partial_order() {
+        let a = p("12.0.0.0/8");
+        let b = p("12.0.0.0/19");
+        let c = p("12.0.16.0/24");
+        assert!(a.covers(b) && b.covers(c) && a.covers(c));
+        assert!(!c.covers(b) && !b.covers(a));
+        assert!(a.covers(a));
+        assert!(a.covers_strictly(b) && !a.covers_strictly(a));
+        assert!(Ipv4Prefix::DEFAULT.covers(a));
+    }
+
+    #[test]
+    fn disjoint_prefixes_do_not_cover() {
+        assert!(!p("12.0.0.0/19").covers(p("12.0.32.0/19")));
+        assert!(!p("12.0.32.0/19").covers(p("12.0.0.0/19")));
+    }
+
+    #[test]
+    fn split_and_aggregate_are_inverse() {
+        let a = p("12.0.0.0/19");
+        let (lo, hi) = a.split().unwrap();
+        assert_eq!(lo, p("12.0.0.0/20"));
+        assert_eq!(hi, p("12.0.16.0/20"));
+        assert_eq!(lo.aggregate_with(hi).unwrap(), a);
+        assert_eq!(hi.aggregate_with(lo).unwrap(), a);
+        assert_eq!(lo.sibling(), Some(hi));
+        assert_eq!(hi.sibling(), Some(lo));
+    }
+
+    #[test]
+    fn aggregate_requires_siblinghood() {
+        assert!(p("12.0.0.0/20").aggregate_with(p("12.0.32.0/20")).is_none());
+        assert!(p("12.0.0.0/20").aggregate_with(p("12.0.16.0/21")).is_none());
+    }
+
+    #[test]
+    fn host_route_does_not_split_and_default_has_no_supernet() {
+        assert!(p("1.2.3.4/32").split().is_none());
+        assert!(Ipv4Prefix::DEFAULT.supernet().is_none());
+        assert!(Ipv4Prefix::DEFAULT.sibling().is_none());
+    }
+
+    #[test]
+    fn address_range() {
+        let a = p("192.168.69.0/24");
+        assert_eq!(a.first_addr(), parse_addr("192.168.69.0").unwrap());
+        assert_eq!(a.last_addr(), parse_addr("192.168.69.255").unwrap());
+        assert_eq!(a.addr_count(), 256);
+        assert!(a.contains_addr(parse_addr("192.168.69.42").unwrap()));
+        assert!(!a.contains_addr(parse_addr("192.168.70.1").unwrap()));
+        assert_eq!(a.netmask(), 0xFFFF_FF00);
+    }
+
+    #[test]
+    fn subnets_enumeration() {
+        let a = p("12.0.0.0/22");
+        let subs: Vec<_> = a.subnets(24).collect();
+        assert_eq!(
+            subs,
+            vec![
+                p("12.0.0.0/24"),
+                p("12.0.1.0/24"),
+                p("12.0.2.0/24"),
+                p("12.0.3.0/24")
+            ]
+        );
+        // Same-length "subnetting" yields the prefix itself.
+        assert_eq!(a.subnets(22).collect::<Vec<_>>(), vec![a]);
+        // Shorter target yields nothing.
+        assert_eq!(a.subnets(8).count(), 0);
+        // Oversized expansion is refused rather than exploding.
+        assert_eq!(p("0.0.0.0/0").subnets(32).count(), 0);
+    }
+
+    #[test]
+    fn ordering_sorts_supernet_first() {
+        let mut v = vec![p("12.0.16.0/20"), p("12.0.0.0/19"), p("12.0.0.0/20")];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![p("12.0.0.0/19"), p("12.0.0.0/20"), p("12.0.16.0/20")]
+        );
+    }
+}

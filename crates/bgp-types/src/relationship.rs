@@ -1,0 +1,122 @@
+//! AS business relationships (§2.1 of the paper).
+
+use std::fmt;
+
+/// The relationship of a *neighbor* to a given AS, from that AS's point of
+/// view: "my neighbor is my …".
+///
+/// The paper's route taxonomy (§2.2.1) follows directly: a route learned
+/// from a [`Relationship::Customer`] neighbor is a *customer route*, etc.
+///
+/// `Sibling` (mutual-transit, same organization) is not analyzed by the
+/// paper but is produced by Gao's inference algorithm, so it is part of the
+/// shared vocabulary; analyses that follow the paper treat sibling links as
+/// customer links in both directions (full transit).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Relationship {
+    /// The neighbor sells me transit (I am its customer).
+    Provider,
+    /// The neighbor buys transit from me (I am its provider).
+    Customer,
+    /// Settlement-free peering.
+    Peer,
+    /// Mutual transit, typically two ASes of one organization.
+    Sibling,
+}
+
+impl Relationship {
+    /// The same edge seen from the other endpoint.
+    pub fn inverse(self) -> Relationship {
+        match self {
+            Relationship::Provider => Relationship::Customer,
+            Relationship::Customer => Relationship::Provider,
+            Relationship::Peer => Relationship::Peer,
+            Relationship::Sibling => Relationship::Sibling,
+        }
+    }
+
+    /// Does the standard export rule (§2.2.2) allow announcing a route
+    /// learned from a neighbor of kind `self` to a neighbor of kind `to`?
+    ///
+    /// * to a **provider** or **peer**: only own + customer (+ sibling) routes;
+    /// * to a **customer** or **sibling**: everything.
+    pub fn exportable_to(self, to: Relationship) -> bool {
+        match to {
+            Relationship::Customer | Relationship::Sibling => true,
+            Relationship::Provider | Relationship::Peer => {
+                matches!(self, Relationship::Customer | Relationship::Sibling)
+            }
+        }
+    }
+
+    /// The paper's *typical local preference* rank: customer routes are
+    /// preferred over peer routes, which are preferred over provider routes
+    /// (§4.1). Higher value = more preferred. Siblings rank with customers.
+    pub fn typical_pref_rank(self) -> u8 {
+        match self {
+            Relationship::Customer | Relationship::Sibling => 2,
+            Relationship::Peer => 1,
+            Relationship::Provider => 0,
+        }
+    }
+}
+
+impl fmt::Display for Relationship {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Relationship::Provider => "provider",
+            Relationship::Customer => "customer",
+            Relationship::Peer => "peer",
+            Relationship::Sibling => "sibling",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relationship::*;
+
+    #[test]
+    fn inverse_is_an_involution() {
+        for r in [Provider, Customer, Peer, Sibling] {
+            assert_eq!(r.inverse().inverse(), r);
+        }
+        assert_eq!(Provider.inverse(), Customer);
+        assert_eq!(Peer.inverse(), Peer);
+    }
+
+    #[test]
+    fn export_rules_match_section_2_2_2() {
+        // Exporting to provider: customer (and own/sibling) routes only.
+        assert!(Customer.exportable_to(Provider));
+        assert!(!Peer.exportable_to(Provider));
+        assert!(!Provider.exportable_to(Provider));
+        // Exporting to peer: same restriction.
+        assert!(Customer.exportable_to(Peer));
+        assert!(!Peer.exportable_to(Peer));
+        assert!(!Provider.exportable_to(Peer));
+        // Exporting to customer: everything.
+        for r in [Provider, Customer, Peer, Sibling] {
+            assert!(r.exportable_to(Customer));
+        }
+        // Siblings get everything and may be re-exported like customers.
+        for r in [Provider, Customer, Peer, Sibling] {
+            assert!(r.exportable_to(Sibling));
+        }
+        assert!(Sibling.exportable_to(Provider));
+    }
+
+    #[test]
+    fn typical_rank_orders_customer_peer_provider() {
+        assert!(Customer.typical_pref_rank() > Peer.typical_pref_rank());
+        assert!(Peer.typical_pref_rank() > Provider.typical_pref_rank());
+        assert_eq!(Sibling.typical_pref_rank(), Customer.typical_pref_rank());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Peer.to_string(), "peer");
+        assert_eq!(Provider.to_string(), "provider");
+    }
+}

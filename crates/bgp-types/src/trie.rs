@@ -1,0 +1,335 @@
+//! A binary prefix trie keyed by [`Ipv4Prefix`].
+//!
+//! Supports the three lookups the policy analyses need:
+//!
+//! * exact-match ([`PrefixTrie::get`]),
+//! * longest-prefix match for an address ([`PrefixTrie::longest_match`]),
+//! * covering / covered enumeration ([`PrefixTrie::covering`],
+//!   [`PrefixTrie::covered`]) — how Table 9's splitting/aggregating counts
+//!   find less- and more-specific companions of an SA prefix.
+
+use crate::prefix::Ipv4Prefix;
+
+#[derive(Debug, Clone)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Default for Node<T> {
+    fn default() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A map from IPv4 prefixes to values, organized as a binary trie.
+///
+/// ```
+/// use bgp_types::{Ipv4Prefix, PrefixTrie};
+/// let mut t = PrefixTrie::new();
+/// t.insert("12.0.0.0/19".parse().unwrap(), "aggregate");
+/// t.insert("12.0.16.0/24".parse().unwrap(), "specific");
+/// let covering: Vec<_> = t.covering("12.0.16.0/24".parse().unwrap()).collect();
+/// assert_eq!(covering.len(), 2); // itself + the /19
+/// ```
+#[derive(Debug, Clone)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bit `depth` (0-based from the MSB) of `bits`.
+fn bit_at(bits: u32, depth: u8) -> usize {
+    ((bits >> (31 - depth as u32)) & 1) as usize
+}
+
+impl<T> PrefixTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::default(),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            node = node.children[b].get_or_insert_with(Box::default);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let mut node = &self.root;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// Exact-match mutable lookup.
+    pub fn get_mut(&mut self, prefix: Ipv4Prefix) -> Option<&mut T> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            node = node.children[b].as_deref_mut()?;
+        }
+        node.value.as_mut()
+    }
+
+    /// Removes and returns the value at `prefix`. Empty interior nodes are
+    /// left in place (cheap, and fine for our workloads where removal is
+    /// rare compared to lookup).
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            node = node.children[b].as_deref_mut()?;
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match for a single address.
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Ipv4Prefix, &T)> = node
+            .value
+            .as_ref()
+            .map(|v| (Ipv4Prefix::DEFAULT, v));
+        for depth in 0..32u8 {
+            let b = bit_at(addr, depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((Ipv4Prefix::canonical(addr, depth + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// All stored prefixes that **cover** `prefix` (itself included),
+    /// shortest first — the candidates that could aggregate it.
+    pub fn covering(&self, prefix: Ipv4Prefix) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out: Vec<(Ipv4Prefix, &T)> = Vec::new();
+        let mut node = &self.root;
+        if let Some(v) = node.value.as_ref() {
+            out.push((Ipv4Prefix::DEFAULT, v));
+        }
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        out.push((Ipv4Prefix::canonical(prefix.bits(), depth + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        out.into_iter()
+    }
+
+    /// All stored prefixes **covered by** `prefix` (itself included), in
+    /// lexicographic order — the more-specifics that could have been split
+    /// out of it.
+    pub fn covered(&self, prefix: Ipv4Prefix) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out: Vec<(Ipv4Prefix, &T)> = Vec::new();
+        // Walk down to the subtree root for `prefix`.
+        let mut node = &self.root;
+        let mut found = true;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => node = child,
+                None => {
+                    found = false;
+                    break;
+                }
+            }
+        }
+        if found {
+            collect_subtree(node, prefix.bits(), prefix.len(), &mut out);
+        }
+        out.into_iter()
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out: Vec<(Ipv4Prefix, &T)> = Vec::with_capacity(self.len);
+        collect_subtree(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+}
+
+fn collect_subtree<'a, T>(
+    node: &'a Node<T>,
+    bits: u32,
+    depth: u8,
+    out: &mut Vec<(Ipv4Prefix, &'a T)>,
+) {
+    if let Some(v) = node.value.as_ref() {
+        out.push((Ipv4Prefix::canonical(bits, depth), v));
+    }
+    if depth == 32 {
+        return;
+    }
+    if let Some(child) = node.children[0].as_deref() {
+        collect_subtree(child, bits, depth + 1, out);
+    }
+    if let Some(child) = node.children[1].as_deref() {
+        collect_subtree(child, bits | (1u32 << (31 - depth as u32)), depth + 1, out);
+    }
+}
+
+impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = PrefixTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prefix::parse_addr;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample() -> PrefixTrie<&'static str> {
+        let mut t = PrefixTrie::new();
+        t.insert(p("12.0.0.0/8"), "eight");
+        t.insert(p("12.0.0.0/19"), "nineteen");
+        t.insert(p("12.0.16.0/24"), "deep");
+        t.insert(p("192.168.0.0/16"), "rfc1918");
+        t
+    }
+
+    #[test]
+    fn insert_get_remove() {
+        let mut t = sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(p("12.0.0.0/19")), Some(&"nineteen"));
+        assert_eq!(t.get(p("12.0.0.0/20")), None);
+        assert_eq!(t.insert(p("12.0.0.0/19"), "updated"), Some("nineteen"));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.remove(p("12.0.0.0/19")), Some("updated"));
+        assert_eq!(t.remove(p("12.0.0.0/19")), None);
+        assert_eq!(t.len(), 3);
+        *t.get_mut(p("12.0.0.0/8")).unwrap() = "mutated";
+        assert_eq!(t.get(p("12.0.0.0/8")), Some(&"mutated"));
+    }
+
+    #[test]
+    fn longest_match_prefers_most_specific() {
+        let t = sample();
+        let addr = parse_addr("12.0.16.7").unwrap();
+        assert_eq!(t.longest_match(addr).unwrap().0, p("12.0.16.0/24"));
+        let addr2 = parse_addr("12.0.32.1").unwrap();
+        assert_eq!(t.longest_match(addr2).unwrap().0, p("12.0.0.0/8"));
+        assert!(t.longest_match(parse_addr("8.8.8.8").unwrap()).is_none());
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = sample();
+        t.insert(Ipv4Prefix::DEFAULT, "default");
+        assert_eq!(
+            t.longest_match(parse_addr("8.8.8.8").unwrap()).unwrap().0,
+            Ipv4Prefix::DEFAULT
+        );
+    }
+
+    #[test]
+    fn covering_lists_ancestors_shortest_first() {
+        let t = sample();
+        let cov: Vec<_> = t.covering(p("12.0.16.0/24")).map(|(q, _)| q).collect();
+        assert_eq!(cov, vec![p("12.0.0.0/8"), p("12.0.0.0/19"), p("12.0.16.0/24")]);
+        // A prefix not in the trie still reports its stored ancestors.
+        let cov2: Vec<_> = t.covering(p("12.0.0.0/24")).map(|(q, _)| q).collect();
+        assert_eq!(cov2, vec![p("12.0.0.0/8"), p("12.0.0.0/19")]);
+    }
+
+    #[test]
+    fn covered_lists_descendants() {
+        let t = sample();
+        let cov: Vec<_> = t.covered(p("12.0.0.0/19")).map(|(q, _)| q).collect();
+        assert_eq!(cov, vec![p("12.0.0.0/19"), p("12.0.16.0/24")]);
+        let all: Vec<_> = t.covered(Ipv4Prefix::DEFAULT).map(|(q, _)| q).collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(t.covered(p("10.0.0.0/8")).count(), 0);
+    }
+
+    #[test]
+    fn iter_is_lexicographic() {
+        let t = sample();
+        let all: Vec<_> = t.iter().map(|(q, _)| q).collect();
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+        assert_eq!(all.len(), t.len());
+    }
+
+    #[test]
+    fn from_iterator() {
+        let t: PrefixTrie<u32> = [(p("1.0.0.0/8"), 1), (p("2.0.0.0/8"), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(p("2.0.0.0/8")), Some(&2));
+    }
+
+    #[test]
+    fn host_routes_at_max_depth() {
+        let mut t = PrefixTrie::new();
+        t.insert(p("1.2.3.4/32"), ());
+        t.insert(p("1.2.3.5/32"), ());
+        assert_eq!(t.len(), 2);
+        assert_eq!(
+            t.longest_match(parse_addr("1.2.3.4").unwrap()).unwrap().0,
+            p("1.2.3.4/32")
+        );
+        assert_eq!(t.covered(p("1.2.3.4/31")).count(), 2);
+    }
+}

@@ -1,0 +1,219 @@
+//! Property-based tests for the core data model.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, PrefixTrie};
+
+/// Arbitrary canonical prefix.
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::canonical(bits, len))
+}
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    // Bias toward small, realistic ASNs but include 4-byte ones.
+    prop_oneof![
+        3 => (1u32..70_000).prop_map(Asn),
+        1 => (70_000u32..=u32::MAX).prop_map(Asn),
+    ]
+}
+
+proptest! {
+    // ---------- Ipv4Prefix ----------
+
+    #[test]
+    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let q: Ipv4Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn prefix_canonical_is_idempotent(bits in any::<u32>(), len in 0u8..=32) {
+        let p = Ipv4Prefix::canonical(bits, len);
+        let q = Ipv4Prefix::canonical(p.bits(), p.len());
+        prop_assert_eq!(p, q);
+        // new() accepts exactly canonical forms.
+        prop_assert!(Ipv4Prefix::new(p.bits(), p.len()).is_ok());
+    }
+
+    #[test]
+    fn prefix_covers_is_reflexive_and_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert!(a.covers(a));
+        if a.covers(b) && b.covers(a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn prefix_covers_transitive(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+        if a.covers(b) && b.covers(c) {
+            prop_assert!(a.covers(c));
+        }
+    }
+
+    #[test]
+    fn prefix_split_children_are_covered_and_aggregate_back(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.covers_strictly(lo));
+            prop_assert!(p.covers_strictly(hi));
+            prop_assert!(!lo.covers(hi) && !hi.covers(lo));
+            prop_assert_eq!(lo.aggregate_with(hi), Some(p));
+            prop_assert_eq!(hi.aggregate_with(lo), Some(p));
+            prop_assert_eq!(lo.supernet(), Some(p));
+            prop_assert_eq!(hi.supernet(), Some(p));
+        }
+    }
+
+    #[test]
+    fn prefix_addr_range_consistent(p in arb_prefix()) {
+        prop_assert!(p.contains_addr(p.first_addr()));
+        prop_assert!(p.contains_addr(p.last_addr()));
+        prop_assert_eq!(
+            p.last_addr().wrapping_sub(p.first_addr()) as u64 + 1,
+            p.addr_count()
+        );
+    }
+
+    #[test]
+    fn prefix_garbage_never_panics(s in "\\PC{0,40}") {
+        let _ = s.parse::<Ipv4Prefix>();
+    }
+
+    // ---------- AsPath ----------
+
+    #[test]
+    fn path_display_parse_roundtrip(asns in prop::collection::vec(arb_asn(), 0..12)) {
+        let p = AsPath::from_seq(asns);
+        let s = p.to_string();
+        let q: AsPath = s.parse().unwrap();
+        prop_assert_eq!(p, q);
+    }
+
+    #[test]
+    fn path_prepend_extends_len_and_sets_next_hop(
+        asns in prop::collection::vec(arb_asn(), 0..8),
+        head in arb_asn()
+    ) {
+        let p = AsPath::from_seq(asns);
+        let q = p.prepend(head);
+        prop_assert_eq!(q.hop_len(), p.hop_len() + 1);
+        prop_assert_eq!(q.next_hop_as(), Some(head));
+        prop_assert!(q.contains(head));
+        if !p.is_empty() {
+            prop_assert_eq!(q.origin_as(), p.origin_as());
+        }
+    }
+
+    #[test]
+    fn path_dedup_removes_all_consecutive_runs(
+        asns in prop::collection::vec(arb_asn(), 0..8),
+        reps in prop::collection::vec(1usize..4, 0..8)
+    ) {
+        // Build a path with runs, dedup, and compare with the run-free one.
+        let mut expanded = Vec::new();
+        let mut base = Vec::new();
+        for (i, a) in asns.iter().enumerate() {
+            // Skip accidental adjacent duplicates in the base itself.
+            if base.last() == Some(a) { continue; }
+            base.push(*a);
+            let n = reps.get(i).copied().unwrap_or(1);
+            for _ in 0..n { expanded.push(*a); }
+        }
+        let p = AsPath::from_seq(expanded).dedup_prepends();
+        prop_assert_eq!(p, AsPath::from_seq(base));
+    }
+
+    #[test]
+    fn path_garbage_never_panics(s in "\\PC{0,40}") {
+        let _ = s.parse::<AsPath>();
+    }
+
+    // ---------- Community ----------
+
+    #[test]
+    fn community_u32_roundtrip(v in any::<u32>()) {
+        prop_assert_eq!(Community::from_u32(v).as_u32(), v);
+    }
+
+    #[test]
+    fn community_display_parse_roundtrip(h in any::<u16>(), l in any::<u16>()) {
+        let c = Community::new(h, l);
+        let s = c.to_string();
+        prop_assert_eq!(s.parse::<Community>().unwrap(), c);
+    }
+
+    // ---------- PrefixTrie vs BTreeMap oracle ----------
+
+    #[test]
+    fn trie_matches_btreemap_oracle(
+        entries in prop::collection::vec((arb_prefix(), any::<u16>()), 0..64),
+        probes in prop::collection::vec(arb_prefix(), 0..16),
+        addrs in prop::collection::vec(any::<u32>(), 0..16),
+    ) {
+        let mut oracle: BTreeMap<Ipv4Prefix, u16> = BTreeMap::new();
+        let mut trie: PrefixTrie<u16> = PrefixTrie::new();
+        for (p, v) in &entries {
+            oracle.insert(*p, *v);
+            trie.insert(*p, *v);
+        }
+        prop_assert_eq!(trie.len(), oracle.len());
+
+        // Exact match agrees.
+        for probe in &probes {
+            prop_assert_eq!(trie.get(*probe), oracle.get(probe));
+        }
+
+        // Longest match agrees with a linear scan.
+        for addr in &addrs {
+            let expect = oracle
+                .iter()
+                .filter(|(p, _)| p.contains_addr(*addr))
+                .max_by_key(|(p, _)| p.len())
+                .map(|(p, v)| (*p, v));
+            prop_assert_eq!(trie.longest_match(*addr), expect);
+        }
+
+        // Covering/covered agree with linear scans.
+        for probe in &probes {
+            let mut expect_cov: Vec<Ipv4Prefix> = oracle
+                .keys()
+                .filter(|p| p.covers(*probe))
+                .copied()
+                .collect();
+            expect_cov.sort_by_key(|p| p.len());
+            let got_cov: Vec<Ipv4Prefix> = trie.covering(*probe).map(|(p, _)| p).collect();
+            prop_assert_eq!(got_cov, expect_cov);
+
+            let expect_sub: Vec<Ipv4Prefix> = oracle
+                .keys()
+                .filter(|p| probe.covers(**p))
+                .copied()
+                .collect();
+            let got_sub: Vec<Ipv4Prefix> = trie.covered(*probe).map(|(p, _)| p).collect();
+            prop_assert_eq!(got_sub, expect_sub);
+        }
+
+        // Full iteration agrees (BTreeMap order == trie lexicographic order).
+        let got: Vec<(Ipv4Prefix, u16)> = trie.iter().map(|(p, v)| (p, *v)).collect();
+        let expect: Vec<(Ipv4Prefix, u16)> = oracle.iter().map(|(p, v)| (*p, *v)).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn trie_remove_restores_oracle(
+        entries in prop::collection::vec((arb_prefix(), any::<u16>()), 1..32),
+        remove_idx in any::<prop::sample::Index>(),
+    ) {
+        let mut oracle: BTreeMap<Ipv4Prefix, u16> = BTreeMap::new();
+        let mut trie: PrefixTrie<u16> = PrefixTrie::new();
+        for (p, v) in &entries {
+            oracle.insert(*p, *v);
+            trie.insert(*p, *v);
+        }
+        let victim = entries[remove_idx.index(entries.len())].0;
+        prop_assert_eq!(trie.remove(victim), oracle.remove(&victim));
+        prop_assert_eq!(trie.len(), oracle.len());
+        prop_assert_eq!(trie.get(victim), oracle.get(&victim));
+    }
+}

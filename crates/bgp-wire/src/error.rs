@@ -1,0 +1,86 @@
+//! Decode errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when decoding BGP or MRT bytes fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// Input ended before a complete structure was read. Carries what was
+    /// being read and how many bytes were still needed.
+    Truncated {
+        /// Structure being decoded.
+        what: &'static str,
+        /// Bytes still required.
+        needed: usize,
+    },
+    /// The 16-byte BGP marker was not all-ones.
+    BadMarker,
+    /// A declared length field is impossible (too small / past the end).
+    BadLength {
+        /// Structure being decoded.
+        what: &'static str,
+        /// The offending declared length.
+        got: usize,
+    },
+    /// Unknown or unsupported message / record / attribute type.
+    Unsupported {
+        /// Structure being decoded.
+        what: &'static str,
+        /// The offending type code.
+        code: u32,
+    },
+    /// A field held an invalid value (e.g. ORIGIN=7, prefix length 37).
+    BadValue {
+        /// Field being decoded.
+        what: &'static str,
+        /// The offending value.
+        got: u32,
+    },
+    /// A well-known mandatory attribute is missing from an UPDATE with NLRI.
+    MissingAttr(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { what, needed } => {
+                write!(f, "truncated {what}: {needed} more byte(s) needed")
+            }
+            WireError::BadMarker => write!(f, "BGP header marker is not all-ones"),
+            WireError::BadLength { what, got } => {
+                write!(f, "impossible length {got} while decoding {what}")
+            }
+            WireError::Unsupported { what, code } => {
+                write!(f, "unsupported {what} type {code}")
+            }
+            WireError::BadValue { what, got } => {
+                write!(f, "invalid value {got} for {what}")
+            }
+            WireError::MissingAttr(a) => write!(f, "mandatory attribute {a} missing"),
+        }
+    }
+}
+
+impl Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_context() {
+        let e = WireError::Truncated {
+            what: "UPDATE",
+            needed: 4,
+        };
+        assert!(e.to_string().contains("UPDATE"));
+        assert!(e.to_string().contains('4'));
+        let e = WireError::Unsupported {
+            what: "MRT record",
+            code: 99,
+        };
+        assert!(e.to_string().contains("99"));
+    }
+}

@@ -1,0 +1,823 @@
+//! BGP-4 message encoding and decoding (RFC 4271 subset).
+//!
+//! Scope: everything the reproduction's pipeline needs — OPEN with the
+//! 4-octet-AS capability, UPDATE with the attributes of §2.2.1 of the paper
+//! (ORIGIN, AS_PATH, NEXT_HOP, MED, LOCAL_PREF, ATOMIC_AGGREGATE,
+//! AGGREGATOR, COMMUNITIES), KEEPALIVE and NOTIFICATION. AS paths are
+//! encoded natively with 4-byte AS numbers (an "AS4-speaker" session).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, Origin, PathSegment};
+
+use crate::error::WireError;
+
+/// BGP message type codes.
+const TYPE_OPEN: u8 = 1;
+const TYPE_UPDATE: u8 = 2;
+const TYPE_NOTIFICATION: u8 = 3;
+const TYPE_KEEPALIVE: u8 = 4;
+
+/// Path-attribute type codes.
+const ATTR_ORIGIN: u8 = 1;
+const ATTR_AS_PATH: u8 = 2;
+const ATTR_NEXT_HOP: u8 = 3;
+const ATTR_MED: u8 = 4;
+const ATTR_LOCAL_PREF: u8 = 5;
+const ATTR_ATOMIC_AGGREGATE: u8 = 6;
+const ATTR_AGGREGATOR: u8 = 7;
+const ATTR_COMMUNITIES: u8 = 8;
+
+/// Attribute flag bits.
+const FLAG_OPTIONAL: u8 = 0x80;
+const FLAG_TRANSITIVE: u8 = 0x40;
+const FLAG_EXTENDED: u8 = 0x10;
+
+/// Maximum BGP message size (RFC 4271).
+pub const MAX_MESSAGE: usize = 4096;
+
+/// A decoded BGP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Message {
+    /// OPEN.
+    Open(OpenMessage),
+    /// UPDATE.
+    Update(UpdateMessage),
+    /// KEEPALIVE (no body).
+    Keepalive,
+    /// NOTIFICATION.
+    Notification(NotificationMessage),
+}
+
+/// An OPEN message (RFC 4271 §4.2) with the 4-octet-AS capability
+/// (RFC 6793) always advertised.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpenMessage {
+    /// The speaker's AS. Encoded in the 2-byte My-AS field when it fits,
+    /// otherwise AS_TRANS goes there and the real ASN rides the capability.
+    pub asn: Asn,
+    /// Proposed hold time, seconds.
+    pub hold_time: u16,
+    /// BGP identifier (router ID).
+    pub bgp_id: u32,
+}
+
+/// A NOTIFICATION message (RFC 4271 §4.5).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NotificationMessage {
+    /// Major error code.
+    pub code: u8,
+    /// Subcode.
+    pub subcode: u8,
+    /// Diagnostic data.
+    pub data: Vec<u8>,
+}
+
+/// The path attributes an UPDATE can carry in this subset.
+///
+/// Mirrors [`bgp_types::RouteAttrs`] but in wire-level terms: NEXT_HOP is an
+/// IPv4 address here, and LOCAL_PREF is optional because it only appears on
+/// iBGP (or Looking-Glass-exported) sessions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WireAttrs {
+    /// ORIGIN.
+    pub origin: Origin,
+    /// AS_PATH (speaker-first, like [`AsPath`]).
+    pub as_path: AsPath,
+    /// NEXT_HOP IPv4 address.
+    pub next_hop: u32,
+    /// MULTI_EXIT_DISC.
+    pub med: Option<u32>,
+    /// LOCAL_PREF.
+    pub local_pref: Option<u32>,
+    /// ATOMIC_AGGREGATE presence.
+    pub atomic_aggregate: bool,
+    /// AGGREGATOR (ASN, router ID).
+    pub aggregator: Option<(Asn, u32)>,
+    /// COMMUNITIES.
+    pub communities: Vec<Community>,
+}
+
+/// An UPDATE message (RFC 4271 §4.3).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct UpdateMessage {
+    /// Withdrawn prefixes.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Path attributes (present when `nlri` is non-empty).
+    pub attrs: Option<WireAttrs>,
+    /// Announced prefixes sharing `attrs`.
+    pub nlri: Vec<Ipv4Prefix>,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_header(out: &mut BytesMut, msg_type: u8, body_len: usize) {
+    out.extend_from_slice(&[0xFF; 16]);
+    out.put_u16((19 + body_len) as u16);
+    out.put_u8(msg_type);
+}
+
+fn put_prefix(out: &mut BytesMut, p: Ipv4Prefix) {
+    out.put_u8(p.len());
+    let nbytes = (p.len() as usize).div_ceil(8);
+    let be = p.bits().to_be_bytes();
+    out.extend_from_slice(&be[..nbytes]);
+}
+
+fn put_attr_header(out: &mut BytesMut, flags: u8, code: u8, len: usize) {
+    if len > 255 {
+        out.put_u8(flags | FLAG_EXTENDED);
+        out.put_u8(code);
+        out.put_u16(len as u16);
+    } else {
+        out.put_u8(flags);
+        out.put_u8(code);
+        out.put_u8(len as u8);
+    }
+}
+
+fn encode_as_path(path: &AsPath) -> Vec<u8> {
+    let mut v = Vec::new();
+    for seg in path.segments() {
+        let (code, asns): (u8, &[Asn]) = match seg {
+            PathSegment::Set(a) => (1, a),
+            PathSegment::Seq(a) => (2, a),
+        };
+        // RFC limits a segment to 255 ASes; split longer ones.
+        for chunk in asns.chunks(255) {
+            v.push(code);
+            v.push(chunk.len() as u8);
+            for a in chunk {
+                v.extend_from_slice(&a.0.to_be_bytes());
+            }
+        }
+    }
+    v
+}
+
+fn encode_attrs(attrs: &WireAttrs) -> BytesMut {
+    let mut out = BytesMut::new();
+
+    put_attr_header(&mut out, FLAG_TRANSITIVE, ATTR_ORIGIN, 1);
+    out.put_u8(match attrs.origin {
+        Origin::Igp => 0,
+        Origin::Egp => 1,
+        Origin::Incomplete => 2,
+    });
+
+    let path_bytes = encode_as_path(&attrs.as_path);
+    put_attr_header(&mut out, FLAG_TRANSITIVE, ATTR_AS_PATH, path_bytes.len());
+    out.extend_from_slice(&path_bytes);
+
+    put_attr_header(&mut out, FLAG_TRANSITIVE, ATTR_NEXT_HOP, 4);
+    out.put_u32(attrs.next_hop);
+
+    if let Some(med) = attrs.med {
+        put_attr_header(&mut out, FLAG_OPTIONAL, ATTR_MED, 4);
+        out.put_u32(med);
+    }
+    if let Some(lp) = attrs.local_pref {
+        put_attr_header(&mut out, FLAG_TRANSITIVE, ATTR_LOCAL_PREF, 4);
+        out.put_u32(lp);
+    }
+    if attrs.atomic_aggregate {
+        put_attr_header(&mut out, FLAG_TRANSITIVE, ATTR_ATOMIC_AGGREGATE, 0);
+    }
+    if let Some((asn, id)) = attrs.aggregator {
+        put_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_AGGREGATOR,
+            8,
+        );
+        out.put_u32(asn.0);
+        out.put_u32(id);
+    }
+    if !attrs.communities.is_empty() {
+        put_attr_header(
+            &mut out,
+            FLAG_OPTIONAL | FLAG_TRANSITIVE,
+            ATTR_COMMUNITIES,
+            4 * attrs.communities.len(),
+        );
+        for c in &attrs.communities {
+            out.put_u32(c.as_u32());
+        }
+    }
+    out
+}
+
+/// Encodes the attribute block of an UPDATE (shared with MRT RIB entries,
+/// which embed the identical encoding).
+pub fn encode_path_attributes(attrs: &WireAttrs) -> Bytes {
+    encode_attrs(attrs).freeze()
+}
+
+impl Message {
+    /// Serializes the message, header included.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            Message::Open(o) => {
+                // Body: version, my-as(2), hold, id, optlen, capability param.
+                // Capability: param type 2, param len 6, cap code 65, cap len 4, ASN.
+                let body_len = 10 + 8;
+                put_header(&mut out, TYPE_OPEN, body_len);
+                out.put_u8(4);
+                let my_as2: u16 = if o.asn.is_two_byte() {
+                    o.asn.0 as u16
+                } else {
+                    Asn::TRANS.0 as u16
+                };
+                out.put_u16(my_as2);
+                out.put_u16(o.hold_time);
+                out.put_u32(o.bgp_id);
+                out.put_u8(8); // optional parameters length
+                out.put_u8(2); // param type: capabilities
+                out.put_u8(6); // param length
+                out.put_u8(65); // capability: 4-octet AS
+                out.put_u8(4);
+                out.put_u32(o.asn.0);
+            }
+            Message::Update(u) => {
+                let mut body = BytesMut::new();
+                let mut withdrawn = BytesMut::new();
+                for p in &u.withdrawn {
+                    put_prefix(&mut withdrawn, *p);
+                }
+                body.put_u16(withdrawn.len() as u16);
+                body.extend_from_slice(&withdrawn);
+                let attr_bytes = match &u.attrs {
+                    Some(a) => encode_attrs(a),
+                    None => BytesMut::new(),
+                };
+                body.put_u16(attr_bytes.len() as u16);
+                body.extend_from_slice(&attr_bytes);
+                for p in &u.nlri {
+                    put_prefix(&mut body, *p);
+                }
+                put_header(&mut out, TYPE_UPDATE, body.len());
+                out.extend_from_slice(&body);
+            }
+            Message::Keepalive => put_header(&mut out, TYPE_KEEPALIVE, 0),
+            Message::Notification(n) => {
+                put_header(&mut out, TYPE_NOTIFICATION, 2 + n.data.len());
+                out.put_u8(n.code);
+                out.put_u8(n.subcode);
+                out.extend_from_slice(&n.data);
+            }
+        }
+        out.freeze()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+fn need(buf: &impl Buf, n: usize, what: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        Err(WireError::Truncated {
+            what,
+            needed: n - buf.remaining(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+fn get_prefix(buf: &mut impl Buf, what: &'static str) -> Result<Ipv4Prefix, WireError> {
+    need(buf, 1, what)?;
+    let len = buf.get_u8();
+    if len > 32 {
+        return Err(WireError::BadValue {
+            what: "prefix length",
+            got: len as u32,
+        });
+    }
+    let nbytes = (len as usize).div_ceil(8);
+    need(buf, nbytes, what)?;
+    let mut be = [0u8; 4];
+    for slot in be.iter_mut().take(nbytes) {
+        *slot = buf.get_u8();
+    }
+    // Canonicalize: trailing bits beyond `len` in the last byte are ignored
+    // per RFC 4271 ("irrelevant bits").
+    Ok(Ipv4Prefix::canonical(u32::from_be_bytes(be), len))
+}
+
+fn decode_as_path(mut body: Bytes) -> Result<AsPath, WireError> {
+    let mut segments = Vec::new();
+    while body.has_remaining() {
+        need(&body, 2, "AS_PATH segment header")?;
+        let seg_type = body.get_u8();
+        let count = body.get_u8() as usize;
+        need(&body, count * 4, "AS_PATH segment body")?;
+        let mut asns = Vec::with_capacity(count);
+        for _ in 0..count {
+            asns.push(Asn(body.get_u32()));
+        }
+        match seg_type {
+            1 => segments.push(PathSegment::Set(asns)),
+            2 => segments.push(PathSegment::Seq(asns)),
+            other => {
+                return Err(WireError::Unsupported {
+                    what: "AS_PATH segment",
+                    code: other as u32,
+                })
+            }
+        }
+    }
+    // Merge adjacent SEQ segments produced by the 255-AS chunking.
+    let mut merged: Vec<PathSegment> = Vec::with_capacity(segments.len());
+    for seg in segments {
+        match (merged.last_mut(), seg) {
+            (Some(PathSegment::Seq(prev)), PathSegment::Seq(cur)) => prev.extend(cur),
+            (_, seg) => merged.push(seg),
+        }
+    }
+    Ok(AsPath::from_segments(merged))
+}
+
+/// Decodes a raw path-attribute block (as found in UPDATEs and MRT RIB
+/// entries) into [`WireAttrs`]. Unknown optional attributes are skipped;
+/// unknown well-known attributes are an error.
+pub fn decode_path_attributes(mut buf: Bytes) -> Result<WireAttrs, WireError> {
+    let mut attrs = WireAttrs::default();
+    let mut saw_origin = false;
+    let mut saw_path = false;
+    let mut saw_next_hop = false;
+
+    while buf.has_remaining() {
+        need(&buf, 2, "attribute header")?;
+        let flags = buf.get_u8();
+        let code = buf.get_u8();
+        let len = if flags & FLAG_EXTENDED != 0 {
+            need(&buf, 2, "extended attribute length")?;
+            buf.get_u16() as usize
+        } else {
+            need(&buf, 1, "attribute length")?;
+            buf.get_u8() as usize
+        };
+        need(&buf, len, "attribute body")?;
+        let mut body = buf.split_to(len);
+
+        match code {
+            ATTR_ORIGIN => {
+                if len != 1 {
+                    return Err(WireError::BadLength {
+                        what: "ORIGIN",
+                        got: len,
+                    });
+                }
+                attrs.origin = match body.get_u8() {
+                    0 => Origin::Igp,
+                    1 => Origin::Egp,
+                    2 => Origin::Incomplete,
+                    v => {
+                        return Err(WireError::BadValue {
+                            what: "ORIGIN",
+                            got: v as u32,
+                        })
+                    }
+                };
+                saw_origin = true;
+            }
+            ATTR_AS_PATH => {
+                attrs.as_path = decode_as_path(body)?;
+                saw_path = true;
+            }
+            ATTR_NEXT_HOP => {
+                if len != 4 {
+                    return Err(WireError::BadLength {
+                        what: "NEXT_HOP",
+                        got: len,
+                    });
+                }
+                attrs.next_hop = body.get_u32();
+                saw_next_hop = true;
+            }
+            ATTR_MED => {
+                if len != 4 {
+                    return Err(WireError::BadLength {
+                        what: "MED",
+                        got: len,
+                    });
+                }
+                attrs.med = Some(body.get_u32());
+            }
+            ATTR_LOCAL_PREF => {
+                if len != 4 {
+                    return Err(WireError::BadLength {
+                        what: "LOCAL_PREF",
+                        got: len,
+                    });
+                }
+                attrs.local_pref = Some(body.get_u32());
+            }
+            ATTR_ATOMIC_AGGREGATE => {
+                if len != 0 {
+                    return Err(WireError::BadLength {
+                        what: "ATOMIC_AGGREGATE",
+                        got: len,
+                    });
+                }
+                attrs.atomic_aggregate = true;
+            }
+            ATTR_AGGREGATOR => {
+                if len != 8 {
+                    return Err(WireError::BadLength {
+                        what: "AGGREGATOR",
+                        got: len,
+                    });
+                }
+                let asn = Asn(body.get_u32());
+                let id = body.get_u32();
+                attrs.aggregator = Some((asn, id));
+            }
+            ATTR_COMMUNITIES => {
+                if len % 4 != 0 {
+                    return Err(WireError::BadLength {
+                        what: "COMMUNITIES",
+                        got: len,
+                    });
+                }
+                while body.has_remaining() {
+                    attrs.communities.push(Community::from_u32(body.get_u32()));
+                }
+            }
+            other => {
+                if flags & FLAG_OPTIONAL == 0 {
+                    return Err(WireError::Unsupported {
+                        what: "well-known attribute",
+                        code: other as u32,
+                    });
+                }
+                // Unknown optional attribute: skipped (body already consumed).
+            }
+        }
+    }
+
+    // RFC 4271 §6.3: ORIGIN/AS_PATH/NEXT_HOP mandatory when NLRI present.
+    // Callers pass the block only when NLRI exists, so enforce here.
+    if !saw_origin {
+        return Err(WireError::MissingAttr("ORIGIN"));
+    }
+    if !saw_path {
+        return Err(WireError::MissingAttr("AS_PATH"));
+    }
+    if !saw_next_hop {
+        return Err(WireError::MissingAttr("NEXT_HOP"));
+    }
+    Ok(attrs)
+}
+
+impl Message {
+    /// Decodes one message from the front of `buf`, consuming exactly its
+    /// bytes. `buf` may hold a concatenated stream; call repeatedly.
+    pub fn decode(buf: &mut Bytes) -> Result<Message, WireError> {
+        need(buf, 19, "BGP header")?;
+        let marker = buf.split_to(16);
+        if marker.iter().any(|&b| b != 0xFF) {
+            return Err(WireError::BadMarker);
+        }
+        let total_len = buf.get_u16() as usize;
+        let msg_type = buf.get_u8();
+        if !(19..=MAX_MESSAGE).contains(&total_len) {
+            return Err(WireError::BadLength {
+                what: "BGP message",
+                got: total_len,
+            });
+        }
+        let body_len = total_len - 19;
+        need(buf, body_len, "BGP body")?;
+        let mut body = buf.split_to(body_len);
+
+        match msg_type {
+            TYPE_OPEN => {
+                need(&body, 10, "OPEN")?;
+                let version = body.get_u8();
+                if version != 4 {
+                    return Err(WireError::BadValue {
+                        what: "BGP version",
+                        got: version as u32,
+                    });
+                }
+                let my_as2 = body.get_u16();
+                let hold_time = body.get_u16();
+                let bgp_id = body.get_u32();
+                let opt_len = body.get_u8() as usize;
+                need(&body, opt_len, "OPEN optional parameters")?;
+                let mut params = body.split_to(opt_len);
+                let mut asn = Asn(my_as2 as u32);
+                // Scan capabilities for the 4-octet-AS number.
+                while params.remaining() >= 2 {
+                    let ptype = params.get_u8();
+                    let plen = params.get_u8() as usize;
+                    need(&params, plen, "OPEN parameter")?;
+                    let mut pbody = params.split_to(plen);
+                    if ptype == 2 {
+                        while pbody.remaining() >= 2 {
+                            let cap = pbody.get_u8();
+                            let clen = pbody.get_u8() as usize;
+                            need(&pbody, clen, "capability")?;
+                            let mut cbody = pbody.split_to(clen);
+                            if cap == 65 && clen == 4 {
+                                asn = Asn(cbody.get_u32());
+                            }
+                        }
+                    }
+                }
+                Ok(Message::Open(OpenMessage {
+                    asn,
+                    hold_time,
+                    bgp_id,
+                }))
+            }
+            TYPE_UPDATE => {
+                need(&body, 2, "UPDATE withdrawn length")?;
+                let wlen = body.get_u16() as usize;
+                need(&body, wlen, "UPDATE withdrawn routes")?;
+                let mut wbuf = body.split_to(wlen);
+                let mut withdrawn = Vec::new();
+                while wbuf.has_remaining() {
+                    withdrawn.push(get_prefix(&mut wbuf, "withdrawn route")?);
+                }
+                need(&body, 2, "UPDATE attribute length")?;
+                let alen = body.get_u16() as usize;
+                need(&body, alen, "UPDATE attributes")?;
+                let abuf = body.split_to(alen);
+                let mut nlri = Vec::new();
+                while body.has_remaining() {
+                    nlri.push(get_prefix(&mut body, "NLRI")?);
+                }
+                let attrs = if alen > 0 {
+                    Some(decode_path_attributes(abuf)?)
+                } else {
+                    if !nlri.is_empty() {
+                        return Err(WireError::MissingAttr("path attributes"));
+                    }
+                    None
+                };
+                Ok(Message::Update(UpdateMessage {
+                    withdrawn,
+                    attrs,
+                    nlri,
+                }))
+            }
+            TYPE_NOTIFICATION => {
+                need(&body, 2, "NOTIFICATION")?;
+                let code = body.get_u8();
+                let subcode = body.get_u8();
+                Ok(Message::Notification(NotificationMessage {
+                    code,
+                    subcode,
+                    data: body.to_vec(),
+                }))
+            }
+            TYPE_KEEPALIVE => {
+                if body.has_remaining() {
+                    return Err(WireError::BadLength {
+                        what: "KEEPALIVE",
+                        got: total_len,
+                    });
+                }
+                Ok(Message::Keepalive)
+            }
+            other => Err(WireError::Unsupported {
+                what: "BGP message",
+                code: other as u32,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn sample_attrs() -> WireAttrs {
+        WireAttrs {
+            origin: Origin::Igp,
+            as_path: "701 1239 7018".parse().unwrap(),
+            next_hop: 0xC0A8_4501,
+            med: Some(5),
+            local_pref: Some(210),
+            atomic_aggregate: true,
+            aggregator: Some((Asn(7018), 0x0A00_0001)),
+            communities: vec![Community::new(12859, 1000), Community::NO_EXPORT],
+        }
+    }
+
+    #[test]
+    fn update_roundtrip() {
+        let u = UpdateMessage {
+            withdrawn: vec![pfx("10.1.0.0/16"), pfx("0.0.0.0/0")],
+            attrs: Some(sample_attrs()),
+            nlri: vec![pfx("80.96.180.0/24"), pfx("12.0.0.0/19")],
+        };
+        let bytes = Message::Update(u.clone()).encode();
+        let mut buf = bytes.clone();
+        let decoded = Message::decode(&mut buf).unwrap();
+        assert_eq!(decoded, Message::Update(u));
+        assert!(buf.is_empty(), "decode must consume exactly one message");
+    }
+
+    #[test]
+    fn update_without_attrs_is_pure_withdrawal() {
+        let u = UpdateMessage {
+            withdrawn: vec![pfx("10.1.0.0/16")],
+            attrs: None,
+            nlri: vec![],
+        };
+        let bytes = Message::Update(u.clone()).encode();
+        let decoded = Message::decode(&mut bytes.clone()).unwrap();
+        assert_eq!(decoded, Message::Update(u));
+    }
+
+    #[test]
+    fn open_roundtrip_two_byte_and_four_byte() {
+        for asn in [Asn(7018), Asn(4_200_000_123)] {
+            let o = OpenMessage {
+                asn,
+                hold_time: 180,
+                bgp_id: 0x0101_0101,
+            };
+            let bytes = Message::Open(o.clone()).encode();
+            let decoded = Message::decode(&mut bytes.clone()).unwrap();
+            assert_eq!(decoded, Message::Open(o));
+        }
+    }
+
+    #[test]
+    fn keepalive_and_notification_roundtrip() {
+        let bytes = Message::Keepalive.encode();
+        assert_eq!(bytes.len(), 19);
+        assert_eq!(Message::decode(&mut bytes.clone()).unwrap(), Message::Keepalive);
+
+        let n = NotificationMessage {
+            code: 6,
+            subcode: 2,
+            data: vec![1, 2, 3],
+        };
+        let bytes = Message::Notification(n.clone()).encode();
+        assert_eq!(
+            Message::decode(&mut bytes.clone()).unwrap(),
+            Message::Notification(n)
+        );
+    }
+
+    #[test]
+    fn stream_of_messages_decodes_sequentially() {
+        let m1 = Message::Keepalive.encode();
+        let m2 = Message::Update(UpdateMessage {
+            withdrawn: vec![],
+            attrs: Some(sample_attrs()),
+            nlri: vec![pfx("1.0.0.0/8")],
+        })
+        .encode();
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&m1);
+        stream.extend_from_slice(&m2);
+        let mut buf = stream.freeze();
+        assert_eq!(Message::decode(&mut buf).unwrap(), Message::Keepalive);
+        assert!(matches!(Message::decode(&mut buf).unwrap(), Message::Update(_)));
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn bad_marker_rejected() {
+        let mut bytes = BytesMut::from(&Message::Keepalive.encode()[..]);
+        bytes[0] = 0x00;
+        assert_eq!(
+            Message::decode(&mut bytes.freeze()),
+            Err(WireError::BadMarker)
+        );
+    }
+
+    #[test]
+    fn truncation_reports_needed_bytes() {
+        let bytes = Message::Update(UpdateMessage {
+            withdrawn: vec![],
+            attrs: Some(sample_attrs()),
+            nlri: vec![pfx("1.0.0.0/8")],
+        })
+        .encode();
+        for cut in [0, 5, 18, 20, bytes.len() - 1] {
+            let mut buf = bytes.slice(..cut);
+            let e = Message::decode(&mut buf).unwrap_err();
+            assert!(
+                matches!(e, WireError::Truncated { .. }),
+                "cut {cut} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn missing_mandatory_attr_rejected() {
+        // Hand-build an UPDATE whose attribute block lacks AS_PATH.
+        let mut attrs = BytesMut::new();
+        attrs.put_u8(FLAG_TRANSITIVE);
+        attrs.put_u8(ATTR_ORIGIN);
+        attrs.put_u8(1);
+        attrs.put_u8(0);
+        attrs.put_u8(FLAG_TRANSITIVE);
+        attrs.put_u8(ATTR_NEXT_HOP);
+        attrs.put_u8(4);
+        attrs.put_u32(1);
+        let mut body = BytesMut::new();
+        body.put_u16(0);
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        body.put_u8(8);
+        body.put_u8(10); // NLRI 10.0.0.0/8
+        let mut out = BytesMut::new();
+        put_header(&mut out, TYPE_UPDATE, body.len());
+        out.extend_from_slice(&body);
+        assert_eq!(
+            Message::decode(&mut out.freeze()),
+            Err(WireError::MissingAttr("AS_PATH"))
+        );
+    }
+
+    #[test]
+    fn unknown_optional_attr_skipped_unknown_wellknown_rejected() {
+        let mut attrs = BytesMut::from(&encode_attrs(&sample_attrs())[..]);
+        // Append an unknown optional attribute (code 200).
+        attrs.put_u8(FLAG_OPTIONAL);
+        attrs.put_u8(200);
+        attrs.put_u8(2);
+        attrs.put_u16(0xBEEF);
+        let got = decode_path_attributes(attrs.clone().freeze()).unwrap();
+        assert_eq!(got, sample_attrs());
+
+        // An unknown *well-known* attribute must error.
+        let mut bad = BytesMut::from(&encode_attrs(&sample_attrs())[..]);
+        bad.put_u8(FLAG_TRANSITIVE);
+        bad.put_u8(201);
+        bad.put_u8(0);
+        assert!(matches!(
+            decode_path_attributes(bad.freeze()),
+            Err(WireError::Unsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn long_as_path_chunks_and_remerges() {
+        let asns: Vec<Asn> = (1..=300u32).map(Asn).collect();
+        let attrs = WireAttrs {
+            as_path: AsPath::from_seq(asns.clone()),
+            next_hop: 1,
+            ..Default::default()
+        };
+        let bytes = encode_path_attributes(&attrs);
+        let got = decode_path_attributes(bytes).unwrap();
+        assert_eq!(got.as_path, AsPath::from_seq(asns));
+    }
+
+    #[test]
+    fn as_set_roundtrip() {
+        let path = AsPath::from_segments([
+            PathSegment::Seq(vec![Asn(701)]),
+            PathSegment::Set(vec![Asn(7018), Asn(3549)]),
+        ]);
+        let attrs = WireAttrs {
+            as_path: path.clone(),
+            next_hop: 9,
+            ..Default::default()
+        };
+        let got = decode_path_attributes(encode_path_attributes(&attrs)).unwrap();
+        assert_eq!(got.as_path, path);
+    }
+
+    #[test]
+    fn prefix_with_irrelevant_trailing_bits_is_canonicalized() {
+        // 10.0.0.0/7 encoded with a second bit set in the trailing byte.
+        let mut body = BytesMut::new();
+        body.put_u16(0); // no withdrawn
+        let attrs = encode_attrs(&WireAttrs {
+            as_path: AsPath::from_seq([Asn(1)]),
+            next_hop: 1,
+            ..Default::default()
+        });
+        body.put_u16(attrs.len() as u16);
+        body.extend_from_slice(&attrs);
+        body.put_u8(7);
+        body.put_u8(0x0B); // 0000_1011: bit 8 beyond /7 must be ignored
+        let mut out = BytesMut::new();
+        put_header(&mut out, TYPE_UPDATE, body.len());
+        out.extend_from_slice(&body);
+        match Message::decode(&mut out.freeze()).unwrap() {
+            Message::Update(u) => {
+                assert_eq!(u.nlri, vec![Ipv4Prefix::canonical(0x0A00_0000, 7)]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Looking-Glass text formats.
+//!
+//! The paper (§3, Appendix) obtains fine-grained routing information —
+//! LOCAL_PREF, communities — by querying Looking Glass servers with
+//! `show ip bgp`. Two artifacts live here:
+//!
+//! * [`LgTable`] — a line-oriented, round-trippable table interchange format
+//!   ("lg-table v1") used to move simulated Looking-Glass views between
+//!   pipeline stages and to ship fixtures in tests.
+//! * [`render_show_ip_bgp`] — a faithful, display-only rendering of the
+//!   Cisco `show ip bgp <prefix>` output quoted in the paper's Appendix.
+
+use std::fmt::Write as _;
+
+use bgp_types::{Asn, Community, Ipv4Prefix, Origin, ParseError, Route, Session};
+
+/// A Looking-Glass view: the full set of candidate routes of one AS's
+/// border router, local preference visible.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LgTable {
+    /// The AS whose table this is.
+    pub local_as: Asn,
+    /// The router's ID.
+    pub router_id: u32,
+    /// All candidate routes, grouped by prefix, best first per group.
+    pub routes: Vec<Route>,
+}
+
+impl LgTable {
+    /// Renders to the "lg-table v1" interchange format:
+    ///
+    /// ```text
+    /// # lg-table v1 local-as AS7018 router-id 16843009
+    /// 12.0.0.0/19 | 701 8220 | from AS701 | lp 210 | med 5 | origin i | comm 701:120 | best
+    /// ```
+    ///
+    /// Optional fields (`lp`, `med`, `comm`, `best`, `ibgp`) are omitted
+    /// when absent; field order is fixed.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# lg-table v1 local-as {} router-id {}",
+            self.local_as, self.router_id
+        );
+        for r in &self.routes {
+            let _ = write!(out, "{} | {} | from {}", r.prefix, r.attrs.as_path, r.attrs.learned_from);
+            if let Some(lp) = r.attrs.local_pref {
+                let _ = write!(out, " | lp {lp}");
+            }
+            if let Some(med) = r.attrs.med {
+                let _ = write!(out, " | med {med}");
+            }
+            let _ = write!(out, " | origin {}", r.attrs.origin);
+            if !r.attrs.communities.is_empty() {
+                let _ = write!(out, " | comm");
+                for c in &r.attrs.communities {
+                    let _ = write!(out, " {c}");
+                }
+            }
+            if r.attrs.session == Session::Ibgp {
+                let _ = write!(out, " | ibgp");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses the "lg-table v1" format produced by [`LgTable::render`].
+    /// Unknown trailing fields are rejected so silent data loss is
+    /// impossible. Blank lines and `#` comments after the header are
+    /// skipped.
+    pub fn parse(input: &str) -> Result<LgTable, ParseError> {
+        let mut lines = input.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseError::invalid_route("<empty input>"))?;
+        let mut local_as = None;
+        let mut router_id = None;
+        let toks: Vec<&str> = header.split_whitespace().collect();
+        if toks.len() < 3 || toks[0] != "#" || toks[1] != "lg-table" || toks[2] != "v1" {
+            return Err(ParseError::invalid_route(header));
+        }
+        let mut i = 3;
+        while i + 1 < toks.len() {
+            match toks[i] {
+                "local-as" => local_as = Some(toks[i + 1].parse::<Asn>()?),
+                "router-id" => {
+                    router_id = Some(
+                        toks[i + 1]
+                            .parse::<u32>()
+                            .map_err(|_| ParseError::invalid_route(header))?,
+                    )
+                }
+                _ => return Err(ParseError::invalid_route(header)),
+            }
+            i += 2;
+        }
+        let (local_as, router_id) = match (local_as, router_id) {
+            (Some(a), Some(r)) => (a, r),
+            _ => return Err(ParseError::invalid_route(header)),
+        };
+
+        let mut routes = Vec::new();
+        for line in lines {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            routes.push(parse_route_line(line)?);
+        }
+        Ok(LgTable {
+            local_as,
+            router_id,
+            routes,
+        })
+    }
+}
+
+fn parse_route_line(line: &str) -> Result<Route, ParseError> {
+    let mut fields = line.split(" | ");
+    let prefix: Ipv4Prefix = fields
+        .next()
+        .ok_or_else(|| ParseError::invalid_route(line))?
+        .trim()
+        .parse()?;
+    let path_str = fields
+        .next()
+        .ok_or_else(|| ParseError::invalid_route(line))?;
+    let from_str = fields
+        .next()
+        .ok_or_else(|| ParseError::invalid_route(line))?;
+    let learned_from = from_str
+        .trim()
+        .strip_prefix("from ")
+        .ok_or_else(|| ParseError::invalid_route(line))?
+        .parse::<Asn>()?;
+
+    let mut b = Route::builder(prefix)
+        .path(path_str.trim().parse()?)
+        .learned_from(learned_from);
+
+    for field in fields {
+        let field = field.trim();
+        if let Some(v) = field.strip_prefix("lp ") {
+            b = b.local_pref(v.parse().map_err(|_| ParseError::invalid_route(line))?);
+        } else if let Some(v) = field.strip_prefix("med ") {
+            b = b.med(v.parse().map_err(|_| ParseError::invalid_route(line))?);
+        } else if let Some(v) = field.strip_prefix("origin ") {
+            b = b.origin(match v {
+                "i" => Origin::Igp,
+                "e" => Origin::Egp,
+                "?" => Origin::Incomplete,
+                _ => return Err(ParseError::invalid_route(line)),
+            });
+        } else if let Some(v) = field.strip_prefix("comm ") {
+            let comms: Result<Vec<Community>, ParseError> =
+                v.split_whitespace().map(|c| c.parse()).collect();
+            b = b.communities(comms?);
+        } else if field == "ibgp" {
+            b = b.session(Session::Ibgp);
+        } else {
+            return Err(ParseError::invalid_route(line));
+        }
+    }
+    Ok(b.build())
+}
+
+/// Renders the Cisco-style `show ip bgp <prefix>` block the paper's
+/// Appendix quotes (display only; the interchange format above is what
+/// machines parse).
+///
+/// ```text
+/// BGP routing table entry for 80.96.180.0/24
+/// Paths: (2 available, best #1)
+///   8220 12878 5606 15471
+///     from AS8220
+///       Origin IGP, metric 5, localpref 210, best
+///       Community: 12859:1000
+/// ```
+pub fn render_show_ip_bgp(prefix: Ipv4Prefix, candidates: &[Route], best_idx: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "BGP routing table entry for {prefix}");
+    let _ = writeln!(
+        out,
+        "Paths: ({} available, best #{})",
+        candidates.len(),
+        best_idx + 1
+    );
+    for (i, r) in candidates.iter().enumerate() {
+        let _ = writeln!(out, "  {}", r.attrs.as_path);
+        let _ = writeln!(out, "    from {}", r.attrs.learned_from);
+        let origin = match r.attrs.origin {
+            Origin::Igp => "IGP",
+            Origin::Egp => "EGP",
+            Origin::Incomplete => "incomplete",
+        };
+        let mut line = format!("      Origin {origin}");
+        if let Some(med) = r.attrs.med {
+            let _ = write!(line, ", metric {med}");
+        }
+        if let Some(lp) = r.attrs.local_pref {
+            let _ = write!(line, ", localpref {lp}");
+        }
+        if r.attrs.session == Session::Ibgp {
+            line.push_str(", internal");
+        }
+        if i == best_idx {
+            line.push_str(", best");
+        }
+        let _ = writeln!(out, "{line}");
+        if !r.attrs.communities.is_empty() {
+            let mut cline = String::from("      Community:");
+            for c in &r.attrs.communities {
+                let _ = write!(cline, " {c}");
+            }
+            let _ = writeln!(out, "{cline}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_table() -> LgTable {
+        let p: Ipv4Prefix = "80.96.180.0/24".parse().unwrap();
+        LgTable {
+            local_as: Asn(12859),
+            router_id: 42,
+            routes: vec![
+                Route::builder(p)
+                    .path_seq([Asn(8220), Asn(12878), Asn(5606), Asn(15471)])
+                    .local_pref(210)
+                    .med(5)
+                    .community(Community::new(12859, 1000))
+                    .build(),
+                Route::builder(p)
+                    .path_seq([Asn(2914), Asn(15471)])
+                    .local_pref(90)
+                    .session(Session::Ibgp)
+                    .build(),
+                Route::builder("12.0.0.0/19".parse().unwrap())
+                    .path_seq([Asn(7018)])
+                    .build(),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_parse_roundtrip() {
+        let t = sample_table();
+        let s = t.render();
+        let got = LgTable::parse(&s).unwrap();
+        assert_eq!(got, t);
+    }
+
+    #[test]
+    fn parse_skips_comments_and_blanks() {
+        let t = sample_table();
+        let mut s = t.render();
+        s.push_str("\n# trailing comment\n\n");
+        assert_eq!(LgTable::parse(&s).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_rejects_unknown_fields_and_bad_headers() {
+        let t = sample_table();
+        let s = t.render();
+        let bad = s.replace("lp 210", "zz 210");
+        assert!(LgTable::parse(&bad).is_err());
+        assert!(LgTable::parse("# wrong v9\n").is_err());
+        assert!(LgTable::parse("").is_err());
+        assert!(LgTable::parse("# lg-table v1 local-as AS1\n").is_err()); // missing router-id
+    }
+
+    #[test]
+    fn parse_requires_minimum_fields() {
+        let header = "# lg-table v1 local-as AS1 router-id 1\n";
+        assert!(LgTable::parse(&format!("{header}1.0.0.0/8\n")).is_err());
+        assert!(LgTable::parse(&format!("{header}1.0.0.0/8 | 701 | from AS701 | origin i\n")).is_ok());
+    }
+
+    #[test]
+    fn show_ip_bgp_matches_appendix_shape() {
+        let t = sample_table();
+        let p: Ipv4Prefix = "80.96.180.0/24".parse().unwrap();
+        let cands: Vec<Route> = t
+            .routes
+            .iter()
+            .filter(|r| r.prefix == p)
+            .cloned()
+            .collect();
+        let s = render_show_ip_bgp(p, &cands, 0);
+        assert!(s.contains("BGP routing table entry for 80.96.180.0/24"));
+        assert!(s.contains("Paths: (2 available, best #1)"));
+        assert!(s.contains("8220 12878 5606 15471"));
+        assert!(s.contains("localpref 210"));
+        assert!(s.contains("Community: 12859:1000"));
+        assert!(s.contains(", internal"));
+    }
+
+    #[test]
+    fn empty_table_roundtrip() {
+        let t = LgTable {
+            local_as: Asn(1),
+            router_id: 0,
+            routes: vec![],
+        };
+        assert_eq!(LgTable::parse(&t.render()).unwrap(), t);
+    }
+}

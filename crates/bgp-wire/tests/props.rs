@@ -1,0 +1,185 @@
+//! Property tests: wire-format round-trips and mutation robustness.
+
+use bytes::{Bytes, BytesMut};
+use proptest::prelude::*;
+
+use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, Origin, Route, Session};
+use bgp_wire::msg::{decode_path_attributes, encode_path_attributes};
+use bgp_wire::text::LgTable;
+use bgp_wire::{Message, PeerEntry, RibEntry, TableDump, UpdateMessage, WireAttrs};
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(b, l)| Ipv4Prefix::canonical(b, l))
+}
+
+fn arb_asn() -> impl Strategy<Value = Asn> {
+    prop_oneof![
+        4 => (1u32..65_536).prop_map(Asn),
+        1 => (65_536u32..=u32::MAX).prop_map(Asn),
+    ]
+}
+
+fn arb_origin() -> impl Strategy<Value = Origin> {
+    prop_oneof![
+        Just(Origin::Igp),
+        Just(Origin::Egp),
+        Just(Origin::Incomplete)
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = WireAttrs> {
+    (
+        arb_origin(),
+        prop::collection::vec(arb_asn(), 1..8),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        prop::option::of(any::<u32>()),
+        any::<bool>(),
+        prop::option::of((arb_asn(), any::<u32>())),
+        prop::collection::vec(any::<u32>().prop_map(Community::from_u32), 0..6),
+    )
+        .prop_map(
+            |(origin, path, next_hop, med, local_pref, atomic, aggregator, communities)| {
+                WireAttrs {
+                    origin,
+                    as_path: AsPath::from_seq(path),
+                    next_hop,
+                    med,
+                    local_pref,
+                    atomic_aggregate: atomic,
+                    aggregator,
+                    communities,
+                }
+            },
+        )
+}
+
+fn arb_update() -> impl Strategy<Value = UpdateMessage> {
+    (
+        prop::collection::vec(arb_prefix(), 0..6),
+        arb_attrs(),
+        prop::collection::vec(arb_prefix(), 1..6),
+    )
+        .prop_map(|(withdrawn, attrs, nlri)| UpdateMessage {
+            withdrawn,
+            attrs: Some(attrs),
+            nlri,
+        })
+}
+
+proptest! {
+    #[test]
+    fn attrs_roundtrip(attrs in arb_attrs()) {
+        let bytes = encode_path_attributes(&attrs);
+        let got = decode_path_attributes(bytes).unwrap();
+        prop_assert_eq!(got, attrs);
+    }
+
+    #[test]
+    fn update_roundtrip(u in arb_update()) {
+        let bytes = Message::Update(u.clone()).encode();
+        let mut buf = bytes.clone();
+        let got = Message::decode(&mut buf).unwrap();
+        prop_assert_eq!(got, Message::Update(u));
+        prop_assert!(buf.is_empty());
+    }
+
+    /// Any single-byte mutation of a valid UPDATE either still decodes (to
+    /// something) or errors — it must never panic or loop forever.
+    #[test]
+    fn update_mutation_never_panics(u in arb_update(), pos in any::<prop::sample::Index>(), newbyte in any::<u8>()) {
+        let bytes = Message::Update(u).encode();
+        let mut raw = BytesMut::from(&bytes[..]);
+        let i = pos.index(raw.len());
+        raw[i] = newbyte;
+        let mut buf = raw.freeze();
+        let _ = Message::decode(&mut buf);
+    }
+
+    /// Truncation at any point errors cleanly.
+    #[test]
+    fn update_truncation_never_panics(u in arb_update(), cut in any::<prop::sample::Index>()) {
+        let bytes = Message::Update(u).encode();
+        let n = cut.index(bytes.len());
+        let mut buf = bytes.slice(..n);
+        let _ = Message::decode(&mut buf);
+    }
+
+    #[test]
+    fn random_bytes_never_panic_mrt(data in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = TableDump::decode(Bytes::from(data));
+    }
+
+    #[test]
+    fn mrt_dump_roundtrip(
+        peers in prop::collection::vec((any::<u32>(), any::<u32>(), arb_asn()), 1..5),
+        routes in prop::collection::vec((arb_prefix(), prop::collection::vec((any::<u32>(), arb_attrs()), 0..3)), 0..5),
+    ) {
+        let peer_entries: Vec<PeerEntry> = peers
+            .iter()
+            .map(|(id, addr, asn)| PeerEntry { bgp_id: *id, addr: *addr, asn: *asn })
+            .collect();
+        let n = peer_entries.len() as u16;
+        let dump = TableDump {
+            collector_id: 7,
+            view_name: "v".into(),
+            peers: peer_entries,
+            routes: routes
+                .into_iter()
+                .map(|(p, entries)| {
+                    (
+                        p,
+                        entries
+                            .into_iter()
+                            .enumerate()
+                            .map(|(i, (t, attrs))| RibEntry {
+                                peer_index: (i as u16) % n,
+                                originated_time: t,
+                                attrs,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect(),
+        };
+        let got = TableDump::decode(dump.encode(0)).unwrap();
+        prop_assert_eq!(got, dump);
+    }
+
+    #[test]
+    fn lg_table_roundtrip(
+        local_as in arb_asn(),
+        router_id in any::<u32>(),
+        routes in prop::collection::vec(
+            (
+                arb_prefix(),
+                prop::collection::vec(arb_asn(), 1..6),
+                prop::option::of(any::<u32>()),
+                prop::option::of(any::<u32>()),
+                arb_origin(),
+                prop::collection::vec(any::<u32>().prop_map(Community::from_u32), 0..3),
+                any::<bool>(),
+            ),
+            0..8
+        ),
+    ) {
+        let routes: Vec<Route> = routes
+            .into_iter()
+            .map(|(p, path, lp, med, origin, comms, ibgp)| {
+                let mut b = Route::builder(p).path_seq(path).origin(origin).communities(comms);
+                if let Some(lp) = lp { b = b.local_pref(lp); }
+                if let Some(med) = med { b = b.med(med); }
+                if ibgp { b = b.session(Session::Ibgp); }
+                b.build()
+            })
+            .collect();
+        let t = LgTable { local_as, router_id, routes };
+        let got = LgTable::parse(&t.render()).unwrap();
+        prop_assert_eq!(got, t);
+    }
+
+    #[test]
+    fn lg_parse_garbage_never_panics(s in "\\PC{0,200}") {
+        let _ = LgTable::parse(&s);
+    }
+}

@@ -1,0 +1,143 @@
+//! Policy atoms (extension; Afek et al. \[21\], discussed in §5.1.5).
+//!
+//! An *atom* is a maximal group of prefixes sharing identical AS paths at
+//! every vantage router. The paper conjectures selective announcement is a
+//! major atom creator; with the simulator's ground-truth announcement
+//! classes available, the conjecture is directly checkable:
+//! ground-truth classes ≈ atoms, and SA-heavy origins split into more
+//! atoms than their plain siblings.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use bgp_sim::CollectorView;
+
+/// One policy atom.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// The member prefixes.
+    pub prefixes: Vec<Ipv4Prefix>,
+    /// The shared origin (atoms never span origins).
+    pub origin: Asn,
+}
+
+/// Computes the policy atoms of a collector view: prefixes grouped by
+/// their full vector of `(peer, path)` rows.
+pub fn policy_atoms(view: &CollectorView) -> Vec<Atom> {
+    let mut groups: BTreeMap<Vec<(Asn, &[Asn])>, Vec<Ipv4Prefix>> = BTreeMap::new();
+    for (&prefix, rows) in &view.rows {
+        let mut key: Vec<(Asn, &[Asn])> = rows
+            .iter()
+            .map(|r| (r.peer, r.path.as_slice()))
+            .collect();
+        key.sort();
+        groups.entry(key).or_default().push(prefix);
+    }
+    let mut atoms: Vec<Atom> = groups
+        .into_iter()
+        .filter_map(|(key, prefixes)| {
+            let origin = key.first().and_then(|(_, path)| path.last().copied())?;
+            Some(Atom { prefixes, origin })
+        })
+        .collect();
+    atoms.sort_by_key(|a| (std::cmp::Reverse(a.prefixes.len()), a.prefixes[0]));
+    atoms
+}
+
+/// Summary statistics over the atoms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AtomStats {
+    /// Number of atoms.
+    pub count: usize,
+    /// Number of prefixes covered.
+    pub prefixes: usize,
+    /// Mean atom size.
+    pub mean_size: f64,
+    /// Number of origins split into more than one atom.
+    pub split_origins: usize,
+}
+
+/// Computes [`AtomStats`].
+pub fn atom_stats(atoms: &[Atom]) -> AtomStats {
+    let prefixes: usize = atoms.iter().map(|a| a.prefixes.len()).sum();
+    let mut per_origin: BTreeMap<Asn, usize> = BTreeMap::new();
+    for a in atoms {
+        *per_origin.entry(a.origin).or_insert(0) += 1;
+    }
+    AtomStats {
+        count: atoms.len(),
+        prefixes,
+        mean_size: if atoms.is_empty() {
+            0.0
+        } else {
+            prefixes as f64 / atoms.len() as f64
+        },
+        split_origins: per_origin.values().filter(|&&n| n > 1).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::CollectorRow;
+
+    fn view() -> CollectorView {
+        let row = |peer: u32, path: Vec<u32>| CollectorRow {
+            peer: Asn(peer),
+            path: path.into_iter().map(Asn).collect(),
+            communities: vec![],
+        };
+        let mut v = CollectorView::default();
+        // Two prefixes with identical path vectors (one atom), one prefix
+        // from the same origin with a different vector (second atom), one
+        // prefix from another origin.
+        v.rows.insert(
+            "10.0.0.0/16".parse().unwrap(),
+            vec![row(1, vec![1, 3, 9]), row(2, vec![2, 9])],
+        );
+        v.rows.insert(
+            "10.1.0.0/16".parse().unwrap(),
+            vec![row(1, vec![1, 3, 9]), row(2, vec![2, 9])],
+        );
+        v.rows.insert(
+            "10.2.0.0/16".parse().unwrap(),
+            vec![row(1, vec![1, 9]), row(2, vec![2, 9])],
+        );
+        v.rows.insert(
+            "20.0.0.0/16".parse().unwrap(),
+            vec![row(1, vec![1, 8])],
+        );
+        v
+    }
+
+    #[test]
+    fn atoms_group_identical_path_vectors() {
+        let atoms = policy_atoms(&view());
+        assert_eq!(atoms.len(), 3);
+        assert_eq!(atoms[0].prefixes.len(), 2, "largest atom first");
+        assert_eq!(atoms[0].origin, Asn(9));
+        let stats = atom_stats(&atoms);
+        assert_eq!(stats.count, 3);
+        assert_eq!(stats.prefixes, 4);
+        assert_eq!(stats.split_origins, 1, "origin 9 split into two atoms");
+        assert!((stats.mean_size - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_view_has_no_atoms() {
+        let atoms = policy_atoms(&CollectorView::default());
+        assert!(atoms.is_empty());
+        let stats = atom_stats(&atoms);
+        assert_eq!(stats.count, 0);
+        assert_eq!(stats.mean_size, 0.0);
+    }
+
+    #[test]
+    fn row_order_does_not_matter() {
+        let mut v = view();
+        for rows in v.rows.values_mut() {
+            rows.reverse();
+        }
+        assert_eq!(policy_atoms(&v).len(), 3);
+    }
+}

@@ -1,0 +1,315 @@
+//! Community-semantics inference and relationship verification
+//! (§4.3 + Appendix; Table 4, Fig 9, Table 11).
+//!
+//! The three steps of the Appendix:
+//!
+//! 1. **Query communities per next-hop AS** — here: read each neighbor's
+//!   ingress tag (the community whose high half is the view owner) off the
+//!   Looking-Glass candidates.
+//! 2. **Infer the semantics of community values** from the prefix-count
+//!   distribution (Fig 9): a neighbor announcing (nearly) the full table is
+//!   a provider; the largest announcers below full-table are peers; the
+//!   long tail announcing a handful of prefixes are customers. Values are
+//!   then spread: every neighbor tagged with an anchored value inherits
+//!   its class.
+//! 3. **Map communities to relationships** and compare with the
+//!   relationship oracle (Gao-inferred in the paper) — Table 4's
+//!   verification percentages.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Relationship};
+use bgp_sim::{CommunityPlan, LgView};
+use net_topology::AsGraph;
+
+/// Tuning of the anchoring heuristics.
+#[derive(Debug, Clone)]
+pub struct CommunityParams {
+    /// A neighbor announcing at least this fraction of all prefixes is a
+    /// full-table feed — a provider.
+    pub full_table_frac: f64,
+    /// A neighbor announcing at least this fraction (but below full table)
+    /// is "a large number of prefixes" — a peer anchor.
+    pub peer_min_frac: f64,
+    /// A neighbor announcing at most this many prefixes anchors customer.
+    pub customer_max_count: usize,
+}
+
+impl Default for CommunityParams {
+    fn default() -> Self {
+        CommunityParams {
+            full_table_frac: 0.90,
+            peer_min_frac: 0.02,
+            customer_max_count: 4,
+        }
+    }
+}
+
+/// The appendix inference for one AS.
+#[derive(Debug, Clone, Default)]
+pub struct CommunityInference {
+    /// The view owner.
+    pub asn: Asn,
+    /// Number of prefixes each next-hop AS announced (Fig 9's raw data).
+    pub neighbor_prefix_counts: BTreeMap<Asn, usize>,
+    /// The ingress-tag code observed per neighbor (modal value).
+    pub neighbor_code: BTreeMap<Asn, u16>,
+    /// Inferred semantics of each community code.
+    pub code_semantics: BTreeMap<u16, Relationship>,
+    /// Step 3: the relationship each neighbor's community implies.
+    pub neighbor_class: BTreeMap<Asn, Relationship>,
+}
+
+impl CommunityInference {
+    /// Fig 9's series: prefix counts by rank (non-increasing).
+    pub fn rank_series(&self) -> Vec<usize> {
+        let mut v: Vec<usize> = self.neighbor_prefix_counts.values().copied().collect();
+        v.sort_by(|a, b| b.cmp(a));
+        v
+    }
+}
+
+/// Runs the appendix's steps 1–3 on one Looking-Glass view.
+pub fn infer_communities(view: &LgView, params: &CommunityParams) -> CommunityInference {
+    let mut inf = CommunityInference {
+        asn: view.asn,
+        ..Default::default()
+    };
+
+    // Step 1: prefix counts and ingress tags per neighbor.
+    let mut code_votes: BTreeMap<Asn, BTreeMap<u16, usize>> = BTreeMap::new();
+    for routes in view.rows.values() {
+        for r in routes {
+            *inf.neighbor_prefix_counts.entry(r.neighbor).or_insert(0) += 1;
+            for c in &r.communities {
+                if c.authority_asn() == view.asn {
+                    *code_votes
+                        .entry(r.neighbor)
+                        .or_default()
+                        .entry(c.value())
+                        .or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    for (n, votes) in &code_votes {
+        if let Some((&code, _)) = votes.iter().max_by_key(|(_, &c)| c) {
+            inf.neighbor_code.insert(*n, code);
+        }
+    }
+
+    // Step 2: anchor classes from the count distribution.
+    let total = view.rows.len().max(1) as f64;
+    let mut anchor: BTreeMap<Asn, Relationship> = BTreeMap::new();
+    for (&n, &count) in &inf.neighbor_prefix_counts {
+        let frac = count as f64 / total;
+        if frac >= params.full_table_frac {
+            anchor.insert(n, Relationship::Provider);
+        } else if frac >= params.peer_min_frac {
+            anchor.insert(n, Relationship::Peer);
+        } else if count <= params.customer_max_count {
+            anchor.insert(n, Relationship::Customer);
+        }
+    }
+    // Spread anchors over community codes (majority per code, provider
+    // evidence dominating peer dominating customer on conflicts, since a
+    // single full-table anchor is the strongest signal).
+    let mut per_code: BTreeMap<u16, BTreeMap<Relationship, usize>> = BTreeMap::new();
+    for (n, &code) in &inf.neighbor_code {
+        if let Some(&class) = anchor.get(n) {
+            *per_code.entry(code).or_default().entry(class).or_insert(0) += 1;
+        }
+    }
+    for (&code, votes) in &per_code {
+        let class = if votes.contains_key(&Relationship::Provider) {
+            Relationship::Provider
+        } else {
+            votes
+                .iter()
+                .max_by_key(|(_, &c)| c)
+                .map(|(&r, _)| r)
+                .expect("nonempty votes")
+        };
+        inf.code_semantics.insert(code, class);
+    }
+
+    // Step 3: every tagged neighbor inherits its code's class.
+    for (&n, &code) in &inf.neighbor_code {
+        if let Some(&class) = inf.code_semantics.get(&code) {
+            inf.neighbor_class.insert(n, class);
+        }
+    }
+    inf
+}
+
+/// Table 4's verification: how often does the community-derived class
+/// agree with the oracle (e.g. Gao-inferred) relationship?
+/// Returns `(agreeing, comparable)`.
+pub fn verify_relationships(inf: &CommunityInference, oracle: &AsGraph) -> (usize, usize) {
+    let mut agree = 0;
+    let mut total = 0;
+    for (&n, &class) in &inf.neighbor_class {
+        if let Some(rel) = oracle.rel(inf.asn, n) {
+            total += 1;
+            // Siblings tag as customers in every real plan; count a match.
+            let normalized = if rel == Relationship::Sibling {
+                Relationship::Customer
+            } else {
+                rel
+            };
+            if normalized == class {
+                agree += 1;
+            }
+        }
+    }
+    (agree, total)
+}
+
+/// Table 11: render an AS's ground-truth community plan as registry rows
+/// (`community value`, `meaning`) — the artifact an operator would publish
+/// in the IRR or on a web page.
+pub fn plan_registry_rows(asn: Asn, plan: &CommunityPlan) -> Vec<(String, String)> {
+    let mut rows = Vec::new();
+    for &code in &plan.peer_codes {
+        rows.push((
+            format!("{}:{}", asn.0, code),
+            "Route received from peer".to_string(),
+        ));
+    }
+    for &code in &plan.provider_codes {
+        rows.push((
+            format!("{}:{}", asn.0, code),
+            "Route received from transit provider".to_string(),
+        ));
+    }
+    for &code in &plan.customer_codes {
+        rows.push((
+            format!("{}:{}", asn.0, code),
+            "Route received from customer".to_string(),
+        ));
+    }
+    rows.push((
+        format!("{}:{}", asn.0, plan.no_upstream_code),
+        "Do not announce to upstreams (action)".to_string(),
+    ));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::LgRoute;
+    use bgp_types::Community;
+    use net_topology::NodeInfo;
+
+    /// An LG view for AS 100 with:
+    /// * neighbor 1 (provider): full table (all 100 prefixes), code 2000;
+    /// * neighbor 2 (peer): 30 prefixes, code 1000;
+    /// * neighbor 3 (peer):  10 prefixes, code 1010;
+    /// * neighbors 10..14 (customers): 1–2 prefixes each, code 4000.
+    fn fixture() -> LgView {
+        let mut rows: BTreeMap<bgp_types::Ipv4Prefix, Vec<LgRoute>> = BTreeMap::new();
+        let mut push = |i: u32, neighbor: u32, code: u16| {
+            let prefix: bgp_types::Ipv4Prefix =
+                bgp_types::Ipv4Prefix::canonical(i << 16, 16);
+            rows.entry(prefix).or_default().push(LgRoute {
+                neighbor: Asn(neighbor),
+                path: vec![Asn(neighbor), Asn(9999)],
+                local_pref: 100,
+                communities: vec![Community::new(100, code)],
+                best: false,
+                truth_rel: None,
+            });
+        };
+        for i in 0..100u32 {
+            push(i + 1, 1, 2000);
+            if i < 30 {
+                push(i + 1, 2, 1000);
+            }
+            if i < 10 {
+                push(i + 1, 3, 1010);
+            }
+        }
+        for (k, n) in (10u32..15).enumerate() {
+            push(200 + k as u32, n, 4000);
+        }
+        LgView {
+            asn: Asn(100),
+            rows,
+        }
+    }
+
+    #[test]
+    fn counts_and_codes_extracted() {
+        let inf = infer_communities(&fixture(), &CommunityParams::default());
+        // 100 shared prefixes + 5 customer prefixes = 105 total rows.
+        assert_eq!(inf.neighbor_prefix_counts[&Asn(1)], 100);
+        assert_eq!(inf.neighbor_prefix_counts[&Asn(2)], 30);
+        assert_eq!(inf.neighbor_code[&Asn(1)], 2000);
+        assert_eq!(inf.neighbor_code[&Asn(12)], 4000);
+        let series = inf.rank_series();
+        assert_eq!(series[0], 100);
+        assert!(series.windows(2).all(|w| w[0] >= w[1]), "non-increasing");
+    }
+
+    #[test]
+    fn semantics_inferred_from_count_distribution() {
+        let inf = infer_communities(&fixture(), &CommunityParams::default());
+        assert_eq!(inf.code_semantics[&2000], Relationship::Provider);
+        assert_eq!(inf.code_semantics[&1000], Relationship::Peer);
+        assert_eq!(inf.code_semantics[&1010], Relationship::Peer);
+        assert_eq!(inf.code_semantics[&4000], Relationship::Customer);
+    }
+
+    #[test]
+    fn neighbors_inherit_code_classes() {
+        let inf = infer_communities(&fixture(), &CommunityParams::default());
+        assert_eq!(inf.neighbor_class[&Asn(1)], Relationship::Provider);
+        assert_eq!(inf.neighbor_class[&Asn(2)], Relationship::Peer);
+        for n in 10u32..15 {
+            assert_eq!(inf.neighbor_class[&Asn(n)], Relationship::Customer);
+        }
+    }
+
+    #[test]
+    fn verification_against_an_oracle() {
+        let inf = infer_communities(&fixture(), &CommunityParams::default());
+        let mut g = AsGraph::new();
+        for a in [100, 1, 2, 3, 10, 11, 12, 13, 14] {
+            g.add_as(Asn(a), NodeInfo::default());
+        }
+        g.add_edge(Asn(100), Asn(1), Relationship::Provider).unwrap();
+        g.add_edge(Asn(100), Asn(2), Relationship::Peer).unwrap();
+        // Oracle got neighbor 3 wrong (thinks provider, community says peer).
+        g.add_edge(Asn(100), Asn(3), Relationship::Provider).unwrap();
+        for a in [10, 11, 12, 13, 14] {
+            g.add_edge(Asn(100), Asn(a), Relationship::Customer).unwrap();
+        }
+        let (agree, total) = verify_relationships(&inf, &g);
+        assert_eq!(total, 8);
+        assert_eq!(agree, 7);
+    }
+
+    #[test]
+    fn table11_rows_render() {
+        let plan = CommunityPlan::standard();
+        let rows = plan_registry_rows(Asn(12859), &plan);
+        assert!(rows.iter().any(|(c, d)| c == "12859:1000" && d.contains("peer")));
+        assert!(rows.iter().any(|(c, d)| c == "12859:4000" && d.contains("customer")));
+        assert!(rows.iter().any(|(c, _)| c == "12859:9000"));
+    }
+
+    #[test]
+    fn untagged_views_produce_no_classes() {
+        let mut view = fixture();
+        for routes in view.rows.values_mut() {
+            for r in routes {
+                r.communities.clear();
+            }
+        }
+        let inf = infer_communities(&view, &CommunityParams::default());
+        assert!(inf.neighbor_code.is_empty());
+        assert!(inf.neighbor_class.is_empty());
+        assert!(!inf.neighbor_prefix_counts.is_empty(), "Fig 9 still works");
+    }
+}

@@ -1,0 +1,45 @@
+//! # rpi-core — inferring and characterizing Internet routing policies
+//!
+//! The primary contribution of the reproduced paper (Wang & Gao, IMC'03),
+//! implemented over the substrates of the sibling crates:
+//!
+//! | Module | Paper section | Artifacts |
+//! |---|---|---|
+//! | [`view`] | §3 | unified best-route tables from collector / LG views |
+//! | [`import_policy`] | §4.1 | typical local-pref percentages (Tables 2–3) |
+//! | [`nexthop`] | §4.2 | next-hop consistency of LOCAL_PREF (Fig 2a/2b) |
+//! | [`community`] | §4.3 + Appendix | community-semantics inference, relationship verification (Table 4, Fig 9, Table 11) |
+//! | [`export_policy`] | §5.1.1–5.1.2 | the Fig 4 SA-prefix algorithm, prevalence (Tables 5–6), homing split (Table 8) |
+//! | [`sa_verification`] | §5.1.3 | active-customer-path + community verification (Table 7) |
+//! | [`causes`] | §5.1.5 | splitting / aggregating / selective-announcing attribution (Table 9, Case 3) |
+//! | [`persistence`] | §5.1.4 | SA counts over snapshot series, uptime histograms (Figs 6–7) |
+//! | [`peer_export`] | §5.2 | export-to-peer behaviour (Table 10) |
+//! | [`atoms`] | §5.1.5 (\[21\]) | policy atoms (extension) |
+//! | [`score`] | — | ground-truth precision/recall (beyond the paper) |
+//! | [`pipeline`] | — | one-call experiment harness used by benches & examples |
+//!
+//! All analyses consume *observable* artifacts (tables, paths,
+//! communities) plus a relationship oracle that may be the Gao-inferred
+//! graph — never the simulator's hidden state; ground truth is touched
+//! only by [`score`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod atoms;
+pub mod causes;
+pub mod community;
+pub mod export_policy;
+pub mod import_policy;
+pub mod nexthop;
+pub mod peer_export;
+pub mod persistence;
+pub mod pipeline;
+pub mod sa_verification;
+pub mod score;
+pub mod view;
+
+pub use export_policy::{sa_prefixes, SaReport};
+pub use import_policy::{lg_typicality, ImportTypicality};
+pub use pipeline::Experiment;
+pub use view::{BestRow, BestTable};

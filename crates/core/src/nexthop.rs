@@ -1,0 +1,183 @@
+//! Next-hop consistency of LOCAL_PREF (§4.2, Fig 2).
+//!
+//! "Operators may set local preference value on network prefix or next hop
+//! AS" — the paper finds that almost all assignments are per-neighbor. For
+//! a table of candidate routes, we compute, per neighbor, the *dominant*
+//! LOCAL_PREF (the modal value over that neighbor's routes), and report
+//! the percentage of prefixes all of whose candidate routes carry their
+//! neighbor's dominant value.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use bgp_sim::{LgRoute, LgView, RouterView};
+
+/// Result of the consistency analysis for one table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NexthopConsistency {
+    /// Prefixes examined (those with at least one candidate).
+    pub prefixes: usize,
+    /// Prefixes whose every candidate matches its neighbor's dominant
+    /// LOCAL_PREF.
+    pub consistent: usize,
+    /// Per-neighbor dominant LOCAL_PREF (the inferred per-neighbor policy).
+    pub dominant: BTreeMap<Asn, u32>,
+}
+
+impl NexthopConsistency {
+    /// Percentage of next-hop-consistent prefixes.
+    pub fn percent(&self) -> f64 {
+        if self.prefixes == 0 {
+            100.0
+        } else {
+            100.0 * self.consistent as f64 / self.prefixes as f64
+        }
+    }
+}
+
+/// Core computation over any `prefix → candidates` map.
+pub fn consistency(rows: &BTreeMap<Ipv4Prefix, Vec<LgRoute>>) -> NexthopConsistency {
+    // Pass 1: modal LOCAL_PREF per neighbor.
+    let mut counts: BTreeMap<Asn, BTreeMap<u32, usize>> = BTreeMap::new();
+    for routes in rows.values() {
+        for r in routes {
+            *counts
+                .entry(r.neighbor)
+                .or_default()
+                .entry(r.local_pref)
+                .or_insert(0) += 1;
+        }
+    }
+    let dominant: BTreeMap<Asn, u32> = counts
+        .iter()
+        .map(|(&n, by_lp)| {
+            let (&lp, _) = by_lp
+                .iter()
+                .max_by_key(|(&lp, &c)| (c, lp))
+                .expect("neighbor has at least one route");
+            (n, lp)
+        })
+        .collect();
+
+    // Pass 2: per-prefix check.
+    let mut result = NexthopConsistency {
+        prefixes: 0,
+        consistent: 0,
+        dominant,
+    };
+    for routes in rows.values() {
+        if routes.is_empty() {
+            continue;
+        }
+        result.prefixes += 1;
+        let ok = routes
+            .iter()
+            .all(|r| result.dominant.get(&r.neighbor) == Some(&r.local_pref));
+        if ok {
+            result.consistent += 1;
+        }
+    }
+    result
+}
+
+/// Fig 2(a): consistency of one AS's Looking-Glass view.
+pub fn lg_consistency(view: &LgView) -> NexthopConsistency {
+    consistency(&view.rows)
+}
+
+/// Fig 2(b): consistency per border router of one AS.
+pub fn router_consistency(views: &[RouterView]) -> Vec<(u32, NexthopConsistency)> {
+    views
+        .iter()
+        .map(|v| (v.router_id, consistency(&v.rows)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(n: u32, lp: u32) -> LgRoute {
+        LgRoute {
+            neighbor: Asn(n),
+            path: vec![Asn(n), Asn(99)],
+            local_pref: lp,
+            communities: vec![],
+            best: false,
+            truth_rel: None,
+        }
+    }
+
+    fn rows(data: Vec<(&str, Vec<LgRoute>)>) -> BTreeMap<Ipv4Prefix, Vec<LgRoute>> {
+        data.into_iter()
+            .map(|(p, rs)| (p.parse().unwrap(), rs))
+            .collect()
+    }
+
+    #[test]
+    fn fully_consistent_table() {
+        let r = rows(vec![
+            ("10.0.0.0/16", vec![route(2, 120), route(5, 90)]),
+            ("11.0.0.0/16", vec![route(2, 120)]),
+            ("12.0.0.0/16", vec![route(5, 90)]),
+        ]);
+        let c = consistency(&r);
+        assert_eq!(c.prefixes, 3);
+        assert_eq!(c.consistent, 3);
+        assert_eq!(c.percent(), 100.0);
+        assert_eq!(c.dominant[&Asn(2)], 120);
+        assert_eq!(c.dominant[&Asn(5)], 90);
+    }
+
+    #[test]
+    fn prefix_override_breaks_consistency_for_that_prefix_only() {
+        let r = rows(vec![
+            ("10.0.0.0/16", vec![route(2, 120)]),
+            ("11.0.0.0/16", vec![route(2, 120)]),
+            ("12.0.0.0/16", vec![route(2, 120)]),
+            ("13.0.0.0/16", vec![route(2, 145)]), // pinned prefix
+        ]);
+        let c = consistency(&r);
+        assert_eq!(c.prefixes, 4);
+        assert_eq!(c.consistent, 3);
+        assert!((c.percent() - 75.0).abs() < 1e-9);
+        assert_eq!(c.dominant[&Asn(2)], 120, "mode wins");
+    }
+
+    #[test]
+    fn tie_breaks_prefer_higher_lp_deterministically() {
+        let r = rows(vec![
+            ("10.0.0.0/16", vec![route(2, 100)]),
+            ("11.0.0.0/16", vec![route(2, 90)]),
+        ]);
+        let c = consistency(&r);
+        // 1 vote each: the tie-break picks the higher LOCAL_PREF (100).
+        assert_eq!(c.dominant[&Asn(2)], 100);
+        assert_eq!(c.consistent, 1);
+    }
+
+    #[test]
+    fn empty_table() {
+        let c = consistency(&BTreeMap::new());
+        assert_eq!(c.prefixes, 0);
+        assert_eq!(c.percent(), 100.0);
+        assert!(c.dominant.is_empty());
+    }
+
+    #[test]
+    fn lg_and_router_wrappers() {
+        let view = LgView {
+            asn: Asn(7018),
+            rows: rows(vec![("10.0.0.0/16", vec![route(2, 120)])]),
+        };
+        let c = lg_consistency(&view);
+        assert_eq!(c.prefixes, 1);
+
+        let routers = bgp_sim::split_into_routers(&view, 2, 0, 0.0);
+        let per_router = router_consistency(&routers);
+        assert_eq!(per_router.len(), 2);
+        for (_, c) in per_router {
+            assert!((0.0..=100.0).contains(&c.percent()));
+        }
+    }
+}

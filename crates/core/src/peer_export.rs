@@ -1,0 +1,217 @@
+//! Export-to-peer behaviour (§5.2, Table 10): do peers announce their own
+//! prefixes to other peers directly?
+
+use bgp_types::Asn;
+use bgp_sim::CollectorView;
+use net_topology::AsGraph;
+
+use crate::view::BestTable;
+
+/// Per-peer detail row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerExportRow {
+    /// The peer examined.
+    pub peer: Asn,
+    /// The peer's own prefixes visible anywhere (collector union).
+    pub own_prefixes: usize,
+    /// Of those, prefixes the provider hears *directly* from the peer
+    /// (best route `provider → peer`, one hop to the origin).
+    pub direct: usize,
+}
+
+impl PeerExportRow {
+    /// Does the peer announce all of its own prefixes directly?
+    pub fn announces_all(&self) -> bool {
+        self.own_prefixes > 0 && self.direct == self.own_prefixes
+    }
+}
+
+/// Table 10 for one provider.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PeerExportReport {
+    /// The provider whose peers are examined.
+    pub provider: Asn,
+    /// Per-peer rows (peers with zero visible prefixes are skipped).
+    pub rows: Vec<PeerExportRow>,
+}
+
+impl PeerExportReport {
+    /// Number of peers examined.
+    pub fn peers(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Percentage of peers announcing all their prefixes directly.
+    pub fn percent_announcing(&self) -> f64 {
+        if self.rows.is_empty() {
+            return 100.0;
+        }
+        100.0 * self.rows.iter().filter(|r| r.announces_all()).count() as f64
+            / self.rows.len() as f64
+    }
+}
+
+/// Computes Table 10's row for `table.asn`.
+///
+/// The denominator for each peer is the set of its own-originated prefixes
+/// visible anywhere in the collector (so a prefix withheld from *this*
+/// provider but announced elsewhere counts against the peer). Like the
+/// paper, a prefix is "announced directly" when the provider's best route
+/// is the one-hop peer route — a stricter-than-perfect proxy, since the
+/// provider could theoretically prefer another path, but for a peer's own
+/// prefixes the direct peer route is essentially always chosen.
+pub fn peer_export(
+    table: &BestTable,
+    collector: &CollectorView,
+    oracle: &AsGraph,
+) -> PeerExportReport {
+    let mut report = PeerExportReport {
+        provider: table.asn,
+        rows: Vec::new(),
+    };
+    for peer in oracle.peers_of(table.asn) {
+        // The peer's own prefixes, as visible globally.
+        let mut own = std::collections::BTreeSet::new();
+        for (&prefix, rows) in &collector.rows {
+            if rows.iter().any(|r| r.path.last() == Some(&peer)) {
+                own.insert(prefix);
+            }
+        }
+        if own.is_empty() {
+            continue;
+        }
+        let direct = own
+            .iter()
+            .filter(|p| {
+                table
+                    .rows
+                    .get(p)
+                    .map(|row| row.next_hop == peer && row.path.len() == 1)
+                    .unwrap_or(false)
+            })
+            .count();
+        report.rows.push(PeerExportRow {
+            peer,
+            own_prefixes: own.len(),
+            direct,
+        });
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::BestRow;
+    use bgp_sim::CollectorRow;
+    use bgp_types::{Ipv4Prefix, Relationship};
+    use net_topology::NodeInfo;
+    use std::collections::BTreeMap;
+
+    fn oracle() -> AsGraph {
+        let mut g = AsGraph::new();
+        for a in [1, 5, 6, 9] {
+            g.add_as(Asn(a), NodeInfo::default());
+        }
+        g.add_edge(Asn(1), Asn(5), Relationship::Peer).unwrap();
+        g.add_edge(Asn(1), Asn(6), Relationship::Peer).unwrap();
+        g.add_edge(Asn(1), Asn(9), Relationship::Customer).unwrap();
+        g
+    }
+
+    fn collector(entries: Vec<(&str, Vec<Vec<u32>>)>) -> CollectorView {
+        let mut v = CollectorView::default();
+        for (p, paths) in entries {
+            v.rows.insert(
+                p.parse::<Ipv4Prefix>().unwrap(),
+                paths
+                    .into_iter()
+                    .map(|raw| {
+                        let path: Vec<Asn> = raw.into_iter().map(Asn).collect();
+                        CollectorRow {
+                            peer: path[0],
+                            path,
+                            communities: vec![],
+                        }
+                    })
+                    .collect(),
+            );
+        }
+        v
+    }
+
+    fn table(rows: Vec<(&str, Vec<u32>)>) -> BestTable {
+        BestTable {
+            asn: Asn(1),
+            rows: rows
+                .into_iter()
+                .map(|(p, raw)| {
+                    let path: Vec<Asn> = raw.into_iter().map(Asn).collect();
+                    (
+                        p.parse().unwrap(),
+                        BestRow {
+                            next_hop: path[0],
+                            path,
+                        },
+                    )
+                })
+                .collect::<BTreeMap<_, _>>(),
+        }
+    }
+
+    #[test]
+    fn full_exporter_and_partial_exporter() {
+        let g = oracle();
+        // Peer 5 originates two prefixes, both heard directly.
+        // Peer 6 originates two, but 1 hears one of them via peer 5.
+        let col = collector(vec![
+            ("50.0.0.0/16", vec![vec![5]]),
+            ("50.1.0.0/16", vec![vec![5]]),
+            ("60.0.0.0/16", vec![vec![6]]),
+            ("60.1.0.0/16", vec![vec![5, 6]]),
+        ]);
+        let t = table(vec![
+            ("50.0.0.0/16", vec![5]),
+            ("50.1.0.0/16", vec![5]),
+            ("60.0.0.0/16", vec![6]),
+            ("60.1.0.0/16", vec![5, 6]), // heard via 5, not direct
+        ]);
+        let rep = peer_export(&t, &col, &g);
+        assert_eq!(rep.peers(), 2);
+        let row5 = rep.rows.iter().find(|r| r.peer == Asn(5)).unwrap();
+        assert!(row5.announces_all());
+        assert_eq!(row5.own_prefixes, 2);
+        let row6 = rep.rows.iter().find(|r| r.peer == Asn(6)).unwrap();
+        assert_eq!(row6.own_prefixes, 2);
+        assert_eq!(row6.direct, 1);
+        assert!(!row6.announces_all());
+        assert!((rep.percent_announcing() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn customers_are_not_counted_as_peers() {
+        let g = oracle();
+        let col = collector(vec![("90.0.0.0/16", vec![vec![9]])]);
+        let t = table(vec![("90.0.0.0/16", vec![9])]);
+        let rep = peer_export(&t, &col, &g);
+        assert_eq!(rep.peers(), 0);
+        assert_eq!(rep.percent_announcing(), 100.0);
+    }
+
+    #[test]
+    fn missing_prefix_in_table_counts_against_peer() {
+        let g = oracle();
+        // Peer 5's second prefix is globally visible but absent from 1's
+        // table entirely (withheld from this peering).
+        let col = collector(vec![
+            ("50.0.0.0/16", vec![vec![5]]),
+            ("50.1.0.0/16", vec![vec![6, 5]]),
+        ]);
+        let t = table(vec![("50.0.0.0/16", vec![5])]);
+        let rep = peer_export(&t, &col, &g);
+        let row5 = rep.rows.iter().find(|r| r.peer == Asn(5)).unwrap();
+        assert_eq!(row5.own_prefixes, 2);
+        assert_eq!(row5.direct, 1);
+        assert!(!row5.announces_all());
+    }
+}

@@ -1,0 +1,191 @@
+//! Persistence of SA prefixes over snapshot series (§5.1.4, Figs 6–7).
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use bgp_sim::SnapshotSeries;
+use net_topology::AsGraph;
+
+use crate::export_policy::sa_prefixes;
+use crate::view::BestTable;
+
+/// One point of Fig 6: a snapshot's total and SA prefix counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PersistencePoint {
+    /// Snapshot label (`day-07`, `hour-13`, …).
+    pub label: String,
+    /// Prefixes in the provider's table.
+    pub total: usize,
+    /// SA prefixes among them.
+    pub sa: usize,
+}
+
+/// Fig 6: the SA series of `provider` across the snapshots. The provider
+/// must be one of the series' Looking-Glass ASes.
+pub fn sa_series(
+    series: &SnapshotSeries,
+    provider: Asn,
+    oracle: &AsGraph,
+) -> Vec<PersistencePoint> {
+    series
+        .labels
+        .iter()
+        .zip(&series.snapshots)
+        .map(|(label, snap)| {
+            let lg = snap
+                .lg(provider)
+                .expect("provider must be a Looking-Glass AS of the series");
+            let table = BestTable::from_lg(lg);
+            let report = sa_prefixes(&table, oracle);
+            PersistencePoint {
+                label: label.clone(),
+                total: table.rows.len(),
+                sa: report.sa.len(),
+            }
+        })
+        .collect()
+}
+
+/// Fig 7: uptime histograms. For every prefix that was SA in at least one
+/// snapshot: `uptime` = number of snapshots the prefix was present in the
+/// provider's table; it is *remaining SA* when it was SA in every one of
+/// them, otherwise it *shifted* between SA and non-SA.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UptimeHistogram {
+    /// uptime → count of prefixes SA whenever present.
+    pub remaining: BTreeMap<usize, usize>,
+    /// uptime → count of prefixes that shifted SA ↔ non-SA.
+    pub shifted: BTreeMap<usize, usize>,
+}
+
+impl UptimeHistogram {
+    /// Total ever-SA prefixes.
+    pub fn total(&self) -> usize {
+        self.remaining.values().sum::<usize>() + self.shifted.values().sum::<usize>()
+    }
+
+    /// Fraction of ever-SA prefixes that shifted (the paper's "about one
+    /// sixth … over a month").
+    pub fn shifted_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.shifted.values().sum::<usize>() as f64 / total as f64
+        }
+    }
+}
+
+/// Computes Fig 7's histograms for `provider` over the series.
+pub fn uptime_histogram(
+    series: &SnapshotSeries,
+    provider: Asn,
+    oracle: &AsGraph,
+) -> UptimeHistogram {
+    let mut present: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+    let mut sa_count: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+    for snap in &series.snapshots {
+        let lg = snap
+            .lg(provider)
+            .expect("provider must be a Looking-Glass AS of the series");
+        let table = BestTable::from_lg(lg);
+        let report = sa_prefixes(&table, oracle);
+        for &p in table.rows.keys() {
+            *present.entry(p).or_insert(0) += 1;
+        }
+        for &p in &report.sa {
+            *sa_count.entry(p).or_insert(0) += 1;
+        }
+    }
+    let mut hist = UptimeHistogram::default();
+    for (&prefix, &sa) in &sa_count {
+        let uptime = present.get(&prefix).copied().unwrap_or(0);
+        debug_assert!(sa <= uptime);
+        if sa == uptime {
+            *hist.remaining.entry(uptime).or_insert(0) += 1;
+        } else {
+            *hist.shifted.entry(uptime).or_insert(0) += 1;
+        }
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::{
+        ChurnConfig, GroundTruth, PolicyParams, Simulation, VantageSpec,
+    };
+    use net_topology::{InternetConfig, InternetSize};
+
+    fn world() -> (AsGraph, GroundTruth, VantageSpec) {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let t = GroundTruth::generate(&g, &PolicyParams::default());
+        let spec = VantageSpec::paper_like(&g, 10, 6);
+        (g, t, spec)
+    }
+
+    #[test]
+    fn zero_churn_series_is_flat() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 1,
+            steps: 3,
+            flip_prob: 0.0,
+            link_failure_prob: 0.0,
+            label: "day",
+        };
+        let series = bgp_sim::churn::simulate_series(&g, &t, &spec, &cfg);
+        let provider = spec.lg_ases[0];
+        let points = sa_series(&series, provider, &g);
+        assert_eq!(points.len(), 3);
+        assert!(points.windows(2).all(|w| w[0].sa == w[1].sa));
+        assert!(points.windows(2).all(|w| w[0].total == w[1].total));
+        assert!(points[0].total > 0);
+
+        let hist = uptime_histogram(&series, provider, &g);
+        // Nothing shifted; every ever-SA prefix has full uptime 3.
+        assert!(hist.shifted.is_empty());
+        assert!(hist.remaining.keys().all(|&u| u == 3));
+        assert_eq!(hist.shifted_fraction(), 0.0);
+    }
+
+    #[test]
+    fn forced_churn_produces_shifts() {
+        let (g, t, spec) = world();
+        if t.selective_subset_origins.is_empty() {
+            return;
+        }
+        let cfg = ChurnConfig {
+            seed: 77,
+            steps: 8,
+            flip_prob: 0.9,
+            link_failure_prob: 0.0,
+            label: "day",
+        };
+        let series = bgp_sim::churn::simulate_series(&g, &t, &spec, &cfg);
+        let provider = spec.lg_ases[0];
+        let hist = uptime_histogram(&series, provider, &g);
+        // With aggressive re-rolls across 8 snapshots, some prefix must
+        // have flipped between SA and non-SA at this provider.
+        assert!(
+            hist.total() == 0 || hist.shifted_fraction() > 0.0,
+            "hist: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn single_snapshot_gives_uptime_one() {
+        let (g, t, spec) = world();
+        let out = Simulation::new(&g, &t, &spec).run();
+        let series = SnapshotSeries {
+            labels: vec!["day-01".into()],
+            snapshots: vec![out],
+        };
+        let provider = spec.lg_ases[0];
+        let hist = uptime_histogram(&series, provider, &g);
+        for (&u, _) in hist.remaining.iter().chain(hist.shifted.iter()) {
+            assert_eq!(u, 1);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! The one-call experiment harness: synthetic Internet in, paper
+//! measurements out. Benches, examples and integration tests all start
+//! here.
+//!
+//! The pipeline mirrors the paper's §3 setup:
+//!
+//! 1. generate the Internet ([`net_topology::InternetConfig`]);
+//! 2. pick vantages — a collector peering with the top ASes, Looking-Glass
+//!    access at a degree-diverse sample ([`VantageSpec::paper_like`]);
+//! 3. generate ground-truth policies (prefix-based overrides placed at the
+//!    Looking-Glass ASes so Fig 2's effect is observable);
+//! 4. propagate with [`bgp_sim::Simulation`];
+//! 5. infer AS relationships with Gao's algorithm over the observed paths
+//!    — analyses then run on the *inferred* graph, as the paper did.
+
+use bgp_types::Asn;
+use as_relationships::{infer, InferenceParams, InferredRelationships};
+use bgp_sim::{GroundTruth, PolicyParams, SimOutput, Simulation, VantageSpec};
+use net_topology::{AsGraph, InternetConfig, InternetSize};
+
+use crate::view::BestTable;
+
+/// A fully-materialized experiment.
+#[derive(Debug)]
+pub struct Experiment {
+    /// The synthetic Internet (ground-truth relationships + prefixes).
+    pub graph: AsGraph,
+    /// Ground-truth policies.
+    pub truth: GroundTruth,
+    /// The vantage configuration.
+    pub spec: VantageSpec,
+    /// Simulated collector and Looking-Glass views.
+    pub output: SimOutput,
+    /// Gao-inferred relationships from the observed paths.
+    pub inferred: InferredRelationships,
+    /// The inferred relationships materialized as a graph (the oracle the
+    /// paper's analyses run on).
+    pub inferred_graph: AsGraph,
+}
+
+impl Experiment {
+    /// Vantage sizing per world size: `(collector peers, LG ASes)`.
+    /// The Paper preset matches §3: 56 collector peers, 16 LG ASes
+    /// (RouteView's 56 peers; 15 LG servers + AT&T).
+    pub fn vantage_counts(size: InternetSize) -> (usize, usize) {
+        match size {
+            InternetSize::Tiny => (10, 6),
+            InternetSize::Small => (24, 10),
+            InternetSize::Paper | InternetSize::Large => (56, 16),
+        }
+    }
+
+    /// Builds the standard experiment for a world size and seed.
+    pub fn standard(size: InternetSize, seed: u64) -> Experiment {
+        let graph = InternetConfig::of_size(size).with_seed(seed).build();
+        let (n_collector, n_lg) = Self::vantage_counts(size);
+        Self::with_world(graph, n_collector, n_lg, seed)
+    }
+
+    /// Builds an experiment over a pre-built graph (for custom topologies
+    /// and ablations).
+    pub fn with_world(
+        graph: AsGraph,
+        n_collector: usize,
+        n_lg: usize,
+        seed: u64,
+    ) -> Experiment {
+        let spec = VantageSpec::paper_like(&graph, n_collector, n_lg);
+        let params = PolicyParams {
+            seed: seed ^ 0x5EED_0001,
+            override_ases: spec.lg_ases.clone(),
+            ..Default::default()
+        };
+        let truth = GroundTruth::generate(&graph, &params);
+        Self::with_policies(graph, truth, spec)
+    }
+
+    /// Builds an experiment from explicit policies (churn studies reuse
+    /// this to re-run with mutated truth).
+    pub fn with_policies(graph: AsGraph, truth: GroundTruth, spec: VantageSpec) -> Experiment {
+        let output = Simulation::new(&graph, &truth, &spec).run();
+        // Paths for relationship inference: the collector's best paths plus
+        // every candidate path of every Looking-Glass view (each prefixed
+        // by the view owner) — the paper likewise combines RouteViews with
+        // the 15 Looking-Glass tables (§3).
+        let mut owned_paths: Vec<Vec<Asn>> = Vec::new();
+        for lg in output.lgs.values() {
+            for routes in lg.rows.values() {
+                for r in routes {
+                    let mut p = Vec::with_capacity(r.path.len() + 1);
+                    p.push(lg.asn);
+                    p.extend_from_slice(&r.path);
+                    owned_paths.push(p);
+                }
+            }
+        }
+        let paths = output
+            .collector
+            .all_paths()
+            .map(|row| row.path.as_slice())
+            .chain(owned_paths.iter().map(Vec::as_slice));
+        let inferred = infer(paths, &InferenceParams::default());
+        let inferred_graph = inferred.to_graph();
+        Experiment {
+            graph,
+            truth,
+            spec,
+            output,
+            inferred,
+            inferred_graph,
+        }
+    }
+
+    /// The best-route table of a Looking-Glass AS.
+    pub fn lg_table(&self, asn: Asn) -> Option<BestTable> {
+        self.output.lg(asn).map(BestTable::from_lg)
+    }
+
+    /// The best-route table of a collector peer (extracted from the
+    /// collector view, as the paper does for the RouteViews-only ASes).
+    pub fn collector_table(&self, peer: Asn) -> BestTable {
+        BestTable::from_collector(&self.output.collector, peer)
+    }
+
+    /// The ASes whose export policies Table 5 examines: every LG AS plus
+    /// enough further collector peers to reach `n` (dedup, spec order).
+    pub fn measured_ases(&self, n: usize) -> Vec<Asn> {
+        let mut out: Vec<Asn> = Vec::new();
+        for &a in self.spec.lg_ases.iter().chain(&self.spec.collector_peers) {
+            if !out.contains(&a) {
+                out.push(a);
+            }
+            if out.len() == n {
+                break;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export_policy::sa_prefixes;
+    use crate::import_policy::lg_typicality;
+    use crate::score::score_sa;
+    use as_relationships::AccuracyReport;
+
+    fn exp() -> Experiment {
+        Experiment::standard(InternetSize::Tiny, 42)
+    }
+
+    #[test]
+    fn pipeline_produces_consistent_world() {
+        let e = exp();
+        assert!(e.output.diagnostics.non_converged == 0);
+        assert!(e.inferred.len() > 0);
+        e.inferred_graph.validate().unwrap_or_else(|err| {
+            // Inferred graphs may contain provider cycles when the
+            // inference errs; that is data, not a bug — but on Tiny with
+            // default params it should be clean.
+            panic!("inferred graph invalid: {err}")
+        });
+        let tables = e.measured_ases(5);
+        assert_eq!(tables.len(), 5);
+    }
+
+    #[test]
+    fn inference_accuracy_is_high_on_tiny() {
+        let e = exp();
+        let rep = AccuracyReport::compute(&e.graph, &e.inferred);
+        assert!(rep.compared > 50);
+        assert!(
+            rep.accuracy() > 0.85,
+            "accuracy {:.3}, confusion {:?}",
+            rep.accuracy(),
+            rep.confusion
+        );
+        assert_eq!(rep.phantom, 0, "simulated paths contain only real edges");
+    }
+
+    #[test]
+    fn typicality_is_high_at_lg_ases() {
+        // On the Tiny world the degree hierarchy is too flat for reliable
+        // relationship inference, so the metric is checked against the true
+        // oracle here; the inferred-oracle version is asserted at realistic
+        // sizes in the workspace integration tests.
+        let e = exp();
+        let lg = e.spec.lg_ases[0];
+        let t = lg_typicality(e.output.lg(lg).unwrap(), &e.graph);
+        assert!(t.prefixes_compared > 0);
+        assert!(t.percent() > 80.0, "typicality {}", t.percent());
+        let t_inf = lg_typicality(e.output.lg(lg).unwrap(), &e.inferred_graph);
+        assert!(t_inf.percent() > 30.0, "inferred-oracle sanity bound");
+    }
+
+    #[test]
+    fn sa_detection_end_to_end_with_truth_scoring() {
+        let e = exp();
+        let provider = e.spec.lg_ases[0];
+        let table = e.lg_table(provider).unwrap();
+        let report = sa_prefixes(&table, &e.inferred_graph);
+        assert!(report.customer_prefixes > 0);
+        let s = score_sa(&report, &e.truth, &e.graph);
+        // On the tiny world the inference may be imperfect, but precision
+        // should not collapse.
+        if s.predicted > 0 {
+            assert!(s.precision() > 0.5, "precision {:.2}", s.precision());
+        }
+    }
+
+    #[test]
+    fn collector_tables_extract() {
+        let e = exp();
+        let peer = e.spec.collector_peers[0];
+        let t = e.collector_table(peer);
+        assert_eq!(t.asn, peer);
+        assert!(!t.rows.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Ground-truth scoring of the SA inference — beyond the paper.
+//!
+//! The paper can only *verify* (§5.1.3); with the simulator's ground truth
+//! we can score. A predicted SA prefix is a true positive when some
+//! ground-truth mechanism explains it: its origin practices selective
+//! announcement (subset or tag style) or splitting, or some AS that has
+//! the origin in its customer cone aggregates PA space or re-exports
+//! customers selectively.
+
+use std::collections::BTreeSet;
+
+use bgp_types::Asn;
+use bgp_sim::GroundTruth;
+use net_topology::{AsGraph, CustomerCone};
+
+use crate::export_policy::SaReport;
+
+/// Precision/recall of one provider's SA report against ground truth.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SaScore {
+    /// Predicted SA prefixes.
+    pub predicted: usize,
+    /// Predicted SA prefixes with a ground-truth cause.
+    pub true_positives: usize,
+    /// Selective origins (ground truth) inside the provider's cone that
+    /// contributed prefixes to the table.
+    pub selective_origins_visible: usize,
+    /// Of those, origins flagged by the inference (≥ 1 SA prefix).
+    pub selective_origins_detected: usize,
+}
+
+impl SaScore {
+    /// Prefix-level precision.
+    pub fn precision(&self) -> f64 {
+        if self.predicted == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / self.predicted as f64
+        }
+    }
+
+    /// Origin-level recall.
+    pub fn recall(&self) -> f64 {
+        if self.selective_origins_visible == 0 {
+            1.0
+        } else {
+            self.selective_origins_detected as f64 / self.selective_origins_visible as f64
+        }
+    }
+}
+
+/// Scores `report` (built on the *true* graph or the inferred one — both
+/// are legitimate; the paper's pipeline uses inferred) against `truth`.
+pub fn score_sa(report: &SaReport, truth: &GroundTruth, true_graph: &AsGraph) -> SaScore {
+    // ASes whose behaviour can cause SA prefixes *below* them: selective
+    // transits and aggregators. Build their cones once.
+    let mut intermediate_causers: Vec<(Asn, CustomerCone)> = Vec::new();
+    for &a in truth.selective_transits.iter().chain(truth.aggregators.iter()) {
+        intermediate_causers.push((a, CustomerCone::build(true_graph, a)));
+    }
+    let selective_origins: BTreeSet<Asn> = truth
+        .all_selective_origins()
+        .into_iter()
+        .chain(truth.splitters.keys().copied())
+        .collect();
+
+    let mut score = SaScore {
+        predicted: report.sa.len(),
+        ..Default::default()
+    };
+
+    // Prefix-level precision via per-origin tallies.
+    for (&origin, &(_, sa)) in &report.per_origin {
+        if sa == 0 {
+            continue;
+        }
+        let origin_explained = selective_origins.contains(&origin)
+            || intermediate_causers
+                .iter()
+                .any(|(a, cone)| *a == origin || cone.contains(origin));
+        if origin_explained {
+            score.true_positives += sa;
+        }
+    }
+
+    // Origin-level recall.
+    let provider_cone = CustomerCone::build(true_graph, report.provider);
+    for &origin in &selective_origins {
+        if !provider_cone.contains(origin) {
+            continue;
+        }
+        match report.per_origin.get(&origin) {
+            Some(&(total, sa)) if total > 0 => {
+                score.selective_origins_visible += 1;
+                if sa > 0 {
+                    score.selective_origins_detected += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    score
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::PolicyParams;
+    use net_topology::{InternetConfig, InternetSize};
+
+    #[test]
+    fn empty_report_scores_perfect_precision() {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let truth = GroundTruth::generate(&g, &PolicyParams::default());
+        let report = SaReport {
+            provider: g.by_degree_desc()[0],
+            ..Default::default()
+        };
+        let s = score_sa(&report, &truth, &g);
+        assert_eq!(s.predicted, 0);
+        assert_eq!(s.precision(), 1.0);
+    }
+
+    #[test]
+    fn score_fields_are_consistent() {
+        // End-to-end smoke: simulate, detect, score on the true graph.
+        use crate::export_policy::sa_prefixes;
+        use crate::view::BestTable;
+        use bgp_sim::{Simulation, VantageSpec};
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let truth = GroundTruth::generate(&g, &PolicyParams::default());
+        let spec = VantageSpec::paper_like(&g, 10, 6);
+        let out = Simulation::new(&g, &truth, &spec).run();
+        let provider = spec.lg_ases[0];
+        let table = BestTable::from_lg(out.lg(provider).unwrap());
+        let report = sa_prefixes(&table, &g);
+        let s = score_sa(&report, &truth, &g);
+        assert!(s.true_positives <= s.predicted);
+        assert!(s.selective_origins_detected <= s.selective_origins_visible);
+        assert!((0.0..=1.0).contains(&s.precision()));
+        assert!((0.0..=1.0).contains(&s.recall()));
+    }
+}

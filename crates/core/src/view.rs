@@ -1,0 +1,185 @@
+//! Unified best-route tables.
+//!
+//! The paper works from two table shapes (§3): the Oregon collector (per
+//! peer, best path only) and Looking-Glass views (all candidates,
+//! LOCAL_PREF visible). [`BestTable`] is the least common denominator the
+//! export-policy analyses need: *the best route of one AS per prefix*.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use bgp_sim::{CollectorView, LgView};
+
+/// The best route of the table's AS for one prefix. The path excludes the
+/// table owner: it starts at the next-hop AS and ends at the origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BestRow {
+    /// The neighbor the best route was learned from.
+    pub next_hop: Asn,
+    /// AS path from that neighbor to the origin.
+    pub path: Vec<Asn>,
+}
+
+impl BestRow {
+    /// The origin AS (last element of the path).
+    pub fn origin(&self) -> Asn {
+        *self.path.last().expect("paths are non-empty")
+    }
+}
+
+/// One AS's best-route table.
+#[derive(Debug, Clone, Default)]
+pub struct BestTable {
+    /// The table owner.
+    pub asn: Asn,
+    /// Best route per prefix.
+    pub rows: BTreeMap<Ipv4Prefix, BestRow>,
+}
+
+impl BestTable {
+    /// Builds the owner's table from its Looking-Glass view (rows flagged
+    /// best). Prefixes with no best route (should not happen) are skipped.
+    pub fn from_lg(view: &LgView) -> BestTable {
+        let mut rows = BTreeMap::new();
+        for (&prefix, routes) in &view.rows {
+            if let Some(best) = routes.iter().find(|r| r.best) {
+                if !best.path.is_empty() {
+                    rows.insert(
+                        prefix,
+                        BestRow {
+                            next_hop: best.neighbor,
+                            path: best.path.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        BestTable {
+            asn: view.asn,
+            rows,
+        }
+    }
+
+    /// Extracts the table of collector peer `peer` from the collector view
+    /// (each collector row *is* that peer's best route; the leading element
+    /// of the stored path is the peer itself and is stripped).
+    ///
+    /// Rows where the peer is itself the origin carry no onward path and
+    /// are skipped, as are rows for other peers.
+    pub fn from_collector(view: &CollectorView, peer: Asn) -> BestTable {
+        let mut rows = BTreeMap::new();
+        for (&prefix, peer_rows) in &view.rows {
+            for row in peer_rows {
+                if row.peer != peer || row.path.len() < 2 {
+                    continue;
+                }
+                debug_assert_eq!(row.path[0], peer);
+                rows.insert(
+                    prefix,
+                    BestRow {
+                        next_hop: row.path[1],
+                        path: row.path[1..].to_vec(),
+                    },
+                );
+            }
+        }
+        BestTable { asn: peer, rows }
+    }
+
+    /// Prefixes originated by `origin` according to this table.
+    pub fn prefixes_of(&self, origin: Asn) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.rows
+            .iter()
+            .filter(move |(_, r)| r.origin() == origin)
+            .map(|(&p, _)| p)
+    }
+
+    /// All distinct origins seen in the table.
+    pub fn origins(&self) -> std::collections::BTreeSet<Asn> {
+        self.rows.values().map(BestRow::origin).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::{CollectorRow, LgRoute};
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn from_lg_keeps_only_best() {
+        let view = LgView {
+            asn: Asn(4),
+            rows: BTreeMap::from([(
+                pfx("10.0.0.0/16"),
+                vec![
+                    LgRoute {
+                        neighbor: Asn(2),
+                        path: vec![Asn(2), Asn(1)],
+                        local_pref: 120,
+                        communities: vec![],
+                        best: true,
+                        truth_rel: None,
+                    },
+                    LgRoute {
+                        neighbor: Asn(5),
+                        path: vec![Asn(5), Asn(3), Asn(1)],
+                        local_pref: 90,
+                        communities: vec![],
+                        best: false,
+                        truth_rel: None,
+                    },
+                ],
+            )]),
+        };
+        let t = BestTable::from_lg(&view);
+        assert_eq!(t.asn, Asn(4));
+        let row = &t.rows[&pfx("10.0.0.0/16")];
+        assert_eq!(row.next_hop, Asn(2));
+        assert_eq!(row.origin(), Asn(1));
+        assert_eq!(t.prefixes_of(Asn(1)).count(), 1);
+        assert_eq!(t.prefixes_of(Asn(9)).count(), 0);
+        assert!(t.origins().contains(&Asn(1)));
+    }
+
+    #[test]
+    fn from_collector_strips_the_peer() {
+        let view = CollectorView {
+            peers: vec![Asn(10), Asn(20)],
+            rows: BTreeMap::from([
+                (
+                    pfx("10.0.0.0/16"),
+                    vec![
+                        CollectorRow {
+                            peer: Asn(10),
+                            path: vec![Asn(10), Asn(11), Asn(1)],
+                            communities: vec![],
+                        },
+                        CollectorRow {
+                            peer: Asn(20),
+                            path: vec![Asn(20), Asn(1)],
+                            communities: vec![],
+                        },
+                    ],
+                ),
+                (
+                    pfx("20.0.0.0/16"),
+                    vec![CollectorRow {
+                        peer: Asn(20),
+                        path: vec![Asn(20)], // 20 originates: no onward path
+                        communities: vec![],
+                    }],
+                ),
+            ]),
+        };
+        let t = BestTable::from_collector(&view, Asn(10));
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[&pfx("10.0.0.0/16")].next_hop, Asn(11));
+        let t20 = BestTable::from_collector(&view, Asn(20));
+        assert_eq!(t20.rows.len(), 1, "own origination row skipped");
+        assert_eq!(t20.rows[&pfx("10.0.0.0/16")].path, vec![Asn(1)]);
+    }
+}

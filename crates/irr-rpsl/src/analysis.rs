@@ -1,0 +1,165 @@
+//! Typicality of registered import preferences — the measurement behind
+//! the paper's Table 3.
+//!
+//! For an `aut-num` object and a relationship oracle (inferred or true),
+//! we examine every pair of neighbors from *different* classes that both
+//! carry a `pref` action, and ask whether the registered ordering conforms
+//! to the typical one: customer preferred over peer preferred over
+//! provider. Remember RPSL pref is inverted (smaller = preferred).
+
+use bgp_types::{Asn, Relationship};
+
+use crate::object::AutNum;
+
+/// Pairwise typicality counts for one AS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TypicalityStats {
+    /// Cross-class neighbor pairs compared.
+    pub pairs: usize,
+    /// Pairs whose registered ordering is the typical one (strictly).
+    pub typical: usize,
+    /// Neighbors with a usable pref and known relationship.
+    pub usable_neighbors: usize,
+}
+
+impl TypicalityStats {
+    /// Percentage of typical pairs (100 when nothing compared — an AS with
+    /// a single class of neighbors cannot be atypical).
+    pub fn percent_typical(&self) -> f64 {
+        if self.pairs == 0 {
+            100.0
+        } else {
+            100.0 * self.typical as f64 / self.pairs as f64
+        }
+    }
+}
+
+/// Computes typicality for one object. `rel_of` maps a neighbor to its
+/// relationship *relative to the object's AS* ("the neighbor is my …");
+/// neighbors with unknown relationships are skipped, mirroring the paper's
+/// restriction to ASes whose relationships could be inferred.
+pub fn typicality<F>(object: &AutNum, rel_of: F) -> TypicalityStats
+where
+    F: Fn(Asn) -> Option<Relationship>,
+{
+    // Collect (rank, rpsl_pref) per neighbor with both pieces known.
+    let mut entries: Vec<(u8, u32)> = Vec::new();
+    for rule in &object.imports {
+        let Some(pref) = rule.pref else { continue };
+        let Some(rel) = rel_of(rule.from) else { continue };
+        entries.push((rel.typical_pref_rank(), pref));
+    }
+    let mut stats = TypicalityStats {
+        usable_neighbors: entries.len(),
+        ..Default::default()
+    };
+    for i in 0..entries.len() {
+        for j in (i + 1)..entries.len() {
+            let (rank_a, pref_a) = entries[i];
+            let (rank_b, pref_b) = entries[j];
+            if rank_a == rank_b {
+                continue;
+            }
+            stats.pairs += 1;
+            // Higher rank (customer=2 > peer=1 > provider=0) must have the
+            // *smaller* RPSL pref.
+            let (hi, lo) = if rank_a > rank_b {
+                (pref_a, pref_b)
+            } else {
+                (pref_b, pref_a)
+            };
+            if hi < lo {
+                stats.typical += 1;
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::{Filter, ImportRule};
+    use Relationship::*;
+
+    fn object_with(prefs: &[(u32, u32)]) -> AutNum {
+        AutNum {
+            asn: Asn(1),
+            as_name: "X".into(),
+            descr: String::new(),
+            imports: prefs
+                .iter()
+                .map(|&(n, p)| ImportRule {
+                    from: Asn(n),
+                    pref: Some(p),
+                    accept: Filter::Any,
+                })
+                .collect(),
+            exports: vec![],
+            changed: 2002_06_01,
+            source: "SYNTH".into(),
+        }
+    }
+
+    fn rel_fixture(n: Asn) -> Option<Relationship> {
+        match n.0 {
+            10..=19 => Some(Customer),
+            20..=29 => Some(Peer),
+            30..=39 => Some(Provider),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn fully_typical_object() {
+        // customer pref 880 < peer 900 < provider 930 (RPSL inverted).
+        let o = object_with(&[(10, 880), (20, 900), (30, 930)]);
+        let s = typicality(&o, rel_fixture);
+        assert_eq!(s.usable_neighbors, 3);
+        assert_eq!(s.pairs, 3);
+        assert_eq!(s.typical, 3);
+        assert!((s.percent_typical() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn atypical_pairs_are_counted() {
+        // Peer preferred over customer (900 < 920): 1 of 3 cross-class
+        // pairs atypical (peer<customer), customer<provider ok, peer<provider ok.
+        let o = object_with(&[(10, 920), (20, 900), (30, 930)]);
+        let s = typicality(&o, rel_fixture);
+        assert_eq!(s.pairs, 3);
+        assert_eq!(s.typical, 2);
+        assert!((s.percent_typical() - 66.666).abs() < 0.01);
+    }
+
+    #[test]
+    fn equal_prefs_across_classes_are_atypical() {
+        // The paper's definition: atypical when peer/provider pref is
+        // "not lower" than customer — equality counts as atypical.
+        let o = object_with(&[(10, 900), (20, 900)]);
+        let s = typicality(&o, rel_fixture);
+        assert_eq!(s.pairs, 1);
+        assert_eq!(s.typical, 0);
+    }
+
+    #[test]
+    fn unknown_relationships_and_missing_prefs_are_skipped() {
+        let mut o = object_with(&[(10, 880), (99, 10)]);
+        o.imports.push(ImportRule {
+            from: Asn(20),
+            pref: None,
+            accept: Filter::Any,
+        });
+        let s = typicality(&o, rel_fixture);
+        assert_eq!(s.usable_neighbors, 1);
+        assert_eq!(s.pairs, 0);
+        assert_eq!(s.percent_typical(), 100.0);
+    }
+
+    #[test]
+    fn same_class_pairs_never_compared() {
+        let o = object_with(&[(10, 880), (11, 999), (12, 1)]);
+        let s = typicality(&o, rel_fixture);
+        assert_eq!(s.pairs, 0);
+    }
+}

@@ -1,0 +1,214 @@
+//! IRR snapshot generation from ground truth — with the real registry's
+//! pathologies: missing objects, stale objects, silent drift.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bgp_types::Relationship;
+use net_topology::AsGraph;
+use bgp_sim::GroundTruth;
+
+use crate::object::{AutNum, ExportRule, Filter, ImportRule};
+use crate::parse::IrrDatabase;
+
+/// Knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct IrrGenParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Fraction of ASes that registered an object at all.
+    pub coverage: f64,
+    /// Fraction of registered objects whose `changed:` date is from 2001
+    /// (the paper discards these).
+    pub stale_frac: f64,
+    /// Fraction of *fresh-dated* objects whose prefs no longer match the
+    /// deployed policy (drift the paper cannot detect).
+    pub drift_frac: f64,
+}
+
+impl Default for IrrGenParams {
+    fn default() -> Self {
+        IrrGenParams {
+            seed: 0x1224_2002,
+            coverage: 0.85,
+            stale_frac: 0.20,
+            drift_frac: 0.05,
+        }
+    }
+}
+
+/// RPSL `pref` is inverted: smaller = more preferred. We publish
+/// `1000 - LOCAL_PREF`, matching how operators commonly map the two.
+pub fn local_pref_to_rpsl(lp: u32) -> u32 {
+    1000u32.saturating_sub(lp)
+}
+
+/// Generates an IRR snapshot for `graph` under `truth` policies.
+pub fn generate_irr(graph: &AsGraph, truth: &GroundTruth, params: &IrrGenParams) -> IrrDatabase {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut db = IrrDatabase::default();
+
+    for asn in graph.ases() {
+        if !rng.gen_bool(params.coverage) {
+            continue; // never registered
+        }
+        let stale = rng.gen_bool(params.stale_frac);
+        let drift = !stale && rng.gen_bool(params.drift_frac);
+        let changed = if stale {
+            // Some day in 2001.
+            2001_00_00 + rng.gen_range(1..=12) * 100 + rng.gen_range(1..=28)
+        } else {
+            2002_00_00 + rng.gen_range(1..=11) * 100 + rng.gen_range(1..=28)
+        };
+
+        let policy = truth.policy(asn);
+        let info = graph.info(asn).expect("node exists");
+        let mut imports = Vec::new();
+        let mut exports = Vec::new();
+        for (n, rel) in graph.neighbors(asn) {
+            let lp = if drift || stale {
+                // Outdated or drifted: a *previous* policy — re-jittered
+                // bands, occasionally with the class ordering inverted.
+                let base = match rel {
+                    Relationship::Customer | Relationship::Sibling => rng.gen_range(105..=135),
+                    Relationship::Peer => rng.gen_range(85..=110),
+                    Relationship::Provider => rng.gen_range(55..=90),
+                };
+                if rng.gen_bool(0.15) {
+                    // Historical atypical assignment.
+                    rng.gen_range(55..=135)
+                } else {
+                    base
+                }
+            } else {
+                policy.import.pref_for(n, rel, bgp_types::Ipv4Prefix::DEFAULT)
+            };
+            imports.push(ImportRule {
+                from: n,
+                pref: Some(local_pref_to_rpsl(lp)),
+                accept: match rel {
+                    Relationship::Customer | Relationship::Sibling => Filter::Origin(n),
+                    _ => Filter::Any,
+                },
+            });
+            // Export policy follows §2.2.2: own + customer routes to
+            // providers/peers (expressed as an as-set), everything to
+            // customers (ANY).
+            exports.push(ExportRule {
+                to: n,
+                announce: match rel {
+                    Relationship::Customer | Relationship::Sibling => Filter::Any,
+                    _ => Filter::AsSet(format!("AS-{}-CUST", asn.0)),
+                },
+            });
+        }
+
+        db.objects.push(AutNum {
+            asn,
+            as_name: info
+                .name
+                .replace(' ', "-")
+                .to_ascii_uppercase(),
+            descr: "synthetic IRR object (reproduction substrate)".into(),
+            imports,
+            exports,
+            changed,
+            source: "SYNTH".into(),
+        });
+    }
+
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgp_sim::PolicyParams;
+    use net_topology::{InternetConfig, InternetSize};
+
+    fn world() -> (AsGraph, GroundTruth) {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let t = GroundTruth::generate(&g, &PolicyParams::default());
+        (g, t)
+    }
+
+    #[test]
+    fn coverage_controls_object_count() {
+        let (g, t) = world();
+        let full = generate_irr(&g, &t, &IrrGenParams { coverage: 1.0, ..Default::default() });
+        assert_eq!(full.objects.len(), g.as_count());
+        let none = generate_irr(&g, &t, &IrrGenParams { coverage: 0.0, ..Default::default() });
+        assert_eq!(none.objects.len(), 0);
+        let partial = generate_irr(&g, &t, &IrrGenParams { coverage: 0.5, ..Default::default() });
+        assert!(partial.objects.len() > 0 && partial.objects.len() < g.as_count());
+    }
+
+    #[test]
+    fn fresh_objects_reflect_true_policy() {
+        let (g, t) = world();
+        let db = generate_irr(
+            &g,
+            &t,
+            &IrrGenParams {
+                coverage: 1.0,
+                stale_frac: 0.0,
+                drift_frac: 0.0,
+                ..Default::default()
+            },
+        );
+        for o in &db.objects {
+            assert!(o.updated_in(2002));
+            let pol = t.policy(o.asn);
+            for (n, rel) in g.neighbors(o.asn) {
+                let expect = local_pref_to_rpsl(pol.import.pref_for(
+                    n,
+                    rel,
+                    bgp_types::Ipv4Prefix::DEFAULT,
+                ));
+                assert_eq!(o.pref_for(n), Some(expect), "AS {} neighbor {n}", o.asn);
+            }
+        }
+    }
+
+    #[test]
+    fn stale_fraction_is_dated_2001() {
+        let (g, t) = world();
+        let db = generate_irr(
+            &g,
+            &t,
+            &IrrGenParams {
+                coverage: 1.0,
+                stale_frac: 1.0,
+                drift_frac: 0.0,
+                ..Default::default()
+            },
+        );
+        assert!(db.objects.iter().all(|o| o.updated_in(2001)));
+    }
+
+    #[test]
+    fn generated_database_roundtrips_through_text() {
+        let (g, t) = world();
+        let db = generate_irr(&g, &t, &IrrGenParams::default());
+        let text = db.render();
+        let back = IrrDatabase::parse(&text).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn pref_inversion() {
+        assert_eq!(local_pref_to_rpsl(120), 880);
+        assert_eq!(local_pref_to_rpsl(0), 1000);
+        assert_eq!(local_pref_to_rpsl(2000), 0, "saturates");
+        // Smaller RPSL pref ⇔ higher LOCAL_PREF.
+        assert!(local_pref_to_rpsl(120) < local_pref_to_rpsl(80));
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, t) = world();
+        let a = generate_irr(&g, &t, &IrrGenParams::default());
+        let b = generate_irr(&g, &t, &IrrGenParams::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,32 @@
+//! # irr-rpsl — the Internet Routing Registry substrate
+//!
+//! The paper's §4.1 extends the import-policy study to 62 ASes by parsing
+//! RPSL `aut-num` objects from a RADB mirror ("downloaded … Nov. 25th,
+//! 2002"), discarding objects not updated during 2002. We rebuild that
+//! pipeline end to end:
+//!
+//! * [`object`] — the `aut-num` data model: `import`/`export` rules with
+//!   `pref` actions and filters (RFC 2622 subset). Note RPSL `pref` is
+//!   *inverted* relative to LOCAL_PREF: smaller is more preferred (the
+//!   paper's footnote 2).
+//! * [`parse`] — a line-oriented RPSL parser (attributes, continuation
+//!   lines, comments) and serializer, round-trip tested.
+//! * [`gen`] — an IRR snapshot generator driven by the simulator's ground
+//!   truth, with the real registry's pathologies injected: incomplete
+//!   coverage, stale objects (old `changed:` dates), and silent drift
+//!   (fresh dates over outdated policy).
+//! * [`analysis`] — per-AS typicality of registered import preferences
+//!   (the measurement behind Table 3).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod gen;
+pub mod object;
+pub mod parse;
+
+pub use analysis::{typicality, TypicalityStats};
+pub use gen::{generate_irr, local_pref_to_rpsl, IrrGenParams};
+pub use object::{AutNum, Filter, ImportRule, ExportRule};
+pub use parse::{IrrDatabase, RpslError};

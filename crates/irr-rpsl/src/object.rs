@@ -1,0 +1,198 @@
+//! The `aut-num` object model (RFC 2622 subset).
+
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix};
+
+/// An RPSL policy filter — what a rule accepts or announces.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Filter {
+    /// `ANY` — everything.
+    Any,
+    /// `AS<x>` — routes originated by that AS.
+    Origin(Asn),
+    /// `{ 12.0.0.0/19, … }` — an explicit prefix set.
+    Prefixes(Vec<Ipv4Prefix>),
+    /// `AS-<NAME>` — a named as-set (opaque to our analyses).
+    AsSet(String),
+}
+
+impl fmt::Display for Filter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Filter::Any => f.write_str("ANY"),
+            Filter::Origin(a) => write!(f, "{a}"),
+            Filter::Prefixes(ps) => {
+                f.write_str("{ ")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                f.write_str(" }")
+            }
+            Filter::AsSet(name) => f.write_str(name),
+        }
+    }
+}
+
+/// One `import:` rule: `from AS2 action pref = 10; accept ANY`.
+///
+/// RPSL `pref` is inverted relative to LOCAL_PREF — **smaller values are
+/// preferred** (the paper's footnote 2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportRule {
+    /// The neighbor the rule applies to.
+    pub from: Asn,
+    /// The `pref` action value, if present.
+    pub pref: Option<u32>,
+    /// What is accepted.
+    pub accept: Filter,
+}
+
+impl fmt::Display for ImportRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "from {}", self.from)?;
+        if let Some(p) = self.pref {
+            write!(f, " action pref = {p};")?;
+        }
+        write!(f, " accept {}", self.accept)
+    }
+}
+
+/// One `export:` rule: `to AS2 announce AS1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExportRule {
+    /// The neighbor exported to.
+    pub to: Asn,
+    /// What is announced.
+    pub announce: Filter,
+}
+
+impl fmt::Display for ExportRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "to {} announce {}", self.to, self.announce)
+    }
+}
+
+/// An `aut-num` object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AutNum {
+    /// The AS the object describes.
+    pub asn: Asn,
+    /// `as-name:`.
+    pub as_name: String,
+    /// `descr:` free text.
+    pub descr: String,
+    /// `import:` rules in registry order.
+    pub imports: Vec<ImportRule>,
+    /// `export:` rules in registry order.
+    pub exports: Vec<ExportRule>,
+    /// Most recent `changed:` date, `YYYYMMDD`.
+    pub changed: u32,
+    /// `source:` registry tag.
+    pub source: String,
+}
+
+impl AutNum {
+    /// The registered RPSL pref for a neighbor, if any rule names it.
+    pub fn pref_for(&self, neighbor: Asn) -> Option<u32> {
+        self.imports
+            .iter()
+            .find(|r| r.from == neighbor)
+            .and_then(|r| r.pref)
+    }
+
+    /// Was the object touched during `year`? The paper keeps only objects
+    /// updated during 2002 (§4.1).
+    pub fn updated_in(&self, year: u32) -> bool {
+        self.changed / 10_000 == year
+    }
+}
+
+impl fmt::Display for AutNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "aut-num:     {}", self.asn)?;
+        writeln!(f, "as-name:     {}", self.as_name)?;
+        if !self.descr.is_empty() {
+            writeln!(f, "descr:       {}", self.descr)?;
+        }
+        for imp in &self.imports {
+            writeln!(f, "import:      {imp}")?;
+        }
+        for exp in &self.exports {
+            writeln!(f, "export:      {exp}")?;
+        }
+        writeln!(f, "changed:     noc@as{}.example {}", self.asn.0, self.changed)?;
+        writeln!(f, "source:      {}", self.source)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> AutNum {
+        AutNum {
+            asn: Asn(1),
+            as_name: "GTE".into(),
+            descr: "synthetic".into(),
+            imports: vec![
+                ImportRule {
+                    from: Asn(2),
+                    pref: Some(880),
+                    accept: Filter::Any,
+                },
+                ImportRule {
+                    from: Asn(3),
+                    pref: None,
+                    accept: Filter::Origin(Asn(3)),
+                },
+            ],
+            exports: vec![ExportRule {
+                to: Asn(2),
+                announce: Filter::Origin(Asn(1)),
+            }],
+            changed: 2002_10_24,
+            source: "SYNTH".into(),
+        }
+    }
+
+    #[test]
+    fn pref_lookup() {
+        let a = sample();
+        assert_eq!(a.pref_for(Asn(2)), Some(880));
+        assert_eq!(a.pref_for(Asn(3)), None); // rule without pref action
+        assert_eq!(a.pref_for(Asn(9)), None);
+    }
+
+    #[test]
+    fn updated_in_year() {
+        let a = sample();
+        assert!(a.updated_in(2002));
+        assert!(!a.updated_in(2001));
+    }
+
+    #[test]
+    fn display_contains_rpsl_lines() {
+        let s = sample().to_string();
+        assert!(s.contains("aut-num:     AS1"));
+        assert!(s.contains("import:      from AS2 action pref = 880; accept ANY"));
+        assert!(s.contains("import:      from AS3 accept AS3"));
+        assert!(s.contains("export:      to AS2 announce AS1"));
+        assert!(s.contains("changed:     noc@as1.example 20021024"));
+    }
+
+    #[test]
+    fn filter_display_forms() {
+        assert_eq!(Filter::Any.to_string(), "ANY");
+        assert_eq!(Filter::Origin(Asn(7)).to_string(), "AS7");
+        assert_eq!(Filter::AsSet("AS-FOO".into()).to_string(), "AS-FOO");
+        let ps = Filter::Prefixes(vec![
+            "10.0.0.0/8".parse().unwrap(),
+            "12.0.0.0/19".parse().unwrap(),
+        ]);
+        assert_eq!(ps.to_string(), "{ 10.0.0.0/8, 12.0.0.0/19 }");
+    }
+}

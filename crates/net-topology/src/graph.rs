@@ -1,0 +1,450 @@
+//! The annotated AS graph (§2.1 of the paper).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
+
+/// Coarse geography, used only for flavor (Table 1's Location column) and
+/// for region-biased peering in the generator.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum Region {
+    /// North America.
+    #[default]
+    NorthAmerica,
+    /// Europe.
+    Europe,
+    /// Asia.
+    Asia,
+    /// Australia.
+    Australia,
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Region::NorthAmerica => "NA",
+            Region::Europe => "Eu",
+            Region::Asia => "As",
+            Region::Australia => "Au",
+        })
+    }
+}
+
+/// One originated prefix and, when the space was provider-allocated (PA),
+/// the provider it was carved from — the precondition for the paper's
+/// *prefix aggregating* cause (§5.1.5 Case 2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PrefixRecord {
+    /// The originated prefix.
+    pub prefix: Ipv4Prefix,
+    /// `Some(provider)` when the prefix is a sub-block of that provider's
+    /// address space; `None` for provider-independent space.
+    pub allocated_from: Option<Asn>,
+}
+
+/// Per-AS metadata.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct NodeInfo {
+    /// Human-readable name (generator invents ISP-ish names).
+    pub name: String,
+    /// Region for Table 1 flavor and regional peering.
+    pub region: Region,
+    /// Prefixes this AS originates.
+    pub prefixes: Vec<PrefixRecord>,
+}
+
+/// Errors from [`AsGraph::validate`] and edge mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// Edge references an AS that was never added.
+    UnknownAs(Asn),
+    /// Self-loops are not meaningful in an AS graph.
+    SelfLoop(Asn),
+    /// The two endpoints disagree about the edge (internal invariant).
+    AsymmetricEdge(Asn, Asn),
+    /// The provider→customer edges contain a cycle (no valid economic
+    /// hierarchy; propagation would not be guaranteed to converge).
+    ProviderCycle(Vec<Asn>),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownAs(a) => write!(f, "unknown AS {a}"),
+            GraphError::SelfLoop(a) => write!(f, "self-loop on {a}"),
+            GraphError::AsymmetricEdge(a, b) => write!(f, "asymmetric edge {a}–{b}"),
+            GraphError::ProviderCycle(cycle) => {
+                write!(f, "provider-customer cycle:")?;
+                for a in cycle {
+                    write!(f, " {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+/// An annotated AS graph.
+///
+/// Edges are stored from both endpoints' perspectives and kept symmetric:
+/// `rel(a, b)` is *b's role relative to a* ("b is a's provider"), and
+/// `rel(b, a)` is always its [`Relationship::inverse`].
+///
+/// Iteration everywhere is over `BTreeMap`s, so all algorithms downstream
+/// are deterministic for a given graph.
+#[derive(Clone, Debug, Default)]
+pub struct AsGraph {
+    nodes: BTreeMap<Asn, NodeInfo>,
+    adj: BTreeMap<Asn, BTreeMap<Asn, Relationship>>,
+}
+
+impl AsGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or replaces the metadata of) an AS.
+    pub fn add_as(&mut self, asn: Asn, info: NodeInfo) {
+        self.nodes.insert(asn, info);
+        self.adj.entry(asn).or_default();
+    }
+
+    /// Adds an AS with empty metadata if absent.
+    pub fn ensure_as(&mut self, asn: Asn) {
+        self.nodes.entry(asn).or_default();
+        self.adj.entry(asn).or_default();
+    }
+
+    /// Number of ASes.
+    pub fn as_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(BTreeMap::len).sum::<usize>() / 2
+    }
+
+    /// All ASes in ascending ASN order.
+    pub fn ases(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// Does the graph contain `asn`?
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.nodes.contains_key(&asn)
+    }
+
+    /// Metadata for an AS.
+    pub fn info(&self, asn: Asn) -> Option<&NodeInfo> {
+        self.nodes.get(&asn)
+    }
+
+    /// Mutable metadata for an AS.
+    pub fn info_mut(&mut self, asn: Asn) -> Option<&mut NodeInfo> {
+        self.nodes.get_mut(&asn)
+    }
+
+    /// Adds the undirected edge `a – b` where `rel_of_b` is b's role from
+    /// a's perspective; the inverse direction is stored automatically.
+    /// Replaces any existing edge between the pair.
+    pub fn add_edge(&mut self, a: Asn, b: Asn, rel_of_b: Relationship) -> Result<(), GraphError> {
+        if a == b {
+            return Err(GraphError::SelfLoop(a));
+        }
+        if !self.nodes.contains_key(&a) {
+            return Err(GraphError::UnknownAs(a));
+        }
+        if !self.nodes.contains_key(&b) {
+            return Err(GraphError::UnknownAs(b));
+        }
+        self.adj.entry(a).or_default().insert(b, rel_of_b);
+        self.adj.entry(b).or_default().insert(a, rel_of_b.inverse());
+        Ok(())
+    }
+
+    /// Removes the edge `a – b` (used for link-failure injection by the
+    /// churn engine). Returns `true` if an edge existed.
+    pub fn remove_edge(&mut self, a: Asn, b: Asn) -> bool {
+        let x = self.adj.get_mut(&a).map(|m| m.remove(&b).is_some());
+        let y = self.adj.get_mut(&b).map(|m| m.remove(&a).is_some());
+        matches!((x, y), (Some(true), Some(true)))
+    }
+
+    /// The relationship of `b` relative to `a` ("b is a's …"), if adjacent.
+    pub fn rel(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.adj.get(&a)?.get(&b).copied()
+    }
+
+    /// All neighbors of `a` with their roles relative to `a`, ascending ASN.
+    pub fn neighbors(&self, a: Asn) -> impl Iterator<Item = (Asn, Relationship)> + '_ {
+        self.adj
+            .get(&a)
+            .into_iter()
+            .flat_map(|m| m.iter().map(|(n, r)| (*n, *r)))
+    }
+
+    /// Degree of `a` (number of neighbors).
+    pub fn degree(&self, a: Asn) -> usize {
+        self.adj.get(&a).map_or(0, BTreeMap::len)
+    }
+
+    /// `a`'s providers, ascending.
+    pub fn providers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Provider)
+    }
+
+    /// `a`'s customers, ascending.
+    pub fn customers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Customer)
+    }
+
+    /// `a`'s peers, ascending.
+    pub fn peers_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Peer)
+    }
+
+    /// `a`'s siblings, ascending.
+    pub fn siblings_of(&self, a: Asn) -> impl Iterator<Item = Asn> + '_ {
+        self.neighbors_with(a, Relationship::Sibling)
+    }
+
+    fn neighbors_with(
+        &self,
+        a: Asn,
+        want: Relationship,
+    ) -> impl Iterator<Item = Asn> + '_ {
+        self.adj
+            .get(&a)
+            .into_iter()
+            .flat_map(move |m| {
+                m.iter()
+                    .filter(move |(_, r)| **r == want)
+                    .map(|(n, _)| *n)
+            })
+    }
+
+    /// Is `a` multihomed (two or more providers)? The paper's Table 8
+    /// splits SA-prefix origins on exactly this predicate.
+    pub fn is_multihomed(&self, a: Asn) -> bool {
+        self.providers_of(a).take(2).count() >= 2
+    }
+
+    /// All `(origin, record)` pairs in ascending origin order.
+    pub fn all_prefixes(&self) -> impl Iterator<Item = (Asn, &PrefixRecord)> + '_ {
+        self.nodes
+            .iter()
+            .flat_map(|(a, info)| info.prefixes.iter().map(move |p| (*a, p)))
+    }
+
+    /// Checks structural invariants: edge symmetry and provider-cycle
+    /// freedom. The generator's output always passes; hand-built graphs
+    /// should be validated before simulation.
+    pub fn validate(&self) -> Result<(), GraphError> {
+        // Symmetry.
+        for (&a, nbrs) in &self.adj {
+            for (&b, &r) in nbrs {
+                match self.adj.get(&b).and_then(|m| m.get(&a)) {
+                    Some(&back) if back == r.inverse() => {}
+                    _ => return Err(GraphError::AsymmetricEdge(a, b)),
+                }
+            }
+        }
+        // Provider-cycle freedom: walk customer→provider edges (and treat
+        // sibling edges as both ways) looking for a directed cycle.
+        // Kahn's algorithm over the "x depends on its providers" DAG.
+        let mut indegree: BTreeMap<Asn, usize> = self.nodes.keys().map(|&a| (a, 0)).collect();
+        for (&a, nbrs) in &self.adj {
+            let provider_count = nbrs
+                .values()
+                .filter(|&&r| r == Relationship::Provider)
+                .count();
+            *indegree.get_mut(&a).unwrap() = provider_count;
+        }
+        let mut queue: Vec<Asn> = indegree
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&a, _)| a)
+            .collect();
+        let mut seen = 0usize;
+        while let Some(p) = queue.pop() {
+            seen += 1;
+            for (c, r) in self.neighbors(p) {
+                if r == Relationship::Customer {
+                    let d = indegree.get_mut(&c).unwrap();
+                    *d -= 1;
+                    if *d == 0 {
+                        queue.push(c);
+                    }
+                }
+            }
+        }
+        if seen != self.nodes.len() {
+            let cycle: Vec<Asn> = indegree
+                .iter()
+                .filter(|(_, &d)| d > 0)
+                .map(|(&a, _)| a)
+                .collect();
+            return Err(GraphError::ProviderCycle(cycle));
+        }
+        Ok(())
+    }
+
+    /// ASes sorted by descending degree (ties by ascending ASN) — the
+    /// ranking Gao's algorithm and the Appendix's Fig. 9 both use.
+    pub fn by_degree_desc(&self) -> Vec<Asn> {
+        let mut v: Vec<Asn> = self.ases().collect();
+        v.sort_by_key(|&a| (std::cmp::Reverse(self.degree(a)), a));
+        v
+    }
+
+    /// The set of ASes with no providers (the "top of the hierarchy";
+    /// candidates for Tier-1).
+    pub fn provider_free_ases(&self) -> BTreeSet<Asn> {
+        self.ases()
+            .filter(|&a| self.providers_of(a).next().is_none())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Relationship::*;
+
+    /// The paper's Fig. 1 graph: AS2 provider of AS4; AS3 peers AS4; etc.
+    ///
+    /// ```text
+    ///   AS1 --peer-- AS2      AS1,AS2,AS3: top
+    ///    |            |       AS3 --peer-- AS4
+    ///   AS5          AS4 ...
+    /// ```
+    pub(crate) fn fig1_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        for a in 1..=6 {
+            g.add_as(Asn(a), NodeInfo::default());
+        }
+        g.add_edge(Asn(1), Asn(2), Peer).unwrap();
+        g.add_edge(Asn(2), Asn(3), Peer).unwrap();
+        g.add_edge(Asn(1), Asn(5), Customer).unwrap();
+        g.add_edge(Asn(1), Asn(4), Customer).unwrap();
+        g.add_edge(Asn(2), Asn(4), Customer).unwrap();
+        g.add_edge(Asn(3), Asn(4), Peer).unwrap();
+        g.add_edge(Asn(4), Asn(6), Customer).unwrap();
+        g.add_edge(Asn(5), Asn(6), Peer).unwrap();
+        g
+    }
+
+    #[test]
+    fn edges_are_symmetric() {
+        let g = fig1_graph();
+        assert_eq!(g.rel(Asn(2), Asn(4)), Some(Customer)); // AS4 is AS2's customer
+        assert_eq!(g.rel(Asn(4), Asn(2)), Some(Provider)); // AS2 is AS4's provider
+        assert_eq!(g.rel(Asn(3), Asn(4)), Some(Peer));
+        assert_eq!(g.rel(Asn(4), Asn(3)), Some(Peer));
+        assert_eq!(g.rel(Asn(1), Asn(6)), None);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn counting_and_queries() {
+        let g = fig1_graph();
+        assert_eq!(g.as_count(), 6);
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(g.degree(Asn(4)), 4);
+        assert_eq!(
+            g.providers_of(Asn(4)).collect::<Vec<_>>(),
+            vec![Asn(1), Asn(2)]
+        );
+        assert_eq!(g.customers_of(Asn(4)).collect::<Vec<_>>(), vec![Asn(6)]);
+        assert_eq!(g.peers_of(Asn(4)).collect::<Vec<_>>(), vec![Asn(3)]);
+        assert!(g.is_multihomed(Asn(4)));
+        assert!(!g.is_multihomed(Asn(6))); // AS6 has one provider (AS4)
+        assert_eq!(
+            g.provider_free_ases().into_iter().collect::<Vec<_>>(),
+            vec![Asn(1), Asn(2), Asn(3)]
+        );
+    }
+
+    #[test]
+    fn self_loop_and_unknown_as_rejected() {
+        let mut g = fig1_graph();
+        assert_eq!(g.add_edge(Asn(1), Asn(1), Peer), Err(GraphError::SelfLoop(Asn(1))));
+        assert_eq!(
+            g.add_edge(Asn(1), Asn(99), Peer),
+            Err(GraphError::UnknownAs(Asn(99)))
+        );
+    }
+
+    #[test]
+    fn remove_edge_works_both_ways() {
+        let mut g = fig1_graph();
+        assert!(g.remove_edge(Asn(4), Asn(2)));
+        assert_eq!(g.rel(Asn(2), Asn(4)), None);
+        assert_eq!(g.rel(Asn(4), Asn(2)), None);
+        assert!(!g.remove_edge(Asn(4), Asn(2)));
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn provider_cycle_detected() {
+        let mut g = AsGraph::new();
+        for a in 1..=3 {
+            g.add_as(Asn(a), NodeInfo::default());
+        }
+        // 1 → 2 → 3 → 1 in provider-to-customer direction.
+        g.add_edge(Asn(1), Asn(2), Customer).unwrap();
+        g.add_edge(Asn(2), Asn(3), Customer).unwrap();
+        g.add_edge(Asn(3), Asn(1), Customer).unwrap();
+        assert!(matches!(g.validate(), Err(GraphError::ProviderCycle(_))));
+    }
+
+    #[test]
+    fn replacing_an_edge_keeps_symmetry() {
+        let mut g = fig1_graph();
+        g.add_edge(Asn(3), Asn(4), Customer).unwrap(); // upgrade peer → p2c
+        assert_eq!(g.rel(Asn(3), Asn(4)), Some(Customer));
+        assert_eq!(g.rel(Asn(4), Asn(3)), Some(Provider));
+        assert_eq!(g.degree(Asn(4)), 4); // replaced, not duplicated
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn degree_ranking() {
+        let g = fig1_graph();
+        let ranked = g.by_degree_desc();
+        assert_eq!(ranked[0], Asn(4)); // degree 4
+        // Deterministic tie-break by ASN.
+        let d1: Vec<usize> = ranked.iter().map(|&a| g.degree(a)).collect();
+        let mut sorted = d1.clone();
+        sorted.sort_by(|a, b| b.cmp(a));
+        assert_eq!(d1, sorted);
+    }
+
+    #[test]
+    fn prefix_records() {
+        let mut g = fig1_graph();
+        g.info_mut(Asn(6)).unwrap().prefixes.push(PrefixRecord {
+            prefix: "10.6.0.0/16".parse().unwrap(),
+            allocated_from: Some(Asn(4)),
+        });
+        let all: Vec<_> = g.all_prefixes().collect();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, Asn(6));
+        assert_eq!(all[0].1.allocated_from, Some(Asn(4)));
+    }
+
+    #[test]
+    fn region_display() {
+        assert_eq!(Region::NorthAmerica.to_string(), "NA");
+        assert_eq!(Region::Europe.to_string(), "Eu");
+        assert_eq!(Region::Asia.to_string(), "As");
+        assert_eq!(Region::Australia.to_string(), "Au");
+    }
+}

@@ -1,0 +1,153 @@
+//! Graph statistics: the numbers behind Table 1 and the README's topology
+//! summary.
+
+use std::collections::BTreeMap;
+
+use bgp_types::{Asn, Relationship};
+
+use crate::graph::{AsGraph, Region};
+use crate::tier::TierMap;
+
+/// Aggregate statistics of an annotated graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of ASes.
+    pub as_count: usize,
+    /// Number of undirected edges.
+    pub edge_count: usize,
+    /// Provider-customer edge count.
+    pub p2c_edges: usize,
+    /// Peer-peer edge count.
+    pub p2p_edges: usize,
+    /// Sibling edge count.
+    pub sibling_edges: usize,
+    /// Total originated prefixes.
+    pub prefix_count: usize,
+    /// Provider-allocated (PA) prefix count.
+    pub pa_prefix_count: usize,
+    /// Max degree.
+    pub max_degree: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// ASes per region.
+    pub by_region: BTreeMap<Region, usize>,
+    /// ASes per tier.
+    pub by_tier: BTreeMap<u8, usize>,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass (plus a tier classification).
+    pub fn compute(g: &AsGraph) -> GraphStats {
+        let tiers = TierMap::classify(g);
+        let mut p2c = 0usize;
+        let mut p2p = 0usize;
+        let mut sib = 0usize;
+        for a in g.ases() {
+            for (_, r) in g.neighbors(a) {
+                match r {
+                    Relationship::Customer => p2c += 1, // counted once from provider side
+                    Relationship::Peer => p2p += 1,     // counted twice
+                    Relationship::Sibling => sib += 1,  // counted twice
+                    Relationship::Provider => {}
+                }
+            }
+        }
+        let mut by_region: BTreeMap<Region, usize> = BTreeMap::new();
+        for a in g.ases() {
+            if let Some(info) = g.info(a) {
+                *by_region.entry(info.region).or_insert(0) += 1;
+            }
+        }
+        let degrees: Vec<usize> = g.ases().map(|a| g.degree(a)).collect();
+        let prefix_count = g.all_prefixes().count();
+        let pa_prefix_count = g
+            .all_prefixes()
+            .filter(|(_, r)| r.allocated_from.is_some())
+            .count();
+        GraphStats {
+            as_count: g.as_count(),
+            edge_count: g.edge_count(),
+            p2c_edges: p2c,
+            p2p_edges: p2p / 2,
+            sibling_edges: sib / 2,
+            prefix_count,
+            pa_prefix_count,
+            max_degree: degrees.iter().copied().max().unwrap_or(0),
+            mean_degree: if degrees.is_empty() {
+                0.0
+            } else {
+                degrees.iter().sum::<usize>() as f64 / degrees.len() as f64
+            },
+            by_region,
+            by_tier: tiers.histogram(),
+        }
+    }
+}
+
+/// One row of a Table 1-style vantage description: AS, name, degree,
+/// location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantageRow {
+    /// The AS number.
+    pub asn: Asn,
+    /// The AS's name.
+    pub name: String,
+    /// Its degree in the graph.
+    pub degree: usize,
+    /// Its region.
+    pub region: Region,
+}
+
+/// Builds Table 1 rows for a chosen set of vantage ASes, ordered as given.
+pub fn vantage_rows(g: &AsGraph, vantages: &[Asn]) -> Vec<VantageRow> {
+    vantages
+        .iter()
+        .filter_map(|&a| {
+            g.info(a).map(|info| VantageRow {
+                asn: a,
+                name: info.name.clone(),
+                degree: g.degree(a),
+                region: info.region,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{InternetConfig, InternetSize};
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.as_count, g.as_count());
+        assert_eq!(s.edge_count, s.p2c_edges + s.p2p_edges + s.sibling_edges);
+        assert!(s.max_degree >= 1);
+        assert!(s.mean_degree > 0.0);
+        assert_eq!(s.by_region.values().sum::<usize>(), s.as_count);
+        assert_eq!(s.by_tier.values().sum::<usize>(), s.as_count);
+        assert!(s.prefix_count > s.as_count / 2);
+        assert!(s.pa_prefix_count < s.prefix_count);
+    }
+
+    #[test]
+    fn vantage_rows_match_graph() {
+        let g = InternetConfig::of_size(InternetSize::Tiny).build();
+        let rows = vantage_rows(&g, &[Asn(1), Asn(701), Asn(424242)]);
+        assert_eq!(rows.len(), 2, "unknown AS skipped");
+        assert_eq!(rows[0].asn, Asn(1));
+        assert_eq!(rows[0].name, "GTE Internetworking");
+        assert_eq!(rows[0].degree, g.degree(Asn(1)));
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = AsGraph::new();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.as_count, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert_eq!(s.max_degree, 0);
+    }
+}

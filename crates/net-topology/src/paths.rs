@@ -1,0 +1,308 @@
+//! Path algorithms on the annotated graph: customer-path search (the
+//! paper's Fig. 4 Phase 2), customer cones, and valley-free classification.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use bgp_types::{Asn, Relationship};
+
+use crate::graph::AsGraph;
+
+/// Finds a *customer path* from `provider` down to `target`: a path whose
+/// every hop is provider→customer (sibling hops also allowed, since a
+/// sibling forwards everything). Returns the path including both endpoints,
+/// or `None` when `target` is not a (direct or indirect) customer.
+///
+/// This is the modified DFS of Fig. 4 Phase 2 ("paths should obey export
+/// rules … from the direction of provider down to customer, each pair of
+/// ASs in the path should have provider-to-customer relationship").
+/// Deterministic: neighbors are explored in ascending ASN order.
+pub fn customer_path(g: &AsGraph, provider: Asn, target: Asn) -> Option<Vec<Asn>> {
+    if !g.contains(provider) || !g.contains(target) {
+        return None;
+    }
+    if provider == target {
+        return Some(vec![provider]);
+    }
+    // Iterative DFS with explicit stack; `parent` doubles as the visited set.
+    let mut parent: BTreeMap<Asn, Asn> = BTreeMap::new();
+    let mut stack = vec![provider];
+    parent.insert(provider, provider);
+    while let Some(u) = stack.pop() {
+        for (v, r) in g.neighbors(u) {
+            if !matches!(r, Relationship::Customer | Relationship::Sibling) {
+                continue;
+            }
+            if parent.contains_key(&v) {
+                continue;
+            }
+            parent.insert(v, u);
+            if v == target {
+                // Reconstruct.
+                let mut path = vec![v];
+                let mut cur = v;
+                while cur != provider {
+                    cur = parent[&cur];
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            stack.push(v);
+        }
+    }
+    None
+}
+
+/// The transitive customer cone of an AS: every AS reachable by walking
+/// provider→customer (and sibling) edges, *excluding* the root itself.
+///
+/// Fig. 4 Phase 2's "is AS `o` a customer of AS `u`?" is
+/// `CustomerCone::build(g, u).contains(o)`; building the cone once and
+/// reusing it across the thousands of origin checks in the SA analysis is
+/// what makes Table 5 affordable.
+#[derive(Debug, Clone)]
+pub struct CustomerCone {
+    root: Asn,
+    members: BTreeSet<Asn>,
+}
+
+impl CustomerCone {
+    /// BFS from `root` over customer/sibling edges.
+    pub fn build(g: &AsGraph, root: Asn) -> Self {
+        let mut members = BTreeSet::new();
+        let mut queue = VecDeque::from([root]);
+        let mut seen = BTreeSet::from([root]);
+        while let Some(u) = queue.pop_front() {
+            for (v, r) in g.neighbors(u) {
+                if matches!(r, Relationship::Customer | Relationship::Sibling)
+                    && seen.insert(v)
+                {
+                    members.insert(v);
+                    queue.push_back(v);
+                }
+            }
+        }
+        CustomerCone { root, members }
+    }
+
+    /// The cone's root AS.
+    pub fn root(&self) -> Asn {
+        self.root
+    }
+
+    /// Is `asn` a direct or indirect customer of the root?
+    pub fn contains(&self, asn: Asn) -> bool {
+        self.members.contains(&asn)
+    }
+
+    /// Number of (direct or indirect) customers.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Iterate over cone members in ascending ASN order.
+    pub fn members(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.members.iter().copied()
+    }
+}
+
+/// Direction of one AS-path hop relative to the hierarchy, reading the path
+/// **origin→speaker** (the direction the announcement traveled).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HopKind {
+    /// customer → provider (announcement exported to a provider).
+    Up,
+    /// across a peering link.
+    Flat,
+    /// provider → customer (announcement exported to a customer).
+    Down,
+    /// across a sibling link.
+    Sibling,
+    /// the two ASes are not adjacent in the graph.
+    Unknown,
+}
+
+/// Valley-freedom verdict for a whole path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PathClass {
+    /// Uphill*, ≤1 peer, downhill* — exportable under §2.2.2's rules.
+    ValleyFree,
+    /// Violates the export rules (a "valley" or multiple peer links).
+    Valley,
+    /// Contains a hop between non-adjacent ASes (graph is incomplete).
+    Incomplete,
+}
+
+/// Classifies a path given **speaker-first** order (as [`bgp_types::AsPath`]
+/// stores it): internally reversed to origin→speaker before the walk.
+///
+/// Sibling hops are neutral: they never change phase.
+pub fn classify_path(g: &AsGraph, speaker_first: &[Asn]) -> PathClass {
+    // Reverse: origin first.
+    let path: Vec<Asn> = speaker_first.iter().rev().copied().collect();
+    #[derive(PartialEq, Eq, PartialOrd, Ord, Clone, Copy)]
+    enum Phase {
+        Climb,
+        Peered,
+        Descend,
+    }
+    let mut phase = Phase::Climb;
+    for w in path.windows(2) {
+        let (from, to) = (w[0], w[1]);
+        let hop = match g.rel(from, to) {
+            Some(Relationship::Provider) => HopKind::Up,
+            Some(Relationship::Peer) => HopKind::Flat,
+            Some(Relationship::Customer) => HopKind::Down,
+            Some(Relationship::Sibling) => HopKind::Sibling,
+            None => return PathClass::Incomplete,
+        };
+        phase = match (phase, hop) {
+            (_, HopKind::Sibling) => phase,
+            (Phase::Climb, HopKind::Up) => Phase::Climb,
+            (Phase::Climb, HopKind::Flat) => Phase::Peered,
+            (Phase::Climb, HopKind::Down) => Phase::Descend,
+            (Phase::Peered, HopKind::Down) => Phase::Descend,
+            (Phase::Descend, HopKind::Down) => Phase::Descend,
+            // Any up/flat hop after the peak is a valley.
+            (Phase::Peered, HopKind::Up | HopKind::Flat)
+            | (Phase::Descend, HopKind::Up | HopKind::Flat) => return PathClass::Valley,
+            (_, HopKind::Unknown) => unreachable!("mapped above"),
+        };
+    }
+    PathClass::ValleyFree
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeInfo;
+
+    /// Fig. 3 of the paper:
+    ///
+    /// ```text
+    ///        D --- peer --- E
+    ///       / \             |
+    ///      B   C            |   (B, C customers of D; E peers D)
+    ///       \ /            /
+    ///        A  (A customer of B and C; E provider of C? no —
+    ///            E reaches p via C in the paper; here: C customer of E)
+    /// ```
+    ///
+    /// Edges: D→B, D→C (p2c), D–E peer, B→A, C→A (p2c), E→C (p2c).
+    fn fig3_graph() -> AsGraph {
+        let mut g = AsGraph::new();
+        let (a, b, c, d, e) = (Asn(1), Asn(2), Asn(3), Asn(4), Asn(5));
+        for x in [a, b, c, d, e] {
+            g.add_as(x, NodeInfo::default());
+        }
+        g.add_edge(d, b, Relationship::Customer).unwrap();
+        g.add_edge(d, c, Relationship::Customer).unwrap();
+        g.add_edge(d, e, Relationship::Peer).unwrap();
+        g.add_edge(b, a, Relationship::Customer).unwrap();
+        g.add_edge(c, a, Relationship::Customer).unwrap();
+        g.add_edge(e, c, Relationship::Customer).unwrap();
+        g
+    }
+
+    #[test]
+    fn customer_path_finds_a_downhill_route() {
+        let g = fig3_graph();
+        let (a, d) = (Asn(1), Asn(4));
+        let p = customer_path(&g, d, a).unwrap();
+        assert_eq!(p.first(), Some(&d));
+        assert_eq!(p.last(), Some(&a));
+        // Every hop is provider→customer.
+        for w in p.windows(2) {
+            assert_eq!(g.rel(w[0], w[1]), Some(Relationship::Customer));
+        }
+    }
+
+    #[test]
+    fn customer_path_absent_for_peers_and_uphill() {
+        let g = fig3_graph();
+        assert!(customer_path(&g, Asn(4), Asn(5)).is_none()); // D→E is peer
+        assert!(customer_path(&g, Asn(1), Asn(4)).is_none()); // A is below D
+        assert!(customer_path(&g, Asn(9), Asn(1)).is_none()); // unknown AS
+        assert_eq!(customer_path(&g, Asn(4), Asn(4)), Some(vec![Asn(4)]));
+    }
+
+    #[test]
+    fn customer_cone_matches_reachability() {
+        let g = fig3_graph();
+        let cone_d = CustomerCone::build(&g, Asn(4));
+        assert!(cone_d.contains(Asn(1)));
+        assert!(cone_d.contains(Asn(2)));
+        assert!(cone_d.contains(Asn(3)));
+        assert!(!cone_d.contains(Asn(5)));
+        assert!(!cone_d.contains(Asn(4)), "root excluded");
+        assert_eq!(cone_d.size(), 3);
+        let cone_b = CustomerCone::build(&g, Asn(2));
+        assert_eq!(cone_b.members().collect::<Vec<_>>(), vec![Asn(1)]);
+    }
+
+    #[test]
+    fn sibling_edges_extend_cones() {
+        let mut g = fig3_graph();
+        g.add_as(Asn(6), NodeInfo::default());
+        g.add_edge(Asn(1), Asn(6), Relationship::Sibling).unwrap();
+        let cone_d = CustomerCone::build(&g, Asn(4));
+        assert!(cone_d.contains(Asn(6)), "sibling of a customer is in cone");
+        let p = customer_path(&g, Asn(4), Asn(6)).unwrap();
+        assert_eq!(p.last(), Some(&Asn(6)));
+    }
+
+    #[test]
+    fn classify_valley_free_and_valleys() {
+        let g = fig3_graph();
+        let (a, b, c, d, e) = (Asn(1), Asn(2), Asn(3), Asn(4), Asn(5));
+        // Speaker-first D B A: D learned from B, B from A. Origin A climbs
+        // to B (up), B to D (up): valley-free.
+        assert_eq!(classify_path(&g, &[d, b, a]), PathClass::ValleyFree);
+        // D E C A: origin A→C up, C→E up, E→D peer: valley-free (peer at top).
+        assert_eq!(classify_path(&g, &[d, e, c, a]), PathClass::ValleyFree);
+        // B A C: origin C→A down, then A→B up — a valley.
+        assert_eq!(classify_path(&g, &[b, a, c]), PathClass::Valley);
+        // C E D B: origin B→D up, D→E peer, E→C down — classic up/peer/down.
+        assert_eq!(classify_path(&g, &[c, e, d, b]), PathClass::ValleyFree);
+    }
+
+    #[test]
+    fn classify_incomplete_and_trivial() {
+        let g = fig3_graph();
+        assert_eq!(
+            classify_path(&g, &[Asn(1), Asn(99)]),
+            PathClass::Incomplete
+        );
+        assert_eq!(classify_path(&g, &[Asn(1)]), PathClass::ValleyFree);
+        assert_eq!(classify_path(&g, &[]), PathClass::ValleyFree);
+    }
+
+    #[test]
+    fn classify_double_peer_is_valley() {
+        let mut g = fig3_graph();
+        g.add_as(Asn(7), NodeInfo::default());
+        g.add_edge(Asn(5), Asn(7), Relationship::Peer).unwrap();
+        // Speaker-first: 7 5 4 — origin 4: 4→5 peer, 5→7 peer ⇒ two peer hops.
+        assert_eq!(
+            classify_path(&g, &[Asn(7), Asn(5), Asn(4)]),
+            PathClass::Valley
+        );
+    }
+
+    #[test]
+    fn sibling_hops_are_phase_neutral() {
+        let mut g = fig3_graph();
+        g.add_as(Asn(8), NodeInfo::default());
+        g.add_edge(Asn(4), Asn(8), Relationship::Sibling).unwrap();
+        // Speaker-first: 8 4 2 1 — origin 1 climbs 1→2→4, then 4→8 sibling.
+        assert_eq!(
+            classify_path(&g, &[Asn(8), Asn(4), Asn(2), Asn(1)]),
+            PathClass::ValleyFree
+        );
+        // Sibling then continue down: 2 4 8 ⇒ origin 8: 8→4 sibling, 4→2 down.
+        assert_eq!(
+            classify_path(&g, &[Asn(2), Asn(4), Asn(8)]),
+            PathClass::ValleyFree
+        );
+    }
+}

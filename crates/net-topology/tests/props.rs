@@ -1,0 +1,109 @@
+//! Property tests over generated Internets: structural invariants that the
+//! whole reproduction depends on.
+
+use proptest::prelude::*;
+
+use bgp_types::Relationship;
+use net_topology::paths::{classify_path, customer_path, CustomerCone, PathClass};
+use net_topology::tier::TierMap;
+use net_topology::{InternetConfig, InternetSize};
+
+fn arb_config() -> impl Strategy<Value = InternetConfig> {
+    (
+        any::<u64>(),
+        0.0f64..=0.6,
+        0.0f64..=0.2,
+        0.0f64..=0.8,
+        prop_oneof![Just(InternetSize::Tiny), Just(InternetSize::Small)],
+    )
+        .prop_map(|(seed, t2p, t3p, pa, size)| {
+            let mut cfg = InternetConfig::of_size(size).with_seed(seed);
+            cfg.t2_peering_prob = t2p;
+            cfg.t3_peering_prob = t3p;
+            cfg.pa_fraction = pa;
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_graphs_validate(cfg in arb_config()) {
+        let g = cfg.build();
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.as_count(), cfg.n_tier1 + cfg.n_tier2 + cfg.n_tier3 + cfg.n_stub);
+    }
+
+    #[test]
+    fn tier_is_one_plus_best_provider_tier(cfg in arb_config()) {
+        // Note: a customer CAN sit above one of its providers (a stub buying
+        // from both AT&T and a local tier-3 classifies as tier 2) — the real
+        // invariant is tier(a) = 1 + min over a's providers' tiers.
+        let g = cfg.build();
+        let tiers = TierMap::classify(&g);
+        for a in g.ases() {
+            let best = g.providers_of(a).filter_map(|p| tiers.tier(p)).min();
+            let ta = tiers.tier(a).unwrap();
+            match best {
+                Some(bp) => prop_assert_eq!(ta, bp + 1, "AS {} tier", a),
+                None => prop_assert_eq!(ta, 1, "provider-free AS {} must be tier 1", a),
+            }
+        }
+    }
+
+    #[test]
+    fn customer_paths_agree_with_cones(cfg in arb_config()) {
+        let g = cfg.build();
+        // Probe the highest-degree AS and one stub.
+        let top = g.by_degree_desc()[0];
+        let cone = CustomerCone::build(&g, top);
+        let mut checked = 0;
+        for a in g.ases() {
+            if checked > 40 { break; }
+            let path = customer_path(&g, top, a);
+            prop_assert_eq!(path.is_some(), a == top || cone.contains(a));
+            if let Some(p) = path {
+                checked += 1;
+                prop_assert_eq!(p.first().copied(), Some(top));
+                prop_assert_eq!(p.last().copied(), Some(a));
+                // Each hop is provider→customer (or sibling).
+                for w in p.windows(2) {
+                    let r = g.rel(w[0], w[1]);
+                    prop_assert!(matches!(
+                        r,
+                        Some(Relationship::Customer) | Some(Relationship::Sibling)
+                    ));
+                }
+                // A reversed customer path read speaker-first is an all-uphill
+                // (valley-free) path from the customer's viewpoint.
+                let speaker_first: Vec<_> = p.clone();
+                prop_assert_eq!(classify_path(&g, &speaker_first), PathClass::ValleyFree);
+            }
+        }
+    }
+
+    #[test]
+    fn stub_ases_have_no_customers(cfg in arb_config()) {
+        let g = cfg.build();
+        for a in g.ases() {
+            if a.0 >= 20_000 {
+                prop_assert_eq!(g.customers_of(a).count(), 0);
+                prop_assert!(g.providers_of(a).count() >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn every_as_originates_at_least_one_prefix_unless_stub(cfg in arb_config()) {
+        let g = cfg.build();
+        for a in g.ases() {
+            let n = g.info(a).unwrap().prefixes.len();
+            if a.0 < 20_000 {
+                prop_assert!(n >= 1, "transit {a} has no prefixes");
+            } else {
+                prop_assert!(n >= 1, "stub {a} has no prefixes");
+            }
+        }
+    }
+}

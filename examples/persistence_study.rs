@@ -1,0 +1,56 @@
+//! The paper's §5.1.4: how persistent are SA prefixes? Reproduces the
+//! daily (Fig 6a/7a) and hourly (Fig 6b/7b) snapshot studies on a small
+//! synthetic world with live policy churn.
+//!
+//! ```sh
+//! cargo run --release --example persistence_study
+//! ```
+
+use internet_routing_policies::prelude::*;
+use rpi_core::persistence::{sa_series, uptime_histogram};
+
+fn main() {
+    let exp = Experiment::standard(InternetSize::Small, 2002_03_15);
+    let provider = exp.spec.lg_ases[0];
+    println!(
+        "watching SA prefixes at {provider} ({} selective origins in the world)\n",
+        exp.truth.all_selective_origins().len()
+    );
+
+    for (what, cfg) in [
+        ("March 2002, daily", ChurnConfig::daily(31)),
+        ("March 15 2002, hourly", ChurnConfig::hourly(24)),
+    ] {
+        let series = bgp_sim::churn::simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+
+        println!("== Fig 6 — {what} ==");
+        let points = sa_series(&series, provider, &exp.inferred_graph);
+        for p in &points {
+            let bar = "#".repeat(p.sa / 4);
+            println!("{:8}  total {:5}  SA {:4}  {bar}", p.label, p.total, p.sa);
+        }
+
+        let hist = uptime_histogram(&series, provider, &exp.inferred_graph);
+        println!("\n== Fig 7 — {what} ==");
+        println!("uptime  remaining-SA  shifted");
+        let max_uptime = series.snapshots.len();
+        for uptime in 1..=max_uptime {
+            let r = hist.remaining.get(&uptime).copied().unwrap_or(0);
+            let s = hist.shifted.get(&uptime).copied().unwrap_or(0);
+            if r + s > 0 {
+                println!("{uptime:>6}  {r:>12}  {s:>7}");
+            }
+        }
+        println!(
+            "{} ever-SA prefixes; {:.1}% shifted between SA and non-SA\n",
+            hist.total(),
+            100.0 * hist.shifted_fraction()
+        );
+    }
+
+    println!(
+        "The paper's observation holds when the daily series churns and the\n\
+         hourly one barely does: operators re-balance inbound traffic on a\n\
+         timescale of days, not hours."
+    );
+}

@@ -1,0 +1,64 @@
+//! Quickstart: build a synthetic Internet, observe it the way the paper
+//! did, and run the headline inference end to end.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use internet_routing_policies::prelude::*;
+
+fn main() {
+    // 1. A ~300-AS Internet: tier-1 clique, regional transit, multihomed
+    //    stubs — with ground-truth routing policies.
+    let exp = Experiment::standard(InternetSize::Small, 2002_11_18);
+    println!(
+        "world: {} ASes, {} edges, {} announcement classes",
+        exp.graph.as_count(),
+        exp.graph.edge_count(),
+        exp.truth.classes.len()
+    );
+    println!(
+        "collector peers: {}, Looking-Glass ASes: {:?}",
+        exp.spec.collector_peers.len(),
+        exp.spec.lg_ases
+    );
+
+    // 2. Relationship inference (Gao's algorithm) and its true accuracy —
+    //    something the paper could only sample via communities.
+    let acc = AccuracyReport::compute(&exp.graph, &exp.inferred);
+    println!(
+        "inferred {} AS pairs, {:.1}% correct ({} true edges never observed)",
+        acc.compared,
+        100.0 * acc.accuracy(),
+        acc.unobserved
+    );
+
+    // 3. Import policies: how typical is LOCAL_PREF assignment (Table 2)?
+    for &lg in exp.spec.lg_ases.iter().take(5) {
+        let t = lg_typicality(exp.output.lg(lg).unwrap(), &exp.inferred_graph);
+        println!(
+            "{lg}: {:.1}% of {} prefixes have typical local preference",
+            t.percent(),
+            t.prefixes_compared
+        );
+    }
+
+    // 4. Export policies: selectively-announced prefixes (Fig 4 / Table 5).
+    let provider = exp.spec.lg_ases[0];
+    let table = exp.lg_table(provider).unwrap();
+    let report = sa_prefixes(&table, &exp.inferred_graph);
+    println!(
+        "{provider}: {} SA prefixes out of {} customer prefixes ({:.1}%)",
+        report.sa.len(),
+        report.customer_prefixes,
+        report.percent()
+    );
+
+    // 5. Because the world is synthetic, the inference can be scored.
+    let score = rpi_core::score::score_sa(&report, &exp.truth, &exp.graph);
+    println!(
+        "SA detection at {provider}: precision {:.2}, origin recall {:.2}",
+        score.precision(),
+        score.recall()
+    );
+}

@@ -1,0 +1,66 @@
+//! # internet-routing-policies
+//!
+//! A full reproduction of **Wang & Gao, "On Inferring and Characterizing
+//! Internet Routing Policies" (IMC 2003)** as a Rust workspace: the paper's
+//! inference algorithms *plus* every substrate they need, wired to a
+//! synthetic Internet whose ground truth is known (see `DESIGN.md`).
+//!
+//! This crate is the facade: it re-exports the workspace members so the
+//! examples and integration tests can speak about the whole system, and so
+//! downstream users can depend on one crate.
+//!
+//! ## The layers
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`bgp_types`] | prefixes, AS paths, communities, the BGP decision process |
+//! | [`bgp_wire`] | BGP-4 messages, MRT TABLE_DUMP_V2, Looking-Glass text tables |
+//! | [`net_topology`] | annotated AS graph + hierarchical Internet generator |
+//! | [`bgp_sim`] | ground-truth policies and the route-propagation engine |
+//! | [`as_relationships`] | Gao's relationship inference + accuracy scoring |
+//! | [`irr_rpsl`] | RPSL parsing and the synthetic IRR registry |
+//! | [`rpi_core`] | the paper's analyses: import/export policy inference |
+//!
+//! ## Thirty-second tour
+//!
+//! ```
+//! use internet_routing_policies::prelude::*;
+//!
+//! // A ~60-AS Internet with ground-truth policies, observed from a
+//! // collector and a handful of Looking-Glass servers:
+//! let exp = Experiment::standard(InternetSize::Tiny, 7);
+//!
+//! // The paper's Fig. 4 algorithm at the largest Looking-Glass AS:
+//! let provider = exp.spec.lg_ases[0];
+//! let table = exp.lg_table(provider).unwrap();
+//! let report = sa_prefixes(&table, &exp.inferred_graph);
+//! println!(
+//!     "{provider}: {} of {} customer prefixes are selectively announced",
+//!     report.sa.len(),
+//!     report.customer_prefixes
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use as_relationships;
+pub use bgp_sim;
+pub use bgp_types;
+pub use bgp_wire;
+pub use irr_rpsl;
+pub use net_topology;
+pub use rpi_core;
+
+/// The most common imports, bundled.
+pub mod prelude {
+    pub use as_relationships::{infer, AccuracyReport, InferenceParams};
+    pub use bgp_sim::{
+        ChurnConfig, GroundTruth, PolicyParams, SimOutput, Simulation, VantageSpec,
+    };
+    pub use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, Relationship, Route};
+    pub use net_topology::{AsGraph, InternetConfig, InternetSize, NodeInfo};
+    pub use rpi_core::export_policy::sa_prefixes;
+    pub use rpi_core::import_policy::lg_typicality;
+    pub use rpi_core::view::BestTable;
+    pub use rpi_core::Experiment;
+}

@@ -1,0 +1,84 @@
+//! Integration of the churn engine with the persistence analyses, and the
+//! full IRR pipeline (generate → RPSL text → parse → screen → Table 3).
+
+use internet_routing_policies::prelude::*;
+use irr_rpsl::{generate_irr, IrrDatabase, IrrGenParams};
+use rpi_core::import_policy::irr_typicality;
+use rpi_core::persistence::{sa_series, uptime_histogram};
+
+#[test]
+fn snapshot_series_and_histograms_are_consistent() {
+    let e = Experiment::standard(InternetSize::Tiny, 11);
+    let cfg = ChurnConfig {
+        seed: 5,
+        steps: 6,
+        flip_prob: 0.4,
+        link_failure_prob: 0.1,
+        label: "day",
+    };
+    let series = bgp_sim::churn::simulate_series(&e.graph, &e.truth, &e.spec, &cfg);
+    let provider = e.spec.lg_ases[0];
+
+    let points = sa_series(&series, provider, &e.inferred_graph);
+    assert_eq!(points.len(), 6);
+    for p in &points {
+        assert!(p.sa <= p.total, "{}: sa {} > total {}", p.label, p.sa, p.total);
+    }
+
+    let hist = uptime_histogram(&series, provider, &e.inferred_graph);
+    for (&uptime, _) in hist.remaining.iter().chain(hist.shifted.iter()) {
+        assert!(uptime >= 1 && uptime <= 6);
+    }
+    assert!((0.0..=1.0).contains(&hist.shifted_fraction()));
+    // Every SA prefix from the last snapshot appears in the histogram.
+    let last_sa: usize = points.last().unwrap().sa;
+    assert!(hist.total() >= last_sa);
+}
+
+#[test]
+fn irr_pipeline_end_to_end() {
+    let e = Experiment::standard(InternetSize::Small, 13);
+    let db = generate_irr(
+        &e.graph,
+        &e.truth,
+        &IrrGenParams {
+            seed: 77,
+            coverage: 0.9,
+            stale_frac: 0.25,
+            drift_frac: 0.05,
+        },
+    );
+
+    // Through real RPSL text.
+    let text = db.render();
+    let parsed = IrrDatabase::parse(&text).expect("generated RPSL parses");
+    assert_eq!(parsed, db);
+
+    // Screen and analyze (Table 3).
+    let rows = irr_typicality(parsed.objects.iter(), &e.inferred_graph, 2002, 5);
+    assert!(rows.len() >= 20, "only {} ASes usable", rows.len());
+    let mean: f64 =
+        rows.iter().map(|(_, s)| s.percent_typical()).sum::<f64>() / rows.len() as f64;
+    // Fresh objects mirror deployed (typical) policy; only drifted ones
+    // deviate — the paper's Table 3 band is 80–100, mean ≈ 97.
+    assert!(mean > 88.0, "mean IRR typicality {mean:.1}");
+
+    // Stale objects were really excluded.
+    let stale = db.objects.iter().filter(|o| !o.updated_in(2002)).count();
+    assert!(stale > 0, "world should contain stale objects");
+    assert!(rows.len() <= db.objects.len() - stale);
+}
+
+#[test]
+fn experiment_is_deterministic_in_seed() {
+    let a = Experiment::standard(InternetSize::Tiny, 4242);
+    let b = Experiment::standard(InternetSize::Tiny, 4242);
+    assert_eq!(a.output.collector.rows.len(), b.output.collector.rows.len());
+    for (p, rows) in &a.output.collector.rows {
+        assert_eq!(rows, &b.output.collector.rows[p]);
+    }
+    assert_eq!(a.inferred.len(), b.inferred.len());
+    for (x, y, r) in a.inferred.iter() {
+        assert_eq!(b.inferred.rel(x, y), Some(r));
+    }
+}

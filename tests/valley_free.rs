@@ -1,0 +1,121 @@
+//! Simulator soundness: under the standard export rules every path that
+//! reaches any vantage must be valley-free, loop-free, and end at the
+//! true originator of its prefix.
+
+use internet_routing_policies::prelude::*;
+use net_topology::{classify_path, PathClass};
+
+fn assert_world_sound(seed: u64) {
+    let g = InternetConfig::of_size(InternetSize::Tiny).with_seed(seed).build();
+    let t = GroundTruth::generate(
+        &g,
+        &PolicyParams {
+            seed: seed ^ 1,
+            ..Default::default()
+        },
+    );
+    let spec = VantageSpec::paper_like(&g, 12, 6);
+    let out = Simulation::new(&g, &t, &spec).run();
+    assert_eq!(out.diagnostics.non_converged, 0, "seed {seed}");
+
+    // Ground-truth origins per prefix.
+    let mut origin_of = std::collections::BTreeMap::new();
+    for class in &t.classes {
+        for p in &class.prefixes {
+            origin_of.insert(*p, class.origin);
+        }
+    }
+
+    for (prefix, rows) in &out.collector.rows {
+        for row in rows {
+            // Loop-free.
+            let mut seen = std::collections::BTreeSet::new();
+            for a in &row.path {
+                assert!(seen.insert(*a), "loop in {:?} (seed {seed})", row.path);
+            }
+            // Ends at the true origin.
+            assert_eq!(
+                row.path.last(),
+                origin_of.get(prefix),
+                "wrong origin for {prefix} (seed {seed})"
+            );
+            // Valley-free under the true relationships.
+            assert_eq!(
+                classify_path(&g, &row.path),
+                PathClass::ValleyFree,
+                "valley in {:?} (seed {seed})",
+                row.path
+            );
+        }
+    }
+
+    // Looking-Glass candidates are valley-free too (they were exported to
+    // the LG AS, so the export rules already applied to every hop).
+    for lg in out.lgs.values() {
+        for routes in lg.rows.values() {
+            for r in routes {
+                let mut full = Vec::with_capacity(r.path.len() + 1);
+                full.push(lg.asn);
+                full.extend_from_slice(&r.path);
+                assert_eq!(
+                    classify_path(&g, &full),
+                    PathClass::ValleyFree,
+                    "valley in LG candidate {:?} at {} (seed {seed})",
+                    full,
+                    lg.asn
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn simulated_paths_are_valley_free_across_seeds() {
+    for seed in [1, 7, 42, 2002, 99_991] {
+        assert_world_sound(seed);
+    }
+}
+
+#[test]
+fn no_export_never_leaks() {
+    use bgp_types::Community;
+    use bgp_sim::Scope;
+    use std::collections::BTreeMap;
+
+    let g = InternetConfig::of_size(InternetSize::Tiny).with_seed(5).build();
+    let mut t = GroundTruth::generate(&g, &PolicyParams::default());
+
+    // Attach NO_EXPORT to one stub's announcements to every neighbor.
+    let victim = g
+        .ases()
+        .find(|a| a.0 >= 20_000 && !g.info(*a).unwrap().prefixes.is_empty())
+        .expect("a stub with prefixes");
+    let neighbors: BTreeMap<_, _> = g
+        .neighbors(victim)
+        .map(|(n, _)| (n, vec![Community::NO_EXPORT]))
+        .collect();
+    let mut victim_prefixes = std::collections::BTreeSet::new();
+    for class in &mut t.classes {
+        if class.origin == victim {
+            class.scope = Scope::Explicit(neighbors.clone());
+            victim_prefixes.extend(class.prefixes.iter().copied());
+        }
+    }
+    assert!(!victim_prefixes.is_empty());
+
+    let spec = VantageSpec::paper_like(&g, 12, 6);
+    let out = Simulation::new(&g, &t, &spec).run();
+    // The prefixes reach the direct neighbors only; any observed path for
+    // them has length ≤ 2 (neighbor, victim).
+    for p in &victim_prefixes {
+        if let Some(rows) = out.collector.rows.get(p) {
+            for row in rows {
+                assert!(
+                    row.path.len() <= 2,
+                    "NO_EXPORT leaked: {:?} for {p}",
+                    row.path
+                );
+            }
+        }
+    }
+}
