@@ -166,8 +166,7 @@ where
             neighbors.entry(w[1]).or_default().insert(w[0]);
         }
     }
-    let degrees: BTreeMap<Asn, usize> =
-        neighbors.iter().map(|(&a, s)| (a, s.len())).collect();
+    let degrees: BTreeMap<Asn, usize> = neighbors.iter().map(|(&a, s)| (a, s.len())).collect();
     let deg = {
         let degrees = &degrees;
         move |a: Asn| degrees.get(&a).copied().unwrap_or(0)

@@ -1,15 +1,17 @@
-//! One Criterion bench per paper table/figure: measures the analysis cost
-//! over a pre-built Small world (the world construction itself is measured
+//! One bench per paper table/figure: measures the analysis cost over a
+//! pre-built Small world (the world construction itself is measured
 //! separately in `substrates.rs`). Run `paper_tables --size paper` for the
-//! actual reproduced numbers; see EXPERIMENTS.md.
+//! actual reproduced numbers; see EXPERIMENTS.md. Uses the workspace's
+//! Criterion-style harness (`rpi_bench::harness`) — the offline build has
+//! no registry access for the real Criterion.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use rpi_bench::harness::Criterion;
 
 use net_topology::InternetSize;
 use rpi_bench::{experiments as ex, PaperWorld};
 
 fn bench_tables(c: &mut Criterion) {
-    let w = PaperWorld::build(InternetSize::Small, 2002_11_18);
+    let w = PaperWorld::build(InternetSize::Small, 20021118);
     let mut g = c.benchmark_group("paper");
     g.sample_size(10);
 
@@ -17,8 +19,12 @@ fn bench_tables(c: &mut Criterion) {
     g.bench_function("table02_import_typicality", |b| b.iter(|| ex::table2(&w)));
     g.bench_function("table03_irr_typicality", |b| b.iter(|| ex::table3(&w)));
     g.bench_function("fig02a_nexthop_consistency", |b| b.iter(|| ex::fig2a(&w)));
-    g.bench_function("fig02b_router_consistency", |b| b.iter(|| ex::fig2b(&w, 30)));
-    g.bench_function("table04_community_verification", |b| b.iter(|| ex::table4(&w)));
+    g.bench_function("fig02b_router_consistency", |b| {
+        b.iter(|| ex::fig2b(&w, 30))
+    });
+    g.bench_function("table04_community_verification", |b| {
+        b.iter(|| ex::table4(&w))
+    });
     g.bench_function("fig09_prefix_rank", |b| b.iter(|| ex::fig9(&w)));
     g.bench_function("table05_sa_prevalence", |b| b.iter(|| ex::table5(&w)));
     g.bench_function("table06_customer_sa", |b| b.iter(|| ex::table6(&w)));
@@ -31,7 +37,7 @@ fn bench_tables(c: &mut Criterion) {
 }
 
 fn bench_persistence(c: &mut Criterion) {
-    let w = PaperWorld::build(InternetSize::Tiny, 2002_03_15);
+    let w = PaperWorld::build(InternetSize::Tiny, 20020315);
     let mut g = c.benchmark_group("paper");
     g.sample_size(10);
     // Figs 6–7 re-simulate per snapshot; keep the series short here.
@@ -44,5 +50,8 @@ fn bench_persistence(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_tables, bench_persistence);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_tables(&mut c);
+    bench_persistence(&mut c);
+}

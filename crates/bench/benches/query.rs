@@ -1,0 +1,116 @@
+//! Throughput benches for the `rpi-query` serving layer: ingest cost,
+//! single-query rates, batched rates and shard-decomposition speedup, and
+//! snapshot diffing. These back the observatory's queries/sec claims
+//! (`rpi-queryd --bench` prints the same numbers against a live world).
+
+use rpi_bench::harness::{Criterion, Throughput};
+
+use bgp_types::{Asn, Ipv4Prefix};
+use net_topology::InternetSize;
+use rpi_core::Experiment;
+use rpi_query::QueryEngine;
+
+fn workload(exp: &Experiment) -> Vec<(Asn, Ipv4Prefix)> {
+    let mut pairs = Vec::new();
+    for &lg in &exp.spec.lg_ases {
+        if let Some(t) = exp.lg_table(lg) {
+            pairs.extend(t.rows.keys().map(|&p| (lg, p)));
+        }
+    }
+    pairs
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let mut g = c.benchmark_group("query/ingest");
+    g.sample_size(10);
+    g.bench_function("ingest_small_world", |b| {
+        b.iter(|| {
+            let mut e = QueryEngine::new(8);
+            e.ingest_experiment(&exp, "t0");
+            e
+        })
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let mut engine = QueryEngine::new(8);
+    engine.ingest_experiment(&exp, "t0");
+    let pairs = workload(&exp);
+
+    let mut g = c.benchmark_group("query/single");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    g.bench_function(format!("route_at_{}_queries", pairs.len()), |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(v, p) in &pairs {
+                if engine.route_at(v, p).is_some() {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    g.bench_function("sa_status_all", |b| {
+        b.iter(|| {
+            pairs
+                .iter()
+                .map(|&(v, p)| engine.sa_status(v, p))
+                .fold(0usize, |acc, s| {
+                    acc + matches!(s, rpi_query::SaStatus::SelectivelyAnnounced { .. }) as usize
+                })
+        })
+    });
+    g.bench_function("policy_summary_all_lgs", |b| {
+        b.iter(|| {
+            exp.spec
+                .lg_ases
+                .iter()
+                .filter_map(|&a| engine.policy_summary(a))
+                .count()
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("query/batched");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(pairs.len() as u64));
+    for shards in [1usize, 4, 16] {
+        let mut e = QueryEngine::new(shards);
+        let id = e.ingest_experiment(&exp, "bench");
+        g.bench_function(format!("route_at_batch_{shards}_shards"), |b| {
+            b.iter(|| e.route_at_batch_in(id, &pairs))
+        });
+        // Report the decomposition's achievable speedup once per config.
+        let (_, profile) = e.route_at_batch_profiled(id, &pairs);
+        println!(
+            "    ({shards} shards: critical path {:.2?}, speedup {:.1}× with one core per shard)",
+            profile.critical_path(),
+            profile.parallel_speedup()
+        );
+    }
+    g.finish();
+}
+
+fn bench_diff(c: &mut Criterion) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let mut engine = QueryEngine::new(8);
+    let a = engine.ingest_experiment(&exp, "t0");
+    let b_id = engine.ingest_experiment(&exp, "t1");
+    let mut g = c.benchmark_group("query/diff");
+    g.sample_size(10);
+    g.bench_function("diff_identical_small_world", |bch| {
+        bch.iter(|| engine.diff(a, b_id).unwrap())
+    });
+    g.finish();
+}
+
+fn main() {
+    let mut c = Criterion::new();
+    bench_ingest(&mut c);
+    bench_queries(&mut c);
+    bench_diff(&mut c);
+}

@@ -2,11 +2,11 @@
 //! propagation, relationship inference, wire codecs, and the prefix trie.
 //! These back the scaling claims in README.md.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rpi_bench::harness::{BatchSize, Criterion, Throughput};
 
-use bgp_types::{Asn, Ipv4Prefix, PrefixTrie};
 use bgp_sim::export::collector_to_mrt;
 use bgp_sim::{GroundTruth, PolicyParams, Simulation, VantageSpec};
+use bgp_types::{Asn, Ipv4Prefix, PrefixTrie};
 use bgp_wire::TableDump;
 use net_topology::{InternetConfig, InternetSize};
 
@@ -30,10 +30,9 @@ fn bench_propagation(c: &mut Criterion) {
         let truth = GroundTruth::generate(&graph, &PolicyParams::default());
         let spec = VantageSpec::paper_like(&graph, 24, 8);
         g.throughput(Throughput::Elements(truth.classes.len() as u64));
-        g.bench_function(
-            format!("propagate_{}_classes", truth.classes.len()),
-            |b| b.iter(|| Simulation::new(&graph, &truth, &spec).run()),
-        );
+        g.bench_function(format!("propagate_{}_classes", truth.classes.len()), |b| {
+            b.iter(|| Simulation::new(&graph, &truth, &spec).run())
+        });
     }
     g.finish();
 }
@@ -44,21 +43,12 @@ fn bench_inference(c: &mut Criterion) {
     let truth = GroundTruth::generate(&graph, &PolicyParams::default());
     let spec = VantageSpec::paper_like(&graph, 24, 8);
     let out = Simulation::new(&graph, &truth, &spec).run();
-    let paths: Vec<Vec<Asn>> = out
-        .collector
-        .all_paths()
-        .map(|r| r.path.clone())
-        .collect();
+    let paths: Vec<Vec<Asn>> = out.collector.all_paths().map(|r| r.path.clone()).collect();
     let mut g = c.benchmark_group("substrate/inference");
     g.sample_size(10);
     g.throughput(Throughput::Elements(paths.len() as u64));
     g.bench_function(format!("gao_{}_paths", paths.len()), |b| {
-        b.iter(|| {
-            infer(
-                paths.iter().map(Vec::as_slice),
-                &InferenceParams::default(),
-            )
-        })
+        b.iter(|| infer(paths.iter().map(Vec::as_slice), &InferenceParams::default()))
     });
     g.finish();
 }
@@ -120,12 +110,11 @@ fn bench_trie(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_generation,
-    bench_propagation,
-    bench_inference,
-    bench_wire,
-    bench_trie
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Criterion::new();
+    bench_generation(&mut c);
+    bench_propagation(&mut c);
+    bench_inference(&mut c);
+    bench_wire(&mut c);
+    bench_trie(&mut c);
+}

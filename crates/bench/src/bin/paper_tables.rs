@@ -13,7 +13,7 @@ use rpi_bench::{experiments as ex, PaperWorld};
 
 fn main() {
     let mut size = InternetSize::Paper;
-    let mut seed: u64 = 2002_11_11;
+    let mut seed: u64 = 20021111;
     let mut full_churn = false;
     let mut only: Option<BTreeSet<String>> = None;
 
@@ -21,25 +21,24 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--size" => {
-                size = match args.next().as_deref() {
-                    Some("tiny") => InternetSize::Tiny,
-                    Some("small") => InternetSize::Small,
-                    Some("paper") => InternetSize::Paper,
-                    Some("large") => InternetSize::Large,
-                    other => {
-                        eprintln!("unknown size {other:?}");
-                        std::process::exit(2);
-                    }
-                };
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("paper_tables: --size needs a value (tiny, small, paper or large)");
+                    std::process::exit(2);
+                });
+                size = raw.parse().unwrap_or_else(|e: String| {
+                    eprintln!("paper_tables: {e}");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
-                seed = args
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs a number");
-                        std::process::exit(2);
-                    });
+                let raw = args.next().unwrap_or_else(|| {
+                    eprintln!("paper_tables: --seed needs an unsigned integer value");
+                    std::process::exit(2);
+                });
+                seed = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("paper_tables: --seed wants an unsigned integer, got '{raw}'");
+                    std::process::exit(2);
+                });
             }
             "--full-churn" => full_churn = true,
             "--only" => {
@@ -59,7 +58,7 @@ fn main() {
                 return;
             }
             other => {
-                eprintln!("unknown argument {other:?} (try --help)");
+                eprintln!("paper_tables: unknown argument '{other}' (try --help)");
                 std::process::exit(2);
             }
         }

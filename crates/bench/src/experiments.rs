@@ -4,13 +4,15 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
-use bgp_types::{Asn, Relationship};
 use as_relationships::{per_as_agreement, AccuracyReport};
 use bgp_sim::{split_into_routers, SnapshotSeries};
+use bgp_types::{Asn, Relationship};
 use net_topology::metrics::vantage_rows;
 use rpi_core::atoms::{atom_stats, policy_atoms};
 use rpi_core::causes::causes;
-use rpi_core::community::{infer_communities, plan_registry_rows, verify_relationships, CommunityParams};
+use rpi_core::community::{
+    infer_communities, plan_registry_rows, verify_relationships, CommunityParams,
+};
 use rpi_core::export_policy::{common_customer_sa, homing_split, sa_prefixes, SaReport};
 use rpi_core::import_policy::{irr_typicality, lg_typicality};
 use rpi_core::nexthop::{lg_consistency, router_consistency};
@@ -94,12 +96,7 @@ pub fn table3(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
             s.usable_neighbors.to_string(),
         ]);
     }
-    let discarded = w
-        .irr
-        .objects
-        .iter()
-        .filter(|o| !o.updated_in(2002))
-        .count();
+    let discarded = w.irr.objects.iter().filter(|o| !o.updated_in(2002)).count();
     let mut text = table(
         "Table 3 — typical local preference (IRR)",
         &["AS", "% typical", "neighbors"],
@@ -122,7 +119,11 @@ pub fn fig2a(w: &PaperWorld) -> (Vec<(Asn, f64)>, String) {
     for &lg in &e.spec.lg_ases {
         let c = lg_consistency(e.output.lg(lg).expect("lg view exists"));
         data.push((lg, c.percent()));
-        rows.push(vec![lg.to_string(), pct(c.percent()), c.prefixes.to_string()]);
+        rows.push(vec![
+            lg.to_string(),
+            pct(c.percent()),
+            c.prefixes.to_string(),
+        ]);
     }
     let text = table(
         "Fig 2a — % prefixes with next-hop-based LOCAL_PREF",
@@ -199,7 +200,10 @@ pub fn fig9(w: &PaperWorld) -> (Vec<(Asn, Vec<usize>)>, String) {
     let mut out = String::new();
     let mut data = Vec::new();
     for asn in picks {
-        let inf = infer_communities(e.output.lg(asn).expect("lg view"), &CommunityParams::default());
+        let inf = infer_communities(
+            e.output.lg(asn).expect("lg view"),
+            &CommunityParams::default(),
+        );
         let series = inf.rank_series();
         let _ = writeln!(
             out,
@@ -258,7 +262,12 @@ pub fn table6(w: &PaperWorld) -> String {
     let mut all = common_customer_sa(&refs, &e.inferred_graph, min_prefixes);
     // The paper's eight rows are customers with substantial SA activity;
     // rank by SA count first, then size.
-    all.sort_by_key(|r| (std::cmp::Reverse(r.sa_for_all), std::cmp::Reverse(r.prefixes)));
+    all.sort_by_key(|r| {
+        (
+            std::cmp::Reverse(r.sa_for_all),
+            std::cmp::Reverse(r.prefixes),
+        )
+    });
     let rows: Vec<Vec<String>> = all
         .into_iter()
         .filter(|r| r.sa_for_all > 0)
@@ -375,7 +384,12 @@ pub fn table9(w: &PaperWorld) -> String {
     }
     let mut text = table(
         "Table 9 — prefix splitting / aggregating among SA prefixes",
-        &["provider", "# SA", "# splitting", "# aggregating (upper bound)"],
+        &[
+            "provider",
+            "# SA",
+            "# splitting",
+            "# aggregating (upper bound)",
+        ],
         &rows,
     );
     text.push_str(&case3);
@@ -389,13 +403,7 @@ pub fn fig6_fig7(w: &PaperWorld, series: &SnapshotSeries, what: &str) -> String 
     let points = sa_series(series, provider, &e.inferred_graph);
     let rows: Vec<Vec<String>> = points
         .iter()
-        .map(|p| {
-            vec![
-                p.label.clone(),
-                p.total.to_string(),
-                p.sa.to_string(),
-            ]
-        })
+        .map(|p| vec![p.label.clone(), p.total.to_string(), p.sa.to_string()])
         .collect();
     let mut text = table(
         &format!("Fig 6 ({what}) — prefixes at {provider} per snapshot"),
@@ -469,7 +477,11 @@ pub fn extras(w: &PaperWorld) -> String {
     );
     let agreement = per_as_agreement(&e.graph, &e.inferred, &e.spec.lg_ases);
     for (asn, frac) in agreement {
-        let _ = writeln!(out, "  {asn}: {:.1}% of edges correctly inferred", 100.0 * frac);
+        let _ = writeln!(
+            out,
+            "  {asn}: {:.1}% of edges correctly inferred",
+            100.0 * frac
+        );
     }
 
     for &p in &w.three_tier1s() {

@@ -60,7 +60,7 @@ mod tests {
         let lines: Vec<&str> = s.lines().collect();
         // Columns align: "value" starts at the same offset everywhere.
         let col = lines[1].find("value").unwrap();
-        assert_eq!(lines[3].ends_with('9'), true);
+        assert!(lines[3].ends_with('9'));
         assert!(lines[4].find("22").unwrap() >= col - 2);
     }
 

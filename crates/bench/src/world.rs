@@ -1,7 +1,7 @@
 //! The shared experiment world all table/figure generators run on.
 
-use bgp_types::Asn;
 use bgp_sim::{ChurnConfig, SnapshotSeries};
+use bgp_types::Asn;
 use irr_rpsl::{generate_irr, IrrDatabase, IrrGenParams};
 use net_topology::InternetSize;
 use rpi_core::Experiment;

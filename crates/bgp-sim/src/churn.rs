@@ -137,12 +137,7 @@ pub fn simulate_series(
 /// Re-picks the provider subset of every explicit-scope class of `origin`.
 /// The new subset may be the full provider set, turning the class's
 /// prefixes non-SA for this and following snapshots.
-fn reroll_selective(
-    truth: &mut GroundTruth,
-    graph: &AsGraph,
-    origin: Asn,
-    rng: &mut StdRng,
-) {
+fn reroll_selective(truth: &mut GroundTruth, graph: &AsGraph, origin: Asn, rng: &mut StdRng) {
     let providers: Vec<Asn> = graph.providers_of(origin).collect();
     if providers.len() < 2 {
         return;
@@ -258,12 +253,10 @@ mod tests {
         let series = simulate_series(&g, &t, &spec, &cfg);
         let first = &series.snapshots[0].collector.rows;
         let changed = series.snapshots.iter().skip(1).any(|s| {
-            s.collector.rows.iter().any(|(p, rows)| {
-                first
-                    .get(p)
-                    .map(|base| base != rows)
-                    .unwrap_or(true)
-            })
+            s.collector
+                .rows
+                .iter()
+                .any(|(p, rows)| first.get(p).map(|base| base != rows).unwrap_or(true))
         });
         assert!(changed, "forced re-rolls must perturb some path");
     }

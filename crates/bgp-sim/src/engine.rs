@@ -249,7 +249,7 @@ impl<'a> Simulation<'a> {
                 Vec::with_capacity(self.truth.classes.len());
             results.resize_with(self.truth.classes.len(), || None);
             let chunk = self.truth.classes.len().div_ceil(n_threads);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 let mut slots = results.as_mut_slice();
                 let mut start = 0usize;
                 let mut handles = Vec::new();
@@ -260,7 +260,7 @@ impl<'a> Simulation<'a> {
                     let base = start;
                     start += take;
                     let sim = self.clone();
-                    handles.push(s.spawn(move |_| {
+                    handles.push(s.spawn(move || {
                         for (off, slot) in head.iter_mut().enumerate() {
                             let idx = base + off;
                             *slot = Some(sim.run_class(idx, &sim.truth.classes[idx]));
@@ -270,9 +270,11 @@ impl<'a> Simulation<'a> {
                 for h in handles {
                     h.join().expect("simulation worker panicked");
                 }
-            })
-            .expect("crossbeam scope");
-            results.into_iter().map(|o| o.expect("all slots filled")).collect()
+            });
+            results
+                .into_iter()
+                .map(|o| o.expect("all slots filled"))
+                .collect()
         };
 
         // Deterministic merge in class order.
@@ -637,7 +639,12 @@ mod tests {
         // And D's LG view shows 3 candidates with LOCAL_PREF ordering.
         let rows = &out.lg(Asn(4)).unwrap().rows[&p];
         assert_eq!(rows.len(), 3);
-        let lp_of = |n: u32| rows.iter().find(|r| r.neighbor == Asn(n)).unwrap().local_pref;
+        let lp_of = |n: u32| {
+            rows.iter()
+                .find(|r| r.neighbor == Asn(n))
+                .unwrap()
+                .local_pref
+        };
         assert!(lp_of(2) > lp_of(5), "customer lp > peer lp");
         assert!(lp_of(3) > lp_of(5));
         // The best candidate carries the maximal LOCAL_PREF of the set.
@@ -745,7 +752,10 @@ mod tests {
         let t = GroundTruth::generate(&g, &params);
         let spec = VantageSpec::paper_like(&g, 10, 6);
         let out = Simulation::new(&g, &t, &spec).run();
-        assert_eq!(out.diagnostics.non_converged, 0, "typical policies converge");
+        assert_eq!(
+            out.diagnostics.non_converged, 0,
+            "typical policies converge"
+        );
         assert_eq!(out.diagnostics.classes, t.classes.len());
         // The collector hears almost every prefix (selective announcement
         // never hides a prefix from *every* vantage: peers still get it).

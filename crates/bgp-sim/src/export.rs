@@ -2,7 +2,7 @@
 //! [`bgp_wire`] — the loop a real measurement pipeline would run
 //! (RouteViews MRT archive in, analysis out).
 
-use bgp_types::{Asn, AsPath, Route};
+use bgp_types::{AsPath, Asn, Route};
 use bgp_wire::text::LgTable;
 use bgp_wire::{PeerEntry, RibEntry, TableDump, WireAttrs, WireError};
 

@@ -355,8 +355,7 @@ impl GroundTruth {
                 truth.aggregators.insert(a);
             }
             let providers: Vec<Asn> = graph.providers_of(a).collect();
-            if is_transit && providers.len() >= 2 && rng.gen_bool(params.selective_transit_frac)
-            {
+            if is_transit && providers.len() >= 2 && rng.gen_bool(params.selective_transit_frac) {
                 let keep = rng.gen_range(1..providers.len());
                 let mut subset: Vec<Asn> = providers.clone();
                 subset.shuffle(&mut rng);
@@ -382,8 +381,7 @@ impl GroundTruth {
         }
 
         // ---- prefix-based overrides at the chosen (vantage) ASes ----
-        let all_prefixes: Vec<Ipv4Prefix> =
-            graph.all_prefixes().map(|(_, r)| r.prefix).collect();
+        let all_prefixes: Vec<Ipv4Prefix> = graph.all_prefixes().map(|(_, r)| r.prefix).collect();
         let mut override_prefixes: BTreeSet<Ipv4Prefix> = BTreeSet::new();
         for &a in &params.override_ases {
             if !graph.contains(a) {
@@ -548,9 +546,8 @@ impl GroundTruth {
 
             // Everything left: announced to everyone; override prefixes get
             // singleton classes so the engine can treat them per-prefix.
-            let (pinned, rest): (Vec<Ipv4Prefix>, Vec<Ipv4Prefix>) = own
-                .into_iter()
-                .partition(|p| override_prefixes.contains(p));
+            let (pinned, rest): (Vec<Ipv4Prefix>, Vec<Ipv4Prefix>) =
+                own.into_iter().partition(|p| override_prefixes.contains(p));
             for p in pinned {
                 push_class(&mut truth, origin, vec![p], Scope::All);
             }
@@ -671,9 +668,7 @@ mod tests {
                 c.origin == o
                     && match &c.scope {
                         Scope::All => false,
-                        Scope::Explicit(map) => {
-                            providers.iter().any(|p| !map.contains_key(p))
-                        }
+                        Scope::Explicit(map) => providers.iter().any(|p| !map.contains_key(p)),
                     }
             });
             assert!(some_class_drops, "{o} has no provider-dropping class");
@@ -713,7 +708,9 @@ mod tests {
     #[test]
     fn community_plan_tags_and_ranges() {
         let plan = CommunityPlan::standard();
-        let tag = plan.ingress_tag(Asn(12859), Asn(8220), Relationship::Peer).unwrap();
+        let tag = plan
+            .ingress_tag(Asn(12859), Asn(8220), Relationship::Peer)
+            .unwrap();
         assert_eq!(tag.authority_asn(), Asn(12859));
         assert!(plan.peer_codes.contains(&tag.value()));
         assert_eq!(plan.classify_code(tag.value()), Some(Relationship::Peer));

@@ -169,10 +169,7 @@ mod tests {
                         (3549, vec![3549, 8, 9], 90, false),
                     ],
                 ),
-                mk(
-                    "11.0.0.0/16",
-                    vec![(1239, vec![1239, 11], 100, true)],
-                ),
+                mk("11.0.0.0/16", vec![(1239, vec![1239, 11], 100, true)]),
             ]),
         }
     }

@@ -297,10 +297,7 @@ mod tests {
         let routes = [i, e];
         assert_eq!(best_route(&routes), Some(&routes[1]));
 
-        let l = r()
-            .learned_from(Asn(5))
-            .session(Session::Local)
-            .build();
+        let l = r().learned_from(Asn(5)).session(Session::Local).build();
         let routes2 = [routes[1].clone(), l];
         // Local route has empty path (0 hops) and local session – wins.
         assert_eq!(best_route(&routes2), Some(&routes2[1]));

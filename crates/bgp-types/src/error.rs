@@ -40,7 +40,10 @@ impl ParseError {
         let mut input = input.to_owned();
         if input.len() > MAX {
             // Truncate on a char boundary so multi-byte input can't panic.
-            let cut = (0..=MAX).rev().find(|&i| input.is_char_boundary(i)).unwrap_or(0);
+            let cut = (0..=MAX)
+                .rev()
+                .find(|&i| input.is_char_boundary(i))
+                .unwrap_or(0);
             input.truncate(cut);
             input.push('…');
         }
@@ -120,10 +123,7 @@ mod tests {
     #[test]
     fn kind_is_preserved() {
         assert_eq!(ParseError::invalid_asn("z").kind(), ParseErrorKind::Asn);
-        assert_eq!(
-            ParseError::invalid_route("z").kind(),
-            ParseErrorKind::Route
-        );
+        assert_eq!(ParseError::invalid_route("z").kind(), ParseErrorKind::Route);
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod asn;
 pub mod community;
 pub mod decision;
 pub mod error;
+pub mod intern;
 pub mod path;
 pub mod prefix;
 pub mod relationship;
@@ -40,6 +41,7 @@ pub use asn::Asn;
 pub use community::Community;
 pub use decision::{best_route, compare_routes, DecisionStep};
 pub use error::ParseError;
+pub use intern::{Interner, Symbol};
 pub use path::{AsPath, PathSegment};
 pub use prefix::Ipv4Prefix;
 pub use relationship::Relationship;

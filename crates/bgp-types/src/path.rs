@@ -75,10 +75,7 @@ impl AsPath {
     /// Builds a path from explicit segments, dropping empty ones.
     pub fn from_segments<I: IntoIterator<Item = PathSegment>>(segs: I) -> Self {
         AsPath {
-            segments: segs
-                .into_iter()
-                .filter(|s| !s.asns().is_empty())
-                .collect(),
+            segments: segs.into_iter().filter(|s| !s.asns().is_empty()).collect(),
         }
     }
 

@@ -65,7 +65,9 @@ impl Ipv4Prefix {
         self.bits
     }
 
-    /// The prefix length in `0..=32`.
+    /// The prefix length in `0..=32`. (`is_empty` would be meaningless
+    /// for a prefix length, hence the lint allowance.)
+    #[allow(clippy::len_without_is_empty)]
     pub fn len(self) -> u8 {
         self.len
     }
@@ -129,7 +131,10 @@ impl Ipv4Prefix {
             return None;
         }
         let len = self.len + 1;
-        let lo = Ipv4Prefix { bits: self.bits, len };
+        let lo = Ipv4Prefix {
+            bits: self.bits,
+            len,
+        };
         let hi = Ipv4Prefix {
             bits: self.bits | (1u32 << (32 - len)),
             len,
@@ -141,7 +146,11 @@ impl Ipv4Prefix {
     /// `new_len < self.len`; at most 2^16 subnets are yielded to bound cost).
     pub fn subnets(self, new_len: u8) -> impl Iterator<Item = Ipv4Prefix> {
         let valid = new_len >= self.len && new_len <= 32 && (new_len - self.len) <= 16;
-        let count: u32 = if valid { 1u32 << (new_len - self.len) } else { 0 };
+        let count: u32 = if valid {
+            1u32 << (new_len - self.len)
+        } else {
+            0
+        };
         let base = self.bits;
         (0..count).map(move |i| Ipv4Prefix {
             bits: base | (i << (32 - new_len as u32)),
@@ -227,7 +236,9 @@ pub fn parse_addr(s: &str) -> Result<u32, ParseError> {
         if part.is_empty() || part.len() > 3 || !part.bytes().all(|b| b.is_ascii_digit()) {
             return Err(ParseError::invalid_addr(s));
         }
-        *slot = part.parse::<u8>().map_err(|_| ParseError::invalid_addr(s))?;
+        *slot = part
+            .parse::<u8>()
+            .map_err(|_| ParseError::invalid_addr(s))?;
     }
     if parts.next().is_some() {
         return Err(ParseError::invalid_addr(s));

@@ -121,7 +121,11 @@ impl fmt::Display for Route {
     /// A compact single-line rendering used in logs and examples:
     /// `12.0.0.0/19 via AS701 path [701 7018] lp 90 med - i`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} via {} path [{}]", self.prefix, self.attrs.learned_from, self.attrs.as_path)?;
+        write!(
+            f,
+            "{} via {} path [{}]",
+            self.prefix, self.attrs.learned_from, self.attrs.as_path
+        )?;
         match self.attrs.local_pref {
             Some(lp) => write!(f, " lp {lp}")?,
             None => write!(f, " lp -")?,

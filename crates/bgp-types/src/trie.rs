@@ -124,10 +124,8 @@ impl<T> PrefixTrie<T> {
     /// Longest-prefix match for a single address.
     pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
         let mut node = &self.root;
-        let mut best: Option<(Ipv4Prefix, &T)> = node
-            .value
-            .as_ref()
-            .map(|v| (Ipv4Prefix::DEFAULT, v));
+        let mut best: Option<(Ipv4Prefix, &T)> =
+            node.value.as_ref().map(|v| (Ipv4Prefix::DEFAULT, v));
         for depth in 0..32u8 {
             let b = bit_at(addr, depth);
             match node.children[b].as_deref() {
@@ -135,6 +133,29 @@ impl<T> PrefixTrie<T> {
                     node = child;
                     if let Some(v) = node.value.as_ref() {
                         best = Some((Ipv4Prefix::canonical(addr, depth + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// The longest stored prefix covering `prefix` (itself included) —
+    /// longest-prefix-match generalized from addresses to prefixes. This
+    /// is the serving-layer lookup: a query for `10.1.2.0/24` answered by
+    /// the table's `10.1.0.0/16` route.
+    pub fn best_match(&self, prefix: Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &self.root;
+        let mut best: Option<(Ipv4Prefix, &T)> =
+            node.value.as_ref().map(|v| (Ipv4Prefix::DEFAULT, v));
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((Ipv4Prefix::canonical(prefix.bits(), depth + 1), v));
                     }
                 }
                 None => break,
@@ -285,7 +306,10 @@ mod tests {
     fn covering_lists_ancestors_shortest_first() {
         let t = sample();
         let cov: Vec<_> = t.covering(p("12.0.16.0/24")).map(|(q, _)| q).collect();
-        assert_eq!(cov, vec![p("12.0.0.0/8"), p("12.0.0.0/19"), p("12.0.16.0/24")]);
+        assert_eq!(
+            cov,
+            vec![p("12.0.0.0/8"), p("12.0.0.0/19"), p("12.0.16.0/24")]
+        );
         // A prefix not in the trie still reports its stored ancestors.
         let cov2: Vec<_> = t.covering(p("12.0.0.0/24")).map(|(q, _)| q).collect();
         assert_eq!(cov2, vec![p("12.0.0.0/8"), p("12.0.0.0/19")]);

@@ -1,167 +1,254 @@
 //! Property-based tests for the core data model.
+//!
+//! The build environment is offline, so instead of proptest these use a
+//! seeded [`rand::rngs::StdRng`] driving many random cases per property —
+//! deterministic across runs, same invariants checked.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, PrefixTrie};
+use bgp_types::{AsPath, Asn, Community, Ipv4Prefix, PrefixTrie};
 
-/// Arbitrary canonical prefix.
-fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
-    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| Ipv4Prefix::canonical(bits, len))
+const CASES: usize = 256;
+
+fn arb_prefix(rng: &mut StdRng) -> Ipv4Prefix {
+    Ipv4Prefix::canonical(rng.gen::<u32>(), rng.gen_range(0..=32u8))
 }
 
-fn arb_asn() -> impl Strategy<Value = Asn> {
-    // Bias toward small, realistic ASNs but include 4-byte ones.
-    prop_oneof![
-        3 => (1u32..70_000).prop_map(Asn),
-        1 => (70_000u32..=u32::MAX).prop_map(Asn),
-    ]
+/// Bias toward small, realistic ASNs but include 4-byte ones.
+fn arb_asn(rng: &mut StdRng) -> Asn {
+    if rng.gen_bool(0.75) {
+        Asn(rng.gen_range(1..70_000u32))
+    } else {
+        Asn(rng.gen_range(70_000u32..=u32::MAX))
+    }
 }
 
-proptest! {
-    // ---------- Ipv4Prefix ----------
+/// A mildly adversarial random string: digits, dots, slashes, spaces,
+/// letters and punctuation — the alphabet the textual parsers see.
+fn arb_garbage(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[u8] = b"0123456789./ ,:;-_abcXYZ{}()<>!?*\t\"'";
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| *POOL.as_ref().choose(rng).unwrap() as char)
+        .collect()
+}
 
-    #[test]
-    fn prefix_display_parse_roundtrip(p in arb_prefix()) {
+// ---------- Ipv4Prefix ----------
+
+#[test]
+fn prefix_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5001);
+    for _ in 0..CASES {
+        let p = arb_prefix(&mut rng);
         let s = p.to_string();
         let q: Ipv4Prefix = s.parse().unwrap();
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
     }
+}
 
-    #[test]
-    fn prefix_canonical_is_idempotent(bits in any::<u32>(), len in 0u8..=32) {
-        let p = Ipv4Prefix::canonical(bits, len);
+#[test]
+fn prefix_canonical_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x5002);
+    for _ in 0..CASES {
+        let p = Ipv4Prefix::canonical(rng.gen::<u32>(), rng.gen_range(0..=32u8));
         let q = Ipv4Prefix::canonical(p.bits(), p.len());
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
         // new() accepts exactly canonical forms.
-        prop_assert!(Ipv4Prefix::new(p.bits(), p.len()).is_ok());
+        assert!(Ipv4Prefix::new(p.bits(), p.len()).is_ok());
     }
+}
 
-    #[test]
-    fn prefix_covers_is_reflexive_and_antisymmetric(a in arb_prefix(), b in arb_prefix()) {
-        prop_assert!(a.covers(a));
+#[test]
+fn prefix_covers_is_reflexive_and_antisymmetric() {
+    let mut rng = StdRng::seed_from_u64(0x5003);
+    for _ in 0..CASES {
+        let a = arb_prefix(&mut rng);
+        // Make coincidences likely: half the time derive b from a.
+        let b = if rng.gen_bool(0.5) {
+            Ipv4Prefix::canonical(a.bits(), rng.gen_range(0..=32u8))
+        } else {
+            arb_prefix(&mut rng)
+        };
+        assert!(a.covers(a));
         if a.covers(b) && b.covers(a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    #[test]
-    fn prefix_covers_transitive(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+#[test]
+fn prefix_covers_transitive() {
+    let mut rng = StdRng::seed_from_u64(0x5004);
+    for _ in 0..CASES {
+        let a = arb_prefix(&mut rng);
+        let b = Ipv4Prefix::canonical(a.bits(), rng.gen_range(0..=32u8));
+        let c = Ipv4Prefix::canonical(b.bits(), rng.gen_range(0..=32u8));
         if a.covers(b) && b.covers(c) {
-            prop_assert!(a.covers(c));
+            assert!(a.covers(c));
         }
     }
+}
 
-    #[test]
-    fn prefix_split_children_are_covered_and_aggregate_back(p in arb_prefix()) {
+#[test]
+fn prefix_split_children_are_covered_and_aggregate_back() {
+    let mut rng = StdRng::seed_from_u64(0x5005);
+    for _ in 0..CASES {
+        let p = arb_prefix(&mut rng);
         if let Some((lo, hi)) = p.split() {
-            prop_assert!(p.covers_strictly(lo));
-            prop_assert!(p.covers_strictly(hi));
-            prop_assert!(!lo.covers(hi) && !hi.covers(lo));
-            prop_assert_eq!(lo.aggregate_with(hi), Some(p));
-            prop_assert_eq!(hi.aggregate_with(lo), Some(p));
-            prop_assert_eq!(lo.supernet(), Some(p));
-            prop_assert_eq!(hi.supernet(), Some(p));
+            assert!(p.covers_strictly(lo));
+            assert!(p.covers_strictly(hi));
+            assert!(!lo.covers(hi) && !hi.covers(lo));
+            assert_eq!(lo.aggregate_with(hi), Some(p));
+            assert_eq!(hi.aggregate_with(lo), Some(p));
+            assert_eq!(lo.supernet(), Some(p));
+            assert_eq!(hi.supernet(), Some(p));
         }
     }
+}
 
-    #[test]
-    fn prefix_addr_range_consistent(p in arb_prefix()) {
-        prop_assert!(p.contains_addr(p.first_addr()));
-        prop_assert!(p.contains_addr(p.last_addr()));
-        prop_assert_eq!(
+#[test]
+fn prefix_addr_range_consistent() {
+    let mut rng = StdRng::seed_from_u64(0x5006);
+    for _ in 0..CASES {
+        let p = arb_prefix(&mut rng);
+        assert!(p.contains_addr(p.first_addr()));
+        assert!(p.contains_addr(p.last_addr()));
+        assert_eq!(
             p.last_addr().wrapping_sub(p.first_addr()) as u64 + 1,
             p.addr_count()
         );
     }
+}
 
-    #[test]
-    fn prefix_garbage_never_panics(s in "\\PC{0,40}") {
+#[test]
+fn prefix_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x5007);
+    for _ in 0..CASES {
+        let s = arb_garbage(&mut rng, 40);
         let _ = s.parse::<Ipv4Prefix>();
     }
+}
 
-    // ---------- AsPath ----------
+// ---------- AsPath ----------
 
-    #[test]
-    fn path_display_parse_roundtrip(asns in prop::collection::vec(arb_asn(), 0..12)) {
+#[test]
+fn path_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x5008);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..12usize);
+        let asns: Vec<Asn> = (0..n).map(|_| arb_asn(&mut rng)).collect();
         let p = AsPath::from_seq(asns);
         let s = p.to_string();
         let q: AsPath = s.parse().unwrap();
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
     }
+}
 
-    #[test]
-    fn path_prepend_extends_len_and_sets_next_hop(
-        asns in prop::collection::vec(arb_asn(), 0..8),
-        head in arb_asn()
-    ) {
+#[test]
+fn path_prepend_extends_len_and_sets_next_hop() {
+    let mut rng = StdRng::seed_from_u64(0x5009);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..8usize);
+        let asns: Vec<Asn> = (0..n).map(|_| arb_asn(&mut rng)).collect();
+        let head = arb_asn(&mut rng);
         let p = AsPath::from_seq(asns);
         let q = p.prepend(head);
-        prop_assert_eq!(q.hop_len(), p.hop_len() + 1);
-        prop_assert_eq!(q.next_hop_as(), Some(head));
-        prop_assert!(q.contains(head));
+        assert_eq!(q.hop_len(), p.hop_len() + 1);
+        assert_eq!(q.next_hop_as(), Some(head));
+        assert!(q.contains(head));
         if !p.is_empty() {
-            prop_assert_eq!(q.origin_as(), p.origin_as());
+            assert_eq!(q.origin_as(), p.origin_as());
         }
     }
+}
 
-    #[test]
-    fn path_dedup_removes_all_consecutive_runs(
-        asns in prop::collection::vec(arb_asn(), 0..8),
-        reps in prop::collection::vec(1usize..4, 0..8)
-    ) {
+#[test]
+fn path_dedup_removes_all_consecutive_runs() {
+    let mut rng = StdRng::seed_from_u64(0x500a);
+    for _ in 0..CASES {
+        let n = rng.gen_range(0..8usize);
+        let asns: Vec<Asn> = (0..n).map(|_| arb_asn(&mut rng)).collect();
+        let reps: Vec<usize> = (0..rng.gen_range(0..8usize))
+            .map(|_| rng.gen_range(1..4usize))
+            .collect();
         // Build a path with runs, dedup, and compare with the run-free one.
         let mut expanded = Vec::new();
         let mut base = Vec::new();
         for (i, a) in asns.iter().enumerate() {
             // Skip accidental adjacent duplicates in the base itself.
-            if base.last() == Some(a) { continue; }
+            if base.last() == Some(a) {
+                continue;
+            }
             base.push(*a);
-            let n = reps.get(i).copied().unwrap_or(1);
-            for _ in 0..n { expanded.push(*a); }
+            let k = reps.get(i).copied().unwrap_or(1);
+            for _ in 0..k {
+                expanded.push(*a);
+            }
         }
         let p = AsPath::from_seq(expanded).dedup_prepends();
-        prop_assert_eq!(p, AsPath::from_seq(base));
+        assert_eq!(p, AsPath::from_seq(base));
     }
+}
 
-    #[test]
-    fn path_garbage_never_panics(s in "\\PC{0,40}") {
+#[test]
+fn path_garbage_never_panics() {
+    let mut rng = StdRng::seed_from_u64(0x500b);
+    for _ in 0..CASES {
+        let s = arb_garbage(&mut rng, 40);
         let _ = s.parse::<AsPath>();
     }
+}
 
-    // ---------- Community ----------
+// ---------- Community ----------
 
-    #[test]
-    fn community_u32_roundtrip(v in any::<u32>()) {
-        prop_assert_eq!(Community::from_u32(v).as_u32(), v);
+#[test]
+fn community_u32_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x500c);
+    for _ in 0..CASES {
+        let v = rng.gen::<u32>();
+        assert_eq!(Community::from_u32(v).as_u32(), v);
     }
+}
 
-    #[test]
-    fn community_display_parse_roundtrip(h in any::<u16>(), l in any::<u16>()) {
-        let c = Community::new(h, l);
+#[test]
+fn community_display_parse_roundtrip() {
+    let mut rng = StdRng::seed_from_u64(0x500d);
+    for _ in 0..CASES {
+        let c = Community::new(rng.gen::<u16>(), rng.gen::<u16>());
         let s = c.to_string();
-        prop_assert_eq!(s.parse::<Community>().unwrap(), c);
+        assert_eq!(s.parse::<Community>().unwrap(), c);
     }
+}
 
-    // ---------- PrefixTrie vs BTreeMap oracle ----------
+// ---------- PrefixTrie vs BTreeMap oracle ----------
 
-    #[test]
-    fn trie_matches_btreemap_oracle(
-        entries in prop::collection::vec((arb_prefix(), any::<u16>()), 0..64),
-        probes in prop::collection::vec(arb_prefix(), 0..16),
-        addrs in prop::collection::vec(any::<u32>(), 0..16),
-    ) {
+#[test]
+fn trie_matches_btreemap_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x500e);
+    for _ in 0..64 {
+        let n_entries = rng.gen_range(0..64usize);
+        let entries: Vec<(Ipv4Prefix, u16)> = (0..n_entries)
+            .map(|_| (arb_prefix(&mut rng), rng.gen::<u16>()))
+            .collect();
+        let probes: Vec<Ipv4Prefix> = (0..rng.gen_range(0..16usize))
+            .map(|_| arb_prefix(&mut rng))
+            .collect();
+        let addrs: Vec<u32> = (0..rng.gen_range(0..16usize))
+            .map(|_| rng.gen::<u32>())
+            .collect();
+
         let mut oracle: BTreeMap<Ipv4Prefix, u16> = BTreeMap::new();
         let mut trie: PrefixTrie<u16> = PrefixTrie::new();
         for (p, v) in &entries {
             oracle.insert(*p, *v);
             trie.insert(*p, *v);
         }
-        prop_assert_eq!(trie.len(), oracle.len());
+        assert_eq!(trie.len(), oracle.len());
 
         // Exact match agrees.
         for probe in &probes {
-            prop_assert_eq!(trie.get(*probe), oracle.get(probe));
+            assert_eq!(trie.get(*probe), oracle.get(probe));
         }
 
         // Longest match agrees with a linear scan.
@@ -171,7 +258,7 @@ proptest! {
                 .filter(|(p, _)| p.contains_addr(*addr))
                 .max_by_key(|(p, _)| p.len())
                 .map(|(p, v)| (*p, v));
-            prop_assert_eq!(trie.longest_match(*addr), expect);
+            assert_eq!(trie.longest_match(*addr), expect);
         }
 
         // Covering/covered agree with linear scans.
@@ -183,7 +270,7 @@ proptest! {
                 .collect();
             expect_cov.sort_by_key(|p| p.len());
             let got_cov: Vec<Ipv4Prefix> = trie.covering(*probe).map(|(p, _)| p).collect();
-            prop_assert_eq!(got_cov, expect_cov);
+            assert_eq!(got_cov, expect_cov);
 
             let expect_sub: Vec<Ipv4Prefix> = oracle
                 .keys()
@@ -191,29 +278,33 @@ proptest! {
                 .copied()
                 .collect();
             let got_sub: Vec<Ipv4Prefix> = trie.covered(*probe).map(|(p, _)| p).collect();
-            prop_assert_eq!(got_sub, expect_sub);
+            assert_eq!(got_sub, expect_sub);
         }
 
         // Full iteration agrees (BTreeMap order == trie lexicographic order).
         let got: Vec<(Ipv4Prefix, u16)> = trie.iter().map(|(p, v)| (p, *v)).collect();
         let expect: Vec<(Ipv4Prefix, u16)> = oracle.iter().map(|(p, v)| (*p, *v)).collect();
-        prop_assert_eq!(got, expect);
+        assert_eq!(got, expect);
     }
+}
 
-    #[test]
-    fn trie_remove_restores_oracle(
-        entries in prop::collection::vec((arb_prefix(), any::<u16>()), 1..32),
-        remove_idx in any::<prop::sample::Index>(),
-    ) {
+#[test]
+fn trie_remove_restores_oracle() {
+    let mut rng = StdRng::seed_from_u64(0x500f);
+    for _ in 0..CASES {
+        let n_entries = rng.gen_range(1..32usize);
+        let entries: Vec<(Ipv4Prefix, u16)> = (0..n_entries)
+            .map(|_| (arb_prefix(&mut rng), rng.gen::<u16>()))
+            .collect();
         let mut oracle: BTreeMap<Ipv4Prefix, u16> = BTreeMap::new();
         let mut trie: PrefixTrie<u16> = PrefixTrie::new();
         for (p, v) in &entries {
             oracle.insert(*p, *v);
             trie.insert(*p, *v);
         }
-        let victim = entries[remove_idx.index(entries.len())].0;
-        prop_assert_eq!(trie.remove(victim), oracle.remove(&victim));
-        prop_assert_eq!(trie.len(), oracle.len());
-        prop_assert_eq!(trie.get(victim), oracle.get(&victim));
+        let victim = entries[rng.gen_range(0..entries.len())].0;
+        assert_eq!(trie.remove(victim), oracle.remove(&victim));
+        assert_eq!(trie.len(), oracle.len());
+        assert_eq!(trie.get(victim), oracle.get(&victim));
     }
 }

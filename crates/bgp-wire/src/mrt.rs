@@ -114,12 +114,7 @@ impl MrtWriter {
 
     /// Writes one `RIB_IPV4_UNICAST` record; sequence numbers are assigned
     /// automatically in write order.
-    pub fn write_rib_entry(
-        &mut self,
-        timestamp: u32,
-        prefix: Ipv4Prefix,
-        entries: &[RibEntry],
-    ) {
+    pub fn write_rib_entry(&mut self, timestamp: u32, prefix: Ipv4Prefix, entries: &[RibEntry]) {
         let mut body = BytesMut::new();
         body.put_u32(self.sequence);
         self.sequence += 1;
@@ -455,7 +450,13 @@ mod tests {
         let mut dump = sample_dump();
         dump.routes[0].1[0].peer_index = 99;
         let err = TableDump::decode(dump.encode(0)).unwrap_err();
-        assert!(matches!(err, WireError::BadValue { what: "peer index", .. }));
+        assert!(matches!(
+            err,
+            WireError::BadValue {
+                what: "peer index",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -484,7 +485,10 @@ mod tests {
         let mut r = MrtReader::new(out.freeze());
         assert!(matches!(
             r.next_record(),
-            Err(WireError::Unsupported { what: "MRT record", code: 16 })
+            Err(WireError::Unsupported {
+                what: "MRT record",
+                code: 16
+            })
         ));
     }
 

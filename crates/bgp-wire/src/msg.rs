@@ -8,7 +8,7 @@
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, Origin, PathSegment};
+use bgp_types::{AsPath, Asn, Community, Ipv4Prefix, Origin, PathSegment};
 
 use crate::error::WireError;
 
@@ -659,7 +659,10 @@ mod tests {
     fn keepalive_and_notification_roundtrip() {
         let bytes = Message::Keepalive.encode();
         assert_eq!(bytes.len(), 19);
-        assert_eq!(Message::decode(&mut bytes.clone()).unwrap(), Message::Keepalive);
+        assert_eq!(
+            Message::decode(&mut bytes.clone()).unwrap(),
+            Message::Keepalive
+        );
 
         let n = NotificationMessage {
             code: 6,
@@ -687,7 +690,10 @@ mod tests {
         stream.extend_from_slice(&m2);
         let mut buf = stream.freeze();
         assert_eq!(Message::decode(&mut buf).unwrap(), Message::Keepalive);
-        assert!(matches!(Message::decode(&mut buf).unwrap(), Message::Update(_)));
+        assert!(matches!(
+            Message::decode(&mut buf).unwrap(),
+            Message::Update(_)
+        ));
         assert!(buf.is_empty());
     }
 

@@ -44,7 +44,11 @@ impl LgTable {
             self.local_as, self.router_id
         );
         for r in &self.routes {
-            let _ = write!(out, "{} | {} | from {}", r.prefix, r.attrs.as_path, r.attrs.learned_from);
+            let _ = write!(
+                out,
+                "{} | {} | from {}",
+                r.prefix, r.attrs.as_path, r.attrs.learned_from
+            );
             if let Some(lp) = r.attrs.local_pref {
                 let _ = write!(out, " | lp {lp}");
             }
@@ -279,19 +283,17 @@ mod tests {
     fn parse_requires_minimum_fields() {
         let header = "# lg-table v1 local-as AS1 router-id 1\n";
         assert!(LgTable::parse(&format!("{header}1.0.0.0/8\n")).is_err());
-        assert!(LgTable::parse(&format!("{header}1.0.0.0/8 | 701 | from AS701 | origin i\n")).is_ok());
+        assert!(LgTable::parse(&format!(
+            "{header}1.0.0.0/8 | 701 | from AS701 | origin i\n"
+        ))
+        .is_ok());
     }
 
     #[test]
     fn show_ip_bgp_matches_appendix_shape() {
         let t = sample_table();
         let p: Ipv4Prefix = "80.96.180.0/24".parse().unwrap();
-        let cands: Vec<Route> = t
-            .routes
-            .iter()
-            .filter(|r| r.prefix == p)
-            .cloned()
-            .collect();
+        let cands: Vec<Route> = t.routes.iter().filter(|r| r.prefix == p).cloned().collect();
         let s = render_show_ip_bgp(p, &cands, 0);
         assert!(s.contains("BGP routing table entry for 80.96.180.0/24"));
         assert!(s.contains("Paths: (2 available, best #1)"));

@@ -1,0 +1,359 @@
+//! Offline stand-in for the [`bytes`](https://crates.io/crates/bytes) crate.
+//!
+//! The build environment has no registry access, so the subset of the
+//! `bytes` 1.x API the wire-format code uses is implemented here over plain
+//! `Vec<u8>` storage: [`Bytes`], [`BytesMut`], and the [`Buf`] / [`BufMut`]
+//! traits. Semantics match the real crate where the workspace depends on
+//! them — in particular `get_*` / `split_to` panic when the buffer is too
+//! short (callers bounds-check first), and all integers are big-endian.
+//!
+//! Cheap zero-copy cloning is *not* reproduced: `Bytes::clone` copies. The
+//! workspace only clones small test buffers, so this is fine.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Deref;
+
+/// Read access to a contiguous byte cursor (mirrors `bytes::Buf`).
+pub trait Buf {
+    /// Bytes left between the cursor and the end.
+    fn remaining(&self) -> usize;
+
+    /// The unread bytes.
+    fn chunk(&self) -> &[u8];
+
+    /// Move the cursor forward `cnt` bytes. Panics if `cnt > remaining()`.
+    fn advance(&mut self, cnt: usize);
+
+    /// `remaining() > 0`.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read one byte. Panics if empty.
+    fn get_u8(&mut self) -> u8 {
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    /// Read a big-endian `u16`. Panics if fewer than 2 bytes remain.
+    fn get_u16(&mut self) -> u16 {
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    /// Read a big-endian `u32`. Panics if fewer than 4 bytes remain.
+    fn get_u32(&mut self) -> u32 {
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    /// Fill `dst` from the cursor. Panics if `dst.len() > remaining()`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        dst.copy_from_slice(&self.chunk()[..dst.len()]);
+        self.advance(dst.len());
+    }
+}
+
+/// Write access to a growable byte buffer (mirrors `bytes::BufMut`).
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+/// An immutable byte buffer with a read cursor (mirrors `bytes::Bytes`).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Copy `data` into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+
+    /// Number of unread bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Split off and return the first `at` unread bytes, keeping the rest.
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> Bytes {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = Bytes {
+            data: self.data[self.pos..self.pos + at].to_vec(),
+            pos: 0,
+        };
+        self.pos += at;
+        head
+    }
+
+    /// The unread bytes as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+
+    /// A copy of the sub-range of the unread bytes.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let len = self.len();
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(start <= end && end <= len, "slice out of bounds");
+        Bytes {
+            data: self.data[self.pos + start..self.pos + end].to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+/// A mutable, growable byte buffer (mirrors `bytes::BytesMut`).
+#[derive(Clone, Default, PartialEq, Eq, Hash)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `cap` reserved bytes.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            pos: 0,
+        }
+    }
+
+    /// Number of unread bytes.
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// `len() == 0`.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append raw bytes (alias of [`BufMut::put_slice`]).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+
+    /// Split off and return the first `at` unread bytes, keeping the rest.
+    /// Panics if `at > len()`.
+    pub fn split_to(&mut self, at: usize) -> BytesMut {
+        assert!(at <= self.len(), "split_to out of bounds");
+        let head = BytesMut {
+            data: self.data[self.pos..self.pos + at].to_vec(),
+            pos: 0,
+        };
+        self.pos += at;
+        head
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: self.pos,
+        }
+    }
+
+    /// The unread bytes as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.pos..].to_vec()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl std::ops::DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl std::fmt::Debug for BytesMut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BytesMut({} bytes)", self.len())
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(data: &[u8]) -> Self {
+        BytesMut {
+            data: data.to_vec(),
+            pos: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(data: Vec<u8>) -> Self {
+        BytesMut { data, pos: 0 }
+    }
+}
+
+impl Buf for BytesMut {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance out of bounds");
+        self.pos += cnt;
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_ints() {
+        let mut b = BytesMut::new();
+        b.put_u8(7);
+        b.put_u16(0x1234);
+        b.put_u32(0xdead_beef);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16(), 0x1234);
+        assert_eq!(r.get_u32(), 0xdead_beef);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn split_to_keeps_tail() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        let head = b.split_to(2);
+        assert_eq!(&head[..], &[1, 2]);
+        assert_eq!(&b[..], &[3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to out of bounds")]
+    fn split_to_past_end_panics() {
+        let mut b = Bytes::from(vec![1]);
+        let _ = b.split_to(2);
+    }
+}

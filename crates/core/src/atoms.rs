@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, Ipv4Prefix};
 use bgp_sim::CollectorView;
+use bgp_types::{Asn, Ipv4Prefix};
 
 /// One policy atom.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,10 +26,8 @@ pub struct Atom {
 pub fn policy_atoms(view: &CollectorView) -> Vec<Atom> {
     let mut groups: BTreeMap<Vec<(Asn, &[Asn])>, Vec<Ipv4Prefix>> = BTreeMap::new();
     for (&prefix, rows) in &view.rows {
-        let mut key: Vec<(Asn, &[Asn])> = rows
-            .iter()
-            .map(|r| (r.peer, r.path.as_slice()))
-            .collect();
+        let mut key: Vec<(Asn, &[Asn])> =
+            rows.iter().map(|r| (r.peer, r.path.as_slice())).collect();
         key.sort();
         groups.entry(key).or_default().push(prefix);
     }
@@ -103,10 +101,8 @@ mod tests {
             "10.2.0.0/16".parse().unwrap(),
             vec![row(1, vec![1, 9]), row(2, vec![2, 9])],
         );
-        v.rows.insert(
-            "20.0.0.0/16".parse().unwrap(),
-            vec![row(1, vec![1, 8])],
-        );
+        v.rows
+            .insert("20.0.0.0/16".parse().unwrap(), vec![row(1, vec![1, 8])]);
         v
     }
 

@@ -14,8 +14,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bgp_types::{Asn, Ipv4Prefix, PrefixTrie, Relationship};
 use bgp_sim::CollectorView;
+use bgp_types::{Asn, Ipv4Prefix, PrefixTrie, Relationship};
 use net_topology::{customer_path, AsGraph};
 
 use net_topology::CustomerCone;
@@ -73,8 +73,7 @@ pub fn causes(
     };
 
     // Index the provider's table for covering/covered queries.
-    let trie: PrefixTrie<&crate::view::BestRow> =
-        table.rows.iter().map(|(&p, r)| (p, r)).collect();
+    let trie: PrefixTrie<&crate::view::BestRow> = table.rows.iter().map(|(&p, r)| (p, r)).collect();
 
     let is_customer_route = |next_hop: Asn| {
         matches!(
@@ -85,10 +84,10 @@ pub fn causes(
 
     // Case-3 bookkeeping per responsible customer.
     let mut customer_seen: BTreeMap<Asn, bool> = BTreeMap::new(); // → exporting?
-    // The providers that matter for Case 3 are the ones on *this*
-    // provider's side of the hierarchy: u itself or members of u's cone.
-    // A customer exporting to a provider outside the cone is precisely
-    // what makes the prefix SA here.
+                                                                  // The providers that matter for Case 3 are the ones on *this*
+                                                                  // provider's side of the hierarchy: u itself or members of u's cone.
+                                                                  // A customer exporting to a provider outside the cone is precisely
+                                                                  // what makes the prefix SA here.
     let u_cone = CustomerCone::build(oracle, table.asn);
 
     for &prefix in &report.sa {
@@ -97,10 +96,7 @@ pub fn causes(
 
         // ---- Case 1: splitting ----
         let mut split = false;
-        for (q, other) in trie
-            .covering(prefix)
-            .chain(trie.covered(prefix))
-        {
+        for (q, other) in trie.covering(prefix).chain(trie.covered(prefix)) {
             if q == prefix {
                 continue;
             }

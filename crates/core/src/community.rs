@@ -4,22 +4,22 @@
 //! The three steps of the Appendix:
 //!
 //! 1. **Query communities per next-hop AS** — here: read each neighbor's
-//!   ingress tag (the community whose high half is the view owner) off the
-//!   Looking-Glass candidates.
+//!    ingress tag (the community whose high half is the view owner) off the
+//!    Looking-Glass candidates.
 //! 2. **Infer the semantics of community values** from the prefix-count
-//!   distribution (Fig 9): a neighbor announcing (nearly) the full table is
-//!   a provider; the largest announcers below full-table are peers; the
-//!   long tail announcing a handful of prefixes are customers. Values are
-//!   then spread: every neighbor tagged with an anchored value inherits
-//!   its class.
+//!    distribution (Fig 9): a neighbor announcing (nearly) the full table is
+//!    a provider; the largest announcers below full-table are peers; the
+//!    long tail announcing a handful of prefixes are customers. Values are
+//!    then spread: every neighbor tagged with an anchored value inherits
+//!    its class.
 //! 3. **Map communities to relationships** and compare with the
-//!   relationship oracle (Gao-inferred in the paper) — Table 4's
-//!   verification percentages.
+//!    relationship oracle (Gao-inferred in the paper) — Table 4's
+//!    verification percentages.
 
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, Relationship};
 use bgp_sim::{CommunityPlan, LgView};
+use bgp_types::{Asn, Relationship};
 use net_topology::AsGraph;
 
 /// Tuning of the anchoring heuristics.
@@ -210,8 +210,7 @@ mod tests {
     fn fixture() -> LgView {
         let mut rows: BTreeMap<bgp_types::Ipv4Prefix, Vec<LgRoute>> = BTreeMap::new();
         let mut push = |i: u32, neighbor: u32, code: u16| {
-            let prefix: bgp_types::Ipv4Prefix =
-                bgp_types::Ipv4Prefix::canonical(i << 16, 16);
+            let prefix: bgp_types::Ipv4Prefix = bgp_types::Ipv4Prefix::canonical(i << 16, 16);
             rows.entry(prefix).or_default().push(LgRoute {
                 neighbor: Asn(neighbor),
                 path: vec![Asn(neighbor), Asn(9999)],
@@ -278,12 +277,15 @@ mod tests {
         for a in [100, 1, 2, 3, 10, 11, 12, 13, 14] {
             g.add_as(Asn(a), NodeInfo::default());
         }
-        g.add_edge(Asn(100), Asn(1), Relationship::Provider).unwrap();
+        g.add_edge(Asn(100), Asn(1), Relationship::Provider)
+            .unwrap();
         g.add_edge(Asn(100), Asn(2), Relationship::Peer).unwrap();
         // Oracle got neighbor 3 wrong (thinks provider, community says peer).
-        g.add_edge(Asn(100), Asn(3), Relationship::Provider).unwrap();
+        g.add_edge(Asn(100), Asn(3), Relationship::Provider)
+            .unwrap();
         for a in [10, 11, 12, 13, 14] {
-            g.add_edge(Asn(100), Asn(a), Relationship::Customer).unwrap();
+            g.add_edge(Asn(100), Asn(a), Relationship::Customer)
+                .unwrap();
         }
         let (agree, total) = verify_relationships(&inf, &g);
         assert_eq!(total, 8);
@@ -294,8 +296,12 @@ mod tests {
     fn table11_rows_render() {
         let plan = CommunityPlan::standard();
         let rows = plan_registry_rows(Asn(12859), &plan);
-        assert!(rows.iter().any(|(c, d)| c == "12859:1000" && d.contains("peer")));
-        assert!(rows.iter().any(|(c, d)| c == "12859:4000" && d.contains("customer")));
+        assert!(rows
+            .iter()
+            .any(|(c, d)| c == "12859:1000" && d.contains("peer")));
+        assert!(rows
+            .iter()
+            .any(|(c, d)| c == "12859:4000" && d.contains("customer")));
         assert!(rows.iter().any(|(c, _)| c == "12859:9000"));
     }
 

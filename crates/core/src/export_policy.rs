@@ -308,7 +308,7 @@ mod tests {
             4,
             vec![
                 ("10.0.0.0/16", vec![5, 3, 1]), // origin A: multihomed (B, C)
-                ("40.0.0.0/16", vec![5, 3]),    // origin C: single-homed to D? C has providers D and E → multihomed
+                ("40.0.0.0/16", vec![5, 3]), // origin C: single-homed to D? C has providers D and E → multihomed
             ],
         );
         let r = sa_prefixes(&t, &g);

@@ -7,8 +7,8 @@
 //! makes ties atypical). Table 2 reports the per-AS percentage; Table 3
 //! repeats the exercise on IRR data via [`irr_typicality`].
 
-use bgp_types::{Asn, Relationship};
 use bgp_sim::LgView;
+use bgp_types::{Asn, Relationship};
 use irr_rpsl::{AutNum, TypicalityStats};
 use net_topology::AsGraph;
 
@@ -173,10 +173,7 @@ mod tests {
 
     #[test]
     fn typical_prefix_counts_as_typical() {
-        let v = view(vec![(
-            "10.0.0.0/16",
-            vec![route(2, 120), route(5, 90)],
-        )]);
+        let v = view(vec![("10.0.0.0/16", vec![route(2, 120), route(5, 90)])]);
         let t = lg_typicality(&v, &oracle());
         assert_eq!(t.prefixes_compared, 1);
         assert_eq!(t.typical, 1);
@@ -241,14 +238,14 @@ mod tests {
                     accept: Filter::Any,
                 })
                 .collect(),
-            exports: vec![],
+            exports: Vec::new(),
             changed,
             source: "SYNTH".into(),
         };
-        let objects = vec![
-            mk(4, 2002_05_05, vec![(2, 880), (5, 910)]), // fresh, 2 usable
-            mk(4, 2001_05_05, vec![(2, 880), (5, 910)]), // stale
-            mk(4, 2002_05_05, vec![(2, 880)]),           // too few neighbors
+        let objects = [
+            mk(4, 20020505, vec![(2, 880), (5, 910)]), // fresh, 2 usable
+            mk(4, 20010505, vec![(2, 880), (5, 910)]), // stale
+            mk(4, 20020505, vec![(2, 880)]),           // too few neighbors
         ];
         let rows = irr_typicality(objects.iter(), &g, 2002, 2);
         assert_eq!(rows.len(), 1);

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, Ipv4Prefix};
 use bgp_sim::{LgRoute, LgView, RouterView};
+use bgp_types::{Asn, Ipv4Prefix};
 
 /// Result of the consistency analysis for one table.
 #[derive(Debug, Clone, PartialEq)]

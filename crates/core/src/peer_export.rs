@@ -1,8 +1,8 @@
 //! Export-to-peer behaviour (§5.2, Table 10): do peers announce their own
 //! prefixes to other peers directly?
 
-use bgp_types::Asn;
 use bgp_sim::CollectorView;
+use bgp_types::Asn;
 use net_topology::AsGraph;
 
 use crate::view::BestTable;

@@ -2,8 +2,8 @@
 
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, Ipv4Prefix};
 use bgp_sim::SnapshotSeries;
+use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::AsGraph;
 
 use crate::export_policy::sa_prefixes;
@@ -113,9 +113,7 @@ pub fn uptime_histogram(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bgp_sim::{
-        ChurnConfig, GroundTruth, PolicyParams, Simulation, VantageSpec,
-    };
+    use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, Simulation, VantageSpec};
     use net_topology::{InternetConfig, InternetSize};
 
     fn world() -> (AsGraph, GroundTruth, VantageSpec) {

@@ -13,9 +13,9 @@
 //! 5. infer AS relationships with Gao's algorithm over the observed paths
 //!    — analyses then run on the *inferred* graph, as the paper did.
 
-use bgp_types::Asn;
 use as_relationships::{infer, InferenceParams, InferredRelationships};
 use bgp_sim::{GroundTruth, PolicyParams, SimOutput, Simulation, VantageSpec};
+use bgp_types::Asn;
 use net_topology::{AsGraph, InternetConfig, InternetSize};
 
 use crate::view::BestTable;
@@ -59,12 +59,7 @@ impl Experiment {
 
     /// Builds an experiment over a pre-built graph (for custom topologies
     /// and ablations).
-    pub fn with_world(
-        graph: AsGraph,
-        n_collector: usize,
-        n_lg: usize,
-        seed: u64,
-    ) -> Experiment {
+    pub fn with_world(graph: AsGraph, n_collector: usize, n_lg: usize, seed: u64) -> Experiment {
         let spec = VantageSpec::paper_like(&graph, n_collector, n_lg);
         let params = PolicyParams {
             seed: seed ^ 0x5EED_0001,
@@ -154,7 +149,7 @@ mod tests {
     fn pipeline_produces_consistent_world() {
         let e = exp();
         assert!(e.output.diagnostics.non_converged == 0);
-        assert!(e.inferred.len() > 0);
+        assert!(!e.inferred.is_empty());
         e.inferred_graph.validate().unwrap_or_else(|err| {
             // Inferred graphs may contain provider cycles when the
             // inference errs; that is data, not a bug — but on Tiny with
@@ -196,16 +191,40 @@ mod tests {
 
     #[test]
     fn sa_detection_end_to_end_with_truth_scoring() {
+        // The full §5 methodology: detect (Fig 4), verify (§5.1.3), score.
+        // Raw Fig 4 output is noisy whenever the relationship oracle errs
+        // near the provider — the paper's own motivation for the
+        // verification step — so precision is asserted on the *verified*
+        // report, and (as in `typicality_is_high_at_lg_ases`) against the
+        // true oracle: Tiny's flat degree hierarchy makes Gao inference
+        // unreliable; inferred-oracle quality is asserted at realistic
+        // sizes in the workspace integration tests.
+        use crate::community::{infer_communities, CommunityParams};
+        use crate::sa_verification::{active_customer_set, verify_sa};
         let e = exp();
         let provider = e.spec.lg_ases[0];
         let table = e.lg_table(provider).unwrap();
-        let report = sa_prefixes(&table, &e.inferred_graph);
+        let report = sa_prefixes(&table, &e.graph);
         assert!(report.customer_prefixes > 0);
-        let s = score_sa(&report, &e.truth, &e.graph);
-        // On the tiny world the inference may be imperfect, but precision
-        // should not collapse.
+
+        let tables: Vec<BestTable> = e
+            .spec
+            .lg_ases
+            .iter()
+            .filter_map(|&a| e.lg_table(a))
+            .collect();
+        let refs: Vec<&BestTable> = tables.iter().collect();
+        let active = active_customer_set(&e.graph, &e.output.collector, &refs, provider);
+        let comm = infer_communities(e.output.lg(provider).unwrap(), &CommunityParams::default())
+            .neighbor_class;
+        let v = verify_sa(&table, &report, &e.graph, &active, &comm);
+        assert!(v.sa_total == report.sa.len());
+        let verified = report.restricted_to(&v.verified_prefixes);
+        assert!(verified.sa.is_subset(&report.sa));
+
+        let s = score_sa(&verified, &e.truth, &e.graph);
         if s.predicted > 0 {
-            assert!(s.precision() > 0.5, "precision {:.2}", s.precision());
+            assert!(s.precision() > 0.8, "precision {:.2}", s.precision());
         }
     }
 

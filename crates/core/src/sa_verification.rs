@@ -19,8 +19,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
-use bgp_types::{Asn, Ipv4Prefix, Relationship};
 use bgp_sim::CollectorView;
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
 use net_topology::AsGraph;
 
 use crate::export_policy::SaReport;
@@ -208,7 +208,9 @@ mod tests {
         assert_eq!(rep.step1_pass, 1);
         assert_eq!(rep.step2_pass, 1);
         assert_eq!(rep.verified, 1);
-        assert!(rep.verified_prefixes.contains(&"10.0.0.0/16".parse().unwrap()));
+        assert!(rep
+            .verified_prefixes
+            .contains(&"10.0.0.0/16".parse().unwrap()));
         assert_eq!(rep.percent(), 100.0);
     }
 

@@ -9,8 +9,8 @@
 
 use std::collections::BTreeSet;
 
-use bgp_types::Asn;
 use bgp_sim::GroundTruth;
+use bgp_types::Asn;
 use net_topology::{AsGraph, CustomerCone};
 
 use crate::export_policy::SaReport;
@@ -55,7 +55,11 @@ pub fn score_sa(report: &SaReport, truth: &GroundTruth, true_graph: &AsGraph) ->
     // ASes whose behaviour can cause SA prefixes *below* them: selective
     // transits and aggregators. Build their cones once.
     let mut intermediate_causers: Vec<(Asn, CustomerCone)> = Vec::new();
-    for &a in truth.selective_transits.iter().chain(truth.aggregators.iter()) {
+    for &a in truth
+        .selective_transits
+        .iter()
+        .chain(truth.aggregators.iter())
+    {
         intermediate_causers.push((a, CustomerCone::build(true_graph, a)));
     }
     let selective_origins: BTreeSet<Asn> = truth

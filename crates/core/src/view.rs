@@ -7,8 +7,8 @@
 
 use std::collections::BTreeMap;
 
-use bgp_types::{Asn, Ipv4Prefix};
 use bgp_sim::{CollectorView, LgView};
+use bgp_types::{Asn, Ipv4Prefix};
 
 /// The best route of the table's AS for one prefix. The path excludes the
 /// table owner: it starts at the next-hop AS and ends at the origin.

@@ -46,7 +46,9 @@ where
     let mut entries: Vec<(u8, u32)> = Vec::new();
     for rule in &object.imports {
         let Some(pref) = rule.pref else { continue };
-        let Some(rel) = rel_of(rule.from) else { continue };
+        let Some(rel) = rel_of(rule.from) else {
+            continue;
+        };
         entries.push((rel.typical_pref_rank(), pref));
     }
     let mut stats = TypicalityStats {
@@ -96,7 +98,7 @@ mod tests {
                 })
                 .collect(),
             exports: vec![],
-            changed: 2002_06_01,
+            changed: 20020601,
             source: "SYNTH".into(),
         }
     }

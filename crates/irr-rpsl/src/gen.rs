@@ -4,9 +4,9 @@
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
+use bgp_sim::GroundTruth;
 use bgp_types::Relationship;
 use net_topology::AsGraph;
-use bgp_sim::GroundTruth;
 
 use crate::object::{AutNum, ExportRule, Filter, ImportRule};
 use crate::parse::IrrDatabase;
@@ -56,9 +56,9 @@ pub fn generate_irr(graph: &AsGraph, truth: &GroundTruth, params: &IrrGenParams)
         let drift = !stale && rng.gen_bool(params.drift_frac);
         let changed = if stale {
             // Some day in 2001.
-            2001_00_00 + rng.gen_range(1..=12) * 100 + rng.gen_range(1..=28)
+            20010000 + rng.gen_range(1..=12u32) * 100 + rng.gen_range(1..=28u32)
         } else {
-            2002_00_00 + rng.gen_range(1..=11) * 100 + rng.gen_range(1..=28)
+            20020000 + rng.gen_range(1..=11u32) * 100 + rng.gen_range(1..=28u32)
         };
 
         let policy = truth.policy(asn);
@@ -81,7 +81,9 @@ pub fn generate_irr(graph: &AsGraph, truth: &GroundTruth, params: &IrrGenParams)
                     base
                 }
             } else {
-                policy.import.pref_for(n, rel, bgp_types::Ipv4Prefix::DEFAULT)
+                policy
+                    .import
+                    .pref_for(n, rel, bgp_types::Ipv4Prefix::DEFAULT)
             };
             imports.push(ImportRule {
                 from: n,
@@ -105,10 +107,7 @@ pub fn generate_irr(graph: &AsGraph, truth: &GroundTruth, params: &IrrGenParams)
 
         db.objects.push(AutNum {
             asn,
-            as_name: info
-                .name
-                .replace(' ', "-")
-                .to_ascii_uppercase(),
+            as_name: info.name.replace(' ', "-").to_ascii_uppercase(),
             descr: "synthetic IRR object (reproduction substrate)".into(),
             imports,
             exports,
@@ -135,12 +134,33 @@ mod tests {
     #[test]
     fn coverage_controls_object_count() {
         let (g, t) = world();
-        let full = generate_irr(&g, &t, &IrrGenParams { coverage: 1.0, ..Default::default() });
+        let full = generate_irr(
+            &g,
+            &t,
+            &IrrGenParams {
+                coverage: 1.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(full.objects.len(), g.as_count());
-        let none = generate_irr(&g, &t, &IrrGenParams { coverage: 0.0, ..Default::default() });
+        let none = generate_irr(
+            &g,
+            &t,
+            &IrrGenParams {
+                coverage: 0.0,
+                ..Default::default()
+            },
+        );
         assert_eq!(none.objects.len(), 0);
-        let partial = generate_irr(&g, &t, &IrrGenParams { coverage: 0.5, ..Default::default() });
-        assert!(partial.objects.len() > 0 && partial.objects.len() < g.as_count());
+        let partial = generate_irr(
+            &g,
+            &t,
+            &IrrGenParams {
+                coverage: 0.5,
+                ..Default::default()
+            },
+        );
+        assert!(!partial.objects.is_empty() && partial.objects.len() < g.as_count());
     }
 
     #[test]
@@ -160,11 +180,8 @@ mod tests {
             assert!(o.updated_in(2002));
             let pol = t.policy(o.asn);
             for (n, rel) in g.neighbors(o.asn) {
-                let expect = local_pref_to_rpsl(pol.import.pref_for(
-                    n,
-                    rel,
-                    bgp_types::Ipv4Prefix::DEFAULT,
-                ));
+                let expect =
+                    local_pref_to_rpsl(pol.import.pref_for(n, rel, bgp_types::Ipv4Prefix::DEFAULT));
                 assert_eq!(o.pref_for(n), Some(expect), "AS {} neighbor {n}", o.asn);
             }
         }

@@ -28,5 +28,5 @@ pub mod parse;
 
 pub use analysis::{typicality, TypicalityStats};
 pub use gen::{generate_irr, local_pref_to_rpsl, IrrGenParams};
-pub use object::{AutNum, Filter, ImportRule, ExportRule};
+pub use object::{AutNum, ExportRule, Filter, ImportRule};
 pub use parse::{IrrDatabase, RpslError};

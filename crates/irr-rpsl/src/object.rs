@@ -124,7 +124,11 @@ impl fmt::Display for AutNum {
         for exp in &self.exports {
             writeln!(f, "export:      {exp}")?;
         }
-        writeln!(f, "changed:     noc@as{}.example {}", self.asn.0, self.changed)?;
+        writeln!(
+            f,
+            "changed:     noc@as{}.example {}",
+            self.asn.0, self.changed
+        )?;
         writeln!(f, "source:      {}", self.source)
     }
 }
@@ -154,7 +158,7 @@ mod tests {
                 to: Asn(2),
                 announce: Filter::Origin(Asn(1)),
             }],
-            changed: 2002_10_24,
+            changed: 20021024,
             source: "SYNTH".into(),
         }
     }

@@ -23,7 +23,11 @@ pub struct RpslError {
 
 impl fmt::Display for RpslError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "RPSL parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "RPSL parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -66,15 +70,16 @@ impl IrrDatabase {
         let mut db = IrrDatabase::default();
         let mut current: Vec<(usize, String, String)> = Vec::new();
 
-        let flush =
-            |attrs: &mut Vec<(usize, String, String)>, db: &mut IrrDatabase| -> Result<(), RpslError> {
-                if attrs.is_empty() {
-                    return Ok(());
-                }
-                db.objects.push(parse_object(attrs)?);
-                attrs.clear();
-                Ok(())
-            };
+        let flush = |attrs: &mut Vec<(usize, String, String)>,
+                     db: &mut IrrDatabase|
+         -> Result<(), RpslError> {
+            if attrs.is_empty() {
+                return Ok(());
+            }
+            db.objects.push(parse_object(attrs)?);
+            attrs.clear();
+            Ok(())
+        };
 
         for (idx, raw) in input.lines().enumerate() {
             let lineno = idx + 1;
@@ -137,10 +142,8 @@ fn parse_object(attrs: &[(usize, String, String)]) -> Result<AutNum, RpslError> 
     for (line, key, value) in &attrs[1..] {
         match key.as_str() {
             "as-name" => object.as_name = value.clone(),
-            "descr" => {
-                if object.descr.is_empty() {
-                    object.descr = value.clone();
-                }
+            "descr" if object.descr.is_empty() => {
+                object.descr = value.clone();
             }
             "import" => object.imports.push(parse_import(*line, value)?),
             "export" => object.exports.push(parse_export(*line, value)?),
@@ -306,7 +309,7 @@ source:      SYNTH
             ])
         );
         assert_eq!(a1.exports[1].announce, Filter::AsSet("AS-GTE-CUST".into()));
-        assert_eq!(a1.changed, 2002_10_24, "latest changed date wins");
+        assert_eq!(a1.changed, 20021024, "latest changed date wins");
         assert!(a1.updated_in(2002));
     }
 
@@ -362,6 +365,12 @@ source:  SYNTH
     #[test]
     fn empty_input_is_empty_database() {
         assert_eq!(IrrDatabase::parse("").unwrap().objects.len(), 0);
-        assert_eq!(IrrDatabase::parse("\n# only comments\n\n").unwrap().objects.len(), 0);
+        assert_eq!(
+            IrrDatabase::parse("\n# only comments\n\n")
+                .unwrap()
+                .objects
+                .len(),
+            0
+        );
     }
 }

@@ -40,6 +40,24 @@ pub enum InternetSize {
     Large,
 }
 
+impl std::str::FromStr for InternetSize {
+    type Err = String;
+
+    /// Accepts the CLI spellings `tiny`, `small`, `paper`, `large`
+    /// (case-insensitive) — the one parser every binary shares.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Ok(InternetSize::Tiny),
+            "small" => Ok(InternetSize::Small),
+            "paper" => Ok(InternetSize::Paper),
+            "large" => Ok(InternetSize::Large),
+            other => Err(format!(
+                "unknown size '{other}' — expected tiny, small, paper or large"
+            )),
+        }
+    }
+}
+
 /// Generator parameters. Start from [`InternetConfig::of_size`] and adjust.
 #[derive(Clone, Debug)]
 pub struct InternetConfig {
@@ -90,7 +108,7 @@ impl InternetConfig {
             InternetSize::Large => (16, 300, 900, 3600),
         };
         InternetConfig {
-            seed: 2002_11_11,
+            seed: 20021111,
             n_tier1: n1,
             n_tier2: n2,
             n_tier3: n3,
@@ -155,9 +173,7 @@ struct SpaceAlloc {
 impl SpaceAlloc {
     fn new() -> Self {
         // Start at 1.0.0.0 to avoid 0/8.
-        SpaceAlloc {
-            next: 0x0100_0000,
-        }
+        SpaceAlloc { next: 0x0100_0000 }
     }
 
     fn alloc(&mut self, len: u8) -> Ipv4Prefix {
@@ -415,7 +431,9 @@ impl<'a> Generator<'a> {
                     continue; // already a provider
                 }
                 if self.rng.gen_bool(self.cfg.t1_t2_peering_prob) {
-                    self.g.add_edge(t1, t2, Relationship::Peer).expect("nodes exist");
+                    self.g
+                        .add_edge(t1, t2, Relationship::Peer)
+                        .expect("nodes exist");
                 }
             }
         }
@@ -430,7 +448,9 @@ impl<'a> Generator<'a> {
                     self.cfg.t2_cross_region_peering_prob
                 };
                 if self.rng.gen_bool(prob) {
-                    self.g.add_edge(a, b, Relationship::Peer).expect("nodes exist");
+                    self.g
+                        .add_edge(a, b, Relationship::Peer)
+                        .expect("nodes exist");
                 }
             }
         }
@@ -492,7 +512,9 @@ impl<'a> Generator<'a> {
                 let (a, b) = (self.tier3[i], self.tier3[j]);
                 let same = self.g.info(a).map(|x| x.region) == self.g.info(b).map(|x| x.region);
                 if same && self.rng.gen_bool(self.cfg.t3_peering_prob) {
-                    self.g.add_edge(a, b, Relationship::Peer).expect("nodes exist");
+                    self.g
+                        .add_edge(a, b, Relationship::Peer)
+                        .expect("nodes exist");
                 }
             }
         }
@@ -500,12 +522,7 @@ impl<'a> Generator<'a> {
 
     /// Allocates a block for `asn`: with probability `pa_prob` carved from
     /// one of its providers' blocks (PA), else fresh PI space.
-    fn alloc_pa_or_pi(
-        &mut self,
-        asn: Asn,
-        len: u8,
-        pa_prob: f64,
-    ) -> (Ipv4Prefix, Option<Asn>) {
+    fn alloc_pa_or_pi(&mut self, asn: Asn, len: u8, pa_prob: f64) -> (Ipv4Prefix, Option<Asn>) {
         if self.rng.gen_bool(pa_prob) {
             let providers: Vec<Asn> = self.g.providers_of(asn).collect();
             if let Some(&prov) = providers.as_slice().choose(&mut self.rng) {
@@ -670,7 +687,9 @@ mod tests {
         let tiers = TierMap::classify(&g);
         assert_eq!(tiers.tier(Asn(1)), Some(1));
         // Tier-2 ASes (ASN 5000+) must be tier 2.
-        let t2_count = (0..8).filter(|i| tiers.tier(Asn(5000 + i)) == Some(2)).count();
+        let t2_count = (0..8)
+            .filter(|i| tiers.tier(Asn(5000 + i)) == Some(2))
+            .count();
         assert_eq!(t2_count, 8);
     }
 
@@ -733,11 +752,7 @@ mod tests {
         let mut cfg = InternetConfig::of_size(InternetSize::Tiny);
         cfg.sibling_pairs = 2;
         let g = cfg.build();
-        let sibling_edges: usize = g
-            .ases()
-            .map(|a| g.siblings_of(a).count())
-            .sum::<usize>()
-            / 2;
+        let sibling_edges: usize = g.ases().map(|a| g.siblings_of(a).count()).sum::<usize>() / 2;
         assert_eq!(sibling_edges, 2);
         g.validate().unwrap();
     }

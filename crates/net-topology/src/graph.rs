@@ -215,19 +215,11 @@ impl AsGraph {
         self.neighbors_with(a, Relationship::Sibling)
     }
 
-    fn neighbors_with(
-        &self,
-        a: Asn,
-        want: Relationship,
-    ) -> impl Iterator<Item = Asn> + '_ {
+    fn neighbors_with(&self, a: Asn, want: Relationship) -> impl Iterator<Item = Asn> + '_ {
         self.adj
             .get(&a)
             .into_iter()
-            .flat_map(move |m| {
-                m.iter()
-                    .filter(move |(_, r)| **r == want)
-                    .map(|(n, _)| *n)
-            })
+            .flat_map(move |m| m.iter().filter(move |(_, r)| **r == want).map(|(n, _)| *n))
     }
 
     /// Is `a` multihomed (two or more providers)? The paper's Table 8
@@ -375,7 +367,10 @@ mod tests {
     #[test]
     fn self_loop_and_unknown_as_rejected() {
         let mut g = fig1_graph();
-        assert_eq!(g.add_edge(Asn(1), Asn(1), Peer), Err(GraphError::SelfLoop(Asn(1))));
+        assert_eq!(
+            g.add_edge(Asn(1), Asn(1), Peer),
+            Err(GraphError::SelfLoop(Asn(1)))
+        );
         assert_eq!(
             g.add_edge(Asn(1), Asn(99), Peer),
             Err(GraphError::UnknownAs(Asn(99)))
@@ -420,7 +415,7 @@ mod tests {
         let g = fig1_graph();
         let ranked = g.by_degree_desc();
         assert_eq!(ranked[0], Asn(4)); // degree 4
-        // Deterministic tie-break by ASN.
+                                       // Deterministic tie-break by ASN.
         let d1: Vec<usize> = ranked.iter().map(|&a| g.degree(a)).collect();
         let mut sorted = d1.clone();
         sorted.sort_by(|a, b| b.cmp(a));

@@ -74,9 +74,7 @@ impl CustomerCone {
         let mut seen = BTreeSet::from([root]);
         while let Some(u) = queue.pop_front() {
             for (v, r) in g.neighbors(u) {
-                if matches!(r, Relationship::Customer | Relationship::Sibling)
-                    && seen.insert(v)
-                {
+                if matches!(r, Relationship::Customer | Relationship::Sibling) && seen.insert(v) {
                     members.insert(v);
                     queue.push_back(v);
                 }
@@ -269,10 +267,7 @@ mod tests {
     #[test]
     fn classify_incomplete_and_trivial() {
         let g = fig3_graph();
-        assert_eq!(
-            classify_path(&g, &[Asn(1), Asn(99)]),
-            PathClass::Incomplete
-        );
+        assert_eq!(classify_path(&g, &[Asn(1), Asn(99)]), PathClass::Incomplete);
         assert_eq!(classify_path(&g, &[Asn(1)]), PathClass::ValleyFree);
         assert_eq!(classify_path(&g, &[]), PathClass::ValleyFree);
     }

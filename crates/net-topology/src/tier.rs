@@ -88,7 +88,7 @@ impl TierMap {
                 };
                 if let Some(t) = proposed {
                     let cur = tiers.get(&a).copied();
-                    if cur.map_or(true, |c| t < c) {
+                    if cur.is_none_or(|c| t < c) {
                         tiers.insert(a, t);
                         changed = true;
                     }

@@ -1,76 +1,88 @@
 //! Property tests over generated Internets: structural invariants that the
 //! whole reproduction depends on.
+//!
+//! Offline build — random configurations come from a seeded
+//! [`rand::rngs::StdRng`] instead of proptest; same invariants.
 
-use proptest::prelude::*;
+use rand::prelude::*;
 
 use bgp_types::Relationship;
 use net_topology::paths::{classify_path, customer_path, CustomerCone, PathClass};
 use net_topology::tier::TierMap;
 use net_topology::{InternetConfig, InternetSize};
 
-fn arb_config() -> impl Strategy<Value = InternetConfig> {
-    (
-        any::<u64>(),
-        0.0f64..=0.6,
-        0.0f64..=0.2,
-        0.0f64..=0.8,
-        prop_oneof![Just(InternetSize::Tiny), Just(InternetSize::Small)],
-    )
-        .prop_map(|(seed, t2p, t3p, pa, size)| {
-            let mut cfg = InternetConfig::of_size(size).with_seed(seed);
-            cfg.t2_peering_prob = t2p;
-            cfg.t3_peering_prob = t3p;
-            cfg.pa_fraction = pa;
-            cfg
-        })
+const CASES: usize = 24;
+
+fn arb_config(rng: &mut StdRng) -> InternetConfig {
+    let size = if rng.gen_bool(0.5) {
+        InternetSize::Tiny
+    } else {
+        InternetSize::Small
+    };
+    let mut cfg = InternetConfig::of_size(size).with_seed(rng.gen::<u64>());
+    cfg.t2_peering_prob = rng.gen_range(0.0..=0.6);
+    cfg.t3_peering_prob = rng.gen_range(0.0..=0.2);
+    cfg.pa_fraction = rng.gen_range(0.0..=0.8);
+    cfg
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn generated_graphs_validate(cfg in arb_config()) {
+#[test]
+fn generated_graphs_validate() {
+    let mut rng = StdRng::seed_from_u64(0x7001);
+    for _ in 0..CASES {
+        let cfg = arb_config(&mut rng);
         let g = cfg.build();
-        prop_assert!(g.validate().is_ok());
-        prop_assert_eq!(g.as_count(), cfg.n_tier1 + cfg.n_tier2 + cfg.n_tier3 + cfg.n_stub);
+        assert!(g.validate().is_ok());
+        assert_eq!(
+            g.as_count(),
+            cfg.n_tier1 + cfg.n_tier2 + cfg.n_tier3 + cfg.n_stub
+        );
     }
+}
 
-    #[test]
-    fn tier_is_one_plus_best_provider_tier(cfg in arb_config()) {
-        // Note: a customer CAN sit above one of its providers (a stub buying
-        // from both AT&T and a local tier-3 classifies as tier 2) — the real
-        // invariant is tier(a) = 1 + min over a's providers' tiers.
-        let g = cfg.build();
+#[test]
+fn tier_is_one_plus_best_provider_tier() {
+    // Note: a customer CAN sit above one of its providers (a stub buying
+    // from both AT&T and a local tier-3 classifies as tier 2) — the real
+    // invariant is tier(a) = 1 + min over a's providers' tiers.
+    let mut rng = StdRng::seed_from_u64(0x7002);
+    for _ in 0..CASES {
+        let g = arb_config(&mut rng).build();
         let tiers = TierMap::classify(&g);
         for a in g.ases() {
             let best = g.providers_of(a).filter_map(|p| tiers.tier(p)).min();
             let ta = tiers.tier(a).unwrap();
             match best {
-                Some(bp) => prop_assert_eq!(ta, bp + 1, "AS {} tier", a),
-                None => prop_assert_eq!(ta, 1, "provider-free AS {} must be tier 1", a),
+                Some(bp) => assert_eq!(ta, bp + 1, "AS {} tier", a),
+                None => assert_eq!(ta, 1, "provider-free AS {} must be tier 1", a),
             }
         }
     }
+}
 
-    #[test]
-    fn customer_paths_agree_with_cones(cfg in arb_config()) {
-        let g = cfg.build();
+#[test]
+fn customer_paths_agree_with_cones() {
+    let mut rng = StdRng::seed_from_u64(0x7003);
+    for _ in 0..CASES {
+        let g = arb_config(&mut rng).build();
         // Probe the highest-degree AS and one stub.
         let top = g.by_degree_desc()[0];
         let cone = CustomerCone::build(&g, top);
         let mut checked = 0;
         for a in g.ases() {
-            if checked > 40 { break; }
+            if checked > 40 {
+                break;
+            }
             let path = customer_path(&g, top, a);
-            prop_assert_eq!(path.is_some(), a == top || cone.contains(a));
+            assert_eq!(path.is_some(), a == top || cone.contains(a));
             if let Some(p) = path {
                 checked += 1;
-                prop_assert_eq!(p.first().copied(), Some(top));
-                prop_assert_eq!(p.last().copied(), Some(a));
+                assert_eq!(p.first().copied(), Some(top));
+                assert_eq!(p.last().copied(), Some(a));
                 // Each hop is provider→customer (or sibling).
                 for w in p.windows(2) {
                     let r = g.rel(w[0], w[1]);
-                    prop_assert!(matches!(
+                    assert!(matches!(
                         r,
                         Some(Relationship::Customer) | Some(Relationship::Sibling)
                     ));
@@ -78,31 +90,37 @@ proptest! {
                 // A reversed customer path read speaker-first is an all-uphill
                 // (valley-free) path from the customer's viewpoint.
                 let speaker_first: Vec<_> = p.clone();
-                prop_assert_eq!(classify_path(&g, &speaker_first), PathClass::ValleyFree);
+                assert_eq!(classify_path(&g, &speaker_first), PathClass::ValleyFree);
             }
         }
     }
+}
 
-    #[test]
-    fn stub_ases_have_no_customers(cfg in arb_config()) {
-        let g = cfg.build();
+#[test]
+fn stub_ases_have_no_customers() {
+    let mut rng = StdRng::seed_from_u64(0x7004);
+    for _ in 0..CASES {
+        let g = arb_config(&mut rng).build();
         for a in g.ases() {
             if a.0 >= 20_000 {
-                prop_assert_eq!(g.customers_of(a).count(), 0);
-                prop_assert!(g.providers_of(a).count() >= 1);
+                assert_eq!(g.customers_of(a).count(), 0);
+                assert!(g.providers_of(a).count() >= 1);
             }
         }
     }
+}
 
-    #[test]
-    fn every_as_originates_at_least_one_prefix_unless_stub(cfg in arb_config()) {
-        let g = cfg.build();
+#[test]
+fn every_as_originates_at_least_one_prefix_unless_stub() {
+    let mut rng = StdRng::seed_from_u64(0x7005);
+    for _ in 0..CASES {
+        let g = arb_config(&mut rng).build();
         for a in g.ases() {
             let n = g.info(a).unwrap().prefixes.len();
             if a.0 < 20_000 {
-                prop_assert!(n >= 1, "transit {a} has no prefixes");
+                assert!(n >= 1, "transit {a} has no prefixes");
             } else {
-                prop_assert!(n >= 1, "stub {a} has no prefixes");
+                assert!(n >= 1, "stub {a} has no prefixes");
             }
         }
     }

@@ -1,0 +1,388 @@
+//! `rpi-queryd` — the observatory as a command-line daemon.
+//!
+//! Loads an [`Experiment`]-generated world (optionally a churn series of
+//! snapshots), ingests it into a [`QueryEngine`], and answers queries from
+//! stdin or a file. `--bench` instead runs the throughput report: single
+//! route queries per second, and batched throughput across shard counts.
+//!
+//! ```text
+//! rpi-queryd [--size tiny|small|paper] [--seed N] [--snapshots N]
+//!            [--shards N] [--queries FILE] [--bench]
+//! ```
+
+use std::io::{BufRead, Write as _};
+use std::process::ExitCode;
+use std::time::Instant;
+
+use bgp_sim::churn::simulate_series;
+use bgp_sim::ChurnConfig;
+use bgp_types::{Asn, Ipv4Prefix};
+use net_topology::InternetSize;
+use rpi_core::Experiment;
+use rpi_query::{QueryEngine, SaStatus, SnapshotId, VantageKind};
+
+struct Options {
+    size: InternetSize,
+    seed: u64,
+    snapshots: usize,
+    shards: usize,
+    queries: Option<String>,
+    bench: bool,
+}
+
+fn usage() -> &'static str {
+    "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
+     [--snapshots N] [--shards N] [--queries FILE] [--bench]"
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        size: InternetSize::Small,
+        seed: 2003,
+        snapshots: 1,
+        shards: 8,
+        queries: None,
+        bench: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--size" => opts.size = value("--size")?.parse()?,
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed wants an unsigned integer, got '{v}'"))?;
+            }
+            "--snapshots" => {
+                let v = value("--snapshots")?;
+                opts.snapshots = v
+                    .parse()
+                    .map_err(|_| format!("--snapshots wants a count, got '{v}'"))?;
+                if opts.snapshots == 0 {
+                    return Err("--snapshots must be at least 1".into());
+                }
+            }
+            "--shards" => {
+                let v = value("--shards")?;
+                opts.shards = v
+                    .parse()
+                    .map_err(|_| format!("--shards wants a count, got '{v}'"))?;
+                if opts.shards == 0 {
+                    return Err("--shards must be at least 1".into());
+                }
+            }
+            "--queries" => opts.queries = Some(value("--queries")?),
+            "--bench" => opts.bench = true,
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("rpi-queryd: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "building {:?} world (seed {}, {} snapshot{}) …",
+        opts.size,
+        opts.seed,
+        opts.snapshots,
+        if opts.snapshots == 1 { "" } else { "s" }
+    );
+    let t0 = Instant::now();
+    let exp = Experiment::standard(opts.size, opts.seed);
+    let mut engine = QueryEngine::new(opts.shards);
+    if opts.snapshots > 1 {
+        let cfg = ChurnConfig {
+            steps: opts.snapshots,
+            ..ChurnConfig::daily(opts.seed ^ 0xC0FFEE)
+        };
+        let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+        engine.ingest_series(&series, &exp.inferred_graph);
+    } else {
+        engine.ingest_experiment(&exp, "t0");
+    }
+    let (asns, prefixes, communities) = engine.interned_sizes();
+    eprintln!(
+        "ready in {:.2?}: {} snapshots, {} shards, interned {asns} ASNs / {prefixes} prefixes / {communities} communities",
+        t0.elapsed(),
+        engine.snapshot_count(),
+        engine.shard_count(),
+    );
+
+    if opts.bench {
+        bench(&exp, &engine, opts.shards);
+        return ExitCode::SUCCESS;
+    }
+
+    match opts.queries {
+        Some(path) => match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    run_line(&engine, line);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rpi-queryd: cannot read {path}: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        None => {
+            let stdin = std::io::stdin();
+            print!("> ");
+            let _ = std::io::stdout().flush();
+            for line in stdin.lock().lines() {
+                let Ok(line) = line else { break };
+                if !run_line(&engine, &line) {
+                    break;
+                }
+                print!("> ");
+                let _ = std::io::stdout().flush();
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}
+
+fn parse_asn(s: &str) -> Result<Asn, String> {
+    let digits = s.strip_prefix("AS").unwrap_or(s);
+    digits
+        .parse::<u32>()
+        .map(Asn)
+        .map_err(|_| format!("bad ASN '{s}'"))
+}
+
+fn parse_prefix(s: &str) -> Result<Ipv4Prefix, String> {
+    s.parse::<Ipv4Prefix>()
+        .map_err(|e| format!("bad prefix '{s}': {e}"))
+}
+
+fn parse_snap(s: &str) -> Result<SnapshotId, String> {
+    s.parse::<u32>()
+        .map(SnapshotId)
+        .map_err(|_| format!("bad snapshot id '{s}'"))
+}
+
+/// Executes one query line. Returns `false` on `quit`.
+fn run_line(engine: &QueryEngine, line: &str) -> bool {
+    if line.trim_start().starts_with('#') {
+        return true;
+    }
+    let words: Vec<&str> = line.split_whitespace().collect();
+    let outcome = match words.as_slice() {
+        [] => Ok(String::new()),
+        ["quit"] | ["exit"] => return false,
+        ["help"] => Ok([
+            "route <vantage> <prefix> [snapshot]   exact best-route lookup",
+            "resolve <vantage> <prefix>            longest-prefix-match lookup",
+            "sa <vantage> <prefix>                 Fig. 4 status of the prefix",
+            "rel <a> <b>                           oracle relationship (b is a's …)",
+            "summary <asn>                         per-AS policy digest",
+            "diff <from> <to>                      what changed between snapshots",
+            "snapshots                             list snapshot labels",
+            "vantages                              list vantages of the latest snapshot",
+            "quit                                  leave",
+        ]
+        .join("\n")),
+        ["snapshots"] => Ok(engine
+            .labels()
+            .enumerate()
+            .map(|(i, l)| format!("{i}: {l}"))
+            .collect::<Vec<_>>()
+            .join("\n")),
+        ["vantages"] => Ok(engine
+            .vantages()
+            .into_iter()
+            .map(|(a, k)| {
+                let kind = match k {
+                    VantageKind::LookingGlass => "looking-glass",
+                    VantageKind::CollectorPeer => "collector-peer",
+                };
+                format!("{a} ({kind})")
+            })
+            .collect::<Vec<_>>()
+            .join("\n")),
+        ["route", v, p] => parse_asn(v)
+            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
+            .map(|(v, p)| match engine.route_at(v, p) {
+                Some(r) => format!(
+                    "{p} at {v}: via {} path {}",
+                    r.next_hop,
+                    r.path
+                        .iter()
+                        .map(|a| a.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                ),
+                None => format!("{p} at {v}: no route"),
+            }),
+        ["route", v, p, s] => parse_asn(v)
+            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
+            .and_then(|(v, p)| parse_snap(s).map(|s| (v, p, s)))
+            .map(|(v, p, s)| match engine.route_at_in(s, v, p) {
+                Some(r) => format!("{p} at {v} in snapshot {}: via {}", s.0, r.next_hop),
+                None => format!("{p} at {v} in snapshot {}: no route", s.0),
+            }),
+        ["resolve", v, p] => parse_asn(v)
+            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
+            .map(|(v, p)| match engine.resolve(v, p) {
+                Some(r) => format!(
+                    "{p} at {v}: matched {} via {} (origin {})",
+                    r.prefix,
+                    r.next_hop,
+                    r.origin()
+                ),
+                None => format!("{p} at {v}: no covering route"),
+            }),
+        ["sa", v, p] => parse_asn(v)
+            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
+            .map(|(v, p)| match engine.sa_status(v, p) {
+                SaStatus::UnknownVantage => format!("{v} is not a vantage"),
+                SaStatus::NotInTable => format!("{p} not in {v}'s table"),
+                SaStatus::NotCustomerRoute => format!("{p} at {v}: origin outside customer cone"),
+                SaStatus::CustomerExported { origin } => {
+                    format!("{p} at {v}: exported normally by customer {origin}")
+                }
+                SaStatus::SelectivelyAnnounced { origin } => {
+                    format!("{p} at {v}: SELECTIVELY ANNOUNCED by {origin}")
+                }
+            }),
+        ["rel", a, b] => parse_asn(a)
+            .and_then(|a| parse_asn(b).map(|b| (a, b)))
+            .map(|(a, b)| match engine.relationship(a, b) {
+                Some(r) => format!("{b} is {a}'s {r:?}"),
+                None => format!("{a} and {b} are not adjacent in the oracle"),
+            }),
+        ["summary", a] => parse_asn(a).map(|a| match engine.policy_summary(a) {
+            Some(s) => {
+                let (prov, cust, peer, sib) = s.neighbor_counts;
+                let typicality = s
+                    .typicality_percent()
+                    .map(|p| format!("{p:.1}%"))
+                    .unwrap_or_else(|| "n/a".into());
+                format!(
+                    "{a}: {} routes, {} customer prefixes, {} SA ({:.1}%), \
+                     typicality {typicality}, {} tagged neighbors, \
+                     neighbors {prov} providers / {cust} customers / {peer} peers / {sib} siblings",
+                    s.routes,
+                    s.customer_prefixes,
+                    s.sa_count,
+                    s.sa_percent(),
+                    s.tagged_neighbors,
+                )
+            }
+            None => format!("{a}: unknown AS"),
+        }),
+        ["diff", x, y] => parse_snap(x)
+            .and_then(|x| parse_snap(y).map(|y| (x, y)))
+            .map(|(x, y)| match engine.diff(x, y) {
+                Some(d) => format!(
+                    "{} → {}: {} new SA, {} gone SA, {} relationship flips, {} churned routes",
+                    d.from_label,
+                    d.to_label,
+                    d.new_sa.len(),
+                    d.gone_sa.len(),
+                    d.flips.len(),
+                    d.churned_routes()
+                ),
+                None => "invalid snapshot id".into(),
+            }),
+        _ => Err(format!("unrecognized query '{line}' (try 'help')")),
+    };
+    match outcome {
+        Ok(s) if s.is_empty() => {}
+        Ok(s) => println!("{s}"),
+        Err(e) => println!("error: {e}"),
+    }
+    true
+}
+
+/// The throughput report behind the `--bench` flag.
+fn bench(exp: &Experiment, engine: &QueryEngine, max_shards: usize) {
+    // Query workload: every (vantage, prefix) pair the world knows.
+    let mut pairs: Vec<(Asn, Ipv4Prefix)> = Vec::new();
+    for (vantage, _) in engine.vantages() {
+        if let Some(t) = exp.lg_table(vantage) {
+            pairs.extend(t.rows.keys().map(|&p| (vantage, p)));
+        } else {
+            let t = exp.collector_table(vantage);
+            pairs.extend(t.rows.keys().map(|&p| (vantage, p)));
+        }
+    }
+    assert!(!pairs.is_empty(), "bench world has no routes");
+    println!(
+        "\nworkload: {} distinct (vantage, prefix) queries",
+        pairs.len()
+    );
+
+    // --- single-route queries ---
+    const TARGET: usize = 400_000;
+    let rounds = TARGET.div_ceil(pairs.len()).max(1);
+    let t0 = Instant::now();
+    let mut hits = 0usize;
+    for _ in 0..rounds {
+        for &(v, p) in &pairs {
+            if engine.route_at(v, p).is_some() {
+                hits += 1;
+            }
+        }
+    }
+    let total = rounds * pairs.len();
+    let elapsed = t0.elapsed();
+    let qps = total as f64 / elapsed.as_secs_f64();
+    println!(
+        "single route_at: {total} queries in {elapsed:.2?} → {qps:.0} queries/s ({hits} hits)"
+    );
+
+    // --- sa_status single queries ---
+    let t0 = Instant::now();
+    for &(v, p) in &pairs {
+        std::hint::black_box(engine.sa_status(v, p));
+    }
+    let qps_sa = pairs.len() as f64 / t0.elapsed().as_secs_f64();
+    println!("single sa_status: {qps_sa:.0} queries/s");
+
+    // --- batched queries across shard counts ---
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("\nbatched route_at_batch (one engine per shard count, {cores} core(s)):");
+    let mut shard_counts: Vec<usize> = vec![1, 2, 4, 8, 16];
+    shard_counts.retain(|&s| s <= max_shards.max(1));
+    if !shard_counts.contains(&max_shards) {
+        shard_counts.push(max_shards);
+    }
+    let batch: Vec<(Asn, Ipv4Prefix)> = pairs.iter().cycle().take(TARGET).copied().collect();
+    for &n in &shard_counts {
+        let mut e = QueryEngine::new(n);
+        e.ingest_experiment(exp, "bench");
+        let id = e.latest().expect("just ingested");
+        let (answers, profile) = e.route_at_batch_profiled(id, &batch);
+        let got = answers.iter().filter(|a| a.is_some()).count();
+        println!(
+            "  {n:>3} shards: {} queries in {:.2?} → {:.0} queries/s wall; \
+             critical path {:.2?} → {:.0} queries/s with {n} cores \
+             (shard speedup {:.1}×, {got} answered)",
+            batch.len(),
+            profile.wall,
+            batch.len() as f64 / profile.wall.as_secs_f64(),
+            profile.critical_path(),
+            batch.len() as f64 / profile.critical_path().as_secs_f64(),
+            profile.parallel_speedup(),
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Snapshot-to-snapshot deltas: the observatory's answer to "what changed
+//! between *t* and *t+1*?" — new and vanished SA prefixes, flipped
+//! relationships, and best-route churn per vantage (the signals behind
+//! the paper's Figs. 6–7 persistence study, served as a query).
+
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
+
+use crate::intern::WorldInterner;
+use crate::snapshot::Snapshot;
+
+/// Best-route churn at one vantage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VantageChurn {
+    /// The vantage.
+    pub vantage: Asn,
+    /// Prefixes present in `to` but not `from`.
+    pub added: usize,
+    /// Prefixes present in `from` but not `to`.
+    pub removed: usize,
+    /// Prefixes present in both whose best route (next hop or path)
+    /// changed.
+    pub changed: usize,
+}
+
+/// One relationship edge that differs between the snapshots' oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationshipFlip {
+    /// First endpoint (the perspective AS).
+    pub a: Asn,
+    /// Second endpoint.
+    pub b: Asn,
+    /// `b is a's …` in the `from` snapshot (`None` = edge absent).
+    pub before: Option<Relationship>,
+    /// `b is a's …` in the `to` snapshot.
+    pub after: Option<Relationship>,
+}
+
+/// Everything that changed between two snapshots.
+#[derive(Debug, Clone, Default)]
+pub struct SnapshotDiff {
+    /// Label of the `from` snapshot.
+    pub from_label: String,
+    /// Label of the `to` snapshot.
+    pub to_label: String,
+    /// `(vantage, prefix)` pairs that became selectively announced.
+    pub new_sa: Vec<(Asn, Ipv4Prefix)>,
+    /// `(vantage, prefix)` pairs that stopped being selectively announced.
+    pub gone_sa: Vec<(Asn, Ipv4Prefix)>,
+    /// Oracle relationship changes (each unordered pair reported once).
+    pub flips: Vec<RelationshipFlip>,
+    /// Per-vantage best-route churn, for vantages present in either
+    /// snapshot (a vantage missing from one side counts all its routes as
+    /// added/removed).
+    pub churn: Vec<VantageChurn>,
+}
+
+impl SnapshotDiff {
+    /// `true` when the snapshots are observationally identical.
+    pub fn is_empty(&self) -> bool {
+        self.new_sa.is_empty()
+            && self.gone_sa.is_empty()
+            && self.flips.is_empty()
+            && self
+                .churn
+                .iter()
+                .all(|c| c.added == 0 && c.removed == 0 && c.changed == 0)
+    }
+
+    /// Total churned routes across vantages.
+    pub fn churned_routes(&self) -> usize {
+        self.churn
+            .iter()
+            .map(|c| c.added + c.removed + c.changed)
+            .sum()
+    }
+
+    /// Computes the delta. Symbols are shared across the engine's
+    /// snapshots, so all comparisons here are integer comparisons.
+    pub(crate) fn between(interner: &WorldInterner, a: &Snapshot, b: &Snapshot) -> SnapshotDiff {
+        let mut diff = SnapshotDiff {
+            from_label: a.label.clone(),
+            to_label: b.label.clone(),
+            ..Default::default()
+        };
+
+        // --- SA deltas, per vantage present in either snapshot ---
+        let mut sa_vantages: Vec<_> = a.sa.keys().chain(b.sa.keys()).copied().collect();
+        sa_vantages.sort_unstable();
+        sa_vantages.dedup();
+        for v in sa_vantages {
+            let vantage = interner.resolve_asn(v);
+            let empty = Default::default();
+            let sa_a = a.sa.get(&v).map_or(&empty, |c| &c.sa);
+            let sa_b = b.sa.get(&v).map_or(&empty, |c| &c.sa);
+            for &p in sa_b.keys() {
+                if !sa_a.contains_key(&p) {
+                    diff.new_sa.push((vantage, interner.resolve_prefix(p)));
+                }
+            }
+            for &p in sa_a.keys() {
+                if !sa_b.contains_key(&p) {
+                    diff.gone_sa.push((vantage, interner.resolve_prefix(p)));
+                }
+            }
+        }
+        diff.new_sa.sort_unstable();
+        diff.gone_sa.sort_unstable();
+
+        // --- relationship flips (each unordered pair once) ---
+        let mut edges: Vec<_> = a
+            .relationships
+            .keys()
+            .chain(b.relationships.keys())
+            .filter(|(x, y)| x <= y)
+            .copied()
+            .collect();
+        edges.sort_unstable();
+        edges.dedup();
+        for (x, y) in edges {
+            let before = a.relationships.get(&(x, y)).copied();
+            let after = b.relationships.get(&(x, y)).copied();
+            if before != after {
+                diff.flips.push(RelationshipFlip {
+                    a: interner.resolve_asn(x),
+                    b: interner.resolve_asn(y),
+                    before,
+                    after,
+                });
+            }
+        }
+
+        // --- best-route churn per vantage, shards compared in parallel ---
+        let mut vantages: Vec<_> = a
+            .vantages
+            .keys()
+            .chain(b.vantages.keys())
+            .copied()
+            .collect();
+        vantages.sort_unstable();
+        vantages.dedup();
+        for v in vantages {
+            let (mut added, mut removed, mut changed) = (0, 0, 0);
+            match (a.vantages.get(&v), b.vantages.get(&v)) {
+                (Some(ta), Some(tb)) => {
+                    debug_assert_eq!(ta.shards.len(), tb.shards.len());
+                    let n = ta.shards.len().min(tb.shards.len());
+                    let mut per_shard = vec![(0usize, 0usize, 0usize); n];
+                    std::thread::scope(|scope| {
+                        for (i, slot) in per_shard.iter_mut().enumerate() {
+                            let (sa, sb) = (&ta.shards[i], &tb.shards[i]);
+                            scope.spawn(move || {
+                                let rows_a: std::collections::HashMap<_, _> = sa.iter().collect();
+                                let mut seen = 0usize;
+                                for (p, rb) in sb.iter() {
+                                    match rows_a.get(&p) {
+                                        Some(ra) => {
+                                            seen += 1;
+                                            if *ra != rb {
+                                                slot.2 += 1;
+                                            }
+                                        }
+                                        None => slot.0 += 1,
+                                    }
+                                }
+                                slot.1 = rows_a.len() - seen;
+                            });
+                        }
+                    });
+                    for (ad, rm, ch) in per_shard {
+                        added += ad;
+                        removed += rm;
+                        changed += ch;
+                    }
+                }
+                (Some(ta), None) => removed = ta.route_count,
+                (None, Some(tb)) => added = tb.route_count,
+                (None, None) => {}
+            }
+            diff.churn.push(VantageChurn {
+                vantage: interner.resolve_asn(v),
+                added,
+                removed,
+                changed,
+            });
+        }
+        diff
+    }
+}

@@ -1,0 +1,531 @@
+//! [`QueryEngine`]: the concurrently-queryable observatory.
+//!
+//! Ingest many snapshots, then answer policy queries in O(lookup). Single
+//! queries index straight into the target shard; batched variants bucket
+//! queries by shard and evaluate the buckets in parallel with
+//! `std::thread::scope`, so throughput scales with the shard count.
+
+use std::collections::HashMap;
+
+use bgp_sim::{SimOutput, SnapshotSeries};
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
+use bgp_wire::{TableDump, WireError};
+use net_topology::AsGraph;
+use rpi_core::Experiment;
+
+use crate::diff::SnapshotDiff;
+use crate::intern::WorldInterner;
+use crate::snapshot::{shard_of, Snapshot, SnapshotId, VantageKind};
+
+/// A resolved best-route answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteAnswer {
+    /// Snapshot the answer comes from.
+    pub snapshot: SnapshotId,
+    /// The vantage whose table was consulted.
+    pub vantage: Asn,
+    /// The table prefix that matched (equals the query prefix for exact
+    /// lookups; may be shorter for longest-prefix-match resolution).
+    pub prefix: Ipv4Prefix,
+    /// Neighbor the best route was learned from.
+    pub next_hop: Asn,
+    /// AS path from the next hop to the origin.
+    pub path: Vec<Asn>,
+}
+
+impl RouteAnswer {
+    /// The origin AS of the matched route.
+    pub fn origin(&self) -> Asn {
+        *self.path.last().expect("answer paths are non-empty")
+    }
+}
+
+/// The answer to `sa_status(vantage, prefix)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaStatus {
+    /// The AS is not an indexed vantage of the snapshot.
+    UnknownVantage,
+    /// The vantage's table has no route for the prefix.
+    NotInTable,
+    /// The route exists but its origin is outside the vantage's customer
+    /// cone — Fig. 4 does not classify it.
+    NotCustomerRoute,
+    /// A customer-originated prefix reached over a customer route: the
+    /// customer exports it normally.
+    CustomerExported {
+        /// The originating customer.
+        origin: Asn,
+    },
+    /// A selectively-announced prefix (the Fig. 4 positive).
+    SelectivelyAnnounced {
+        /// The originating customer.
+        origin: Asn,
+    },
+}
+
+/// Cached per-AS policy digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySummary {
+    /// The AS summarized.
+    pub asn: Asn,
+    /// How the AS is observed, if it is a vantage.
+    pub kind: Option<VantageKind>,
+    /// Routes in its best table.
+    pub routes: usize,
+    /// Customer-originated prefixes (Fig. 4 denominator).
+    pub customer_prefixes: usize,
+    /// Selectively-announced prefixes seen from here.
+    pub sa_count: usize,
+    /// Import typicality `(compared, typical)`, LG vantages only.
+    pub typicality: Option<(usize, usize)>,
+    /// Neighbors with community-derived relationship classes, LG only.
+    pub tagged_neighbors: usize,
+    /// Oracle neighbor counts: `(providers, customers, peers, siblings)`.
+    pub neighbor_counts: (usize, usize, usize, usize),
+}
+
+impl PolicySummary {
+    /// SA share of customer prefixes, in percent (Table 5's column).
+    pub fn sa_percent(&self) -> f64 {
+        if self.customer_prefixes == 0 {
+            0.0
+        } else {
+            100.0 * self.sa_count as f64 / self.customer_prefixes as f64
+        }
+    }
+
+    /// Typicality percentage, if measured (Table 2's column).
+    pub fn typicality_percent(&self) -> Option<f64> {
+        self.typicality.map(|(compared, typical)| {
+            if compared == 0 {
+                100.0
+            } else {
+                100.0 * typical as f64 / compared as f64
+            }
+        })
+    }
+}
+
+/// Shard-level timing of one batched query evaluation.
+#[derive(Debug, Clone)]
+pub struct BatchProfile {
+    /// End-to-end batch time (bucketing + workers + merge).
+    pub wall: std::time::Duration,
+    /// Busy time per shard (zero for shards that saw no queries).
+    pub shard_busy: Vec<std::time::Duration>,
+    /// Worker threads actually spawned.
+    pub threads: usize,
+}
+
+impl BatchProfile {
+    /// The slowest shard — the batch's critical path with one worker per
+    /// shard and enough cores.
+    pub fn critical_path(&self) -> std::time::Duration {
+        self.shard_busy.iter().max().copied().unwrap_or_default()
+    }
+
+    /// Total lookup work across shards.
+    pub fn total_busy(&self) -> std::time::Duration {
+        self.shard_busy.iter().sum()
+    }
+
+    /// How much faster the batch's lookup work runs with one core per
+    /// shard than on one core: `total_busy / critical_path`. This is a
+    /// property of the shard decomposition, so it is meaningful even when
+    /// measured on a single-core machine.
+    pub fn parallel_speedup(&self) -> f64 {
+        let crit = self.critical_path().as_secs_f64();
+        if crit == 0.0 {
+            1.0
+        } else {
+            self.total_busy().as_secs_f64() / crit
+        }
+    }
+}
+
+/// The sharded, multi-snapshot policy observatory.
+#[derive(Debug)]
+pub struct QueryEngine {
+    pub(crate) interner: WorldInterner,
+    pub(crate) snapshots: Vec<Snapshot>,
+    n_shards: usize,
+}
+
+impl QueryEngine {
+    /// An empty engine with `n_shards` shards per vantage table (clamped
+    /// to at least 1).
+    pub fn new(n_shards: usize) -> QueryEngine {
+        QueryEngine {
+            interner: WorldInterner::new(),
+            snapshots: Vec::new(),
+            n_shards: n_shards.max(1),
+        }
+    }
+
+    /// Shards per vantage table.
+    pub fn shard_count(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Number of ingested snapshots.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Snapshot labels in ingestion order.
+    pub fn labels(&self) -> impl Iterator<Item = &str> {
+        self.snapshots.iter().map(|s| s.label.as_str())
+    }
+
+    /// The most recently ingested snapshot (the default query target).
+    pub fn latest(&self) -> Option<SnapshotId> {
+        let n = self.snapshots.len();
+        (n > 0).then(|| SnapshotId((n - 1) as u32))
+    }
+
+    /// `(distinct ASNs, distinct prefixes, distinct communities)` interned.
+    pub fn interned_sizes(&self) -> (usize, usize, usize) {
+        self.interner.sizes()
+    }
+
+    /// Ingests one simulated output with an explicit relationship oracle
+    /// (typically the Gao-inferred graph, as the paper's analyses use).
+    pub fn ingest_output(&mut self, out: &SimOutput, oracle: &AsGraph, label: &str) -> SnapshotId {
+        let id = SnapshotId(self.snapshots.len() as u32);
+        let snap = Snapshot::from_output(id, label, out, oracle, &mut self.interner, self.n_shards);
+        self.snapshots.push(snap);
+        id
+    }
+
+    /// Ingests an experiment's output using its inferred graph as oracle.
+    pub fn ingest_experiment(&mut self, exp: &Experiment, label: &str) -> SnapshotId {
+        self.ingest_output(&exp.output, &exp.inferred_graph, label)
+    }
+
+    /// Ingests every snapshot of a churn series under one oracle.
+    pub fn ingest_series(&mut self, series: &SnapshotSeries, oracle: &AsGraph) -> Vec<SnapshotId> {
+        series
+            .labels
+            .iter()
+            .zip(&series.snapshots)
+            .map(|(label, out)| self.ingest_output(out, oracle, label))
+            .collect()
+    }
+
+    /// Ingests an MRT TABLE_DUMP_V2 file image: decodes it, rebuilds the
+    /// collector view, Gao-infers a relationship oracle from the dump's
+    /// own paths, and indexes every peer as a vantage.
+    pub fn ingest_mrt_bytes(&mut self, data: &[u8], label: &str) -> Result<SnapshotId, WireError> {
+        let dump = TableDump::decode(bytes::Bytes::from(data.to_vec()))?;
+        let view = bgp_sim::export::mrt_to_collector(&dump)?;
+        let paths: Vec<&[Asn]> = view.all_paths().map(|r| r.path.as_slice()).collect();
+        let inferred = as_relationships::infer(
+            paths.iter().copied(),
+            &as_relationships::InferenceParams::default(),
+        );
+        let oracle = inferred.to_graph();
+        let id = SnapshotId(self.snapshots.len() as u32);
+        let snap =
+            Snapshot::from_collector(id, label, &view, &oracle, &mut self.interner, self.n_shards);
+        self.snapshots.push(snap);
+        Ok(id)
+    }
+
+    fn snapshot(&self, id: SnapshotId) -> Option<&Snapshot> {
+        self.snapshots.get(id.index())
+    }
+
+    /// The vantages of the latest snapshot, ascending by ASN.
+    pub fn vantages(&self) -> Vec<(Asn, VantageKind)> {
+        self.latest()
+            .map_or_else(Vec::new, |id| self.vantages_in(id))
+    }
+
+    /// The vantages of a specific snapshot, ascending by ASN.
+    pub fn vantages_in(&self, id: SnapshotId) -> Vec<(Asn, VantageKind)> {
+        let Some(snap) = self.snapshot(id) else {
+            return Vec::new();
+        };
+        let mut out: Vec<(Asn, VantageKind)> = snap
+            .vantage_syms()
+            .map(|(s, k)| (self.interner.resolve_asn(s), k))
+            .collect();
+        out.sort_unstable_by_key(|&(a, _)| a);
+        out
+    }
+
+    // ---------- single queries ----------
+
+    /// Exact best-route lookup in the latest snapshot.
+    pub fn route_at(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
+        self.route_at_in(self.latest()?, vantage, prefix)
+    }
+
+    /// Exact best-route lookup in a specific snapshot.
+    pub fn route_at_in(
+        &self,
+        id: SnapshotId,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Option<RouteAnswer> {
+        let snap = self.snapshot(id)?;
+        let v = self.interner.lookup_asn(vantage)?;
+        let route = snap.route(v, prefix)?;
+        Some(self.answer(id, vantage, prefix, route))
+    }
+
+    /// Longest-prefix-match lookup in the latest snapshot: how would the
+    /// vantage route traffic for this (possibly more-specific) prefix?
+    pub fn resolve(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
+        self.resolve_in(self.latest()?, vantage, prefix)
+    }
+
+    /// Longest-prefix-match lookup in a specific snapshot. Consults every
+    /// shard (covering prefixes hash independently) and keeps the longest.
+    pub fn resolve_in(
+        &self,
+        id: SnapshotId,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Option<RouteAnswer> {
+        let snap = self.snapshot(id)?;
+        let v = self.interner.lookup_asn(vantage)?;
+        let (matched, route) = snap.route_lpm(v, prefix)?;
+        Some(self.answer(id, vantage, matched, route))
+    }
+
+    /// Fig. 4 status of a prefix as seen from a vantage, latest snapshot.
+    pub fn sa_status(&self, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
+        match self.latest() {
+            Some(id) => self.sa_status_in(id, vantage, prefix),
+            None => SaStatus::UnknownVantage,
+        }
+    }
+
+    /// Fig. 4 status of a prefix as seen from a vantage.
+    pub fn sa_status_in(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
+        let Some(snap) = self.snapshot(id) else {
+            return SaStatus::UnknownVantage;
+        };
+        let Some(v) = self.interner.lookup_asn(vantage) else {
+            return SaStatus::UnknownVantage;
+        };
+        let Some(cache) = snap.sa.get(&v) else {
+            return SaStatus::UnknownVantage;
+        };
+        let Some(p) = self.interner.lookup_prefix(prefix) else {
+            return SaStatus::NotInTable;
+        };
+        if let Some(&origin) = cache.sa.get(&p) {
+            return SaStatus::SelectivelyAnnounced {
+                origin: self.interner.resolve_asn(origin),
+            };
+        }
+        if let Some(&origin) = cache.exported.get(&p) {
+            return SaStatus::CustomerExported {
+                origin: self.interner.resolve_asn(origin),
+            };
+        }
+        if snap.route(v, prefix).is_some() {
+            SaStatus::NotCustomerRoute
+        } else {
+            SaStatus::NotInTable
+        }
+    }
+
+    /// The oracle relationship `b is a's …` in the latest snapshot.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        self.relationship_in(self.latest()?, a, b)
+    }
+
+    /// The oracle relationship `b is a's …` in a specific snapshot.
+    pub fn relationship_in(&self, id: SnapshotId, a: Asn, b: Asn) -> Option<Relationship> {
+        let snap = self.snapshot(id)?;
+        let sa = self.interner.lookup_asn(a)?;
+        let sb = self.interner.lookup_asn(b)?;
+        snap.relationships.get(&(sa, sb)).copied()
+    }
+
+    /// Per-AS policy digest from the latest snapshot.
+    pub fn policy_summary(&self, asn: Asn) -> Option<PolicySummary> {
+        self.policy_summary_in(self.latest()?, asn)
+    }
+
+    /// Per-AS policy digest from a specific snapshot. `None` only when the
+    /// snapshot id is invalid or the AS was never seen at ingest time.
+    pub fn policy_summary_in(&self, id: SnapshotId, asn: Asn) -> Option<PolicySummary> {
+        let snap = self.snapshot(id)?;
+        let s = self.interner.lookup_asn(asn)?;
+        let table = snap.vantages.get(&s);
+        let cache = snap.sa.get(&s);
+
+        let neighbor_counts = snap.neighbor_counts.get(&s).copied().unwrap_or_default();
+
+        Some(PolicySummary {
+            asn,
+            kind: table.map(|t| t.kind),
+            routes: table.map_or(0, |t| t.route_count),
+            customer_prefixes: cache.map_or(0, |c| c.customer_prefixes),
+            sa_count: cache.map_or(0, |c| c.sa.len()),
+            typicality: snap.typicality.get(&s).copied(),
+            tagged_neighbors: snap.community_class.get(&s).map_or(0, HashMap::len),
+            neighbor_counts,
+        })
+    }
+
+    // ---------- batched queries (parallel over shards) ----------
+
+    /// Batched exact route lookups against the latest snapshot.
+    pub fn route_at_batch(&self, queries: &[(Asn, Ipv4Prefix)]) -> Vec<Option<RouteAnswer>> {
+        match self.latest() {
+            Some(id) => self.route_at_batch_in(id, queries),
+            None => vec![None; queries.len()],
+        }
+    }
+
+    /// Batched exact route lookups. Queries are bucketed by target shard
+    /// and the buckets evaluated concurrently under `std::thread::scope`
+    /// (one worker per shard, capped at the machine's parallelism), so a
+    /// batch touches each shard's tries from exactly one thread.
+    pub fn route_at_batch_in(
+        &self,
+        id: SnapshotId,
+        queries: &[(Asn, Ipv4Prefix)],
+    ) -> Vec<Option<RouteAnswer>> {
+        self.route_at_batch_profiled(id, queries).0
+    }
+
+    /// [`Self::route_at_batch_in`] plus shard-level timing: how long each
+    /// shard's bucket took, from which the batch's critical path (and so
+    /// the speedup available from parallel shards) follows.
+    pub fn route_at_batch_profiled(
+        &self,
+        id: SnapshotId,
+        queries: &[(Asn, Ipv4Prefix)],
+    ) -> (Vec<Option<RouteAnswer>>, BatchProfile) {
+        let wall_start = std::time::Instant::now();
+        let mut results: Vec<Option<RouteAnswer>> = vec![None; queries.len()];
+        let mut profile = BatchProfile {
+            wall: std::time::Duration::ZERO,
+            shard_busy: vec![std::time::Duration::ZERO; self.n_shards],
+            threads: 0,
+        };
+        let Some(snap) = self.snapshot(id) else {
+            return (results, profile);
+        };
+
+        let mut buckets: Vec<(usize, Vec<usize>)> =
+            (0..self.n_shards).map(|s| (s, Vec::new())).collect();
+        for (i, &(_, prefix)) in queries.iter().enumerate() {
+            buckets[shard_of(prefix, self.n_shards)].1.push(i);
+        }
+        buckets.retain(|(_, b)| !b.is_empty());
+
+        // One worker per shard, capped at the core count (on a small
+        // machine each worker walks several buckets in turn). Workers
+        // produce answers in private vectors — writing interleaved cells
+        // of `results` directly would false-share across threads — and
+        // the merge afterwards moves them into place.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let workers = buckets.len().min(cores).max(1);
+        profile.threads = workers;
+        type ShardAnswers = (
+            usize,
+            std::time::Duration,
+            Vec<(usize, Option<RouteAnswer>)>,
+        );
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let my_buckets: Vec<&(usize, Vec<usize>)> =
+                        buckets.iter().skip(w).step_by(workers).collect();
+                    scope.spawn(move || {
+                        let mut out: Vec<ShardAnswers> = Vec::with_capacity(my_buckets.len());
+                        for (shard, bucket) in my_buckets {
+                            let t0 = std::time::Instant::now();
+                            let answers: Vec<(usize, Option<RouteAnswer>)> = bucket
+                                .iter()
+                                .map(|&i| {
+                                    let (vantage, prefix) = queries[i];
+                                    let answer = self
+                                        .interner
+                                        .lookup_asn(vantage)
+                                        .and_then(|v| snap.route(v, prefix))
+                                        .map(|route| self.answer(id, vantage, prefix, route));
+                                    (i, answer)
+                                })
+                                .collect();
+                            out.push((*shard, t0.elapsed(), answers));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (shard, busy, answers) in h.join().expect("route_at_batch worker panicked") {
+                    profile.shard_busy[shard] = busy;
+                    for (i, answer) in answers {
+                        results[i] = answer;
+                    }
+                }
+            }
+        });
+        profile.wall = wall_start.elapsed();
+        (results, profile)
+    }
+
+    /// Batched Fig. 4 statuses against the latest snapshot, evaluated in
+    /// parallel chunks (SA caches are hash maps, not sharded tries).
+    pub fn sa_status_batch(&self, queries: &[(Asn, Ipv4Prefix)]) -> Vec<SaStatus> {
+        let Some(id) = self.latest() else {
+            return vec![SaStatus::UnknownVantage; queries.len()];
+        };
+        let chunk = queries.len().div_ceil(self.n_shards).max(1);
+        let mut results: Vec<SaStatus> = Vec::with_capacity(queries.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = queries
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&(v, p)| self.sa_status_in(id, v, p))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                results.extend(h.join().expect("sa_status worker panicked"));
+            }
+        });
+        results
+    }
+
+    // ---------- diffing ----------
+
+    /// What changed between two snapshots. `None` on an invalid id.
+    pub fn diff(&self, from: SnapshotId, to: SnapshotId) -> Option<SnapshotDiff> {
+        let a = self.snapshot(from)?;
+        let b = self.snapshot(to)?;
+        Some(SnapshotDiff::between(&self.interner, a, b))
+    }
+
+    fn answer(
+        &self,
+        id: SnapshotId,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+        route: &crate::snapshot::CompactRoute,
+    ) -> RouteAnswer {
+        RouteAnswer {
+            snapshot: id,
+            vantage,
+            prefix,
+            next_hop: self.interner.resolve_asn(route.next_hop),
+            path: route
+                .path
+                .iter()
+                .map(|&s| self.interner.resolve_asn(s))
+                .collect(),
+        }
+    }
+}

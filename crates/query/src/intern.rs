@@ -1,0 +1,103 @@
+//! Typed symbols over [`bgp_types::Interner`].
+//!
+//! One [`WorldInterner`] is shared by every snapshot in a
+//! [`crate::QueryEngine`]: the same ASN or prefix receives the same symbol
+//! in every snapshot, which is what makes snapshot diffing and multi-
+//! snapshot queries integer-cheap.
+
+use bgp_types::intern::{Interner, Symbol};
+use bgp_types::{Asn, Community, Ipv4Prefix};
+
+/// Interned ASN.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AsnSym(pub Symbol);
+
+/// Interned prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PrefixSym(pub Symbol);
+
+/// Interned community.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommSym(pub Symbol);
+
+/// The shared symbol tables of one engine.
+#[derive(Debug, Clone, Default)]
+pub struct WorldInterner {
+    asns: Interner<Asn>,
+    prefixes: Interner<Ipv4Prefix>,
+    communities: Interner<Community>,
+}
+
+impl WorldInterner {
+    /// Empty tables.
+    pub fn new() -> Self {
+        WorldInterner::default()
+    }
+
+    /// Interns an ASN.
+    pub fn asn(&mut self, a: Asn) -> AsnSym {
+        AsnSym(self.asns.intern(a))
+    }
+
+    /// Interns a prefix.
+    pub fn prefix(&mut self, p: Ipv4Prefix) -> PrefixSym {
+        PrefixSym(self.prefixes.intern(p))
+    }
+
+    /// Interns a community.
+    pub fn community(&mut self, c: Community) -> CommSym {
+        CommSym(self.communities.intern(c))
+    }
+
+    /// The symbol of an ASN already seen during ingestion.
+    pub fn lookup_asn(&self, a: Asn) -> Option<AsnSym> {
+        self.asns.get(&a).map(AsnSym)
+    }
+
+    /// The symbol of a prefix already seen during ingestion.
+    pub fn lookup_prefix(&self, p: Ipv4Prefix) -> Option<PrefixSym> {
+        self.prefixes.get(&p).map(PrefixSym)
+    }
+
+    /// The ASN behind a symbol.
+    pub fn resolve_asn(&self, s: AsnSym) -> Asn {
+        *self.asns.resolve(s.0)
+    }
+
+    /// The prefix behind a symbol.
+    pub fn resolve_prefix(&self, s: PrefixSym) -> Ipv4Prefix {
+        *self.prefixes.resolve(s.0)
+    }
+
+    /// The community behind a symbol.
+    pub fn resolve_community(&self, s: CommSym) -> Community {
+        *self.communities.resolve(s.0)
+    }
+
+    /// `(distinct ASNs, distinct prefixes, distinct communities)` seen.
+    pub fn sizes(&self) -> (usize, usize, usize) {
+        (self.asns.len(), self.prefixes.len(), self.communities.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_stable_across_repeat_interning() {
+        let mut w = WorldInterner::new();
+        let a1 = w.asn(Asn(7018));
+        let p1 = w.prefix("10.0.0.0/8".parse().unwrap());
+        let c1 = w.community(Community::new(7018, 100));
+        assert_eq!(w.asn(Asn(7018)), a1);
+        assert_eq!(w.prefix("10.0.0.0/8".parse().unwrap()), p1);
+        assert_eq!(w.community(Community::new(7018, 100)), c1);
+        assert_eq!(w.resolve_asn(a1), Asn(7018));
+        assert_eq!(w.resolve_prefix(p1), "10.0.0.0/8".parse().unwrap());
+        assert_eq!(w.resolve_community(c1), Community::new(7018, 100));
+        assert_eq!(w.sizes(), (1, 1, 1));
+        assert_eq!(w.lookup_asn(Asn(1)), None);
+        assert_eq!(w.lookup_asn(Asn(7018)), Some(a1));
+    }
+}

@@ -1,0 +1,56 @@
+//! # rpi-query — a sharded, concurrently-queryable policy observatory
+//!
+//! The paper infers routing policies from static snapshots; this crate is
+//! the serving layer that makes those inferences *queryable at scale*. It
+//! ingests a series of snapshots — straight from the simulator
+//! ([`bgp_sim::SimOutput`]), from churn series ([`bgp_sim::SnapshotSeries`]),
+//! or from MRT TABLE_DUMP_V2 bytes via [`bgp_wire::mrt`] — and serves
+//! policy queries in O(lookup) instead of recomputing analyses per call:
+//!
+//! * [`intern`] — ASNs, prefixes and communities are interned into dense
+//!   `u32` symbols ([`bgp_types::Interner`]), so routes store 4-byte IDs
+//!   and cross-snapshot comparison is integer comparison.
+//! * [`snapshot`] — one ingested snapshot: per-vantage best-route tables
+//!   sharded into [`bgp_types::PrefixTrie`]s, plus the precomputed
+//!   `rpi_core` analyses (SA reports, import typicality, community
+//!   semantics, relationship map).
+//! * [`engine`] — [`QueryEngine`]: `route_at`, `sa_status`,
+//!   `relationship`, `policy_summary`, and batched variants that evaluate
+//!   shards in parallel with `std::thread::scope`.
+//! * [`diff`] — what changed between snapshot *t* and *t+1*: new/vanished
+//!   SA prefixes, flipped relationships, churned best routes.
+//!
+//! The `rpi-queryd` binary wraps the engine in a line-oriented CLI with a
+//! `--bench` throughput mode.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use rpi_core::Experiment;
+//! use net_topology::InternetSize;
+//! use rpi_query::QueryEngine;
+//!
+//! let exp = Experiment::standard(InternetSize::Tiny, 7);
+//! let mut engine = QueryEngine::new(4); // 4 shards
+//! engine.ingest_experiment(&exp, "t0");
+//!
+//! let lg = exp.spec.lg_ases[0];
+//! let summary = engine.policy_summary(lg).unwrap();
+//! assert_eq!(summary.asn, lg);
+//! let some_prefix = *exp.lg_table(lg).unwrap().rows.keys().next().unwrap();
+//! let answer = engine.route_at(lg, some_prefix).unwrap();
+//! assert!(!answer.path.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod engine;
+pub mod intern;
+pub mod snapshot;
+
+pub use diff::{RelationshipFlip, SnapshotDiff, VantageChurn};
+pub use engine::{PolicySummary, QueryEngine, RouteAnswer, SaStatus};
+pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
+pub use snapshot::{Snapshot, SnapshotId, VantageKind};

@@ -1,0 +1,345 @@
+//! One ingested snapshot: sharded per-vantage route tables plus the
+//! precomputed `rpi_core` analyses.
+//!
+//! A snapshot is built once at ingest time and never mutated; every query
+//! against it is a hash/trie lookup. Routes are stored interned
+//! ([`crate::WorldInterner`]), so a snapshot of a `Small` world is a few
+//! hundred KiB and diffing two snapshots is integer work.
+
+use std::collections::HashMap;
+
+use bgp_sim::{CollectorView, LgView, SimOutput};
+use bgp_types::{Asn, Ipv4Prefix, PrefixTrie, Relationship};
+use net_topology::AsGraph;
+use rpi_core::community::{infer_communities, CommunityParams};
+use rpi_core::export_policy::sa_prefixes;
+use rpi_core::import_policy::lg_typicality;
+use rpi_core::view::BestTable;
+
+use crate::intern::{AsnSym, PrefixSym, WorldInterner};
+
+/// Index of a snapshot inside its engine, in ingestion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SnapshotId(pub u32);
+
+impl SnapshotId {
+    /// The id as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// What kind of view a vantage contributes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VantageKind {
+    /// Full Looking-Glass view: LOCAL_PREF and communities visible, so all
+    /// the paper's analyses are precomputed for it.
+    LookingGlass,
+    /// Collector peer: best paths only; SA analysis is available, import
+    /// typicality and community semantics are not.
+    CollectorPeer,
+}
+
+/// A best route in compact interned form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CompactRoute {
+    /// Neighbor the route was learned from.
+    pub next_hop: AsnSym,
+    /// Interned AS path, next-hop first, origin last.
+    pub path: Box<[AsnSym]>,
+}
+
+/// One vantage's best-route table, sharded by prefix.
+#[derive(Debug)]
+pub(crate) struct VantageTable {
+    pub kind: VantageKind,
+    /// `shards[shard_of(prefix, n)]` holds the prefix's route.
+    pub shards: Vec<PrefixTrie<CompactRoute>>,
+    pub route_count: usize,
+}
+
+/// Deterministic shard assignment for a prefix (splitmix-style avalanche
+/// over the canonical bits + length, so /8s and /24s spread evenly).
+pub(crate) fn shard_of(prefix: Ipv4Prefix, n_shards: usize) -> usize {
+    let mut z = ((prefix.bits() as u64) << 8) | prefix.len() as u64;
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    (z ^ (z >> 31)) as usize % n_shards
+}
+
+/// Precomputed Fig. 4 output for one vantage.
+#[derive(Debug, Default)]
+pub(crate) struct SaCache {
+    /// Prefixes in the table originated inside the vantage's customer cone.
+    pub customer_prefixes: usize,
+    /// SA prefix → origin.
+    pub sa: HashMap<PrefixSym, AsnSym>,
+    /// Prefixes that are customer-originated but *not* SA.
+    pub exported: HashMap<PrefixSym, AsnSym>,
+}
+
+/// One ingested, fully-indexed snapshot.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The snapshot's engine-assigned id.
+    pub id: SnapshotId,
+    /// Caller-supplied label (e.g. `day-07`).
+    pub label: String,
+    pub(crate) vantages: HashMap<AsnSym, VantageTable>,
+    /// Oracle relationships: `(a, b) → b is a's …` (both directions kept).
+    pub(crate) relationships: HashMap<(AsnSym, AsnSym), Relationship>,
+    /// Per-AS oracle neighbor counts `(providers, customers, peers,
+    /// siblings)`, precomputed so summaries stay O(lookup).
+    pub(crate) neighbor_counts: HashMap<AsnSym, (usize, usize, usize, usize)>,
+    pub(crate) sa: HashMap<AsnSym, SaCache>,
+    /// Import typicality per LG vantage: `(prefixes compared, typical)`.
+    pub(crate) typicality: HashMap<AsnSym, (usize, usize)>,
+    /// Community-derived relationship per (LG vantage, neighbor).
+    pub(crate) community_class: HashMap<AsnSym, HashMap<AsnSym, Relationship>>,
+}
+
+impl Snapshot {
+    /// Builds a snapshot from a simulated output plus a relationship
+    /// oracle (typically the Gao-inferred graph, as in the paper).
+    pub(crate) fn from_output(
+        id: SnapshotId,
+        label: &str,
+        out: &SimOutput,
+        oracle: &AsGraph,
+        interner: &mut WorldInterner,
+        n_shards: usize,
+    ) -> Snapshot {
+        let mut snap = Snapshot::empty(id, label);
+        snap.index_relationships(oracle, interner);
+
+        // Collector peers: best-path tables, SA analysis only.
+        for &peer in &out.collector.peers {
+            let table = BestTable::from_collector(&out.collector, peer);
+            snap.index_vantage(
+                &table,
+                VantageKind::CollectorPeer,
+                oracle,
+                interner,
+                n_shards,
+            );
+        }
+        for row in out.collector.all_paths() {
+            for &c in &row.communities {
+                interner.community(c);
+            }
+        }
+
+        // Looking-Glass vantages: full tables + the LG-only analyses.
+        // An LG AS that also peers with the collector keeps the richer view.
+        for (&asn, view) in &out.lgs {
+            let table = BestTable::from_lg(view);
+            snap.index_vantage(
+                &table,
+                VantageKind::LookingGlass,
+                oracle,
+                interner,
+                n_shards,
+            );
+            snap.index_lg_analyses(asn, view, oracle, interner);
+        }
+        snap
+    }
+
+    /// Builds a snapshot from a collector view alone (the MRT ingest
+    /// path). The caller supplies the oracle — typically Gao-inferred from
+    /// the dump's own paths.
+    pub(crate) fn from_collector(
+        id: SnapshotId,
+        label: &str,
+        view: &CollectorView,
+        oracle: &AsGraph,
+        interner: &mut WorldInterner,
+        n_shards: usize,
+    ) -> Snapshot {
+        let mut snap = Snapshot::empty(id, label);
+        snap.index_relationships(oracle, interner);
+        for &peer in &view.peers {
+            let table = BestTable::from_collector(view, peer);
+            snap.index_vantage(
+                &table,
+                VantageKind::CollectorPeer,
+                oracle,
+                interner,
+                n_shards,
+            );
+        }
+        for row in view.all_paths() {
+            for &c in &row.communities {
+                interner.community(c);
+            }
+        }
+        snap
+    }
+
+    fn empty(id: SnapshotId, label: &str) -> Snapshot {
+        Snapshot {
+            id,
+            label: label.to_string(),
+            vantages: HashMap::new(),
+            relationships: HashMap::new(),
+            neighbor_counts: HashMap::new(),
+            sa: HashMap::new(),
+            typicality: HashMap::new(),
+            community_class: HashMap::new(),
+        }
+    }
+
+    fn index_relationships(&mut self, oracle: &AsGraph, interner: &mut WorldInterner) {
+        for a in oracle.ases() {
+            let sa = interner.asn(a);
+            let counts = self.neighbor_counts.entry(sa).or_default();
+            for (b, rel) in oracle.neighbors(a) {
+                let sb = interner.asn(b);
+                self.relationships.insert((sa, sb), rel);
+                match rel {
+                    Relationship::Provider => counts.0 += 1,
+                    Relationship::Customer => counts.1 += 1,
+                    Relationship::Peer => counts.2 += 1,
+                    Relationship::Sibling => counts.3 += 1,
+                }
+            }
+        }
+    }
+
+    fn index_vantage(
+        &mut self,
+        table: &BestTable,
+        kind: VantageKind,
+        oracle: &AsGraph,
+        interner: &mut WorldInterner,
+        n_shards: usize,
+    ) {
+        let owner = interner.asn(table.asn);
+        let mut shards: Vec<PrefixTrie<CompactRoute>> =
+            (0..n_shards).map(|_| PrefixTrie::new()).collect();
+        for (&prefix, row) in &table.rows {
+            interner.prefix(prefix);
+            let route = CompactRoute {
+                next_hop: interner.asn(row.next_hop),
+                path: row.path.iter().map(|&a| interner.asn(a)).collect(),
+            };
+            shards[shard_of(prefix, n_shards)].insert(prefix, route);
+        }
+        self.vantages.insert(
+            owner,
+            VantageTable {
+                kind,
+                shards,
+                route_count: table.rows.len(),
+            },
+        );
+
+        // Fig. 4 SA analysis, cached per vantage.
+        let report = sa_prefixes(table, oracle);
+        let mut cache = SaCache {
+            customer_prefixes: report.customer_prefixes,
+            ..Default::default()
+        };
+        for (&prefix, &origin) in &report.sa_origin {
+            cache
+                .sa
+                .insert(interner.prefix(prefix), interner.asn(origin));
+        }
+        for (&prefix, row) in &table.rows {
+            let origin = row.origin();
+            if report.per_origin.contains_key(&origin) && !report.sa.contains(&prefix) {
+                cache
+                    .exported
+                    .insert(interner.prefix(prefix), interner.asn(origin));
+            }
+        }
+        self.sa.insert(owner, cache);
+    }
+
+    fn index_lg_analyses(
+        &mut self,
+        asn: Asn,
+        view: &LgView,
+        oracle: &AsGraph,
+        interner: &mut WorldInterner,
+    ) {
+        let owner = interner.asn(asn);
+        for routes in view.rows.values() {
+            for r in routes {
+                for &c in &r.communities {
+                    interner.community(c);
+                }
+            }
+        }
+        let t = lg_typicality(view, oracle);
+        self.typicality
+            .insert(owner, (t.prefixes_compared, t.typical));
+        let inf = infer_communities(view, &CommunityParams::default());
+        let classes: HashMap<AsnSym, Relationship> = inf
+            .neighbor_class
+            .iter()
+            .map(|(&n, &r)| (interner.asn(n), r))
+            .collect();
+        self.community_class.insert(owner, classes);
+    }
+
+    /// The vantages indexed in this snapshot, with their kinds.
+    pub(crate) fn vantage_syms(&self) -> impl Iterator<Item = (AsnSym, VantageKind)> + '_ {
+        self.vantages.iter().map(|(&s, t)| (s, t.kind))
+    }
+
+    /// Exact route lookup.
+    pub(crate) fn route(&self, vantage: AsnSym, prefix: Ipv4Prefix) -> Option<&CompactRoute> {
+        let table = self.vantages.get(&vantage)?;
+        table.shards[shard_of(prefix, table.shards.len())].get(prefix)
+    }
+
+    /// Longest-prefix-match lookup: consults every shard (covering
+    /// prefixes hash to different shards) and keeps the longest hit.
+    pub(crate) fn route_lpm(
+        &self,
+        vantage: AsnSym,
+        prefix: Ipv4Prefix,
+    ) -> Option<(Ipv4Prefix, &CompactRoute)> {
+        let table = self.vantages.get(&vantage)?;
+        table
+            .shards
+            .iter()
+            .filter_map(|shard| shard.best_match(prefix))
+            .max_by_key(|(p, _)| p.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_assignment_is_stable_and_in_range() {
+        let prefixes = ["10.0.0.0/8", "10.0.0.0/16", "192.168.4.0/24", "0.0.0.0/0"];
+        for n in [1usize, 2, 7, 64] {
+            for p in prefixes {
+                let p: Ipv4Prefix = p.parse().unwrap();
+                let s = shard_of(p, n);
+                assert!(s < n);
+                assert_eq!(s, shard_of(p, n), "deterministic");
+            }
+        }
+    }
+
+    #[test]
+    fn shards_spread_prefixes() {
+        // 256 /24s into 8 shards: no shard should be empty or hog > half.
+        let mut counts = [0usize; 8];
+        for i in 0..256u32 {
+            let p = Ipv4Prefix::canonical(i << 8, 24);
+            counts[shard_of(p, 8)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "all shards used: {counts:?}");
+        assert!(
+            counts.iter().all(|&c| c < 128),
+            "no shard hogs half: {counts:?}"
+        );
+    }
+}

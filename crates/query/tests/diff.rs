@@ -1,0 +1,164 @@
+//! Snapshot-diff behaviour against real `bgp_sim::churn` output.
+
+use bgp_sim::churn::simulate_series;
+use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, Simulation, VantageSpec};
+use net_topology::{InternetConfig, InternetSize};
+use rpi_query::QueryEngine;
+
+fn world() -> (net_topology::AsGraph, GroundTruth, VantageSpec) {
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(21)
+        .build();
+    let t = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+    (g, t, spec)
+}
+
+#[test]
+fn identical_snapshots_diff_empty() {
+    let (g, t, spec) = world();
+    let out = Simulation::new(&g, &t, &spec).run();
+    let mut engine = QueryEngine::new(4);
+    engine.ingest_output(&out, &g, "a");
+    engine.ingest_output(&out, &g, "b");
+    let d = engine
+        .diff(rpi_query::SnapshotId(0), rpi_query::SnapshotId(1))
+        .unwrap();
+    assert!(d.is_empty(), "identical ingests must diff empty: {d:?}");
+    assert_eq!(d.churned_routes(), 0);
+    assert_eq!(d.from_label, "a");
+    assert_eq!(d.to_label, "b");
+}
+
+#[test]
+fn zero_churn_series_diffs_empty() {
+    let (g, t, spec) = world();
+    let cfg = ChurnConfig {
+        seed: 5,
+        steps: 3,
+        flip_prob: 0.0,
+        link_failure_prob: 0.0,
+        label: "hour",
+    };
+    let series = simulate_series(&g, &t, &spec, &cfg);
+    let mut engine = QueryEngine::new(4);
+    let ids = engine.ingest_series(&series, &g);
+    assert_eq!(ids.len(), 3);
+    assert_eq!(
+        engine.labels().collect::<Vec<_>>(),
+        vec!["hour-01", "hour-02", "hour-03"]
+    );
+    for w in ids.windows(2) {
+        let d = engine.diff(w[0], w[1]).unwrap();
+        assert!(
+            d.is_empty(),
+            "{} → {} not empty: {d:?}",
+            d.from_label,
+            d.to_label
+        );
+    }
+}
+
+#[test]
+fn forced_churn_is_visible_in_diffs() {
+    let (g, t, spec) = world();
+    if t.selective_subset_origins.is_empty() {
+        // Tiny worlds occasionally roll no selective origin; nothing can
+        // flip and nothing can be asserted.
+        return;
+    }
+    let cfg = ChurnConfig {
+        seed: 99,
+        steps: 6,
+        flip_prob: 1.0,
+        link_failure_prob: 0.0,
+        label: "day",
+    };
+    let series = simulate_series(&g, &t, &spec, &cfg);
+    let mut engine = QueryEngine::new(4);
+    let ids = engine.ingest_series(&series, &g);
+
+    // The oracle is shared, so relationships never flip in this series…
+    for w in ids.windows(2) {
+        let d = engine.diff(w[0], w[1]).unwrap();
+        assert!(d.flips.is_empty(), "same oracle ⇒ no relationship flips");
+    }
+
+    // …and the engine's diff must flag churn exactly where the simulator
+    // actually changed collector content between consecutive snapshots.
+    let mut any_diff = false;
+    for (w, outs) in ids.windows(2).zip(series.snapshots.windows(2)) {
+        let d = engine.diff(w[0], w[1]).unwrap();
+        let lgs_equal = outs[0].lgs.len() == outs[1].lgs.len()
+            && outs[0]
+                .lgs
+                .iter()
+                .all(|(k, v)| outs[1].lgs.get(k).is_some_and(|w| w.rows == v.rows));
+        let sim_changed = outs[0].collector.rows != outs[1].collector.rows || !lgs_equal;
+        if sim_changed {
+            any_diff = true;
+            assert!(
+                !d.is_empty(),
+                "{} → {}: simulator changed but diff is empty",
+                d.from_label,
+                d.to_label
+            );
+        } else {
+            assert!(
+                d.churned_routes() == 0 && d.new_sa.is_empty() && d.gone_sa.is_empty(),
+                "{} → {}: simulator idle but diff reports change",
+                d.from_label,
+                d.to_label
+            );
+        }
+    }
+    assert!(any_diff, "forced re-rolls must perturb at least one step");
+}
+
+#[test]
+fn sa_deltas_track_recomputed_reports() {
+    let (g, t, spec) = world();
+    if t.selective_subset_origins.is_empty() {
+        return;
+    }
+    let cfg = ChurnConfig {
+        seed: 123,
+        steps: 5,
+        flip_prob: 0.9,
+        link_failure_prob: 0.2,
+        label: "day",
+    };
+    let series = simulate_series(&g, &t, &spec, &cfg);
+    let mut engine = QueryEngine::new(4);
+    let ids = engine.ingest_series(&series, &g);
+
+    for (w, outs) in ids.windows(2).zip(series.snapshots.windows(2)) {
+        let d = engine.diff(w[0], w[1]).unwrap();
+        // Recompute the SA delta directly per LG vantage and compare.
+        for &lg in &spec.lg_ases {
+            let (Some(va), Some(vb)) = (outs[0].lg(lg), outs[1].lg(lg)) else {
+                continue;
+            };
+            let ra =
+                rpi_core::export_policy::sa_prefixes(&rpi_core::view::BestTable::from_lg(va), &g);
+            let rb =
+                rpi_core::export_policy::sa_prefixes(&rpi_core::view::BestTable::from_lg(vb), &g);
+            let expect_new: Vec<_> = rb.sa.difference(&ra.sa).copied().collect();
+            let expect_gone: Vec<_> = ra.sa.difference(&rb.sa).copied().collect();
+            let got_new: Vec<_> = d
+                .new_sa
+                .iter()
+                .filter(|(v, _)| *v == lg)
+                .map(|&(_, p)| p)
+                .collect();
+            let got_gone: Vec<_> = d
+                .gone_sa
+                .iter()
+                .filter(|(v, _)| *v == lg)
+                .map(|&(_, p)| p)
+                .collect();
+            assert_eq!(got_new, expect_new, "new SA at {lg}");
+            assert_eq!(got_gone, expect_gone, "gone SA at {lg}");
+        }
+    }
+}

@@ -12,7 +12,9 @@ use irr_rpsl::{generate_irr, local_pref_to_rpsl, IrrDatabase, IrrGenParams};
 use rpi_core::import_policy::irr_typicality;
 
 fn main() {
-    let exp = Experiment::standard(InternetSize::Small, 2002_11_25);
+    let (size, seed) =
+        internet_routing_policies::cli::size_seed_or_exit(InternetSize::Small, 20021125);
+    let exp = Experiment::standard(size, seed);
 
     // Generate the registry snapshot — incomplete, partly stale, partly
     // silently wrong, like the real RADB mirror the paper used.
@@ -47,7 +49,10 @@ fn main() {
 
     // Table 3: typicality of registered import preferences.
     let rows = irr_typicality(parsed.objects.iter(), &exp.inferred_graph, 2002, 5);
-    println!("\nTable 3 — registered import policies ({} ASes):", rows.len());
+    println!(
+        "\nTable 3 — registered import policies ({} ASes):",
+        rows.len()
+    );
     for (asn, s) in rows.iter().take(12) {
         println!(
             "  {asn}: {:.1}% typical over {} cross-class pairs",
@@ -62,7 +67,9 @@ fn main() {
     let mut audited = 0;
     let mut drifted = 0;
     for obj in parsed.objects.iter().filter(|o| o.updated_in(2002)) {
-        let Some(lg) = exp.output.lg(obj.asn) else { continue };
+        let Some(lg) = exp.output.lg(obj.asn) else {
+            continue;
+        };
         // Observed per-neighbor LOCAL_PREF (modal over the view).
         let consistency = rpi_core::nexthop::lg_consistency(lg);
         let mut mismatches = 0;

@@ -10,7 +10,9 @@ use internet_routing_policies::prelude::*;
 use rpi_core::persistence::{sa_series, uptime_histogram};
 
 fn main() {
-    let exp = Experiment::standard(InternetSize::Small, 2002_03_15);
+    let (size, seed) =
+        internet_routing_policies::cli::size_seed_or_exit(InternetSize::Small, 20020315);
+    let exp = Experiment::standard(size, seed);
     let provider = exp.spec.lg_ases[0];
     println!(
         "watching SA prefixes at {provider} ({} selective origins in the world)\n",

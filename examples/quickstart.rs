@@ -10,7 +10,9 @@ use internet_routing_policies::prelude::*;
 fn main() {
     // 1. A ~300-AS Internet: tier-1 clique, regional transit, multihomed
     //    stubs — with ground-truth routing policies.
-    let exp = Experiment::standard(InternetSize::Small, 2002_11_18);
+    let (size, seed) =
+        internet_routing_policies::cli::size_seed_or_exit(InternetSize::Small, 20021118);
+    let exp = Experiment::standard(size, seed);
     println!(
         "world: {} ASes, {} edges, {} announcement classes",
         exp.graph.as_count(),

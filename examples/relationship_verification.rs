@@ -7,13 +7,15 @@
 //! cargo run --release --example relationship_verification
 //! ```
 
-use internet_routing_policies::prelude::*;
 use bgp_types::Route;
 use bgp_wire::text::render_show_ip_bgp;
+use internet_routing_policies::prelude::*;
 use rpi_core::community::{infer_communities, verify_relationships, CommunityParams};
 
 fn main() {
-    let exp = Experiment::standard(InternetSize::Small, 2002_11_25);
+    let (size, seed) =
+        internet_routing_policies::cli::size_seed_or_exit(InternetSize::Small, 20021125);
+    let exp = Experiment::standard(size, seed);
 
     // Pick a tagging Looking-Glass AS (a transit network with a plan).
     let lg = exp

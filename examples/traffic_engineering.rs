@@ -9,11 +9,19 @@
 
 use std::collections::BTreeMap;
 
-use internet_routing_policies::prelude::*;
 use bgp_sim::Scope;
+use internet_routing_policies::prelude::*;
 use rpi_core::export_policy::sa_prefixes;
 
 fn main() {
+    if let Some(arg) = std::env::args().nth(1) {
+        eprintln!(
+            "traffic_engineering: unexpected argument '{arg}' — this example \
+             runs the fixed Fig. 3 scenario and takes no options"
+        );
+        std::process::exit(2);
+    }
+
     // Fig. 3's topology:
     //
     //        D(4) --peer-- E(5)
@@ -43,10 +51,13 @@ fn main() {
     g.add_edge(b, a, Relationship::Customer).unwrap();
     g.add_edge(c, a, Relationship::Customer).unwrap();
     g.add_edge(e, c, Relationship::Customer).unwrap();
-    g.info_mut(a).unwrap().prefixes.push(net_topology::PrefixRecord {
-        prefix: "10.0.0.0/16".parse().unwrap(),
-        allocated_from: None,
-    });
+    g.info_mut(a)
+        .unwrap()
+        .prefixes
+        .push(net_topology::PrefixRecord {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            allocated_from: None,
+        });
     g.validate().unwrap();
 
     let params = PolicyParams {

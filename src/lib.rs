@@ -20,6 +20,7 @@
 //! | [`as_relationships`] | Gao's relationship inference + accuracy scoring |
 //! | [`irr_rpsl`] | RPSL parsing and the synthetic IRR registry |
 //! | [`rpi_core`] | the paper's analyses: import/export policy inference |
+//! | [`rpi_query`] | the serving layer: sharded, concurrently-queryable observatory over many snapshots |
 //!
 //! ## Thirty-second tour
 //!
@@ -50,17 +51,63 @@ pub use bgp_wire;
 pub use irr_rpsl;
 pub use net_topology;
 pub use rpi_core;
+pub use rpi_query;
+
+/// Argument handling shared by the examples: every example accepts
+/// `[--size tiny|small|paper|large] [--seed N]` and must reject bad input
+/// with a clear message instead of panicking.
+pub mod cli {
+    use net_topology::InternetSize;
+
+    /// Parses `--size` / `--seed` from `std::env::args`, falling back to
+    /// the given defaults. Prints a diagnostic and exits with status 2 on
+    /// unknown sizes, malformed seeds, or unknown arguments.
+    pub fn size_seed_or_exit(default_size: InternetSize, default_seed: u64) -> (InternetSize, u64) {
+        let mut size = default_size;
+        let mut seed = default_seed;
+        let program = std::env::args().next().unwrap_or_else(|| "example".into());
+        let fail = |msg: String| -> ! {
+            eprintln!("{program}: {msg}");
+            eprintln!("usage: {program} [--size tiny|small|paper|large] [--seed N]");
+            std::process::exit(2);
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--size" => {
+                    let raw = args
+                        .next()
+                        .unwrap_or_else(|| fail("--size needs a value".into()));
+                    size = raw.parse().unwrap_or_else(|e: String| fail(e));
+                }
+                "--seed" => {
+                    let raw = args
+                        .next()
+                        .unwrap_or_else(|| fail("--seed needs a value".into()));
+                    seed = raw.parse().unwrap_or_else(|_| {
+                        fail(format!("--seed wants an unsigned integer, got '{raw}'"))
+                    });
+                }
+                "--help" | "-h" => {
+                    println!("usage: {program} [--size tiny|small|paper|large] [--seed N]");
+                    std::process::exit(0);
+                }
+                other => fail(format!("unknown argument '{other}'")),
+            }
+        }
+        (size, seed)
+    }
+}
 
 /// The most common imports, bundled.
 pub mod prelude {
     pub use as_relationships::{infer, AccuracyReport, InferenceParams};
-    pub use bgp_sim::{
-        ChurnConfig, GroundTruth, PolicyParams, SimOutput, Simulation, VantageSpec,
-    };
-    pub use bgp_types::{Asn, AsPath, Community, Ipv4Prefix, Relationship, Route};
+    pub use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, SimOutput, Simulation, VantageSpec};
+    pub use bgp_types::{AsPath, Asn, Community, Ipv4Prefix, Relationship, Route};
     pub use net_topology::{AsGraph, InternetConfig, InternetSize, NodeInfo};
     pub use rpi_core::export_policy::sa_prefixes;
     pub use rpi_core::import_policy::lg_typicality;
     pub use rpi_core::view::BestTable;
     pub use rpi_core::Experiment;
+    pub use rpi_query::{QueryEngine, SaStatus, SnapshotDiff, SnapshotId};
 }

@@ -10,7 +10,7 @@ use rpi_core::nexthop::{lg_consistency, router_consistency};
 use rpi_core::peer_export::peer_export;
 
 fn world() -> Experiment {
-    Experiment::standard(InternetSize::Small, 2002_11_18)
+    Experiment::standard(InternetSize::Small, 20021118)
 }
 
 #[test]
@@ -38,11 +38,12 @@ fn import_policies_are_typical_as_in_table_2() {
     // paper's 90–100 band with the inferred oracle.
     let mut values = Vec::new();
     for &lg in e.spec.lg_ases.iter().take(5) {
-        let t = rpi_core::import_policy::lg_typicality(
-            e.output.lg(lg).unwrap(),
-            &e.inferred_graph,
+        let t = rpi_core::import_policy::lg_typicality(e.output.lg(lg).unwrap(), &e.inferred_graph);
+        assert!(
+            t.prefixes_compared > 100,
+            "{lg} compared {}",
+            t.prefixes_compared
         );
-        assert!(t.prefixes_compared > 100, "{lg} compared {}", t.prefixes_compared);
         values.push(t.percent());
     }
     let mean: f64 = values.iter().sum::<f64>() / values.len() as f64;
@@ -126,10 +127,9 @@ fn selective_announcing_dominates_splitting_and_aggregation() {
     for &p in e.spec.lg_ases.iter().take(3) {
         let table = e.lg_table(p).unwrap();
         let raw = sa_prefixes(&table, &e.inferred_graph);
-        let active =
-            active_customer_set(&e.inferred_graph, &e.output.collector, &[&table], p);
-        let comm = infer_communities(e.output.lg(p).unwrap(), &CommunityParams::default())
-            .neighbor_class;
+        let active = active_customer_set(&e.inferred_graph, &e.output.collector, &[&table], p);
+        let comm =
+            infer_communities(e.output.lg(p).unwrap(), &CommunityParams::default()).neighbor_class;
         let v = verify_sa(&table, &raw, &e.inferred_graph, &active, &comm);
         let r = raw.restricted_to(&v.verified_prefixes);
         let c = causes(&table, &r, &e.inferred_graph, &e.output.collector);
@@ -142,8 +142,14 @@ fn selective_announcing_dominates_splitting_and_aggregation() {
     }
     assert!(sa_total > 30, "sa_total {sa_total}");
     // Table 9's core claim: splitting and aggregating are NOT the cause.
-    assert!(splitting * 2 < sa_total, "splitting {splitting} of {sa_total}");
-    assert!(aggregating * 2 < sa_total, "aggregating {aggregating} of {sa_total}");
+    assert!(
+        splitting * 2 < sa_total,
+        "splitting {splitting} of {sa_total}"
+    );
+    assert!(
+        aggregating * 2 < sa_total,
+        "aggregating {aggregating} of {sa_total}"
+    );
     // Case 3: most responsible customers do NOT export toward this
     // provider (the paper's 79 %).
     assert!(identified * 2 > sa_total, "identified {identified}");

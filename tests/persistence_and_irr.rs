@@ -22,12 +22,18 @@ fn snapshot_series_and_histograms_are_consistent() {
     let points = sa_series(&series, provider, &e.inferred_graph);
     assert_eq!(points.len(), 6);
     for p in &points {
-        assert!(p.sa <= p.total, "{}: sa {} > total {}", p.label, p.sa, p.total);
+        assert!(
+            p.sa <= p.total,
+            "{}: sa {} > total {}",
+            p.label,
+            p.sa,
+            p.total
+        );
     }
 
     let hist = uptime_histogram(&series, provider, &e.inferred_graph);
     for (&uptime, _) in hist.remaining.iter().chain(hist.shifted.iter()) {
-        assert!(uptime >= 1 && uptime <= 6);
+        assert!((1..=6).contains(&uptime));
     }
     assert!((0.0..=1.0).contains(&hist.shifted_fraction()));
     // Every SA prefix from the last snapshot appears in the histogram.
@@ -57,8 +63,7 @@ fn irr_pipeline_end_to_end() {
     // Screen and analyze (Table 3).
     let rows = irr_typicality(parsed.objects.iter(), &e.inferred_graph, 2002, 5);
     assert!(rows.len() >= 20, "only {} ASes usable", rows.len());
-    let mean: f64 =
-        rows.iter().map(|(_, s)| s.percent_typical()).sum::<f64>() / rows.len() as f64;
+    let mean: f64 = rows.iter().map(|(_, s)| s.percent_typical()).sum::<f64>() / rows.len() as f64;
     // Fresh objects mirror deployed (typical) policy; only drifted ones
     // deviate — the paper's Table 3 band is 80–100, mean ≈ 97.
     assert!(mean > 88.0, "mean IRR typicality {mean:.1}");

@@ -6,7 +6,9 @@ use internet_routing_policies::prelude::*;
 use net_topology::{classify_path, PathClass};
 
 fn assert_world_sound(seed: u64) {
-    let g = InternetConfig::of_size(InternetSize::Tiny).with_seed(seed).build();
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(seed)
+        .build();
     let t = GroundTruth::generate(
         &g,
         &PolicyParams {
@@ -78,11 +80,13 @@ fn simulated_paths_are_valley_free_across_seeds() {
 
 #[test]
 fn no_export_never_leaks() {
-    use bgp_types::Community;
     use bgp_sim::Scope;
+    use bgp_types::Community;
     use std::collections::BTreeMap;
 
-    let g = InternetConfig::of_size(InternetSize::Tiny).with_seed(5).build();
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(5)
+        .build();
     let mut t = GroundTruth::generate(&g, &PolicyParams::default());
 
     // Attach NO_EXPORT to one stub's announcements to every neighbor.

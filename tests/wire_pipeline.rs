@@ -4,9 +4,9 @@
 
 use bytes::Bytes;
 
-use internet_routing_policies::prelude::*;
 use bgp_sim::export::{collector_to_mrt, lg_to_table, mrt_to_collector, table_to_lg};
 use bgp_wire::TableDump;
+use internet_routing_policies::prelude::*;
 use rpi_core::export_policy::sa_prefixes;
 use rpi_core::import_policy::lg_typicality;
 use rpi_core::view::BestTable;
@@ -20,9 +20,12 @@ fn sa_analysis_is_identical_through_mrt_bytes() {
     let direct = sa_prefixes(&e.collector_table(peer), &e.inferred_graph);
 
     // Through an actual MRT TABLE_DUMP_V2 byte image.
-    let bytes: Bytes = collector_to_mrt(&e.output.collector, 1_037_000_000)
-        .encode(1_037_000_000);
-    assert!(bytes.len() > 1000, "dump has substance: {} bytes", bytes.len());
+    let bytes: Bytes = collector_to_mrt(&e.output.collector, 1_037_000_000).encode(1_037_000_000);
+    assert!(
+        bytes.len() > 1000,
+        "dump has substance: {} bytes",
+        bytes.len()
+    );
     let parsed = TableDump::decode(bytes).expect("own dump parses");
     let collector = mrt_to_collector(&parsed).expect("peer indexes valid");
     let via_mrt = sa_prefixes(
