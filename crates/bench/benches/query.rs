@@ -5,10 +5,12 @@
 
 use rpi_bench::harness::{Criterion, Throughput};
 
+use bgp_sim::churn::simulate_series;
+use bgp_sim::ChurnConfig;
 use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
-use rpi_query::QueryEngine;
+use rpi_query::{Query, QueryEngine, QueryRequest, Scope};
 
 fn workload(exp: &Experiment) -> Vec<(Asn, Ipv4Prefix)> {
     let mut pairs = Vec::new();
@@ -95,6 +97,54 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 }
 
+/// The protocol's mixed workload: exact routes and SA statuses (shard-
+/// bucketed lanes) interleaved with resolves and multi-snapshot history
+/// questions (general lane) through one `execute_batch` call.
+fn bench_execute_batch(c: &mut Criterion) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let cfg = ChurnConfig {
+        steps: 4,
+        ..ChurnConfig::daily(2003)
+    };
+    let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+    let mut engine = QueryEngine::new(8);
+    engine.ingest_series(&series, &exp.inferred_graph);
+    let pairs = workload(&exp);
+
+    let reqs: Vec<QueryRequest> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(vantage, prefix))| match i % 8 {
+            0..=2 => Query::Route { vantage, prefix }.at(Scope::Latest),
+            3 | 4 => Query::SaStatus { vantage, prefix }.at(Scope::Latest),
+            5 => Query::Resolve { vantage, prefix }.at(Scope::Latest),
+            6 => Query::SaHistory { vantage, prefix }.at(Scope::All),
+            _ => Query::PersistenceClass { vantage, prefix }.at(Scope::All),
+        })
+        .collect();
+
+    let mut g = c.benchmark_group("query/execute_batch");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function("mixed_route_sa_history", |b| {
+        b.iter(|| engine.execute_batch(&reqs))
+    });
+    g.finish();
+
+    // Record the decomposition's critical-path speedup once: how much of
+    // the batch's lookup work the shard lanes can overlap.
+    let (results, profile) = engine.execute_batch_profiled(&reqs);
+    let ok = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "    (mixed batch: {} requests, {ok} ok, critical path {:.2?} of {:.2?} busy → \
+         lane speedup {:.1}× with one core per lane)",
+        reqs.len(),
+        profile.critical_path(),
+        profile.total_busy(),
+        profile.parallel_speedup()
+    );
+}
+
 fn bench_diff(c: &mut Criterion) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let mut engine = QueryEngine::new(8);
@@ -112,5 +162,6 @@ fn main() {
     let mut c = Criterion::new();
     bench_ingest(&mut c);
     bench_queries(&mut c);
+    bench_execute_batch(&mut c);
     bench_diff(&mut c);
 }

@@ -97,8 +97,21 @@ pub fn uptime_histogram(
             *sa_count.entry(p).or_insert(0) += 1;
         }
     }
+    histogram_from_counts(&present, &sa_count)
+}
+
+/// Builds Fig 7's histograms from per-prefix presence and SA counts:
+/// `present[p]` = snapshots in which `p` was in the provider's table,
+/// `sa_count[p]` = snapshots in which it was SA (only ever-SA prefixes
+/// need entries). Shared by [`uptime_histogram`] and the `rpi-query`
+/// observatory's `uptime` query, so both produce identical histograms
+/// from identical counts.
+pub fn histogram_from_counts(
+    present: &BTreeMap<Ipv4Prefix, usize>,
+    sa_count: &BTreeMap<Ipv4Prefix, usize>,
+) -> UptimeHistogram {
     let mut hist = UptimeHistogram::default();
-    for (&prefix, &sa) in &sa_count {
+    for (&prefix, &sa) in sa_count {
         let uptime = present.get(&prefix).copied().unwrap_or(0);
         debug_assert!(sa <= uptime);
         if sa == uptime {
@@ -108,6 +121,47 @@ pub fn uptime_histogram(
         }
     }
     hist
+}
+
+/// How one prefix's SA behaviour persists at a provider over a series
+/// (the per-prefix view behind Fig 7's two bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PersistenceClass {
+    /// Never present in the provider's table over the scope.
+    NotSeen,
+    /// Present, but never selectively announced.
+    NeverSa,
+    /// Selectively announced in every snapshot where it was present
+    /// (Fig 7's "remaining SA").
+    RemainingSa,
+    /// Shifted between SA and non-SA while present.
+    Shifted,
+}
+
+impl PersistenceClass {
+    /// Human-readable form, stable for wire output.
+    pub fn describe(self) -> &'static str {
+        match self {
+            PersistenceClass::NotSeen => "never present",
+            PersistenceClass::NeverSa => "present, never SA",
+            PersistenceClass::RemainingSa => "remaining SA whenever present",
+            PersistenceClass::Shifted => "shifted between SA and non-SA",
+        }
+    }
+}
+
+/// Classifies a prefix from its presence and SA snapshot counts.
+pub fn classify_persistence(present: usize, sa: usize) -> PersistenceClass {
+    debug_assert!(sa <= present);
+    if present == 0 {
+        PersistenceClass::NotSeen
+    } else if sa == 0 {
+        PersistenceClass::NeverSa
+    } else if sa == present {
+        PersistenceClass::RemainingSa
+    } else {
+        PersistenceClass::Shifted
+    }
 }
 
 #[cfg(test)]
@@ -170,6 +224,15 @@ mod tests {
             hist.total() == 0 || hist.shifted_fraction() > 0.0,
             "hist: {hist:?}"
         );
+    }
+
+    #[test]
+    fn persistence_classes_cover_the_count_space() {
+        use PersistenceClass::*;
+        assert_eq!(classify_persistence(0, 0), NotSeen);
+        assert_eq!(classify_persistence(4, 0), NeverSa);
+        assert_eq!(classify_persistence(4, 4), RemainingSa);
+        assert_eq!(classify_persistence(4, 2), Shifted);
     }
 
     #[test]

@@ -2,8 +2,11 @@
 //!
 //! Loads an [`Experiment`]-generated world (optionally a churn series of
 //! snapshots), ingests it into a [`QueryEngine`], and answers queries from
-//! stdin or a file. `--bench` instead runs the throughput report: single
-//! route queries per second, and batched throughput across shard counts.
+//! stdin or a file — every query line is the shared wire grammar of
+//! [`rpi_query::proto`], so REPL sessions, batch `--queries` files and
+//! the engine's tests all speak one language. `--bench` instead runs the
+//! throughput report: single route queries per second, batched throughput
+//! across shard counts, and a mixed protocol workload.
 //!
 //! ```text
 //! rpi-queryd [--size tiny|small|paper] [--seed N] [--snapshots N]
@@ -19,7 +22,9 @@ use bgp_sim::ChurnConfig;
 use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
-use rpi_query::{QueryEngine, SaStatus, SnapshotId, VantageKind};
+use rpi_query::{
+    parse, render_response, ParseError, Query, QueryEngine, Scope, VantageKind, GRAMMAR,
+};
 
 struct Options {
     size: InternetSize,
@@ -132,12 +137,7 @@ fn main() -> ExitCode {
 
     match opts.queries {
         Some(path) => match std::fs::read_to_string(&path) {
-            Ok(text) => {
-                for line in text.lines() {
-                    run_line(&engine, line);
-                }
-                ExitCode::SUCCESS
-            }
+            Ok(text) => run_file(&engine, &path, &text),
             Err(e) => {
                 eprintln!("rpi-queryd: cannot read {path}: {e}");
                 ExitCode::FAILURE
@@ -149,8 +149,10 @@ fn main() -> ExitCode {
             let _ = std::io::stdout().flush();
             for line in stdin.lock().lines() {
                 let Ok(line) = line else { break };
-                if !run_line(&engine, &line) {
-                    break;
+                match run_line(&engine, &line) {
+                    Outcome::Quit => break,
+                    Outcome::Ok => {}
+                    Outcome::Err(e) => println!("error: {e}"),
                 }
                 print!("> ");
                 let _ = std::io::stdout().flush();
@@ -160,157 +162,90 @@ fn main() -> ExitCode {
     }
 }
 
-fn parse_asn(s: &str) -> Result<Asn, String> {
-    let digits = s.strip_prefix("AS").unwrap_or(s);
-    digits
-        .parse::<u32>()
-        .map(Asn)
-        .map_err(|_| format!("bad ASN '{s}'"))
-}
-
-fn parse_prefix(s: &str) -> Result<Ipv4Prefix, String> {
-    s.parse::<Ipv4Prefix>()
-        .map_err(|e| format!("bad prefix '{s}': {e}"))
-}
-
-fn parse_snap(s: &str) -> Result<SnapshotId, String> {
-    s.parse::<u32>()
-        .map(SnapshotId)
-        .map_err(|_| format!("bad snapshot id '{s}'"))
-}
-
-/// Executes one query line. Returns `false` on `quit`.
-fn run_line(engine: &QueryEngine, line: &str) -> bool {
-    if line.trim_start().starts_with('#') {
-        return true;
-    }
-    let words: Vec<&str> = line.split_whitespace().collect();
-    let outcome = match words.as_slice() {
-        [] => Ok(String::new()),
-        ["quit"] | ["exit"] => return false,
-        ["help"] => Ok([
-            "route <vantage> <prefix> [snapshot]   exact best-route lookup",
-            "resolve <vantage> <prefix>            longest-prefix-match lookup",
-            "sa <vantage> <prefix>                 Fig. 4 status of the prefix",
-            "rel <a> <b>                           oracle relationship (b is a's …)",
-            "summary <asn>                         per-AS policy digest",
-            "diff <from> <to>                      what changed between snapshots",
-            "snapshots                             list snapshot labels",
-            "vantages                              list vantages of the latest snapshot",
-            "quit                                  leave",
-        ]
-        .join("\n")),
-        ["snapshots"] => Ok(engine
-            .labels()
-            .enumerate()
-            .map(|(i, l)| format!("{i}: {l}"))
-            .collect::<Vec<_>>()
-            .join("\n")),
-        ["vantages"] => Ok(engine
-            .vantages()
-            .into_iter()
-            .map(|(a, k)| {
-                let kind = match k {
-                    VantageKind::LookingGlass => "looking-glass",
-                    VantageKind::CollectorPeer => "collector-peer",
-                };
-                format!("{a} ({kind})")
-            })
-            .collect::<Vec<_>>()
-            .join("\n")),
-        ["route", v, p] => parse_asn(v)
-            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
-            .map(|(v, p)| match engine.route_at(v, p) {
-                Some(r) => format!(
-                    "{p} at {v}: via {} path {}",
-                    r.next_hop,
-                    r.path
-                        .iter()
-                        .map(|a| a.to_string())
-                        .collect::<Vec<_>>()
-                        .join(" ")
-                ),
-                None => format!("{p} at {v}: no route"),
-            }),
-        ["route", v, p, s] => parse_asn(v)
-            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
-            .and_then(|(v, p)| parse_snap(s).map(|s| (v, p, s)))
-            .map(|(v, p, s)| match engine.route_at_in(s, v, p) {
-                Some(r) => format!("{p} at {v} in snapshot {}: via {}", s.0, r.next_hop),
-                None => format!("{p} at {v} in snapshot {}: no route", s.0),
-            }),
-        ["resolve", v, p] => parse_asn(v)
-            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
-            .map(|(v, p)| match engine.resolve(v, p) {
-                Some(r) => format!(
-                    "{p} at {v}: matched {} via {} (origin {})",
-                    r.prefix,
-                    r.next_hop,
-                    r.origin()
-                ),
-                None => format!("{p} at {v}: no covering route"),
-            }),
-        ["sa", v, p] => parse_asn(v)
-            .and_then(|v| parse_prefix(p).map(|p| (v, p)))
-            .map(|(v, p)| match engine.sa_status(v, p) {
-                SaStatus::UnknownVantage => format!("{v} is not a vantage"),
-                SaStatus::NotInTable => format!("{p} not in {v}'s table"),
-                SaStatus::NotCustomerRoute => format!("{p} at {v}: origin outside customer cone"),
-                SaStatus::CustomerExported { origin } => {
-                    format!("{p} at {v}: exported normally by customer {origin}")
-                }
-                SaStatus::SelectivelyAnnounced { origin } => {
-                    format!("{p} at {v}: SELECTIVELY ANNOUNCED by {origin}")
-                }
-            }),
-        ["rel", a, b] => parse_asn(a)
-            .and_then(|a| parse_asn(b).map(|b| (a, b)))
-            .map(|(a, b)| match engine.relationship(a, b) {
-                Some(r) => format!("{b} is {a}'s {r:?}"),
-                None => format!("{a} and {b} are not adjacent in the oracle"),
-            }),
-        ["summary", a] => parse_asn(a).map(|a| match engine.policy_summary(a) {
-            Some(s) => {
-                let (prov, cust, peer, sib) = s.neighbor_counts;
-                let typicality = s
-                    .typicality_percent()
-                    .map(|p| format!("{p:.1}%"))
-                    .unwrap_or_else(|| "n/a".into());
-                format!(
-                    "{a}: {} routes, {} customer prefixes, {} SA ({:.1}%), \
-                     typicality {typicality}, {} tagged neighbors, \
-                     neighbors {prov} providers / {cust} customers / {peer} peers / {sib} siblings",
-                    s.routes,
-                    s.customer_prefixes,
-                    s.sa_count,
-                    s.sa_percent(),
-                    s.tagged_neighbors,
-                )
+/// Executes a `--queries` file: blank lines and comments are skipped,
+/// REPL commands work, parse and execution errors are reported to stderr
+/// with their 1-based line number. Exits FAILURE if any line failed.
+fn run_file(engine: &QueryEngine, path: &str, text: &str) -> ExitCode {
+    let mut failed = false;
+    for (i, line) in text.lines().enumerate() {
+        match run_line(engine, line) {
+            Outcome::Quit => break,
+            Outcome::Ok => {}
+            Outcome::Err(e) => {
+                eprintln!("rpi-queryd: {path}:{}: {e}", i + 1);
+                failed = true;
             }
-            None => format!("{a}: unknown AS"),
-        }),
-        ["diff", x, y] => parse_snap(x)
-            .and_then(|x| parse_snap(y).map(|y| (x, y)))
-            .map(|(x, y)| match engine.diff(x, y) {
-                Some(d) => format!(
-                    "{} → {}: {} new SA, {} gone SA, {} relationship flips, {} churned routes",
-                    d.from_label,
-                    d.to_label,
-                    d.new_sa.len(),
-                    d.gone_sa.len(),
-                    d.flips.len(),
-                    d.churned_routes()
-                ),
-                None => "invalid snapshot id".into(),
-            }),
-        _ => Err(format!("unrecognized query '{line}' (try 'help')")),
-    };
-    match outcome {
-        Ok(s) if s.is_empty() => {}
-        Ok(s) => println!("{s}"),
-        Err(e) => println!("error: {e}"),
+        }
     }
-    true
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+enum Outcome {
+    Ok,
+    Err(String),
+    Quit,
+}
+
+/// Executes one line: REPL commands (`help`, `snapshots`, `vantages`,
+/// `quit`) directly, everything else through the shared protocol
+/// grammar.
+fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Outcome::Ok;
+    }
+    match trimmed {
+        "quit" | "exit" => return Outcome::Quit,
+        "help" => {
+            println!("{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), quit");
+            return Outcome::Ok;
+        }
+        "snapshots" => {
+            let lines: Vec<String> = engine
+                .labels()
+                .enumerate()
+                .map(|(i, l)| {
+                    let n = engine.vantages_in(rpi_query::SnapshotId(i as u32)).len();
+                    format!("{i}: {l} ({n} vantages)")
+                })
+                .collect();
+            println!("{}", lines.join("\n"));
+            return Outcome::Ok;
+        }
+        "vantages" => {
+            let lines: Vec<String> = engine
+                .vantages()
+                .into_iter()
+                .map(|(a, k)| {
+                    let kind = match k {
+                        VantageKind::LookingGlass => "looking-glass",
+                        VantageKind::CollectorPeer => "collector-peer",
+                    };
+                    format!("{a} ({kind})")
+                })
+                .collect();
+            println!("{}", lines.join("\n"));
+            return Outcome::Ok;
+        }
+        _ => {}
+    }
+    let req = match parse(trimmed) {
+        Ok(req) => req,
+        // The Display of an unknown-query error lists the whole grammar.
+        Err(e @ ParseError::UnknownQuery(_)) => return Outcome::Err(e.to_string()),
+        Err(e) => return Outcome::Err(format!("{e} (type 'help' for the grammar)")),
+    };
+    match engine.execute(&req) {
+        Ok(resp) => {
+            println!("{}", render_response(&req, &resp));
+            Outcome::Ok
+        }
+        Err(e) => Outcome::Err(e.to_string()),
+    }
 }
 
 /// The throughput report behind the `--bench` flag.
@@ -385,4 +320,26 @@ fn bench(exp: &Experiment, engine: &QueryEngine, max_shards: usize) {
             profile.parallel_speedup(),
         );
     }
+
+    // --- mixed protocol workload through execute_batch ---
+    let reqs: Vec<_> = pairs
+        .iter()
+        .enumerate()
+        .map(|(i, &(vantage, prefix))| match i % 3 {
+            0 => Query::Route { vantage, prefix }.at(Scope::Latest),
+            1 => Query::SaStatus { vantage, prefix }.at(Scope::Latest),
+            _ => Query::Resolve { vantage, prefix }.at(Scope::Latest),
+        })
+        .collect();
+    let (results, profile) = engine.execute_batch_profiled(&reqs);
+    let answered = results.iter().filter(|r| r.is_ok()).count();
+    println!(
+        "\nmixed execute_batch (route/sa/resolve): {} requests in {:.2?} → {:.0} req/s wall \
+         (critical path {:.2?}, lane speedup {:.1}×, {answered} ok)",
+        reqs.len(),
+        profile.wall,
+        reqs.len() as f64 / profile.wall.as_secs_f64(),
+        profile.critical_path(),
+        profile.parallel_speedup(),
+    );
 }

@@ -36,7 +36,7 @@ pub struct RelationshipFlip {
 }
 
 /// Everything that changed between two snapshots.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SnapshotDiff {
     /// Label of the `from` snapshot.
     pub from_label: String,

@@ -1,21 +1,30 @@
 //! [`QueryEngine`]: the concurrently-queryable observatory.
 //!
-//! Ingest many snapshots, then answer policy queries in O(lookup). Single
-//! queries index straight into the target shard; batched variants bucket
-//! queries by shard and evaluate the buckets in parallel with
-//! `std::thread::scope`, so throughput scales with the shard count.
+//! Ingest many snapshots, then answer policy queries in O(lookup). The
+//! engine's one entry point is the typed protocol of [`crate::proto`]:
+//! [`QueryEngine::execute`] runs a [`QueryRequest`] (a [`Query`] plus a
+//! snapshot [`Scope`]); [`QueryEngine::execute_batch`] runs many,
+//! bucketed by shard and evaluated in parallel with `std::thread::scope`
+//! (see [`crate::plan`]). The legacy per-question methods (`route_at`,
+//! `sa_status_in`, `route_at_batch`, …) survive as thin wrappers that
+//! build a request and delegate.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use bgp_sim::{SimOutput, SnapshotSeries};
 use bgp_types::{Asn, Ipv4Prefix, Relationship};
 use bgp_wire::{TableDump, WireError};
 use net_topology::AsGraph;
+use rpi_core::persistence::{classify_persistence, histogram_from_counts};
 use rpi_core::Experiment;
 
 use crate::diff::SnapshotDiff;
 use crate::intern::WorldInterner;
-use crate::snapshot::{shard_of, Snapshot, SnapshotId, VantageKind};
+use crate::plan::QueryError;
+use crate::proto::{
+    PersistenceAnswer, Query, QueryRequest, Response, SaHistoryPoint, SaOriginCount, Scope,
+};
+use crate::snapshot::{Snapshot, SnapshotId, VantageKind};
 
 /// A resolved best-route answer.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -106,31 +115,41 @@ impl PolicySummary {
     }
 }
 
-/// Shard-level timing of one batched query evaluation.
+/// Lane-level timing of one batched query evaluation: per-shard busy
+/// time for the shard-bucketed point lookups, per-chunk busy time for
+/// the general lane (history walks, resolves, summaries, diffs).
 #[derive(Debug, Clone)]
 pub struct BatchProfile {
-    /// End-to-end batch time (bucketing + workers + merge).
+    /// End-to-end batch time (planning + workers + merge).
     pub wall: std::time::Duration,
     /// Busy time per shard (zero for shards that saw no queries).
     pub shard_busy: Vec<std::time::Duration>,
+    /// Busy time per general-lane chunk (empty when the batch was
+    /// entirely shardable).
+    pub general_busy: Vec<std::time::Duration>,
     /// Worker threads actually spawned.
     pub threads: usize,
 }
 
 impl BatchProfile {
-    /// The slowest shard — the batch's critical path with one worker per
-    /// shard and enough cores.
+    /// The slowest lane — the batch's critical path with one worker per
+    /// lane and enough cores.
     pub fn critical_path(&self) -> std::time::Duration {
-        self.shard_busy.iter().max().copied().unwrap_or_default()
+        self.shard_busy
+            .iter()
+            .chain(self.general_busy.iter())
+            .max()
+            .copied()
+            .unwrap_or_default()
     }
 
-    /// Total lookup work across shards.
+    /// Total lookup work across all lanes.
     pub fn total_busy(&self) -> std::time::Duration {
-        self.shard_busy.iter().sum()
+        self.shard_busy.iter().chain(self.general_busy.iter()).sum()
     }
 
     /// How much faster the batch's lookup work runs with one core per
-    /// shard than on one core: `total_busy / critical_path`. This is a
+    /// lane than on one core: `total_busy / critical_path`. This is a
     /// property of the shard decomposition, so it is meaningful even when
     /// measured on a single-core machine.
     pub fn parallel_speedup(&self) -> f64 {
@@ -181,6 +200,14 @@ impl QueryEngine {
     pub fn latest(&self) -> Option<SnapshotId> {
         let n = self.snapshots.len();
         (n > 0).then(|| SnapshotId((n - 1) as u32))
+    }
+
+    /// The snapshot carrying `label`, if any (first match wins).
+    pub fn find_label(&self, label: &str) -> Option<SnapshotId> {
+        self.snapshots
+            .iter()
+            .position(|s| s.label == label)
+            .map(|i| SnapshotId(i as u32))
     }
 
     /// `(distinct ASNs, distinct prefixes, distinct communities)` interned.
@@ -254,35 +281,173 @@ impl QueryEngine {
         out
     }
 
-    // ---------- single queries ----------
+    // ---------- the one protocol entry point ----------
 
-    /// Exact best-route lookup in the latest snapshot.
-    pub fn route_at(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
-        self.route_at_in(self.latest()?, vantage, prefix)
+    /// Executes one request: resolves its scope, evaluates the query.
+    /// Negative answers inside a valid scope (missing routes, unknown
+    /// ASes of point queries) are `Ok` responses; only unusable scopes
+    /// and unknown history vantages are errors.
+    pub fn execute(&self, req: &QueryRequest) -> Result<Response, QueryError> {
+        match &req.query {
+            Query::Diff => {
+                let (from, to) = self.diff_scope(&req.scope)?;
+                let a = &self.snapshots[from.index()];
+                let b = &self.snapshots[to.index()];
+                Ok(Response::Diff(SnapshotDiff::between(&self.interner, a, b)))
+            }
+            q if q.is_history() => {
+                let ids = self.scope_ids(q, &req.scope)?;
+                self.eval_history(q, &ids)
+            }
+            q => {
+                let id = self.single_scope(q, &req.scope)?;
+                Ok(self.eval_point(q, id))
+            }
+        }
     }
 
-    /// Exact best-route lookup in a specific snapshot.
-    pub fn route_at_in(
+    /// Executes a batch: requests are bucketed by target shard (exact
+    /// route and SA-status lookups) or spread over a general lane
+    /// (everything else), and the buckets evaluated concurrently under
+    /// `std::thread::scope` — one worker per lane, capped at the
+    /// machine's parallelism, so a batch touches each shard's tries from
+    /// exactly one thread. Results keep request order.
+    pub fn execute_batch(&self, reqs: &[QueryRequest]) -> Vec<Result<Response, QueryError>> {
+        self.execute_batch_profiled(reqs).0
+    }
+
+    /// [`Self::execute_batch`] plus lane-level timing: how long each
+    /// shard bucket and general chunk took, from which the batch's
+    /// critical path (and so the speedup available from parallel shards)
+    /// follows.
+    pub fn execute_batch_profiled(
         &self,
-        id: SnapshotId,
-        vantage: Asn,
-        prefix: Ipv4Prefix,
-    ) -> Option<RouteAnswer> {
+        reqs: &[QueryRequest],
+    ) -> (Vec<Result<Response, QueryError>>, BatchProfile) {
+        crate::plan::run_batch(self, reqs)
+    }
+
+    /// Evaluates a point query against one already-validated snapshot.
+    pub(crate) fn eval_point(&self, query: &Query, id: SnapshotId) -> Response {
+        match *query {
+            Query::Route { vantage, prefix } => {
+                Response::Route(self.route_point(id, vantage, prefix))
+            }
+            Query::Resolve { vantage, prefix } => {
+                Response::Route(self.resolve_point(id, vantage, prefix))
+            }
+            Query::SaStatus { vantage, prefix } => Response::Sa(self.sa_point(id, vantage, prefix)),
+            Query::Relationship { a, b } => Response::Relationship(self.rel_point(id, a, b)),
+            Query::PolicySummary { asn } => Response::Summary(self.summary_point(id, asn)),
+            _ => unreachable!("history and diff queries never reach eval_point"),
+        }
+    }
+
+    fn eval_history(&self, query: &Query, ids: &[SnapshotId]) -> Result<Response, QueryError> {
+        match *query {
+            Query::SaHistory { vantage, prefix } => {
+                self.interner
+                    .lookup_asn(vantage)
+                    .ok_or(QueryError::UnknownVantage(vantage))?;
+                let points = ids
+                    .iter()
+                    .map(|&id| SaHistoryPoint {
+                        snapshot: id,
+                        label: self.snapshots[id.index()].label.clone(),
+                        status: self.sa_point(id, vantage, prefix),
+                    })
+                    .collect();
+                Ok(Response::SaHistory(points))
+            }
+            Query::UptimeHistogram { vantage } => {
+                let v = self
+                    .interner
+                    .lookup_asn(vantage)
+                    .ok_or(QueryError::UnknownVantage(vantage))?;
+                let mut present: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+                let mut sa_count: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
+                for &id in ids {
+                    let snap = &self.snapshots[id.index()];
+                    for p in snap.table_prefixes(v) {
+                        *present.entry(p).or_insert(0) += 1;
+                    }
+                    if let Some(cache) = snap.sa.get(&v) {
+                        for &ps in cache.sa.keys() {
+                            *sa_count
+                                .entry(self.interner.resolve_prefix(ps))
+                                .or_insert(0) += 1;
+                        }
+                    }
+                }
+                Ok(Response::Uptime(histogram_from_counts(&present, &sa_count)))
+            }
+            Query::TopKSaOrigins { vantage, k } => {
+                let v = self
+                    .interner
+                    .lookup_asn(vantage)
+                    .ok_or(QueryError::UnknownVantage(vantage))?;
+                let mut per_origin: BTreeMap<Asn, BTreeSet<Ipv4Prefix>> = BTreeMap::new();
+                for &id in ids {
+                    let Some(cache) = self.snapshots[id.index()].sa.get(&v) else {
+                        continue;
+                    };
+                    for (&ps, &origin) in &cache.sa {
+                        per_origin
+                            .entry(self.interner.resolve_asn(origin))
+                            .or_default()
+                            .insert(self.interner.resolve_prefix(ps));
+                    }
+                }
+                let mut rows: Vec<SaOriginCount> = per_origin
+                    .into_iter()
+                    .map(|(origin, prefixes)| SaOriginCount {
+                        origin,
+                        prefixes: prefixes.len(),
+                    })
+                    .collect();
+                rows.sort_by(|a, b| b.prefixes.cmp(&a.prefixes).then(a.origin.cmp(&b.origin)));
+                rows.truncate(k);
+                Ok(Response::TopSaOrigins(rows))
+            }
+            Query::PersistenceClass { vantage, prefix } => {
+                let v = self
+                    .interner
+                    .lookup_asn(vantage)
+                    .ok_or(QueryError::UnknownVantage(vantage))?;
+                let ps = self.interner.lookup_prefix(prefix);
+                let (mut present, mut sa) = (0usize, 0usize);
+                for &id in ids {
+                    let snap = &self.snapshots[id.index()];
+                    if snap.route(v, prefix).is_some() {
+                        present += 1;
+                    }
+                    if let (Some(ps), Some(cache)) = (ps, snap.sa.get(&v)) {
+                        if cache.sa.contains_key(&ps) {
+                            sa += 1;
+                        }
+                    }
+                }
+                Ok(Response::Persistence(PersistenceAnswer {
+                    snapshots: ids.len(),
+                    present,
+                    sa,
+                    class: classify_persistence(present, sa),
+                }))
+            }
+            _ => unreachable!("only history queries reach eval_history"),
+        }
+    }
+
+    // ---------- point evaluation (shared by execute and the wrappers) ----------
+
+    fn route_point(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
         let snap = self.snapshot(id)?;
         let v = self.interner.lookup_asn(vantage)?;
         let route = snap.route(v, prefix)?;
         Some(self.answer(id, vantage, prefix, route))
     }
 
-    /// Longest-prefix-match lookup in the latest snapshot: how would the
-    /// vantage route traffic for this (possibly more-specific) prefix?
-    pub fn resolve(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
-        self.resolve_in(self.latest()?, vantage, prefix)
-    }
-
-    /// Longest-prefix-match lookup in a specific snapshot. Consults every
-    /// shard (covering prefixes hash independently) and keeps the longest.
-    pub fn resolve_in(
+    fn resolve_point(
         &self,
         id: SnapshotId,
         vantage: Asn,
@@ -294,16 +459,7 @@ impl QueryEngine {
         Some(self.answer(id, vantage, matched, route))
     }
 
-    /// Fig. 4 status of a prefix as seen from a vantage, latest snapshot.
-    pub fn sa_status(&self, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
-        match self.latest() {
-            Some(id) => self.sa_status_in(id, vantage, prefix),
-            None => SaStatus::UnknownVantage,
-        }
-    }
-
-    /// Fig. 4 status of a prefix as seen from a vantage.
-    pub fn sa_status_in(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
+    fn sa_point(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
         let Some(snap) = self.snapshot(id) else {
             return SaStatus::UnknownVantage;
         };
@@ -333,27 +489,14 @@ impl QueryEngine {
         }
     }
 
-    /// The oracle relationship `b is a's …` in the latest snapshot.
-    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
-        self.relationship_in(self.latest()?, a, b)
-    }
-
-    /// The oracle relationship `b is a's …` in a specific snapshot.
-    pub fn relationship_in(&self, id: SnapshotId, a: Asn, b: Asn) -> Option<Relationship> {
+    fn rel_point(&self, id: SnapshotId, a: Asn, b: Asn) -> Option<Relationship> {
         let snap = self.snapshot(id)?;
         let sa = self.interner.lookup_asn(a)?;
         let sb = self.interner.lookup_asn(b)?;
         snap.relationships.get(&(sa, sb)).copied()
     }
 
-    /// Per-AS policy digest from the latest snapshot.
-    pub fn policy_summary(&self, asn: Asn) -> Option<PolicySummary> {
-        self.policy_summary_in(self.latest()?, asn)
-    }
-
-    /// Per-AS policy digest from a specific snapshot. `None` only when the
-    /// snapshot id is invalid or the AS was never seen at ingest time.
-    pub fn policy_summary_in(&self, id: SnapshotId, asn: Asn) -> Option<PolicySummary> {
+    fn summary_point(&self, id: SnapshotId, asn: Asn) -> Option<PolicySummary> {
         let snap = self.snapshot(id)?;
         let s = self.interner.lookup_asn(asn)?;
         let table = snap.vantages.get(&s);
@@ -373,7 +516,96 @@ impl QueryEngine {
         })
     }
 
-    // ---------- batched queries (parallel over shards) ----------
+    // ---------- the legacy method zoo: thin wrappers over execute ----------
+
+    /// Exact best-route lookup in the latest snapshot.
+    pub fn route_at(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
+        self.route_query(Query::Route { vantage, prefix }.at(Scope::Latest))
+    }
+
+    /// Exact best-route lookup in a specific snapshot.
+    pub fn route_at_in(
+        &self,
+        id: SnapshotId,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Option<RouteAnswer> {
+        self.route_query(Query::Route { vantage, prefix }.at(Scope::Id(id)))
+    }
+
+    /// Longest-prefix-match lookup in the latest snapshot: how would the
+    /// vantage route traffic for this (possibly more-specific) prefix?
+    pub fn resolve(&self, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
+        self.route_query(Query::Resolve { vantage, prefix }.at(Scope::Latest))
+    }
+
+    /// Longest-prefix-match lookup in a specific snapshot. Consults every
+    /// shard (covering prefixes hash independently) and keeps the longest.
+    pub fn resolve_in(
+        &self,
+        id: SnapshotId,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Option<RouteAnswer> {
+        self.route_query(Query::Resolve { vantage, prefix }.at(Scope::Id(id)))
+    }
+
+    fn route_query(&self, req: QueryRequest) -> Option<RouteAnswer> {
+        match self.execute(&req) {
+            Ok(Response::Route(ans)) => ans,
+            _ => None,
+        }
+    }
+
+    /// Fig. 4 status of a prefix as seen from a vantage, latest snapshot.
+    pub fn sa_status(&self, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
+        self.sa_query(Query::SaStatus { vantage, prefix }.at(Scope::Latest))
+    }
+
+    /// Fig. 4 status of a prefix as seen from a vantage.
+    pub fn sa_status_in(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
+        self.sa_query(Query::SaStatus { vantage, prefix }.at(Scope::Id(id)))
+    }
+
+    fn sa_query(&self, req: QueryRequest) -> SaStatus {
+        match self.execute(&req) {
+            Ok(Response::Sa(status)) => status,
+            _ => SaStatus::UnknownVantage,
+        }
+    }
+
+    /// The oracle relationship `b is a's …` in the latest snapshot.
+    pub fn relationship(&self, a: Asn, b: Asn) -> Option<Relationship> {
+        match self.execute(&Query::Relationship { a, b }.at(Scope::Latest)) {
+            Ok(Response::Relationship(rel)) => rel,
+            _ => None,
+        }
+    }
+
+    /// The oracle relationship `b is a's …` in a specific snapshot.
+    pub fn relationship_in(&self, id: SnapshotId, a: Asn, b: Asn) -> Option<Relationship> {
+        match self.execute(&Query::Relationship { a, b }.at(Scope::Id(id))) {
+            Ok(Response::Relationship(rel)) => rel,
+            _ => None,
+        }
+    }
+
+    /// Per-AS policy digest from the latest snapshot.
+    pub fn policy_summary(&self, asn: Asn) -> Option<PolicySummary> {
+        match self.execute(&Query::PolicySummary { asn }.at(Scope::Latest)) {
+            Ok(Response::Summary(s)) => s,
+            _ => None,
+        }
+    }
+
+    /// Per-AS policy digest from a specific snapshot. `None` only when the
+    /// snapshot id is invalid or the AS was never seen at ingest time.
+    pub fn policy_summary_in(&self, id: SnapshotId, asn: Asn) -> Option<PolicySummary> {
+        match self.execute(&Query::PolicySummary { asn }.at(Scope::Id(id))) {
+            Ok(Response::Summary(s)) => s,
+            _ => None,
+        }
+    }
 
     /// Batched exact route lookups against the latest snapshot.
     pub fn route_at_batch(&self, queries: &[(Asn, Ipv4Prefix)]) -> Vec<Option<RouteAnswer>> {
@@ -383,10 +615,8 @@ impl QueryEngine {
         }
     }
 
-    /// Batched exact route lookups. Queries are bucketed by target shard
-    /// and the buckets evaluated concurrently under `std::thread::scope`
-    /// (one worker per shard, capped at the machine's parallelism), so a
-    /// batch touches each shard's tries from exactly one thread.
+    /// Batched exact route lookups in a specific snapshot; delegates to
+    /// [`Self::execute_batch`].
     pub fn route_at_batch_in(
         &self,
         id: SnapshotId,
@@ -395,118 +625,51 @@ impl QueryEngine {
         self.route_at_batch_profiled(id, queries).0
     }
 
-    /// [`Self::route_at_batch_in`] plus shard-level timing: how long each
-    /// shard's bucket took, from which the batch's critical path (and so
-    /// the speedup available from parallel shards) follows.
+    /// [`Self::route_at_batch_in`] plus the batch's [`BatchProfile`].
     pub fn route_at_batch_profiled(
         &self,
         id: SnapshotId,
         queries: &[(Asn, Ipv4Prefix)],
     ) -> (Vec<Option<RouteAnswer>>, BatchProfile) {
-        let wall_start = std::time::Instant::now();
-        let mut results: Vec<Option<RouteAnswer>> = vec![None; queries.len()];
-        let mut profile = BatchProfile {
-            wall: std::time::Duration::ZERO,
-            shard_busy: vec![std::time::Duration::ZERO; self.n_shards],
-            threads: 0,
-        };
-        let Some(snap) = self.snapshot(id) else {
-            return (results, profile);
-        };
-
-        let mut buckets: Vec<(usize, Vec<usize>)> =
-            (0..self.n_shards).map(|s| (s, Vec::new())).collect();
-        for (i, &(_, prefix)) in queries.iter().enumerate() {
-            buckets[shard_of(prefix, self.n_shards)].1.push(i);
-        }
-        buckets.retain(|(_, b)| !b.is_empty());
-
-        // One worker per shard, capped at the core count (on a small
-        // machine each worker walks several buckets in turn). Workers
-        // produce answers in private vectors — writing interleaved cells
-        // of `results` directly would false-share across threads — and
-        // the merge afterwards moves them into place.
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let workers = buckets.len().min(cores).max(1);
-        profile.threads = workers;
-        type ShardAnswers = (
-            usize,
-            std::time::Duration,
-            Vec<(usize, Option<RouteAnswer>)>,
-        );
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|w| {
-                    let my_buckets: Vec<&(usize, Vec<usize>)> =
-                        buckets.iter().skip(w).step_by(workers).collect();
-                    scope.spawn(move || {
-                        let mut out: Vec<ShardAnswers> = Vec::with_capacity(my_buckets.len());
-                        for (shard, bucket) in my_buckets {
-                            let t0 = std::time::Instant::now();
-                            let answers: Vec<(usize, Option<RouteAnswer>)> = bucket
-                                .iter()
-                                .map(|&i| {
-                                    let (vantage, prefix) = queries[i];
-                                    let answer = self
-                                        .interner
-                                        .lookup_asn(vantage)
-                                        .and_then(|v| snap.route(v, prefix))
-                                        .map(|route| self.answer(id, vantage, prefix, route));
-                                    (i, answer)
-                                })
-                                .collect();
-                            out.push((*shard, t0.elapsed(), answers));
-                        }
-                        out
-                    })
-                })
-                .collect();
-            for h in handles {
-                for (shard, busy, answers) in h.join().expect("route_at_batch worker panicked") {
-                    profile.shard_busy[shard] = busy;
-                    for (i, answer) in answers {
-                        results[i] = answer;
-                    }
-                }
-            }
-        });
-        profile.wall = wall_start.elapsed();
-        (results, profile)
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&(vantage, prefix)| Query::Route { vantage, prefix }.at(Scope::Id(id)))
+            .collect();
+        let (results, profile) = self.execute_batch_profiled(&reqs);
+        let answers = results
+            .into_iter()
+            .map(|r| match r {
+                Ok(Response::Route(ans)) => ans,
+                _ => None,
+            })
+            .collect();
+        (answers, profile)
     }
 
-    /// Batched Fig. 4 statuses against the latest snapshot, evaluated in
-    /// parallel chunks (SA caches are hash maps, not sharded tries).
+    /// Batched Fig. 4 statuses against the latest snapshot; delegates to
+    /// [`Self::execute_batch`].
     pub fn sa_status_batch(&self, queries: &[(Asn, Ipv4Prefix)]) -> Vec<SaStatus> {
-        let Some(id) = self.latest() else {
-            return vec![SaStatus::UnknownVantage; queries.len()];
-        };
-        let chunk = queries.len().div_ceil(self.n_shards).max(1);
-        let mut results: Vec<SaStatus> = Vec::with_capacity(queries.len());
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = queries
-                .chunks(chunk)
-                .map(|part| {
-                    scope.spawn(move || {
-                        part.iter()
-                            .map(|&(v, p)| self.sa_status_in(id, v, p))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            for h in handles {
-                results.extend(h.join().expect("sa_status worker panicked"));
-            }
-        });
-        results
+        let reqs: Vec<QueryRequest> = queries
+            .iter()
+            .map(|&(vantage, prefix)| Query::SaStatus { vantage, prefix }.at(Scope::Latest))
+            .collect();
+        self.execute_batch(&reqs)
+            .into_iter()
+            .map(|r| match r {
+                Ok(Response::Sa(status)) => status,
+                _ => SaStatus::UnknownVantage,
+            })
+            .collect()
     }
 
     // ---------- diffing ----------
 
     /// What changed between two snapshots. `None` on an invalid id.
     pub fn diff(&self, from: SnapshotId, to: SnapshotId) -> Option<SnapshotDiff> {
-        let a = self.snapshot(from)?;
-        let b = self.snapshot(to)?;
-        Some(SnapshotDiff::between(&self.interner, a, b))
+        match self.execute(&Query::Diff.at(Scope::Range(from, to))) {
+            Ok(Response::Diff(d)) => Some(d),
+            _ => None,
+        }
     }
 
     fn answer(

@@ -5,7 +5,19 @@
 //! ingests a series of snapshots — straight from the simulator
 //! ([`bgp_sim::SimOutput`]), from churn series ([`bgp_sim::SnapshotSeries`]),
 //! or from MRT TABLE_DUMP_V2 bytes via [`bgp_wire::mrt`] — and serves
-//! policy queries in O(lookup) instead of recomputing analyses per call:
+//! policy queries in O(lookup) instead of recomputing analyses per call.
+//!
+//! Everything is asked through **one typed protocol** ([`proto`]): a
+//! [`Query`] AST paired with a snapshot [`Scope`] forms a
+//! [`QueryRequest`]; [`QueryEngine::execute`] returns a typed
+//! [`Response`], and [`QueryEngine::execute_batch`] runs many requests
+//! bucketed by shard under `std::thread::scope` ([`plan`]). The same
+//! module defines the round-trippable text grammar ([`parse`] /
+//! [`render`]) that the `rpi-queryd` REPL, batch query files and the
+//! tests all share. Multi-snapshot history questions — per-prefix SA
+//! history, Fig. 7 uptime histograms, top-K SA origins, persistence
+//! classes — are first-class queries backed by
+//! [`rpi_core::persistence`].
 //!
 //! * [`intern`] — ASNs, prefixes and communities are interned into dense
 //!   `u32` symbols ([`bgp_types::Interner`]), so routes store 4-byte IDs
@@ -14,9 +26,10 @@
 //!   sharded into [`bgp_types::PrefixTrie`]s, plus the precomputed
 //!   `rpi_core` analyses (SA reports, import typicality, community
 //!   semantics, relationship map).
-//! * [`engine`] — [`QueryEngine`]: `route_at`, `sa_status`,
-//!   `relationship`, `policy_summary`, and batched variants that evaluate
-//!   shards in parallel with `std::thread::scope`.
+//! * [`proto`] — the query protocol: AST, wire grammar, responses.
+//! * [`plan`] — scope resolution and the shard-bucketed batch planner.
+//! * [`engine`] — [`QueryEngine`]: ingestion, `execute`/`execute_batch`,
+//!   and the legacy per-question methods as thin wrappers.
 //! * [`diff`] — what changed between snapshot *t* and *t+1*: new/vanished
 //!   SA prefixes, flipped relationships, churned best routes.
 //!
@@ -28,18 +41,29 @@
 //! ```
 //! use rpi_core::Experiment;
 //! use net_topology::InternetSize;
-//! use rpi_query::QueryEngine;
+//! use rpi_query::{parse, Query, QueryEngine, Response, Scope};
 //!
 //! let exp = Experiment::standard(InternetSize::Tiny, 7);
 //! let mut engine = QueryEngine::new(4); // 4 shards
 //! engine.ingest_experiment(&exp, "t0");
 //!
+//! // Typed request, typed response:
 //! let lg = exp.spec.lg_ases[0];
-//! let summary = engine.policy_summary(lg).unwrap();
-//! assert_eq!(summary.asn, lg);
 //! let some_prefix = *exp.lg_table(lg).unwrap().rows.keys().next().unwrap();
-//! let answer = engine.route_at(lg, some_prefix).unwrap();
+//! let req = Query::Route { vantage: lg, prefix: some_prefix }.at(Scope::Latest);
+//! let Ok(Response::Route(Some(answer))) = engine.execute(&req) else {
+//!     panic!("the LG's own table prefix must resolve");
+//! };
 //! assert!(!answer.path.is_empty());
+//!
+//! // The same request from its wire form — one grammar everywhere:
+//! let wire = parse(&format!("route {lg} {some_prefix}")).unwrap();
+//! assert_eq!(wire, req);
+//! assert_eq!(engine.execute(&wire).unwrap(), Response::Route(Some(answer)));
+//!
+//! // A multi-snapshot history question is one request too:
+//! let hist = engine.execute(&Query::UptimeHistogram { vantage: lg }.at(Scope::All));
+//! assert!(matches!(hist, Ok(Response::Uptime(_))));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -48,9 +72,16 @@
 pub mod diff;
 pub mod engine;
 pub mod intern;
+pub mod plan;
+pub mod proto;
 pub mod snapshot;
 
 pub use diff::{RelationshipFlip, SnapshotDiff, VantageChurn};
-pub use engine::{PolicySummary, QueryEngine, RouteAnswer, SaStatus};
+pub use engine::{BatchProfile, PolicySummary, QueryEngine, RouteAnswer, SaStatus};
 pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
+pub use plan::QueryError;
+pub use proto::{
+    parse, parse_script, render, render_response, render_scope, ParseError, PersistenceAnswer,
+    Query, QueryRequest, Response, SaHistoryPoint, SaOriginCount, Scope, ScriptError, GRAMMAR,
+};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};

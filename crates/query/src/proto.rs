@@ -1,0 +1,709 @@
+//! The observatory's one query protocol: a typed [`Query`] AST paired
+//! with a snapshot [`Scope`], a typed [`Response`], and the shared text
+//! grammar that the `rpi-queryd` REPL, batch query files, the tests and
+//! any future TCP front end all speak.
+//!
+//! [`parse`] and [`render`] round-trip: `parse(&render(&req)) == Ok(req)`
+//! for every representable request, so query logs can be replayed and
+//! goldens diffed byte-for-byte. (The grammar is line- and
+//! word-oriented, so the one exception is a [`Scope::Label`] containing
+//! whitespace — ingest labels must be whitespace-free to be addressable
+//! on the wire.) [`parse_script`] parses a whole query file and reports
+//! errors with 1-based line numbers.
+//!
+//! ## The grammar
+//!
+//! ```text
+//! route <vantage> <prefix> [@scope]        exact best-route lookup
+//! resolve <vantage> <prefix> [@scope]      longest-prefix-match lookup
+//! sa <vantage> <prefix> [@scope]           Fig. 4 SA status
+//! rel <a> <b> [@scope]                     oracle relationship (b is a's …)
+//! summary <asn> [@scope]                   per-AS policy digest
+//! diff @<from>..<to>                       what changed between snapshots
+//! sa-history <vantage> <prefix> [@scope]   SA status across snapshots
+//! uptime <vantage> [@scope]                Fig. 7 uptime histogram
+//! top-sa <vantage> <k> [@scope]            top-K SA origins
+//! persistence <vantage> <prefix> [@scope]  per-prefix persistence class
+//! ```
+//!
+//! A scope is one token: `@latest`, `@3` (snapshot id), `@label:day-07`
+//! (or bare `@day-07` when the label is not a number or keyword), `@all`,
+//! or `@0..3` (inclusive id range). Point queries default to `@latest`,
+//! history queries to `@all`; `diff` needs an explicit range (the legacy
+//! `diff 0 2` spelling is accepted and means `diff @0..2`).
+//!
+//! ```
+//! use rpi_query::{parse, render, Query, Scope};
+//! use bgp_types::Asn;
+//!
+//! let req = parse("uptime AS64512").unwrap();
+//! assert_eq!(req.query, Query::UptimeHistogram { vantage: Asn(64512) });
+//! assert_eq!(req.scope, Scope::All); // history queries default to @all
+//! assert_eq!(render(&req), "uptime AS64512 @all");
+//! assert_eq!(parse(&render(&req)).unwrap(), req);
+//! ```
+
+use std::fmt;
+
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
+use rpi_core::persistence::{PersistenceClass, UptimeHistogram};
+
+use crate::engine::{PolicySummary, RouteAnswer, SaStatus};
+use crate::snapshot::SnapshotId;
+use crate::SnapshotDiff;
+
+/// Which snapshots a [`Query`] runs against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Scope {
+    /// The most recently ingested snapshot (`@latest`).
+    Latest,
+    /// One snapshot by id (`@3`).
+    Id(SnapshotId),
+    /// One snapshot by its ingest label (`@label:day-07`). Labels with
+    /// whitespace cannot be spoken in the word-oriented wire grammar.
+    Label(String),
+    /// Every ingested snapshot, in id order (`@all`).
+    All,
+    /// An inclusive id range (`@0..3`). `diff` reads it as from→to and
+    /// accepts either order; history queries require `from ≤ to`.
+    Range(SnapshotId, SnapshotId),
+}
+
+/// One question for the observatory, minus its snapshot scope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Exact best-route lookup at a vantage.
+    Route {
+        /// The vantage whose table is consulted.
+        vantage: Asn,
+        /// The exact table prefix.
+        prefix: Ipv4Prefix,
+    },
+    /// Longest-prefix-match lookup: how would the vantage route traffic
+    /// for this (possibly more-specific) prefix?
+    Resolve {
+        /// The vantage whose table is consulted.
+        vantage: Asn,
+        /// The destination prefix to resolve.
+        prefix: Ipv4Prefix,
+    },
+    /// Fig. 4 status of a prefix as seen from a vantage.
+    SaStatus {
+        /// The observing vantage.
+        vantage: Asn,
+        /// The prefix under question.
+        prefix: Ipv4Prefix,
+    },
+    /// The oracle relationship `b is a's …`.
+    Relationship {
+        /// The perspective AS.
+        a: Asn,
+        /// The neighbor.
+        b: Asn,
+    },
+    /// Per-AS policy digest.
+    PolicySummary {
+        /// The AS to summarize.
+        asn: Asn,
+    },
+    /// What changed between the two snapshots of the request's
+    /// [`Scope::Range`].
+    Diff,
+    /// The prefix's SA status in every scoped snapshot (Fig 6's raw
+    /// series, per prefix).
+    SaHistory {
+        /// The observing vantage.
+        vantage: Asn,
+        /// The prefix to follow.
+        prefix: Ipv4Prefix,
+    },
+    /// Fig. 7 uptime histogram of the vantage's ever-SA prefixes over
+    /// the scoped snapshots.
+    UptimeHistogram {
+        /// The observing vantage.
+        vantage: Asn,
+    },
+    /// The origins with the most distinct SA prefixes at the vantage
+    /// over the scoped snapshots.
+    TopKSaOrigins {
+        /// The observing vantage.
+        vantage: Asn,
+        /// How many origins to return.
+        k: usize,
+    },
+    /// How one prefix's SA behaviour persists over the scoped snapshots.
+    PersistenceClass {
+        /// The observing vantage.
+        vantage: Asn,
+        /// The prefix to classify.
+        prefix: Ipv4Prefix,
+    },
+}
+
+impl Query {
+    /// The grammar verb of this query.
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Query::Route { .. } => "route",
+            Query::Resolve { .. } => "resolve",
+            Query::SaStatus { .. } => "sa",
+            Query::Relationship { .. } => "rel",
+            Query::PolicySummary { .. } => "summary",
+            Query::Diff => "diff",
+            Query::SaHistory { .. } => "sa-history",
+            Query::UptimeHistogram { .. } => "uptime",
+            Query::TopKSaOrigins { .. } => "top-sa",
+            Query::PersistenceClass { .. } => "persistence",
+        }
+    }
+
+    /// `true` for the multi-snapshot history queries (whose default
+    /// scope is `@all`).
+    pub fn is_history(&self) -> bool {
+        matches!(
+            self,
+            Query::SaHistory { .. }
+                | Query::UptimeHistogram { .. }
+                | Query::TopKSaOrigins { .. }
+                | Query::PersistenceClass { .. }
+        )
+    }
+
+    /// Pairs the query with a scope.
+    pub fn at(self, scope: Scope) -> QueryRequest {
+        QueryRequest { query: self, scope }
+    }
+
+    /// Pairs the query with its default scope (`@latest` for point
+    /// queries, `@all` for history queries).
+    pub fn with_default_scope(self) -> QueryRequest {
+        let scope = if self.is_history() {
+            Scope::All
+        } else {
+            Scope::Latest
+        };
+        self.at(scope)
+    }
+}
+
+/// A [`Query`] plus the [`Scope`] it runs against — the unit the engine
+/// executes and the wire grammar encodes, one per line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryRequest {
+    /// The question.
+    pub query: Query,
+    /// The snapshots it is asked of.
+    pub scope: Scope,
+}
+
+/// One point of a [`Response::SaHistory`] answer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SaHistoryPoint {
+    /// The snapshot.
+    pub snapshot: SnapshotId,
+    /// Its ingest label.
+    pub label: String,
+    /// The prefix's Fig. 4 status there.
+    pub status: SaStatus,
+}
+
+/// One row of a [`Response::TopSaOrigins`] answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaOriginCount {
+    /// The originating customer.
+    pub origin: Asn,
+    /// Distinct prefixes of that origin that were SA in at least one
+    /// scoped snapshot.
+    pub prefixes: usize,
+}
+
+/// The answer to a `persistence` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistenceAnswer {
+    /// Snapshots in scope.
+    pub snapshots: usize,
+    /// Snapshots in which the prefix was in the vantage's table.
+    pub present: usize,
+    /// Snapshots in which it was selectively announced.
+    pub sa: usize,
+    /// The resulting class.
+    pub class: PersistenceClass,
+}
+
+/// The typed answer to a [`QueryRequest`]; variants mirror [`Query`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to `route` and `resolve` (`None`: no (covering) route).
+    Route(Option<RouteAnswer>),
+    /// Answer to `sa`.
+    Sa(SaStatus),
+    /// Answer to `rel` (`None`: not adjacent in the oracle).
+    Relationship(Option<Relationship>),
+    /// Answer to `summary` (`None`: AS never seen at ingest time).
+    Summary(Option<PolicySummary>),
+    /// Answer to `diff`.
+    Diff(SnapshotDiff),
+    /// Answer to `sa-history`, one point per scoped snapshot.
+    SaHistory(Vec<SaHistoryPoint>),
+    /// Answer to `uptime` — the same [`UptimeHistogram`] that
+    /// [`rpi_core::persistence::uptime_histogram`] computes directly.
+    Uptime(UptimeHistogram),
+    /// Answer to `top-sa`, descending by prefix count (ties by ASN).
+    TopSaOrigins(Vec<SaOriginCount>),
+    /// Answer to `persistence`.
+    Persistence(PersistenceAnswer),
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The verb is not part of the grammar; [`fmt::Display`] lists the
+    /// valid queries.
+    UnknownQuery(String),
+    /// The verb is known but its operands or scope are malformed.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::UnknownQuery(verb) => {
+                write!(f, "unknown query '{verb}'; valid queries:\n{GRAMMAR}")
+            }
+            ParseError::Malformed(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A [`ParseError`] located in a multi-line query script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScriptError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// What went wrong there.
+    pub error: ParseError,
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.error)
+    }
+}
+
+impl std::error::Error for ScriptError {}
+
+/// The grammar table, one query form per line (what `help` prints and
+/// unknown-query errors append).
+pub const GRAMMAR: &str = "\
+route <vantage> <prefix> [@scope]        exact best-route lookup
+resolve <vantage> <prefix> [@scope]      longest-prefix-match lookup
+sa <vantage> <prefix> [@scope]           Fig. 4 SA status of the prefix
+rel <a> <b> [@scope]                     oracle relationship (b is a's ...)
+summary <asn> [@scope]                   per-AS policy digest
+diff @<from>..<to>                       what changed between snapshots
+sa-history <vantage> <prefix> [@scope]   SA status across snapshots
+uptime <vantage> [@scope]                Fig. 7 uptime histogram
+top-sa <vantage> <k> [@scope]            top-K SA origins
+persistence <vantage> <prefix> [@scope]  per-prefix persistence class
+scopes: @latest  @<id>  @label:<name>  @all  @<from>..<to>   (point queries default to @latest, history queries to @all)";
+
+fn parse_asn(s: &str) -> Result<Asn, ParseError> {
+    let digits = s.strip_prefix("AS").unwrap_or(s);
+    digits
+        .parse::<u32>()
+        .map(Asn)
+        .map_err(|_| ParseError::Malformed(format!("bad ASN '{s}'")))
+}
+
+fn parse_prefix(s: &str) -> Result<Ipv4Prefix, ParseError> {
+    s.parse::<Ipv4Prefix>()
+        .map_err(|e| ParseError::Malformed(format!("bad prefix '{s}': {e}")))
+}
+
+fn parse_snap(s: &str) -> Result<SnapshotId, ParseError> {
+    s.parse::<u32>()
+        .map(SnapshotId)
+        .map_err(|_| ParseError::Malformed(format!("bad snapshot id '{s}'")))
+}
+
+/// Parses one scope token, *without* its leading `@`.
+fn parse_scope_body(body: &str) -> Result<Scope, ParseError> {
+    if body == "latest" {
+        return Ok(Scope::Latest);
+    }
+    if body == "all" {
+        return Ok(Scope::All);
+    }
+    if let Some(label) = body.strip_prefix("label:") {
+        return Ok(Scope::Label(label.to_string()));
+    }
+    if let Some((from, to)) = body.split_once("..") {
+        let from = parse_snap(from)
+            .map_err(|_| ParseError::Malformed(format!("bad scope range '@{body}'")))?;
+        let to = parse_snap(to)
+            .map_err(|_| ParseError::Malformed(format!("bad scope range '@{body}'")))?;
+        return Ok(Scope::Range(from, to));
+    }
+    if body.bytes().all(|b| b.is_ascii_digit()) && !body.is_empty() {
+        return Ok(Scope::Id(parse_snap(body)?));
+    }
+    if body.is_empty() {
+        return Err(ParseError::Malformed("empty scope '@'".into()));
+    }
+    // Anything else is a bare label (`@day-07`).
+    Ok(Scope::Label(body.to_string()))
+}
+
+/// Renders a scope as its canonical token.
+pub fn render_scope(scope: &Scope) -> String {
+    match scope {
+        Scope::Latest => "@latest".into(),
+        Scope::Id(id) => format!("@{}", id.0),
+        Scope::Label(l) => format!("@label:{l}"),
+        Scope::All => "@all".into(),
+        Scope::Range(a, b) => format!("@{}..{}", a.0, b.0),
+    }
+}
+
+/// Parses one query line into a request. Leading/trailing whitespace is
+/// ignored; the line must not be empty or a `#` comment (callers skip
+/// those — [`parse_script`] does).
+pub fn parse(line: &str) -> Result<QueryRequest, ParseError> {
+    let mut words: Vec<&str> = line.split_whitespace().collect();
+    let scope = match words.last() {
+        Some(last) if last.starts_with('@') => {
+            let s = parse_scope_body(&last[1..])?;
+            words.pop();
+            Some(s)
+        }
+        _ => None,
+    };
+    let Some((&verb, args)) = words.split_first() else {
+        return Err(ParseError::Malformed("empty query".into()));
+    };
+
+    let wrong_arity = |want: &str| {
+        ParseError::Malformed(format!(
+            "'{verb}' wants {want}, got {} operand{}",
+            args.len(),
+            if args.len() == 1 { "" } else { "s" }
+        ))
+    };
+
+    let query = match verb {
+        "route" | "resolve" | "sa" | "sa-history" | "persistence" => {
+            let [v, p] = args else {
+                return Err(wrong_arity("<vantage> <prefix>"));
+            };
+            let vantage = parse_asn(v)?;
+            let prefix = parse_prefix(p)?;
+            match verb {
+                "route" => Query::Route { vantage, prefix },
+                "resolve" => Query::Resolve { vantage, prefix },
+                "sa" => Query::SaStatus { vantage, prefix },
+                "sa-history" => Query::SaHistory { vantage, prefix },
+                _ => Query::PersistenceClass { vantage, prefix },
+            }
+        }
+        "rel" => {
+            let [a, b] = args else {
+                return Err(wrong_arity("<a> <b>"));
+            };
+            Query::Relationship {
+                a: parse_asn(a)?,
+                b: parse_asn(b)?,
+            }
+        }
+        "summary" => {
+            let [a] = args else {
+                return Err(wrong_arity("<asn>"));
+            };
+            Query::PolicySummary { asn: parse_asn(a)? }
+        }
+        "diff" => match (args, &scope) {
+            // Legacy spelling: `diff 0 2` ≡ `diff @0..2`.
+            ([from, to], None) => {
+                let range = Scope::Range(parse_snap(from)?, parse_snap(to)?);
+                return Ok(Query::Diff.at(range));
+            }
+            ([], Some(_)) => Query::Diff,
+            _ => {
+                return Err(ParseError::Malformed(
+                    "'diff' wants a snapshot range: diff @<from>..<to> (or: diff <from> <to>)"
+                        .into(),
+                ))
+            }
+        },
+        "uptime" => {
+            let [v] = args else {
+                return Err(wrong_arity("<vantage>"));
+            };
+            Query::UptimeHistogram {
+                vantage: parse_asn(v)?,
+            }
+        }
+        "top-sa" => {
+            let [v, k] = args else {
+                return Err(wrong_arity("<vantage> <k>"));
+            };
+            let k: usize = k
+                .parse()
+                .map_err(|_| ParseError::Malformed(format!("top-sa wants a count, got '{k}'")))?;
+            Query::TopKSaOrigins {
+                vantage: parse_asn(v)?,
+                k,
+            }
+        }
+        other => return Err(ParseError::UnknownQuery(other.to_string())),
+    };
+
+    Ok(match scope {
+        Some(scope) => query.at(scope),
+        None => query.with_default_scope(),
+    })
+}
+
+/// Parses a whole query script: blank lines and `#` comments are
+/// skipped, every other line must be a grammar query. Returns the
+/// requests with their 1-based line numbers, or the first error located
+/// by line.
+pub fn parse_script(text: &str) -> Result<Vec<(usize, QueryRequest)>, ScriptError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse(trimmed) {
+            Ok(req) => out.push((i + 1, req)),
+            Err(error) => return Err(ScriptError { line: i + 1, error }),
+        }
+    }
+    Ok(out)
+}
+
+/// Renders a request as its canonical grammar line (scope always
+/// explicit). Round-trips through [`parse`].
+pub fn render(req: &QueryRequest) -> String {
+    let scope = render_scope(&req.scope);
+    match &req.query {
+        Query::Route { vantage, prefix } => format!("route {vantage} {prefix} {scope}"),
+        Query::Resolve { vantage, prefix } => format!("resolve {vantage} {prefix} {scope}"),
+        Query::SaStatus { vantage, prefix } => format!("sa {vantage} {prefix} {scope}"),
+        Query::Relationship { a, b } => format!("rel {a} {b} {scope}"),
+        Query::PolicySummary { asn } => format!("summary {asn} {scope}"),
+        Query::Diff => format!("diff {scope}"),
+        Query::SaHistory { vantage, prefix } => format!("sa-history {vantage} {prefix} {scope}"),
+        Query::UptimeHistogram { vantage } => format!("uptime {vantage} {scope}"),
+        Query::TopKSaOrigins { vantage, k } => format!("top-sa {vantage} {k} {scope}"),
+        Query::PersistenceClass { vantage, prefix } => {
+            format!("persistence {vantage} {prefix} {scope}")
+        }
+    }
+}
+
+/// Describes one SA status. `scope` is echoed when the status stands
+/// alone (the `sa` answer); `sa-history` points pass `None` because each
+/// line already names its snapshot.
+fn describe_sa(vantage: Asn, prefix: Ipv4Prefix, scope: Option<&str>, status: &SaStatus) -> String {
+    let tail = scope.map(|s| format!(" {s}")).unwrap_or_default();
+    match status {
+        SaStatus::UnknownVantage => format!("{vantage} is not a vantage{tail}"),
+        SaStatus::NotInTable => format!("{prefix} not in {vantage}'s table{tail}"),
+        SaStatus::NotCustomerRoute => {
+            format!("{prefix} at {vantage}{tail}: origin outside customer cone")
+        }
+        SaStatus::CustomerExported { origin } => {
+            format!("{prefix} at {vantage}{tail}: exported normally by customer {origin}")
+        }
+        SaStatus::SelectivelyAnnounced { origin } => {
+            format!("{prefix} at {vantage}{tail}: SELECTIVELY ANNOUNCED by {origin}")
+        }
+    }
+}
+
+fn path_words(path: &[Asn]) -> String {
+    path.iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// Renders a response for its request as stable, line-oriented text —
+/// what `rpi-queryd` prints and the CI golden smoke diffs.
+pub fn render_response(req: &QueryRequest, resp: &Response) -> String {
+    let scope = render_scope(&req.scope);
+    match (&req.query, resp) {
+        (Query::Route { vantage, prefix }, Response::Route(ans)) => match ans {
+            Some(r) => format!(
+                "{prefix} at {vantage} {scope}: via {} path {}",
+                r.next_hop,
+                path_words(&r.path)
+            ),
+            None => format!("{prefix} at {vantage} {scope}: no route"),
+        },
+        (Query::Resolve { vantage, prefix }, Response::Route(ans)) => match ans {
+            Some(r) => format!(
+                "{prefix} at {vantage} {scope}: matched {} via {} (origin {})",
+                r.prefix,
+                r.next_hop,
+                r.origin()
+            ),
+            None => format!("{prefix} at {vantage} {scope}: no covering route"),
+        },
+        (Query::SaStatus { vantage, prefix }, Response::Sa(status)) => {
+            describe_sa(*vantage, *prefix, Some(&scope), status)
+        }
+        (Query::Relationship { a, b }, Response::Relationship(rel)) => match rel {
+            Some(r) => format!("{b} is {a}'s {r:?} {scope}"),
+            None => format!("{a} and {b} are not adjacent in the oracle {scope}"),
+        },
+        (Query::PolicySummary { asn }, Response::Summary(s)) => match s {
+            Some(s) => {
+                let (prov, cust, peer, sib) = s.neighbor_counts;
+                let typicality = s
+                    .typicality_percent()
+                    .map(|p| format!("{p:.1}%"))
+                    .unwrap_or_else(|| "n/a".into());
+                format!(
+                    "{asn} {scope}: {} routes, {} customer prefixes, {} SA ({:.1}%), \
+                     typicality {typicality}, {} tagged neighbors, \
+                     neighbors {prov} providers / {cust} customers / {peer} peers / {sib} siblings",
+                    s.routes,
+                    s.customer_prefixes,
+                    s.sa_count,
+                    s.sa_percent(),
+                    s.tagged_neighbors,
+                )
+            }
+            None => format!("{asn} {scope}: unknown AS"),
+        },
+        (Query::Diff, Response::Diff(d)) => format!(
+            "{} -> {}: {} new SA, {} gone SA, {} relationship flips, {} churned routes",
+            d.from_label,
+            d.to_label,
+            d.new_sa.len(),
+            d.gone_sa.len(),
+            d.flips.len(),
+            d.churned_routes()
+        ),
+        (Query::SaHistory { vantage, prefix }, Response::SaHistory(points)) => {
+            let mut out = format!(
+                "sa-history {prefix} at {vantage} {scope} ({} snapshots):",
+                points.len()
+            );
+            for p in points {
+                out.push_str(&format!(
+                    "\n  {} {}: {}",
+                    p.snapshot.0,
+                    p.label,
+                    describe_sa(*vantage, *prefix, None, &p.status)
+                ));
+            }
+            out
+        }
+        (Query::UptimeHistogram { vantage }, Response::Uptime(h)) => {
+            let remaining: usize = h.remaining.values().sum();
+            let shifted: usize = h.shifted.values().sum();
+            let mut out = format!(
+                "uptime {vantage} {scope}: {} ever-SA prefixes, {remaining} remaining / {shifted} shifted ({:.1}% shifted)",
+                h.total(),
+                100.0 * h.shifted_fraction(),
+            );
+            for (&u, &n) in &h.remaining {
+                out.push_str(&format!("\n  remaining, uptime {u}: {n}"));
+            }
+            for (&u, &n) in &h.shifted {
+                out.push_str(&format!("\n  shifted, uptime {u}: {n}"));
+            }
+            out
+        }
+        (Query::TopKSaOrigins { vantage, k }, Response::TopSaOrigins(rows)) => {
+            let mut out = format!("top-sa {vantage} {k} {scope}:");
+            if rows.is_empty() {
+                out.push_str(" no SA origins");
+            }
+            for (i, row) in rows.iter().enumerate() {
+                out.push_str(&format!(
+                    "\n  {}. {}: {} SA prefix{}",
+                    i + 1,
+                    row.origin,
+                    row.prefixes,
+                    if row.prefixes == 1 { "" } else { "es" }
+                ));
+            }
+            out
+        }
+        (Query::PersistenceClass { vantage, prefix }, Response::Persistence(p)) => format!(
+            "persistence {prefix} at {vantage} {scope}: present {}/{}, SA {} -> {}",
+            p.present,
+            p.snapshots,
+            p.sa,
+            p.class.describe()
+        ),
+        // A response that does not match its request can only come from a
+        // caller pairing the wrong values; show both rather than guess.
+        (_, resp) => format!("{resp:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_legacy_diff_spelling() {
+        assert_eq!(parse("route AS1 10.0.0.0/8").unwrap().scope, Scope::Latest);
+        assert_eq!(parse("uptime AS1").unwrap().scope, Scope::All);
+        assert_eq!(
+            parse("diff 0 2").unwrap(),
+            Query::Diff.at(Scope::Range(SnapshotId(0), SnapshotId(2)))
+        );
+        assert_eq!(parse("diff 0 2"), parse("diff @0..2"));
+        assert!(parse("diff").is_err());
+    }
+
+    #[test]
+    fn scope_tokens_parse() {
+        assert_eq!(
+            parse("sa AS1 1.0.0.0/8 @latest").unwrap().scope,
+            Scope::Latest
+        );
+        assert_eq!(
+            parse("sa AS1 1.0.0.0/8 @7").unwrap().scope,
+            Scope::Id(SnapshotId(7))
+        );
+        assert_eq!(
+            parse("sa AS1 1.0.0.0/8 @day-07").unwrap().scope,
+            Scope::Label("day-07".into())
+        );
+        assert_eq!(
+            parse("sa AS1 1.0.0.0/8 @label:day-07").unwrap().scope,
+            Scope::Label("day-07".into())
+        );
+        assert_eq!(
+            parse("sa-history AS1 1.0.0.0/8 @all").unwrap().scope,
+            Scope::All
+        );
+        assert!(parse("sa AS1 1.0.0.0/8 @").is_err());
+        assert!(parse("sa AS1 1.0.0.0/8 @3..x").is_err());
+    }
+
+    #[test]
+    fn unknown_verbs_list_the_grammar() {
+        let err = parse("frobnicate AS1").unwrap_err();
+        assert_eq!(err, ParseError::UnknownQuery("frobnicate".into()));
+        assert!(err.to_string().contains("route <vantage> <prefix>"));
+    }
+
+    #[test]
+    fn scripts_locate_errors_by_line() {
+        let err = parse_script("# header\nroute AS1 10.0.0.0/8\n\nbogus AS1\n").unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(matches!(err.error, ParseError::UnknownQuery(_)));
+        let ok = parse_script("# only comments\n\n").unwrap();
+        assert!(ok.is_empty());
+    }
+}

@@ -289,6 +289,16 @@ impl Snapshot {
         self.vantages.iter().map(|(&s, t)| (s, t.kind))
     }
 
+    /// Every prefix in one vantage's table, across all shards (empty
+    /// when the AS is not a vantage here). Feeds the history queries'
+    /// per-snapshot presence counts.
+    pub(crate) fn table_prefixes(&self, vantage: AsnSym) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.vantages
+            .get(&vantage)
+            .into_iter()
+            .flat_map(|t| t.shards.iter().flat_map(|s| s.iter().map(|(p, _)| p)))
+    }
+
     /// Exact route lookup.
     pub(crate) fn route(&self, vantage: AsnSym, prefix: Ipv4Prefix) -> Option<&CompactRoute> {
         let table = self.vantages.get(&vantage)?;

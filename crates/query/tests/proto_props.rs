@@ -1,0 +1,190 @@
+//! Property-based tests for the wire grammar: `parse(render(req))`
+//! round-trips for every query variant and scope shape, and garbage
+//! never panics the parser.
+//!
+//! The build environment is offline, so instead of proptest these use a
+//! seeded [`rand::rngs::StdRng`] driving many random cases per property —
+//! deterministic across runs, same invariants checked (the harness style
+//! of `bgp-types/tests/props.rs`).
+
+use rand::prelude::*;
+
+use bgp_types::{Asn, Ipv4Prefix};
+use rpi_query::{parse, parse_script, render, Query, QueryRequest, Scope, SnapshotId};
+
+const CASES: usize = 512;
+
+fn arb_prefix(rng: &mut StdRng) -> Ipv4Prefix {
+    Ipv4Prefix::canonical(rng.gen::<u32>(), rng.gen_range(0..=32u8))
+}
+
+fn arb_asn(rng: &mut StdRng) -> Asn {
+    if rng.gen_bool(0.75) {
+        Asn(rng.gen_range(1..70_000u32))
+    } else {
+        Asn(rng.gen_range(70_000u32..=u32::MAX))
+    }
+}
+
+/// Any whitespace-free label round-trips through the explicit
+/// `@label:…` form, including ones that look like other scopes.
+fn arb_label(rng: &mut StdRng) -> String {
+    const POOL: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789-._:@";
+    let len = rng.gen_range(1..=16usize);
+    (0..len)
+        .map(|_| *POOL.as_ref().choose(rng).unwrap() as char)
+        .collect()
+}
+
+fn arb_scope(rng: &mut StdRng) -> Scope {
+    match rng.gen_range(0..5u8) {
+        0 => Scope::Latest,
+        1 => Scope::Id(SnapshotId(rng.gen_range(0..100u32))),
+        2 => Scope::Label(arb_label(rng)),
+        3 => Scope::All,
+        _ => {
+            let a = rng.gen_range(0..100u32);
+            let b = rng.gen_range(0..100u32);
+            Scope::Range(SnapshotId(a), SnapshotId(b))
+        }
+    }
+}
+
+fn arb_query(rng: &mut StdRng) -> Query {
+    match rng.gen_range(0..10u8) {
+        0 => Query::Route {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+        1 => Query::Resolve {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+        2 => Query::SaStatus {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+        3 => Query::Relationship {
+            a: arb_asn(rng),
+            b: arb_asn(rng),
+        },
+        4 => Query::PolicySummary { asn: arb_asn(rng) },
+        5 => Query::Diff,
+        6 => Query::SaHistory {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+        7 => Query::UptimeHistogram {
+            vantage: arb_asn(rng),
+        },
+        8 => Query::TopKSaOrigins {
+            vantage: arb_asn(rng),
+            k: rng.gen_range(0..1000usize),
+        },
+        _ => Query::PersistenceClass {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+    }
+}
+
+fn arb_request(rng: &mut StdRng) -> QueryRequest {
+    arb_query(rng).at(arb_scope(rng))
+}
+
+/// A mildly adversarial random string over the grammar's alphabet.
+fn arb_garbage(rng: &mut StdRng, max_len: usize) -> String {
+    const POOL: &[u8] = b"0123456789./ ,:;-_abcXYZ{}()<>!?*\t\"'@AS";
+    let len = rng.gen_range(0..=max_len);
+    (0..len)
+        .map(|_| *POOL.as_ref().choose(rng).unwrap() as char)
+        .collect()
+}
+
+#[test]
+fn render_parse_roundtrips_every_variant() {
+    let mut rng = StdRng::seed_from_u64(0x6001);
+    let mut seen = [false; 10];
+    for _ in 0..CASES {
+        let req = arb_request(&mut rng);
+        seen[match req.query {
+            Query::Route { .. } => 0,
+            Query::Resolve { .. } => 1,
+            Query::SaStatus { .. } => 2,
+            Query::Relationship { .. } => 3,
+            Query::PolicySummary { .. } => 4,
+            Query::Diff => 5,
+            Query::SaHistory { .. } => 6,
+            Query::UptimeHistogram { .. } => 7,
+            Query::TopKSaOrigins { .. } => 8,
+            Query::PersistenceClass { .. } => 9,
+        }] = true;
+        let line = render(&req);
+        let back =
+            parse(&line).unwrap_or_else(|e| panic!("rendered line must parse: '{line}' → {e}"));
+        assert_eq!(back, req, "round trip through '{line}'");
+    }
+    assert!(seen.iter().all(|&s| s), "generator covered every variant");
+}
+
+#[test]
+fn render_is_a_fixed_point_of_parse() {
+    let mut rng = StdRng::seed_from_u64(0x6002);
+    for _ in 0..CASES {
+        let req = arb_request(&mut rng);
+        let line = render(&req);
+        assert_eq!(render(&parse(&line).unwrap()), line);
+    }
+}
+
+#[test]
+fn default_scopes_match_query_class() {
+    let mut rng = StdRng::seed_from_u64(0x6003);
+    for _ in 0..CASES {
+        let query = arb_query(&mut rng);
+        if query == Query::Diff {
+            continue; // diff has no default scope
+        }
+        // Strip the scope token off the canonical line and re-parse.
+        let line = render(&query.clone().with_default_scope());
+        let bare = line
+            .rsplit_once(" @")
+            .expect("canonical lines end in a scope token")
+            .0;
+        let req = parse(bare).unwrap();
+        assert_eq!(req.query, query);
+        assert_eq!(
+            req.scope,
+            if query.is_history() {
+                Scope::All
+            } else {
+                Scope::Latest
+            },
+            "default scope for '{bare}'"
+        );
+    }
+}
+
+#[test]
+fn parser_never_panics_on_garbage() {
+    let mut rng = StdRng::seed_from_u64(0x6004);
+    for _ in 0..CASES {
+        let s = arb_garbage(&mut rng, 60);
+        let _ = parse(&s);
+    }
+}
+
+#[test]
+fn scripts_report_the_right_line() {
+    let mut rng = StdRng::seed_from_u64(0x6005);
+    for _ in 0..64 {
+        // A script of valid rendered lines with one garbage line spliced in.
+        let n = rng.gen_range(1..8usize);
+        let mut lines: Vec<String> = (0..n).map(|_| render(&arb_request(&mut rng))).collect();
+        let bad_at = rng.gen_range(0..=lines.len());
+        lines.insert(bad_at, "definitely-not-a-query x y".into());
+        let text = lines.join("\n");
+        let err = parse_script(&text).expect_err("script contains a bad line");
+        assert_eq!(err.line, bad_at + 1, "in script:\n{text}");
+    }
+}

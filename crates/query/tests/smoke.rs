@@ -1,0 +1,77 @@
+//! End-to-end golden test of `rpi-queryd --queries`: pipes the committed
+//! smoke query file through the daemon against the deterministic tiny
+//! seed-11 world and diffs stdout against the committed golden output —
+//! the same check CI runs as a shell step.
+//!
+//! If the wire grammar or response rendering changes intentionally,
+//! regenerate with:
+//!
+//! ```text
+//! cargo run --release -p rpi-query --bin rpi-queryd -- \
+//!   --size tiny --seed 11 --snapshots 4 --shards 4 \
+//!   --queries crates/query/tests/data/smoke.q > crates/query/tests/data/smoke.golden
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn queries_file_matches_golden_output() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let queries = data.join("smoke.q");
+    let golden = std::fs::read_to_string(data.join("smoke.golden")).expect("golden committed");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args([
+            "--size",
+            "tiny",
+            "--seed",
+            "11",
+            "--snapshots",
+            "4",
+            "--shards",
+            "4",
+        ])
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .expect("rpi-queryd runs");
+
+    assert!(
+        out.status.success(),
+        "rpi-queryd failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_eq!(
+        stdout, golden,
+        "stdout diverged from tests/data/smoke.golden (see module docs to regenerate)"
+    );
+}
+
+#[test]
+fn bad_query_files_name_the_line() {
+    let dir = std::env::temp_dir().join(format!("rpi-queryd-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.q");
+    std::fs::write(&path, "# fine\nroute AS1 4.0.0.0/13\nfrobnicate AS1\n").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--size", "tiny", "--seed", "11"])
+        .arg("--queries")
+        .arg(&path)
+        .output()
+        .expect("rpi-queryd runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!out.status.success(), "a bad line must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bad.q:3:") && stderr.contains("unknown query 'frobnicate'"),
+        "stderr must locate the bad line and name the verb:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("route <vantage> <prefix>"),
+        "unknown queries must list the grammar:\n{stderr}"
+    );
+}

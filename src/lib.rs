@@ -109,5 +109,8 @@ pub mod prelude {
     pub use rpi_core::import_policy::lg_typicality;
     pub use rpi_core::view::BestTable;
     pub use rpi_core::Experiment;
-    pub use rpi_query::{QueryEngine, SaStatus, SnapshotDiff, SnapshotId};
+    pub use rpi_query::{
+        Query, QueryEngine, QueryError, QueryRequest, Response, SaStatus, Scope, SnapshotDiff,
+        SnapshotId,
+    };
 }
