@@ -145,6 +145,78 @@ fn bench_execute_batch(c: &mut Criterion) {
     );
 }
 
+/// Series ingest: full re-index per snapshot vs diff-aware incremental
+/// ingest (copy-on-write shard tries). Reports the speedup and the
+/// shared-node ratio — the observatory's "a multi-month archive ingests
+/// in seconds" claim.
+fn bench_ingest_series(c: &mut Criterion) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    // The paper's workload: a month of daily snapshots (31 steps, §6).
+    // The flip probability is tuned so ~1% of vantage-table routes move
+    // per snapshot — the measured rate is printed below.
+    let cfg = ChurnConfig {
+        steps: 31,
+        flip_prob: 0.07,
+        link_failure_prob: 0.01,
+        ..ChurnConfig::daily(7)
+    };
+    let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+    let events: usize = series.deltas().iter().map(|d| d.route_events()).sum();
+    // Routes across all vantage tables of one snapshot, for the churn rate.
+    let vantage_routes: usize = series.snapshots[0]
+        .collector
+        .peers
+        .iter()
+        .map(|&p| {
+            rpi_core::view::BestTable::from_collector(&series.snapshots[0].collector, p)
+                .rows
+                .len()
+        })
+        .sum::<usize>()
+        + series.snapshots[0]
+            .lgs
+            .values()
+            .map(|v| rpi_core::view::BestTable::from_lg(v).rows.len())
+            .sum::<usize>();
+    let churn_pct = 100.0 * events as f64 / (cfg.steps - 1) as f64 / vantage_routes.max(1) as f64;
+
+    let mut g = c.benchmark_group("query/ingest_series");
+    g.sample_size(3);
+    g.bench_function("full_reindex_31_snapshots", |b| {
+        b.iter(|| {
+            let mut e = QueryEngine::new(8);
+            e.ingest_series(&series, &exp.inferred_graph);
+            e
+        })
+    });
+    g.bench_function("incremental_31_snapshots", |b| {
+        b.iter(|| {
+            let mut e = QueryEngine::new(8);
+            e.ingest_series_incremental(&series, &exp.inferred_graph);
+            e
+        })
+    });
+    g.bench_function("output_delta_only", |b| b.iter(|| series.deltas()));
+    g.finish();
+
+    // Report speedup + sharing once, through the same measurement the
+    // daemon's `--bench` prints.
+    let report = rpi_query::measure_series_ingest(&series, &exp.inferred_graph, 8, 3);
+    println!(
+        "    (series of {} snapshots, {events} route events ≈ {churn_pct:.2}% churn/snapshot: \
+         full {:.2?} vs incremental {:.2?} → {:.1}× speedup; \
+         {}/{} nodes shared = {:.1}%, {} KiB)",
+        series.snapshots.len(),
+        report.full,
+        report.incremental,
+        report.speedup(),
+        report.stats.shared_nodes,
+        report.stats.total_nodes,
+        100.0 * report.stats.shared_ratio(),
+        report.stats.shared_bytes / 1024,
+    );
+}
+
 fn bench_diff(c: &mut Criterion) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let mut engine = QueryEngine::new(8);
@@ -163,5 +235,6 @@ fn main() {
     bench_ingest(&mut c);
     bench_queries(&mut c);
     bench_execute_batch(&mut c);
+    bench_ingest_series(&mut c);
     bench_diff(&mut c);
 }

@@ -12,10 +12,12 @@
 //!   link drops for one snapshot; the origin's announcements fall back to
 //!   the surviving providers (RFC-less but standard practice, §5.1.5).
 
+use std::collections::{BTreeMap, BTreeSet};
+
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
-use bgp_types::{Asn, Community};
+use bgp_types::{Asn, Community, Ipv4Prefix};
 use net_topology::AsGraph;
 
 use crate::engine::{SimOutput, Simulation, VantageSpec};
@@ -70,6 +72,262 @@ pub struct SnapshotSeries {
     pub labels: Vec<String>,
     /// The simulated outputs, one per step.
     pub snapshots: Vec<SimOutput>,
+}
+
+impl SnapshotSeries {
+    /// Structured deltas between consecutive snapshots:
+    /// `deltas()[i] == output_delta(&snapshots[i], &snapshots[i+1])`.
+    /// This is what diff-aware (incremental) ingestion consumes instead
+    /// of re-reading every table.
+    pub fn deltas(&self) -> Vec<OutputDelta> {
+        self.snapshots
+            .windows(2)
+            .map(|w| output_delta(&w[0], &w[1]))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Structured snapshot-to-snapshot deltas
+// ---------------------------------------------------------------------------
+
+/// A best route as a delta event carries it: the fields a best-route
+/// table row stores (next hop + onward path, owner excluded — the same
+/// shape as `rpi_core`'s `BestRow`) plus the communities seen on the
+/// row, so an ingester can keep its community tables current without
+/// re-reading the whole view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeltaRoute {
+    /// Neighbor the route was learned from.
+    pub next_hop: Asn,
+    /// AS path from that neighbor to the origin.
+    pub path: Vec<Asn>,
+    /// Communities attached to the row.
+    pub communities: Vec<Community>,
+}
+
+/// What happened to one vantage's best-route table between two
+/// consecutive snapshots.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VantageDelta {
+    /// Prefixes newly present, with their best routes.
+    pub announced: Vec<(Ipv4Prefix, DeltaRoute)>,
+    /// Prefixes present in both whose best route changed (next hop or
+    /// path — a pure community/LOCAL_PREF change is only
+    /// [`Self::analyses_dirty`]).
+    pub replaced: Vec<(Ipv4Prefix, DeltaRoute)>,
+    /// Prefixes no longer present.
+    pub withdrawn: Vec<Ipv4Prefix>,
+    /// Looking-Glass vantages only: *any* candidate-route change
+    /// (including non-best rows, LOCAL_PREF or community edits), i.e. the
+    /// view-level analyses (import typicality, community semantics) must
+    /// be recomputed even if no best route moved.
+    pub analyses_dirty: bool,
+}
+
+impl VantageDelta {
+    /// `true` when nothing about the vantage changed.
+    pub fn is_empty(&self) -> bool {
+        self.announced.is_empty()
+            && self.replaced.is_empty()
+            && self.withdrawn.is_empty()
+            && !self.analyses_dirty
+    }
+
+    /// Total best-route events carried.
+    pub fn route_events(&self) -> usize {
+        self.announced.len() + self.replaced.len() + self.withdrawn.len()
+    }
+}
+
+/// The full structured delta between two consecutive [`SimOutput`]s —
+/// what `rpi-query`'s incremental ingest consumes. Per-vantage tables
+/// are keyed the way the snapshots expose them: one entry per collector
+/// peer (its table as derived from the collector view) and one per
+/// Looking-Glass AS (its own best table). Vantages that appear or
+/// disappear are listed separately and carry no events — an ingester
+/// indexes them from scratch or drops them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OutputDelta {
+    /// Per-collector-peer deltas, for peers present in both snapshots.
+    /// Rows where the peer originates the prefix itself (no onward path)
+    /// are treated as absent, matching best-table extraction.
+    pub collector: BTreeMap<Asn, VantageDelta>,
+    /// Per-LG deltas, for LG ASes present in both snapshots.
+    pub lgs: BTreeMap<Asn, VantageDelta>,
+    /// Collector peers only in the newer snapshot.
+    pub peers_added: Vec<Asn>,
+    /// Collector peers only in the older snapshot.
+    pub peers_removed: Vec<Asn>,
+    /// LG ASes only in the newer snapshot.
+    pub lgs_added: Vec<Asn>,
+    /// LG ASes only in the older snapshot.
+    pub lgs_removed: Vec<Asn>,
+}
+
+impl OutputDelta {
+    /// `true` when the snapshots are observationally identical.
+    pub fn is_empty(&self) -> bool {
+        self.collector.values().all(VantageDelta::is_empty)
+            && self.lgs.values().all(VantageDelta::is_empty)
+            && self.peers_added.is_empty()
+            && self.peers_removed.is_empty()
+            && self.lgs_added.is_empty()
+            && self.lgs_removed.is_empty()
+    }
+
+    /// Total best-route events across all vantages.
+    pub fn route_events(&self) -> usize {
+        self.collector
+            .values()
+            .chain(self.lgs.values())
+            .map(VantageDelta::route_events)
+            .sum()
+    }
+}
+
+/// Merge-join over two BTreeMaps: visits the union of keys in order with
+/// both sides' values (`None` where absent). This is the delta passes'
+/// workhorse — no union set is materialized and each map is walked once.
+fn merge_join<'a, K: Ord + Copy, V>(
+    a: &'a BTreeMap<K, V>,
+    b: &'a BTreeMap<K, V>,
+    mut visit: impl FnMut(K, Option<&'a V>, Option<&'a V>),
+) {
+    let mut ia = a.iter().peekable();
+    let mut ib = b.iter().peekable();
+    loop {
+        match (ia.peek(), ib.peek()) {
+            (Some(&(&ka, _)), Some(&(&kb, _))) => match ka.cmp(&kb) {
+                std::cmp::Ordering::Less => visit(ka, ia.next().map(|(_, v)| v), None),
+                std::cmp::Ordering::Greater => visit(kb, None, ib.next().map(|(_, v)| v)),
+                std::cmp::Ordering::Equal => {
+                    visit(ka, ia.next().map(|(_, v)| v), ib.next().map(|(_, v)| v))
+                }
+            },
+            (Some(&(&ka, _)), None) => visit(ka, ia.next().map(|(_, v)| v), None),
+            (None, Some(&(&kb, _))) => visit(kb, None, ib.next().map(|(_, v)| v)),
+            (None, None) => break,
+        }
+    }
+}
+
+/// A collector row as a comparable best-table entry: `None` when the
+/// peer originates the prefix itself (such rows never enter a best
+/// table).
+fn collector_entry(row: &crate::engine::CollectorRow) -> Option<DeltaRoute> {
+    if row.path.len() < 2 {
+        return None;
+    }
+    Some(DeltaRoute {
+        next_hop: row.path[1],
+        path: row.path[1..].to_vec(),
+        communities: row.communities.clone(),
+    })
+}
+
+/// Computes the structured delta between two consecutive outputs of one
+/// series. O(total rows) comparisons, no simulation: this is the cheap
+/// pass that makes diff-aware ingest worthwhile.
+pub fn output_delta(prev: &SimOutput, next: &SimOutput) -> OutputDelta {
+    let mut delta = OutputDelta::default();
+
+    // --- collector peers ---
+    let prev_peers: BTreeSet<Asn> = prev.collector.peers.iter().copied().collect();
+    let next_peers: BTreeSet<Asn> = next.collector.peers.iter().copied().collect();
+    delta.peers_added = next_peers.difference(&prev_peers).copied().collect();
+    delta.peers_removed = prev_peers.difference(&next_peers).copied().collect();
+    let surviving: Vec<Asn> = prev_peers.intersection(&next_peers).copied().collect();
+    for &p in &surviving {
+        delta.collector.insert(p, VantageDelta::default());
+    }
+
+    // One merge-join over the two sorted prefix maps updates every
+    // peer's delta at once. The overwhelmingly common identical-row-list
+    // case (untouched prefix) is one deep equality check; only differing
+    // lists pay for per-peer maps.
+    let empty: Vec<crate::engine::CollectorRow> = Vec::new();
+    let mut by_peer_a: BTreeMap<Asn, &crate::engine::CollectorRow> = BTreeMap::new();
+    let mut by_peer_b: BTreeMap<Asn, &crate::engine::CollectorRow> = BTreeMap::new();
+    merge_join(
+        &prev.collector.rows,
+        &next.collector.rows,
+        |prefix, a, b| {
+            let rows_a = a.unwrap_or(&empty);
+            let rows_b = b.unwrap_or(&empty);
+            if rows_a == rows_b {
+                return; // ~99% of prefixes at realistic churn: no events
+            }
+            by_peer_a.clear();
+            by_peer_b.clear();
+            by_peer_a.extend(rows_a.iter().map(|r| (r.peer, r)));
+            by_peer_b.extend(rows_b.iter().map(|r| (r.peer, r)));
+            let union = by_peer_a
+                .keys()
+                .chain(by_peer_b.keys().filter(|p| !by_peer_a.contains_key(p)));
+            for &peer in union {
+                let Some(vd) = delta.collector.get_mut(&peer) else {
+                    continue; // added/removed peer: no events
+                };
+                let row_a = by_peer_a.get(&peer).copied();
+                let row_b = by_peer_b.get(&peer).copied();
+                if row_a == row_b {
+                    continue; // same row contents (the common case)
+                }
+                let a = row_a.and_then(collector_entry);
+                let b = row_b.and_then(collector_entry);
+                match (a, b) {
+                    (None, Some(route)) => vd.announced.push((prefix, route)),
+                    (Some(_), None) => vd.withdrawn.push(prefix),
+                    (Some(ra), Some(rb)) if ra != rb => vd.replaced.push((prefix, rb)),
+                    _ => {}
+                }
+            }
+        },
+    );
+
+    // --- Looking-Glass vantages ---
+    let prev_lgs: BTreeSet<Asn> = prev.lgs.keys().copied().collect();
+    let next_lgs: BTreeSet<Asn> = next.lgs.keys().copied().collect();
+    delta.lgs_added = next_lgs.difference(&prev_lgs).copied().collect();
+    delta.lgs_removed = prev_lgs.difference(&next_lgs).copied().collect();
+    for asn in prev_lgs.intersection(&next_lgs) {
+        let (va, vb) = (&prev.lgs[asn], &next.lgs[asn]);
+        let mut vd = VantageDelta::default();
+        let lg_best = |routes: &Vec<crate::engine::LgRoute>| -> Option<DeltaRoute> {
+            routes
+                .iter()
+                .find(|r| r.best && !r.path.is_empty())
+                .map(|r| DeltaRoute {
+                    next_hop: r.neighbor,
+                    path: r.path.clone(),
+                    communities: r.communities.clone(),
+                })
+        };
+        let mut dirty = false;
+        merge_join(&va.rows, &vb.rows, |prefix, rows_a, rows_b| {
+            if rows_a == rows_b {
+                return;
+            }
+            // Any candidate-row difference dirties the view-level
+            // analyses, even when no best route moved.
+            dirty = true;
+            let a = rows_a.and_then(&lg_best);
+            let b = rows_b.and_then(&lg_best);
+            match (a, b) {
+                (None, Some(route)) => vd.announced.push((prefix, route)),
+                (Some(_), None) => vd.withdrawn.push(prefix),
+                (Some(ra), Some(rb)) if ra.next_hop != rb.next_hop || ra.path != rb.path => {
+                    vd.replaced.push((prefix, rb))
+                }
+                _ => {}
+            }
+        });
+        vd.analyses_dirty = dirty;
+        delta.lgs.insert(*asn, vd);
+    }
+
+    delta
 }
 
 /// Runs the churn series. Each step starts from the *previous* step's
@@ -278,6 +536,95 @@ mod tests {
         for s in &series.snapshots {
             assert!(s.collector.prefix_count() * 100 >= base * 95);
         }
+    }
+
+    #[test]
+    fn zero_churn_deltas_are_empty() {
+        let (g, t, spec) = world();
+        let cfg = ChurnConfig {
+            seed: 5,
+            steps: 3,
+            flip_prob: 0.0,
+            link_failure_prob: 0.0,
+            label: "hour",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        for d in series.deltas() {
+            assert!(d.is_empty(), "zero churn must delta empty: {d:?}");
+            assert_eq!(d.route_events(), 0);
+        }
+    }
+
+    #[test]
+    fn forced_churn_produces_route_events() {
+        let (g, t, spec) = world();
+        if t.selective_subset_origins.is_empty() {
+            return;
+        }
+        let cfg = ChurnConfig {
+            seed: 99,
+            steps: 6,
+            flip_prob: 1.0,
+            link_failure_prob: 0.3,
+            label: "day",
+        };
+        let series = simulate_series(&g, &t, &spec, &cfg);
+        let deltas = series.deltas();
+        assert!(
+            deltas.iter().any(|d| d.route_events() > 0),
+            "forced re-rolls must move some best route"
+        );
+        // Delta events must reconcile the tables: replaying every delta
+        // against the first snapshot's per-peer row sets reproduces the
+        // last snapshot's.
+        for (i, d) in deltas.iter().enumerate() {
+            let next = &series.snapshots[i + 1];
+            for (&peer, vd) in &d.collector {
+                for &(prefix, ref route) in vd.announced.iter().chain(&vd.replaced) {
+                    let row = next.collector.rows[&prefix]
+                        .iter()
+                        .find(|r| r.peer == peer)
+                        .expect("announced/replaced rows exist in the next snapshot");
+                    assert_eq!(&row.path[1..], route.path.as_slice());
+                }
+                for &prefix in &vd.withdrawn {
+                    let gone = next.collector.rows.get(&prefix).is_none_or(|rows| {
+                        !rows.iter().any(|r| r.peer == peer && r.path.len() >= 2)
+                    });
+                    assert!(gone, "withdrawn prefix still present at {peer}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vantage_loss_is_reported_not_evented() {
+        let (g, t, spec) = world();
+        let out = Simulation::new(&g, &t, &spec).run();
+        let mut lost = out.clone();
+        let &gone_lg = out.lgs.keys().next().expect("world has LGs");
+        lost.lgs.remove(&gone_lg);
+        let gone_peer = *out
+            .collector
+            .peers
+            .iter()
+            .find(|p| !out.lgs.contains_key(p))
+            .expect("world has a non-LG peer");
+        lost.collector.peers.retain(|&p| p != gone_peer);
+        for rows in lost.collector.rows.values_mut() {
+            rows.retain(|r| r.peer != gone_peer);
+        }
+
+        let d = output_delta(&out, &lost);
+        assert_eq!(d.lgs_removed, vec![gone_lg]);
+        assert_eq!(d.peers_removed, vec![gone_peer]);
+        assert!(!d.lgs.contains_key(&gone_lg));
+        assert!(!d.collector.contains_key(&gone_peer));
+        assert_eq!(d.route_events(), 0, "survivors saw no change");
+
+        let back = output_delta(&lost, &out);
+        assert_eq!(back.lgs_added, vec![gone_lg]);
+        assert_eq!(back.peers_added, vec![gone_peer]);
     }
 
     #[test]

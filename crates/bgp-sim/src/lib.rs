@@ -31,7 +31,7 @@ pub mod export;
 pub mod policy;
 pub mod routers;
 
-pub use churn::{ChurnConfig, SnapshotSeries};
+pub use churn::{output_delta, ChurnConfig, DeltaRoute, OutputDelta, SnapshotSeries, VantageDelta};
 pub use engine::{
     CollectorRow, CollectorView, LgRoute, LgView, SimDiagnostics, SimOutput, Simulation,
     VantageSpec,

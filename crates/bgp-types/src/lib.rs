@@ -46,4 +46,4 @@ pub use path::{AsPath, PathSegment};
 pub use prefix::Ipv4Prefix;
 pub use relationship::Relationship;
 pub use route::{Origin, Route, RouteAttrs, RouteBuilder, Session};
-pub use trie::PrefixTrie;
+pub use trie::{CowTrie, PrefixTrie};

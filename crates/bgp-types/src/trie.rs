@@ -1,12 +1,21 @@
-//! A binary prefix trie keyed by [`Ipv4Prefix`].
+//! Binary prefix tries keyed by [`Ipv4Prefix`].
 //!
-//! Supports the three lookups the policy analyses need:
+//! Two variants share one node layout:
 //!
-//! * exact-match ([`PrefixTrie::get`]),
-//! * longest-prefix match for an address ([`PrefixTrie::longest_match`]),
-//! * covering / covered enumeration ([`PrefixTrie::covering`],
-//!   [`PrefixTrie::covered`]) — how Table 9's splitting/aggregating counts
-//!   find less- and more-specific companions of an SA prefix.
+//! * [`PrefixTrie`] — the plain owned trie. Supports the three lookups
+//!   the policy analyses need: exact-match ([`PrefixTrie::get`]),
+//!   longest-prefix match for an address ([`PrefixTrie::longest_match`]),
+//!   and covering / covered enumeration ([`PrefixTrie::covering`],
+//!   [`PrefixTrie::covered`]) — how Table 9's splitting/aggregating
+//!   counts find less- and more-specific companions of an SA prefix.
+//! * [`CowTrie`] — a persistent (copy-on-write) trie whose nodes live
+//!   behind [`Arc`]s. Cloning is O(1); mutating a clone path-copies only
+//!   the nodes on the touched prefix's spine and shares every untouched
+//!   subtrie with the original. This is what lets consecutive snapshots
+//!   of a churn series share the ~99% of their route tables that BGP
+//!   churn never touched.
+
+use std::sync::Arc;
 
 use crate::prefix::Ipv4Prefix;
 
@@ -249,6 +258,255 @@ impl<T> FromIterator<(Ipv4Prefix, T)> for PrefixTrie<T> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// CowTrie: the persistent variant
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct CowNode<T> {
+    value: Option<T>,
+    children: [Option<Arc<CowNode<T>>>; 2],
+}
+
+impl<T> Default for CowNode<T> {
+    fn default() -> Self {
+        CowNode {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+impl<T: Clone> Clone for CowNode<T> {
+    /// A *shallow* structural clone: the value is cloned, the children
+    /// stay shared. This is exactly what [`Arc::make_mut`] needs for
+    /// path copying.
+    fn clone(&self) -> Self {
+        CowNode {
+            value: self.value.clone(),
+            children: [self.children[0].clone(), self.children[1].clone()],
+        }
+    }
+}
+
+/// A persistent (copy-on-write) prefix trie.
+///
+/// Clones share all nodes with the original in O(1); `insert`/`remove`
+/// on a clone copy only the spine of the touched prefix (≤ 33 nodes) and
+/// keep sharing everything else. Lookups behave exactly like
+/// [`PrefixTrie`] — see `cow_matches_plain_under_random_ops` in this
+/// module's tests for the differential check.
+///
+/// ```
+/// use bgp_types::{CowTrie, Ipv4Prefix};
+/// let mut day0: CowTrie<&str> = CowTrie::new();
+/// day0.insert("12.0.0.0/19".parse().unwrap(), "stable");
+/// day0.insert("192.168.0.0/16".parse().unwrap(), "stable");
+///
+/// let mut day1 = day0.clone(); // O(1): every node shared
+/// day1.insert("12.0.16.0/24".parse().unwrap(), "new"); // path-copies one spine
+///
+/// assert_eq!(day0.len(), 2);
+/// assert_eq!(day1.len(), 3);
+/// // The untouched 192.168/16 subtrie is still physically shared:
+/// assert!(day1.shared_nodes_with(&day0) > 0);
+/// ```
+#[derive(Debug)]
+pub struct CowTrie<T> {
+    root: Arc<CowNode<T>>,
+    len: usize,
+}
+
+impl<T> Clone for CowTrie<T> {
+    fn clone(&self) -> Self {
+        CowTrie {
+            root: Arc::clone(&self.root),
+            len: self.len,
+        }
+    }
+}
+
+impl<T> Default for CowTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> CowTrie<T> {
+    /// Creates an empty trie.
+    pub fn new() -> Self {
+        CowTrie {
+            root: Arc::new(CowNode::default()),
+            len: 0,
+        }
+    }
+
+    /// Number of stored prefixes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Exact-match lookup.
+    pub fn get(&self, prefix: Ipv4Prefix) -> Option<&T> {
+        let mut node = &*self.root;
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            node = node.children[b].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+
+    /// The longest stored prefix covering `prefix` (itself included) —
+    /// the serving-layer lookup, identical to [`PrefixTrie::best_match`].
+    pub fn best_match(&self, prefix: Ipv4Prefix) -> Option<(Ipv4Prefix, &T)> {
+        let mut node = &*self.root;
+        let mut best: Option<(Ipv4Prefix, &T)> =
+            node.value.as_ref().map(|v| (Ipv4Prefix::DEFAULT, v));
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            match node.children[b].as_deref() {
+                Some(child) => {
+                    node = child;
+                    if let Some(v) = node.value.as_ref() {
+                        best = Some((Ipv4Prefix::canonical(prefix.bits(), depth + 1), v));
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Longest-prefix match for a single address.
+    pub fn longest_match(&self, addr: u32) -> Option<(Ipv4Prefix, &T)> {
+        self.best_match(Ipv4Prefix::canonical(addr, 32))
+    }
+
+    /// Iterates over all `(prefix, value)` pairs in lexicographic order.
+    pub fn iter(&self) -> impl Iterator<Item = (Ipv4Prefix, &T)> {
+        let mut out: Vec<(Ipv4Prefix, &T)> = Vec::with_capacity(self.len);
+        collect_cow_subtree(&self.root, 0, 0, &mut out);
+        out.into_iter()
+    }
+
+    /// Total node count (values and interior nodes, root included).
+    /// Walks the structure, so shared subtries are counted at full size —
+    /// use [`Self::shared_nodes_with`] to see how much is physically
+    /// shared.
+    pub fn node_count(&self) -> usize {
+        count_cow_nodes(&self.root)
+    }
+
+    /// Heap size of one trie node, for bytes-shared reporting.
+    pub fn node_size() -> usize {
+        std::mem::size_of::<CowNode<T>>()
+    }
+
+    /// How many of this trie's nodes are *physically* shared (pointer-
+    /// equal) with `base` — the predecessor snapshot's shard, typically.
+    /// Path copying preserves positions, so a positional lockstep walk
+    /// finds every shared subtrie.
+    pub fn shared_nodes_with(&self, base: &Self) -> usize {
+        shared_cow_nodes(&self.root, &base.root)
+    }
+}
+
+impl<T: Clone> CowTrie<T> {
+    /// Inserts `value` at `prefix`, returning the previous value if any.
+    /// Nodes on the prefix's spine that are shared with another trie are
+    /// copied first ([`Arc::make_mut`]); everything off-spine stays
+    /// shared.
+    pub fn insert(&mut self, prefix: Ipv4Prefix, value: T) -> Option<T> {
+        let mut node = Arc::make_mut(&mut self.root);
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            let child = node.children[b].get_or_insert_with(Arc::default);
+            node = Arc::make_mut(child);
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Removes and returns the value at `prefix`. Interior nodes are left
+    /// in place, matching [`PrefixTrie::remove`]'s policy (removal is
+    /// rare next to lookup, and the spine was just path-copied anyway).
+    pub fn remove(&mut self, prefix: Ipv4Prefix) -> Option<T> {
+        // Walk immutably first: a miss must not path-copy the spine.
+        self.get(prefix)?;
+        let mut node = Arc::make_mut(&mut self.root);
+        for depth in 0..prefix.len() {
+            let b = bit_at(prefix.bits(), depth);
+            let child = node.children[b].as_mut().expect("checked by get above");
+            node = Arc::make_mut(child);
+        }
+        let old = node.value.take();
+        if old.is_some() {
+            self.len -= 1;
+        }
+        old
+    }
+}
+
+impl<T: Clone> FromIterator<(Ipv4Prefix, T)> for CowTrie<T> {
+    fn from_iter<I: IntoIterator<Item = (Ipv4Prefix, T)>>(iter: I) -> Self {
+        let mut t = CowTrie::new();
+        for (p, v) in iter {
+            t.insert(p, v);
+        }
+        t
+    }
+}
+
+fn collect_cow_subtree<'a, T>(
+    node: &'a CowNode<T>,
+    bits: u32,
+    depth: u8,
+    out: &mut Vec<(Ipv4Prefix, &'a T)>,
+) {
+    if let Some(v) = node.value.as_ref() {
+        out.push((Ipv4Prefix::canonical(bits, depth), v));
+    }
+    if depth == 32 {
+        return;
+    }
+    if let Some(child) = node.children[0].as_deref() {
+        collect_cow_subtree(child, bits, depth + 1, out);
+    }
+    if let Some(child) = node.children[1].as_deref() {
+        collect_cow_subtree(child, bits | (1u32 << (31 - depth as u32)), depth + 1, out);
+    }
+}
+
+fn count_cow_nodes<T>(node: &CowNode<T>) -> usize {
+    1 + node
+        .children
+        .iter()
+        .flatten()
+        .map(|c| count_cow_nodes(c))
+        .sum::<usize>()
+}
+
+fn shared_cow_nodes<T>(a: &Arc<CowNode<T>>, b: &Arc<CowNode<T>>) -> usize {
+    if Arc::ptr_eq(a, b) {
+        return count_cow_nodes(a);
+    }
+    let mut n = 0;
+    for i in 0..2 {
+        if let (Some(ca), Some(cb)) = (&a.children[i], &b.children[i]) {
+            n += shared_cow_nodes(ca, cb);
+        }
+    }
+    n
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,6 +600,105 @@ mod tests {
             .collect();
         assert_eq!(t.len(), 2);
         assert_eq!(t.get(p("2.0.0.0/8")), Some(&2));
+    }
+
+    fn cow_sample() -> CowTrie<&'static str> {
+        let mut t = CowTrie::new();
+        t.insert(p("12.0.0.0/8"), "eight");
+        t.insert(p("12.0.0.0/19"), "nineteen");
+        t.insert(p("12.0.16.0/24"), "deep");
+        t.insert(p("192.168.0.0/16"), "rfc1918");
+        t
+    }
+
+    #[test]
+    fn cow_insert_get_remove() {
+        let mut t = cow_sample();
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.get(p("12.0.0.0/19")), Some(&"nineteen"));
+        assert_eq!(t.get(p("12.0.0.0/20")), None);
+        assert_eq!(t.insert(p("12.0.0.0/19"), "updated"), Some("nineteen"));
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.remove(p("12.0.0.0/19")), Some("updated"));
+        assert_eq!(t.remove(p("12.0.0.0/19")), None);
+        assert_eq!(t.len(), 3);
+        assert_eq!(
+            t.best_match(p("12.0.16.0/24")).map(|(q, _)| q),
+            Some(p("12.0.16.0/24"))
+        );
+        assert_eq!(
+            t.longest_match(parse_addr("12.0.32.1").unwrap()).unwrap().0,
+            p("12.0.0.0/8")
+        );
+    }
+
+    #[test]
+    fn cow_clone_is_fully_shared_until_mutated() {
+        let base = cow_sample();
+        let clone = base.clone();
+        assert_eq!(clone.shared_nodes_with(&base), base.node_count());
+
+        // Mutating the clone path-copies only the touched spine; the
+        // 192.168/16 branch (17 nodes) and the untouched 12/8 interior
+        // stay physically shared, and the base is unchanged.
+        let mut day1 = base.clone();
+        day1.insert(p("12.0.16.0/24"), "churned");
+        let shared = day1.shared_nodes_with(&base);
+        assert!(shared >= 16, "sibling subtries must stay shared: {shared}");
+        assert!(shared < base.node_count(), "the spine must be copied");
+        assert_eq!(base.get(p("12.0.16.0/24")), Some(&"deep"));
+        assert_eq!(day1.get(p("12.0.16.0/24")), Some(&"churned"));
+    }
+
+    #[test]
+    fn cow_miss_remove_copies_nothing() {
+        let base = cow_sample();
+        let mut clone = base.clone();
+        assert_eq!(clone.remove(p("10.0.0.0/8")), None);
+        assert_eq!(clone.shared_nodes_with(&base), base.node_count());
+    }
+
+    #[test]
+    fn cow_matches_plain_under_random_ops() {
+        // Differential check against PrefixTrie with a deterministic
+        // pseudo-random op stream (splitmix-style, no RNG dep needed).
+        let mut plain: PrefixTrie<u64> = PrefixTrie::new();
+        let mut cow: CowTrie<u64> = CowTrie::new();
+        let mut history: Vec<CowTrie<u64>> = Vec::new();
+        let mut x = 0x5EEDu64;
+        let mut step = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z ^ (z >> 27)
+        };
+        for i in 0..600u64 {
+            let r = step();
+            // Small universe so inserts/removes/overwrites all happen.
+            let prefix = Ipv4Prefix::canonical(((r >> 8) as u32) & 0xF0F0_0000, (r % 21) as u8);
+            if r % 5 == 0 {
+                assert_eq!(plain.remove(prefix), cow.remove(prefix), "op {i}");
+            } else {
+                assert_eq!(plain.insert(prefix, r), cow.insert(prefix, r), "op {i}");
+            }
+            assert_eq!(plain.len(), cow.len(), "op {i}");
+            if i % 97 == 0 {
+                history.push(cow.clone());
+            }
+            let addr = (step() >> 16) as u32;
+            assert_eq!(
+                plain.longest_match(addr).map(|(q, v)| (q, *v)),
+                cow.longest_match(addr).map(|(q, v)| (q, *v)),
+            );
+        }
+        let all_plain: Vec<_> = plain.iter().map(|(q, v)| (q, *v)).collect();
+        let all_cow: Vec<_> = cow.iter().map(|(q, v)| (q, *v)).collect();
+        assert_eq!(all_plain, all_cow);
+        // Old clones were never disturbed by later mutation.
+        for h in &history {
+            assert!(h.len() <= 600);
+            assert_eq!(h.iter().count(), h.len());
+        }
     }
 
     #[test]

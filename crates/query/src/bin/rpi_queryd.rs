@@ -10,8 +10,13 @@
 //!
 //! ```text
 //! rpi-queryd [--size tiny|small|paper] [--seed N] [--snapshots N]
-//!            [--shards N] [--queries FILE] [--bench]
+//!            [--incremental] [--shards N] [--queries FILE] [--bench]
 //! ```
+//!
+//! `--incremental` ingests the churn series diff-aware: each snapshot
+//! after the first is a copy-on-write overlay sharing unchanged shard
+//! subtries with its predecessor (the `snapshots` REPL command shows the
+//! per-snapshot shared-node counts).
 
 use std::io::{BufRead, Write as _};
 use std::process::ExitCode;
@@ -30,6 +35,7 @@ struct Options {
     size: InternetSize,
     seed: u64,
     snapshots: usize,
+    incremental: bool,
     shards: usize,
     queries: Option<String>,
     bench: bool,
@@ -37,7 +43,7 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
-     [--snapshots N] [--shards N] [--queries FILE] [--bench]"
+     [--snapshots N] [--incremental] [--shards N] [--queries FILE] [--bench]"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -45,6 +51,7 @@ fn parse_args() -> Result<Options, String> {
         size: InternetSize::Small,
         seed: 2003,
         snapshots: 1,
+        incremental: false,
         shards: 8,
         queries: None,
         bench: false,
@@ -81,6 +88,7 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--shards must be at least 1".into());
                 }
             }
+            "--incremental" => opts.incremental = true,
             "--queries" => opts.queries = Some(value("--queries")?),
             "--bench" => opts.bench = true,
             "--help" | "-h" => {
@@ -118,7 +126,11 @@ fn main() -> ExitCode {
             ..ChurnConfig::daily(opts.seed ^ 0xC0FFEE)
         };
         let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
-        engine.ingest_series(&series, &exp.inferred_graph);
+        if opts.incremental {
+            engine.ingest_series_incremental(&series, &exp.inferred_graph);
+        } else {
+            engine.ingest_series(&series, &exp.inferred_graph);
+        }
     } else {
         engine.ingest_experiment(&exp, "t0");
     }
@@ -129,6 +141,16 @@ fn main() -> ExitCode {
         engine.snapshot_count(),
         engine.shard_count(),
     );
+    if opts.incremental {
+        let stats = engine.sharing_stats();
+        eprintln!(
+            "incremental ingest: {}/{} trie nodes shared with predecessors ({:.1}%, {} KiB)",
+            stats.shared_nodes,
+            stats.total_nodes,
+            100.0 * stats.shared_ratio(),
+            stats.shared_bytes / 1024,
+        );
+    }
 
     if opts.bench {
         bench(&exp, &engine, opts.shards);
@@ -209,8 +231,15 @@ fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
                 .labels()
                 .enumerate()
                 .map(|(i, l)| {
-                    let n = engine.vantages_in(rpi_query::SnapshotId(i as u32)).len();
-                    format!("{i}: {l} ({n} vantages)")
+                    let id = rpi_query::SnapshotId(i as u32);
+                    let n = engine.vantages_in(id).len();
+                    let sharing = match engine.sharing_with_prev(id) {
+                        Some((shared, total)) if shared > 0 => {
+                            format!(", {shared}/{total} trie nodes shared with prev")
+                        }
+                        _ => String::new(),
+                    };
+                    format!("{i}: {l} ({n} vantages{sharing})")
                 })
                 .collect();
             println!("{}", lines.join("\n"));
@@ -320,6 +349,32 @@ fn bench(exp: &Experiment, engine: &QueryEngine, max_shards: usize) {
             profile.parallel_speedup(),
         );
     }
+
+    // --- series ingest: full re-index vs incremental (COW overlays) ---
+    // A dozen daily snapshots at ~1% route churn each (the paper's §6
+    // series is 31 days of this).
+    const SERIES_STEPS: usize = 12;
+    let cfg = ChurnConfig {
+        steps: SERIES_STEPS,
+        flip_prob: 0.07,
+        link_failure_prob: 0.01,
+        ..ChurnConfig::daily(7)
+    };
+    let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+    let events: usize = series.deltas().iter().map(|d| d.route_events()).sum();
+    let report = rpi_query::measure_series_ingest(&series, &exp.inferred_graph, max_shards, 3);
+    println!(
+        "\nseries ingest ({SERIES_STEPS} snapshots, {events} route events):\n  \
+         full re-index {:.2?}, incremental {:.2?} → {:.1}× faster; \
+         {}/{} trie nodes shared ({:.1}%, {} KiB)",
+        report.full,
+        report.incremental,
+        report.speedup(),
+        report.stats.shared_nodes,
+        report.stats.total_nodes,
+        100.0 * report.stats.shared_ratio(),
+        report.stats.shared_bytes / 1024,
+    );
 
     // --- mixed protocol workload through execute_batch ---
     let reqs: Vec<_> = pairs

@@ -11,10 +11,10 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-use bgp_sim::{SimOutput, SnapshotSeries};
-use bgp_types::{Asn, Ipv4Prefix, Relationship};
+use bgp_sim::{output_delta, SimOutput, SnapshotSeries};
+use bgp_types::{Asn, CowTrie, Ipv4Prefix, Relationship};
 use bgp_wire::{TableDump, WireError};
-use net_topology::AsGraph;
+use net_topology::{AsGraph, CustomerCone};
 use rpi_core::persistence::{classify_persistence, histogram_from_counts};
 use rpi_core::Experiment;
 
@@ -162,12 +162,99 @@ impl BatchProfile {
     }
 }
 
+/// How much of a series' trie structure is physically shared between
+/// consecutive snapshots (the copy-on-write ingest's savings).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SharingStats {
+    /// Snapshots inspected.
+    pub snapshots: usize,
+    /// Total trie nodes across all snapshots, counted as if unshared.
+    pub total_nodes: usize,
+    /// Nodes pointer-shared with the predecessor snapshot (0 for the
+    /// first snapshot and for from-scratch ingests).
+    pub shared_nodes: usize,
+    /// The shared nodes' heap footprint, in bytes.
+    pub shared_bytes: usize,
+}
+
+impl SharingStats {
+    /// `shared_nodes / total_nodes` (0.0 on an empty engine).
+    pub fn shared_ratio(&self) -> f64 {
+        if self.total_nodes == 0 {
+            0.0
+        } else {
+            self.shared_nodes as f64 / self.total_nodes as f64
+        }
+    }
+}
+
+/// The timed full-vs-incremental series-ingest comparison behind
+/// `rpi-queryd --bench` and the `query/ingest_series` bench target —
+/// one implementation so the two reports can't drift.
+#[derive(Debug, Clone, Copy)]
+pub struct SeriesIngestReport {
+    /// Best wall-clock of the from-scratch ingests.
+    pub full: std::time::Duration,
+    /// Best wall-clock of the incremental (COW-overlay) ingests.
+    pub incremental: std::time::Duration,
+    /// Sharing achieved by the incremental engine.
+    pub stats: SharingStats,
+}
+
+impl SeriesIngestReport {
+    /// `full / incremental`.
+    pub fn speedup(&self) -> f64 {
+        self.full.as_secs_f64() / self.incremental.as_secs_f64()
+    }
+}
+
+/// Ingests `series` once per run through each path (best of `runs`, so
+/// a cold first run's allocator warmup doesn't read as ingest cost) and
+/// reports the wall-clock pair plus the incremental engine's
+/// [`SharingStats`].
+pub fn measure_series_ingest(
+    series: &SnapshotSeries,
+    oracle: &AsGraph,
+    n_shards: usize,
+    runs: usize,
+) -> SeriesIngestReport {
+    let best_of = |f: &mut dyn FnMut()| {
+        (0..runs.max(1))
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed()
+            })
+            .min()
+            .expect("at least one run")
+    };
+    let full = best_of(&mut || {
+        let mut e = QueryEngine::new(n_shards);
+        e.ingest_series(series, oracle);
+    });
+    let incremental = best_of(&mut || {
+        let mut e = QueryEngine::new(n_shards);
+        e.ingest_series_incremental(series, oracle);
+    });
+    let mut engine = QueryEngine::new(n_shards);
+    engine.ingest_series_incremental(series, oracle);
+    SeriesIngestReport {
+        full,
+        incremental,
+        stats: engine.sharing_stats(),
+    }
+}
+
 /// The sharded, multi-snapshot policy observatory.
 #[derive(Debug)]
 pub struct QueryEngine {
     pub(crate) interner: WorldInterner,
     pub(crate) snapshots: Vec<Snapshot>,
     n_shards: usize,
+    /// Customer cones cached for the incremental SA patcher; valid as
+    /// long as the ingest oracle's relationships are unchanged (the
+    /// incremental path clears it when they move).
+    cones: HashMap<Asn, CustomerCone>,
 }
 
 impl QueryEngine {
@@ -178,6 +265,7 @@ impl QueryEngine {
             interner: WorldInterner::new(),
             snapshots: Vec::new(),
             n_shards: n_shards.max(1),
+            cones: HashMap::new(),
         }
     }
 
@@ -218,6 +306,11 @@ impl QueryEngine {
     /// Ingests one simulated output with an explicit relationship oracle
     /// (typically the Gao-inferred graph, as the paper's analyses use).
     pub fn ingest_output(&mut self, out: &SimOutput, oracle: &AsGraph, label: &str) -> SnapshotId {
+        // A from-scratch ingest may establish a new oracle baseline
+        // without the incremental path's relationship comparison ever
+        // seeing the switch, so the cone cache is no longer known-valid.
+        // Later incremental snapshots rebuild the cones they need.
+        self.cones.clear();
         let id = SnapshotId(self.snapshots.len() as u32);
         let snap = Snapshot::from_output(id, label, out, oracle, &mut self.interner, self.n_shards);
         self.snapshots.push(snap);
@@ -229,7 +322,11 @@ impl QueryEngine {
         self.ingest_output(&exp.output, &exp.inferred_graph, label)
     }
 
-    /// Ingests every snapshot of a churn series under one oracle.
+    /// Ingests every snapshot of a churn series under one oracle,
+    /// indexing each from scratch. See
+    /// [`Self::ingest_series_incremental`] for the diff-aware
+    /// alternative that shares unchanged structure between consecutive
+    /// snapshots.
     pub fn ingest_series(&mut self, series: &SnapshotSeries, oracle: &AsGraph) -> Vec<SnapshotId> {
         series
             .labels
@@ -237,6 +334,143 @@ impl QueryEngine {
             .zip(&series.snapshots)
             .map(|(label, out)| self.ingest_output(out, oracle, label))
             .collect()
+    }
+
+    /// Ingests a churn series diff-aware: the first snapshot is indexed
+    /// from scratch, every later one as a copy-on-write overlay over its
+    /// predecessor that shares unchanged shard subtries, SA/summary
+    /// caches and the (append-only) interner. Queries cannot tell the
+    /// difference — the differential fuzz suite
+    /// (`crates/query/tests/incremental_diff.rs`) holds both paths to
+    /// byte-identical rendered responses — but at BGP-realistic churn
+    /// rates this ingests a multi-snapshot archive several times faster
+    /// and with most trie memory shared (see [`Self::sharing_stats`]).
+    ///
+    /// ```
+    /// use bgp_sim::churn::simulate_series;
+    /// use bgp_sim::ChurnConfig;
+    /// use net_topology::InternetSize;
+    /// use rpi_core::Experiment;
+    /// use rpi_query::QueryEngine;
+    ///
+    /// let exp = Experiment::standard(InternetSize::Tiny, 7);
+    /// let cfg = ChurnConfig { steps: 3, ..ChurnConfig::daily(7) };
+    /// let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+    ///
+    /// let mut engine = QueryEngine::new(4);
+    /// let ids = engine.ingest_series_incremental(&series, &exp.inferred_graph);
+    /// assert_eq!(ids.len(), 3);
+    /// // Consecutive snapshots physically share unchanged trie nodes:
+    /// let stats = engine.sharing_stats();
+    /// assert!(stats.shared_nodes > 0);
+    /// ```
+    pub fn ingest_series_incremental(
+        &mut self,
+        series: &SnapshotSeries,
+        oracle: &AsGraph,
+    ) -> Vec<SnapshotId> {
+        let mut ids = Vec::with_capacity(series.snapshots.len());
+        let mut prev: Option<&SimOutput> = None;
+        for (label, out) in series.labels.iter().zip(&series.snapshots) {
+            let id = match prev {
+                None => self.ingest_output(out, oracle, label),
+                // One `&AsGraph` held across the loop: the oracle is
+                // provably the predecessor's, so the per-snapshot
+                // relationship re-index and comparison can be skipped.
+                Some(p) => self.ingest_incremental_inner(p, out, oracle, true, label),
+            };
+            ids.push(id);
+            prev = Some(out);
+        }
+        ids
+    }
+
+    /// Ingests `out` as a copy-on-write overlay over the latest
+    /// snapshot. `prev_out` must be the output the latest snapshot was
+    /// built from (the structured delta is computed between the two);
+    /// the oracle may differ from the predecessor's — relationship flips
+    /// are detected and the affected caches rebuilt. On an empty engine
+    /// this falls back to a from-scratch ingest.
+    pub fn ingest_output_incremental(
+        &mut self,
+        prev_out: &SimOutput,
+        out: &SimOutput,
+        oracle: &AsGraph,
+        label: &str,
+    ) -> SnapshotId {
+        self.ingest_incremental_inner(prev_out, out, oracle, false, label)
+    }
+
+    /// `same_oracle` is set only by [`Self::ingest_series_incremental`],
+    /// which holds one oracle reference across the whole loop and can
+    /// therefore skip re-indexing relationships per snapshot.
+    fn ingest_incremental_inner(
+        &mut self,
+        prev_out: &SimOutput,
+        out: &SimOutput,
+        oracle: &AsGraph,
+        same_oracle: bool,
+        label: &str,
+    ) -> SnapshotId {
+        let Some(prev_id) = self.latest() else {
+            return self.ingest_output(out, oracle, label);
+        };
+        let delta = output_delta(prev_out, out);
+        let id = SnapshotId(self.snapshots.len() as u32);
+        let sizes_before = self.interner.sizes();
+        let prev = &self.snapshots[prev_id.index()];
+        let snap = Snapshot::from_output_incremental(
+            id,
+            label,
+            prev,
+            &delta,
+            out,
+            oracle,
+            same_oracle,
+            &mut self.interner,
+            &mut self.cones,
+            self.n_shards,
+        );
+        // The interner is append-only across a series: symbols may be
+        // added, never moved or dropped, so the predecessor's interned
+        // routes stay valid.
+        debug_assert!({
+            let after = self.interner.sizes();
+            after.0 >= sizes_before.0 && after.1 >= sizes_before.1 && after.2 >= sizes_before.2
+        });
+        self.snapshots.push(snap);
+        id
+    }
+
+    /// How much trie structure consecutive snapshots physically share —
+    /// nonzero only for snapshots built by the incremental ingest path.
+    pub fn sharing_stats(&self) -> SharingStats {
+        let mut stats = SharingStats {
+            snapshots: self.snapshots.len(),
+            ..Default::default()
+        };
+        for (i, snap) in self.snapshots.iter().enumerate() {
+            stats.total_nodes += snap.trie_nodes();
+            if i > 0 {
+                stats.shared_nodes += snap.trie_nodes_shared_with(&self.snapshots[i - 1]);
+            }
+        }
+        stats.shared_bytes =
+            stats.shared_nodes * CowTrie::<crate::snapshot::CompactRoute>::node_size();
+        stats
+    }
+
+    /// `(shared, total)` trie nodes of snapshot `id` relative to its
+    /// predecessor (`shared == 0` for the first snapshot and for
+    /// from-scratch ingests).
+    pub fn sharing_with_prev(&self, id: SnapshotId) -> Option<(usize, usize)> {
+        let snap = self.snapshot(id)?;
+        let total = snap.trie_nodes();
+        let shared = match id.index() {
+            0 => 0,
+            i => snap.trie_nodes_shared_with(self.snapshots.get(i - 1)?),
+        };
+        Some((shared, total))
     }
 
     /// Ingests an MRT TABLE_DUMP_V2 file image: decodes it, rebuilds the
@@ -251,6 +485,9 @@ impl QueryEngine {
             &as_relationships::InferenceParams::default(),
         );
         let oracle = inferred.to_graph();
+        // From-scratch ingest under a dump-local oracle: see
+        // `ingest_output` for why the cone cache must be dropped.
+        self.cones.clear();
         let id = SnapshotId(self.snapshots.len() as u32);
         let snap =
             Snapshot::from_collector(id, label, &view, &oracle, &mut self.interner, self.n_shards);
@@ -511,7 +748,7 @@ impl QueryEngine {
             customer_prefixes: cache.map_or(0, |c| c.customer_prefixes),
             sa_count: cache.map_or(0, |c| c.sa.len()),
             typicality: snap.typicality.get(&s).copied(),
-            tagged_neighbors: snap.community_class.get(&s).map_or(0, HashMap::len),
+            tagged_neighbors: snap.community_class.get(&s).map_or(0, |m| m.len()),
             neighbor_counts,
         })
     }

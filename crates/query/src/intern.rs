@@ -4,6 +4,13 @@
 //! [`crate::QueryEngine`]: the same ASN or prefix receives the same symbol
 //! in every snapshot, which is what makes snapshot diffing and multi-
 //! snapshot queries integer-cheap.
+//!
+//! The tables are **append-only**: interning only ever adds symbols,
+//! never moves or retires one. Incremental (copy-on-write) ingest leans
+//! on this — a snapshot that shares its predecessor's tries keeps
+//! resolving the predecessor's symbols, and only the churned routes
+//! intern anything new (which lands the engine on exactly the symbol set
+//! a full re-index would have built).
 
 use bgp_types::intern::{Interner, Symbol};
 use bgp_types::{Asn, Community, Ipv4Prefix};

@@ -19,11 +19,21 @@
 //! classes — are first-class queries backed by
 //! [`rpi_core::persistence`].
 //!
+//! Churn series ingest **incrementally**
+//! ([`QueryEngine::ingest_series_incremental`]): each snapshot after the
+//! first is a copy-on-write overlay over its predecessor — shard tries
+//! share every untouched subtrie ([`bgp_types::CowTrie`]), SA/summary
+//! caches re-derive only the touched vantage×prefix entries, and the
+//! interner stays append-only — differentially tested to answer every
+//! query byte-identically to a full re-index
+//! (`tests/incremental_diff.rs`), ~6× faster at BGP-realistic churn with
+//! ~95% of trie memory shared ([`QueryEngine::sharing_stats`]).
+//!
 //! * [`intern`] — ASNs, prefixes and communities are interned into dense
 //!   `u32` symbols ([`bgp_types::Interner`]), so routes store 4-byte IDs
 //!   and cross-snapshot comparison is integer comparison.
 //! * [`snapshot`] — one ingested snapshot: per-vantage best-route tables
-//!   sharded into [`bgp_types::PrefixTrie`]s, plus the precomputed
+//!   sharded into [`bgp_types::CowTrie`]s, plus the precomputed
 //!   `rpi_core` analyses (SA reports, import typicality, community
 //!   semantics, relationship map).
 //! * [`proto`] — the query protocol: AST, wire grammar, responses.
@@ -77,7 +87,10 @@ pub mod proto;
 pub mod snapshot;
 
 pub use diff::{RelationshipFlip, SnapshotDiff, VantageChurn};
-pub use engine::{BatchProfile, PolicySummary, QueryEngine, RouteAnswer, SaStatus};
+pub use engine::{
+    measure_series_ingest, BatchProfile, PolicySummary, QueryEngine, RouteAnswer, SaStatus,
+    SeriesIngestReport, SharingStats,
+};
 pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
 pub use plan::QueryError;
 pub use proto::{

@@ -5,11 +5,12 @@
 //!
 //! [`parse`] and [`render`] round-trip: `parse(&render(&req)) == Ok(req)`
 //! for every representable request, so query logs can be replayed and
-//! goldens diffed byte-for-byte. (The grammar is line- and
-//! word-oriented, so the one exception is a [`Scope::Label`] containing
-//! whitespace — ingest labels must be whitespace-free to be addressable
-//! on the wire.) [`parse_script`] parses a whole query file and reports
-//! errors with 1-based line numbers.
+//! goldens diffed byte-for-byte. (Two shapes are unrepresentable on the
+//! wire: a [`Scope::Label`] containing whitespace — the grammar is line-
+//! and word-oriented, so ingest labels must be whitespace-free to be
+//! addressable — and a reversed [`Scope::Range`] on anything but `diff`,
+//! which the engine rejects anyway.) [`parse_script`] parses a whole
+//! query file and reports errors with 1-based line numbers.
 //!
 //! ## The grammar
 //!
@@ -28,9 +29,12 @@
 //!
 //! A scope is one token: `@latest`, `@3` (snapshot id), `@label:day-07`
 //! (or bare `@day-07` when the label is not a number or keyword), `@all`,
-//! or `@0..3` (inclusive id range). Point queries default to `@latest`,
-//! history queries to `@all`; `diff` needs an explicit range (the legacy
-//! `diff 0 2` spelling is accepted and means `diff @0..2`).
+//! or `@0..3` (inclusive id range, ascending: a reversed or half-open
+//! range like `@7..3` or `@3..` is a grammar error, never a silently
+//! empty scope). Point queries default to `@latest`, history queries to
+//! `@all`; `diff` needs an explicit range (the legacy `diff 0 2`
+//! spelling is accepted and means `diff @0..2`; a *reverse* diff is
+//! spelled `diff 2 0`, which is also how [`render`] canonicalizes it).
 //!
 //! ```
 //! use rpi_query::{parse, render, Query, Scope};
@@ -64,8 +68,12 @@ pub enum Scope {
     Label(String),
     /// Every ingested snapshot, in id order (`@all`).
     All,
-    /// An inclusive id range (`@0..3`). `diff` reads it as from→to and
-    /// accepts either order; history queries require `from ≤ to`.
+    /// An inclusive id range (`@0..3`). The wire grammar only speaks
+    /// ascending ranges; a programmatically built reversed range is
+    /// still meaningful for `diff` (from→to in either order, rendered as
+    /// the legacy `diff <from> <to>` spelling) and an
+    /// [`InvertedRange`](crate::QueryError::InvertedRange) error for
+    /// history queries.
     Range(SnapshotId, SnapshotId),
 }
 
@@ -340,10 +348,21 @@ fn parse_scope_body(body: &str) -> Result<Scope, ParseError> {
         return Ok(Scope::Label(label.to_string()));
     }
     if let Some((from, to)) = body.split_once("..") {
+        if from.is_empty() || to.is_empty() {
+            return Err(ParseError::Malformed(format!(
+                "empty scope range '@{body}': both endpoints are required (@<from>..<to>)"
+            )));
+        }
         let from = parse_snap(from)
             .map_err(|_| ParseError::Malformed(format!("bad scope range '@{body}'")))?;
         let to = parse_snap(to)
             .map_err(|_| ParseError::Malformed(format!("bad scope range '@{body}'")))?;
+        if from > to {
+            return Err(ParseError::Malformed(format!(
+                "scope range '@{body}' runs backwards: use '@{}..{}' (a reverse diff is spelled 'diff {} {}')",
+                to.0, from.0, from.0, to.0
+            )));
+        }
         return Ok(Scope::Range(from, to));
     }
     if body.bytes().all(|b| b.is_ascii_digit()) && !body.is_empty() {
@@ -494,7 +513,13 @@ pub fn render(req: &QueryRequest) -> String {
         Query::SaStatus { vantage, prefix } => format!("sa {vantage} {prefix} {scope}"),
         Query::Relationship { a, b } => format!("rel {a} {b} {scope}"),
         Query::PolicySummary { asn } => format!("summary {asn} {scope}"),
-        Query::Diff => format!("diff {scope}"),
+        // A reverse diff (meaningful: undo-reading a churn report) cannot
+        // be spoken as a scope token — `@3..1` is a grammar error — so its
+        // canonical wire form is the two-operand spelling.
+        Query::Diff => match &req.scope {
+            Scope::Range(a, b) if a > b => format!("diff {} {}", a.0, b.0),
+            _ => format!("diff {scope}"),
+        },
         Query::SaHistory { vantage, prefix } => format!("sa-history {vantage} {prefix} {scope}"),
         Query::UptimeHistogram { vantage } => format!("uptime {vantage} {scope}"),
         Query::TopKSaOrigins { vantage, k } => format!("top-sa {vantage} {k} {scope}"),
@@ -689,6 +714,58 @@ mod tests {
         );
         assert!(parse("sa AS1 1.0.0.0/8 @").is_err());
         assert!(parse("sa AS1 1.0.0.0/8 @3..x").is_err());
+    }
+
+    #[test]
+    fn reversed_and_empty_ranges_are_grammar_errors() {
+        // Backwards ranges must fail loudly — in both query classes —
+        // instead of resolving to an empty scope.
+        for line in [
+            "sa-history AS1 1.0.0.0/8 @7..3",
+            "uptime AS1 @7..3",
+            "sa AS1 1.0.0.0/8 @7..3",
+            "diff @7..3",
+        ] {
+            let err = parse(line).unwrap_err();
+            assert!(
+                err.to_string().contains("runs backwards"),
+                "'{line}' → {err}"
+            );
+            assert!(
+                err.to_string().contains("@3..7"),
+                "the error must name the fix: {err}"
+            );
+        }
+        // Half-open / empty forms are rejected with their own message.
+        for line in ["uptime AS1 @3..", "uptime AS1 @..3", "uptime AS1 @.."] {
+            let err = parse(line).unwrap_err();
+            assert!(
+                err.to_string().contains("empty scope range"),
+                "'{line}' → {err}"
+            );
+        }
+        // The ascending forms all still parse.
+        assert_eq!(
+            parse("uptime AS1 @3..7").unwrap().scope,
+            Scope::Range(SnapshotId(3), SnapshotId(7))
+        );
+        assert_eq!(
+            parse("uptime AS1 @3..3").unwrap().scope,
+            Scope::Range(SnapshotId(3), SnapshotId(3))
+        );
+    }
+
+    #[test]
+    fn reverse_diffs_speak_the_legacy_spelling() {
+        // Programmatic reverse diffs stay wire-representable: render
+        // falls back to the two-operand form, which parses back exactly.
+        let req = Query::Diff.at(Scope::Range(SnapshotId(3), SnapshotId(1)));
+        assert_eq!(render(&req), "diff 3 1");
+        assert_eq!(parse("diff 3 1").unwrap(), req);
+        assert_eq!(parse(&render(&req)).unwrap(), req);
+        // Forward diffs keep the scope-token canonical form.
+        let fwd = Query::Diff.at(Scope::Range(SnapshotId(1), SnapshotId(3)));
+        assert_eq!(render(&fwd), "diff @1..3");
     }
 
     #[test]

@@ -116,6 +116,113 @@ fn forced_churn_is_visible_in_diffs() {
 }
 
 #[test]
+fn vantage_loss_and_return_counts_whole_tables() {
+    // A vantage disappearing mid-series counts all its routes as
+    // removed; its return counts them as added — whichever ingest path
+    // built the snapshots.
+    let (g, t, spec) = world();
+    let out = Simulation::new(&g, &t, &spec).run();
+    let &lost_lg = out.lgs.keys().next().expect("world has LGs");
+    let mut without = out.clone();
+    // Remove the vantage entirely: its LG view and (if it is also a
+    // collector peer) its collector rows — otherwise it would merely
+    // degrade to a collector-peer vantage instead of disappearing.
+    without.lgs.remove(&lost_lg);
+    without.collector.peers.retain(|&p| p != lost_lg);
+    for rows in without.collector.rows.values_mut() {
+        rows.retain(|r| r.peer != lost_lg);
+    }
+    without.collector.rows.retain(|_, rows| !rows.is_empty());
+
+    for incremental in [false, true] {
+        let mut engine = QueryEngine::new(4);
+        engine.ingest_output(&out, &g, "t0");
+        if incremental {
+            engine.ingest_output_incremental(&out, &without, &g, "t1");
+            engine.ingest_output_incremental(&without, &out, &g, "t2");
+        } else {
+            engine.ingest_output(&without, &g, "t1");
+            engine.ingest_output(&out, &g, "t2");
+        }
+        let ids: Vec<_> = (0..3).map(rpi_query::SnapshotId).collect();
+
+        let route_count = out.lgs[&lost_lg]
+            .rows
+            .values()
+            .filter(|rows| rows.iter().any(|r| r.best && !r.path.is_empty()))
+            .count();
+        let gone = engine.diff(ids[0], ids[1]).unwrap();
+        let churn = gone
+            .churn
+            .iter()
+            .find(|c| c.vantage == lost_lg)
+            .expect("lost vantage appears in the churn report");
+        assert_eq!(
+            (churn.added, churn.removed, churn.changed),
+            (0, route_count, 0),
+            "incremental={incremental}"
+        );
+
+        let back = engine.diff(ids[1], ids[2]).unwrap();
+        let churn = back.churn.iter().find(|c| c.vantage == lost_lg).unwrap();
+        assert_eq!(
+            (churn.added, churn.removed, churn.changed),
+            (route_count, 0, 0),
+            "incremental={incremental}"
+        );
+
+        // And the outer endpoints are identical: the loss round-trips.
+        let outer = engine.diff(ids[0], ids[2]).unwrap();
+        assert!(outer.is_empty(), "incremental={incremental}: {outer:?}");
+    }
+}
+
+#[test]
+fn non_adjacent_diff_equals_direct_comparison() {
+    // `diff @0..3` must compare the endpoint snapshots directly — the
+    // same answer whether or not intermediate snapshots churned, and the
+    // same through the wire grammar as through the API.
+    let (g, t, spec) = world();
+    let cfg = ChurnConfig {
+        seed: 99,
+        steps: 4,
+        flip_prob: 0.8,
+        link_failure_prob: 0.3,
+        label: "day",
+    };
+    let series = simulate_series(&g, &t, &spec, &cfg);
+    let mut engine = QueryEngine::new(4);
+    let ids = engine.ingest_series(&series, &g);
+
+    // Ingest the endpoint snapshots alone into a second engine: the
+    // non-adjacent diff must match this two-snapshot engine's answer.
+    let mut endpoints = QueryEngine::new(4);
+    endpoints.ingest_output(&series.snapshots[0], &g, &series.labels[0]);
+    endpoints.ingest_output(&series.snapshots[3], &g, &series.labels[3]);
+
+    let wide = engine.diff(ids[0], ids[3]).unwrap();
+    let direct = endpoints
+        .diff(rpi_query::SnapshotId(0), rpi_query::SnapshotId(1))
+        .unwrap();
+    assert_eq!(wide.new_sa, direct.new_sa);
+    assert_eq!(wide.gone_sa, direct.gone_sa);
+    assert_eq!(wide.churned_routes(), direct.churned_routes());
+
+    // The wire grammar reaches the same result.
+    let req = rpi_query::parse("diff @0..3").unwrap();
+    match engine.execute(&req).unwrap() {
+        rpi_query::Response::Diff(d) => assert_eq!(d, wide),
+        other => panic!("diff answered {other:?}"),
+    }
+
+    // A reverse diff swaps the roles exactly.
+    let rev = engine.diff(ids[3], ids[0]).unwrap();
+    assert_eq!(rev.new_sa, wide.gone_sa);
+    assert_eq!(rev.gone_sa, wide.new_sa);
+    assert_eq!(rev.churned_routes(), wide.churned_routes());
+}
+
+#[test]
 fn sa_deltas_track_recomputed_reports() {
     let (g, t, spec) = world();
     if t.selective_subset_origins.is_empty() {

@@ -1,0 +1,480 @@
+//! The incremental-ingest correctness contract, enforced differentially:
+//! for every churn scenario, a snapshot built as a copy-on-write overlay
+//! over its predecessor must be **query-for-query byte-identical** to a
+//! from-scratch index of the same tables.
+//!
+//! A seeded scenario generator drives diverse event mixes through both
+//! ingest paths — policy flips and re-announcements with changed paths
+//! (churn re-rolls), transient link failures with conditional
+//! advertisement (flaps), relationship flips (the oracle changes
+//! mid-series), and vantage loss/return (an LG or collector peer
+//! disappears for a few snapshots) — then executes a randomized mixed
+//! batch of every protocol verb against both engines and compares the
+//! *rendered* responses byte for byte. Errors must match too: the two
+//! engines may not even disagree about what is unanswerable.
+//!
+//! CI runs this suite as a dedicated step over the fixed seed matrix
+//! below; `RPI_DIFF_SEEDS=seed1,seed2,…` adds extra seeds without a
+//! rebuild.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bgp_sim::churn::simulate_series;
+use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, SimOutput, VantageSpec};
+use bgp_types::{Asn, Ipv4Prefix, Relationship};
+use net_topology::{AsGraph, InternetConfig, InternetSize};
+use rpi_query::{render_response, Query, QueryEngine, QueryRequest, Scope, SnapshotId};
+
+const SNAPSHOTS: usize = 8;
+const QUERIES: usize = 400;
+
+/// One churn scenario: per-step outputs, labels and oracles (the oracle
+/// list is what lets a scenario flip relationships mid-series).
+struct Scenario {
+    labels: Vec<String>,
+    outputs: Vec<SimOutput>,
+    oracles: Vec<AsGraph>,
+    /// ASes worth querying (vantages, mutated vantages, bogus).
+    vantages: Vec<Asn>,
+    /// Prefixes worth querying (from the tables, plus bogus).
+    prefixes: Vec<Ipv4Prefix>,
+}
+
+fn some_edge(g: &AsGraph, rng: &mut StdRng) -> Option<(Asn, Asn, Relationship)> {
+    let mut edges = Vec::new();
+    for a in g.ases() {
+        for (b, rel) in g.neighbors(a) {
+            edges.push((a, b, rel));
+            if edges.len() >= 64 {
+                break;
+            }
+        }
+    }
+    edges.choose(rng).copied()
+}
+
+fn build_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1FF_5EED);
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(seed)
+        .build();
+    let truth = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+
+    // Event mix: every scenario flips policies and fails links at a
+    // seed-dependent rate (re-announcements with changed paths, flaps).
+    let cfg = ChurnConfig {
+        seed,
+        steps: SNAPSHOTS,
+        flip_prob: rng.gen_range(0.05..0.6),
+        link_failure_prob: rng.gen_range(0.05..0.4),
+        label: "fz",
+    };
+    let series = simulate_series(&g, &truth, &spec, &cfg);
+    let labels = series.labels;
+    let mut outputs = series.snapshots;
+
+    // Vantage loss: one LG and one collector peer disappear for a
+    // stretch of the series and come back (their tables vanish from the
+    // affected snapshots, exactly as a dead feed would look).
+    if SNAPSHOTS >= 4 {
+        let from = rng.gen_range(1..SNAPSHOTS - 2);
+        let to = rng.gen_range(from + 1..SNAPSHOTS);
+        let lg_pool: Vec<Asn> = outputs[0].lgs.keys().copied().collect();
+        if let Some(&lg) = lg_pool.choose(&mut rng) {
+            for out in &mut outputs[from..to] {
+                out.lgs.remove(&lg);
+            }
+        }
+        if let Some(&peer) = outputs[0].collector.peers.clone().choose(&mut rng) {
+            let from = rng.gen_range(1..SNAPSHOTS - 1);
+            for out in &mut outputs[from..] {
+                out.collector.peers.retain(|&p| p != peer);
+                for rows in out.collector.rows.values_mut() {
+                    rows.retain(|r| r.peer != peer);
+                }
+                out.collector.rows.retain(|_, rows| !rows.is_empty());
+            }
+        }
+    }
+
+    // Relationship flip: from a random step onward the oracle loses one
+    // edge and regains it under a different relationship, so customer
+    // cones and Fig. 4 classifications genuinely move.
+    let mut oracles = vec![g.clone(); outputs.len()];
+    if let Some((a, b, rel)) = some_edge(&g, &mut rng) {
+        let mut flipped = g.clone();
+        flipped.remove_edge(a, b);
+        let new_rel = match rel {
+            Relationship::Customer | Relationship::Provider => Relationship::Peer,
+            _ => Relationship::Customer,
+        };
+        let _ = flipped.add_edge(a, b, new_rel);
+        let from = rng.gen_range(1..outputs.len());
+        for o in &mut oracles[from..] {
+            *o = flipped.clone();
+        }
+    }
+
+    // Query universes.
+    let mut vantages: Vec<Asn> = spec.collector_peers.clone();
+    vantages.extend(&spec.lg_ases);
+    vantages.push(Asn(65_500)); // never a vantage
+    vantages.dedup();
+    let mut prefixes: Vec<Ipv4Prefix> = outputs
+        .iter()
+        .flat_map(|o| o.collector.rows.keys().copied())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    prefixes.push("203.0.113.0/24".parse().unwrap()); // never announced
+    prefixes.push("0.0.0.0/0".parse().unwrap());
+
+    Scenario {
+        labels,
+        outputs,
+        oracles,
+        vantages,
+        prefixes,
+    }
+}
+
+/// Ingests the scenario twice: from scratch every snapshot, and
+/// incrementally (first snapshot full, rest as COW overlays).
+fn ingest_both(sc: &Scenario, shards: usize) -> (QueryEngine, QueryEngine) {
+    let mut full = QueryEngine::new(shards);
+    let mut incr = QueryEngine::new(shards);
+    for (i, (label, out)) in sc.labels.iter().zip(&sc.outputs).enumerate() {
+        full.ingest_output(out, &sc.oracles[i], label);
+        if i == 0 {
+            incr.ingest_output(out, &sc.oracles[i], label);
+        } else {
+            incr.ingest_output_incremental(&sc.outputs[i - 1], out, &sc.oracles[i], label);
+        }
+    }
+    (full, incr)
+}
+
+fn arb_point_scope(rng: &mut StdRng, n: usize) -> Scope {
+    match rng.gen_range(0..4u8) {
+        0 => Scope::Latest,
+        1 => Scope::Id(SnapshotId(rng.gen_range(0..n as u32))),
+        2 => Scope::Id(SnapshotId(n as u32 + 3)), // invalid: errors must match too
+        _ => Scope::All,                          // scope mismatch for point queries
+    }
+}
+
+fn arb_history_scope(rng: &mut StdRng, n: usize) -> Scope {
+    match rng.gen_range(0..3u8) {
+        0 => Scope::All,
+        1 => {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(a..n as u32);
+            Scope::Range(SnapshotId(a), SnapshotId(b))
+        }
+        _ => Scope::Latest,
+    }
+}
+
+fn arb_request(rng: &mut StdRng, sc: &Scenario, n: usize) -> QueryRequest {
+    let vantage = *sc.vantages.choose(rng).unwrap();
+    let prefix = *sc.prefixes.choose(rng).unwrap();
+    match rng.gen_range(0..10u8) {
+        0 => Query::Route { vantage, prefix }.at(arb_point_scope(rng, n)),
+        1 => Query::Resolve { vantage, prefix }.at(arb_point_scope(rng, n)),
+        2 => Query::SaStatus { vantage, prefix }.at(arb_point_scope(rng, n)),
+        3 => {
+            let b = *sc.vantages.choose(rng).unwrap();
+            Query::Relationship { a: vantage, b }.at(arb_point_scope(rng, n))
+        }
+        4 => Query::PolicySummary { asn: vantage }.at(arb_point_scope(rng, n)),
+        5 => {
+            // Diffs across adjacent and non-adjacent endpoints, both
+            // directions, occasionally labels/invalid via point scopes.
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            Query::Diff.at(Scope::Range(SnapshotId(a), SnapshotId(b)))
+        }
+        6 => Query::SaHistory { vantage, prefix }.at(arb_history_scope(rng, n)),
+        7 => Query::UptimeHistogram { vantage }.at(arb_history_scope(rng, n)),
+        8 => Query::TopKSaOrigins {
+            vantage,
+            k: rng.gen_range(0..6usize),
+        }
+        .at(arb_history_scope(rng, n)),
+        _ => Query::PersistenceClass { vantage, prefix }.at(arb_history_scope(rng, n)),
+    }
+}
+
+/// What the observatory would print for this request — the byte-level
+/// equivalence surface (errors included).
+fn rendered(engine: &QueryEngine, req: &QueryRequest) -> String {
+    match engine.execute(req) {
+        Ok(resp) => render_response(req, &resp),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn run_differential(seed: u64) {
+    let sc = build_scenario(seed);
+
+    // The scenario must bite: a seed whose event mix never moves a route
+    // would hold the differential vacuously.
+    let route_events: usize = sc
+        .outputs
+        .windows(2)
+        .map(|w| bgp_sim::output_delta(&w[0], &w[1]).route_events())
+        .sum();
+    assert!(
+        route_events > 0,
+        "seed {seed}: degenerate scenario (no churn at all) — pick another seed"
+    );
+
+    let (full, incr) = ingest_both(&sc, 4);
+
+    assert_eq!(full.snapshot_count(), incr.snapshot_count());
+    assert_eq!(
+        full.labels().collect::<Vec<_>>(),
+        incr.labels().collect::<Vec<_>>()
+    );
+    // Append-only interning from identical inputs interns identical sets.
+    assert_eq!(full.interned_sizes(), incr.interned_sizes(), "seed {seed}");
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0B5E_55ED);
+    let n = full.snapshot_count();
+    let mut answered = 0usize;
+    for i in 0..QUERIES {
+        let req = arb_request(&mut rng, &sc, n);
+        let a = rendered(&full, &req);
+        let b = rendered(&incr, &req);
+        assert_eq!(
+            a, b,
+            "seed {seed}, query {i}: full and incremental ingest disagree on {req:?}"
+        );
+        if !a.starts_with("error:") {
+            answered += 1;
+        }
+    }
+    assert!(
+        answered > QUERIES / 2,
+        "seed {seed}: scenario too degenerate, only {answered}/{QUERIES} answered"
+    );
+
+    // The incremental engine physically shares structure; the full one
+    // cannot (every snapshot was built from scratch).
+    let stats = incr.sharing_stats();
+    assert!(
+        stats.shared_nodes > 0,
+        "seed {seed}: COW overlays must share trie nodes: {stats:?}"
+    );
+    assert!(stats.shared_bytes > 0);
+    // …but not *everything* can be shared in a churning series: the
+    // touched spines were path-copied.
+    let first = incr
+        .sharing_with_prev(SnapshotId(0))
+        .map_or(0, |(_, total)| total);
+    assert!(
+        stats.shared_nodes < stats.total_nodes - first,
+        "seed {seed}: a churning series cannot share every node: {stats:?}"
+    );
+    assert_eq!(full.sharing_stats().shared_nodes, 0);
+
+    // Batched execution flows through the same snapshots: spot-check the
+    // planner path with a mixed batch on the incremental engine.
+    let reqs: Vec<QueryRequest> = (0..64).map(|_| arb_request(&mut rng, &sc, n)).collect();
+    let batched = incr.execute_batch(&reqs);
+    for (req, res) in reqs.iter().zip(batched) {
+        let line = match res {
+            Ok(resp) => render_response(req, &resp),
+            Err(e) => format!("error: {e}"),
+        };
+        assert_eq!(
+            line,
+            rendered(&full, req),
+            "seed {seed}: batched path diverged"
+        );
+    }
+}
+
+// The fixed seed matrix CI runs as a dedicated step.
+
+#[test]
+fn differential_seed_0xa1() {
+    run_differential(0xA1);
+}
+
+#[test]
+fn differential_seed_0xb2() {
+    run_differential(0xB2);
+}
+
+#[test]
+fn differential_seed_0xc3() {
+    run_differential(0xC3);
+}
+
+/// Extra seeds without a rebuild: `RPI_DIFF_SEEDS=7,8,9 cargo test …`.
+#[test]
+fn differential_extra_seeds_from_env() {
+    let Ok(spec) = std::env::var("RPI_DIFF_SEEDS") else {
+        return;
+    };
+    for part in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let seed: u64 = part
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad seed '{part}' in RPI_DIFF_SEEDS"));
+        run_differential(seed);
+    }
+}
+
+/// Regression: the engine-wide customer-cone cache must not leak across
+/// ingest chains. A second incremental series under a *different*
+/// oracle starts with a from-scratch ingest (which never runs the
+/// incremental oracle comparison), so the cache built under the first
+/// oracle must be dropped there — otherwise churned routes of the
+/// second series are SA-classified with stale cones.
+#[test]
+fn cone_cache_does_not_leak_across_oracle_switches() {
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(2)
+        .build();
+    let truth = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+    let cfg = ChurnConfig {
+        seed: 2,
+        steps: 4,
+        flip_prob: 0.6,
+        link_failure_prob: 0.3,
+        label: "s",
+    };
+    let series = simulate_series(&g, &truth, &spec, &cfg);
+
+    // A second oracle that genuinely moves a vantage's cone: demote one
+    // Customer edge of the first vantage to Peer.
+    let mut rng = StdRng::seed_from_u64(2);
+    let mut flipped = g.clone();
+    let vantage = spec.collector_peers[0];
+    let customers: Vec<Asn> = g.customers_of(vantage).collect();
+    let &victim = customers.choose(&mut rng).expect("vantage has customers");
+    flipped.remove_edge(vantage, victim);
+    let _ = flipped.add_edge(vantage, victim, Relationship::Peer);
+
+    let ingest = |incremental: bool| -> QueryEngine {
+        let mut e = QueryEngine::new(4);
+        for (oracle, tag) in [(&g, "a"), (&flipped, "b")] {
+            for (i, out) in series.snapshots.iter().enumerate() {
+                let label = format!("{tag}-{i}");
+                if incremental && i > 0 {
+                    e.ingest_output_incremental(&series.snapshots[i - 1], out, oracle, &label);
+                } else {
+                    e.ingest_output(out, oracle, &label);
+                }
+            }
+        }
+        e
+    };
+    let full = ingest(false);
+    let incr = ingest(true);
+    let n = full.snapshot_count();
+    for i in 0..n as u32 {
+        for &v in spec.collector_peers.iter().chain(&spec.lg_ases) {
+            let req = Query::PolicySummary { asn: v }.at(Scope::Id(SnapshotId(i)));
+            assert_eq!(
+                rendered(&full, &req),
+                rendered(&incr, &req),
+                "stale cones at snapshot {i}, vantage {v}"
+            );
+        }
+    }
+}
+
+/// Regression: a collector peer appearing mid-series brings rows whose
+/// communities were never compared against a predecessor; the
+/// incremental path must intern them wholesale so the engine lands on
+/// exactly the symbol set a full re-index builds.
+#[test]
+fn added_peer_communities_are_interned() {
+    use bgp_sim::CollectorRow;
+    use bgp_types::Community;
+
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(5)
+        .build();
+    let truth = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+    let out = bgp_sim::Simulation::new(&g, &truth, &spec).run();
+
+    // Snapshot 2 gains a brand-new peer whose one row carries a
+    // community no other row has ever used.
+    let mut with_peer = out.clone();
+    let new_peer = Asn(64_999);
+    with_peer.collector.peers.push(new_peer);
+    let (&prefix, rows) = out.collector.rows.iter().next().expect("rows exist");
+    let origin = *rows[0].path.last().unwrap();
+    with_peer
+        .collector
+        .rows
+        .get_mut(&prefix)
+        .unwrap()
+        .push(CollectorRow {
+            peer: new_peer,
+            path: vec![new_peer, origin],
+            communities: vec![Community::new(64_999, 777)],
+        });
+
+    let mut full = QueryEngine::new(4);
+    full.ingest_output(&out, &g, "t0");
+    full.ingest_output(&with_peer, &g, "t1");
+
+    let mut incr = QueryEngine::new(4);
+    incr.ingest_output(&out, &g, "t0");
+    incr.ingest_output_incremental(&out, &with_peer, &g, "t1");
+
+    assert_eq!(
+        full.interned_sizes(),
+        incr.interned_sizes(),
+        "the added peer's community must be interned incrementally too"
+    );
+    let req = Query::Route {
+        vantage: new_peer,
+        prefix,
+    }
+    .at(Scope::Id(SnapshotId(1)));
+    assert_eq!(rendered(&full, &req), rendered(&incr, &req));
+}
+
+/// Zero churn is the sharing fast path: every snapshot after the first
+/// is one `Arc` clone per vantage, and the series shares ~everything.
+#[test]
+fn zero_churn_shares_everything() {
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(31)
+        .build();
+    let truth = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+    let cfg = ChurnConfig {
+        seed: 31,
+        steps: 4,
+        flip_prob: 0.0,
+        link_failure_prob: 0.0,
+        label: "calm",
+    };
+    let series = simulate_series(&g, &truth, &spec, &cfg);
+    let mut engine = QueryEngine::new(4);
+    let ids = engine.ingest_series_incremental(&series, &g);
+    assert_eq!(ids.len(), 4);
+    let stats = engine.sharing_stats();
+    // Snapshots 1..3 share every node with their predecessor: shared =
+    // 3/4 of the total.
+    assert_eq!(
+        stats.shared_nodes * 4,
+        stats.total_nodes * 3,
+        "calm series must share all non-first structure: {stats:?}"
+    );
+    for w in ids.windows(2) {
+        let d = engine.diff(w[0], w[1]).unwrap();
+        assert!(d.is_empty(), "calm series must diff empty: {d:?}");
+    }
+}

@@ -43,9 +43,13 @@ fn arb_scope(rng: &mut StdRng) -> Scope {
         2 => Scope::Label(arb_label(rng)),
         3 => Scope::All,
         _ => {
+            // Only ascending ranges are wire-representable: `@7..3` is a
+            // grammar error (a reversed range is meaningful solely for
+            // `diff`, whose render uses the legacy `diff 7 3` spelling —
+            // covered by `reversed_diffs_roundtrip_via_legacy_spelling`).
             let a = rng.gen_range(0..100u32);
             let b = rng.gen_range(0..100u32);
-            Scope::Range(SnapshotId(a), SnapshotId(b))
+            Scope::Range(SnapshotId(a.min(b)), SnapshotId(a.max(b)))
         }
     }
 }
@@ -161,6 +165,45 @@ fn default_scopes_match_query_class() {
                 Scope::Latest
             },
             "default scope for '{bare}'"
+        );
+    }
+}
+
+#[test]
+fn reversed_diffs_roundtrip_via_legacy_spelling() {
+    let mut rng = StdRng::seed_from_u64(0x6006);
+    for _ in 0..CASES {
+        let a = rng.gen_range(0..100u32);
+        let b = rng.gen_range(0..100u32);
+        let req = Query::Diff.at(Scope::Range(SnapshotId(a), SnapshotId(b)));
+        let line = render(&req);
+        assert_eq!(parse(&line).unwrap(), req, "round trip through '{line}'");
+        if a > b {
+            assert_eq!(
+                line,
+                format!("diff {a} {b}"),
+                "reverse diffs use the legacy spelling"
+            );
+        }
+    }
+}
+
+#[test]
+fn reversed_ranges_never_parse_on_history_or_point_queries() {
+    let mut rng = StdRng::seed_from_u64(0x6007);
+    for _ in 0..CASES {
+        let query = arb_query(&mut rng);
+        if query == Query::Diff {
+            continue;
+        }
+        let a = rng.gen_range(1..100u32);
+        let b = rng.gen_range(0..a);
+        let req = query.at(Scope::Range(SnapshotId(a), SnapshotId(b)));
+        let line = render(&req);
+        let err = parse(&line).expect_err("reversed ranges are grammar errors");
+        assert!(
+            err.to_string().contains("runs backwards"),
+            "'{line}' → {err}"
         );
     }
 }

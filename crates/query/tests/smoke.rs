@@ -49,6 +49,63 @@ fn queries_file_matches_golden_output() {
     );
 }
 
+/// The same world ingested with `--incremental` must answer every smoke
+/// query identically — the end-to-end face of the differential contract
+/// in `tests/incremental_diff.rs`. Only the `snapshots` listing may
+/// differ (it reports the shared-node counts that prove the overlays are
+/// real), so it diffs against its own golden. Regenerate with the module
+/// command plus `--incremental`, into `smoke_incremental.golden`.
+#[test]
+fn incremental_ingest_matches_its_golden() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let queries = data.join("smoke.q");
+    let golden =
+        std::fs::read_to_string(data.join("smoke_incremental.golden")).expect("golden committed");
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args([
+            "--size",
+            "tiny",
+            "--seed",
+            "11",
+            "--snapshots",
+            "4",
+            "--shards",
+            "4",
+            "--incremental",
+        ])
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .expect("rpi-queryd runs");
+
+    assert!(
+        out.status.success(),
+        "rpi-queryd --incremental failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_eq!(
+        stdout, golden,
+        "stdout diverged from tests/data/smoke_incremental.golden"
+    );
+
+    // Belt and braces: apart from the `snapshots` listing (which shows
+    // shared-node counts), the two goldens are identical line streams.
+    let full_golden = std::fs::read_to_string(data.join("smoke.golden")).unwrap();
+    let strip = |text: &str| -> Vec<String> {
+        text.lines()
+            .filter(|l| !l.contains("vantages)") && !l.contains("vantages,"))
+            .map(str::to_string)
+            .collect()
+    };
+    assert_eq!(
+        strip(&stdout),
+        strip(&full_golden),
+        "incremental ingest changed a query answer"
+    );
+}
+
 #[test]
 fn bad_query_files_name_the_line() {
     let dir = std::env::temp_dir().join(format!("rpi-queryd-smoke-{}", std::process::id()));
