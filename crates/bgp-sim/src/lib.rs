@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod churn;
+pub mod delta_codec;
 pub mod engine;
 pub mod export;
 pub mod policy;

@@ -17,6 +17,9 @@
 //! * [`decision`] — the 7-step best-route selection of §2.2.1 of the paper.
 //! * [`PrefixTrie`] — a binary trie for longest-prefix-match and
 //!   covered/covering queries, used by the cause analysis (Table 9).
+//! * [`codec`] / [`flat`] — the archive substrate: LEB128/ZigZag byte
+//!   codec with offset-carrying errors, and the flattened pointer-free
+//!   trie layout ([`FlatTrie`]) the on-disk snapshot store uses.
 //! * [`Relationship`] — the provider / customer / peer / sibling annotation
 //!   of the AS graph (§2.1).
 //!
@@ -27,9 +30,11 @@
 #![warn(missing_docs)]
 
 pub mod asn;
+pub mod codec;
 pub mod community;
 pub mod decision;
 pub mod error;
+pub mod flat;
 pub mod intern;
 pub mod path;
 pub mod prefix;
@@ -38,9 +43,11 @@ pub mod route;
 pub mod trie;
 
 pub use asn::Asn;
+pub use codec::CodecError;
 pub use community::Community;
 pub use decision::{best_route, compare_routes, DecisionStep};
 pub use error::ParseError;
+pub use flat::FlatTrie;
 pub use intern::{Interner, Symbol};
 pub use path::{AsPath, PathSegment};
 pub use prefix::Ipv4Prefix;

@@ -53,10 +53,84 @@ pub trait Buf {
         v
     }
 
+    /// Read a big-endian `u64`. Panics if fewer than 8 bytes remain.
+    fn get_u64(&mut self) -> u64 {
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+
     /// Fill `dst` from the cursor. Panics if `dst.len() > remaining()`.
     fn copy_to_slice(&mut self, dst: &mut [u8]) {
         dst.copy_from_slice(&self.chunk()[..dst.len()]);
         self.advance(dst.len());
+    }
+
+    /// Checked [`Buf::get_u8`]: `Err(TryGetError)` instead of a panic
+    /// when the buffer is short (mirrors `bytes` ≥ 1.9).
+    fn try_get_u8(&mut self) -> Result<u8, TryGetError> {
+        check(self.remaining(), 1)?;
+        Ok(self.get_u8())
+    }
+
+    /// Checked [`Buf::get_u16`].
+    fn try_get_u16(&mut self) -> Result<u16, TryGetError> {
+        check(self.remaining(), 2)?;
+        Ok(self.get_u16())
+    }
+
+    /// Checked [`Buf::get_u32`].
+    fn try_get_u32(&mut self) -> Result<u32, TryGetError> {
+        check(self.remaining(), 4)?;
+        Ok(self.get_u32())
+    }
+
+    /// Checked [`Buf::get_u64`].
+    fn try_get_u64(&mut self) -> Result<u64, TryGetError> {
+        check(self.remaining(), 8)?;
+        Ok(self.get_u64())
+    }
+
+    /// Checked [`Buf::copy_to_slice`].
+    fn try_copy_to_slice(&mut self, dst: &mut [u8]) -> Result<(), TryGetError> {
+        check(self.remaining(), dst.len())?;
+        self.copy_to_slice(dst);
+        Ok(())
+    }
+}
+
+/// A checked read ran off the end of the buffer (mirrors
+/// `bytes::TryGetError`): the reader wanted `requested` bytes but only
+/// `available` remained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TryGetError {
+    /// Bytes the read needed.
+    pub requested: usize,
+    /// Bytes the buffer still held.
+    pub available: usize,
+}
+
+impl std::fmt::Display for TryGetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "buffer exhausted: requested {} bytes, {} available",
+            self.requested, self.available
+        )
+    }
+}
+
+impl std::error::Error for TryGetError {}
+
+fn check(available: usize, requested: usize) -> Result<(), TryGetError> {
+    if available < requested {
+        Err(TryGetError {
+            requested,
+            available,
+        })
+    } else {
+        Ok(())
     }
 }
 
@@ -77,6 +151,11 @@ pub trait BufMut {
 
     /// Append a big-endian `u32`.
     fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
         self.put_slice(&v.to_be_bytes());
     }
 }
@@ -334,12 +413,40 @@ mod tests {
         b.put_u8(7);
         b.put_u16(0x1234);
         b.put_u32(0xdead_beef);
+        b.put_u64(0x0123_4567_89ab_cdef);
         let mut r = b.freeze();
-        assert_eq!(r.remaining(), 7);
+        assert_eq!(r.remaining(), 15);
         assert_eq!(r.get_u8(), 7);
         assert_eq!(r.get_u16(), 0x1234);
         assert_eq!(r.get_u32(), 0xdead_beef);
+        assert_eq!(r.get_u64(), 0x0123_4567_89ab_cdef);
         assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn try_get_reports_shortfall_instead_of_panicking() {
+        let mut r = Bytes::from(vec![1, 2, 3]);
+        assert_eq!(r.try_get_u16(), Ok(0x0102));
+        assert_eq!(
+            r.try_get_u32(),
+            Err(TryGetError {
+                requested: 4,
+                available: 1
+            })
+        );
+        // A failed try leaves the cursor untouched.
+        assert_eq!(r.try_get_u8(), Ok(3));
+        assert_eq!(
+            r.try_get_u64(),
+            Err(TryGetError {
+                requested: 8,
+                available: 0
+            })
+        );
+        let mut dst = [0u8; 2];
+        let mut r = Bytes::from(vec![9]);
+        assert!(r.try_copy_to_slice(&mut dst).is_err());
+        assert_eq!(r.remaining(), 1);
     }
 
     #[test]

@@ -1,0 +1,1053 @@
+//! Saving and cold-starting the engine through `rpi-store` archives.
+//!
+//! `rpi-store` owns the container (manifest, checksums, segment files);
+//! this module owns what goes *inside* the segments — the engine's
+//! interned world, serialized so that loading is a linear decode instead
+//! of a re-simulation:
+//!
+//! * **symbol segment** — the [`WorldInterner`] tables in symbol order,
+//!   one *block per snapshot* (the interner is append-only across a
+//!   series, so each block is just what its snapshot added; block
+//!   boundaries restore the per-snapshot watermarks on load).
+//! * **full segment** — one snapshot fully materialized: per-vantage
+//!   shard tries in the flattened pointer-free layout of
+//!   [`bgp_types::flat`], SA caches, relationship maps (elided when
+//!   byte-identical to the predecessor's, restoring `Arc` sharing on
+//!   load), import typicality and community classes.
+//! * **delta segment** — one snapshot as the structured
+//!   [`OutputDelta`] events it was ingested from, plus the list of
+//!   vantages that disappeared and the recomputed analyses of
+//!   `analyses_dirty` Looking-Glass vantages. Loading replays the events
+//!   through [`Snapshot::patch_vantage`] — the *same* code the live
+//!   incremental ingest runs — against an oracle graph rebuilt from the
+//!   predecessor's relationship map. The differential-testing contract
+//!   of incremental ingest therefore extends to disk for free: **load
+//!   of a delta segment ≡ full re-index**, byte-for-byte at the
+//!   response level.
+//!
+//! The full-vs-delta choice per snapshot is [`delta_plan`]'s policy:
+//! a snapshot is written as a delta iff it was built incrementally
+//! (it retained its events), its relationship maps match its
+//! predecessor's, no vantage appeared, and no vantage changed kind —
+//! everything else (first snapshots, MRT ingests, oracle flips, feed
+//! appearances) falls back to a self-contained full segment.
+//!
+//! Decoding is paranoid: every count, symbol and flag is validated, and
+//! every failure surfaces as a typed [`StoreError`] carrying the segment
+//! index and absolute byte offset. A failed load returns an error, never
+//! a partially-populated engine.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bgp_sim::OutputDelta;
+use bgp_types::codec::{put_prefix, put_str, put_uvarint, CodecError, Reader};
+use bgp_types::intern::Symbol;
+use bgp_types::{flat, Asn, Community, CowTrie, Relationship};
+use net_topology::{AsGraph, CustomerCone};
+use rpi_store::{
+    read_segment, write_segment, Manifest, SegmentEntry, SegmentKind, SegmentRef, StoreError,
+    MANIFEST_FILE,
+};
+
+use crate::engine::QueryEngine;
+use crate::intern::{AsnSym, PrefixSym, WorldInterner};
+use crate::snapshot::{
+    CompactRoute, Provenance, SaCache, Snapshot, SnapshotId, VantageKind, VantageTable,
+};
+
+/// One segment's on-disk identity, kept on the engine after a save or
+/// load so storage cost is visible next to sharing stats.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentMeta {
+    /// Index in the manifest's segment table.
+    pub index: usize,
+    /// What the segment holds.
+    pub kind: SegmentKind,
+    /// File name inside the archive directory.
+    pub file: String,
+    /// Byte length on disk.
+    pub bytes: u64,
+    /// CRC-32 of the bytes.
+    pub crc32: u32,
+    /// Snapshot label (empty for the symbols segment).
+    pub label: String,
+}
+
+impl SegmentMeta {
+    fn from_entry(index: usize, e: &SegmentEntry) -> SegmentMeta {
+        SegmentMeta {
+            index,
+            kind: e.kind,
+            file: e.file.clone(),
+            bytes: e.bytes,
+            crc32: e.crc32,
+            label: e.label.clone(),
+        }
+    }
+}
+
+/// Where an engine's bytes live on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchiveInfo {
+    /// The archive directory.
+    pub dir: PathBuf,
+    /// The symbol segment.
+    pub symbols: SegmentMeta,
+    /// One segment per snapshot, in snapshot order.
+    pub snapshots: Vec<SegmentMeta>,
+}
+
+impl ArchiveInfo {
+    /// Total segment bytes on disk (manifest file excluded).
+    pub fn total_bytes(&self) -> usize {
+        self.symbols.bytes as usize
+            + self
+                .snapshots
+                .iter()
+                .map(|s| s.bytes as usize)
+                .sum::<usize>()
+    }
+
+    fn from_manifest(dir: &Path, manifest: &Manifest) -> ArchiveInfo {
+        let mut symbols = None;
+        let mut snapshots = Vec::new();
+        for (i, e) in manifest.segments.iter().enumerate() {
+            let meta = SegmentMeta::from_entry(i, e);
+            if e.kind == SegmentKind::Symbols {
+                symbols = Some(meta);
+            } else {
+                snapshots.push(meta);
+            }
+        }
+        ArchiveInfo {
+            dir: dir.to_path_buf(),
+            symbols: symbols.expect("callers verified a symbols segment exists"),
+            snapshots,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// small shared vocabulary
+// ---------------------------------------------------------------------------
+
+fn sym_u(s: AsnSym) -> u64 {
+    s.0 .0 as u64
+}
+
+fn psym_u(p: PrefixSym) -> u64 {
+    p.0 .0 as u64
+}
+
+fn rel_to_u8(r: Relationship) -> u8 {
+    match r {
+        Relationship::Provider => 0,
+        Relationship::Customer => 1,
+        Relationship::Peer => 2,
+        Relationship::Sibling => 3,
+    }
+}
+
+fn rel_from_u8(v: u8, offset: usize) -> Result<Relationship, CodecError> {
+    match v {
+        0 => Ok(Relationship::Provider),
+        1 => Ok(Relationship::Customer),
+        2 => Ok(Relationship::Peer),
+        3 => Ok(Relationship::Sibling),
+        _ => Err(CodecError::Invalid {
+            offset,
+            what: "relationship tag",
+        }),
+    }
+}
+
+/// Reads a symbol and bounds-checks it against the loaded table size.
+fn read_sym(r: &mut Reader<'_>, limit: usize, what: &'static str) -> Result<Symbol, CodecError> {
+    let offset = r.position();
+    let v = r.uvarint()?;
+    if v >= limit as u64 {
+        return Err(CodecError::Invalid { offset, what });
+    }
+    Ok(Symbol(v as u32))
+}
+
+fn read_asn(r: &mut Reader<'_>) -> Result<Asn, CodecError> {
+    let offset = r.position();
+    let v = r.uvarint()?;
+    u32::try_from(v).map(Asn).map_err(|_| CodecError::Invalid {
+        offset,
+        what: "ASN",
+    })
+}
+
+// ---------------------------------------------------------------------------
+// the symbol segment
+// ---------------------------------------------------------------------------
+
+const SYMBOLS_FILE: &str = "symbols.seg";
+
+fn encode_symbols(engine: &QueryEngine) -> Vec<u8> {
+    let mut out = Vec::new();
+    let asns: Vec<Asn> = engine.interner.iter_asns().collect();
+    let prefixes: Vec<_> = engine.interner.iter_prefixes().collect();
+    let comms: Vec<Community> = engine.interner.iter_communities().collect();
+
+    put_uvarint(&mut out, engine.snapshots.len() as u64);
+    let mut prev = (0usize, 0usize, 0usize);
+    for snap in &engine.snapshots {
+        let hw = snap.interned_watermark;
+        debug_assert!(hw.0 >= prev.0 && hw.1 >= prev.1 && hw.2 >= prev.2);
+        put_uvarint(&mut out, (hw.0 - prev.0) as u64);
+        for &a in &asns[prev.0..hw.0] {
+            put_uvarint(&mut out, a.0 as u64);
+        }
+        put_uvarint(&mut out, (hw.1 - prev.1) as u64);
+        for &p in &prefixes[prev.1..hw.1] {
+            put_prefix(&mut out, p);
+        }
+        put_uvarint(&mut out, (hw.2 - prev.2) as u64);
+        for &c in &comms[prev.2..hw.2] {
+            put_uvarint(&mut out, c.as_u32() as u64);
+        }
+        prev = hw;
+    }
+    out
+}
+
+/// Loads the symbol blocks into `interner`, returning the per-snapshot
+/// watermarks the block boundaries encode.
+fn decode_symbols(
+    raw: &[u8],
+    interner: &mut WorldInterner,
+) -> Result<Vec<(usize, usize, usize)>, CodecError> {
+    let mut r = Reader::new(raw);
+    let n_blocks = r.ulen()?;
+    let mut watermarks = Vec::with_capacity(n_blocks.min(1 << 16));
+    let mut sizes = (0usize, 0usize, 0usize);
+    for _ in 0..n_blocks {
+        let n = r.ulen()?;
+        for _ in 0..n {
+            let offset = r.position();
+            let a = read_asn(&mut r)?;
+            if interner.asn(a) != AsnSym(Symbol(sizes.0 as u32)) {
+                return Err(CodecError::Invalid {
+                    offset,
+                    what: "duplicate ASN symbol",
+                });
+            }
+            sizes.0 += 1;
+        }
+        let n = r.ulen()?;
+        for _ in 0..n {
+            let offset = r.position();
+            let p = r.prefix()?;
+            if interner.prefix(p) != PrefixSym(Symbol(sizes.1 as u32)) {
+                return Err(CodecError::Invalid {
+                    offset,
+                    what: "duplicate prefix symbol",
+                });
+            }
+            sizes.1 += 1;
+        }
+        let n = r.ulen()?;
+        for _ in 0..n {
+            let offset = r.position();
+            let raw = r.uvarint()?;
+            let raw = u32::try_from(raw).map_err(|_| CodecError::Invalid {
+                offset,
+                what: "community",
+            })?;
+            let c = Community::new((raw >> 16) as u16, (raw & 0xFFFF) as u16);
+            if interner.community(c).0 != Symbol(sizes.2 as u32) {
+                return Err(CodecError::Invalid {
+                    offset,
+                    what: "duplicate community symbol",
+                });
+            }
+            sizes.2 += 1;
+        }
+        watermarks.push(sizes);
+    }
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid {
+            offset: r.position(),
+            what: "trailing bytes after symbol blocks",
+        });
+    }
+    Ok(watermarks)
+}
+
+// ---------------------------------------------------------------------------
+// full segments
+// ---------------------------------------------------------------------------
+
+const FLAG_REL_SHARED: u8 = 1;
+
+fn encode_route(route: &CompactRoute, out: &mut Vec<u8>) {
+    put_uvarint(out, sym_u(route.next_hop));
+    put_uvarint(out, route.path.len() as u64);
+    for &s in route.path.iter() {
+        put_uvarint(out, sym_u(s));
+    }
+}
+
+fn decode_route(r: &mut Reader<'_>, n_asns: usize) -> Result<CompactRoute, CodecError> {
+    let next_hop = AsnSym(read_sym(r, n_asns, "next-hop symbol")?);
+    let offset = r.position();
+    let n = r.ulen()?;
+    if n == 0 {
+        return Err(CodecError::Invalid {
+            offset,
+            what: "empty AS path",
+        });
+    }
+    let mut path = Vec::with_capacity(n.min(64));
+    for _ in 0..n {
+        path.push(AsnSym(read_sym(r, n_asns, "path symbol")?));
+    }
+    Ok(CompactRoute {
+        next_hop,
+        path: path.into_boxed_slice(),
+    })
+}
+
+fn rel_maps_equal(a: &Snapshot, b: &Snapshot) -> bool {
+    (Arc::ptr_eq(&a.relationships, &b.relationships) || *a.relationships == *b.relationships)
+        && (Arc::ptr_eq(&a.neighbor_counts, &b.neighbor_counts)
+            || *a.neighbor_counts == *b.neighbor_counts)
+}
+
+fn encode_full(snap: &Snapshot, prev: Option<&Snapshot>) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &snap.label);
+
+    let shared = prev.is_some_and(|p| rel_maps_equal(snap, p));
+    out.push(if shared { FLAG_REL_SHARED } else { 0 });
+    if !shared {
+        let mut rels: Vec<(&(AsnSym, AsnSym), &Relationship)> = snap.relationships.iter().collect();
+        rels.sort_unstable_by_key(|((a, b), _)| (*a, *b));
+        put_uvarint(&mut out, rels.len() as u64);
+        for ((a, b), &rel) in rels {
+            put_uvarint(&mut out, sym_u(*a));
+            put_uvarint(&mut out, sym_u(*b));
+            out.push(rel_to_u8(rel));
+        }
+        type CountRow<'a> = (&'a AsnSym, &'a (usize, usize, usize, usize));
+        let mut counts: Vec<CountRow<'_>> = snap.neighbor_counts.iter().collect();
+        counts.sort_unstable_by_key(|(s, _)| **s);
+        put_uvarint(&mut out, counts.len() as u64);
+        for (&s, &(p, c, r, b)) in counts {
+            put_uvarint(&mut out, sym_u(s));
+            for v in [p, c, r, b] {
+                put_uvarint(&mut out, v as u64);
+            }
+        }
+    }
+
+    // Vantage tables: flattened shard tries.
+    let mut vantages: Vec<(&AsnSym, &Arc<VantageTable>)> = snap.vantages.iter().collect();
+    vantages.sort_unstable_by_key(|(s, _)| **s);
+    put_uvarint(&mut out, vantages.len() as u64);
+    for (&s, table) in &vantages {
+        put_uvarint(&mut out, sym_u(s));
+        out.push(match table.kind {
+            VantageKind::LookingGlass => 0,
+            VantageKind::CollectorPeer => 1,
+        });
+        put_uvarint(&mut out, table.route_count as u64);
+        for shard in &table.shards {
+            flat::write_trie(shard, &mut out, &mut |route, out| encode_route(route, out));
+        }
+    }
+
+    // SA caches.
+    let mut sa: Vec<(&AsnSym, &Arc<SaCache>)> = snap.sa.iter().collect();
+    sa.sort_unstable_by_key(|(s, _)| **s);
+    put_uvarint(&mut out, sa.len() as u64);
+    for (&owner, cache) in sa {
+        put_uvarint(&mut out, sym_u(owner));
+        put_uvarint(&mut out, cache.customer_prefixes as u64);
+        for map in [&cache.sa, &cache.exported] {
+            let mut entries: Vec<(&PrefixSym, &AsnSym)> = map.iter().collect();
+            entries.sort_unstable_by_key(|(p, _)| **p);
+            put_uvarint(&mut out, entries.len() as u64);
+            for (&p, &a) in entries {
+                put_uvarint(&mut out, psym_u(p));
+                put_uvarint(&mut out, sym_u(a));
+            }
+        }
+    }
+
+    // LG analyses.
+    let mut typ: Vec<(&AsnSym, &(usize, usize))> = snap.typicality.iter().collect();
+    typ.sort_unstable_by_key(|(s, _)| **s);
+    put_uvarint(&mut out, typ.len() as u64);
+    for (&s, &(compared, typical)) in typ {
+        put_uvarint(&mut out, sym_u(s));
+        put_uvarint(&mut out, compared as u64);
+        put_uvarint(&mut out, typical as u64);
+    }
+    let mut cc: Vec<(&AsnSym, &Arc<HashMap<AsnSym, Relationship>>)> =
+        snap.community_class.iter().collect();
+    cc.sort_unstable_by_key(|(s, _)| **s);
+    put_uvarint(&mut out, cc.len() as u64);
+    for (&owner, classes) in cc {
+        put_uvarint(&mut out, sym_u(owner));
+        let mut entries: Vec<(&AsnSym, &Relationship)> = classes.iter().collect();
+        entries.sort_unstable_by_key(|(s, _)| **s);
+        put_uvarint(&mut out, entries.len() as u64);
+        for (&n, &rel) in entries {
+            put_uvarint(&mut out, sym_u(n));
+            out.push(rel_to_u8(rel));
+        }
+    }
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decode_full(
+    raw: &[u8],
+    id: SnapshotId,
+    expect_label: &str,
+    prev: Option<&Snapshot>,
+    interner: &WorldInterner,
+    n_shards: usize,
+) -> Result<Snapshot, CodecError> {
+    let (n_asns, n_prefixes, _) = interner.sizes();
+    let mut r = Reader::new(raw);
+    let label_offset = r.position();
+    let label = r.str()?;
+    if label != expect_label {
+        return Err(CodecError::Invalid {
+            offset: label_offset,
+            what: "label disagrees with manifest",
+        });
+    }
+    let mut snap = Snapshot::empty(id, label);
+
+    let flag_offset = r.position();
+    let flags = r.u8()?;
+    if flags & !FLAG_REL_SHARED != 0 {
+        return Err(CodecError::Invalid {
+            offset: flag_offset,
+            what: "unknown full-segment flags",
+        });
+    }
+    if flags & FLAG_REL_SHARED != 0 {
+        let prev = prev.ok_or(CodecError::Invalid {
+            offset: flag_offset,
+            what: "relationships shared but segment has no predecessor",
+        })?;
+        snap.relationships = Arc::clone(&prev.relationships);
+        snap.neighbor_counts = Arc::clone(&prev.neighbor_counts);
+    } else {
+        let n = r.ulen()?;
+        let mut rels = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let a = AsnSym(read_sym(&mut r, n_asns, "relationship symbol")?);
+            let b = AsnSym(read_sym(&mut r, n_asns, "relationship symbol")?);
+            let offset = r.position();
+            let rel = rel_from_u8(r.u8()?, offset)?;
+            rels.insert((a, b), rel);
+        }
+        snap.relationships = Arc::new(rels);
+        let n = r.ulen()?;
+        let mut counts = HashMap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let s = AsnSym(read_sym(&mut r, n_asns, "neighbor-count symbol")?);
+            let mut vals = [0usize; 4];
+            for v in &mut vals {
+                *v = r.ulen()?;
+            }
+            counts.insert(s, (vals[0], vals[1], vals[2], vals[3]));
+        }
+        snap.neighbor_counts = Arc::new(counts);
+    }
+
+    // Vantage tables.
+    let n_vantages = r.ulen()?;
+    for _ in 0..n_vantages {
+        let owner = AsnSym(read_sym(&mut r, n_asns, "vantage symbol")?);
+        let kind_offset = r.position();
+        let kind = match r.u8()? {
+            0 => VantageKind::LookingGlass,
+            1 => VantageKind::CollectorPeer,
+            _ => {
+                return Err(CodecError::Invalid {
+                    offset: kind_offset,
+                    what: "vantage kind",
+                })
+            }
+        };
+        let count_offset = r.position();
+        let route_count = r.ulen()?;
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut inserted = 0usize;
+        for _ in 0..n_shards {
+            let pairs = flat::read_trie(&mut r, &mut |vr| decode_route(vr, n_asns))?;
+            let mut trie = CowTrie::new();
+            for (prefix, route) in pairs {
+                if interner.lookup_prefix(prefix).is_none() {
+                    return Err(CodecError::Invalid {
+                        offset: count_offset,
+                        what: "table prefix missing from symbol table",
+                    });
+                }
+                trie.insert(prefix, route);
+                inserted += 1;
+            }
+            shards.push(trie);
+        }
+        if inserted != route_count {
+            return Err(CodecError::Invalid {
+                offset: count_offset,
+                what: "route count disagrees with trie contents",
+            });
+        }
+        snap.vantages.insert(
+            owner,
+            Arc::new(VantageTable {
+                kind,
+                shards,
+                route_count,
+            }),
+        );
+    }
+
+    // SA caches.
+    let sa_offset = r.position();
+    let n_sa = r.ulen()?;
+    if n_sa != n_vantages {
+        return Err(CodecError::Invalid {
+            offset: sa_offset,
+            what: "SA cache count disagrees with vantage count",
+        });
+    }
+    for _ in 0..n_sa {
+        let owner_offset = r.position();
+        let owner = AsnSym(read_sym(&mut r, n_asns, "SA owner symbol")?);
+        if !snap.vantages.contains_key(&owner) {
+            return Err(CodecError::Invalid {
+                offset: owner_offset,
+                what: "SA cache for unknown vantage",
+            });
+        }
+        let mut cache = SaCache {
+            customer_prefixes: r.ulen()?,
+            ..SaCache::default()
+        };
+        for which in 0..2 {
+            let n = r.ulen()?;
+            let map = if which == 0 {
+                &mut cache.sa
+            } else {
+                &mut cache.exported
+            };
+            for _ in 0..n {
+                let p = PrefixSym(read_sym(&mut r, n_prefixes, "SA prefix symbol")?);
+                let a = AsnSym(read_sym(&mut r, n_asns, "SA origin symbol")?);
+                map.insert(p, a);
+            }
+        }
+        snap.sa.insert(owner, Arc::new(cache));
+    }
+
+    // LG analyses.
+    let n_typ = r.ulen()?;
+    for _ in 0..n_typ {
+        let s = AsnSym(read_sym(&mut r, n_asns, "typicality symbol")?);
+        let compared = r.ulen()?;
+        let typical = r.ulen()?;
+        snap.typicality.insert(s, (compared, typical));
+    }
+    let n_cc = r.ulen()?;
+    for _ in 0..n_cc {
+        let owner = AsnSym(read_sym(&mut r, n_asns, "community-class symbol")?);
+        let n = r.ulen()?;
+        let mut classes = HashMap::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let neighbor = AsnSym(read_sym(&mut r, n_asns, "community-class symbol")?);
+            let offset = r.position();
+            let rel = rel_from_u8(r.u8()?, offset)?;
+            classes.insert(neighbor, rel);
+        }
+        snap.community_class.insert(owner, Arc::new(classes));
+    }
+
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid {
+            offset: r.position(),
+            what: "trailing bytes after full segment",
+        });
+    }
+    Ok(snap)
+}
+
+// ---------------------------------------------------------------------------
+// delta segments
+// ---------------------------------------------------------------------------
+
+/// The archive's full-vs-delta policy: the retained events, iff they are
+/// cleanly replayable against the predecessor without any view data.
+fn delta_plan<'a>(snap: &'a Snapshot, prev: &Snapshot) -> Option<&'a Arc<OutputDelta>> {
+    let Provenance::Delta(delta) = &snap.provenance else {
+        return None;
+    };
+    // A vantage that appeared (or switched kind) was indexed from its
+    // live view — a delta segment has no view to index from.
+    if !delta.peers_added.is_empty() || !delta.lgs_added.is_empty() {
+        return None;
+    }
+    if !rel_maps_equal(snap, prev) {
+        // An oracle change moved customer cones; replay would classify
+        // SA prefixes under the wrong cones.
+        return None;
+    }
+    let survives = snap
+        .vantages
+        .iter()
+        .all(|(s, t)| prev.vantages.get(s).is_some_and(|pt| pt.kind == t.kind));
+    survives.then_some(delta)
+}
+
+fn encode_delta(
+    snap: &Snapshot,
+    prev: &Snapshot,
+    delta: &OutputDelta,
+    interner: &WorldInterner,
+) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, &snap.label);
+
+    // Vantages of the predecessor that this snapshot no longer carries.
+    let mut dropped: Vec<Asn> = prev
+        .vantages
+        .keys()
+        .filter(|s| !snap.vantages.contains_key(s))
+        .map(|&s| interner.resolve_asn(s))
+        .collect();
+    dropped.sort_unstable();
+    put_uvarint(&mut out, dropped.len() as u64);
+    for a in dropped {
+        put_uvarint(&mut out, a.0 as u64);
+    }
+
+    delta.encode(&mut out);
+
+    // Analyses sidecar: the recomputed per-LG results replay cannot
+    // derive (it has events, not views). Exactly the `analyses_dirty`
+    // Looking-Glass vantages.
+    let dirty: Vec<Asn> = delta
+        .lgs
+        .iter()
+        .filter(|(_, vd)| vd.analyses_dirty)
+        .map(|(&a, _)| a)
+        .collect();
+    put_uvarint(&mut out, dirty.len() as u64);
+    for asn in dirty {
+        let owner = interner
+            .lookup_asn(asn)
+            .expect("dirty LG vantages are interned");
+        let &(compared, typical) = snap
+            .typicality
+            .get(&owner)
+            .expect("dirty LG vantages have typicality");
+        put_uvarint(&mut out, asn.0 as u64);
+        put_uvarint(&mut out, compared as u64);
+        put_uvarint(&mut out, typical as u64);
+        let classes = snap
+            .community_class
+            .get(&owner)
+            .expect("dirty LG vantages have community classes");
+        let mut entries: Vec<(&AsnSym, &Relationship)> = classes.iter().collect();
+        entries.sort_unstable_by_key(|(s, _)| **s);
+        put_uvarint(&mut out, entries.len() as u64);
+        for (&n, &rel) in entries {
+            put_uvarint(&mut out, sym_u(n));
+            out.push(rel_to_u8(rel));
+        }
+    }
+    out
+}
+
+struct LgPatch {
+    typicality: (usize, usize),
+    classes: HashMap<AsnSym, Relationship>,
+}
+
+struct DeltaPayload {
+    label: String,
+    dropped: Vec<Asn>,
+    delta: OutputDelta,
+    sidecar: BTreeMap<Asn, LgPatch>,
+}
+
+fn decode_delta(
+    raw: &[u8],
+    expect_label: &str,
+    interner: &WorldInterner,
+) -> Result<DeltaPayload, CodecError> {
+    let (n_asns, _, _) = interner.sizes();
+    let mut r = Reader::new(raw);
+    let label_offset = r.position();
+    let label = r.str()?.to_string();
+    if label != expect_label {
+        return Err(CodecError::Invalid {
+            offset: label_offset,
+            what: "label disagrees with manifest",
+        });
+    }
+    let n = r.ulen()?;
+    let mut dropped = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        dropped.push(read_asn(&mut r)?);
+    }
+    let delta_offset = r.position();
+    let delta = OutputDelta::decode(&mut r)?;
+    // Replay runs the decoded events through the live patching code,
+    // whose interner calls intern-on-miss — so every symbol the events
+    // reference must already be in the loaded table, or a corrupt
+    // segment would silently grow the interner past the recorded
+    // watermarks instead of failing here.
+    for vd in delta.collector.values().chain(delta.lgs.values()) {
+        let known_route = |route: &bgp_sim::DeltaRoute| {
+            interner.lookup_asn(route.next_hop).is_some()
+                && route.path.iter().all(|&a| interner.lookup_asn(a).is_some())
+        };
+        let ok = vd
+            .announced
+            .iter()
+            .chain(&vd.replaced)
+            .all(|(p, route)| interner.lookup_prefix(*p).is_some() && known_route(route))
+            && vd
+                .withdrawn
+                .iter()
+                .all(|&p| interner.lookup_prefix(p).is_some());
+        if !ok {
+            return Err(CodecError::Invalid {
+                offset: delta_offset,
+                what: "delta event symbol missing from symbol table",
+            });
+        }
+    }
+    let n = r.ulen()?;
+    let mut sidecar = BTreeMap::new();
+    for _ in 0..n {
+        let asn = read_asn(&mut r)?;
+        let compared = r.ulen()?;
+        let typical = r.ulen()?;
+        let n_classes = r.ulen()?;
+        let mut classes = HashMap::with_capacity(n_classes.min(1 << 16));
+        for _ in 0..n_classes {
+            let neighbor = AsnSym(read_sym(&mut r, n_asns, "community-class symbol")?);
+            let offset = r.position();
+            let rel = rel_from_u8(r.u8()?, offset)?;
+            classes.insert(neighbor, rel);
+        }
+        sidecar.insert(
+            asn,
+            LgPatch {
+                typicality: (compared, typical),
+                classes,
+            },
+        );
+    }
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid {
+            offset: r.position(),
+            what: "trailing bytes after delta segment",
+        });
+    }
+    Ok(DeltaPayload {
+        label,
+        dropped,
+        delta,
+        sidecar,
+    })
+}
+
+/// Rebuilds the relationship oracle a delta run replays under. The
+/// snapshot's relationship map stores both directions of every edge, so
+/// the graph (and therefore every customer cone) reconstructs exactly.
+fn oracle_from_relationships(snap: &Snapshot, interner: &WorldInterner) -> AsGraph {
+    let mut g = AsGraph::new();
+    for &s in snap.neighbor_counts.keys() {
+        g.ensure_as(interner.resolve_asn(s));
+    }
+    for (&(a, b), &rel) in snap.relationships.iter() {
+        let (a, b) = (interner.resolve_asn(a), interner.resolve_asn(b));
+        g.ensure_as(a);
+        g.ensure_as(b);
+        let _ = g.add_edge(a, b, rel);
+    }
+    g
+}
+
+/// Replays a decoded delta segment over the previous snapshot — the
+/// load-time twin of `Snapshot::from_output_incremental`, sharing its
+/// per-vantage patching code.
+fn replay_delta(
+    id: SnapshotId,
+    payload: &DeltaPayload,
+    prev: &Snapshot,
+    oracle: &AsGraph,
+    interner: &mut WorldInterner,
+    cones: &mut HashMap<Asn, CustomerCone>,
+) -> Result<Snapshot, CodecError> {
+    let mut snap = Snapshot::empty(id, &payload.label);
+    snap.relationships = Arc::clone(&prev.relationships);
+    snap.neighbor_counts = Arc::clone(&prev.neighbor_counts);
+
+    let mut dropped_syms: HashSet<AsnSym> = HashSet::with_capacity(payload.dropped.len());
+    for &a in &payload.dropped {
+        let s = interner.lookup_asn(a).ok_or(CodecError::Invalid {
+            offset: 0,
+            what: "dropped vantage not in symbol table",
+        })?;
+        if !prev.vantages.contains_key(&s) {
+            return Err(CodecError::Invalid {
+                offset: 0,
+                what: "dropped vantage not in predecessor",
+            });
+        }
+        dropped_syms.insert(s);
+    }
+
+    let survivors: Vec<(AsnSym, VantageKind)> = prev
+        .vantages
+        .iter()
+        .filter(|(s, _)| !dropped_syms.contains(s))
+        .map(|(&s, t)| (s, t.kind))
+        .collect();
+    for (owner, kind) in survivors {
+        let asn = interner.resolve_asn(owner);
+        let vd = match kind {
+            VantageKind::LookingGlass => payload.delta.lgs.get(&asn),
+            VantageKind::CollectorPeer => payload.delta.collector.get(&asn),
+        };
+        snap.patch_vantage(prev, asn, vd, oracle, interner, cones, false);
+        if kind == VantageKind::LookingGlass {
+            if let Some(patch) = payload.sidecar.get(&asn) {
+                snap.typicality.insert(owner, patch.typicality);
+                snap.community_class
+                    .insert(owner, Arc::new(patch.classes.clone()));
+            } else {
+                if let Some(&t) = prev.typicality.get(&owner) {
+                    snap.typicality.insert(owner, t);
+                }
+                if let Some(c) = prev.community_class.get(&owner) {
+                    snap.community_class.insert(owner, Arc::clone(c));
+                }
+            }
+        }
+    }
+    Ok(snap)
+}
+
+// ---------------------------------------------------------------------------
+// save / load
+// ---------------------------------------------------------------------------
+
+/// A sibling of `dir` named `<dir>.<tag>-<pid>` — same parent, so a
+/// directory rename between the two stays on one filesystem.
+fn sibling(dir: &Path, tag: &str) -> PathBuf {
+    let mut name = dir
+        .file_name()
+        .map(|s| s.to_os_string())
+        .unwrap_or_else(|| std::ffi::OsString::from("archive"));
+    name.push(format!(".{tag}-{}", std::process::id()));
+    match dir.parent() {
+        Some(parent) if dir.file_name().is_some() => parent.join(name),
+        _ => PathBuf::from(name),
+    }
+}
+
+/// Serializes `engine` into an archive at `dir` (see
+/// [`QueryEngine::save_archive`]).
+///
+/// The write is staged: every segment and the manifest go into a
+/// sibling `<dir>.staging-<pid>` directory first, and only a complete
+/// staging directory is swapped into place — a crash or full disk
+/// mid-save never destroys an existing archive, and a `force`
+/// overwrite replaces the old archive wholesale (no orphaned segment
+/// files from a longer predecessor).
+pub(crate) fn save(
+    engine: &mut QueryEngine,
+    dir: &Path,
+    force: bool,
+) -> Result<Manifest, StoreError> {
+    let manifest_path = dir.join(MANIFEST_FILE);
+    let replacing_archive = manifest_path.exists();
+    if replacing_archive && !force {
+        return Err(StoreError::AlreadyExists {
+            path: manifest_path,
+        });
+    }
+
+    let staging = sibling(dir, "staging");
+    let _ = std::fs::remove_dir_all(&staging); // a crashed save's leftovers
+
+    let mut manifest = Manifest::new(engine.n_shards as u32);
+    let symbols = encode_symbols(engine);
+    manifest.segments.push(write_segment(
+        &staging,
+        SYMBOLS_FILE,
+        SegmentKind::Symbols,
+        "",
+        &symbols,
+    )?);
+
+    for (i, snap) in engine.snapshots.iter().enumerate() {
+        let prev = (i > 0).then(|| &engine.snapshots[i - 1]);
+        let (kind, payload) = match prev.and_then(|p| delta_plan(snap, p)) {
+            Some(delta) => (
+                SegmentKind::Delta,
+                encode_delta(
+                    snap,
+                    prev.expect("delta implies prev"),
+                    delta,
+                    &engine.interner,
+                ),
+            ),
+            None => (SegmentKind::Full, encode_full(snap, prev)),
+        };
+        let file = format!("snap-{i:04}.seg");
+        manifest
+            .segments
+            .push(write_segment(&staging, &file, kind, &snap.label, &payload)?);
+    }
+
+    manifest.write(&staging, true)?;
+    swap_into_place(&staging, dir, replacing_archive).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));
+    Ok(manifest)
+}
+
+/// Moves a fully-written staging directory to `dir`. When `dir` holds an
+/// archive (`replacing_archive`), the old directory is renamed aside
+/// first and removed only after the new one is in place, so every crash
+/// window leaves a loadable archive (at `dir` or its `.old-<pid>`
+/// sibling). A `dir` that exists but is *not* an archive keeps any
+/// unrelated files it holds: the staged files are moved in one by one.
+fn swap_into_place(staging: &Path, dir: &Path, replacing_archive: bool) -> std::io::Result<()> {
+    if !dir.exists() {
+        return std::fs::rename(staging, dir);
+    }
+    if replacing_archive {
+        let old = sibling(dir, "old");
+        if old.exists() {
+            std::fs::remove_dir_all(&old)?;
+        }
+        std::fs::rename(dir, &old)?;
+        std::fs::rename(staging, dir)?;
+        return std::fs::remove_dir_all(&old);
+    }
+    // An existing non-archive directory (e.g. pre-created, possibly with
+    // unrelated content): move the staged files in, replacing per file.
+    for entry in std::fs::read_dir(staging)? {
+        let entry = entry?;
+        std::fs::rename(entry.path(), dir.join(entry.file_name()))?;
+    }
+    std::fs::remove_dir_all(staging)
+}
+
+/// Cold-starts an engine from the archive at `dir` (see
+/// [`QueryEngine::load_archive`]).
+pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
+    let manifest = Manifest::read(dir)?;
+    let symbols_entry = match manifest.segments.first() {
+        Some(e) if e.kind == SegmentKind::Symbols => e,
+        _ => {
+            return Err(StoreError::ManifestCorrupt {
+                offset: 0,
+                what: "first segment is not the symbol table".into(),
+            })
+        }
+    };
+    if manifest.segments[1..]
+        .iter()
+        .any(|e| e.kind == SegmentKind::Symbols)
+    {
+        return Err(StoreError::ManifestCorrupt {
+            offset: 0,
+            what: "more than one symbols segment".into(),
+        });
+    }
+
+    let segref = |index: usize, entry: &SegmentEntry| SegmentRef {
+        index,
+        file: entry.file.clone(),
+    };
+
+    let mut engine = QueryEngine::new(manifest.n_shards.max(1) as usize);
+    let raw = read_segment(dir, 0, symbols_entry)?;
+    let watermarks = decode_symbols(&raw, &mut engine.interner)
+        .map_err(|e| StoreError::corrupt(segref(0, symbols_entry), e))?;
+
+    let snapshot_entries: Vec<(usize, &SegmentEntry)> = manifest.snapshot_segments().collect();
+    if watermarks.len() != snapshot_entries.len() {
+        return Err(StoreError::invalid(
+            segref(0, symbols_entry),
+            0,
+            format!(
+                "symbol segment has {} blocks for {} snapshot segments",
+                watermarks.len(),
+                snapshot_entries.len()
+            ),
+        ));
+    }
+
+    // Delta-replay state: the oracle graph rebuilt from the predecessor's
+    // relationship map, cached while the map stays physically the same.
+    let mut oracle: Option<(*const (), AsGraph)> = None;
+    let mut cones: HashMap<Asn, CustomerCone> = HashMap::new();
+
+    for (snap_idx, &(seg_idx, entry)) in snapshot_entries.iter().enumerate() {
+        let raw = read_segment(dir, seg_idx, entry)?;
+        let id = SnapshotId(snap_idx as u32);
+        let mut snap = match entry.kind {
+            SegmentKind::Full => decode_full(
+                &raw,
+                id,
+                &entry.label,
+                engine.snapshots.last(),
+                &engine.interner,
+                engine.n_shards,
+            )
+            .map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?,
+            SegmentKind::Delta => {
+                let payload = decode_delta(&raw, &entry.label, &engine.interner)
+                    .map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?;
+                let prev = engine.snapshots.last().ok_or_else(|| {
+                    StoreError::invalid(
+                        segref(seg_idx, entry),
+                        0,
+                        "delta segment has no predecessor snapshot",
+                    )
+                })?;
+                let rel_ptr = Arc::as_ptr(&prev.relationships) as *const ();
+                if oracle.as_ref().map(|(p, _)| *p) != Some(rel_ptr) {
+                    oracle = Some((rel_ptr, oracle_from_relationships(prev, &engine.interner)));
+                    cones.clear();
+                }
+                let graph = &oracle.as_ref().expect("just rebuilt").1;
+                let mut snap =
+                    replay_delta(id, &payload, prev, graph, &mut engine.interner, &mut cones)
+                        .map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?;
+                snap.provenance = Provenance::Delta(Arc::new(payload.delta));
+                snap
+            }
+            SegmentKind::Symbols => unreachable!("checked above"),
+        };
+        snap.interned_watermark = watermarks[snap_idx];
+        engine.snapshots.push(snap);
+    }
+
+    engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));
+    Ok(engine)
+}

@@ -11,14 +11,20 @@
 //! ```text
 //! rpi-queryd [--size tiny|small|paper] [--seed N] [--snapshots N]
 //!            [--incremental] [--shards N] [--queries FILE] [--bench]
+//!            [--save DIR [--force]] [--archive DIR]
 //! ```
 //!
 //! `--incremental` ingests the churn series diff-aware: each snapshot
 //! after the first is a copy-on-write overlay sharing unchanged shard
 //! subtries with its predecessor (the `snapshots` REPL command shows the
 //! per-snapshot shared-node counts).
+//!
+//! `--save DIR` serializes the ingested world into an `rpi-store`
+//! archive and exits; `--archive DIR` cold-starts from one instead of
+//! re-simulating (the `archive` REPL command lists its segments).
 
 use std::io::{BufRead, Write as _};
+use std::path::Path;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -39,11 +45,29 @@ struct Options {
     shards: usize,
     queries: Option<String>,
     bench: bool,
+    save: Option<String>,
+    archive: Option<String>,
+    force: bool,
 }
 
 fn usage() -> &'static str {
     "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
-     [--snapshots N] [--incremental] [--shards N] [--queries FILE] [--bench]"
+     [--snapshots N] [--incremental] [--shards N] [--queries FILE] [--bench] \
+     [--save DIR [--force]] [--archive DIR]"
+}
+
+fn flag_help() -> &'static str {
+    "flags:
+  --size KIND       world size: tiny, small, paper, large (default small)
+  --seed N          world + churn RNG seed (default 2003)
+  --snapshots N     simulate an N-step daily churn series (default 1)
+  --incremental     ingest the series diff-aware (copy-on-write overlays)
+  --shards N        shards per vantage table (default 8)
+  --queries FILE    run the protocol queries in FILE, then exit
+  --bench           run the throughput report instead of serving queries
+  --save DIR        write the ingested world as an rpi-store archive, then exit
+  --force           let --save overwrite an existing archive's MANIFEST
+  --archive DIR     cold-start from an archive instead of simulating"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -55,6 +79,9 @@ fn parse_args() -> Result<Options, String> {
         shards: 8,
         queries: None,
         bench: false,
+        save: None,
+        archive: None,
+        force: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,8 +118,11 @@ fn parse_args() -> Result<Options, String> {
             "--incremental" => opts.incremental = true,
             "--queries" => opts.queries = Some(value("--queries")?),
             "--bench" => opts.bench = true,
+            "--save" => opts.save = Some(value("--save")?),
+            "--archive" => opts.archive = Some(value("--archive")?),
+            "--force" => opts.force = true,
             "--help" | "-h" => {
-                println!("{}", usage());
+                println!("{}\n\n{}", usage(), flag_help());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument '{other}'\n{}", usage())),
@@ -110,50 +140,109 @@ fn main() -> ExitCode {
         }
     };
 
-    eprintln!(
-        "building {:?} world (seed {}, {} snapshot{}) …",
-        opts.size,
-        opts.seed,
-        opts.snapshots,
-        if opts.snapshots == 1 { "" } else { "s" }
-    );
-    let t0 = Instant::now();
-    let exp = Experiment::standard(opts.size, opts.seed);
-    let mut engine = QueryEngine::new(opts.shards);
-    if opts.snapshots > 1 {
-        let cfg = ChurnConfig {
-            steps: opts.snapshots,
-            ..ChurnConfig::daily(opts.seed ^ 0xC0FFEE)
-        };
-        let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
-        if opts.incremental {
-            engine.ingest_series_incremental(&series, &exp.inferred_graph);
-        } else {
-            engine.ingest_series(&series, &exp.inferred_graph);
-        }
-    } else {
-        engine.ingest_experiment(&exp, "t0");
+    if opts.archive.is_some() && opts.bench {
+        eprintln!("rpi-queryd: --bench needs a simulated world; drop --archive");
+        return ExitCode::FAILURE;
     }
-    let (asns, prefixes, communities) = engine.interned_sizes();
-    eprintln!(
-        "ready in {:.2?}: {} snapshots, {} shards, interned {asns} ASNs / {prefixes} prefixes / {communities} communities",
-        t0.elapsed(),
-        engine.snapshot_count(),
-        engine.shard_count(),
-    );
-    if opts.incremental {
-        let stats = engine.sharing_stats();
+
+    let mut exp = None;
+    let mut engine;
+    if let Some(dir) = &opts.archive {
+        let t0 = Instant::now();
+        engine = match QueryEngine::load_archive(Path::new(dir)) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("rpi-queryd: --archive: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let (asns, prefixes, communities) = engine.interned_sizes();
+        let disk = engine.archive_info().map_or(0, |a| a.total_bytes());
         eprintln!(
-            "incremental ingest: {}/{} trie nodes shared with predecessors ({:.1}%, {} KiB)",
-            stats.shared_nodes,
-            stats.total_nodes,
-            100.0 * stats.shared_ratio(),
-            stats.shared_bytes / 1024,
+            "cold-started from {dir} in {:.2?}: {} snapshots ({} on disk), {} shards, \
+             interned {asns} ASNs / {prefixes} prefixes / {communities} communities",
+            t0.elapsed(),
+            engine.snapshot_count(),
+            fmt_bytes(disk as u64),
+            engine.shard_count(),
         );
+    } else {
+        eprintln!(
+            "building {:?} world (seed {}, {} snapshot{}) …",
+            opts.size,
+            opts.seed,
+            opts.snapshots,
+            if opts.snapshots == 1 { "" } else { "s" }
+        );
+        let t0 = Instant::now();
+        let e = Experiment::standard(opts.size, opts.seed);
+        engine = QueryEngine::new(opts.shards);
+        if opts.snapshots > 1 {
+            let cfg = ChurnConfig {
+                steps: opts.snapshots,
+                ..ChurnConfig::daily(opts.seed ^ 0xC0FFEE)
+            };
+            let series = simulate_series(&e.graph, &e.truth, &e.spec, &cfg);
+            if opts.incremental {
+                engine.ingest_series_incremental(&series, &e.inferred_graph);
+            } else {
+                engine.ingest_series(&series, &e.inferred_graph);
+            }
+        } else {
+            engine.ingest_experiment(&e, "t0");
+        }
+        exp = Some(e);
+        let (asns, prefixes, communities) = engine.interned_sizes();
+        eprintln!(
+            "ready in {:.2?}: {} snapshots, {} shards, interned {asns} ASNs / {prefixes} prefixes / {communities} communities",
+            t0.elapsed(),
+            engine.snapshot_count(),
+            engine.shard_count(),
+        );
+        if opts.incremental {
+            let stats = engine.sharing_stats();
+            eprintln!(
+                "incremental ingest: {}/{} trie nodes shared with predecessors ({:.1}%, {} KiB)",
+                stats.shared_nodes,
+                stats.total_nodes,
+                100.0 * stats.shared_ratio(),
+                stats.shared_bytes / 1024,
+            );
+        }
+    }
+
+    if let Some(dir) = &opts.save {
+        let t0 = Instant::now();
+        return match engine.save_archive(Path::new(dir), opts.force) {
+            Ok(manifest) => {
+                let full = count_kind(&manifest, rpi_store::SegmentKind::Full);
+                let delta = count_kind(&manifest, rpi_store::SegmentKind::Delta);
+                eprintln!(
+                    "saved archive to {dir} in {:.2?}: {} segments (1 symbols, {full} full, {delta} delta), {} on disk",
+                    t0.elapsed(),
+                    manifest.segments.len(),
+                    fmt_bytes(manifest.total_bytes()),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e @ rpi_store::StoreError::AlreadyExists { .. }) => {
+                eprintln!("rpi-queryd: --save: {e} (use --force)");
+                ExitCode::FAILURE
+            }
+            Err(e) => {
+                eprintln!("rpi-queryd: --save: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     if opts.bench {
-        bench(&exp, &engine, opts.shards);
+        bench(
+            exp.as_ref()
+                .expect("checked: --bench never loads an archive"),
+            &engine,
+            opts.shards,
+        );
         return ExitCode::SUCCESS;
     }
 
@@ -212,6 +301,21 @@ enum Outcome {
     Quit,
 }
 
+/// `123 B` / `1.2 KiB` / `3.4 MiB`.
+fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+fn count_kind(manifest: &rpi_store::Manifest, kind: rpi_store::SegmentKind) -> usize {
+    manifest.segments.iter().filter(|s| s.kind == kind).count()
+}
+
 /// Executes one line: REPL commands (`help`, `snapshots`, `vantages`,
 /// `quit`) directly, everything else through the shared protocol
 /// grammar.
@@ -223,7 +327,7 @@ fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
     match trimmed {
         "quit" | "exit" => return Outcome::Quit,
         "help" => {
-            println!("{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), quit");
+            println!("{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), archive (list on-disk segments), quit");
             return Outcome::Ok;
         }
         "snapshots" => {
@@ -239,10 +343,49 @@ fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
                         }
                         _ => String::new(),
                     };
-                    format!("{i}: {l} ({n} vantages{sharing})")
+                    // Storage next to sharing: what the snapshot costs on
+                    // disk when the engine lives in an archive.
+                    let disk = match engine.segment_meta(id) {
+                        Some(meta) => {
+                            format!(", disk {} ({})", fmt_bytes(meta.bytes), meta.kind.name())
+                        }
+                        None => ", disk -".to_string(),
+                    };
+                    format!("{i}: {l} ({n} vantages{sharing}{disk})")
                 })
                 .collect();
             println!("{}", lines.join("\n"));
+            return Outcome::Ok;
+        }
+        "archive" => {
+            match engine.archive_info() {
+                None => println!("no archive: engine built in memory (load one with --archive, write one with --save)"),
+                Some(info) => {
+                    let mut lines = vec![format!(
+                        "archive {} ({} segments, {} on disk)",
+                        info.dir.display(),
+                        1 + info.snapshots.len(),
+                        fmt_bytes(info.total_bytes() as u64),
+                    )];
+                    let all = std::iter::once(&info.symbols).chain(&info.snapshots);
+                    for meta in all {
+                        let label = if meta.label.is_empty() {
+                            String::new()
+                        } else {
+                            format!(" label {}", meta.label)
+                        };
+                        lines.push(format!(
+                            "  {}: {} {} {} crc 0x{:08x}{label}",
+                            meta.index,
+                            meta.file,
+                            meta.kind.name(),
+                            fmt_bytes(meta.bytes),
+                            meta.crc32,
+                        ));
+                    }
+                    println!("{}", lines.join("\n"));
+                }
+            }
             return Outcome::Ok;
         }
         "vantages" => {

@@ -173,8 +173,16 @@ pub struct SharingStats {
     /// Nodes pointer-shared with the predecessor snapshot (0 for the
     /// first snapshot and for from-scratch ingests).
     pub shared_nodes: usize,
+    /// Heap footprint of all trie nodes counted as if unshared, in bytes
+    /// (`total_nodes × node size`); `total_bytes - shared_bytes` is the
+    /// physical in-memory trie footprint.
+    pub total_bytes: usize,
     /// The shared nodes' heap footprint, in bytes.
     pub shared_bytes: usize,
+    /// Total archive size on disk (manifest segments, symbols included)
+    /// when the engine was loaded from or saved to an archive; 0 for a
+    /// purely in-memory engine.
+    pub disk_bytes: usize,
 }
 
 impl SharingStats {
@@ -250,11 +258,14 @@ pub fn measure_series_ingest(
 pub struct QueryEngine {
     pub(crate) interner: WorldInterner,
     pub(crate) snapshots: Vec<Snapshot>,
-    n_shards: usize,
+    pub(crate) n_shards: usize,
     /// Customer cones cached for the incremental SA patcher; valid as
     /// long as the ingest oracle's relationships are unchanged (the
     /// incremental path clears it when they move).
-    cones: HashMap<Asn, CustomerCone>,
+    pub(crate) cones: HashMap<Asn, CustomerCone>,
+    /// Set when the engine was loaded from (or saved to) an on-disk
+    /// archive: where it lives and what each snapshot costs on disk.
+    pub(crate) archive: Option<crate::archive::ArchiveInfo>,
 }
 
 impl QueryEngine {
@@ -266,6 +277,7 @@ impl QueryEngine {
             snapshots: Vec::new(),
             n_shards: n_shards.max(1),
             cones: HashMap::new(),
+            archive: None,
         }
     }
 
@@ -312,7 +324,9 @@ impl QueryEngine {
         // Later incremental snapshots rebuild the cones they need.
         self.cones.clear();
         let id = SnapshotId(self.snapshots.len() as u32);
-        let snap = Snapshot::from_output(id, label, out, oracle, &mut self.interner, self.n_shards);
+        let mut snap =
+            Snapshot::from_output(id, label, out, oracle, &mut self.interner, self.n_shards);
+        snap.interned_watermark = self.interner.sizes();
         self.snapshots.push(snap);
         id
     }
@@ -419,7 +433,7 @@ impl QueryEngine {
         let id = SnapshotId(self.snapshots.len() as u32);
         let sizes_before = self.interner.sizes();
         let prev = &self.snapshots[prev_id.index()];
-        let snap = Snapshot::from_output_incremental(
+        let mut snap = Snapshot::from_output_incremental(
             id,
             label,
             prev,
@@ -438,6 +452,11 @@ impl QueryEngine {
             let after = self.interner.sizes();
             after.0 >= sizes_before.0 && after.1 >= sizes_before.1 && after.2 >= sizes_before.2
         });
+        snap.interned_watermark = self.interner.sizes();
+        // Keep the events: they are the snapshot's compact archive form
+        // (`save_archive` persists them as a delta segment when the
+        // replay-eligibility policy allows).
+        snap.provenance = crate::snapshot::Provenance::Delta(std::sync::Arc::new(delta));
         self.snapshots.push(snap);
         id
     }
@@ -455,9 +474,51 @@ impl QueryEngine {
                 stats.shared_nodes += snap.trie_nodes_shared_with(&self.snapshots[i - 1]);
             }
         }
-        stats.shared_bytes =
-            stats.shared_nodes * CowTrie::<crate::snapshot::CompactRoute>::node_size();
+        let node_size = CowTrie::<crate::snapshot::CompactRoute>::node_size();
+        stats.total_bytes = stats.total_nodes * node_size;
+        stats.shared_bytes = stats.shared_nodes * node_size;
+        stats.disk_bytes = self.archive.as_ref().map_or(0, |a| a.total_bytes());
         stats
+    }
+
+    // ---------- the on-disk archive (rpi-store) ----------
+
+    /// Serializes the engine's whole world — symbol tables, every
+    /// snapshot's tries and caches — into an `rpi-store` archive at
+    /// `dir`, refusing to overwrite an existing archive unless `force`.
+    /// Snapshots that were ingested incrementally and are cleanly
+    /// replayable are written as compact **delta segments**; everything
+    /// else is a **full segment**. Returns the written manifest.
+    pub fn save_archive(
+        &mut self,
+        dir: &std::path::Path,
+        force: bool,
+    ) -> Result<rpi_store::Manifest, rpi_store::StoreError> {
+        crate::archive::save(self, dir, force)
+    }
+
+    /// Cold-starts an engine from an archive written by
+    /// [`Self::save_archive`]: loads the symbol tables, decodes full
+    /// segments, and replays delta segments through the incremental
+    /// ingest machinery (so physical trie sharing survives the round
+    /// trip). Never returns a partially-loaded engine: any truncated,
+    /// checksum-failing or structurally corrupt segment fails the whole
+    /// load with the segment index and byte offset.
+    pub fn load_archive(dir: &std::path::Path) -> Result<QueryEngine, rpi_store::StoreError> {
+        crate::archive::load(dir)
+    }
+
+    /// Where this engine's bytes live on disk, if it was loaded from or
+    /// saved to an archive.
+    pub fn archive_info(&self) -> Option<&crate::archive::ArchiveInfo> {
+        self.archive.as_ref()
+    }
+
+    /// The on-disk segment behind snapshot `id` (`None` for engines that
+    /// never touched disk, and for snapshots ingested after the
+    /// save/load).
+    pub fn segment_meta(&self, id: SnapshotId) -> Option<&crate::archive::SegmentMeta> {
+        self.archive.as_ref()?.snapshots.get(id.index())
     }
 
     /// `(shared, total)` trie nodes of snapshot `id` relative to its
@@ -489,8 +550,9 @@ impl QueryEngine {
         // `ingest_output` for why the cone cache must be dropped.
         self.cones.clear();
         let id = SnapshotId(self.snapshots.len() as u32);
-        let snap =
+        let mut snap =
             Snapshot::from_collector(id, label, &view, &oracle, &mut self.interner, self.n_shards);
+        snap.interned_watermark = self.interner.sizes();
         self.snapshots.push(snap);
         Ok(id)
     }

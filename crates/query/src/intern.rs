@@ -85,6 +85,22 @@ impl WorldInterner {
     pub fn sizes(&self) -> (usize, usize, usize) {
         (self.asns.len(), self.prefixes.len(), self.communities.len())
     }
+
+    /// All ASNs in symbol order (symbol `i` is the `i`-th item) — the
+    /// serialization order of the archive's symbol segment.
+    pub fn iter_asns(&self) -> impl Iterator<Item = Asn> + '_ {
+        self.asns.iter().copied()
+    }
+
+    /// All prefixes in symbol order.
+    pub fn iter_prefixes(&self) -> impl Iterator<Item = Ipv4Prefix> + '_ {
+        self.prefixes.iter().copied()
+    }
+
+    /// All communities in symbol order.
+    pub fn iter_communities(&self) -> impl Iterator<Item = Community> + '_ {
+        self.communities.iter().copied()
+    }
 }
 
 #[cfg(test)]

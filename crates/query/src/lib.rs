@@ -42,6 +42,11 @@
 //!   and the legacy per-question methods as thin wrappers.
 //! * [`diff`] — what changed between snapshot *t* and *t+1*: new/vanished
 //!   SA prefixes, flipped relationships, churned best routes.
+//! * [`archive`] — the on-disk life of the engine (`rpi-store`):
+//!   [`QueryEngine::save_archive`] serializes symbols + snapshots into
+//!   checksummed full/delta segments, [`QueryEngine::load_archive`]
+//!   cold-starts from them in milliseconds, replaying delta segments
+//!   through the same incremental-ingest machinery.
 //!
 //! The `rpi-queryd` binary wraps the engine in a line-oriented CLI with a
 //! `--bench` throughput mode.
@@ -79,6 +84,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod archive;
 pub mod diff;
 pub mod engine;
 pub mod intern;
@@ -86,6 +92,7 @@ pub mod plan;
 pub mod proto;
 pub mod snapshot;
 
+pub use archive::{ArchiveInfo, SegmentMeta};
 pub use diff::{RelationshipFlip, SnapshotDiff, VantageChurn};
 pub use engine::{
     measure_series_ingest, BatchProfile, PolicySummary, QueryEngine, RouteAnswer, SaStatus,

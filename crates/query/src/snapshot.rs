@@ -86,6 +86,21 @@ pub(crate) fn shard_of(prefix: Ipv4Prefix, n_shards: usize) -> usize {
     (z ^ (z >> 31)) as usize % n_shards
 }
 
+/// How a snapshot was built — the archive's full-vs-delta policy input.
+///
+/// A snapshot built incrementally keeps the structured [`OutputDelta`]
+/// it was patched from: `rpi-store` can then persist the snapshot as a
+/// compact **delta segment** (the events, not the tables) and replay it
+/// through the same patching machinery on load. Snapshots indexed from
+/// scratch carry no delta and always serialize as **full segments**.
+#[derive(Debug, Clone)]
+pub(crate) enum Provenance {
+    /// Indexed from scratch (full ingest, MRT, or loaded full segment).
+    Full,
+    /// Patched over its predecessor from these events.
+    Delta(Arc<OutputDelta>),
+}
+
 /// Precomputed Fig. 4 output for one vantage.
 ///
 /// Invariant (relied on by the incremental patcher): a prefix is in
@@ -120,6 +135,13 @@ pub struct Snapshot {
     pub(crate) typicality: HashMap<AsnSym, (usize, usize)>,
     /// Community-derived relationship per (LG vantage, neighbor).
     pub(crate) community_class: HashMap<AsnSym, Arc<HashMap<AsnSym, Relationship>>>,
+    /// Interner sizes `(asns, prefixes, communities)` right after this
+    /// snapshot was indexed. The interner is append-only across a
+    /// series, so these are exactly the block boundaries of the
+    /// archive's symbol segment.
+    pub(crate) interned_watermark: (usize, usize, usize),
+    /// How the snapshot was built (see [`Provenance`]).
+    pub(crate) provenance: Provenance,
 }
 
 impl Snapshot {
@@ -303,9 +325,12 @@ impl Snapshot {
 
     /// Carries one surviving vantage over from `prev`, applying `vd`'s
     /// best-route events to the copy-on-write table and re-deriving the
-    /// SA cache only for the touched prefixes.
+    /// SA cache only for the touched prefixes. Also the archive's delta-
+    /// segment replay path (`crate::archive`), which is how "load of a
+    /// delta segment ≡ full re-index" inherits the incremental ingest's
+    /// differential-testing contract.
     #[allow(clippy::too_many_arguments)]
-    fn patch_vantage(
+    pub(crate) fn patch_vantage(
         &mut self,
         prev: &Snapshot,
         vantage: Asn,
@@ -451,7 +476,7 @@ impl Snapshot {
         snap
     }
 
-    fn empty(id: SnapshotId, label: &str) -> Snapshot {
+    pub(crate) fn empty(id: SnapshotId, label: &str) -> Snapshot {
         Snapshot {
             id,
             label: label.to_string(),
@@ -461,6 +486,8 @@ impl Snapshot {
             sa: HashMap::new(),
             typicality: HashMap::new(),
             community_class: HashMap::new(),
+            interned_watermark: (0, 0, 0),
+            provenance: Provenance::Full,
         }
     }
 

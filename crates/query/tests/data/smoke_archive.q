@@ -1,0 +1,22 @@
+# rpi-store archive smoke: the tiny seed-11 world, 5 daily snapshots ingested
+# incrementally, saved with `--save /tmp/rpi-archive`, then cold-started with
+# `--archive /tmp/rpi-archive` and piped through this file. CI diffs the
+# output against the committed golden: any drift in the on-disk format, the
+# segment replay path, or the storage listings fails the build.
+
+snapshots
+archive
+
+route AS1 4.0.0.0/13
+route AS1 4.0.0.0/13 @0
+resolve AS1 4.0.0.1/32
+sa AS1 4.0.0.0/13
+sa AS1 2.0.0.0/8 @label:day-02
+rel AS1 AS701
+summary AS1
+diff @0..4
+sa-history AS1 4.0.0.0/13
+uptime AS1
+top-sa AS1 3
+persistence AS1 4.0.0.0/13 @all
+persistence AS1 2.0.0.0/8 @1..3

@@ -106,6 +106,84 @@ fn incremental_ingest_matches_its_golden() {
     );
 }
 
+/// The archive smoke: the 5-snapshot incremental world saved to
+/// `/tmp/rpi-archive`, cold-started with `--archive`, and diffed against
+/// its golden — the byte-level face of the save→load contract, including
+/// the `archive` and `snapshots` storage listings (the path is part of
+/// the golden, so the archive lives at a fixed location; CI runs the
+/// same two commands as a shell step). Regenerate with:
+///
+/// ```text
+/// cargo run --release -p rpi-query --bin rpi-queryd -- \
+///   --size tiny --seed 11 --snapshots 5 --shards 4 --incremental \
+///   --save /tmp/rpi-archive --force
+/// cargo run --release -p rpi-query --bin rpi-queryd -- \
+///   --archive /tmp/rpi-archive \
+///   --queries crates/query/tests/data/smoke_archive.q \
+///   > crates/query/tests/data/smoke_archive.golden
+/// ```
+#[test]
+fn archive_cold_start_matches_its_golden() {
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let queries = data.join("smoke_archive.q");
+    let golden =
+        std::fs::read_to_string(data.join("smoke_archive.golden")).expect("golden committed");
+
+    let save = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args([
+            "--size",
+            "tiny",
+            "--seed",
+            "11",
+            "--snapshots",
+            "5",
+            "--shards",
+            "4",
+            "--incremental",
+            "--save",
+            "/tmp/rpi-archive",
+            "--force",
+        ])
+        .output()
+        .expect("rpi-queryd runs");
+    assert!(
+        save.status.success(),
+        "save failed:\n{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--archive", "/tmp/rpi-archive"])
+        .arg("--queries")
+        .arg(&queries)
+        .output()
+        .expect("rpi-queryd runs");
+    assert!(
+        out.status.success(),
+        "cold start failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 output");
+    assert_eq!(
+        stdout, golden,
+        "stdout diverged from tests/data/smoke_archive.golden (see docs to regenerate)"
+    );
+}
+
+#[test]
+fn missing_archive_directory_errors_cleanly() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--archive", "/tmp/rpi-archive-does-not-exist"])
+        .output()
+        .expect("rpi-queryd runs");
+    assert!(!out.status.success(), "a missing archive must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("/tmp/rpi-archive-does-not-exist is not an rpi-store archive"),
+        "error must name the path on one line:\n{stderr}"
+    );
+}
+
 #[test]
 fn bad_query_files_name_the_line() {
     let dir = std::env::temp_dir().join(format!("rpi-queryd-smoke-{}", std::process::id()));

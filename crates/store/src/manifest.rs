@@ -1,0 +1,393 @@
+//! The archive manifest: what segments exist and how to verify them.
+//!
+//! An archive directory holds one `MANIFEST` plus the segment files it
+//! names. The manifest records, per segment: its kind (symbol table,
+//! full snapshot, delta snapshot), file name, byte length, CRC-32 and
+//! snapshot label — enough to verify every byte on disk *before* any
+//! segment is parsed. The manifest protects itself with a trailing
+//! CRC-32 over its own bytes.
+//!
+//! The layout is fixed-width big-endian fields (via the `bytes`
+//! reader/writer helpers) + length-prefixed strings:
+//!
+//! ```text
+//! manifest := magic[8] version:u32 n_shards:u32 n_segments:u32
+//!             segment* crc32:u32
+//! segment  := kind:u8 bytes:u64 crc32:u32 str(file) str(label)
+//! str      := len:u32 utf8[len]
+//! ```
+
+use std::path::Path;
+
+use bytes::{Buf, BufMut, Bytes};
+
+use crate::checksum::crc32;
+use crate::error::StoreError;
+
+/// First 8 bytes of every manifest.
+pub const MAGIC: [u8; 8] = *b"RPISTOR\x01";
+
+/// The manifest format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Name of the manifest file inside an archive directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+/// What a segment contains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentKind {
+    /// The append-only symbol table (one per archive, always first).
+    Symbols,
+    /// A fully materialized snapshot: flattened tries + caches.
+    Full,
+    /// A snapshot stored as structured churn events over its predecessor.
+    Delta,
+}
+
+impl SegmentKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            SegmentKind::Symbols => 0,
+            SegmentKind::Full => 1,
+            SegmentKind::Delta => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Option<SegmentKind> {
+        match v {
+            0 => Some(SegmentKind::Symbols),
+            1 => Some(SegmentKind::Full),
+            2 => Some(SegmentKind::Delta),
+            _ => None,
+        }
+    }
+
+    /// Lower-case name for listings (`symbols` / `full` / `delta`).
+    pub fn name(self) -> &'static str {
+        match self {
+            SegmentKind::Symbols => "symbols",
+            SegmentKind::Full => "full",
+            SegmentKind::Delta => "delta",
+        }
+    }
+}
+
+/// One segment's manifest row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentEntry {
+    /// What the segment holds.
+    pub kind: SegmentKind,
+    /// File name inside the archive directory.
+    pub file: String,
+    /// Exact byte length of the file.
+    pub bytes: u64,
+    /// CRC-32 of the file's bytes.
+    pub crc32: u32,
+    /// Snapshot label (empty for the symbols segment).
+    pub label: String,
+}
+
+/// The archive's table of contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Format version ([`FORMAT_VERSION`] when written by this build).
+    pub version: u32,
+    /// Shards per vantage table the archived engine used.
+    pub n_shards: u32,
+    /// Segment rows, in load order (symbols first, then snapshots).
+    pub segments: Vec<SegmentEntry>,
+}
+
+impl Manifest {
+    /// A manifest for an engine with `n_shards` shards.
+    pub fn new(n_shards: u32) -> Manifest {
+        Manifest {
+            version: FORMAT_VERSION,
+            n_shards,
+            segments: Vec::new(),
+        }
+    }
+
+    /// Total bytes across all segments (the archive's on-disk size,
+    /// manifest excluded).
+    pub fn total_bytes(&self) -> u64 {
+        self.segments.iter().map(|s| s.bytes).sum()
+    }
+
+    /// The snapshot segments (everything but the symbol table), in order.
+    pub fn snapshot_segments(&self) -> impl Iterator<Item = (usize, &SegmentEntry)> {
+        self.segments
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.kind != SegmentKind::Symbols)
+    }
+
+    /// Serializes the manifest (including its self-checksum).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_slice(&MAGIC);
+        out.put_u32(self.version);
+        out.put_u32(self.n_shards);
+        out.put_u32(self.segments.len() as u32);
+        for seg in &self.segments {
+            out.put_u8(seg.kind.to_u8());
+            out.put_u64(seg.bytes);
+            out.put_u32(seg.crc32);
+            put_str(&mut out, &seg.file);
+            put_str(&mut out, &seg.label);
+        }
+        let crc = crc32(&out);
+        out.put_u32(crc);
+        out
+    }
+
+    /// Writes the manifest into `dir`, refusing to overwrite an existing
+    /// one unless `force` is set. Creates the directory if needed.
+    pub fn write(&self, dir: &Path, force: bool) -> Result<(), StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        if path.exists() && !force {
+            return Err(StoreError::AlreadyExists { path });
+        }
+        std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+            path: dir.to_path_buf(),
+            source,
+        })?;
+        std::fs::write(&path, self.to_bytes()).map_err(|source| StoreError::Io { path, source })
+    }
+
+    /// Reads and verifies the manifest of the archive at `dir`.
+    ///
+    /// A missing directory, a directory with no `MANIFEST`, wrong magic,
+    /// an unsupported version and a failed self-checksum are each their
+    /// own typed error.
+    pub fn read(dir: &Path) -> Result<Manifest, StoreError> {
+        let path = dir.join(MANIFEST_FILE);
+        if !path.is_file() {
+            return Err(StoreError::NotAnArchive {
+                path: dir.to_path_buf(),
+            });
+        }
+        let raw = std::fs::read(&path).map_err(|source| StoreError::Io {
+            path: path.clone(),
+            source,
+        })?;
+        Manifest::parse(&raw, &path)
+    }
+
+    /// Parses manifest bytes (exposed for tests).
+    pub fn parse(raw: &[u8], path: &Path) -> Result<Manifest, StoreError> {
+        let total = raw.len();
+        if total < MAGIC.len() || raw[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic {
+                path: path.to_path_buf(),
+            });
+        }
+        // Self-checksum: everything before the final u32.
+        if total < MAGIC.len() + 4 {
+            return Err(StoreError::ManifestCorrupt {
+                offset: total,
+                what: "manifest shorter than magic + checksum".into(),
+            });
+        }
+        let body = &raw[..total - 4];
+        let recorded = u32::from_be_bytes(raw[total - 4..].try_into().expect("4 bytes"));
+        let actual = crc32(body);
+        if recorded != actual {
+            return Err(StoreError::ManifestCorrupt {
+                offset: total - 4,
+                what: format!(
+                    "self-checksum mismatch (recorded {recorded:#010x}, bytes hash to {actual:#010x})"
+                ),
+            });
+        }
+
+        let mut buf = Bytes::copy_from_slice(&body[MAGIC.len()..]);
+        let at = |buf: &Bytes| total - 4 - buf.len();
+        let short = |buf: &Bytes, what: &str| StoreError::ManifestCorrupt {
+            offset: at(buf),
+            what: format!("truncated {what}"),
+        };
+
+        let version = buf.try_get_u32().map_err(|_| short(&buf, "version"))?;
+        if version != FORMAT_VERSION {
+            return Err(StoreError::Version {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let n_shards = buf.try_get_u32().map_err(|_| short(&buf, "shard count"))?;
+        let n_segments = buf
+            .try_get_u32()
+            .map_err(|_| short(&buf, "segment count"))?;
+        let mut segments = Vec::with_capacity(n_segments.min(1 << 16) as usize);
+        for i in 0..n_segments {
+            let offset = at(&buf);
+            let kind_raw = buf.try_get_u8().map_err(|_| short(&buf, "segment kind"))?;
+            let kind =
+                SegmentKind::from_u8(kind_raw).ok_or_else(|| StoreError::ManifestCorrupt {
+                    offset,
+                    what: format!("unknown segment kind {kind_raw} in row {i}"),
+                })?;
+            let bytes = buf
+                .try_get_u64()
+                .map_err(|_| short(&buf, "segment length"))?;
+            let crc32 = buf
+                .try_get_u32()
+                .map_err(|_| short(&buf, "segment checksum"))?;
+            let file = get_str(&mut buf, at, "segment file name")?;
+            let label = get_str(&mut buf, at, "segment label")?;
+            segments.push(SegmentEntry {
+                kind,
+                file,
+                bytes,
+                crc32,
+                label,
+            });
+        }
+        if buf.has_remaining() {
+            return Err(StoreError::ManifestCorrupt {
+                offset: at(&buf),
+                what: format!("{} trailing bytes after segment table", buf.len()),
+            });
+        }
+        Ok(Manifest {
+            version,
+            n_shards,
+            segments,
+        })
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.put_u32(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(
+    buf: &mut Bytes,
+    at: impl Fn(&Bytes) -> usize,
+    what: &str,
+) -> Result<String, StoreError> {
+    let offset = at(buf);
+    let n = buf.try_get_u32().map_err(|_| StoreError::ManifestCorrupt {
+        offset,
+        what: format!("truncated {what} length"),
+    })? as usize;
+    if buf.len() < n {
+        return Err(StoreError::ManifestCorrupt {
+            offset: at(buf),
+            what: format!("truncated {what}"),
+        });
+    }
+    let raw = buf.split_to(n);
+    String::from_utf8(raw.to_vec()).map_err(|_| StoreError::ManifestCorrupt {
+        offset,
+        what: format!("{what} is not UTF-8"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Manifest {
+        let mut m = Manifest::new(8);
+        m.segments.push(SegmentEntry {
+            kind: SegmentKind::Symbols,
+            file: "symbols.seg".into(),
+            bytes: 1234,
+            crc32: 0xAABBCCDD,
+            label: String::new(),
+        });
+        m.segments.push(SegmentEntry {
+            kind: SegmentKind::Full,
+            file: "snap-0000.seg".into(),
+            bytes: 9876,
+            crc32: 1,
+            label: "day-01".into(),
+        });
+        m.segments.push(SegmentEntry {
+            kind: SegmentKind::Delta,
+            file: "snap-0001.seg".into(),
+            bytes: 55,
+            crc32: 2,
+            label: "day-02".into(),
+        });
+        m
+    }
+
+    #[test]
+    fn round_trips() {
+        let m = sample();
+        let bytes = m.to_bytes();
+        let back = Manifest::parse(&bytes, Path::new("MANIFEST")).unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.total_bytes(), 1234 + 9876 + 55);
+        assert_eq!(back.snapshot_segments().count(), 2);
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            Manifest::parse(&bytes, Path::new("M")),
+            Err(StoreError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn stale_version_is_typed() {
+        let mut m = sample();
+        m.version = FORMAT_VERSION + 1;
+        let bytes = m.to_bytes();
+        assert!(matches!(
+            Manifest::parse(&bytes, Path::new("M")),
+            Err(StoreError::Version {
+                found,
+                supported: FORMAT_VERSION
+            }) if found == FORMAT_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn flipped_byte_fails_self_checksum() {
+        let mut bytes = sample().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        assert!(matches!(
+            Manifest::parse(&bytes, Path::new("M")),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn every_truncation_is_loud() {
+        let bytes = sample().to_bytes();
+        for cut in 0..bytes.len() {
+            assert!(
+                Manifest::parse(&bytes[..cut], Path::new("M")).is_err(),
+                "cut at {cut} parsed silently"
+            );
+        }
+    }
+
+    #[test]
+    fn write_refuses_overwrite_without_force() {
+        let dir = std::env::temp_dir().join(format!("rpi-store-man-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let m = sample();
+        m.write(&dir, false).unwrap();
+        assert!(matches!(
+            m.write(&dir, false),
+            Err(StoreError::AlreadyExists { .. })
+        ));
+        m.write(&dir, true).unwrap();
+        assert_eq!(Manifest::read(&dir).unwrap(), m);
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(matches!(
+            Manifest::read(&dir),
+            Err(StoreError::NotAnArchive { .. })
+        ));
+    }
+}

@@ -1,0 +1,127 @@
+//! Segment files: raw payloads verified by the manifest.
+//!
+//! A segment file is exactly its payload — framing (kind, length,
+//! checksum, label) lives in the manifest, so the payload bytes are
+//! what a mapped read would hand a parser. [`read_segment`] verifies
+//! length and CRC-32 *before* returning the buffer: a parser never sees
+//! bytes the manifest doesn't vouch for, and verification failures name
+//! the segment index and file.
+
+use std::path::Path;
+
+use crate::checksum::crc32;
+use crate::error::{SegmentRef, StoreError};
+use crate::manifest::{SegmentEntry, SegmentKind};
+
+/// Writes `payload` as `file` inside `dir` and returns the manifest row
+/// describing it.
+pub fn write_segment(
+    dir: &Path,
+    file: &str,
+    kind: SegmentKind,
+    label: &str,
+    payload: &[u8],
+) -> Result<SegmentEntry, StoreError> {
+    let path = dir.join(file);
+    std::fs::create_dir_all(dir).map_err(|source| StoreError::Io {
+        path: dir.to_path_buf(),
+        source,
+    })?;
+    std::fs::write(&path, payload).map_err(|source| StoreError::Io { path, source })?;
+    Ok(SegmentEntry {
+        kind,
+        file: file.to_string(),
+        bytes: payload.len() as u64,
+        crc32: crc32(payload),
+        label: label.to_string(),
+    })
+}
+
+/// Reads the segment described by manifest row `index`/`entry` from
+/// `dir`, verifying byte length and checksum. The returned buffer is
+/// safe to parse: every byte is accounted for by the manifest.
+pub fn read_segment(dir: &Path, index: usize, entry: &SegmentEntry) -> Result<Vec<u8>, StoreError> {
+    let segment = || SegmentRef {
+        index,
+        file: entry.file.clone(),
+    };
+    let path = dir.join(&entry.file);
+    let raw = std::fs::read(&path).map_err(|source| StoreError::Io { path, source })?;
+    if raw.len() as u64 != entry.bytes {
+        return Err(StoreError::Truncated {
+            segment: segment(),
+            expected: entry.bytes,
+            found: raw.len() as u64,
+        });
+    }
+    let found = crc32(&raw);
+    if found != entry.crc32 {
+        return Err(StoreError::Checksum {
+            segment: segment(),
+            expected: entry.crc32,
+            found,
+        });
+    }
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rpi-store-seg-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_and_verifies() {
+        let dir = tmp("rt");
+        let payload = b"the quick brown fox".to_vec();
+        let entry =
+            write_segment(&dir, "snap-0000.seg", SegmentKind::Full, "day-01", &payload).unwrap();
+        assert_eq!(entry.bytes, payload.len() as u64);
+        assert_eq!(read_segment(&dir, 1, &entry).unwrap(), payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncation_names_the_segment() {
+        let dir = tmp("trunc");
+        let entry = write_segment(
+            &dir,
+            "snap-0001.seg",
+            SegmentKind::Delta,
+            "day-02",
+            &[1, 2, 3, 4],
+        )
+        .unwrap();
+        std::fs::write(dir.join(&entry.file), [1, 2]).unwrap();
+        match read_segment(&dir, 2, &entry) {
+            Err(StoreError::Truncated {
+                segment,
+                expected: 4,
+                found: 2,
+            }) => {
+                assert_eq!(segment.index, 2);
+                assert_eq!(segment.file, "snap-0001.seg");
+            }
+            other => panic!("wanted Truncated, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bit_flip_names_the_segment() {
+        let dir = tmp("flip");
+        let entry =
+            write_segment(&dir, "s.seg", SegmentKind::Symbols, "", &[7, 7, 7, 7, 7]).unwrap();
+        std::fs::write(dir.join(&entry.file), [7, 7, 0x17, 7, 7]).unwrap();
+        assert!(matches!(
+            read_segment(&dir, 0, &entry),
+            Err(StoreError::Checksum { segment, .. }) if segment.file == "s.seg"
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

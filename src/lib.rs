@@ -21,6 +21,7 @@
 //! | [`irr_rpsl`] | RPSL parsing and the synthetic IRR registry |
 //! | [`rpi_core`] | the paper's analyses: import/export policy inference |
 //! | [`rpi_query`] | the serving layer: sharded, concurrently-queryable observatory over many snapshots |
+//! | [`rpi_store`] | the on-disk snapshot archive: checksummed full/delta segments, millisecond cold start |
 //!
 //! ## Thirty-second tour
 //!
@@ -52,6 +53,7 @@ pub use irr_rpsl;
 pub use net_topology;
 pub use rpi_core;
 pub use rpi_query;
+pub use rpi_store;
 
 /// Argument handling shared by the examples: every example accepts
 /// `[--size tiny|small|paper|large] [--seed N]` and must reject bad input
@@ -113,4 +115,5 @@ pub mod prelude {
         Query, QueryEngine, QueryError, QueryRequest, Response, SaStatus, Scope, SnapshotDiff,
         SnapshotId,
     };
+    pub use rpi_store::{Manifest, StoreError};
 }
