@@ -11,6 +11,7 @@
 use std::time::{Duration, Instant};
 
 use rpi_bench::harness::Criterion;
+use rpi_bench::serveload::{emit_bench_json, smoke_profile};
 
 use bgp_sim::churn::simulate_series;
 use bgp_sim::ChurnConfig;
@@ -39,6 +40,9 @@ fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
 
 fn main() {
     let mut c = Criterion::new();
+    // RPI_BENCH_SMOKE trims repetition (CI's bench-trend step), never
+    // the world: the JSON trend stays comparable across profiles.
+    let smoke = smoke_profile();
 
     let exp = Experiment::standard(InternetSize::Small, 2003);
     // The paper's §6 workload: a month of daily snapshots at ~1% of
@@ -64,7 +68,7 @@ fn main() {
     });
 
     let mut g = c.benchmark_group("archive/cold_start");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.bench_function(format!("load_archive_{SNAPSHOTS}_snapshots"), |b| {
         b.iter(|| QueryEngine::load_archive(&dir).expect("load"))
     });
@@ -74,13 +78,15 @@ fn main() {
     // re-simulate the series, then re-ingest it (diff-aware, its best
     // case). Timed explicitly (best of 2) because a single run is already
     // seconds, not microseconds.
-    let (resim, _) = best_of(2, || {
+    let (resim, _) = best_of(if smoke { 1 } else { 2 }, || {
         let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
         let mut e = QueryEngine::new(SHARDS);
         e.ingest_series_incremental(&series, &exp.inferred_graph);
         e
     });
-    let (load, loaded) = best_of(5, || QueryEngine::load_archive(&dir).expect("load"));
+    let (load, loaded) = best_of(if smoke { 3 } else { 5 }, || {
+        QueryEngine::load_archive(&dir).expect("load")
+    });
 
     let stats = loaded.sharing_stats();
     let mem_bytes = stats.total_bytes - stats.shared_bytes;
@@ -113,6 +119,22 @@ fn main() {
         mem_bytes as f64 / disk_bytes as f64,
         100.0 * stats.shared_ratio(),
     );
+
+    let json = format!(
+        "{{\n  \"bench\": \"archive\",\n  \"world\": \"small\",\n  \"snapshots\": {SNAPSHOTS},\n  \
+         \"cold_start_ms\": {:.3},\n  \"resim_reingest_ms\": {:.3},\n  \"speedup\": {:.1},\n  \
+         \"save_ms\": {:.3},\n  \"disk_bytes\": {disk_bytes},\n  \"mem_bytes\": {mem_bytes},\n  \
+         \"full_segments\": {full},\n  \"delta_segments\": {delta},\n  \
+         \"trie_shared_ratio\": {:.4},\n  \"target_speedup\": 20,\n  \"meets_target\": {},\n  \
+         \"smoke_profile\": {smoke}\n}}\n",
+        load.as_secs_f64() * 1000.0,
+        resim.as_secs_f64() * 1000.0,
+        speedup,
+        save_time.as_secs_f64() * 1000.0,
+        stats.shared_ratio(),
+        speedup >= 20.0,
+    );
+    emit_bench_json("BENCH_archive.json", &json);
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -1,0 +1,126 @@
+//! Sustained throughput of the TCP front end (`rpi_query::serve`) over
+//! loopback, against the in-process `execute_batch` baseline the
+//! `rpi-queryd --bench` report measures.
+//!
+//! The serving acceptance bar is **≥ 100k queries/s over TCP on a Small
+//! world**; the run's numbers are also emitted as machine-readable
+//! trend data (`BENCH_serve.json`, when `RPI_BENCH_JSON_DIR` is set) so
+//! CI can archive the perf trajectory across PRs. `RPI_BENCH_SMOKE=1`
+//! shrinks iteration counts, never the world or the schema.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use net_topology::InternetSize;
+use rpi_bench::serveload::{emit_bench_json, run_load, smoke_profile};
+use rpi_core::Experiment;
+use rpi_query::serve::{ServeConfig, Server};
+use rpi_query::{parse, QueryEngine, QueryRequest};
+
+const SHARDS: usize = 8;
+const CONNS: usize = 4;
+const PIPELINE: usize = 512;
+const TARGET_QPS: f64 = 100_000.0;
+
+fn main() {
+    let smoke = smoke_profile();
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let mut engine = QueryEngine::new(SHARDS);
+    engine.ingest_experiment(&exp, "t0");
+    let engine = Arc::new(engine);
+
+    // The wire workload: every (vantage, prefix) pair the world knows,
+    // as a route/sa/resolve mix — all single-line responses, so the
+    // load generator can count instead of parse.
+    let mut lines: Vec<String> = Vec::new();
+    for (vantage, _) in engine.vantages() {
+        let prefixes: Vec<_> = match exp.lg_table(vantage) {
+            Some(t) => t.rows.keys().copied().collect(),
+            None => exp.collector_table(vantage).rows.keys().copied().collect(),
+        };
+        for p in prefixes {
+            lines.push(match lines.len() % 3 {
+                0 => format!("route {vantage} {p}"),
+                1 => format!("sa {vantage} {p}"),
+                _ => format!("resolve {vantage} {p}"),
+            });
+        }
+    }
+    assert!(!lines.is_empty(), "bench world has no routes");
+
+    // In-process baseline: the identical requests, pre-parsed, through
+    // the batch planner — what a zero-cost network would achieve.
+    let reqs: Vec<QueryRequest> = lines
+        .iter()
+        .map(|l| parse(l).expect("workload lines parse"))
+        .collect();
+    let baseline_rounds = if smoke { 2 } else { 5 };
+    let mut inproc_best = f64::MIN;
+    for _ in 0..baseline_rounds {
+        let t0 = Instant::now();
+        let results = engine.execute_batch(&reqs);
+        let dt = t0.elapsed();
+        assert!(results.iter().all(|r| r.is_ok()));
+        inproc_best = inproc_best.max(reqs.len() as f64 / dt.as_secs_f64());
+    }
+
+    // The served path: a loopback server on an ephemeral port, driven by
+    // the pipelined load generator.
+    let server = Server::bind(Arc::clone(&engine), "127.0.0.1:0", ServeConfig::default())
+        .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+
+    let queries_per_conn = if smoke { 50_000 } else { 250_000 };
+    // Warmup window (connection setup, first batches) before the timed run.
+    run_load(addr, CONNS, PIPELINE, 5_000, &lines).expect("warmup load");
+    let report = run_load(addr, CONNS, PIPELINE, queries_per_conn, &lines).expect("timed load");
+
+    handle.shutdown();
+    let stats = join.join().expect("serve thread");
+
+    let tcp_qps = report.queries_per_sec();
+    println!("\n== serve/tcp_loopback ==");
+    println!(
+        "{:<44} {:>12.3?}  ({:.0} queries/s)",
+        format!("pipelined_{CONNS}x{PIPELINE}_{}_queries", report.queries),
+        report.elapsed,
+        tcp_qps,
+    );
+    println!(
+        "    (in-process execute_batch baseline {inproc_best:.0} queries/s → TCP serves {:.1}% of it; \
+         {:.1} MiB in / {:.1} MiB out; server saw {} queries, write-buf peak {} B)",
+        100.0 * tcp_qps / inproc_best,
+        report.bytes_out as f64 / (1024.0 * 1024.0),
+        report.bytes_in as f64 / (1024.0 * 1024.0),
+        stats.queries,
+        stats.max_write_buf,
+    );
+    println!(
+        "    (target: ≥ {TARGET_QPS:.0} queries/s sustained over loopback{})",
+        if tcp_qps >= TARGET_QPS {
+            " — met"
+        } else {
+            "  [BELOW TARGET]"
+        }
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve\",\n  \"world\": \"small\",\n  \"shards\": {SHARDS},\n  \
+         \"conns\": {CONNS},\n  \"pipeline\": {PIPELINE},\n  \"queries\": {},\n  \
+         \"tcp_queries_per_s\": {:.0},\n  \"inproc_batch_queries_per_s\": {:.0},\n  \
+         \"tcp_fraction_of_inproc\": {:.4},\n  \"bytes_in\": {},\n  \"bytes_out\": {},\n  \
+         \"target_queries_per_s\": {:.0},\n  \"meets_target\": {},\n  \"smoke_profile\": {}\n}}\n",
+        report.queries,
+        tcp_qps,
+        inproc_best,
+        tcp_qps / inproc_best,
+        report.bytes_out,
+        report.bytes_in,
+        TARGET_QPS,
+        tcp_qps >= TARGET_QPS,
+        smoke,
+    );
+    emit_bench_json("BENCH_serve.json", &json);
+}

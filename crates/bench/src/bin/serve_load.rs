@@ -1,0 +1,84 @@
+//! `serve-load` — the tiny TCP client for `rpi-queryd --listen`.
+//!
+//! CI's network smoke uses it instead of netcat (portable, no `-q`/`-N`
+//! flag roulette): drive a query script, print exactly what the server
+//! answered, optionally stop the server.
+//!
+//! ```text
+//! serve-load --addr HOST:PORT [--script FILE] [--shutdown]
+//! ```
+//!
+//! With `--script`, the file's lines are sent and the session ends with
+//! `quit` (responses go to stdout, byte-identical to the stdin
+//! `--queries` path). With `--shutdown`, the session ends with
+//! `shutdown` instead, stopping the whole server. With only `--addr`
+//! and `--shutdown`, nothing but the shutdown verb is sent — the CI
+//! smoke's clean-stop step.
+
+use std::process::ExitCode;
+
+use rpi_bench::serveload::{drive_script, Terminator};
+
+fn usage() -> &'static str {
+    "usage: serve-load --addr HOST:PORT [--script FILE] [--shutdown]"
+}
+
+fn main() -> ExitCode {
+    let mut addr: Option<String> = None;
+    let mut script: Option<String> = None;
+    let mut shutdown = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| format!("{name} needs a value\n{}", usage()))
+        };
+        let r = match arg.as_str() {
+            "--addr" => value("--addr").map(|v| addr = Some(v)),
+            "--script" => value("--script").map(|v| script = Some(v)),
+            "--shutdown" => {
+                shutdown = true;
+                Ok(())
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown argument '{other}'\n{}", usage())),
+        };
+        if let Err(e) = r {
+            eprintln!("serve-load: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let Some(addr) = addr else {
+        eprintln!("serve-load: --addr is required\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let text = match &script {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serve-load: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => String::new(),
+    };
+    let terminator = if shutdown {
+        Terminator::Shutdown
+    } else {
+        Terminator::Quit
+    };
+    match drive_script(&addr, &text, terminator) {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve-load: {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

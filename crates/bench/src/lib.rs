@@ -13,6 +13,7 @@
 pub mod experiments;
 pub mod harness;
 pub mod report;
+pub mod serveload;
 pub mod world;
 
 pub use world::PaperWorld;

@@ -1,17 +1,20 @@
 //! `rpi-queryd` — the observatory as a command-line daemon.
 //!
 //! Loads an [`Experiment`]-generated world (optionally a churn series of
-//! snapshots), ingests it into a [`QueryEngine`], and answers queries from
-//! stdin or a file — every query line is the shared wire grammar of
-//! [`rpi_query::proto`], so REPL sessions, batch `--queries` files and
-//! the engine's tests all speak one language. `--bench` instead runs the
-//! throughput report: single route queries per second, batched throughput
-//! across shard counts, and a mixed protocol workload.
+//! snapshots), ingests it into a [`QueryEngine`], and answers queries
+//! from stdin, a file, or — with `--listen` — a non-blocking TCP front
+//! end ([`rpi_query::serve`]). Every query line is the shared wire
+//! grammar of [`rpi_query::proto`], so REPL sessions, batch `--queries`
+//! files, TCP clients and the engine's tests all speak one language and
+//! get byte-identical answers. `--bench` instead runs the throughput
+//! report: single route queries per second, batched throughput across
+//! shard counts, and a mixed protocol workload.
 //!
 //! ```text
 //! rpi-queryd [--size tiny|small|paper] [--seed N] [--snapshots N]
 //!            [--incremental] [--shards N] [--queries FILE] [--bench]
 //!            [--save DIR [--force]] [--archive DIR]
+//!            [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]]
 //! ```
 //!
 //! `--incremental` ingests the churn series diff-aware: each snapshot
@@ -22,10 +25,18 @@
 //! `--save DIR` serializes the ingested world into an `rpi-store`
 //! archive and exits; `--archive DIR` cold-starts from one instead of
 //! re-simulating (the `archive` REPL command lists its segments).
+//!
+//! `--listen ADDR` serves the same grammar over TCP, e.g.:
+//!
+//! ```text
+//! rpi-queryd --archive /tmp/rpi-archive --listen 127.0.0.1:4321 &
+//! printf 'route AS1 4.0.0.0/13\nquit\n' | nc 127.0.0.1 4321
+//! ```
 
 use std::io::{BufRead, Write as _};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Instant;
 
 use bgp_sim::churn::simulate_series;
@@ -33,9 +44,8 @@ use bgp_sim::ChurnConfig;
 use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
-use rpi_query::{
-    parse, render_response, ParseError, Query, QueryEngine, Scope, VantageKind, GRAMMAR,
-};
+use rpi_query::serve::session::{classify_line, fmt_bytes, repl_reply, Line};
+use rpi_query::{Control, Query, QueryEngine, Scope, ServeConfig, Server};
 
 struct Options {
     size: InternetSize,
@@ -48,26 +58,39 @@ struct Options {
     save: Option<String>,
     archive: Option<String>,
     force: bool,
+    listen: Option<String>,
+    max_conns: usize,
+    write_buf_cap: usize,
 }
 
 fn usage() -> &'static str {
     "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
      [--snapshots N] [--incremental] [--shards N] [--queries FILE] [--bench] \
-     [--save DIR [--force]] [--archive DIR]"
+     [--save DIR [--force]] [--archive DIR] \
+     [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]]"
 }
 
 fn flag_help() -> &'static str {
     "flags:
-  --size KIND       world size: tiny, small, paper, large (default small)
-  --seed N          world + churn RNG seed (default 2003)
-  --snapshots N     simulate an N-step daily churn series (default 1)
-  --incremental     ingest the series diff-aware (copy-on-write overlays)
-  --shards N        shards per vantage table (default 8)
-  --queries FILE    run the protocol queries in FILE, then exit
-  --bench           run the throughput report instead of serving queries
-  --save DIR        write the ingested world as an rpi-store archive, then exit
-  --force           let --save overwrite an existing archive's MANIFEST
-  --archive DIR     cold-start from an archive instead of simulating"
+  --size KIND          world size: tiny, small, paper, large (default small)
+  --seed N             world + churn RNG seed (default 2003)
+  --snapshots N        simulate an N-step daily churn series (default 1)
+  --incremental        ingest the series diff-aware (copy-on-write overlays)
+  --shards N           shards per vantage table (default 8)
+  --queries FILE       run the protocol queries in FILE, then exit
+  --bench              run the throughput report instead of serving queries
+  --save DIR           write the ingested world as an rpi-store archive, then exit
+  --force              let --save overwrite an existing archive's MANIFEST
+  --archive DIR        cold-start from an archive instead of simulating
+  --listen ADDR        serve the query grammar over TCP on ADDR (e.g. 127.0.0.1:4321)
+  --max-conns N        serve: concurrent connection cap (default 64)
+  --write-buf-cap B    serve: per-connection response-buffer cap in bytes,
+                       past which the connection is backpressured (default 262144)
+
+serve example (the same grammar, line by line; `quit` ends a connection,
+`shutdown` stops the server and prints its stats):
+  rpi-queryd --archive /tmp/rpi-archive --listen 127.0.0.1:4321 &
+  printf 'route AS1 4.0.0.0/13\\nquit\\n' | nc 127.0.0.1 4321"
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -82,6 +105,9 @@ fn parse_args() -> Result<Options, String> {
         save: None,
         archive: None,
         force: false,
+        listen: None,
+        max_conns: 64,
+        write_buf_cap: 256 * 1024,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -121,6 +147,25 @@ fn parse_args() -> Result<Options, String> {
             "--save" => opts.save = Some(value("--save")?),
             "--archive" => opts.archive = Some(value("--archive")?),
             "--force" => opts.force = true,
+            "--listen" => opts.listen = Some(value("--listen")?),
+            "--max-conns" => {
+                let v = value("--max-conns")?;
+                opts.max_conns = v
+                    .parse()
+                    .map_err(|_| format!("--max-conns wants a count, got '{v}'"))?;
+                if opts.max_conns == 0 {
+                    return Err("--max-conns must be at least 1".into());
+                }
+            }
+            "--write-buf-cap" => {
+                let v = value("--write-buf-cap")?;
+                opts.write_buf_cap = v
+                    .parse()
+                    .map_err(|_| format!("--write-buf-cap wants bytes, got '{v}'"))?;
+                if opts.write_buf_cap == 0 {
+                    return Err("--write-buf-cap must be at least 1".into());
+                }
+            }
             "--help" | "-h" => {
                 println!("{}\n\n{}", usage(), flag_help());
                 std::process::exit(0);
@@ -144,6 +189,34 @@ fn main() -> ExitCode {
         eprintln!("rpi-queryd: --bench needs a simulated world; drop --archive");
         return ExitCode::FAILURE;
     }
+    if opts.listen.is_some() && (opts.bench || opts.queries.is_some() || opts.save.is_some()) {
+        eprintln!("rpi-queryd: --listen serves TCP; drop --bench/--queries/--save");
+        return ExitCode::FAILURE;
+    }
+
+    // Fail fast on bad inputs *before* the expensive world build / archive
+    // load: a missing query file or an unbindable listen address is a
+    // one-line error, never a panic (and never minutes of wasted ingest).
+    let query_text = match &opts.queries {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("rpi-queryd: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    let listener = match &opts.listen {
+        Some(addr) => match std::net::TcpListener::bind(addr) {
+            Ok(l) => Some(l),
+            Err(e) => {
+                eprintln!("rpi-queryd: --listen: cannot bind {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let mut exp = None;
     let mut engine;
@@ -246,15 +319,49 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    match opts.queries {
-        Some(path) => match std::fs::read_to_string(&path) {
-            Ok(text) => run_file(&engine, &path, &text),
+    // The serve mode: share the built engine across the accept loop and
+    // run until a `shutdown` control line, then report the stats
+    // snapshot (SIGINT-free shutdown).
+    if let Some(listener) = listener {
+        let cfg = ServeConfig {
+            max_conns: opts.max_conns,
+            write_buf_cap: opts.write_buf_cap,
+            ..ServeConfig::default()
+        };
+        let engine = Arc::new(engine);
+        let server = match Server::with_listener(engine, listener, cfg) {
+            Ok(s) => s,
             Err(e) => {
-                eprintln!("rpi-queryd: cannot read {path}: {e}");
+                eprintln!("rpi-queryd: --listen: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match server.local_addr() {
+            Ok(addr) => eprintln!(
+                "serving on {addr} ({} max conns, {} write-buf cap); a 'shutdown' line stops the server",
+                opts.max_conns,
+                fmt_bytes(opts.write_buf_cap as u64),
+            ),
+            Err(e) => {
+                eprintln!("rpi-queryd: --listen: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        return match server.run() {
+            Ok(stats) => {
+                eprintln!("{}", stats.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rpi-queryd: serve: {e}");
                 ExitCode::FAILURE
             }
-        },
-        None => {
+        };
+    }
+
+    match (&opts.queries, query_text) {
+        (Some(path), Some(text)) => run_file(&engine, path, &text),
+        _ => {
             let stdin = std::io::stdin();
             print!("> ");
             let _ = std::io::stdout().flush();
@@ -301,122 +408,36 @@ enum Outcome {
     Quit,
 }
 
-/// `123 B` / `1.2 KiB` / `3.4 MiB`.
-fn fmt_bytes(bytes: u64) -> String {
-    if bytes < 1024 {
-        format!("{bytes} B")
-    } else if bytes < 1024 * 1024 {
-        format!("{:.1} KiB", bytes as f64 / 1024.0)
-    } else {
-        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
-    }
-}
-
 fn count_kind(manifest: &rpi_store::Manifest, kind: rpi_store::SegmentKind) -> usize {
     manifest.segments.iter().filter(|s| s.kind == kind).count()
 }
 
-/// Executes one line: REPL commands (`help`, `snapshots`, `vantages`,
-/// `quit`) directly, everything else through the shared protocol
-/// grammar.
+/// Executes one line through the same session semantics the TCP front
+/// end uses ([`rpi_query::serve::session`]) — the stdin and network
+/// paths must answer byte-identically, and sharing the classification
+/// and rendering is what guarantees it.
 fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
-    let trimmed = line.trim();
-    if trimmed.is_empty() || trimmed.starts_with('#') {
-        return Outcome::Ok;
-    }
-    match trimmed {
-        "quit" | "exit" => return Outcome::Quit,
-        "help" => {
-            println!("{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), archive (list on-disk segments), quit");
-            return Outcome::Ok;
-        }
-        "snapshots" => {
-            let lines: Vec<String> = engine
-                .labels()
-                .enumerate()
-                .map(|(i, l)| {
-                    let id = rpi_query::SnapshotId(i as u32);
-                    let n = engine.vantages_in(id).len();
-                    let sharing = match engine.sharing_with_prev(id) {
-                        Some((shared, total)) if shared > 0 => {
-                            format!(", {shared}/{total} trie nodes shared with prev")
-                        }
-                        _ => String::new(),
-                    };
-                    // Storage next to sharing: what the snapshot costs on
-                    // disk when the engine lives in an archive.
-                    let disk = match engine.segment_meta(id) {
-                        Some(meta) => {
-                            format!(", disk {} ({})", fmt_bytes(meta.bytes), meta.kind.name())
-                        }
-                        None => ", disk -".to_string(),
-                    };
-                    format!("{i}: {l} ({n} vantages{sharing}{disk})")
-                })
-                .collect();
-            println!("{}", lines.join("\n"));
-            return Outcome::Ok;
-        }
-        "archive" => {
-            match engine.archive_info() {
-                None => println!("no archive: engine built in memory (load one with --archive, write one with --save)"),
-                Some(info) => {
-                    let mut lines = vec![format!(
-                        "archive {} ({} segments, {} on disk)",
-                        info.dir.display(),
-                        1 + info.snapshots.len(),
-                        fmt_bytes(info.total_bytes() as u64),
-                    )];
-                    let all = std::iter::once(&info.symbols).chain(&info.snapshots);
-                    for meta in all {
-                        let label = if meta.label.is_empty() {
-                            String::new()
-                        } else {
-                            format!(" label {}", meta.label)
-                        };
-                        lines.push(format!(
-                            "  {}: {} {} {} crc 0x{:08x}{label}",
-                            meta.index,
-                            meta.file,
-                            meta.kind.name(),
-                            fmt_bytes(meta.bytes),
-                            meta.crc32,
-                        ));
-                    }
-                    println!("{}", lines.join("\n"));
-                }
-            }
-            return Outcome::Ok;
-        }
-        "vantages" => {
-            let lines: Vec<String> = engine
-                .vantages()
-                .into_iter()
-                .map(|(a, k)| {
-                    let kind = match k {
-                        VantageKind::LookingGlass => "looking-glass",
-                        VantageKind::CollectorPeer => "collector-peer",
-                    };
-                    format!("{a} ({kind})")
-                })
-                .collect();
-            println!("{}", lines.join("\n"));
-            return Outcome::Ok;
-        }
-        _ => {}
-    }
-    let req = match parse(trimmed) {
-        Ok(req) => req,
-        // The Display of an unknown-query error lists the whole grammar.
-        Err(e @ ParseError::UnknownQuery(_)) => return Outcome::Err(e.to_string()),
-        Err(e) => return Outcome::Err(format!("{e} (type 'help' for the grammar)")),
-    };
-    match engine.execute(&req) {
-        Ok(resp) => {
-            println!("{}", render_response(&req, &resp));
+    match classify_line(line) {
+        Line::Skip => Outcome::Ok,
+        // In a local session `shutdown` has nothing more to stop than
+        // the session itself.
+        Line::Control(Control::Quit) | Line::Control(Control::Shutdown) => Outcome::Quit,
+        Line::Control(Control::Ping) => {
+            println!("pong");
             Outcome::Ok
         }
-        Err(e) => Outcome::Err(e.to_string()),
+        Line::Repl(cmd) => {
+            println!("{}", repl_reply(engine, cmd));
+            Outcome::Ok
+        }
+        Line::Query(req) => match engine.execute(&req) {
+            Ok(resp) => {
+                println!("{}", rpi_query::render_response(&req, &resp));
+                Outcome::Ok
+            }
+            Err(e) => Outcome::Err(e.to_string()),
+        },
+        Line::Bad(msg) => Outcome::Err(msg),
     }
 }
 

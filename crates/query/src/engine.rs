@@ -254,6 +254,15 @@ pub fn measure_series_ingest(
 }
 
 /// The sharded, multi-snapshot policy observatory.
+///
+/// The engine is ingest-then-serve: all `&mut self` methods happen
+/// before serving starts, after which every query path is `&self` — so
+/// a built engine is shared across threads (and across the TCP accept
+/// loop of [`crate::serve`]) behind a plain `Arc<QueryEngine>`, with
+/// [`Self::execute_batch`] as the batch entry point for pre-parsed
+/// requests. The assertion below keeps that property load-bearing: a
+/// future `Cell`/`Rc` in any snapshot structure becomes a compile error
+/// here, not a surprise in the serving layer.
 #[derive(Debug)]
 pub struct QueryEngine {
     pub(crate) interner: WorldInterner,
@@ -267,6 +276,13 @@ pub struct QueryEngine {
     /// archive: where it lives and what each snapshot costs on disk.
     pub(crate) archive: Option<crate::archive::ArchiveInfo>,
 }
+
+// `Arc<QueryEngine>` sharing across the serve loop and batch workers
+// rests on this; see the struct docs.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<QueryEngine>()
+};
 
 impl QueryEngine {
     /// An empty engine with `n_shards` shards per vantage table (clamped

@@ -47,9 +47,14 @@
 //!   checksummed full/delta segments, [`QueryEngine::load_archive`]
 //!   cold-starts from them in milliseconds, replaying delta segments
 //!   through the same incremental-ingest machinery.
+//! * [`serve`] — the non-blocking TCP front end: an `Arc`-shared engine
+//!   behind a readiness poll loop with newline framing, per-read request
+//!   pipelining into [`QueryEngine::execute_batch`], bounded write
+//!   buffers with read-side backpressure, idle shedding, and a stats
+//!   snapshot on protocol-level (`shutdown` verb) shutdown.
 //!
 //! The `rpi-queryd` binary wraps the engine in a line-oriented CLI with a
-//! `--bench` throughput mode.
+//! `--bench` throughput mode and a `--listen` serve mode.
 //!
 //! ## Quick tour
 //!
@@ -90,6 +95,7 @@ pub mod engine;
 pub mod intern;
 pub mod plan;
 pub mod proto;
+pub mod serve;
 pub mod snapshot;
 
 pub use archive::{ArchiveInfo, SegmentMeta};
@@ -101,7 +107,9 @@ pub use engine::{
 pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
 pub use plan::QueryError;
 pub use proto::{
-    parse, parse_script, render, render_response, render_scope, ParseError, PersistenceAnswer,
-    Query, QueryRequest, Response, SaHistoryPoint, SaOriginCount, Scope, ScriptError, GRAMMAR,
+    parse, parse_control, parse_script, render, render_response, render_scope, Control, Frame,
+    LineFramer, ParseError, PersistenceAnswer, Query, QueryRequest, Response, SaHistoryPoint,
+    SaOriginCount, Scope, ScriptError, GRAMMAR,
 };
+pub use serve::{ServeConfig, ServeStats, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};

@@ -484,6 +484,157 @@ pub fn parse(line: &str) -> Result<QueryRequest, ParseError> {
     })
 }
 
+/// A session control verb — not a query, but part of the wire grammar:
+/// control lines steer the connection (or REPL session) itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Control {
+    /// `ping` — liveness probe; the peer answers `pong`.
+    Ping,
+    /// `quit` (or `exit`) — end this session/connection. Over TCP the
+    /// server flushes pending responses and closes the connection.
+    Quit,
+    /// `shutdown` — stop the whole server (SIGINT-free shutdown): the
+    /// listener closes, every connection is flushed and closed, and the
+    /// serve loop returns its final stats snapshot. In the stdin REPL
+    /// this is equivalent to `quit`.
+    Shutdown,
+}
+
+/// Recognizes a control verb. Controls are whole lines, not prefixes:
+/// `ping extra` is *not* a control (it falls through to query parsing
+/// and fails there, like any other malformed line).
+pub fn parse_control(line: &str) -> Option<Control> {
+    match line.trim() {
+        "ping" => Some(Control::Ping),
+        "quit" | "exit" => Some(Control::Quit),
+        "shutdown" => Some(Control::Shutdown),
+        _ => None,
+    }
+}
+
+/// One complete frame extracted from a connection's byte stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A complete line (terminator stripped, `\r\n` tolerated), with its
+    /// 1-based line number within the stream.
+    Line {
+        /// 1-based position of this line in the connection's stream.
+        line: usize,
+        /// The line text, without its terminator.
+        text: String,
+    },
+    /// A line that exceeded the framer's cap before its newline arrived.
+    /// The rest of the oversized line is discarded up to the next
+    /// terminator; the connection itself stays usable.
+    Oversized {
+        /// 1-based position of the oversized line.
+        line: usize,
+        /// How many bytes had accumulated when the cap tripped (the line
+        /// was at least this long).
+        length: usize,
+    },
+}
+
+/// Reassembles newline-delimited frames from an arbitrarily-chunked byte
+/// stream — the framing layer under the TCP front end. A query split
+/// across two (or ten) reads comes out as one [`Frame::Line`]; a line
+/// longer than the cap comes out as one [`Frame::Oversized`] and is then
+/// skipped to its terminator instead of growing the buffer without
+/// bound.
+#[derive(Debug)]
+pub struct LineFramer {
+    buf: Vec<u8>,
+    max_line: usize,
+    discarding: bool,
+    next_line: usize,
+}
+
+impl LineFramer {
+    /// A framer refusing to buffer more than `max_line` bytes for any
+    /// single unterminated line.
+    pub fn new(max_line: usize) -> LineFramer {
+        LineFramer {
+            buf: Vec::new(),
+            max_line: max_line.max(1),
+            discarding: false,
+            next_line: 1,
+        }
+    }
+
+    /// Bytes currently buffered for a not-yet-terminated line (bounded
+    /// by the cap).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Flushes the buffered unterminated tail as one final frame — what
+    /// EOF means for a line stream (`str::lines` yields a final line
+    /// without its `\n`; a TCP session that half-closes after an
+    /// unterminated query must get the same answer the stdin path would
+    /// give). Returns `None` when nothing is buffered or the tail is the
+    /// discarded remainder of an oversized line (already reported).
+    pub fn finish(&mut self) -> Option<Frame> {
+        if self.discarding {
+            self.discarding = false;
+            return None;
+        }
+        if self.buf.is_empty() {
+            return None;
+        }
+        let line = std::mem::take(&mut self.buf);
+        let frame = Frame::Line {
+            line: self.next_line,
+            text: String::from_utf8_lossy(&line).into_owned(),
+        };
+        self.next_line += 1;
+        Some(frame)
+    }
+
+    /// Feeds one read's worth of bytes, returning every frame it
+    /// completes. Non-UTF-8 lines are lossily decoded (they fail query
+    /// parsing downstream like any other garbage).
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<Frame> {
+        let mut out = Vec::new();
+        for &b in bytes {
+            if self.discarding {
+                if b == b'\n' {
+                    self.discarding = false;
+                }
+                continue;
+            }
+            if b == b'\n' {
+                let mut line = std::mem::take(&mut self.buf);
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                out.push(Frame::Line {
+                    line: self.next_line,
+                    text: String::from_utf8_lossy(&line).into_owned(),
+                });
+                self.next_line += 1;
+                continue;
+            }
+            self.buf.push(b);
+            // One byte of grace for a trailing '\r': a line of exactly
+            // `max_line` bytes must be accepted from CRLF clients too
+            // (the '\r' is stripped at the terminator, so it never
+            // counts toward the line's length).
+            let over = self.buf.len() > self.max_line + 1
+                || (self.buf.len() > self.max_line && b != b'\r');
+            if over {
+                out.push(Frame::Oversized {
+                    line: self.next_line,
+                    length: self.buf.len(),
+                });
+                self.next_line += 1;
+                self.buf.clear();
+                self.discarding = true;
+            }
+        }
+        out
+    }
+}
+
 /// Parses a whole query script: blank lines and `#` comments are
 /// skipped, every other line must be a grammar query. Returns the
 /// requests with their 1-based line numbers, or the first error located
@@ -773,6 +924,117 @@ mod tests {
         let err = parse("frobnicate AS1").unwrap_err();
         assert_eq!(err, ParseError::UnknownQuery("frobnicate".into()));
         assert!(err.to_string().contains("route <vantage> <prefix>"));
+    }
+
+    #[test]
+    fn control_verbs_are_whole_lines() {
+        assert_eq!(parse_control("ping"), Some(Control::Ping));
+        assert_eq!(parse_control("  quit "), Some(Control::Quit));
+        assert_eq!(parse_control("exit"), Some(Control::Quit));
+        assert_eq!(parse_control("shutdown"), Some(Control::Shutdown));
+        assert_eq!(parse_control("ping now"), None);
+        assert_eq!(parse_control("route AS1 1.0.0.0/8"), None);
+    }
+
+    #[test]
+    fn framer_reassembles_split_frames() {
+        let mut f = LineFramer::new(64);
+        assert!(f.push(b"route AS1 4.").is_empty());
+        assert!(f.push(b"0.0.0/13").is_empty());
+        let frames = f.push(b"\nsa AS1 2.0.0.0/8\r\npart");
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Line {
+                    line: 1,
+                    text: "route AS1 4.0.0.0/13".into()
+                },
+                Frame::Line {
+                    line: 2,
+                    text: "sa AS1 2.0.0.0/8".into()
+                },
+            ]
+        );
+        assert_eq!(f.buffered(), 4);
+        assert_eq!(
+            f.push(b"ial\n"),
+            vec![Frame::Line {
+                line: 3,
+                text: "partial".into()
+            }]
+        );
+    }
+
+    #[test]
+    fn framer_finish_flushes_the_unterminated_tail() {
+        let mut f = LineFramer::new(64);
+        assert!(f.push(b"route AS1 4.0.0.0/13").is_empty());
+        assert_eq!(
+            f.finish(),
+            Some(Frame::Line {
+                line: 1,
+                text: "route AS1 4.0.0.0/13".into()
+            })
+        );
+        assert_eq!(f.finish(), None, "the tail flushes exactly once");
+        // The discarded remainder of an oversized line is not a frame —
+        // it was already reported when the cap tripped.
+        let mut f = LineFramer::new(4);
+        assert_eq!(
+            f.push(b"abcdefgh"),
+            vec![Frame::Oversized { line: 1, length: 5 }]
+        );
+        assert_eq!(f.finish(), None);
+    }
+
+    #[test]
+    fn framer_caps_oversized_lines_without_losing_the_stream() {
+        let mut f = LineFramer::new(8);
+        let frames = f.push(b"0123456789abcdef more garbage\nping\n");
+        assert_eq!(
+            frames,
+            vec![
+                Frame::Oversized { line: 1, length: 9 },
+                Frame::Line {
+                    line: 2,
+                    text: "ping".into()
+                },
+            ]
+        );
+        // The discarded tail never accumulated.
+        assert_eq!(f.buffered(), 0);
+    }
+
+    #[test]
+    fn framer_cap_treats_lf_and_crlf_clients_alike() {
+        // An exactly-at-cap line is fine with either terminator: the
+        // '\r' is stripped, so it must not count toward the cap.
+        for terminator in ["\n", "\r\n"] {
+            let mut f = LineFramer::new(8);
+            assert_eq!(
+                f.push(format!("01234567{terminator}").as_bytes()),
+                vec![Frame::Line {
+                    line: 1,
+                    text: "01234567".into()
+                }],
+                "terminator {terminator:?}"
+            );
+        }
+        // One byte over the cap trips it for both, and a '\r' that is
+        // *not* a terminator gets no grace.
+        let mut f = LineFramer::new(8);
+        assert_eq!(
+            f.push(b"012345678\n"),
+            vec![Frame::Oversized { line: 1, length: 9 }]
+        );
+        let mut f = LineFramer::new(8);
+        assert_eq!(
+            f.push(b"01234567\rX\n"),
+            vec![Frame::Oversized {
+                line: 1,
+                length: 10
+            }]
+        );
     }
 
     #[test]

@@ -1,0 +1,337 @@
+//! The readiness poll loop: one thread, every socket nonblocking, each
+//! iteration drains whatever the kernel has ready — accepts, reads,
+//! batch execution, writes — and sleeps a tick only when nothing moved.
+//!
+//! std-only by design (the build has no registry access, so no mio or
+//! tokio): readiness is discovered by attempting the nonblocking call
+//! and treating `WouldBlock` as "not ready", which on loopback-scale
+//! connection counts (tens to hundreds) costs microseconds per sweep.
+
+use std::io::{self};
+use std::net::{TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::engine::QueryEngine;
+use crate::serve::conn::Conn;
+use crate::serve::{ServeConfig, ServeStats};
+
+/// Monotonic counters shared between the loop and [`ServerHandle`]s.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) bytes_in: AtomicU64,
+    pub(crate) bytes_out: AtomicU64,
+    pub(crate) shed_idle: AtomicU64,
+    pub(crate) max_write_buf: AtomicU64,
+}
+
+impl StatsInner {
+    fn snapshot(&self, started: Instant) -> ServeStats {
+        ServeStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            shed_idle: self.shed_idle.load(Ordering::Relaxed),
+            max_write_buf: self.max_write_buf.load(Ordering::Relaxed),
+            elapsed: started.elapsed(),
+        }
+    }
+
+    fn note_write_buf(&self, pending: u64) {
+        self.max_write_buf.fetch_max(pending, Ordering::Relaxed);
+    }
+}
+
+/// A remote control for a running [`Server`]: request shutdown and read
+/// live stats from any thread.
+#[derive(Debug, Clone)]
+pub struct ServerHandle {
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl ServerHandle {
+    /// Asks the serve loop to stop (it notices within one poll tick,
+    /// flushes every connection, and returns its final stats).
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// A live snapshot of the server's counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats.snapshot(self.started)
+    }
+}
+
+/// The TCP front end: a bound listener plus the shared engine, run by
+/// [`Server::run`] until a `shutdown` control line or
+/// [`ServerHandle::shutdown`].
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    engine: Arc<QueryEngine>,
+    cfg: ServeConfig,
+    stats: Arc<StatsInner>,
+    shutdown: Arc<AtomicBool>,
+    started: Instant,
+}
+
+impl Server {
+    /// Binds the listener and prepares the loop. The engine is shared by
+    /// `Arc`: the caller keeps its clone for direct queries (tests
+    /// compare served responses against `engine.execute`).
+    pub fn bind(
+        engine: Arc<QueryEngine>,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Server::with_listener(engine, TcpListener::bind(addr)?, cfg)
+    }
+
+    /// Wraps an already-bound listener (lets a caller validate the
+    /// address *before* building an engine, as `rpi-queryd --listen`
+    /// does). The listener is switched to nonblocking mode here.
+    pub fn with_listener(
+        engine: Arc<QueryEngine>,
+        listener: TcpListener,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        listener.set_nonblocking(true)?;
+        Ok(Server {
+            listener,
+            engine,
+            cfg,
+            stats: Arc::new(StatsInner::default()),
+            shutdown: Arc::new(AtomicBool::new(false)),
+            started: Instant::now(),
+        })
+    }
+
+    /// The actually-bound address (resolves `:0` ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for shutdown and live stats, usable from other threads.
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle {
+            stats: Arc::clone(&self.stats),
+            shutdown: Arc::clone(&self.shutdown),
+            started: self.started,
+        }
+    }
+
+    /// Runs the poll loop until shutdown, returning the final stats
+    /// snapshot. Per iteration: accept everything pending (rejecting
+    /// over-capacity connections with an in-band notice), then for every
+    /// connection drain its write buffer, read-and-batch-execute unless
+    /// it is backpressured (pending output over `write_buf_cap`), and
+    /// shed it if idle past `idle_timeout`.
+    pub fn run(self) -> io::Result<ServeStats> {
+        let mut conns: Vec<Conn> = Vec::new();
+        let mut rbuf = vec![0u8; 64 * 1024];
+        let mut idle_streak: u32 = 0;
+        // Hard bound on open sockets: served sessions plus a bounded tail
+        // of closing/rejected ones still draining their final bytes. Past
+        // it, over-capacity accepts are dropped outright (no notice, no
+        // linger) — under a connection flood, shedding beats running out
+        // of file descriptors.
+        let hard_conn_cap = self.cfg.max_conns + self.cfg.max_conns.clamp(16, 256);
+        while !self.shutdown.load(Ordering::Relaxed) {
+            let mut progressed = false;
+
+            // Accept sweep. Capacity is measured against *live* sessions:
+            // connections already closing (rejected, quit, EOF) are
+            // draining, not serving, and must not lock new clients out.
+            let mut live = conns.iter().filter(|c| !c.closing).count();
+            loop {
+                match self.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        progressed = true;
+                        if conns.len() >= hard_conn_cap {
+                            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            drop(stream);
+                            continue;
+                        }
+                        match Conn::new(stream, self.cfg.max_line_len) {
+                            Ok(mut c) => {
+                                if live >= self.cfg.max_conns {
+                                    // Overload: answer in-band, flush, close.
+                                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    c.push_notice(&format!(
+                                        "error: server full ({} connections)",
+                                        self.cfg.max_conns
+                                    ));
+                                    c.closing = true;
+                                } else {
+                                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                    live += 1;
+                                }
+                                conns.push(c);
+                            }
+                            Err(_) => {
+                                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    // Transient accept errors (peer reset mid-handshake)
+                    // must not kill the server.
+                    Err(_) => break,
+                }
+            }
+
+            // Connection sweep.
+            let now = Instant::now();
+            let mut i = 0;
+            while i < conns.len() {
+                let mut drop_conn = false;
+                let mut shed = false;
+                {
+                    let c = &mut conns[i];
+                    match c.flush() {
+                        Ok(n) if n > 0 => {
+                            progressed = true;
+                            self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                            c.last_activity = now;
+                        }
+                        Ok(_) => {}
+                        Err(_) => drop_conn = true,
+                    }
+                    let backpressured = c.pending_write() > self.cfg.write_buf_cap;
+                    if !drop_conn && !c.closing && !backpressured {
+                        match c.read_and_process(&self.engine, &mut rbuf) {
+                            Ok(out) => {
+                                if out.bytes_in > 0 {
+                                    progressed = true;
+                                    self.stats
+                                        .bytes_in
+                                        .fetch_add(out.bytes_in, Ordering::Relaxed);
+                                    c.last_activity = now;
+                                }
+                                self.stats.queries.fetch_add(out.queries, Ordering::Relaxed);
+                                self.stats.errors.fetch_add(out.errors, Ordering::Relaxed);
+                                if out.eof {
+                                    c.closing = true;
+                                }
+                                if out.shutdown {
+                                    self.shutdown.store(true, Ordering::Relaxed);
+                                }
+                            }
+                            Err(_) => drop_conn = true,
+                        }
+                        if !drop_conn {
+                            // Push freshly rendered responses out in the
+                            // same tick; leftovers stay for the next sweep.
+                            match c.flush() {
+                                Ok(n) if n > 0 => {
+                                    progressed = true;
+                                    self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                                    c.last_activity = now;
+                                }
+                                Ok(_) => {}
+                                Err(_) => drop_conn = true,
+                            }
+                        }
+                    }
+                    self.stats.note_write_buf(c.pending_write() as u64);
+                    if !drop_conn && c.wants_close() {
+                        // Done and fully flushed: half-close, then linger
+                        // discarding the peer's remaining input — closing
+                        // with unread bytes queued would RST away the
+                        // final responses. The idle timeout below bounds
+                        // the linger if the peer never hangs up.
+                        c.send_fin();
+                        match c.discard_input(&mut rbuf) {
+                            Ok(true) | Err(_) => drop_conn = true,
+                            Ok(false) => {}
+                        }
+                    }
+                    if !drop_conn && now.duration_since(c.last_activity) > self.cfg.idle_timeout {
+                        // Slow or silent peers (including permanently
+                        // backpressured ones) are shed, not kept forever.
+                        drop_conn = true;
+                        shed = true;
+                    }
+                }
+                if drop_conn {
+                    if shed {
+                        self.stats.shed_idle.fetch_add(1, Ordering::Relaxed);
+                    }
+                    conns.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+            // `active` counts live sessions; closing connections are
+            // drains in progress, not service.
+            self.stats.active.store(
+                conns.iter().filter(|c| !c.closing).count() as u64,
+                Ordering::Relaxed,
+            );
+
+            if progressed {
+                idle_streak = 0;
+            } else {
+                // Idle backoff with a grace window: the first few quiet
+                // sweeps keep the 200 µs tick (a pipelining client's
+                // inter-window gap must not cost latency), then the
+                // sleep decays exponentially to ~64× the tick (≈13 ms
+                // default), so an open-but-quiet server burns almost no
+                // CPU while wakeup latency stays invisible at protocol
+                // scale.
+                idle_streak = idle_streak.saturating_add(1);
+                let decay = idle_streak.saturating_sub(8).min(6);
+                std::thread::sleep(self.cfg.poll_interval * (1u32 << decay));
+            }
+        }
+
+        // Graceful drain: give every connection one short window to take
+        // its buffered responses — flush, half-close (FIN after the last
+        // byte), then discard the peer's remaining input until it closes
+        // too, so no final response is lost to a RST. The deadline bounds
+        // peers that neither read nor hang up.
+        let deadline = Instant::now()
+            + self
+                .cfg
+                .poll_interval
+                .max(std::time::Duration::from_millis(1))
+                * 200;
+        while !conns.is_empty() && Instant::now() < deadline {
+            let mut moved = false;
+            conns.retain_mut(|c| {
+                match c.flush() {
+                    Ok(n) if n > 0 => {
+                        moved = true;
+                        self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                    }
+                    Ok(_) => {}
+                    Err(_) => return false,
+                }
+                if c.pending_write() > 0 {
+                    return true;
+                }
+                c.send_fin();
+                !matches!(c.discard_input(&mut rbuf), Ok(true) | Err(_))
+            });
+            if !moved {
+                std::thread::sleep(self.cfg.poll_interval);
+            }
+        }
+        drop(conns);
+        self.stats.active.store(0, Ordering::Relaxed);
+        Ok(self.stats.snapshot(self.started))
+    }
+}

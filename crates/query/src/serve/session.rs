@@ -1,0 +1,178 @@
+//! One session semantics for every front end.
+//!
+//! A "session" is a stream of grammar lines — the stdin REPL, a
+//! `--queries` file, or one TCP connection. This module defines what a
+//! line *means* ([`classify_line`]) and renders the REPL listing
+//! commands ([`repl_reply`]), so the daemon's stdin path and the
+//! [`serve`](crate::serve) front end produce **byte-identical** output
+//! for the same lines — the property the CI network smoke diffs.
+
+use crate::engine::QueryEngine;
+use crate::proto::{parse, parse_control, Control, ParseError, QueryRequest, GRAMMAR};
+use crate::snapshot::{SnapshotId, VantageKind};
+
+/// What the REPL line said, beyond the query grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplCmd {
+    /// `help` — the grammar plus the session commands.
+    Help,
+    /// `snapshots` — one line per ingested snapshot (label, vantage
+    /// count, trie sharing, on-disk cost).
+    Snapshots,
+    /// `archive` — the on-disk segment listing, if the engine was
+    /// loaded from (or saved to) an `rpi-store` archive.
+    Archive,
+    /// `vantages` — every vantage AS and its kind.
+    Vantages,
+}
+
+/// The meaning of one session line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Line {
+    /// Blank or `#` comment: no output.
+    Skip,
+    /// A control verb (`ping` / `quit` / `shutdown`).
+    Control(Control),
+    /// A REPL listing command.
+    Repl(ReplCmd),
+    /// A grammar query, parsed and ready for the engine.
+    Query(QueryRequest),
+    /// An unparseable line, with the message a front end should report.
+    Bad(String),
+}
+
+/// Classifies one line the way the daemon's REPL always has: blank and
+/// comment lines are skipped, control and listing verbs are recognized
+/// first, everything else goes through the shared protocol grammar.
+pub fn classify_line(line: &str) -> Line {
+    let trimmed = line.trim();
+    if trimmed.is_empty() || trimmed.starts_with('#') {
+        return Line::Skip;
+    }
+    if let Some(c) = parse_control(trimmed) {
+        return Line::Control(c);
+    }
+    match trimmed {
+        "help" => return Line::Repl(ReplCmd::Help),
+        "snapshots" => return Line::Repl(ReplCmd::Snapshots),
+        "archive" => return Line::Repl(ReplCmd::Archive),
+        "vantages" => return Line::Repl(ReplCmd::Vantages),
+        _ => {}
+    }
+    match parse(trimmed) {
+        Ok(req) => Line::Query(req),
+        // The Display of an unknown-query error lists the whole grammar.
+        Err(e @ ParseError::UnknownQuery(_)) => Line::Bad(e.to_string()),
+        Err(e) => Line::Bad(format!("{e} (type 'help' for the grammar)")),
+    }
+}
+
+/// `123 B` / `1.2 KiB` / `3.4 MiB` — the size spelling every listing
+/// shares (and the goldens pin).
+pub fn fmt_bytes(bytes: u64) -> String {
+    if bytes < 1024 {
+        format!("{bytes} B")
+    } else if bytes < 1024 * 1024 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{:.1} MiB", bytes as f64 / (1024.0 * 1024.0))
+    }
+}
+
+/// Renders a listing command exactly as the stdin REPL prints it (no
+/// trailing newline; callers add their own framing).
+pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
+    match cmd {
+        ReplCmd::Help => format!(
+            "{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), \
+             archive (list on-disk segments), ping, quit, shutdown (stop the whole server)"
+        ),
+        ReplCmd::Snapshots => {
+            let lines: Vec<String> = engine
+                .labels()
+                .enumerate()
+                .map(|(i, l)| {
+                    let id = SnapshotId(i as u32);
+                    let n = engine.vantages_in(id).len();
+                    let sharing = match engine.sharing_with_prev(id) {
+                        Some((shared, total)) if shared > 0 => {
+                            format!(", {shared}/{total} trie nodes shared with prev")
+                        }
+                        _ => String::new(),
+                    };
+                    // Storage next to sharing: what the snapshot costs on
+                    // disk when the engine lives in an archive.
+                    let disk = match engine.segment_meta(id) {
+                        Some(meta) => {
+                            format!(", disk {} ({})", fmt_bytes(meta.bytes), meta.kind.name())
+                        }
+                        None => ", disk -".to_string(),
+                    };
+                    format!("{i}: {l} ({n} vantages{sharing}{disk})")
+                })
+                .collect();
+            lines.join("\n")
+        }
+        ReplCmd::Archive => match engine.archive_info() {
+            None => "no archive: engine built in memory (load one with --archive, write one with --save)".to_string(),
+            Some(info) => {
+                let mut lines = vec![format!(
+                    "archive {} ({} segments, {} on disk)",
+                    info.dir.display(),
+                    1 + info.snapshots.len(),
+                    fmt_bytes(info.total_bytes() as u64),
+                )];
+                let all = std::iter::once(&info.symbols).chain(&info.snapshots);
+                for meta in all {
+                    let label = if meta.label.is_empty() {
+                        String::new()
+                    } else {
+                        format!(" label {}", meta.label)
+                    };
+                    lines.push(format!(
+                        "  {}: {} {} {} crc 0x{:08x}{label}",
+                        meta.index,
+                        meta.file,
+                        meta.kind.name(),
+                        fmt_bytes(meta.bytes),
+                        meta.crc32,
+                    ));
+                }
+                lines.join("\n")
+            }
+        },
+        ReplCmd::Vantages => {
+            let lines: Vec<String> = engine
+                .vantages()
+                .into_iter()
+                .map(|(a, k)| {
+                    let kind = match k {
+                        VantageKind::LookingGlass => "looking-glass",
+                        VantageKind::CollectorPeer => "collector-peer",
+                    };
+                    format!("{a} ({kind})")
+                })
+                .collect();
+            lines.join("\n")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_covers_every_shape() {
+        assert_eq!(classify_line("  "), Line::Skip);
+        assert_eq!(classify_line("# comment"), Line::Skip);
+        assert_eq!(classify_line("ping"), Line::Control(Control::Ping));
+        assert_eq!(classify_line("exit"), Line::Control(Control::Quit));
+        assert_eq!(classify_line("snapshots"), Line::Repl(ReplCmd::Snapshots));
+        assert!(matches!(
+            classify_line("route AS1 1.0.0.0/8"),
+            Line::Query(_)
+        ));
+        assert!(matches!(classify_line("frobnicate AS1"), Line::Bad(_)));
+    }
+}

@@ -1,0 +1,477 @@
+//! Integration tests of the TCP front end (`rpi_query::serve`): framing
+//! across split writes, per-read pipelining, in-band error handling,
+//! read-side backpressure, idle shedding, and — the property everything
+//! else rests on — responses byte-identical to direct `engine.execute`.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use net_topology::InternetSize;
+use rpi_core::Experiment;
+use rpi_query::serve::session::{repl_reply, ReplCmd};
+use rpi_query::serve::{ServeConfig, ServeStats, Server, ServerHandle};
+use rpi_query::{parse, render_response, QueryEngine};
+
+/// A tiny single-snapshot engine plus its experiment (for valid
+/// vantage/prefix pairs).
+fn tiny_engine() -> (Arc<QueryEngine>, Experiment) {
+    let exp = Experiment::standard(InternetSize::Tiny, 11);
+    let mut engine = QueryEngine::new(4);
+    engine.ingest_experiment(&exp, "t0");
+    (Arc::new(engine), exp)
+}
+
+/// Valid `(vantage, prefix)` pairs, textual, for building query lines.
+fn query_pairs(engine: &QueryEngine, exp: &Experiment) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    for (vantage, _) in engine.vantages() {
+        let rows: Vec<_> = match exp.lg_table(vantage) {
+            Some(t) => t.rows.keys().copied().collect(),
+            None => exp.collector_table(vantage).rows.keys().copied().collect(),
+        };
+        for p in rows {
+            out.push((vantage.to_string(), p.to_string()));
+        }
+    }
+    assert!(!out.is_empty(), "tiny world has routes");
+    out
+}
+
+fn spawn_server(
+    engine: Arc<QueryEngine>,
+    cfg: ServeConfig,
+) -> (
+    SocketAddr,
+    ServerHandle,
+    std::thread::JoinHandle<ServeStats>,
+) {
+    let server = Server::bind(engine, "127.0.0.1:0", cfg).expect("bind ephemeral");
+    let addr = server.local_addr().expect("bound address");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().expect("serve loop"));
+    (addr, handle, join)
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let s = TcpStream::connect(addr).expect("connect");
+    s.set_read_timeout(Some(Duration::from_secs(20))).unwrap();
+    s.set_nodelay(true).unwrap();
+    s
+}
+
+/// Sends `input` in one write, reads to EOF (the input must end the
+/// session with `quit`).
+fn roundtrip(addr: SocketAddr, input: &str) -> String {
+    let mut s = connect(addr);
+    s.write_all(input.as_bytes()).expect("send");
+    let mut out = String::new();
+    s.read_to_string(&mut out).expect("read to EOF");
+    out
+}
+
+/// What the engine itself answers for a script, rendered exactly like
+/// the server renders it (one trailing newline per output block).
+fn expected_for(engine: &QueryEngine, lines: &[&str]) -> String {
+    let mut out = String::new();
+    for line in lines {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match trimmed {
+            "ping" => out.push_str("pong\n"),
+            "quit" | "exit" | "shutdown" => break,
+            "snapshots" => {
+                out.push_str(&repl_reply(engine, ReplCmd::Snapshots));
+                out.push('\n');
+            }
+            "vantages" => {
+                out.push_str(&repl_reply(engine, ReplCmd::Vantages));
+                out.push('\n');
+            }
+            _ => {
+                let req = parse(trimmed).expect("test scripts parse");
+                let resp = engine.execute(&req).expect("test scripts execute");
+                out.push_str(&render_response(&req, &resp));
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn pipelined_multi_query_write_round_trips() {
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    // One write carrying every protocol shape: point queries, listings,
+    // history walks, a control ping — then quit.
+    let pairs = query_pairs(&engine, &exp);
+    let (v, p) = &pairs[0];
+    let mut lines = vec![
+        "ping".to_string(),
+        "snapshots".to_string(),
+        "vantages".to_string(),
+        format!("route {v} {p}"),
+        format!("resolve {v} {p}"),
+        format!("sa {v} {p}"),
+        format!("summary {v}"),
+        format!("sa-history {v} {p}"),
+        format!("uptime {v}"),
+        format!("top-sa {v} 3"),
+        format!("persistence {v} {p} @all"),
+    ];
+    for (v, p) in pairs.iter().skip(1).take(40) {
+        lines.push(format!("route {v} {p}"));
+    }
+    lines.push("quit".to_string());
+    let input = lines.join("\n") + "\n";
+
+    let got = roundtrip(addr, &input);
+    let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+    assert_eq!(got, expected_for(&engine, &line_refs));
+
+    let stats = handle.stats();
+    assert_eq!(stats.queries, 48, "8 verbs + 40 extra routes");
+    assert_eq!(stats.errors, 0);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn split_frames_reassemble_across_writes() {
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let line = format!("route {v} {p}\n");
+    let (a, b) = line.as_bytes().split_at(line.len() / 2);
+
+    let mut s = connect(addr);
+    s.write_all(a).unwrap();
+    s.flush().unwrap();
+    // Give the poll loop time to consume the first fragment on its own,
+    // so the query really is reassembled from two reads.
+    std::thread::sleep(Duration::from_millis(50));
+    s.write_all(b).unwrap();
+    s.write_all(b"quit\n").unwrap();
+    let mut got = String::new();
+    s.read_to_string(&mut got).unwrap();
+
+    let expected = expected_for(&engine, &[line.trim(), "quit"]);
+    assert_eq!(got, expected);
+    assert_eq!(handle.stats().queries, 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The stdin path answers a final line that lacks its newline
+/// (`str::lines` yields it); the TCP path must too, or the two diverge
+/// on inputs like `printf 'route …' | nc`.
+#[test]
+fn unterminated_final_line_answers_on_half_close() {
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let line = format!("route {v} {p}");
+    let mut s = connect(addr);
+    s.write_all(line.as_bytes()).unwrap(); // no trailing newline
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+    let mut got = String::new();
+    s.read_to_string(&mut got).unwrap();
+
+    let req = parse(&line).unwrap();
+    let expected = render_response(&req, &engine.execute(&req).unwrap());
+    assert_eq!(got, format!("{expected}\n"));
+    assert_eq!(handle.stats().queries, 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// An over-capacity client that pipelines queries in its very first
+/// window must still *receive* the in-band rejection notice: the server
+/// half-closes after the notice and discards the unread input instead
+/// of closing with bytes queued (which would turn into a RST and
+/// destroy the notice in flight).
+#[test]
+fn server_full_notice_reaches_a_pipelining_client() {
+    let (engine, exp) = tiny_engine();
+    let cfg = ServeConfig {
+        max_conns: 1,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+
+    // Occupy the only slot (round-trip a ping so the accept is done).
+    let mut occupant = connect(addr);
+    occupant.write_all(b"ping\n").unwrap();
+    let mut buf = [0u8; 8];
+    let n = occupant.read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"pong\n");
+
+    // The rejected client sends queries immediately — bytes the server
+    // will never read.
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let mut rejected = connect(addr);
+    rejected
+        .write_all(format!("route {v} {p}\nroute {v} {p}\n").as_bytes())
+        .unwrap();
+    let mut got = String::new();
+    rejected
+        .read_to_string(&mut got)
+        .expect("notice then EOF, not a connection reset");
+    assert_eq!(got, "error: server full (1 connections)\n");
+    assert_eq!(handle.stats().rejected, 1);
+
+    drop(occupant);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn garbage_and_oversized_lines_error_in_band_without_killing_the_connection() {
+    let (engine, exp) = tiny_engine();
+    let cfg = ServeConfig {
+        max_line_len: 64,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let long = "x".repeat(200);
+    let input = format!("frobnicate AS1\n{long}\nroute {v} {p}\nbad line two\nquit\n");
+    let got = roundtrip(addr, &input);
+
+    let mut lines = got.lines();
+    let l1 = lines.next().unwrap();
+    assert!(
+        l1.starts_with("error line 1: unknown query 'frobnicate'"),
+        "garbage must be a line-numbered error: {l1}"
+    );
+    let l2 = got
+        .lines()
+        .find(|l| l.starts_with("error line 2:"))
+        .expect("oversized line errors with its number");
+    assert!(
+        l2.contains("line too long") && l2.contains("cap 64"),
+        "oversized error names the cap: {l2}"
+    );
+    // The connection survived both: the valid query still answered …
+    let req = parse(&format!("route {v} {p}")).unwrap();
+    let expected = render_response(&req, &engine.execute(&req).unwrap());
+    assert!(
+        got.lines().any(|l| l == expected),
+        "valid query after errors must still answer.\ngot:\n{got}"
+    );
+    // … and the second garbage line is numbered *after* the long line.
+    assert!(
+        got.lines().any(|l| l.starts_with("error line 4:")),
+        "line numbering must count the oversized line:\n{got}"
+    );
+
+    let stats = handle.stats();
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.errors, 3);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn backpressure_stops_reading_and_bounds_the_write_buffer() {
+    let (engine, exp) = tiny_engine();
+    let cap = 4 * 1024;
+    let cfg = ServeConfig {
+        write_buf_cap: cap,
+        idle_timeout: Duration::from_secs(120),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+
+    // A high-expansion query (~12 request bytes → ~150+ response bytes):
+    // kernel socket buffers on loopback autotune into the megabytes, so
+    // the *response* volume has to dwarf what sndbuf+rcvbuf can swallow
+    // before the server visibly wedges.
+    let (v, _) = &query_pairs(&engine, &exp)[0];
+    let line = format!("summary {v}\n");
+    let req = parse(line.trim()).unwrap();
+    let expected = render_response(&req, &engine.execute(&req).unwrap());
+
+    const N: usize = 200_000;
+    let payload: Vec<u8> = line.as_bytes().repeat(N);
+    let total_responses = (expected.len() + 1) * N;
+    assert!(
+        total_responses > 24 * 1024 * 1024,
+        "responses ({total_responses} B) must exceed any plausible kernel buffering"
+    );
+
+    let mut s = connect(addr);
+    s.set_nonblocking(true).unwrap();
+
+    // Phase 1: shovel queries without ever reading, then watch the
+    // server's app-level read counter. Backpressure means it stops
+    // *consuming* input long before the payload runs out — the unread
+    // remainder parks in kernel buffers (and possibly our send loop),
+    // not in server memory.
+    let mut sent = 0usize;
+    let mut stalled_rounds = 0;
+    while sent < payload.len() && stalled_rounds < 500 {
+        match s.write(&payload[sent..]) {
+            Ok(n) => {
+                sent += n;
+                stalled_rounds = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                stalled_rounds += 1;
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(e) => panic!("send failed: {e}"),
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(20);
+    let mut consumed = handle.stats().bytes_in;
+    loop {
+        std::thread::sleep(Duration::from_millis(400));
+        let now_in = handle.stats().bytes_in;
+        if now_in == consumed {
+            break; // plateaued: the server stopped reading us
+        }
+        consumed = now_in;
+        assert!(Instant::now() < deadline, "bytes_in never plateaued");
+    }
+    assert!(
+        (consumed as usize) < payload.len(),
+        "server consumed the whole {} B payload from a client that never reads",
+        payload.len()
+    );
+    // Bounded growth: the write buffer may overshoot the cap by at most
+    // one read's worth of rendered responses (64 KiB of requests at this
+    // expansion ratio), never by the workload size.
+    let peak = handle.stats().max_write_buf as usize;
+    let one_read_slack = (64 * 1024 / line.len() + 1) * (expected.len() + 1);
+    assert!(
+        peak <= cap + one_read_slack,
+        "write buffer grew without bound: peak {peak} B vs cap {cap} B + slack {one_read_slack} B"
+    );
+
+    // Phase 2: start draining. Everything already accepted must arrive,
+    // then the rest of the payload flows and answers too.
+    s.set_nonblocking(false).unwrap();
+    let writer = {
+        let payload = payload[sent..].to_vec();
+        let mut s2 = s.try_clone().unwrap();
+        std::thread::spawn(move || {
+            s2.write_all(&payload).unwrap();
+            s2.write_all(b"quit\n").unwrap();
+        })
+    };
+    let mut got = String::new();
+    s.read_to_string(&mut got).unwrap();
+    writer.join().unwrap();
+
+    let lines: Vec<&str> = got.lines().collect();
+    assert_eq!(lines.len(), N, "every pipelined query must answer");
+    assert!(lines.iter().all(|l| *l == expected));
+    assert_eq!(handle.stats().queries, N as u64);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn idle_connections_are_shed_and_counted() {
+    let (engine, _exp) = tiny_engine();
+    let cfg = ServeConfig {
+        idle_timeout: Duration::from_millis(250),
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(engine, cfg);
+
+    let mut s = connect(addr);
+    s.write_all(b"ping\n").unwrap();
+    let mut buf = [0u8; 16];
+    let n = s.read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"pong\n");
+
+    // Now go silent: the server must hang up on us (EOF or a reset,
+    // depending on how the close lands — both mean "shed", never a hang).
+    let mut rest = Vec::new();
+    match s.read_to_end(&mut rest) {
+        Ok(_) => assert!(rest.is_empty()),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while handle.stats().shed_idle == 0 && Instant::now() < deadline {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert_eq!(handle.stats().shed_idle, 1);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_get_exactly_direct_execute_answers() {
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let pairs = query_pairs(&engine, &exp);
+    const CLIENTS: usize = 6;
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let engine = &engine;
+            let pairs = &pairs;
+            scope.spawn(move || {
+                // Each client gets its own slice of the workload, with
+                // every verb shape mixed in.
+                let mut lines: Vec<String> = Vec::new();
+                for (i, (v, p)) in pairs.iter().enumerate().filter(|(i, _)| i % CLIENTS == c) {
+                    lines.push(match i % 4 {
+                        0 => format!("route {v} {p}"),
+                        1 => format!("resolve {v} {p}"),
+                        2 => format!("sa {v} {p}"),
+                        _ => format!("summary {v}"),
+                    });
+                }
+                lines.push("quit".into());
+                let input = lines.join("\n") + "\n";
+                let got = roundtrip(addr, &input);
+                let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+                assert_eq!(got, expected_for(engine, &refs), "client {c} diverged");
+            });
+        }
+    });
+
+    let stats = handle.stats();
+    assert_eq!(stats.accepted, CLIENTS as u64);
+    assert_eq!(stats.queries, pairs.len() as u64);
+    assert_eq!(stats.errors, 0);
+
+    handle.shutdown();
+    let final_stats = join.join().unwrap();
+    assert_eq!(final_stats.queries, pairs.len() as u64);
+}
+
+#[test]
+fn shutdown_verb_stops_the_server_and_reports_stats() {
+    let (engine, exp) = tiny_engine();
+    let (addr, _handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let got = roundtrip(addr, &format!("route {v} {p}\nshutdown\n"));
+    let req = parse(&format!("route {v} {p}")).unwrap();
+    let expected = render_response(&req, &engine.execute(&req).unwrap());
+    assert_eq!(got, format!("{expected}\n"));
+
+    // run() must return (no hang) with the final snapshot.
+    let stats = join.join().unwrap();
+    assert_eq!(stats.queries, 1);
+    assert_eq!(stats.active, 0);
+}

@@ -170,6 +170,117 @@ fn archive_cold_start_matches_its_golden() {
     );
 }
 
+/// The serve-path face of the golden: the same smoke script driven over
+/// TCP against `--listen` must produce **byte-identical** output to the
+/// stdin `--queries` path (the committed golden). A trailing `shutdown`
+/// control line stops the server without signals; the daemon must then
+/// exit 0 after printing its stats snapshot.
+#[test]
+fn tcp_served_queries_match_the_stdin_golden() {
+    use std::io::{BufRead, BufReader, Read as _, Write as _};
+
+    let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
+    let script = std::fs::read_to_string(data.join("smoke.q")).expect("script committed");
+    let golden = std::fs::read_to_string(data.join("smoke.golden")).expect("golden committed");
+
+    let mut child = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args([
+            "--size",
+            "tiny",
+            "--seed",
+            "11",
+            "--snapshots",
+            "4",
+            "--shards",
+            "4",
+            "--listen",
+            "127.0.0.1:0",
+        ])
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("rpi-queryd spawns");
+
+    // The daemon announces its ephemeral port on stderr once ready.
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr piped"));
+    let addr = loop {
+        let mut line = String::new();
+        assert_ne!(
+            stderr.read_line(&mut line).expect("daemon stderr readable"),
+            0,
+            "daemon exited before announcing its listen address"
+        );
+        if let Some(rest) = line.strip_prefix("serving on ") {
+            break rest
+                .split_whitespace()
+                .next()
+                .expect("address after 'serving on'")
+                .to_string();
+        }
+    };
+
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect to daemon");
+    conn.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+        .unwrap();
+    conn.write_all(script.as_bytes()).unwrap();
+    conn.write_all(b"shutdown\n").unwrap();
+    let mut got = String::new();
+    conn.read_to_string(&mut got)
+        .expect("responses until close");
+    assert_eq!(
+        got, golden,
+        "TCP-served output diverged from the stdin golden"
+    );
+
+    let status = child.wait().expect("daemon exits after shutdown verb");
+    assert!(status.success(), "daemon must exit 0 on protocol shutdown");
+    let mut rest = String::new();
+    stderr.read_to_string(&mut rest).unwrap();
+    assert!(
+        rest.contains("served ") && rest.contains("queries/s"),
+        "shutdown must print the stats snapshot:\n{rest}"
+    );
+}
+
+/// Bugfix coverage: a missing `--queries` file is a one-line error
+/// *before* the expensive world build, never a panic.
+#[test]
+fn missing_queries_file_fails_fast_with_one_line() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--size", "tiny", "--queries", "/tmp/rpi-no-such-file.q"])
+        .output()
+        .expect("rpi-queryd runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("cannot read /tmp/rpi-no-such-file.q"),
+        "error must name the file:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("building"),
+        "must fail before the world build:\n{stderr}"
+    );
+}
+
+/// Bugfix coverage: an unbindable `--listen` address is a one-line
+/// error before the world build, never a panic.
+#[test]
+fn unbindable_listen_address_fails_fast_with_one_line() {
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--size", "tiny", "--listen", "256.0.0.1:0"])
+        .output()
+        .expect("rpi-queryd runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--listen: cannot bind 256.0.0.1:0"),
+        "error must name the address:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("building"),
+        "must fail before the world build:\n{stderr}"
+    );
+}
+
 #[test]
 fn missing_archive_directory_errors_cleanly() {
     let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))

@@ -112,8 +112,8 @@ pub mod prelude {
     pub use rpi_core::view::BestTable;
     pub use rpi_core::Experiment;
     pub use rpi_query::{
-        Query, QueryEngine, QueryError, QueryRequest, Response, SaStatus, Scope, SnapshotDiff,
-        SnapshotId,
+        Query, QueryEngine, QueryError, QueryRequest, Response, SaStatus, Scope, ServeConfig,
+        Server, SnapshotDiff, SnapshotId,
     };
     pub use rpi_store::{Manifest, StoreError};
 }
