@@ -1,9 +1,14 @@
 //! Throughput benches for the `rpi-query` serving layer: ingest cost,
-//! single-query rates, batched rates and shard-decomposition speedup, and
-//! snapshot diffing. These back the observatory's queries/sec claims
-//! (`rpi-queryd --bench` prints the same numbers against a live world).
+//! single-query rates, batched rates and shard-decomposition speedup,
+//! snapshot diffing, and the rpi-sec detection verbs. These back the
+//! observatory's queries/sec claims (`rpi-queryd --bench` prints the
+//! same numbers against a live world). `RPI_BENCH_SMOKE` trims sample
+//! counts (CI's bench-trend step), never the worlds.
+
+use std::time::{Duration, Instant};
 
 use rpi_bench::harness::{Criterion, Throughput};
+use rpi_bench::serveload::{emit_bench_json, smoke_profile};
 
 use bgp_sim::churn::simulate_series;
 use bgp_sim::ChurnConfig;
@@ -11,6 +16,7 @@ use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
 use rpi_query::{Query, QueryEngine, QueryRequest, Scope};
+use rpi_sec::{Roa, RoaTable};
 
 fn workload(exp: &Experiment) -> Vec<(Asn, Ipv4Prefix)> {
     let mut pairs = Vec::new();
@@ -22,10 +28,25 @@ fn workload(exp: &Experiment) -> Vec<(Asn, Ipv4Prefix)> {
     pairs
 }
 
-fn bench_ingest(c: &mut Criterion) {
+fn best_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..runs.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        let dt = t0.elapsed();
+        if dt < best {
+            best = dt;
+        }
+        out = Some(v);
+    }
+    (best, out.expect("at least one run"))
+}
+
+fn bench_ingest(c: &mut Criterion, smoke: bool) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let mut g = c.benchmark_group("query/ingest");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.bench_function("ingest_small_world", |b| {
         b.iter(|| {
             let mut e = QueryEngine::new(8);
@@ -36,14 +57,14 @@ fn bench_ingest(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_queries(c: &mut Criterion) {
+fn bench_queries(c: &mut Criterion, smoke: bool) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let mut engine = QueryEngine::new(8);
     engine.ingest_experiment(&exp, "t0");
     let pairs = workload(&exp);
 
     let mut g = c.benchmark_group("query/single");
-    g.sample_size(20);
+    g.sample_size(if smoke { 5 } else { 20 });
     g.throughput(Throughput::Elements(pairs.len() as u64));
     g.bench_function(format!("route_at_{}_queries", pairs.len()), |b| {
         b.iter(|| {
@@ -78,7 +99,7 @@ fn bench_queries(c: &mut Criterion) {
     g.finish();
 
     let mut g = c.benchmark_group("query/batched");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.throughput(Throughput::Elements(pairs.len() as u64));
     for shards in [1usize, 4, 16] {
         let mut e = QueryEngine::new(shards);
@@ -100,7 +121,7 @@ fn bench_queries(c: &mut Criterion) {
 /// The protocol's mixed workload: exact routes and SA statuses (shard-
 /// bucketed lanes) interleaved with resolves and multi-snapshot history
 /// questions (general lane) through one `execute_batch` call.
-fn bench_execute_batch(c: &mut Criterion) {
+fn bench_execute_batch(c: &mut Criterion, smoke: bool) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let cfg = ChurnConfig {
         steps: 4,
@@ -124,7 +145,7 @@ fn bench_execute_batch(c: &mut Criterion) {
         .collect();
 
     let mut g = c.benchmark_group("query/execute_batch");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.throughput(Throughput::Elements(reqs.len() as u64));
     g.bench_function("mixed_route_sa_history", |b| {
         b.iter(|| engine.execute_batch(&reqs))
@@ -149,7 +170,7 @@ fn bench_execute_batch(c: &mut Criterion) {
 /// ingest (copy-on-write shard tries). Reports the speedup and the
 /// shared-node ratio — the observatory's "a multi-month archive ingests
 /// in seconds" claim.
-fn bench_ingest_series(c: &mut Criterion) {
+fn bench_ingest_series(c: &mut Criterion, smoke: bool) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     // The paper's workload: a month of daily snapshots (31 steps, §6).
     // The flip probability is tuned so ~1% of vantage-table routes move
@@ -181,7 +202,7 @@ fn bench_ingest_series(c: &mut Criterion) {
     let churn_pct = 100.0 * events as f64 / (cfg.steps - 1) as f64 / vantage_routes.max(1) as f64;
 
     let mut g = c.benchmark_group("query/ingest_series");
-    g.sample_size(3);
+    g.sample_size(if smoke { 1 } else { 3 });
     g.bench_function("full_reindex_31_snapshots", |b| {
         b.iter(|| {
             let mut e = QueryEngine::new(8);
@@ -201,7 +222,12 @@ fn bench_ingest_series(c: &mut Criterion) {
 
     // Report speedup + sharing once, through the same measurement the
     // daemon's `--bench` prints.
-    let report = rpi_query::measure_series_ingest(&series, &exp.inferred_graph, 8, 3);
+    let report = rpi_query::measure_series_ingest(
+        &series,
+        &exp.inferred_graph,
+        8,
+        if smoke { 1 } else { 3 },
+    );
     println!(
         "    (series of {} snapshots, {events} route events ≈ {churn_pct:.2}% churn/snapshot: \
          full {:.2?} vs incremental {:.2?} → {:.1}× speedup; \
@@ -217,24 +243,123 @@ fn bench_ingest_series(c: &mut Criterion) {
     );
 }
 
-fn bench_diff(c: &mut Criterion) {
+fn bench_diff(c: &mut Criterion, smoke: bool) {
     let exp = Experiment::standard(InternetSize::Small, 2003);
     let mut engine = QueryEngine::new(8);
     let a = engine.ingest_experiment(&exp, "t0");
     let b_id = engine.ingest_experiment(&exp, "t1");
     let mut g = c.benchmark_group("query/diff");
-    g.sample_size(10);
+    g.sample_size(if smoke { 3 } else { 10 });
     g.bench_function("diff_identical_small_world", |bch| {
         bch.iter(|| engine.diff(a, b_id).unwrap())
     });
     g.finish();
 }
 
+/// The rpi-sec verbs: warm-cache ROV validation rate (acceptance bar
+/// **≥ 1M lookups/s**) and the cost of full `hijacks @all` / `leaks`
+/// sweeps. Emits `BENCH_sec.json` for the CI bench-trend artifact.
+fn bench_sec(c: &mut Criterion, smoke: bool) {
+    let exp = Experiment::standard(InternetSize::Small, 2003);
+    let cfg = ChurnConfig {
+        steps: 4,
+        ..ChurnConfig::daily(2003)
+    };
+    let series = simulate_series(&exp.graph, &exp.truth, &exp.spec, &cfg);
+    let mut engine = QueryEngine::new(8);
+    engine.ingest_series(&series, &exp.inferred_graph);
+
+    // ROAs authorizing each announced prefix's first-seen origin at its
+    // own length: exact announcements validate, more-specifics and MOAS
+    // origins go invalid — a realistic validity mix, not all-unknown.
+    let roas: Vec<Roa> = series.snapshots[0]
+        .collector
+        .rows
+        .iter()
+        .filter_map(|(&prefix, rows)| {
+            let origin = *rows.first()?.path.last()?;
+            Some(Roa {
+                prefix,
+                max_len: prefix.len(),
+                origin,
+            })
+        })
+        .collect();
+    let n_roas = roas.len();
+    engine.set_roas(RoaTable::new(roas));
+
+    let reqs: Vec<QueryRequest> = workload(&exp)
+        .into_iter()
+        .map(|(vantage, prefix)| Query::Rov { vantage, prefix }.at(Scope::Latest))
+        .collect();
+    // Warm the validation cache once; the bar is the steady-state rate.
+    for req in &reqs {
+        let _ = engine.execute(req);
+    }
+
+    let mut g = c.benchmark_group("query/sec");
+    g.sample_size(if smoke { 3 } else { 20 });
+    g.throughput(Throughput::Elements(reqs.len() as u64));
+    g.bench_function(format!("rov_warm_{}_lookups", reqs.len()), |b| {
+        b.iter(|| reqs.iter().filter(|r| engine.execute(r).is_ok()).count())
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("query/sec_sweeps");
+    g.sample_size(if smoke { 3 } else { 10 });
+    g.bench_function("hijacks_all_snapshots", |b| {
+        b.iter(|| engine.execute(&Query::Hijacks.at(Scope::All)))
+    });
+    g.bench_function("leaks_latest", |b| {
+        b.iter(|| engine.execute(&Query::Leaks.at(Scope::Latest)))
+    });
+    g.finish();
+
+    // The machine-readable trend + the advisory acceptance bar.
+    let reps = if smoke { 5 } else { 20 };
+    let (rov_time, _) = best_of(reps, || {
+        reqs.iter().filter(|r| engine.execute(r).is_ok()).count()
+    });
+    let rov_per_sec = reqs.len() as f64 / rov_time.as_secs_f64();
+    let (hijacks_time, _) = best_of(reps, || engine.execute(&Query::Hijacks.at(Scope::All)));
+    let (leaks_time, _) = best_of(reps, || engine.execute(&Query::Leaks.at(Scope::Latest)));
+    let cache = engine.rov_cache_stats();
+    let meets = rov_per_sec >= 1_000_000.0;
+    println!(
+        "    (sec: {} warm rov lookups at {:.2}M/s{}; hijacks @all {hijacks_time:.2?}, \
+         leaks @latest {leaks_time:.2?}; {n_roas} ROAs, rov cache {} hits / {} misses)",
+        reqs.len(),
+        rov_per_sec / 1e6,
+        if meets { "" } else { "  [BELOW 1M/s TARGET]" },
+        cache.hits,
+        cache.misses,
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"sec\",\n  \"world\": \"small\",\n  \"snapshots\": {},\n  \
+         \"roas\": {n_roas},\n  \"rov_lookups\": {},\n  \"rov_lookups_per_sec\": {:.0},\n  \
+         \"hijacks_all_ms\": {:.3},\n  \"leaks_latest_ms\": {:.3},\n  \
+         \"rov_cache_hits\": {},\n  \"rov_cache_misses\": {},\n  \
+         \"target_rov_per_sec\": 1000000,\n  \"meets_target\": {meets},\n  \
+         \"smoke_profile\": {smoke}\n}}\n",
+        series.snapshots.len(),
+        reqs.len(),
+        rov_per_sec,
+        hijacks_time.as_secs_f64() * 1000.0,
+        leaks_time.as_secs_f64() * 1000.0,
+        cache.hits,
+        cache.misses,
+    );
+    emit_bench_json("BENCH_sec.json", &json);
+}
+
 fn main() {
     let mut c = Criterion::new();
-    bench_ingest(&mut c);
-    bench_queries(&mut c);
-    bench_execute_batch(&mut c);
-    bench_ingest_series(&mut c);
-    bench_diff(&mut c);
+    let smoke = smoke_profile();
+    bench_ingest(&mut c, smoke);
+    bench_queries(&mut c, smoke);
+    bench_execute_batch(&mut c, smoke);
+    bench_ingest_series(&mut c, smoke);
+    bench_diff(&mut c, smoke);
+    bench_sec(&mut c, smoke);
 }

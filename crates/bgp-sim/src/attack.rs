@@ -1,0 +1,364 @@
+//! Adversarial churn: seeded hijack and route-leak scenario generators.
+//!
+//! The churn machinery ([`crate::churn`]) models *benign* dynamics —
+//! policy flips, link failures, vantage loss. This module injects the
+//! security suite on top: a seeded attacker rewrites vantage views from
+//! one snapshot of a series onward, and the mutated outputs flow through
+//! the ordinary delta path ([`crate::churn::output_delta`]) — so
+//! incremental ingest, archives and detection queries all see the attack
+//! exactly as they would see any other churn.
+//!
+//! Three scenarios, per the modern taxonomy:
+//!
+//! * **Prefix hijack** — an AS outside every victim origin's customer
+//!   cone re-originates the victim prefix at a subset of vantages.
+//! * **Sub-prefix hijack** — the attacker originates a *more specific*
+//!   prefix instead, winning by longest match everywhere it propagates
+//!   (and validating invalid-length against a max-length ROA).
+//! * **Route leak** — a multi-homed AS exports a route learned from one
+//!   provider to another, so affected paths carry a provider→leaker→
+//!   provider valley (Gao-Rexford violation) the relationship oracle
+//!   catches.
+//!
+//! Generators are deterministic in `(graph, outputs, seed)` and return
+//! the [`AttackScenario`] ground truth so tests can assert detection.
+
+use bgp_types::{Asn, Ipv4Prefix};
+use net_topology::{AsGraph, CustomerCone};
+use rand::prelude::*;
+use rpi_sec::Roa;
+
+use crate::engine::{CollectorRow, LgRoute, SimOutput};
+
+/// Which attack to inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Re-originate the victim prefix from outside its owner's cone.
+    PrefixHijack,
+    /// Originate a more specific of the victim prefix.
+    SubprefixHijack,
+    /// Export a provider route to another provider (a valley).
+    RouteLeak,
+}
+
+impl AttackKind {
+    /// All scenario kinds, for test matrices.
+    pub const ALL: [AttackKind; 3] = [
+        AttackKind::PrefixHijack,
+        AttackKind::SubprefixHijack,
+        AttackKind::RouteLeak,
+    ];
+
+    /// Lower-case name for labels and logs.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::PrefixHijack => "prefix-hijack",
+            AttackKind::SubprefixHijack => "subprefix-hijack",
+            AttackKind::RouteLeak => "route-leak",
+        }
+    }
+}
+
+/// Ground truth of one injected scenario.
+#[derive(Debug, Clone)]
+pub struct AttackScenario {
+    /// What was injected.
+    pub kind: AttackKind,
+    /// The misbehaving AS (origin for hijacks, leaker for leaks).
+    pub attacker: Asn,
+    /// The legitimate prefix under attack.
+    pub victim_prefix: Ipv4Prefix,
+    /// The prefix the attacker announces (`victim_prefix` except for
+    /// sub-prefix hijacks, where it is strictly more specific).
+    pub attack_prefix: Ipv4Prefix,
+    /// Origins legitimately announcing `victim_prefix` before the attack.
+    pub victim_origins: Vec<Asn>,
+    /// First snapshot index (into the mutated series) carrying the attack.
+    pub at_step: usize,
+    /// Vantage views (collector peers + looking glasses) rewritten.
+    pub touched_vantages: usize,
+}
+
+impl AttackScenario {
+    /// ROAs that authorize exactly the pre-attack origins for the victim
+    /// prefix at its own length — under which the hijacked announcements
+    /// validate invalid-origin (prefix hijack) or invalid-length
+    /// (sub-prefix hijack).
+    pub fn roas(&self) -> Vec<Roa> {
+        self.victim_origins
+            .iter()
+            .map(|&origin| Roa {
+                prefix: self.victim_prefix,
+                max_len: self.victim_prefix.len(),
+                origin,
+            })
+            .collect()
+    }
+}
+
+/// Distinct origins announcing `prefix` across every vantage of `out`,
+/// ascending.
+fn origins_of(out: &SimOutput, prefix: Ipv4Prefix) -> Vec<Asn> {
+    let mut origins: Vec<Asn> = Vec::new();
+    let collector_rows = out.collector.rows.get(&prefix).into_iter().flatten();
+    let lg_paths = out
+        .lgs
+        .values()
+        .filter_map(|v| v.rows.get(&prefix))
+        .flatten()
+        .filter(|r| r.best)
+        .map(|r| &r.path);
+    for path in collector_rows.map(|r| &r.path).chain(lg_paths) {
+        if let Some(&o) = path.last() {
+            if !origins.contains(&o) {
+                origins.push(o);
+            }
+        }
+    }
+    origins.sort_unstable();
+    origins
+}
+
+/// Injects `kind` into `outputs[at_step..]`, rewriting a seeded subset of
+/// vantage views. Returns `None` when the series offers no viable victim
+/// or attacker (empty tables, no AS outside the victim cones, no
+/// multi-homed leaker). Deterministic in `(g, outputs, seed)`.
+pub fn inject_attack(
+    kind: AttackKind,
+    g: &AsGraph,
+    outputs: &mut [SimOutput],
+    seed: u64,
+    at_step: usize,
+) -> Option<AttackScenario> {
+    if at_step >= outputs.len() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EC0_F00D);
+    let base = &outputs[at_step];
+
+    // Victim: a prefix visible at the attack step with a known origin.
+    let candidates: Vec<Ipv4Prefix> = base
+        .collector
+        .rows
+        .iter()
+        .filter(|(p, rows)| !p.is_default() && p.len() < 30 && !rows.is_empty())
+        .map(|(&p, _)| p)
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let victim_prefix = candidates[rng.gen_range(0..candidates.len())];
+    let victim_origins = origins_of(base, victim_prefix);
+    if victim_origins.is_empty() {
+        return None;
+    }
+
+    let (attacker, attack_prefix, leak_providers) = match kind {
+        AttackKind::PrefixHijack | AttackKind::SubprefixHijack => {
+            // An origin outside every victim cone — what Fig. 4's
+            // customer-cone test (and the `hijacks` verb) flags.
+            let cones: Vec<CustomerCone> = victim_origins
+                .iter()
+                .map(|&o| CustomerCone::build(g, o))
+                .collect();
+            let outsiders: Vec<Asn> = g
+                .ases()
+                .filter(|&a| !victim_origins.contains(&a) && cones.iter().all(|c| !c.contains(a)))
+                .collect();
+            if outsiders.is_empty() {
+                return None;
+            }
+            let attacker = outsiders[rng.gen_range(0..outsiders.len())];
+            let attack_prefix = match kind {
+                AttackKind::SubprefixHijack => {
+                    Ipv4Prefix::canonical(victim_prefix.bits(), (victim_prefix.len() + 2).min(32))
+                }
+                _ => victim_prefix,
+            };
+            (attacker, attack_prefix, None)
+        }
+        AttackKind::RouteLeak => {
+            // A multi-homed leaker: learned from provider p1, exported to
+            // provider p2 — the path …p2 → leaker → p1… is a valley.
+            let leakers: Vec<(Asn, Asn, Asn)> = g
+                .ases()
+                .filter_map(|a| {
+                    let ps: Vec<Asn> = g.providers_of(a).collect();
+                    (ps.len() >= 2).then(|| (a, ps[0], ps[1]))
+                })
+                .collect();
+            if leakers.is_empty() {
+                return None;
+            }
+            let (leaker, p1, p2) = leakers[rng.gen_range(0..leakers.len())];
+            (leaker, victim_prefix, Some((p1, p2)))
+        }
+    };
+
+    // The attack path seen *from* a vantage's neighbor inward: hijacks
+    // forge a direct adjacency to the attacker; leaks thread the
+    // provider → leaker → provider valley.
+    let attack_tail = |peer: Asn| -> Vec<Asn> {
+        match leak_providers {
+            Some((p1, p2)) => vec![p2, attacker, p1],
+            None => {
+                let _ = peer;
+                vec![attacker]
+            }
+        }
+    };
+
+    // Rewrite a seeded subset of vantages, the same set at every
+    // subsequent step (a persistent attack, visible to `diff`).
+    let hijacked_peers: Vec<Asn> = base
+        .collector
+        .peers
+        .iter()
+        .copied()
+        .filter(|_| rng.gen_bool(0.7))
+        .collect();
+    let hijacked_lgs: Vec<Asn> = base
+        .lgs
+        .keys()
+        .copied()
+        .filter(|_| rng.gen_bool(0.7))
+        .collect();
+    if hijacked_peers.is_empty() && hijacked_lgs.is_empty() {
+        return None;
+    }
+
+    for out in outputs[at_step..].iter_mut() {
+        for &peer in &hijacked_peers {
+            let mut path = vec![peer];
+            path.extend(attack_tail(peer));
+            let row = CollectorRow {
+                peer,
+                path,
+                communities: Vec::new(),
+            };
+            let rows = out.collector.rows.entry(attack_prefix).or_default();
+            match rows.iter_mut().find(|r| r.peer == peer) {
+                Some(existing) => *existing = row,
+                None => rows.push(row),
+            }
+        }
+        for &lg in &hijacked_lgs {
+            let Some(view) = out.lgs.get_mut(&lg) else {
+                continue;
+            };
+            let rows = view.rows.entry(attack_prefix).or_default();
+            for r in rows.iter_mut() {
+                r.best = false;
+            }
+            rows.push(LgRoute {
+                neighbor: *attack_tail(lg).first().expect("tail is non-empty"),
+                path: attack_tail(lg),
+                local_pref: 200,
+                communities: Vec::new(),
+                best: true,
+                truth_rel: None,
+            });
+        }
+    }
+
+    Some(AttackScenario {
+        kind,
+        attacker,
+        victim_prefix,
+        attack_prefix,
+        victim_origins,
+        at_step,
+        touched_vantages: hijacked_peers.len() + hijacked_lgs.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::churn::{simulate_series, ChurnConfig};
+    use crate::engine::VantageSpec;
+    use crate::policy::{GroundTruth, PolicyParams};
+    use net_topology::{InternetConfig, InternetSize};
+
+    fn series(seed: u64, steps: usize) -> (AsGraph, Vec<SimOutput>) {
+        let g = InternetConfig::of_size(InternetSize::Tiny)
+            .with_seed(seed)
+            .build();
+        let truth = GroundTruth::generate(&g, &PolicyParams::default());
+        let spec = VantageSpec::paper_like(&g, 8, 4);
+        let cfg = ChurnConfig {
+            steps,
+            ..ChurnConfig::daily(seed)
+        };
+        let s = simulate_series(&g, &truth, &spec, &cfg);
+        (g, s.snapshots)
+    }
+
+    #[test]
+    fn every_kind_injects_deterministically() {
+        for kind in AttackKind::ALL {
+            let (g, mut a) = series(41, 4);
+            let (_, mut b) = series(41, 4);
+            let sa = inject_attack(kind, &g, &mut a, 7, 2).expect("injects");
+            let sb = inject_attack(kind, &g, &mut b, 7, 2).expect("injects");
+            assert_eq!(sa.attacker, sb.attacker, "{}", kind.name());
+            assert_eq!(sa.attack_prefix, sb.attack_prefix);
+            assert_eq!(sa.victim_origins, sb.victim_origins);
+            assert!(sa.touched_vantages > 0);
+            // The attack is visible at the attack step but not before.
+            assert_ne!(
+                origins_of(&a[1], sa.attack_prefix),
+                origins_of(&a[2], sa.attack_prefix),
+                "{}: step 2 must differ from step 1",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hijack_origin_is_outside_every_victim_cone() {
+        let (g, mut outs) = series(42, 3);
+        let sc = inject_attack(AttackKind::PrefixHijack, &g, &mut outs, 3, 1).expect("injects");
+        for &o in &sc.victim_origins {
+            let cone = CustomerCone::build(&g, o);
+            assert!(!cone.contains(sc.attacker));
+            assert_ne!(sc.attacker, o);
+        }
+        assert!(origins_of(&outs[2], sc.victim_prefix).contains(&sc.attacker));
+    }
+
+    #[test]
+    fn subprefix_hijack_adds_a_more_specific() {
+        let (g, mut outs) = series(43, 3);
+        let sc = inject_attack(AttackKind::SubprefixHijack, &g, &mut outs, 5, 1).expect("injects");
+        assert!(sc.victim_prefix.covers_strictly(sc.attack_prefix));
+        assert!(outs[1].collector.rows.contains_key(&sc.attack_prefix));
+        assert!(!outs[0].collector.rows.contains_key(&sc.attack_prefix));
+        // The ROAs authorize the victim only at its own length, so the
+        // more specific validates invalid-length.
+        for roa in sc.roas() {
+            assert_eq!(roa.max_len, sc.victim_prefix.len());
+            assert!(roa.prefix.covers(sc.attack_prefix));
+        }
+    }
+
+    #[test]
+    fn leak_paths_carry_a_valley() {
+        let (g, mut outs) = series(44, 3);
+        let sc = inject_attack(AttackKind::RouteLeak, &g, &mut outs, 9, 1).expect("injects");
+        let rows = &outs[2].collector.rows[&sc.victim_prefix];
+        let leaked: Vec<_> = rows
+            .iter()
+            .filter(|r| r.path.contains(&sc.attacker))
+            .collect();
+        assert!(!leaked.is_empty(), "some collector row carries the leak");
+        for r in leaked {
+            assert_eq!(
+                net_topology::classify_path(&g, &r.path),
+                net_topology::PathClass::Valley,
+                "leaked path {:?} must be a valley",
+                r.path
+            );
+        }
+    }
+}

@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod attack;
 pub mod churn;
 pub mod delta_codec;
 pub mod engine;
@@ -32,6 +33,7 @@ pub mod export;
 pub mod policy;
 pub mod routers;
 
+pub use attack::{inject_attack, AttackKind, AttackScenario};
 pub use churn::{output_delta, ChurnConfig, DeltaRoute, OutputDelta, SnapshotSeries, VantageDelta};
 pub use engine::{
     CollectorRow, CollectorView, LgRoute, LgView, SimDiagnostics, SimOutput, Simulation,

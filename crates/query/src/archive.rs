@@ -46,6 +46,7 @@ use bgp_types::codec::{put_prefix, put_str, put_uvarint, CodecError, Reader};
 use bgp_types::intern::Symbol;
 use bgp_types::{flat, Asn, Community, CowTrie, Relationship};
 use net_topology::{AsGraph, CustomerCone};
+use rpi_sec::{Roa, RoaTable};
 use rpi_store::{
     read_segment, write_segment, Manifest, SegmentEntry, SegmentKind, SegmentRef, StoreError,
     MANIFEST_FILE,
@@ -97,12 +98,15 @@ pub struct ArchiveInfo {
     pub symbols: SegmentMeta,
     /// One segment per snapshot, in snapshot order.
     pub snapshots: Vec<SegmentMeta>,
+    /// The ROA table segment (absent when the engine holds no ROAs).
+    pub roas: Option<SegmentMeta>,
 }
 
 impl ArchiveInfo {
     /// Total segment bytes on disk (manifest file excluded).
     pub fn total_bytes(&self) -> usize {
         self.symbols.bytes as usize
+            + self.roas.as_ref().map_or(0, |r| r.bytes as usize)
             + self
                 .snapshots
                 .iter()
@@ -112,19 +116,21 @@ impl ArchiveInfo {
 
     fn from_manifest(dir: &Path, manifest: &Manifest) -> ArchiveInfo {
         let mut symbols = None;
+        let mut roas = None;
         let mut snapshots = Vec::new();
         for (i, e) in manifest.segments.iter().enumerate() {
             let meta = SegmentMeta::from_entry(i, e);
-            if e.kind == SegmentKind::Symbols {
-                symbols = Some(meta);
-            } else {
-                snapshots.push(meta);
+            match e.kind {
+                SegmentKind::Symbols => symbols = Some(meta),
+                SegmentKind::Roa => roas = Some(meta),
+                SegmentKind::Full | SegmentKind::Delta => snapshots.push(meta),
             }
         }
         ArchiveInfo {
             dir: dir.to_path_buf(),
             symbols: symbols.expect("callers verified a symbols segment exists"),
             snapshots,
+            roas,
         }
     }
 }
@@ -277,6 +283,56 @@ fn decode_symbols(
         });
     }
     Ok(watermarks)
+}
+
+// ---------------------------------------------------------------------------
+// the ROA segment
+// ---------------------------------------------------------------------------
+
+const ROAS_FILE: &str = "roas.seg";
+
+/// The ROA table stores raw prefixes and ASNs (ROAs come from an
+/// out-of-band trust anchor, not from routing data), so the segment is
+/// self-contained: no symbol-table coupling, no watermark bookkeeping.
+fn encode_roas(table: &RoaTable) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_uvarint(&mut out, table.len() as u64);
+    for roa in table.roas() {
+        put_prefix(&mut out, roa.prefix);
+        out.push(roa.max_len);
+        put_uvarint(&mut out, roa.origin.0 as u64);
+    }
+    out
+}
+
+fn decode_roas(raw: &[u8]) -> Result<RoaTable, CodecError> {
+    let mut r = Reader::new(raw);
+    let n = r.ulen()?;
+    let mut roas = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let prefix = r.prefix()?;
+        let offset = r.position();
+        let max_len = r.u8()?;
+        if max_len < prefix.len() || max_len > 32 {
+            return Err(CodecError::Invalid {
+                offset,
+                what: "ROA max-length",
+            });
+        }
+        let origin = read_asn(&mut r)?;
+        roas.push(Roa {
+            prefix,
+            max_len,
+            origin,
+        });
+    }
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid {
+            offset: r.position(),
+            what: "trailing bytes after ROA table",
+        });
+    }
+    Ok(RoaTable::new(roas))
 }
 
 // ---------------------------------------------------------------------------
@@ -919,6 +975,17 @@ pub(crate) fn save(
             .push(write_segment(&staging, &file, kind, &snap.label, &payload)?);
     }
 
+    if !engine.roas.is_empty() {
+        let payload = encode_roas(&engine.roas);
+        manifest.segments.push(write_segment(
+            &staging,
+            ROAS_FILE,
+            SegmentKind::Roa,
+            "",
+            &payload,
+        )?);
+    }
+
     manifest.write(&staging, true)?;
     swap_into_place(&staging, dir, replacing_archive).map_err(|source| StoreError::Io {
         path: dir.to_path_buf(),
@@ -976,6 +1043,18 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
         return Err(StoreError::ManifestCorrupt {
             offset: 0,
             what: "more than one symbols segment".into(),
+        });
+    }
+    if manifest
+        .segments
+        .iter()
+        .filter(|e| e.kind == SegmentKind::Roa)
+        .count()
+        > 1
+    {
+        return Err(StoreError::ManifestCorrupt {
+            offset: 0,
+            what: "more than one ROA segment".into(),
         });
     }
 
@@ -1042,10 +1121,24 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
                 snap.provenance = Provenance::Delta(Arc::new(payload.delta));
                 snap
             }
-            SegmentKind::Symbols => unreachable!("checked above"),
+            SegmentKind::Symbols | SegmentKind::Roa => {
+                unreachable!("snapshot_segments() yields only full and delta segments")
+            }
         };
         snap.interned_watermark = watermarks[snap_idx];
         engine.snapshots.push(snap);
+    }
+
+    if let Some((seg_idx, entry)) = manifest
+        .segments
+        .iter()
+        .enumerate()
+        .find(|(_, e)| e.kind == SegmentKind::Roa)
+    {
+        let raw = read_segment(dir, seg_idx, entry)?;
+        let table =
+            decode_roas(&raw).map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?;
+        engine.set_roas(table);
     }
 
     engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));

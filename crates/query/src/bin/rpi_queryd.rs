@@ -54,6 +54,7 @@ struct Options {
     incremental: bool,
     shards: usize,
     queries: Option<String>,
+    roas: Option<String>,
     bench: bool,
     save: Option<String>,
     archive: Option<String>,
@@ -65,7 +66,8 @@ struct Options {
 
 fn usage() -> &'static str {
     "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
-     [--snapshots N] [--incremental] [--shards N] [--queries FILE] [--bench] \
+     [--snapshots N] [--incremental] [--shards N] [--queries FILE] \
+     [--roas FILE] [--bench] \
      [--save DIR [--force]] [--archive DIR] \
      [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]]"
 }
@@ -78,6 +80,9 @@ fn flag_help() -> &'static str {
   --incremental        ingest the series diff-aware (copy-on-write overlays)
   --shards N           shards per vantage table (default 8)
   --queries FILE       run the protocol queries in FILE, then exit
+  --roas FILE          load route-origin authorizations for `rov` / RPKI state
+                       (one '<prefix>[-<max-length>] <origin-asn>' per line;
+                       saved into archives, so --archive restores them)
   --bench              run the throughput report instead of serving queries
   --save DIR           write the ingested world as an rpi-store archive, then exit
   --force              let --save overwrite an existing archive's MANIFEST
@@ -101,6 +106,7 @@ fn parse_args() -> Result<Options, String> {
         incremental: false,
         shards: 8,
         queries: None,
+        roas: None,
         bench: false,
         save: None,
         archive: None,
@@ -143,6 +149,7 @@ fn parse_args() -> Result<Options, String> {
             }
             "--incremental" => opts.incremental = true,
             "--queries" => opts.queries = Some(value("--queries")?),
+            "--roas" => opts.roas = Some(value("--roas")?),
             "--bench" => opts.bench = true,
             "--save" => opts.save = Some(value("--save")?),
             "--archive" => opts.archive = Some(value("--archive")?),
@@ -200,6 +207,24 @@ fn main() -> ExitCode {
     let query_text = match &opts.queries {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => Some(text),
+            Err(e) => {
+                eprintln!("rpi-queryd: cannot read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
+    // ROA files parse before the world build too, with the same
+    // `path:line:` error spelling as `--queries` execution errors.
+    let roa_table = match &opts.roas {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match rpi_sec::RoaTable::parse(&text) {
+                Ok(table) => Some(table),
+                Err(e) => {
+                    eprintln!("rpi-queryd: {path}:{}: {}", e.line, e.msg);
+                    return ExitCode::FAILURE;
+                }
+            },
             Err(e) => {
                 eprintln!("rpi-queryd: cannot read {path}: {e}");
                 return ExitCode::FAILURE;
@@ -284,14 +309,26 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(table) = roa_table {
+        let path = opts.roas.as_deref().expect("table implies --roas");
+        eprintln!("loaded {} ROAs from {path}", table.len());
+        engine.set_roas(table);
+    }
+
     if let Some(dir) = &opts.save {
         let t0 = Instant::now();
         return match engine.save_archive(Path::new(dir), opts.force) {
             Ok(manifest) => {
                 let full = count_kind(&manifest, rpi_store::SegmentKind::Full);
                 let delta = count_kind(&manifest, rpi_store::SegmentKind::Delta);
+                let roa = count_kind(&manifest, rpi_store::SegmentKind::Roa);
+                let roa = if roa > 0 {
+                    format!(", {roa} roa")
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "saved archive to {dir} in {:.2?}: {} segments (1 symbols, {full} full, {delta} delta), {} on disk",
+                    "saved archive to {dir} in {:.2?}: {} segments (1 symbols, {full} full, {delta} delta{roa}), {} on disk",
                     t0.elapsed(),
                     manifest.segments.len(),
                     fmt_bytes(manifest.total_bytes()),

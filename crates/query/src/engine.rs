@@ -10,6 +10,8 @@
 //! build a request and delegate.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use bgp_sim::{output_delta, SimOutput, SnapshotSeries};
 use bgp_types::{Asn, CowTrie, Ipv4Prefix, Relationship};
@@ -17,6 +19,7 @@ use bgp_wire::{TableDump, WireError};
 use net_topology::{AsGraph, CustomerCone};
 use rpi_core::persistence::{classify_persistence, histogram_from_counts};
 use rpi_core::Experiment;
+use rpi_sec::{RoaTable, RovCache, RovCacheStats};
 
 use crate::diff::SnapshotDiff;
 use crate::intern::WorldInterner;
@@ -275,6 +278,23 @@ pub struct QueryEngine {
     /// Set when the engine was loaded from (or saved to) an on-disk
     /// archive: where it lives and what each snapshot costs on disk.
     pub(crate) archive: Option<crate::archive::ArchiveInfo>,
+    /// The ROA table `rov` queries validate against (empty by default:
+    /// every route validates `unknown`). Engine-wide, not per snapshot —
+    /// ROAs come from the registry side of the world, not from ingest.
+    pub(crate) roas: Arc<RoaTable>,
+    /// Bounded (prefix, origin) → verdict cache over `roas`.
+    pub(crate) rov_cache: RovCache,
+    /// Monotonic counts of executed security queries.
+    pub(crate) sec_counters: SecCounters,
+}
+
+/// Per-verb security-query counters (`rov` counts every point
+/// evaluation, batched or not).
+#[derive(Debug, Default)]
+pub(crate) struct SecCounters {
+    pub rov: AtomicU64,
+    pub hijacks: AtomicU64,
+    pub leaks: AtomicU64,
 }
 
 // `Arc<QueryEngine>` sharing across the serve loop and batch workers
@@ -294,7 +314,37 @@ impl QueryEngine {
             n_shards: n_shards.max(1),
             cones: HashMap::new(),
             archive: None,
+            roas: Arc::new(RoaTable::default()),
+            rov_cache: RovCache::default(),
+            sec_counters: SecCounters::default(),
         }
+    }
+
+    /// Replaces the engine's ROA table (what `--roas` and scenario
+    /// setups call), emptying the validation cache — every cached
+    /// verdict was computed against the old table.
+    pub fn set_roas(&mut self, table: RoaTable) {
+        self.roas = Arc::new(table);
+        self.rov_cache.reset();
+    }
+
+    /// The ROA table `rov` queries validate against.
+    pub fn roa_table(&self) -> &RoaTable {
+        &self.roas
+    }
+
+    /// The ROV cache's hit/miss counters.
+    pub fn rov_cache_stats(&self) -> RovCacheStats {
+        self.rov_cache.stats()
+    }
+
+    /// Executed security-query counts `(rov, hijacks, leaks)`.
+    pub fn sec_query_counts(&self) -> (u64, u64, u64) {
+        (
+            self.sec_counters.rov.load(Ordering::Relaxed),
+            self.sec_counters.hijacks.load(Ordering::Relaxed),
+            self.sec_counters.leaks.load(Ordering::Relaxed),
+        )
     }
 
     /// Shards per vantage table.
@@ -610,6 +660,13 @@ impl QueryEngine {
                 let b = &self.snapshots[to.index()];
                 Ok(Response::Diff(SnapshotDiff::between(&self.interner, a, b)))
             }
+            // Hijack detection is a history walk with no vantage operand,
+            // so it cannot share `eval_history`'s vantage validation.
+            Query::Hijacks => {
+                let ids = self.scope_ids(&req.query, &req.scope)?;
+                self.sec_counters.hijacks.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Hijacks(crate::sec::hijack_events(self, &ids)))
+            }
             q if q.is_history() => {
                 let ids = self.scope_ids(q, &req.scope)?;
                 self.eval_history(q, &ids)
@@ -654,6 +711,14 @@ impl QueryEngine {
             Query::SaStatus { vantage, prefix } => Response::Sa(self.sa_point(id, vantage, prefix)),
             Query::Relationship { a, b } => Response::Relationship(self.rel_point(id, a, b)),
             Query::PolicySummary { asn } => Response::Summary(self.summary_point(id, asn)),
+            Query::Rov { vantage, prefix } => {
+                self.sec_counters.rov.fetch_add(1, Ordering::Relaxed);
+                Response::Rov(crate::sec::rov_point(self, id, vantage, prefix))
+            }
+            Query::Leaks => {
+                self.sec_counters.leaks.fetch_add(1, Ordering::Relaxed);
+                Response::Leaks(crate::sec::leak_events(self, id))
+            }
             _ => unreachable!("history and diff queries never reach eval_point"),
         }
     }

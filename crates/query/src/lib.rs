@@ -95,6 +95,7 @@ pub mod engine;
 pub mod intern;
 pub mod plan;
 pub mod proto;
+pub mod sec;
 pub mod serve;
 pub mod snapshot;
 
@@ -108,8 +109,8 @@ pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
 pub use plan::QueryError;
 pub use proto::{
     parse, parse_control, parse_script, render, render_response, render_scope, Control, Frame,
-    LineFramer, ParseError, PersistenceAnswer, Query, QueryRequest, Response, SaHistoryPoint,
-    SaOriginCount, Scope, ScriptError, GRAMMAR,
+    HijackEvent, HijackKind, LeakEvent, LineFramer, ParseError, PersistenceAnswer, Query,
+    QueryRequest, Response, RovAnswer, SaHistoryPoint, SaOriginCount, Scope, ScriptError, GRAMMAR,
 };
 pub use serve::{ServeConfig, ServeStats, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};

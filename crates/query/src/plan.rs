@@ -159,12 +159,12 @@ enum Step {
 
 fn classify(engine: &QueryEngine, req: &QueryRequest) -> Step {
     match &req.query {
-        Query::Route { prefix, .. } | Query::SaStatus { prefix, .. } => {
-            match engine.single_scope(&req.query, &req.scope) {
-                Ok(id) => Step::Sharded(shard_of(*prefix, engine.shard_count()), id),
-                Err(e) => Step::Fail(e),
-            }
-        }
+        Query::Route { prefix, .. }
+        | Query::SaStatus { prefix, .. }
+        | Query::Rov { prefix, .. } => match engine.single_scope(&req.query, &req.scope) {
+            Ok(id) => Step::Sharded(shard_of(*prefix, engine.shard_count()), id),
+            Err(e) => Step::Fail(e),
+        },
         _ => Step::General,
     }
 }

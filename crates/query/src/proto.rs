@@ -51,6 +51,7 @@ use std::fmt;
 
 use bgp_types::{Asn, Ipv4Prefix, Relationship};
 use rpi_core::persistence::{PersistenceClass, UptimeHistogram};
+use rpi_sec::{Roa, RovValidity};
 
 use crate::engine::{PolicySummary, RouteAnswer, SaStatus};
 use crate::snapshot::SnapshotId;
@@ -146,6 +147,21 @@ pub enum Query {
         /// The prefix to classify.
         prefix: Ipv4Prefix,
     },
+    /// RFC 6811 route-origin validation of the vantage's best route for
+    /// the prefix against the engine's ROA table.
+    Rov {
+        /// The vantage whose best route supplies the origin.
+        vantage: Asn,
+        /// The exact table prefix to validate.
+        prefix: Ipv4Prefix,
+    },
+    /// Origin-hijack / MOAS events across the scoped snapshots: prefixes
+    /// picking up an origin outside every owner's customer cone, and
+    /// multi-origin conflicts.
+    Hijacks,
+    /// Valley-free violations visible in the scoped snapshot: routes
+    /// whose AS path sends provider- or peer-learned traffic back up.
+    Leaks,
 }
 
 impl Query {
@@ -162,6 +178,9 @@ impl Query {
             Query::UptimeHistogram { .. } => "uptime",
             Query::TopKSaOrigins { .. } => "top-sa",
             Query::PersistenceClass { .. } => "persistence",
+            Query::Rov { .. } => "rov",
+            Query::Hijacks => "hijacks",
+            Query::Leaks => "leaks",
         }
     }
 
@@ -174,6 +193,7 @@ impl Query {
                 | Query::UptimeHistogram { .. }
                 | Query::TopKSaOrigins { .. }
                 | Query::PersistenceClass { .. }
+                | Query::Hijacks
         )
     }
 
@@ -238,6 +258,82 @@ pub struct PersistenceAnswer {
     pub class: PersistenceClass,
 }
 
+/// The answer to a `rov` query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RovAnswer {
+    /// The named vantage has no table in the scoped snapshot.
+    UnknownVantage,
+    /// The vantage has no best route for the exact prefix — there is no
+    /// origin to validate.
+    NoRoute,
+    /// The route's origin was validated against the ROA table.
+    Validated {
+        /// The origin AS of the vantage's best route.
+        origin: Asn,
+        /// Its RFC 6811 validity.
+        validity: RovValidity,
+        /// The longest covering ROA that decided the verdict (`None` for
+        /// [`RovValidity::Unknown`]: nothing covers the prefix).
+        covering: Option<Roa>,
+    },
+}
+
+/// What kind of event a [`HijackEvent`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HijackKind {
+    /// A prefix originated by an AS outside every owner's customer cone.
+    Origin,
+    /// A more-specific of an owned prefix, originated outside the
+    /// owners' cones.
+    Subprefix,
+    /// The same prefix originated by multiple ASes in one snapshot.
+    Moas,
+}
+
+impl HijackKind {
+    /// Stable lowercase name, as printed on the wire.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HijackKind::Origin => "origin-hijack",
+            HijackKind::Subprefix => "subprefix-hijack",
+            HijackKind::Moas => "moas",
+        }
+    }
+}
+
+/// One row of a [`Response::Hijacks`] answer: the first scoped snapshot
+/// in which the suspicious (prefix, origin) pairing appeared.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HijackEvent {
+    /// The snapshot where the event first appears.
+    pub snapshot: SnapshotId,
+    /// Its ingest label.
+    pub label: String,
+    /// What happened.
+    pub kind: HijackKind,
+    /// The announced prefix.
+    pub prefix: Ipv4Prefix,
+    /// The suspect origin.
+    pub origin: Asn,
+    /// The baseline owners of the (covering) prefix, ascending.
+    pub owners: Vec<Asn>,
+}
+
+/// One row of a [`Response::Leaks`] answer: a stored path that violates
+/// the valley-free rule under the relationship oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LeakEvent {
+    /// The vantage whose table holds the leaked route.
+    pub vantage: Asn,
+    /// The routed prefix.
+    pub prefix: Ipv4Prefix,
+    /// The AS that forwarded a provider- or peer-learned route upward —
+    /// the valley's turning point.
+    pub leaker: Asn,
+    /// The full speaker-first AS path (vantage included).
+    pub path: Vec<Asn>,
+}
+
 /// The typed answer to a [`QueryRequest`]; variants mirror [`Query`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum Response {
@@ -260,6 +356,12 @@ pub enum Response {
     TopSaOrigins(Vec<SaOriginCount>),
     /// Answer to `persistence`.
     Persistence(PersistenceAnswer),
+    /// Answer to `rov`.
+    Rov(RovAnswer),
+    /// Answer to `hijacks`, ordered by (snapshot, prefix, origin).
+    Hijacks(Vec<HijackEvent>),
+    /// Answer to `leaks`, ordered by (vantage, prefix, path).
+    Leaks(Vec<LeakEvent>),
 }
 
 /// Why a line failed to parse.
@@ -315,6 +417,9 @@ sa-history <vantage> <prefix> [@scope]   SA status across snapshots
 uptime <vantage> [@scope]                Fig. 7 uptime histogram
 top-sa <vantage> <k> [@scope]            top-K SA origins
 persistence <vantage> <prefix> [@scope]  per-prefix persistence class
+rov <vantage> <prefix> [@scope]          RFC 6811 route-origin validation
+hijacks [@scope]                         origin-hijack / MOAS events across snapshots
+leaks [@scope]                           valley-free violations in one snapshot
 scopes: @latest  @<id>  @label:<name>  @all  @<from>..<to>   (point queries default to @latest, history queries to @all)";
 
 fn parse_asn(s: &str) -> Result<Asn, ParseError> {
@@ -412,7 +517,7 @@ pub fn parse(line: &str) -> Result<QueryRequest, ParseError> {
     };
 
     let query = match verb {
-        "route" | "resolve" | "sa" | "sa-history" | "persistence" => {
+        "route" | "resolve" | "sa" | "sa-history" | "persistence" | "rov" => {
             let [v, p] = args else {
                 return Err(wrong_arity("<vantage> <prefix>"));
             };
@@ -423,7 +528,18 @@ pub fn parse(line: &str) -> Result<QueryRequest, ParseError> {
                 "resolve" => Query::Resolve { vantage, prefix },
                 "sa" => Query::SaStatus { vantage, prefix },
                 "sa-history" => Query::SaHistory { vantage, prefix },
+                "rov" => Query::Rov { vantage, prefix },
                 _ => Query::PersistenceClass { vantage, prefix },
+            }
+        }
+        "hijacks" | "leaks" => {
+            let [] = args else {
+                return Err(wrong_arity("no operands (only an optional @scope)"));
+            };
+            if verb == "hijacks" {
+                Query::Hijacks
+            } else {
+                Query::Leaks
             }
         }
         "rel" => {
@@ -677,6 +793,9 @@ pub fn render(req: &QueryRequest) -> String {
         Query::PersistenceClass { vantage, prefix } => {
             format!("persistence {vantage} {prefix} {scope}")
         }
+        Query::Rov { vantage, prefix } => format!("rov {vantage} {prefix} {scope}"),
+        Query::Hijacks => format!("hijacks {scope}"),
+        Query::Leaks => format!("leaks {scope}"),
     }
 }
 
@@ -819,6 +938,74 @@ pub fn render_response(req: &QueryRequest, resp: &Response) -> String {
             p.sa,
             p.class.describe()
         ),
+        (Query::Rov { vantage, prefix }, Response::Rov(ans)) => match ans {
+            RovAnswer::UnknownVantage => {
+                format!("rov {prefix} at {vantage} {scope}: {vantage} is not a vantage")
+            }
+            RovAnswer::NoRoute => {
+                format!("rov {prefix} at {vantage} {scope}: no route, nothing to validate")
+            }
+            RovAnswer::Validated {
+                origin,
+                validity,
+                covering,
+            } => {
+                let roa = match covering {
+                    Some(r) => format!(" (covering ROA {r})"),
+                    None => " (no covering ROA)".to_string(),
+                };
+                format!(
+                    "rov {prefix} at {vantage} {scope}: origin {origin} {}{roa}",
+                    validity.name()
+                )
+            }
+        },
+        (Query::Hijacks, Response::Hijacks(events)) => {
+            let mut out = format!(
+                "hijacks {scope}: {} event{}",
+                events.len(),
+                if events.len() == 1 { "" } else { "s" }
+            );
+            for e in events {
+                let owners = e
+                    .owners
+                    .iter()
+                    .map(|a| a.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                out.push_str(&format!(
+                    "\n  {} {}: {} {} by {} (owners {})",
+                    e.snapshot.0,
+                    e.label,
+                    e.kind.name(),
+                    e.prefix,
+                    e.origin,
+                    if owners.is_empty() {
+                        "none".into()
+                    } else {
+                        owners
+                    }
+                ));
+            }
+            out
+        }
+        (Query::Leaks, Response::Leaks(events)) => {
+            let mut out = format!(
+                "leaks {scope}: {} leaked route{}",
+                events.len(),
+                if events.len() == 1 { "" } else { "s" }
+            );
+            for e in events {
+                out.push_str(&format!(
+                    "\n  {} at {}: leaked by {} path {}",
+                    e.prefix,
+                    e.vantage,
+                    e.leaker,
+                    path_words(&e.path)
+                ));
+            }
+            out
+        }
         // A response that does not match its request can only come from a
         // caller pairing the wrong values; show both rather than guess.
         (_, resp) => format!("{resp:?}"),

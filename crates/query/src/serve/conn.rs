@@ -197,9 +197,38 @@ impl Conn {
             }
         }
 
-        // Pipelining: every query of this read is one engine batch. A
-        // lone query skips the batch planner's thread scaffolding.
-        let reqs: Vec<_> = items
+        // Pipelining: every REPL-free run of this read's queries is one
+        // engine batch. REPL listings split the runs: a listing reports
+        // live engine counters (ROV cache stats, per-verb counts), so it
+        // must observe the engine exactly where a line-by-line stdin
+        // session would — queries pipelined *after* it in the same read
+        // execute only after its reply is rendered.
+        let mut start = 0;
+        loop {
+            let end = items[start..]
+                .iter()
+                .position(|(_, l)| matches!(l, Line::Repl(_)))
+                .map_or(items.len(), |p| start + p);
+            self.run_segment(engine, &items[start..end], out);
+            let Some((_, Line::Repl(cmd))) = items.get(end) else {
+                break;
+            };
+            let reply = repl_reply(engine, *cmd);
+            self.push_output(&reply);
+            start = end + 1;
+        }
+    }
+
+    /// Executes one REPL-free run of classified lines — its queries as a
+    /// single engine batch (a lone query skips the batch planner's thread
+    /// scaffolding) — rendering every output line in input order.
+    fn run_segment(
+        &mut self,
+        engine: &QueryEngine,
+        segment: &[(usize, Line)],
+        out: &mut ReadOutcome,
+    ) {
+        let reqs: Vec<_> = segment
             .iter()
             .filter_map(|(_, l)| match l {
                 Line::Query(req) => Some(req.clone()),
@@ -216,7 +245,7 @@ impl Conn {
         };
         out.queries += reqs.len() as u64;
 
-        for (line_no, item) in items {
+        for (line_no, item) in segment {
             match item {
                 Line::Skip => {}
                 Line::Control(Control::Ping) => self.push_output("pong"),
@@ -225,12 +254,9 @@ impl Conn {
                     self.closing = true;
                     out.shutdown = true;
                 }
-                Line::Repl(cmd) => {
-                    let reply = repl_reply(engine, cmd);
-                    self.push_output(&reply);
-                }
+                Line::Repl(_) => unreachable!("segments are split at REPL commands"),
                 Line::Query(req) => match answers.next().expect("one answer per batched query") {
-                    Ok(resp) => self.push_output(&render_response(&req, &resp)),
+                    Ok(resp) => self.push_output(&render_response(req, &resp)),
                     Err(e) => {
                         out.errors += 1;
                         self.push_output(&format!("error line {line_no}: {e}"));

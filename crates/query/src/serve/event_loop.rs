@@ -32,7 +32,9 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
-    fn snapshot(&self, started: Instant) -> ServeStats {
+    fn snapshot(&self, started: Instant, engine: &QueryEngine) -> ServeStats {
+        let (rov_queries, hijack_queries, leak_queries) = engine.sec_query_counts();
+        let cache = engine.rov_cache_stats();
         ServeStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -43,6 +45,11 @@ impl StatsInner {
             bytes_out: self.bytes_out.load(Ordering::Relaxed),
             shed_idle: self.shed_idle.load(Ordering::Relaxed),
             max_write_buf: self.max_write_buf.load(Ordering::Relaxed),
+            rov_queries,
+            hijack_queries,
+            leak_queries,
+            rov_cache_hits: cache.hits,
+            rov_cache_misses: cache.misses,
             elapsed: started.elapsed(),
         }
     }
@@ -59,6 +66,7 @@ pub struct ServerHandle {
     stats: Arc<StatsInner>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
+    engine: Arc<QueryEngine>,
 }
 
 impl ServerHandle {
@@ -70,7 +78,7 @@ impl ServerHandle {
 
     /// A live snapshot of the server's counters.
     pub fn stats(&self) -> ServeStats {
-        self.stats.snapshot(self.started)
+        self.stats.snapshot(self.started, &self.engine)
     }
 }
 
@@ -129,6 +137,7 @@ impl Server {
             stats: Arc::clone(&self.stats),
             shutdown: Arc::clone(&self.shutdown),
             started: self.started,
+            engine: Arc::clone(&self.engine),
         }
     }
 
@@ -332,6 +341,6 @@ impl Server {
         }
         drop(conns);
         self.stats.active.store(0, Ordering::Relaxed);
-        Ok(self.stats.snapshot(self.started))
+        Ok(self.stats.snapshot(self.started, &self.engine))
     }
 }

@@ -108,6 +108,18 @@ pub struct ServeStats {
     pub shed_idle: u64,
     /// High-water mark of any connection's pending write buffer.
     pub max_write_buf: u64,
+    /// `rov` queries the shared engine executed (engine lifetime — a
+    /// REPL session on the same engine counts too, like the cache
+    /// stats below).
+    pub rov_queries: u64,
+    /// `hijacks` queries the shared engine executed.
+    pub hijack_queries: u64,
+    /// `leaks` queries the shared engine executed.
+    pub leak_queries: u64,
+    /// ROV validation cache hits on the shared engine.
+    pub rov_cache_hits: u64,
+    /// ROV validation cache misses on the shared engine.
+    pub rov_cache_misses: u64,
     /// Time since the server bound its listener.
     pub elapsed: Duration,
 }
@@ -127,7 +139,8 @@ impl ServeStats {
     pub fn render(&self) -> String {
         format!(
             "served {} queries over {} connections in {:.2?} ({:.0} queries/s lifetime): \
-             {} B in / {} B out, {} errors, {} rejected, {} shed idle, write-buf peak {} B",
+             {} B in / {} B out, {} errors, {} rejected, {} shed idle, write-buf peak {} B, \
+             sec rov {} / hijacks {} / leaks {} (rov cache {} hits / {} misses)",
             self.queries,
             self.accepted,
             self.elapsed,
@@ -138,6 +151,11 @@ impl ServeStats {
             self.rejected,
             self.shed_idle,
             self.max_write_buf,
+            self.rov_queries,
+            self.hijack_queries,
+            self.leak_queries,
+            self.rov_cache_hits,
+            self.rov_cache_misses,
         )
     }
 }

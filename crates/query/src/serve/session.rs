@@ -111,6 +111,18 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
                     format!("{i}: {l} ({n} vantages{sharing}{disk})")
                 })
                 .collect();
+            // Security state rides along: the loaded ROA table and the
+            // engine-lifetime ROV/detection counters.
+            let cache = engine.rov_cache_stats();
+            let (rov, hijacks, leaks) = engine.sec_query_counts();
+            let mut lines = lines;
+            lines.push(format!(
+                "sec: {} ROAs, rov cache {} hits / {} misses, \
+                 queries rov {rov} / hijacks {hijacks} / leaks {leaks}",
+                engine.roa_table().len(),
+                cache.hits,
+                cache.misses,
+            ));
             lines.join("\n")
         }
         ReplCmd::Archive => match engine.archive_info() {
@@ -119,10 +131,12 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
                 let mut lines = vec![format!(
                     "archive {} ({} segments, {} on disk)",
                     info.dir.display(),
-                    1 + info.snapshots.len(),
+                    1 + info.snapshots.len() + usize::from(info.roas.is_some()),
                     fmt_bytes(info.total_bytes() as u64),
                 )];
-                let all = std::iter::once(&info.symbols).chain(&info.snapshots);
+                let all = std::iter::once(&info.symbols)
+                    .chain(&info.snapshots)
+                    .chain(&info.roas);
                 for meta in all {
                     let label = if meta.label.is_empty() {
                         String::new()

@@ -18,6 +18,7 @@ use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, SimOutput, VantageSpec};
 use bgp_types::{Asn, Ipv4Prefix, Relationship};
 use net_topology::{AsGraph, InternetConfig, InternetSize};
 use rpi_query::{render_response, Query, QueryEngine, QueryRequest, Scope, SnapshotId};
+use rpi_sec::{Roa, RoaTable};
 use rpi_store::{Manifest, SegmentKind, StoreError, FORMAT_VERSION, MANIFEST_FILE};
 
 const SNAPSHOTS: usize = 6;
@@ -132,6 +133,29 @@ fn build_scenario(seed: u64, flip_oracle: bool) -> Scenario {
     }
 }
 
+/// Seeded ROAs over the scenario's own prefixes — mixed max-lengths,
+/// some origins real and some bogus, so the fuzzer's `rov` requests hit
+/// every validity state on both ends of the round trip.
+fn scenario_roas(sc: &Scenario, seed: u64) -> RoaTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x40A5_0A75);
+    let roas = sc
+        .prefixes
+        .iter()
+        .filter(|p| p.len() > 0)
+        .take(8)
+        .map(|&prefix| Roa {
+            prefix,
+            max_len: (prefix.len() + rng.gen_range(0..4u8)).min(32),
+            origin: if rng.gen_bool(0.5) {
+                *sc.vantages.choose(&mut rng).unwrap()
+            } else {
+                Asn(64_496 + rng.gen_range(0..4u32))
+            },
+        })
+        .collect();
+    RoaTable::new(roas)
+}
+
 /// Incremental ingest under the scenario's per-snapshot oracles.
 fn ingest(sc: &Scenario, shards: usize) -> QueryEngine {
     let mut e = QueryEngine::new(shards);
@@ -170,7 +194,7 @@ fn arb_history_scope(rng: &mut StdRng, n: usize) -> Scope {
 fn arb_request(rng: &mut StdRng, sc: &Scenario, n: usize) -> QueryRequest {
     let vantage = *sc.vantages.choose(rng).unwrap();
     let prefix = *sc.prefixes.choose(rng).unwrap();
-    match rng.gen_range(0..10u8) {
+    match rng.gen_range(0..13u8) {
         0 => Query::Route { vantage, prefix }.at(arb_point_scope(rng, n)),
         1 => Query::Resolve { vantage, prefix }.at(arb_point_scope(rng, n)),
         2 => Query::SaStatus { vantage, prefix }.at(arb_point_scope(rng, n)),
@@ -191,7 +215,12 @@ fn arb_request(rng: &mut StdRng, sc: &Scenario, n: usize) -> QueryRequest {
             k: rng.gen_range(0..6usize),
         }
         .at(arb_history_scope(rng, n)),
-        _ => Query::PersistenceClass { vantage, prefix }.at(arb_history_scope(rng, n)),
+        9 => Query::PersistenceClass { vantage, prefix }.at(arb_history_scope(rng, n)),
+        // The security verbs answer from the loaded roa segment (or its
+        // absence) — part of the byte-equivalence surface like any verb.
+        10 => Query::Rov { vantage, prefix }.at(arb_point_scope(rng, n)),
+        11 => Query::Hijacks.at(arb_history_scope(rng, n)),
+        _ => Query::Leaks.at(arb_point_scope(rng, n)),
     }
 }
 
@@ -215,6 +244,11 @@ fn assert_round_trip(seed: u64, saved: &mut QueryEngine, sc: &Scenario, tag: &st
     );
     assert_eq!(saved.interned_sizes(), loaded.interned_sizes());
     assert_eq!(saved.shard_count(), loaded.shard_count());
+    assert_eq!(
+        saved.roa_table(),
+        loaded.roa_table(),
+        "seed {seed}: the ROA table must survive the round trip"
+    );
 
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0AAC_417E);
     let n = saved.snapshot_count();
@@ -262,7 +296,17 @@ fn run_differential(seed: u64, flip_oracle: bool, tag: &str) {
     assert!(route_events > 0, "seed {seed}: degenerate scenario");
 
     let mut engine = ingest(&sc, 4);
+    engine.set_roas(scenario_roas(&sc, seed));
     let manifest = assert_round_trip(seed, &mut engine, &sc, tag);
+    assert_eq!(
+        manifest
+            .segments
+            .iter()
+            .filter(|s| s.kind == SegmentKind::Roa)
+            .count(),
+        1,
+        "seed {seed}: an engine with ROAs writes exactly one roa segment"
+    );
 
     // A churny incremental series must actually exercise delta segments.
     let deltas = manifest
@@ -362,6 +406,7 @@ fn loaded_delta_archive_preserves_cow_sharing() {
 fn loaded_engine_resaves_equivalently() {
     let sc = build_scenario(0xAB, false);
     let mut engine = ingest(&sc, 4);
+    engine.set_roas(scenario_roas(&sc, 0xAB));
     let dir = tmp_dir("resave");
     let first = engine.save_archive(&dir, false).expect("save");
     let mut loaded = QueryEngine::load_archive(&dir).expect("load");
@@ -386,6 +431,53 @@ fn loaded_engine_resaves_equivalently() {
     let _ = std::fs::remove_dir_all(&dir2);
 }
 
+/// The ROA table rides its own checksummed segment: a cold-started
+/// engine validates identically to the one that was saved, and an
+/// engine without ROAs writes no roa segment at all (its archive shape
+/// is unchanged from the pre-sec format).
+#[test]
+fn roa_segment_round_trips_and_is_optional() {
+    let sc = build_scenario(0x4A, false);
+    let mut engine = ingest(&sc, 4);
+    engine.set_roas(scenario_roas(&sc, 0x4A));
+    assert!(!engine.roa_table().is_empty(), "scenario yields ROAs");
+
+    let dir = tmp_dir("roa");
+    let manifest = engine.save_archive(&dir, false).expect("save");
+    let roa_entries: Vec<_> = manifest
+        .segments
+        .iter()
+        .filter(|s| s.kind == SegmentKind::Roa)
+        .collect();
+    assert_eq!(roa_entries.len(), 1);
+    assert!(roa_entries[0].bytes > 0);
+
+    let loaded = QueryEngine::load_archive(&dir).expect("load");
+    assert_eq!(engine.roa_table(), loaded.roa_table());
+    let n = engine.snapshot_count() as u32;
+    for &vantage in &sc.vantages {
+        for &prefix in &sc.prefixes {
+            for scope in [Scope::Latest, Scope::Id(SnapshotId(n - 1))] {
+                let req = Query::Rov { vantage, prefix }.at(scope);
+                assert_eq!(
+                    rendered(&engine, &req),
+                    rendered(&loaded, &req),
+                    "rov diverged after cold start on {req:?}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut bare = ingest(&sc, 4);
+    let dir2 = tmp_dir("roa-none");
+    let m2 = bare.save_archive(&dir2, false).expect("save");
+    assert!(m2.segments.iter().all(|s| s.kind != SegmentKind::Roa));
+    let loaded = QueryEngine::load_archive(&dir2).expect("load");
+    assert!(loaded.roa_table().is_empty());
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
 // ---------------------------------------------------------------------------
 // corruption: typed errors, no panics, no half-worlds
 // ---------------------------------------------------------------------------
@@ -393,6 +485,9 @@ fn loaded_engine_resaves_equivalently() {
 fn saved_archive(tag: &str) -> (std::path::PathBuf, Manifest) {
     let sc = build_scenario(0x77, false);
     let mut engine = ingest(&sc, 4);
+    // ROAs included, so the corruption sweeps below cover the roa
+    // segment alongside symbols and snapshots.
+    engine.set_roas(scenario_roas(&sc, 0x77));
     let dir = tmp_dir(tag);
     let manifest = engine.save_archive(&dir, false).expect("save");
     (dir, manifest)
@@ -581,6 +676,33 @@ fn semantic_corruption_is_caught_after_checksum() {
     match QueryEngine::load_archive(&dir) {
         Err(StoreError::Corrupt { segment, .. }) => assert_eq!(segment.index, 0),
         Err(StoreError::ManifestCorrupt { .. }) => {}
+        other => panic!("wanted Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Same gate for the roa segment: a checksum-valid payload whose ROA
+/// count overruns the data must fail as `Corrupt` naming that segment —
+/// never a partially applied ROA table.
+#[test]
+fn roa_semantic_corruption_names_the_segment() {
+    let (dir, manifest) = saved_archive("roa-sem");
+    let (idx, entry) = manifest
+        .segments
+        .iter()
+        .enumerate()
+        .find(|(_, s)| s.kind == SegmentKind::Roa)
+        .expect("saved_archive includes a roa segment");
+    let path = dir.join(&entry.file);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[0] = 0x7F; // ROA count claims more entries than the payload holds
+    std::fs::write(&path, &bytes).unwrap();
+    let mut fixed = manifest.clone();
+    fixed.segments[idx].crc32 = rpi_store::crc32(&bytes);
+    fixed.segments[idx].bytes = bytes.len() as u64;
+    fixed.write(&dir, true).unwrap();
+    match QueryEngine::load_archive(&dir) {
+        Err(StoreError::Corrupt { segment, .. }) => assert_eq!(segment.index, idx),
         other => panic!("wanted Corrupt, got {other:?}"),
     }
     let _ = std::fs::remove_dir_all(&dir);

@@ -18,3 +18,17 @@ uptime AS1
 top-sa AS1 3
 persistence AS1 4.0.0.0/13 @all
 persistence AS1 2.0.0.0/8 @1..3
+
+# rpi-sec: route-origin validation against tests/data/smoke.roas, plus
+# the hijack / leak detectors (benign world: zero events is the answer).
+rov AS1 4.0.0.0/13
+rov AS1 4.0.0.0/13 @0
+rov AS1 3.0.0.0/14
+rov AS1 2.0.0.0/12
+rov AS1 2.0.0.0/8
+rov AS1 1.0.0.0/8
+rov AS42424 4.0.0.0/13
+hijacks
+hijacks @0..2
+leaks
+leaks @0

@@ -20,3 +20,12 @@ uptime AS1
 top-sa AS1 3
 persistence AS1 4.0.0.0/13 @all
 persistence AS1 2.0.0.0/8 @1..3
+
+# rpi-sec: the cold-started engine answers these from the archive's own
+# roa segment — the save was given --roas, this run was not.
+rov AS1 4.0.0.0/13
+rov AS1 3.0.0.0/14
+rov AS1 2.0.0.0/12
+rov AS1 2.0.0.0/8
+hijacks
+leaks

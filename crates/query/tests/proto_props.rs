@@ -55,7 +55,7 @@ fn arb_scope(rng: &mut StdRng) -> Scope {
 }
 
 fn arb_query(rng: &mut StdRng) -> Query {
-    match rng.gen_range(0..10u8) {
+    match rng.gen_range(0..13u8) {
         0 => Query::Route {
             vantage: arb_asn(rng),
             prefix: arb_prefix(rng),
@@ -85,10 +85,16 @@ fn arb_query(rng: &mut StdRng) -> Query {
             vantage: arb_asn(rng),
             k: rng.gen_range(0..1000usize),
         },
-        _ => Query::PersistenceClass {
+        9 => Query::PersistenceClass {
             vantage: arb_asn(rng),
             prefix: arb_prefix(rng),
         },
+        10 => Query::Rov {
+            vantage: arb_asn(rng),
+            prefix: arb_prefix(rng),
+        },
+        11 => Query::Hijacks,
+        _ => Query::Leaks,
     }
 }
 
@@ -108,7 +114,7 @@ fn arb_garbage(rng: &mut StdRng, max_len: usize) -> String {
 #[test]
 fn render_parse_roundtrips_every_variant() {
     let mut rng = StdRng::seed_from_u64(0x6001);
-    let mut seen = [false; 10];
+    let mut seen = [false; 13];
     for _ in 0..CASES {
         let req = arb_request(&mut rng);
         seen[match req.query {
@@ -122,6 +128,9 @@ fn render_parse_roundtrips_every_variant() {
             Query::UptimeHistogram { .. } => 7,
             Query::TopKSaOrigins { .. } => 8,
             Query::PersistenceClass { .. } => 9,
+            Query::Rov { .. } => 10,
+            Query::Hijacks => 11,
+            Query::Leaks => 12,
         }] = true;
         let line = render(&req);
         let back =

@@ -9,6 +9,7 @@
 //! ```text
 //! cargo run --release -p rpi-query --bin rpi-queryd -- \
 //!   --size tiny --seed 11 --snapshots 4 --shards 4 \
+//!   --roas crates/query/tests/data/smoke.roas \
 //!   --queries crates/query/tests/data/smoke.q > crates/query/tests/data/smoke.golden
 //! ```
 
@@ -32,6 +33,8 @@ fn queries_file_matches_golden_output() {
             "--shards",
             "4",
         ])
+        .arg("--roas")
+        .arg(data.join("smoke.roas"))
         .arg("--queries")
         .arg(&queries)
         .output()
@@ -74,6 +77,8 @@ fn incremental_ingest_matches_its_golden() {
             "4",
             "--incremental",
         ])
+        .arg("--roas")
+        .arg(data.join("smoke.roas"))
         .arg("--queries")
         .arg(&queries)
         .output()
@@ -113,9 +118,13 @@ fn incremental_ingest_matches_its_golden() {
 /// the golden, so the archive lives at a fixed location; CI runs the
 /// same two commands as a shell step). Regenerate with:
 ///
+/// The save is given `--roas`; the cold start is not — its `rov` answers
+/// come from the archive's own roa segment, proving the round-trip.
+///
 /// ```text
 /// cargo run --release -p rpi-query --bin rpi-queryd -- \
 ///   --size tiny --seed 11 --snapshots 5 --shards 4 --incremental \
+///   --roas crates/query/tests/data/smoke.roas \
 ///   --save /tmp/rpi-archive --force
 /// cargo run --release -p rpi-query --bin rpi-queryd -- \
 ///   --archive /tmp/rpi-archive \
@@ -144,6 +153,8 @@ fn archive_cold_start_matches_its_golden() {
             "/tmp/rpi-archive",
             "--force",
         ])
+        .arg("--roas")
+        .arg(data.join("smoke.roas"))
         .output()
         .expect("rpi-queryd runs");
     assert!(
@@ -196,6 +207,8 @@ fn tcp_served_queries_match_the_stdin_golden() {
             "--listen",
             "127.0.0.1:0",
         ])
+        .arg("--roas")
+        .arg(data.join("smoke.roas"))
         .stderr(std::process::Stdio::piped())
         .spawn()
         .expect("rpi-queryd spawns");
@@ -292,6 +305,35 @@ fn missing_archive_directory_errors_cleanly() {
     assert!(
         stderr.contains("/tmp/rpi-archive-does-not-exist is not an rpi-store archive"),
         "error must name the path on one line:\n{stderr}"
+    );
+}
+
+/// Bugfix coverage: a malformed `--roas` file fails before the world
+/// build with the same `path:line:` spelling as `--queries` errors.
+#[test]
+fn bad_roa_files_name_the_line() {
+    let dir = std::env::temp_dir().join(format!("rpi-queryd-roas-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("bad.roas");
+    std::fs::write(&path, "# fine\n4.0.0.0/13-24 AS5000\n4.0.0.0/13-7 AS5000\n").unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_rpi-queryd"))
+        .args(["--size", "tiny", "--seed", "11"])
+        .arg("--roas")
+        .arg(&path)
+        .output()
+        .expect("rpi-queryd runs");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert!(!out.status.success(), "a bad ROA line must fail the run");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("bad.roas:3:"),
+        "stderr must locate the bad line:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("building"),
+        "must fail before the world build:\n{stderr}"
     );
 }
 

@@ -42,6 +42,9 @@ pub enum SegmentKind {
     Full,
     /// A snapshot stored as structured churn events over its predecessor.
     Delta,
+    /// The engine's ROA table (route origin authorizations), at most one
+    /// per archive. Not a snapshot: excluded from [`Manifest::snapshot_segments`].
+    Roa,
 }
 
 impl SegmentKind {
@@ -50,6 +53,7 @@ impl SegmentKind {
             SegmentKind::Symbols => 0,
             SegmentKind::Full => 1,
             SegmentKind::Delta => 2,
+            SegmentKind::Roa => 3,
         }
     }
 
@@ -58,16 +62,18 @@ impl SegmentKind {
             0 => Some(SegmentKind::Symbols),
             1 => Some(SegmentKind::Full),
             2 => Some(SegmentKind::Delta),
+            3 => Some(SegmentKind::Roa),
             _ => None,
         }
     }
 
-    /// Lower-case name for listings (`symbols` / `full` / `delta`).
+    /// Lower-case name for listings (`symbols` / `full` / `delta` / `roa`).
     pub fn name(self) -> &'static str {
         match self {
             SegmentKind::Symbols => "symbols",
             SegmentKind::Full => "full",
             SegmentKind::Delta => "delta",
+            SegmentKind::Roa => "roa",
         }
     }
 }
@@ -114,12 +120,13 @@ impl Manifest {
         self.segments.iter().map(|s| s.bytes).sum()
     }
 
-    /// The snapshot segments (everything but the symbol table), in order.
+    /// The snapshot segments (full and delta rows only — symbol-table and
+    /// ROA segments are engine state, not snapshots), in order.
     pub fn snapshot_segments(&self) -> impl Iterator<Item = (usize, &SegmentEntry)> {
         self.segments
             .iter()
             .enumerate()
-            .filter(|(_, s)| s.kind != SegmentKind::Symbols)
+            .filter(|(_, s)| matches!(s.kind, SegmentKind::Full | SegmentKind::Delta))
     }
 
     /// Serializes the manifest (including its self-checksum).
@@ -313,6 +320,13 @@ mod tests {
             crc32: 2,
             label: "day-02".into(),
         });
+        m.segments.push(SegmentEntry {
+            kind: SegmentKind::Roa,
+            file: "roas.seg".into(),
+            bytes: 77,
+            crc32: 3,
+            label: String::new(),
+        });
         m
     }
 
@@ -322,7 +336,8 @@ mod tests {
         let bytes = m.to_bytes();
         let back = Manifest::parse(&bytes, Path::new("MANIFEST")).unwrap();
         assert_eq!(back, m);
-        assert_eq!(back.total_bytes(), 1234 + 9876 + 55);
+        assert_eq!(back.total_bytes(), 1234 + 9876 + 55 + 77);
+        // Symbols and ROA rows are engine state, not snapshots.
         assert_eq!(back.snapshot_segments().count(), 2);
     }
 
