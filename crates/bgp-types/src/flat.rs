@@ -167,9 +167,25 @@ impl<'a> FlatTrie<'a> {
 
     /// Walks one node record starting at `offset`; returns the value
     /// bytes (if the node holds one) and the offsets of both children.
-    fn node(&self, offset: usize) -> Result<FlatNode<'a>, CodecError> {
+    /// `depth` is the node's trie depth — mapped bytes are untrusted, so
+    /// a node claiming children below the /32 floor is corruption, as is
+    /// any header bit this layout never writes.
+    fn node(&self, offset: usize, depth: u8) -> Result<FlatNode<'a>, CodecError> {
         let mut r = self.reader_at(offset);
+        let header_offset = r.position();
         let header = r.u8()?;
+        if header & !(HAS_VALUE | HAS_C0 | HAS_C1) != 0 {
+            return Err(CodecError::Invalid {
+                offset: header_offset,
+                what: "trie node header",
+            });
+        }
+        if depth == 32 && header & (HAS_C0 | HAS_C1) != 0 {
+            return Err(CodecError::Invalid {
+                offset: header_offset,
+                what: "trie depth",
+            });
+        }
         let value = if header & HAS_VALUE != 0 {
             let n = r.ulen()?;
             Some(r.bytes(n)?)
@@ -206,7 +222,7 @@ impl<'a> FlatTrie<'a> {
         }
         let mut offset = self.root;
         for depth in 0..prefix.len() {
-            let node = self.node(offset)?;
+            let node = self.node(offset, depth)?;
             match if bit_at(prefix.bits(), depth) == 0 {
                 node.c0
             } else {
@@ -216,7 +232,7 @@ impl<'a> FlatTrie<'a> {
                 None => return Ok(None),
             }
         }
-        Ok(self.node(offset)?.value)
+        Ok(self.node(offset, prefix.len())?.value)
     }
 
     /// The longest stored prefix covering `prefix` (itself included) and
@@ -231,7 +247,7 @@ impl<'a> FlatTrie<'a> {
         let mut offset = self.root;
         let mut best = None;
         for depth in 0..=prefix.len() {
-            let node = self.node(offset)?;
+            let node = self.node(offset, depth)?;
             if let Some(v) = node.value {
                 best = Some((Ipv4Prefix::canonical(prefix.bits(), depth), v));
             }
@@ -516,6 +532,47 @@ mod tests {
             buf.push(1); // skip varint (wrong, but depth fails first at the floor)
         }
         assert!(read_trie(&mut Reader::new(&buf), &mut |r| r.uvarint()).is_err());
+    }
+
+    #[test]
+    fn flat_view_rejects_unknown_header_bits() {
+        // count=1, header with a reserved bit set.
+        let buf = [1u8, 0x80];
+        let flat = FlatTrie::new(&buf, 0).unwrap();
+        assert!(matches!(
+            flat.get(p("0.0.0.0/0")),
+            Err(CodecError::Invalid {
+                what: "trie node header",
+                ..
+            })
+        ));
+        assert!(flat.best_match(p("10.0.0.0/8")).is_err());
+        // The sequential decoder agrees.
+        assert!(matches!(
+            read_trie(&mut Reader::new(&buf), &mut |r| r.uvarint()),
+            Err(CodecError::Invalid {
+                what: "trie node header",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn flat_view_rejects_children_below_host_route_floor() {
+        // count=1, then 33 single-child (bit 1) headers: the node reached
+        // at depth 32 claims a child, which the view must refuse even
+        // though a /32 probe stops descending there.
+        let mut buf = vec![1u8];
+        buf.extend(std::iter::repeat_n(HAS_C1, 33));
+        let flat = FlatTrie::new(&buf, 0).unwrap();
+        assert!(matches!(
+            flat.get(p("255.255.255.255/32")),
+            Err(CodecError::Invalid {
+                what: "trie depth",
+                ..
+            })
+        ));
+        assert!(flat.best_match(p("255.255.255.255/32")).is_err());
     }
 
     #[test]

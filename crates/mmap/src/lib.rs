@@ -1,0 +1,211 @@
+//! A minimal, read-only memory mapping — the only `unsafe` in the
+//! workspace, kept in its own crate so `rpi-query` and `rpi-store` can
+//! stay `#![forbid(unsafe_code)]`.
+//!
+//! The build has no registry access, so instead of the `libc`/`memmap2`
+//! crates this declares the two syscall wrappers it needs via
+//! `extern "C"`: `std` already links the platform C library on every
+//! unix target, so `mmap`/`munmap` resolve at link time with no new
+//! dependency. Non-unix targets (and empty files, which `mmap` rejects)
+//! fall back to reading the file into an owned buffer — callers only
+//! see `&[u8]`, so the fallback is behaviorally identical, just not
+//! zero-copy.
+//!
+//! The mapping is `PROT_READ` + `MAP_PRIVATE`: the kernel may fault
+//! pages in lazily, nothing is ever written back, and the bytes are
+//! immutable for the mapping's lifetime — which is what makes handing
+//! out `&[u8]` slices (and `Send + Sync`) sound. The one caveat every
+//! mmap consumer inherits: if another process truncates the file while
+//! it is mapped, touching the vanished pages raises `SIGBUS`. Archives
+//! are immutable-once-written (saves go through a staging rename), so
+//! this is accepted rather than guarded.
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+use std::path::Path;
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::{c_int, c_void};
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            length: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, length: usize) -> c_int;
+    }
+}
+
+/// A read-only view of a whole file, memory-mapped where the platform
+/// allows and heap-backed otherwise. Dereferences to `&[u8]`.
+#[derive(Debug)]
+pub struct Mmap {
+    inner: Inner,
+}
+
+#[derive(Debug)]
+enum Inner {
+    /// Base pointer + length of a live `mmap(2)` mapping.
+    #[cfg(unix)]
+    Mapped {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    /// Fallback for empty files and non-unix targets.
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is PROT_READ + MAP_PRIVATE — no writer exists, so
+// shared references from any thread observe the same immutable bytes.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps `path` read-only for its current length.
+    pub fn map(path: &Path) -> io::Result<Mmap> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        Self::from_file(&file, len)
+    }
+
+    #[cfg(unix)]
+    fn from_file(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::os::unix::io::AsRawFd;
+
+        if len == 0 {
+            // mmap(2) rejects zero-length mappings; an empty slice is
+            // what the caller wants anyway.
+            return Ok(Mmap {
+                inner: Inner::Owned(Vec::new()),
+            });
+        }
+        // SAFETY: len is non-zero, the fd is open for reading, and a
+        // PROT_READ/MAP_PRIVATE mapping has no aliasing obligations.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void*)-1.
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            inner: Inner::Mapped { ptr, len },
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn from_file(file: &File, len: usize) -> io::Result<Mmap> {
+        use std::io::Read;
+        let mut buf = Vec::with_capacity(len);
+        let mut file = file;
+        file.read_to_end(&mut buf)?;
+        Ok(Mmap {
+            inner: Inner::Owned(buf),
+        })
+    }
+
+    /// The mapped bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(unix)]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: ptr/len came from a successful mmap that lives
+                // until Drop; the pages are readable and immutable.
+                unsafe { std::slice::from_raw_parts(*ptr as *const u8, *len) }
+            }
+            Inner::Owned(v) => v.as_slice(),
+        }
+    }
+
+    /// Length of the mapping in bytes.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            // SAFETY: exactly one munmap per successful mmap; the slice
+            // handed out by as_slice cannot outlive self.
+            unsafe {
+                sys::munmap(ptr, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("rpi-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        path
+    }
+
+    #[test]
+    fn mapping_matches_file_contents() {
+        let data: Vec<u8> = (0..10_000u32).flat_map(|i| i.to_be_bytes()).collect();
+        let path = tmp("roundtrip", &data);
+        let map = Mmap::map(&path).unwrap();
+        assert_eq!(&*map, data.as_slice());
+        assert_eq!(map.len(), data.len());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = tmp("empty", b"");
+        let map = Mmap::map(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&*map, b"");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("rpi-mmap-definitely-missing");
+        assert!(Mmap::map(&path).is_err());
+    }
+
+    #[test]
+    fn mappings_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Mmap>();
+    }
+}

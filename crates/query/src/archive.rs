@@ -49,11 +49,11 @@ use net_topology::{AsGraph, CustomerCone};
 use rpi_sec::{Roa, RoaTable};
 use rpi_store::{
     read_segment, write_segment, Manifest, SegmentEntry, SegmentKind, SegmentRef, StoreError,
-    MANIFEST_FILE,
+    MANIFEST_FILE, SEG_FLAG_KEYFRAME,
 };
 
 use crate::engine::QueryEngine;
-use crate::intern::{AsnSym, PrefixSym, WorldInterner};
+use crate::intern::{AsnSym, Interning, PrefixSym, WorldInterner};
 use crate::snapshot::{
     CompactRoute, Provenance, SaCache, Snapshot, SnapshotId, VantageKind, VantageTable,
 };
@@ -74,6 +74,9 @@ pub struct SegmentMeta {
     pub crc32: u32,
     /// Snapshot label (empty for the symbols segment).
     pub label: String,
+    /// Whether the segment is a self-contained keyframe a cold reader
+    /// can attach to without a predecessor.
+    pub keyframe: bool,
 }
 
 impl SegmentMeta {
@@ -85,6 +88,7 @@ impl SegmentMeta {
             bytes: e.bytes,
             crc32: e.crc32,
             label: e.label.clone(),
+            keyframe: e.is_keyframe(),
         }
     }
 }
@@ -114,7 +118,7 @@ impl ArchiveInfo {
                 .sum::<usize>()
     }
 
-    fn from_manifest(dir: &Path, manifest: &Manifest) -> ArchiveInfo {
+    pub(crate) fn from_manifest(dir: &Path, manifest: &Manifest) -> ArchiveInfo {
         let mut symbols = None;
         let mut roas = None;
         let mut snapshots = Vec::new();
@@ -340,6 +344,17 @@ fn decode_roas(raw: &[u8]) -> Result<RoaTable, CodecError> {
 // ---------------------------------------------------------------------------
 
 const FLAG_REL_SHARED: u8 = 1;
+/// The full segment carries a trailing vantage directory + footer (see
+/// [`encode_vantage_dir`]) so the cold tier can address shard tries
+/// without decoding the body. Written by format version 2; old readers
+/// reject it loudly, old segments (bit clear) decode unchanged.
+const FLAG_DIRECTORY: u8 = 2;
+const FULL_FLAG_MASK: u8 = FLAG_REL_SHARED | FLAG_DIRECTORY;
+
+/// Trailing magic of a directory-carrying full segment.
+const DIR_MAGIC: [u8; 4] = *b"RPD2";
+/// Footer size: u64 directory offset + magic.
+const DIR_FOOTER: usize = 8 + DIR_MAGIC.len();
 
 fn encode_route(route: &CompactRoute, out: &mut Vec<u8>) {
     put_uvarint(out, sym_u(route.next_hop));
@@ -349,7 +364,7 @@ fn encode_route(route: &CompactRoute, out: &mut Vec<u8>) {
     }
 }
 
-fn decode_route(r: &mut Reader<'_>, n_asns: usize) -> Result<CompactRoute, CodecError> {
+pub(crate) fn decode_route(r: &mut Reader<'_>, n_asns: usize) -> Result<CompactRoute, CodecError> {
     let next_hop = AsnSym(read_sym(r, n_asns, "next-hop symbol")?);
     let offset = r.position();
     let n = r.ulen()?;
@@ -375,12 +390,20 @@ fn rel_maps_equal(a: &Snapshot, b: &Snapshot) -> bool {
             || *a.neighbor_counts == *b.neighbor_counts)
 }
 
-fn encode_full(snap: &Snapshot, prev: Option<&Snapshot>) -> Vec<u8> {
+/// Encodes one snapshot as a full segment. `force_standalone` suppresses
+/// relationship sharing so the segment decodes with no predecessor — the
+/// keyframe policy's lever. Returns the payload and whether it came out
+/// self-contained (a keyframe the cold tier can attach to).
+fn encode_full(
+    snap: &Snapshot,
+    prev: Option<&Snapshot>,
+    force_standalone: bool,
+) -> (Vec<u8>, bool) {
     let mut out = Vec::new();
     put_str(&mut out, &snap.label);
 
-    let shared = prev.is_some_and(|p| rel_maps_equal(snap, p));
-    out.push(if shared { FLAG_REL_SHARED } else { 0 });
+    let shared = !force_standalone && prev.is_some_and(|p| rel_maps_equal(snap, p));
+    out.push(if shared { FLAG_REL_SHARED } else { 0 } | FLAG_DIRECTORY);
     if !shared {
         let mut rels: Vec<(&(AsnSym, AsnSym), &Relationship)> = snap.relationships.iter().collect();
         rels.sort_unstable_by_key(|((a, b), _)| (*a, *b));
@@ -402,7 +425,12 @@ fn encode_full(snap: &Snapshot, prev: Option<&Snapshot>) -> Vec<u8> {
         }
     }
 
-    // Vantage tables: flattened shard tries.
+    // Vantage tables: flattened shard tries. Each shard's byte span is
+    // recorded for the trailing directory, so the cold tier can wrap a
+    // FlatTrie around it straight off a mapping.
+    let mut dir = VantageDir {
+        entries: Vec::with_capacity(snap.vantages.len()),
+    };
     let mut vantages: Vec<(&AsnSym, &Arc<VantageTable>)> = snap.vantages.iter().collect();
     vantages.sort_unstable_by_key(|(s, _)| **s);
     put_uvarint(&mut out, vantages.len() as u64);
@@ -413,9 +441,18 @@ fn encode_full(snap: &Snapshot, prev: Option<&Snapshot>) -> Vec<u8> {
             VantageKind::CollectorPeer => 1,
         });
         put_uvarint(&mut out, table.route_count as u64);
+        let mut shards = Vec::with_capacity(table.shards.len());
         for shard in &table.shards {
+            let start = out.len();
             flat::write_trie(shard, &mut out, &mut |route, out| encode_route(route, out));
+            shards.push((start, out.len() - start));
         }
+        dir.entries.push(VantageDirEntry {
+            sym: s,
+            kind: table.kind,
+            route_count: table.route_count,
+            shards,
+        });
     }
 
     // SA caches.
@@ -459,11 +496,180 @@ fn encode_full(snap: &Snapshot, prev: Option<&Snapshot>) -> Vec<u8> {
             out.push(rel_to_u8(rel));
         }
     }
-    out
+
+    // Directory + fixed footer (offset, magic) so a mapped reader can
+    // find the directory from the segment's tail alone.
+    let dir_offset = out.len();
+    encode_vantage_dir(&dir, &mut out);
+    out.extend_from_slice(&(dir_offset as u64).to_be_bytes());
+    out.extend_from_slice(&DIR_MAGIC);
+    (out, !shared)
+}
+
+// ---------------------------------------------------------------------------
+// the vantage directory: the cold tier's index into a full segment
+// ---------------------------------------------------------------------------
+
+/// One vantage's row in a full segment's directory: where each shard's
+/// flattened trie lives, as absolute `(offset, len)` spans inside the
+/// segment payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct VantageDirEntry {
+    pub(crate) sym: AsnSym,
+    pub(crate) kind: VantageKind,
+    pub(crate) route_count: usize,
+    pub(crate) shards: Vec<(usize, usize)>,
+}
+
+/// A full segment's vantage directory, sorted by symbol (the encode
+/// order), so the tier can binary-search it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub(crate) struct VantageDir {
+    pub(crate) entries: Vec<VantageDirEntry>,
+}
+
+impl VantageDir {
+    /// The row for `sym`, if the snapshot indexed it as a vantage.
+    pub(crate) fn entry(&self, sym: AsnSym) -> Option<&VantageDirEntry> {
+        self.entries
+            .binary_search_by_key(&sym, |e| e.sym)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+}
+
+fn encode_vantage_dir(dir: &VantageDir, out: &mut Vec<u8>) {
+    put_uvarint(out, dir.entries.len() as u64);
+    for e in &dir.entries {
+        put_uvarint(out, sym_u(e.sym));
+        out.push(match e.kind {
+            VantageKind::LookingGlass => 0,
+            VantageKind::CollectorPeer => 1,
+        });
+        put_uvarint(out, e.route_count as u64);
+        for &(start, len) in &e.shards {
+            put_uvarint(out, start as u64);
+            put_uvarint(out, len as u64);
+        }
+    }
+}
+
+/// Decodes a directory whose shard spans must fall inside
+/// `payload_end` (the body bytes before the directory itself) and whose
+/// symbols must be interned and strictly increasing.
+fn decode_vantage_dir(
+    r: &mut Reader<'_>,
+    n_asns: usize,
+    n_shards: usize,
+    payload_end: usize,
+) -> Result<VantageDir, CodecError> {
+    let n = r.ulen()?;
+    let mut entries = Vec::with_capacity(n.min(1 << 16));
+    let mut prev_sym: Option<AsnSym> = None;
+    for _ in 0..n {
+        let sym_offset = r.position();
+        let sym = AsnSym(read_sym(r, n_asns, "directory vantage symbol")?);
+        if prev_sym.is_some_and(|p| p >= sym) {
+            return Err(CodecError::Invalid {
+                offset: sym_offset,
+                what: "directory symbols out of order",
+            });
+        }
+        prev_sym = Some(sym);
+        let kind_offset = r.position();
+        let kind = match r.u8()? {
+            0 => VantageKind::LookingGlass,
+            1 => VantageKind::CollectorPeer,
+            _ => {
+                return Err(CodecError::Invalid {
+                    offset: kind_offset,
+                    what: "directory vantage kind",
+                })
+            }
+        };
+        let route_count = r.ulen()?;
+        let mut shards = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let span_offset = r.position();
+            let start = r.ulen()?;
+            let len = r.ulen()?;
+            let ok = start.checked_add(len).is_some_and(|end| end <= payload_end);
+            if !ok {
+                return Err(CodecError::Invalid {
+                    offset: span_offset,
+                    what: "directory shard span out of bounds",
+                });
+            }
+            shards.push((start, len));
+        }
+        entries.push(VantageDirEntry {
+            sym,
+            kind,
+            route_count,
+            shards,
+        });
+    }
+    Ok(VantageDir { entries })
+}
+
+/// Reads the directory of a mapped full segment without decoding its
+/// body — the cold tier's attach path. Returns `None` for segments
+/// written before the directory existed (a v1 archive: still loadable,
+/// just not cold-queryable). Also reports whether the segment is
+/// self-contained (no [`FLAG_REL_SHARED`]) and its label.
+pub(crate) fn read_mapped_directory(
+    raw: &[u8],
+    n_asns: usize,
+    n_shards: usize,
+) -> Result<Option<(VantageDir, bool, String)>, CodecError> {
+    let mut r = Reader::new(raw);
+    let label = r.str()?.to_string();
+    let flag_offset = r.position();
+    let flags = r.u8()?;
+    if flags & !FULL_FLAG_MASK != 0 {
+        return Err(CodecError::Invalid {
+            offset: flag_offset,
+            what: "unknown full-segment flags",
+        });
+    }
+    if flags & FLAG_DIRECTORY == 0 {
+        return Ok(None);
+    }
+    let self_contained = flags & FLAG_REL_SHARED == 0;
+    if raw.len() < DIR_FOOTER {
+        return Err(CodecError::Truncated {
+            offset: raw.len(),
+            wanted: DIR_FOOTER,
+        });
+    }
+    let footer = raw.len() - DIR_FOOTER;
+    if raw[footer + 8..] != DIR_MAGIC {
+        return Err(CodecError::Invalid {
+            offset: footer + 8,
+            what: "full-segment directory magic",
+        });
+    }
+    let dir_offset = u64::from_be_bytes(raw[footer..footer + 8].try_into().expect("8 bytes"));
+    let dir_offset = usize::try_from(dir_offset)
+        .ok()
+        .filter(|&o| o < footer)
+        .ok_or(CodecError::Invalid {
+            offset: footer,
+            what: "full-segment directory offset",
+        })?;
+    let mut r = Reader::with_base(&raw[dir_offset..footer], dir_offset);
+    let dir = decode_vantage_dir(&mut r, n_asns, n_shards, dir_offset)?;
+    if !r.is_exhausted() {
+        return Err(CodecError::Invalid {
+            offset: r.position(),
+            what: "trailing bytes after vantage directory",
+        });
+    }
+    Ok(Some((dir, self_contained, label)))
 }
 
 #[allow(clippy::too_many_arguments)]
-fn decode_full(
+pub(crate) fn decode_full(
     raw: &[u8],
     id: SnapshotId,
     expect_label: &str,
@@ -485,12 +691,13 @@ fn decode_full(
 
     let flag_offset = r.position();
     let flags = r.u8()?;
-    if flags & !FLAG_REL_SHARED != 0 {
+    if flags & !FULL_FLAG_MASK != 0 {
         return Err(CodecError::Invalid {
             offset: flag_offset,
             what: "unknown full-segment flags",
         });
     }
+    let has_dir = flags & FLAG_DIRECTORY != 0;
     if flags & FLAG_REL_SHARED != 0 {
         let prev = prev.ok_or(CodecError::Invalid {
             offset: flag_offset,
@@ -522,7 +729,11 @@ fn decode_full(
         snap.neighbor_counts = Arc::new(counts);
     }
 
-    // Vantage tables.
+    // Vantage tables. Shard byte spans are recorded as decoded so a
+    // directory-carrying segment can be held to its directory: every
+    // span the directory advertises must be exactly where the body put
+    // the trie.
+    let mut seen_dir = VantageDir::default();
     let n_vantages = r.ulen()?;
     for _ in 0..n_vantages {
         let owner = AsnSym(read_sym(&mut r, n_asns, "vantage symbol")?);
@@ -540,9 +751,12 @@ fn decode_full(
         let count_offset = r.position();
         let route_count = r.ulen()?;
         let mut shards = Vec::with_capacity(n_shards);
+        let mut spans = Vec::with_capacity(n_shards);
         let mut inserted = 0usize;
         for _ in 0..n_shards {
+            let start = r.position();
             let pairs = flat::read_trie(&mut r, &mut |vr| decode_route(vr, n_asns))?;
+            spans.push((start, r.position() - start));
             let mut trie = CowTrie::new();
             for (prefix, route) in pairs {
                 if interner.lookup_prefix(prefix).is_none() {
@@ -562,6 +776,12 @@ fn decode_full(
                 what: "route count disagrees with trie contents",
             });
         }
+        seen_dir.entries.push(VantageDirEntry {
+            sym: owner,
+            kind,
+            route_count,
+            shards: spans,
+        });
         snap.vantages.insert(
             owner,
             Arc::new(VantageTable {
@@ -630,6 +850,34 @@ fn decode_full(
             classes.insert(neighbor, rel);
         }
         snap.community_class.insert(owner, Arc::new(classes));
+    }
+
+    if has_dir {
+        // The directory must agree byte-for-byte with where the body
+        // actually put its tries — a lying directory is corruption, not
+        // a source of out-of-band reads for the cold tier.
+        let dir_offset = r.position();
+        let dir = decode_vantage_dir(&mut r, n_asns, n_shards, dir_offset)?;
+        if dir != seen_dir {
+            return Err(CodecError::Invalid {
+                offset: dir_offset,
+                what: "directory disagrees with segment body",
+            });
+        }
+        let footer_offset = r.position();
+        let recorded = u64::from_be_bytes(r.bytes(8)?.try_into().expect("8 bytes"));
+        if recorded != dir_offset as u64 {
+            return Err(CodecError::Invalid {
+                offset: footer_offset,
+                what: "full-segment directory offset",
+            });
+        }
+        if r.bytes(DIR_MAGIC.len())? != DIR_MAGIC {
+            return Err(CodecError::Invalid {
+                offset: footer_offset + 8,
+                what: "full-segment directory magic",
+            });
+        }
     }
 
     if !r.is_exhausted() {
@@ -733,14 +981,14 @@ struct LgPatch {
     classes: HashMap<AsnSym, Relationship>,
 }
 
-struct DeltaPayload {
-    label: String,
+pub(crate) struct DeltaPayload {
+    pub(crate) label: String,
     dropped: Vec<Asn>,
-    delta: OutputDelta,
+    pub(crate) delta: OutputDelta,
     sidecar: BTreeMap<Asn, LgPatch>,
 }
 
-fn decode_delta(
+pub(crate) fn decode_delta(
     raw: &[u8],
     expect_label: &str,
     interner: &WorldInterner,
@@ -827,7 +1075,7 @@ fn decode_delta(
 /// Rebuilds the relationship oracle a delta run replays under. The
 /// snapshot's relationship map stores both directions of every edge, so
 /// the graph (and therefore every customer cone) reconstructs exactly.
-fn oracle_from_relationships(snap: &Snapshot, interner: &WorldInterner) -> AsGraph {
+pub(crate) fn oracle_from_relationships(snap: &Snapshot, interner: &WorldInterner) -> AsGraph {
     let mut g = AsGraph::new();
     for &s in snap.neighbor_counts.keys() {
         g.ensure_as(interner.resolve_asn(s));
@@ -843,13 +1091,16 @@ fn oracle_from_relationships(snap: &Snapshot, interner: &WorldInterner) -> AsGra
 
 /// Replays a decoded delta segment over the previous snapshot — the
 /// load-time twin of `Snapshot::from_output_incremental`, sharing its
-/// per-vantage patching code.
-fn replay_delta(
+/// per-vantage patching code. Generic over [`Interning`] because the
+/// cold tier replays chains under a shared engine reference with a
+/// read-only [`crate::intern::FrozenInterner`] (safe: `decode_delta`
+/// pre-validated every event symbol against the loaded table).
+pub(crate) fn replay_delta<I: Interning>(
     id: SnapshotId,
     payload: &DeltaPayload,
     prev: &Snapshot,
     oracle: &AsGraph,
-    interner: &mut WorldInterner,
+    interner: &mut I,
     cones: &mut HashMap<Asn, CustomerCone>,
 ) -> Result<Snapshot, CodecError> {
     let mut snap = Snapshot::empty(id, &payload.label);
@@ -920,6 +1171,16 @@ fn sibling(dir: &Path, tag: &str) -> PathBuf {
     }
 }
 
+/// Save-time policy knobs (see [`QueryEngine::save_archive_with`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SaveOptions {
+    /// Write a self-contained full segment (a **keyframe**) at least
+    /// every `N` snapshots, bounding the delta chain a cold reader
+    /// replays to reach any snapshot. `None` keeps the pure
+    /// full-vs-delta policy (one keyframe at snapshot 0).
+    pub keyframe_every: Option<usize>,
+}
+
 /// Serializes `engine` into an archive at `dir` (see
 /// [`QueryEngine::save_archive`]).
 ///
@@ -933,6 +1194,7 @@ pub(crate) fn save(
     engine: &mut QueryEngine,
     dir: &Path,
     force: bool,
+    options: SaveOptions,
 ) -> Result<Manifest, StoreError> {
     let manifest_path = dir.join(MANIFEST_FILE);
     let replacing_archive = manifest_path.exists();
@@ -955,9 +1217,23 @@ pub(crate) fn save(
         &symbols,
     )?);
 
+    // Keyframe policy: snapshot 0 always decodes standalone; after
+    // that, force a self-contained full whenever the chain since the
+    // last anchor reaches the configured bound.
+    let mut last_anchor: Option<usize> = None;
     for (i, snap) in engine.snapshots.iter().enumerate() {
-        let prev = (i > 0).then(|| &engine.snapshots[i - 1]);
-        let (kind, payload) = match prev.and_then(|p| delta_plan(snap, p)) {
+        let snap: &Snapshot = snap;
+        let prev: Option<&Snapshot> = (i > 0).then(|| &*engine.snapshots[i - 1]);
+        let force_keyframe = match (options.keyframe_every, last_anchor) {
+            (Some(k), Some(anchor)) => i - anchor >= k.max(1),
+            _ => false,
+        };
+        let plan = if force_keyframe {
+            None
+        } else {
+            prev.and_then(|p| delta_plan(snap, p))
+        };
+        let (kind, payload, standalone) = match plan {
             Some(delta) => (
                 SegmentKind::Delta,
                 encode_delta(
@@ -966,13 +1242,22 @@ pub(crate) fn save(
                     delta,
                     &engine.interner,
                 ),
+                false,
             ),
-            None => (SegmentKind::Full, encode_full(snap, prev)),
+            None => {
+                let (payload, standalone) = encode_full(snap, prev, force_keyframe);
+                (SegmentKind::Full, payload, standalone)
+            }
         };
+        if standalone {
+            last_anchor = Some(i);
+        }
         let file = format!("snap-{i:04}.seg");
-        manifest
-            .segments
-            .push(write_segment(&staging, &file, kind, &snap.label, &payload)?);
+        let mut entry = write_segment(&staging, &file, kind, &snap.label, &payload)?;
+        if standalone {
+            entry.flags |= SEG_FLAG_KEYFRAME;
+        }
+        manifest.segments.push(entry);
     }
 
     if !engine.roas.is_empty() {
@@ -1023,10 +1308,19 @@ fn swap_into_place(staging: &Path, dir: &Path, replacing_archive: bool) -> std::
     std::fs::remove_dir_all(staging)
 }
 
-/// Cold-starts an engine from the archive at `dir` (see
-/// [`QueryEngine::load_archive`]).
-pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
-    let manifest = Manifest::read(dir)?;
+/// Per-snapshot interner watermarks: (asns, prefixes, communities)
+/// interned by the time each snapshot was ingested.
+pub(crate) type Watermarks = Vec<(usize, usize, usize)>;
+
+/// The shared prelude of [`load`] and the tiered attach
+/// ([`crate::tier::load_tiered`]): validates the manifest's segment
+/// shape (exactly one leading symbols segment, at most one ROA segment),
+/// builds an empty engine, loads the symbol table, and returns the
+/// per-snapshot interner watermarks.
+pub(crate) fn load_prelude(
+    dir: &Path,
+    manifest: &Manifest,
+) -> Result<(QueryEngine, Watermarks), StoreError> {
     let symbols_entry = match manifest.segments.first() {
         Some(e) if e.kind == SegmentKind::Symbols => e,
         _ => {
@@ -1068,18 +1362,56 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
     let watermarks = decode_symbols(&raw, &mut engine.interner)
         .map_err(|e| StoreError::corrupt(segref(0, symbols_entry), e))?;
 
-    let snapshot_entries: Vec<(usize, &SegmentEntry)> = manifest.snapshot_segments().collect();
-    if watermarks.len() != snapshot_entries.len() {
+    let n_snapshots = manifest.snapshot_segments().count();
+    if watermarks.len() != n_snapshots {
         return Err(StoreError::invalid(
             segref(0, symbols_entry),
             0,
             format!(
                 "symbol segment has {} blocks for {} snapshot segments",
                 watermarks.len(),
-                snapshot_entries.len()
+                n_snapshots
             ),
         ));
     }
+    Ok((engine, watermarks))
+}
+
+/// Loads the ROA segment into `engine`, if the manifest carries one —
+/// the other piece [`load`] and the tiered attach share.
+pub(crate) fn load_roas(
+    dir: &Path,
+    manifest: &Manifest,
+    engine: &mut QueryEngine,
+) -> Result<(), StoreError> {
+    if let Some((seg_idx, entry)) = manifest
+        .segments
+        .iter()
+        .enumerate()
+        .find(|(_, e)| e.kind == SegmentKind::Roa)
+    {
+        let segref = SegmentRef {
+            index: seg_idx,
+            file: entry.file.clone(),
+        };
+        let raw = read_segment(dir, seg_idx, entry)?;
+        let table = decode_roas(&raw).map_err(|e| StoreError::corrupt(segref, e))?;
+        engine.set_roas(table);
+    }
+    Ok(())
+}
+
+/// Cold-starts an engine from the archive at `dir` (see
+/// [`QueryEngine::load_archive`]).
+pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
+    let manifest = Manifest::read(dir)?;
+    let (mut engine, watermarks) = load_prelude(dir, &manifest)?;
+
+    let segref = |index: usize, entry: &SegmentEntry| SegmentRef {
+        index,
+        file: entry.file.clone(),
+    };
+    let snapshot_entries: Vec<(usize, &SegmentEntry)> = manifest.snapshot_segments().collect();
 
     // Delta-replay state: the oracle graph rebuilt from the predecessor's
     // relationship map, cached while the map stays physically the same.
@@ -1094,7 +1426,7 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
                 &raw,
                 id,
                 &entry.label,
-                engine.snapshots.last(),
+                engine.snapshots.last().map(|a| &**a),
                 &engine.interner,
                 engine.n_shards,
             )
@@ -1102,7 +1434,7 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
             SegmentKind::Delta => {
                 let payload = decode_delta(&raw, &entry.label, &engine.interner)
                     .map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?;
-                let prev = engine.snapshots.last().ok_or_else(|| {
+                let prev: &Snapshot = engine.snapshots.last().ok_or_else(|| {
                     StoreError::invalid(
                         segref(seg_idx, entry),
                         0,
@@ -1126,20 +1458,10 @@ pub(crate) fn load(dir: &Path) -> Result<QueryEngine, StoreError> {
             }
         };
         snap.interned_watermark = watermarks[snap_idx];
-        engine.snapshots.push(snap);
+        engine.snapshots.push(Arc::new(snap));
     }
 
-    if let Some((seg_idx, entry)) = manifest
-        .segments
-        .iter()
-        .enumerate()
-        .find(|(_, e)| e.kind == SegmentKind::Roa)
-    {
-        let raw = read_segment(dir, seg_idx, entry)?;
-        let table =
-            decode_roas(&raw).map_err(|e| StoreError::corrupt(segref(seg_idx, entry), e))?;
-        engine.set_roas(table);
-    }
+    load_roas(dir, &manifest, &mut engine)?;
 
     engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));
     Ok(engine)

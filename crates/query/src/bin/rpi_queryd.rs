@@ -58,6 +58,8 @@ struct Options {
     bench: bool,
     save: Option<String>,
     archive: Option<String>,
+    hot_cap: Option<usize>,
+    keyframe_every: Option<usize>,
     force: bool,
     listen: Option<String>,
     max_conns: usize,
@@ -68,7 +70,8 @@ fn usage() -> &'static str {
     "usage: rpi-queryd [--size tiny|small|paper|large] [--seed N] \
      [--snapshots N] [--incremental] [--shards N] [--queries FILE] \
      [--roas FILE] [--bench] \
-     [--save DIR [--force]] [--archive DIR] \
+     [--save DIR [--force] [--keyframe-every N]] \
+     [--archive DIR [--hot-cap N]] \
      [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]]"
 }
 
@@ -85,8 +88,16 @@ fn flag_help() -> &'static str {
                        saved into archives, so --archive restores them)
   --bench              run the throughput report instead of serving queries
   --save DIR           write the ingested world as an rpi-store archive, then exit
+  --keyframe-every N   save: force a self-contained keyframe segment every N
+                       snapshots, bounding every delta chain (tiered readers
+                       hydrate a cold snapshot from its nearest keyframe)
   --force              let --save overwrite an existing archive's MANIFEST
   --archive DIR        cold-start from an archive instead of simulating
+  --hot-cap N          attach the archive tiered instead of hydrating it:
+                       map every segment (µs/snapshot), answer point queries
+                       zero-copy off the cold mappings, and keep at most N
+                       snapshots hydrated under LRU (`snapshots` shows
+                       residency; v1 archives fall back to a full load)
   --listen ADDR        serve the query grammar over TCP on ADDR (e.g. 127.0.0.1:4321)
   --max-conns N        serve: concurrent connection cap (default 64)
   --write-buf-cap B    serve: per-connection response-buffer cap in bytes,
@@ -110,6 +121,8 @@ fn parse_args() -> Result<Options, String> {
         bench: false,
         save: None,
         archive: None,
+        hot_cap: None,
+        keyframe_every: None,
         force: false,
         listen: None,
         max_conns: 64,
@@ -153,6 +166,26 @@ fn parse_args() -> Result<Options, String> {
             "--bench" => opts.bench = true,
             "--save" => opts.save = Some(value("--save")?),
             "--archive" => opts.archive = Some(value("--archive")?),
+            "--hot-cap" => {
+                let v = value("--hot-cap")?;
+                let cap = v
+                    .parse()
+                    .map_err(|_| format!("--hot-cap wants a count, got '{v}'"))?;
+                if cap == 0 {
+                    return Err("--hot-cap must be at least 1".into());
+                }
+                opts.hot_cap = Some(cap);
+            }
+            "--keyframe-every" => {
+                let v = value("--keyframe-every")?;
+                let every = v
+                    .parse()
+                    .map_err(|_| format!("--keyframe-every wants a count, got '{v}'"))?;
+                if every == 0 {
+                    return Err("--keyframe-every must be at least 1".into());
+                }
+                opts.keyframe_every = Some(every);
+            }
             "--force" => opts.force = true,
             "--listen" => opts.listen = Some(value("--listen")?),
             "--max-conns" => {
@@ -194,6 +227,14 @@ fn main() -> ExitCode {
 
     if opts.archive.is_some() && opts.bench {
         eprintln!("rpi-queryd: --bench needs a simulated world; drop --archive");
+        return ExitCode::FAILURE;
+    }
+    if opts.hot_cap.is_some() && opts.archive.is_none() {
+        eprintln!("rpi-queryd: --hot-cap tiers an archive; it needs --archive");
+        return ExitCode::FAILURE;
+    }
+    if opts.keyframe_every.is_some() && opts.save.is_none() {
+        eprintln!("rpi-queryd: --keyframe-every shapes an archive; it needs --save");
         return ExitCode::FAILURE;
     }
     if opts.listen.is_some() && (opts.bench || opts.queries.is_some() || opts.save.is_some()) {
@@ -247,23 +288,42 @@ fn main() -> ExitCode {
     let mut engine;
     if let Some(dir) = &opts.archive {
         let t0 = Instant::now();
-        engine = match QueryEngine::load_archive(Path::new(dir)) {
+        let load = match opts.hot_cap {
+            Some(cap) => QueryEngine::load_archive_tiered(Path::new(dir), cap),
+            None => QueryEngine::load_archive(Path::new(dir)),
+        };
+        engine = match load {
             Ok(e) => e,
             Err(e) => {
                 eprintln!("rpi-queryd: --archive: {e}");
                 return ExitCode::FAILURE;
             }
         };
+        let elapsed = t0.elapsed();
         let (asns, prefixes, communities) = engine.interned_sizes();
         let disk = engine.archive_info().map_or(0, |a| a.total_bytes());
         eprintln!(
             "cold-started from {dir} in {:.2?}: {} snapshots ({} on disk), {} shards, \
              interned {asns} ASNs / {prefixes} prefixes / {communities} communities",
-            t0.elapsed(),
+            elapsed,
             engine.snapshot_count(),
             fmt_bytes(disk as u64),
             engine.shard_count(),
         );
+        match (opts.hot_cap, engine.tier_stats()) {
+            (Some(_), Some(stats)) => eprintln!(
+                "tier-attached: {} segments mapped in {:.1} µs/snapshot (hot cap {}); \
+                 point queries answer zero-copy off the cold mappings",
+                stats.snapshots,
+                elapsed.as_micros() as f64 / stats.snapshots.max(1) as f64,
+                stats.hot_cap,
+            ),
+            (Some(_), None) => eprintln!(
+                "note: {dir} predates the vantage directory (format v1); \
+                 loaded fully hydrated, --hot-cap has no effect"
+            ),
+            _ => {}
+        }
     } else {
         eprintln!(
             "building {:?} world (seed {}, {} snapshot{}) …",
@@ -317,7 +377,10 @@ fn main() -> ExitCode {
 
     if let Some(dir) = &opts.save {
         let t0 = Instant::now();
-        return match engine.save_archive(Path::new(dir), opts.force) {
+        let options = rpi_query::SaveOptions {
+            keyframe_every: opts.keyframe_every,
+        };
+        return match engine.save_archive_with(Path::new(dir), opts.force, options) {
             Ok(manifest) => {
                 let full = count_kind(&manifest, rpi_store::SegmentKind::Full);
                 let delta = count_kind(&manifest, rpi_store::SegmentKind::Delta);
@@ -327,8 +390,14 @@ fn main() -> ExitCode {
                 } else {
                     String::new()
                 };
+                let keyframes = manifest.segments.iter().filter(|s| s.is_keyframe()).count();
+                let kf = if keyframes > 0 {
+                    format!("; {keyframes} keyframes")
+                } else {
+                    String::new()
+                };
                 eprintln!(
-                    "saved archive to {dir} in {:.2?}: {} segments (1 symbols, {full} full, {delta} delta{roa}), {} on disk",
+                    "saved archive to {dir} in {:.2?}: {} segments (1 symbols, {full} full, {delta} delta{roa}{kf}), {} on disk",
                     t0.elapsed(),
                     manifest.segments.len(),
                     fmt_bytes(manifest.total_bytes()),

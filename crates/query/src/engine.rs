@@ -269,7 +269,7 @@ pub fn measure_series_ingest(
 #[derive(Debug)]
 pub struct QueryEngine {
     pub(crate) interner: WorldInterner,
-    pub(crate) snapshots: Vec<Snapshot>,
+    pub(crate) snapshots: Vec<Arc<Snapshot>>,
     pub(crate) n_shards: usize,
     /// Customer cones cached for the incremental SA patcher; valid as
     /// long as the ingest oracle's relationships are unchanged (the
@@ -286,6 +286,11 @@ pub struct QueryEngine {
     pub(crate) rov_cache: RovCache,
     /// Monotonic counts of executed security queries.
     pub(crate) sec_counters: SecCounters,
+    /// Set when the engine is **tier-attached**: segments stay memory-
+    /// mapped on disk and snapshots hydrate on demand into a bounded hot
+    /// set. `snapshots` is empty in that mode — every snapshot handle
+    /// comes through [`Self::snap_arc`].
+    pub(crate) tier: Option<crate::tier::Tier>,
 }
 
 /// Per-verb security-query counters (`rov` counts every point
@@ -317,6 +322,7 @@ impl QueryEngine {
             roas: Arc::new(RoaTable::default()),
             rov_cache: RovCache::default(),
             sec_counters: SecCounters::default(),
+            tier: None,
         }
     }
 
@@ -352,28 +358,39 @@ impl QueryEngine {
         self.n_shards
     }
 
-    /// Number of ingested snapshots.
+    /// Number of ingested snapshots (in tiered mode: archived snapshots,
+    /// resident or not).
     pub fn snapshot_count(&self) -> usize {
-        self.snapshots.len()
+        match &self.tier {
+            Some(t) => t.len(),
+            None => self.snapshots.len(),
+        }
     }
 
     /// Snapshot labels in ingestion order.
     pub fn labels(&self) -> impl Iterator<Item = &str> {
-        self.snapshots.iter().map(|s| s.label.as_str())
+        match &self.tier {
+            Some(t) => Box::new(t.labels()) as Box<dyn Iterator<Item = &str> + '_>,
+            None => Box::new(self.snapshots.iter().map(|s| s.label.as_str())),
+        }
     }
 
     /// The most recently ingested snapshot (the default query target).
     pub fn latest(&self) -> Option<SnapshotId> {
-        let n = self.snapshots.len();
+        let n = self.snapshot_count();
         (n > 0).then(|| SnapshotId((n - 1) as u32))
     }
 
     /// The snapshot carrying `label`, if any (first match wins).
     pub fn find_label(&self, label: &str) -> Option<SnapshotId> {
-        self.snapshots
-            .iter()
-            .position(|s| s.label == label)
-            .map(|i| SnapshotId(i as u32))
+        match &self.tier {
+            Some(t) => t.find_label(label),
+            None => self
+                .snapshots
+                .iter()
+                .position(|s| s.label == label)
+                .map(|i| SnapshotId(i as u32)),
+        }
     }
 
     /// `(distinct ASNs, distinct prefixes, distinct communities)` interned.
@@ -393,7 +410,7 @@ impl QueryEngine {
         let mut snap =
             Snapshot::from_output(id, label, out, oracle, &mut self.interner, self.n_shards);
         snap.interned_watermark = self.interner.sizes();
-        self.snapshots.push(snap);
+        self.snapshots.push(Arc::new(snap));
         id
     }
 
@@ -498,11 +515,11 @@ impl QueryEngine {
         let delta = output_delta(prev_out, out);
         let id = SnapshotId(self.snapshots.len() as u32);
         let sizes_before = self.interner.sizes();
-        let prev = &self.snapshots[prev_id.index()];
+        let prev = Arc::clone(&self.snapshots[prev_id.index()]);
         let mut snap = Snapshot::from_output_incremental(
             id,
             label,
-            prev,
+            &prev,
             &delta,
             out,
             oracle,
@@ -523,7 +540,7 @@ impl QueryEngine {
         // (`save_archive` persists them as a delta segment when the
         // replay-eligibility policy allows).
         snap.provenance = crate::snapshot::Provenance::Delta(std::sync::Arc::new(delta));
-        self.snapshots.push(snap);
+        self.snapshots.push(Arc::new(snap));
         id
     }
 
@@ -560,7 +577,25 @@ impl QueryEngine {
         dir: &std::path::Path,
         force: bool,
     ) -> Result<rpi_store::Manifest, rpi_store::StoreError> {
-        crate::archive::save(self, dir, force)
+        self.save_archive_with(dir, force, crate::archive::SaveOptions::default())
+    }
+
+    /// [`Self::save_archive`] with an explicit keyframe policy (what
+    /// `rpi-queryd --keyframe-every` passes through). Tier-attached
+    /// engines cannot save — they don't hold the world in memory; load
+    /// fully hydrated first.
+    pub fn save_archive_with(
+        &mut self,
+        dir: &std::path::Path,
+        force: bool,
+        options: crate::archive::SaveOptions,
+    ) -> Result<rpi_store::Manifest, rpi_store::StoreError> {
+        if self.tier.is_some() {
+            return Err(rpi_store::StoreError::Unsupported {
+                what: "saving a tier-attached engine (load it fully hydrated first)".to_string(),
+            });
+        }
+        crate::archive::save(self, dir, force, options)
     }
 
     /// Cold-starts an engine from an archive written by
@@ -572,6 +607,34 @@ impl QueryEngine {
     /// load with the segment index and byte offset.
     pub fn load_archive(dir: &std::path::Path) -> Result<QueryEngine, rpi_store::StoreError> {
         crate::archive::load(dir)
+    }
+
+    /// Attaches to an archive in **tiered** mode: full segments are
+    /// memory-mapped, not decoded — a per-snapshot attach costs
+    /// microseconds — and exact `route`/`resolve`/`rov` point queries
+    /// against cold snapshots are answered zero-copy off the mapping.
+    /// Anything deeper hydrates the snapshot (replaying its delta chain
+    /// from the nearest keyframe) into a hot set bounded by `hot_cap`
+    /// (clamped to ≥ 1, least-recently-used eviction).
+    ///
+    /// Archives written before the vantage directory existed (manifest
+    /// format v1) cannot be mapped; they fall back to a fully hydrated
+    /// [`Self::load_archive`] — [`Self::tier_stats`] is `None` then.
+    pub fn load_archive_tiered(
+        dir: &std::path::Path,
+        hot_cap: usize,
+    ) -> Result<QueryEngine, rpi_store::StoreError> {
+        crate::tier::load_tiered(dir, hot_cap)
+    }
+
+    /// The cold tier's residency counters, when tier-attached.
+    pub fn tier_stats(&self) -> Option<crate::tier::TierStats> {
+        self.tier.as_ref().map(|t| t.stats())
+    }
+
+    /// Where snapshot `id` currently lives, when tier-attached.
+    pub fn residency(&self, id: SnapshotId) -> Option<crate::tier::Residency> {
+        self.tier.as_ref().and_then(|t| t.residency(id))
     }
 
     /// Where this engine's bytes live on disk, if it was loaded from or
@@ -619,12 +682,26 @@ impl QueryEngine {
         let mut snap =
             Snapshot::from_collector(id, label, &view, &oracle, &mut self.interner, self.n_shards);
         snap.interned_watermark = self.interner.sizes();
-        self.snapshots.push(snap);
+        self.snapshots.push(Arc::new(snap));
         Ok(id)
     }
 
     fn snapshot(&self, id: SnapshotId) -> Option<&Snapshot> {
-        self.snapshots.get(id.index())
+        self.snapshots.get(id.index()).map(|a| &**a)
+    }
+
+    /// The snapshot behind `id` as a shared handle — straight from the
+    /// in-memory list, or hydrated out of the cold tier (replaying its
+    /// delta chain from the nearest keyframe) when tier-attached.
+    pub(crate) fn snap_arc(&self, id: SnapshotId) -> Result<Arc<Snapshot>, QueryError> {
+        match &self.tier {
+            Some(tier) => tier.snapshot(self, id),
+            None => self
+                .snapshots
+                .get(id.index())
+                .cloned()
+                .ok_or(QueryError::UnknownSnapshot(id)),
+        }
     }
 
     /// The vantages of the latest snapshot, ascending by ASN.
@@ -633,8 +710,13 @@ impl QueryEngine {
             .map_or_else(Vec::new, |id| self.vantages_in(id))
     }
 
-    /// The vantages of a specific snapshot, ascending by ASN.
+    /// The vantages of a specific snapshot, ascending by ASN. On a
+    /// tier-attached engine this reads the mapped segment's vantage
+    /// directory where possible, so listing vantages never hydrates.
     pub fn vantages_in(&self, id: SnapshotId) -> Vec<(Asn, VantageKind)> {
+        if let Some(tier) = &self.tier {
+            return tier.vantages(self, id);
+        }
         let Some(snap) = self.snapshot(id) else {
             return Vec::new();
         };
@@ -656,16 +738,20 @@ impl QueryEngine {
         match &req.query {
             Query::Diff => {
                 let (from, to) = self.diff_scope(&req.scope)?;
-                let a = &self.snapshots[from.index()];
-                let b = &self.snapshots[to.index()];
-                Ok(Response::Diff(SnapshotDiff::between(&self.interner, a, b)))
+                let a = self.snap_arc(from)?;
+                let b = self.snap_arc(to)?;
+                Ok(Response::Diff(SnapshotDiff::between(
+                    &self.interner,
+                    &a,
+                    &b,
+                )))
             }
             // Hijack detection is a history walk with no vantage operand,
             // so it cannot share `eval_history`'s vantage validation.
             Query::Hijacks => {
                 let ids = self.scope_ids(&req.query, &req.scope)?;
                 self.sec_counters.hijacks.fetch_add(1, Ordering::Relaxed);
-                Ok(Response::Hijacks(crate::sec::hijack_events(self, &ids)))
+                Ok(Response::Hijacks(crate::sec::hijack_events(self, &ids)?))
             }
             q if q.is_history() => {
                 let ids = self.scope_ids(q, &req.scope)?;
@@ -673,7 +759,7 @@ impl QueryEngine {
             }
             q => {
                 let id = self.single_scope(q, &req.scope)?;
-                Ok(self.eval_point(q, id))
+                self.eval_point(q, id)
             }
         }
     }
@@ -700,27 +786,39 @@ impl QueryEngine {
     }
 
     /// Evaluates a point query against one already-validated snapshot.
-    pub(crate) fn eval_point(&self, query: &Query, id: SnapshotId) -> Response {
-        match *query {
+    /// On a tier-attached engine, exact `route`/`resolve`/`rov` lookups
+    /// against a cold full segment are answered zero-copy off the
+    /// mapped bytes; everything else hydrates through
+    /// [`Self::snap_arc`].
+    pub(crate) fn eval_point(&self, query: &Query, id: SnapshotId) -> Result<Response, QueryError> {
+        if let Some(tier) = &self.tier {
+            if let Some(resp) = tier.try_cold(self, query, id)? {
+                return Ok(resp);
+            }
+        }
+        let snap = self.snap_arc(id)?;
+        Ok(match *query {
             Query::Route { vantage, prefix } => {
-                Response::Route(self.route_point(id, vantage, prefix))
+                Response::Route(self.route_point(&snap, vantage, prefix))
             }
             Query::Resolve { vantage, prefix } => {
-                Response::Route(self.resolve_point(id, vantage, prefix))
+                Response::Route(self.resolve_point(&snap, vantage, prefix))
             }
-            Query::SaStatus { vantage, prefix } => Response::Sa(self.sa_point(id, vantage, prefix)),
-            Query::Relationship { a, b } => Response::Relationship(self.rel_point(id, a, b)),
-            Query::PolicySummary { asn } => Response::Summary(self.summary_point(id, asn)),
+            Query::SaStatus { vantage, prefix } => {
+                Response::Sa(self.sa_point(&snap, vantage, prefix))
+            }
+            Query::Relationship { a, b } => Response::Relationship(self.rel_point(&snap, a, b)),
+            Query::PolicySummary { asn } => Response::Summary(self.summary_point(&snap, asn)),
             Query::Rov { vantage, prefix } => {
                 self.sec_counters.rov.fetch_add(1, Ordering::Relaxed);
-                Response::Rov(crate::sec::rov_point(self, id, vantage, prefix))
+                Response::Rov(crate::sec::rov_point(self, &snap, vantage, prefix))
             }
             Query::Leaks => {
                 self.sec_counters.leaks.fetch_add(1, Ordering::Relaxed);
-                Response::Leaks(crate::sec::leak_events(self, id))
+                Response::Leaks(crate::sec::leak_events(self, &snap))
             }
             _ => unreachable!("history and diff queries never reach eval_point"),
-        }
+        })
     }
 
     fn eval_history(&self, query: &Query, ids: &[SnapshotId]) -> Result<Response, QueryError> {
@@ -729,14 +827,15 @@ impl QueryEngine {
                 self.interner
                     .lookup_asn(vantage)
                     .ok_or(QueryError::UnknownVantage(vantage))?;
-                let points = ids
-                    .iter()
-                    .map(|&id| SaHistoryPoint {
+                let mut points = Vec::with_capacity(ids.len());
+                for &id in ids {
+                    let snap = self.snap_arc(id)?;
+                    points.push(SaHistoryPoint {
                         snapshot: id,
-                        label: self.snapshots[id.index()].label.clone(),
-                        status: self.sa_point(id, vantage, prefix),
-                    })
-                    .collect();
+                        label: snap.label.clone(),
+                        status: self.sa_point(&snap, vantage, prefix),
+                    });
+                }
                 Ok(Response::SaHistory(points))
             }
             Query::UptimeHistogram { vantage } => {
@@ -747,7 +846,7 @@ impl QueryEngine {
                 let mut present: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
                 let mut sa_count: BTreeMap<Ipv4Prefix, usize> = BTreeMap::new();
                 for &id in ids {
-                    let snap = &self.snapshots[id.index()];
+                    let snap = self.snap_arc(id)?;
                     for p in snap.table_prefixes(v) {
                         *present.entry(p).or_insert(0) += 1;
                     }
@@ -768,7 +867,8 @@ impl QueryEngine {
                     .ok_or(QueryError::UnknownVantage(vantage))?;
                 let mut per_origin: BTreeMap<Asn, BTreeSet<Ipv4Prefix>> = BTreeMap::new();
                 for &id in ids {
-                    let Some(cache) = self.snapshots[id.index()].sa.get(&v) else {
+                    let snap = self.snap_arc(id)?;
+                    let Some(cache) = snap.sa.get(&v) else {
                         continue;
                     };
                     for (&ps, &origin) in &cache.sa {
@@ -797,7 +897,7 @@ impl QueryEngine {
                 let ps = self.interner.lookup_prefix(prefix);
                 let (mut present, mut sa) = (0usize, 0usize);
                 for &id in ids {
-                    let snap = &self.snapshots[id.index()];
+                    let snap = self.snap_arc(id)?;
                     if snap.route(v, prefix).is_some() {
                         present += 1;
                     }
@@ -820,29 +920,29 @@ impl QueryEngine {
 
     // ---------- point evaluation (shared by execute and the wrappers) ----------
 
-    fn route_point(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> Option<RouteAnswer> {
-        let snap = self.snapshot(id)?;
+    fn route_point(
+        &self,
+        snap: &Snapshot,
+        vantage: Asn,
+        prefix: Ipv4Prefix,
+    ) -> Option<RouteAnswer> {
         let v = self.interner.lookup_asn(vantage)?;
         let route = snap.route(v, prefix)?;
-        Some(self.answer(id, vantage, prefix, route))
+        Some(self.answer(snap.id, vantage, prefix, route))
     }
 
     fn resolve_point(
         &self,
-        id: SnapshotId,
+        snap: &Snapshot,
         vantage: Asn,
         prefix: Ipv4Prefix,
     ) -> Option<RouteAnswer> {
-        let snap = self.snapshot(id)?;
         let v = self.interner.lookup_asn(vantage)?;
         let (matched, route) = snap.route_lpm(v, prefix)?;
-        Some(self.answer(id, vantage, matched, route))
+        Some(self.answer(snap.id, vantage, matched, route))
     }
 
-    fn sa_point(&self, id: SnapshotId, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
-        let Some(snap) = self.snapshot(id) else {
-            return SaStatus::UnknownVantage;
-        };
+    fn sa_point(&self, snap: &Snapshot, vantage: Asn, prefix: Ipv4Prefix) -> SaStatus {
         let Some(v) = self.interner.lookup_asn(vantage) else {
             return SaStatus::UnknownVantage;
         };
@@ -869,15 +969,13 @@ impl QueryEngine {
         }
     }
 
-    fn rel_point(&self, id: SnapshotId, a: Asn, b: Asn) -> Option<Relationship> {
-        let snap = self.snapshot(id)?;
+    fn rel_point(&self, snap: &Snapshot, a: Asn, b: Asn) -> Option<Relationship> {
         let sa = self.interner.lookup_asn(a)?;
         let sb = self.interner.lookup_asn(b)?;
         snap.relationships.get(&(sa, sb)).copied()
     }
 
-    fn summary_point(&self, id: SnapshotId, asn: Asn) -> Option<PolicySummary> {
-        let snap = self.snapshot(id)?;
+    fn summary_point(&self, snap: &Snapshot, asn: Asn) -> Option<PolicySummary> {
         let s = self.interner.lookup_asn(asn)?;
         let table = snap.vantages.get(&s);
         let cache = snap.sa.get(&s);

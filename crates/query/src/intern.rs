@@ -103,6 +103,74 @@ impl WorldInterner {
     }
 }
 
+/// What the snapshot patching machinery needs from a symbol table.
+///
+/// Live ingest patches against the engine's mutable [`WorldInterner`];
+/// the cold tier replays delta chains against a [`FrozenInterner`] — the
+/// loaded archive's tables, which already hold every symbol any archived
+/// event references (the symbol segment records them, and
+/// `decode_delta` pre-validates events against it), so replay never
+/// needs to intern anything.
+pub(crate) trait Interning {
+    /// The symbol for `a`, interning it if the table is mutable.
+    fn asn(&mut self, a: Asn) -> AsnSym;
+    /// The symbol for `p`, interning it if the table is mutable.
+    fn prefix(&mut self, p: Ipv4Prefix) -> PrefixSym;
+    /// The symbol of an ASN already in the table.
+    fn lookup_asn(&self, a: Asn) -> Option<AsnSym>;
+    /// The symbol of a prefix already in the table.
+    fn lookup_prefix(&self, p: Ipv4Prefix) -> Option<PrefixSym>;
+    /// The ASN behind a symbol.
+    fn resolve_asn(&self, s: AsnSym) -> Asn;
+}
+
+impl Interning for WorldInterner {
+    fn asn(&mut self, a: Asn) -> AsnSym {
+        WorldInterner::asn(self, a)
+    }
+    fn prefix(&mut self, p: Ipv4Prefix) -> PrefixSym {
+        WorldInterner::prefix(self, p)
+    }
+    fn lookup_asn(&self, a: Asn) -> Option<AsnSym> {
+        WorldInterner::lookup_asn(self, a)
+    }
+    fn lookup_prefix(&self, p: Ipv4Prefix) -> Option<PrefixSym> {
+        WorldInterner::lookup_prefix(self, p)
+    }
+    fn resolve_asn(&self, s: AsnSym) -> Asn {
+        WorldInterner::resolve_asn(self, s)
+    }
+}
+
+/// A read-only view of a [`WorldInterner`] that satisfies [`Interning`]
+/// by requiring every symbol to already exist. The cold tier hydrates
+/// snapshots concurrently under a shared engine reference, so it cannot
+/// take `&mut` on the engine's interner — and never needs to: the
+/// archive's symbol segment recorded every symbol up front.
+pub(crate) struct FrozenInterner<'a>(pub &'a WorldInterner);
+
+impl Interning for FrozenInterner<'_> {
+    fn asn(&mut self, a: Asn) -> AsnSym {
+        self.0
+            .lookup_asn(a)
+            .expect("tier replay references an ASN missing from the loaded symbol table")
+    }
+    fn prefix(&mut self, p: Ipv4Prefix) -> PrefixSym {
+        self.0
+            .lookup_prefix(p)
+            .expect("tier replay references a prefix missing from the loaded symbol table")
+    }
+    fn lookup_asn(&self, a: Asn) -> Option<AsnSym> {
+        self.0.lookup_asn(a)
+    }
+    fn lookup_prefix(&self, p: Ipv4Prefix) -> Option<PrefixSym> {
+        self.0.lookup_prefix(p)
+    }
+    fn resolve_asn(&self, s: AsnSym) -> Asn {
+        self.0.resolve_asn(s)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

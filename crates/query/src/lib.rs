@@ -98,8 +98,9 @@ pub mod proto;
 pub mod sec;
 pub mod serve;
 pub mod snapshot;
+pub mod tier;
 
-pub use archive::{ArchiveInfo, SegmentMeta};
+pub use archive::{ArchiveInfo, SaveOptions, SegmentMeta};
 pub use diff::{RelationshipFlip, SnapshotDiff, VantageChurn};
 pub use engine::{
     measure_series_ingest, BatchProfile, PolicySummary, QueryEngine, RouteAnswer, SaStatus,
@@ -114,3 +115,4 @@ pub use proto::{
 };
 pub use serve::{ServeConfig, ServeStats, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};
+pub use tier::{Residency, TierStats};

@@ -40,6 +40,17 @@ pub enum QueryError {
     },
     /// A history query names an AS the engine never saw at ingest time.
     UnknownVantage(Asn),
+    /// A cold-tier segment failed its lazy checksum or parse: the engine
+    /// refuses to answer from bytes it cannot vouch for. Carries the
+    /// segment file and the absolute byte offset of the failure.
+    Corrupt {
+        /// The segment file inside the archive directory.
+        file: String,
+        /// Absolute byte offset of the failure within the segment.
+        offset: usize,
+        /// What was wrong there.
+        what: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -55,6 +66,9 @@ impl fmt::Display for QueryError {
                 write!(f, "'{query}' needs {need}")
             }
             QueryError::UnknownVantage(a) => write!(f, "{a} was never seen at ingest time"),
+            QueryError::Corrupt { file, offset, what } => {
+                write!(f, "segment {file} corrupt at byte {offset}: {what}")
+            }
         }
     }
 }
@@ -249,7 +263,7 @@ pub(crate) fn run_batch(
                         let answers: Vec<(usize, Result<Response, QueryError>)> = match work {
                             LaneWork::Shard(bucket) => bucket
                                 .iter()
-                                .map(|&(i, id)| (i, Ok(engine.eval_point(&reqs[i].query, id))))
+                                .map(|&(i, id)| (i, engine.eval_point(&reqs[i].query, id)))
                                 .collect(),
                             LaneWork::General(bucket) => bucket
                                 .iter()

@@ -23,23 +23,20 @@ use bgp_types::{Asn, Ipv4Prefix, Relationship};
 
 use crate::engine::QueryEngine;
 use crate::intern::AsnSym;
+use crate::plan::QueryError;
 use crate::proto::{HijackEvent, HijackKind, LeakEvent, RovAnswer};
 use crate::snapshot::{Snapshot, SnapshotId};
 
 /// Validates the vantage's best route for `prefix` against the engine's
-/// ROA table. Unknown snapshot ids and non-vantage ASes answer
-/// [`RovAnswer::UnknownVantage`]; a vantage without the exact route
-/// answers [`RovAnswer::NoRoute`] — negative answers, not errors, like
-/// every other point query.
+/// ROA table. Non-vantage ASes answer [`RovAnswer::UnknownVantage`]; a
+/// vantage without the exact route answers [`RovAnswer::NoRoute`] —
+/// negative answers, not errors, like every other point query.
 pub(crate) fn rov_point(
     engine: &QueryEngine,
-    id: SnapshotId,
+    snap: &Snapshot,
     vantage: Asn,
     prefix: Ipv4Prefix,
 ) -> RovAnswer {
-    let Some(snap) = engine.snapshots.get(id.index()) else {
-        return RovAnswer::UnknownVantage;
-    };
     let Some(v) = engine.interner.lookup_asn(vantage) else {
         return RovAnswer::UnknownVantage;
     };
@@ -154,17 +151,21 @@ fn covering_base(
 /// * [`HijackKind::Moas`] — a baseline prefix announced by ≥2 distinct
 ///   origins in one snapshot, reported for each non-owner origin (a
 ///   multi-origin *baseline* is accepted state and never reported).
-pub(crate) fn hijack_events(engine: &QueryEngine, ids: &[SnapshotId]) -> Vec<HijackEvent> {
+pub(crate) fn hijack_events(
+    engine: &QueryEngine,
+    ids: &[SnapshotId],
+) -> Result<Vec<HijackEvent>, QueryError> {
     let Some(&first) = ids.first() else {
-        return Vec::new();
+        return Ok(Vec::new());
     };
-    let base = origins_per_prefix(engine, &engine.snapshots[first.index()]);
+    let first_snap = engine.snap_arc(first)?;
+    let base = origins_per_prefix(engine, &first_snap);
     let mut seen: HashSet<(HijackKind, Ipv4Prefix, Asn)> = HashSet::new();
     let mut events = Vec::new();
     for &id in ids {
-        let snap = &engine.snapshots[id.index()];
-        let origins = origins_per_prefix(engine, snap);
-        let mut cones = SnapshotCones::build(engine, snap);
+        let snap = engine.snap_arc(id)?;
+        let origins = origins_per_prefix(engine, &snap);
+        let mut cones = SnapshotCones::build(engine, &snap);
         let mut push =
             |kind: HijackKind, prefix: Ipv4Prefix, origin: Asn, owners: &BTreeSet<Asn>| {
                 events.push(HijackEvent {
@@ -204,7 +205,7 @@ pub(crate) fn hijack_events(engine: &QueryEngine, ids: &[SnapshotId]) -> Vec<Hij
             }
         }
     }
-    events
+    Ok(events)
 }
 
 /// The phase machine of [`net_topology::classify_path`] at symbol level,
@@ -255,10 +256,7 @@ fn valley_leaker(
 /// the vantage is prepended before classification — the leak verdict
 /// must cover the final hop into the vantage too. Events are ordered by
 /// (vantage, prefix).
-pub(crate) fn leak_events(engine: &QueryEngine, id: SnapshotId) -> Vec<LeakEvent> {
-    let Some(snap) = engine.snapshots.get(id.index()) else {
-        return Vec::new();
-    };
+pub(crate) fn leak_events(engine: &QueryEngine, snap: &Snapshot) -> Vec<LeakEvent> {
     let mut vantages: Vec<(Asn, AsnSym)> = snap
         .vantages
         .keys()

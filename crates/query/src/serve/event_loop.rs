@@ -50,6 +50,7 @@ impl StatsInner {
             leak_queries,
             rov_cache_hits: cache.hits,
             rov_cache_misses: cache.misses,
+            tier: engine.tier_stats(),
             elapsed: started.elapsed(),
         }
     }

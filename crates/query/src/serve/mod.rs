@@ -120,6 +120,10 @@ pub struct ServeStats {
     pub rov_cache_hits: u64,
     /// ROV validation cache misses on the shared engine.
     pub rov_cache_misses: u64,
+    /// The cold tier's residency counters when the shared engine is
+    /// tier-attached (`--archive … --hot-cap N`); `None` on fully
+    /// hydrated engines.
+    pub tier: Option<crate::tier::TierStats>,
     /// Time since the server bound its listener.
     pub elapsed: Duration,
 }
@@ -135,12 +139,21 @@ impl ServeStats {
         }
     }
 
-    /// The one-line summary the daemon prints on shutdown.
+    /// The one-line summary the daemon prints on shutdown. Tier-attached
+    /// engines append their residency counters; hydrated engines render
+    /// exactly as before.
     pub fn render(&self) -> String {
+        let tier = match &self.tier {
+            Some(t) => format!(
+                ", tier {}/{} hot (cap {}) {} hydrations / {} evictions / {} cold hits",
+                t.hot, t.snapshots, t.hot_cap, t.hydrations, t.evictions, t.cold_hits,
+            ),
+            None => String::new(),
+        };
         format!(
             "served {} queries over {} connections in {:.2?} ({:.0} queries/s lifetime): \
              {} B in / {} B out, {} errors, {} rejected, {} shed idle, write-buf peak {} B, \
-             sec rov {} / hijacks {} / leaks {} (rov cache {} hits / {} misses)",
+             sec rov {} / hijacks {} / leaks {} (rov cache {} hits / {} misses){tier}",
             self.queries,
             self.accepted,
             self.elapsed,

@@ -7,6 +7,8 @@
 //! [`serve`](crate::serve) front end produce **byte-identical** output
 //! for the same lines — the property the CI network smoke diffs.
 
+use rpi_store::SegmentKind;
+
 use crate::engine::QueryEngine;
 use crate::proto::{parse, parse_control, Control, ParseError, QueryRequest, GRAMMAR};
 use crate::snapshot::{SnapshotId, VantageKind};
@@ -88,34 +90,54 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
              archive (list on-disk segments), ping, quit, shutdown (stop the whole server)"
         ),
         ReplCmd::Snapshots => {
-            let lines: Vec<String> = engine
+            // A tier-attached engine lists residency instead of trie
+            // sharing (cold snapshots have no hydrated tries to share,
+            // and counting their vantages must not hydrate them).
+            let tiered = engine.tier_stats().is_some();
+            let mut lines: Vec<String> = engine
                 .labels()
                 .enumerate()
                 .map(|(i, l)| {
                     let id = SnapshotId(i as u32);
-                    let n = engine.vantages_in(id).len();
-                    let sharing = match engine.sharing_with_prev(id) {
-                        Some((shared, total)) if shared > 0 => {
-                            format!(", {shared}/{total} trie nodes shared with prev")
-                        }
-                        _ => String::new(),
-                    };
-                    // Storage next to sharing: what the snapshot costs on
-                    // disk when the engine lives in an archive.
                     let disk = match engine.segment_meta(id) {
                         Some(meta) => {
                             format!(", disk {} ({})", fmt_bytes(meta.bytes), meta.kind.name())
                         }
                         None => ", disk -".to_string(),
                     };
-                    format!("{i}: {l} ({n} vantages{sharing}{disk})")
+                    if tiered {
+                        let residency = match engine.residency(id) {
+                            Some(crate::tier::Residency::Hot) => "hot",
+                            _ => "cold",
+                        };
+                        format!("{i}: {l} ({residency}{disk})")
+                    } else {
+                        let n = engine.vantages_in(id).len();
+                        let sharing = match engine.sharing_with_prev(id) {
+                            Some((shared, total)) if shared > 0 => {
+                                format!(", {shared}/{total} trie nodes shared with prev")
+                            }
+                            _ => String::new(),
+                        };
+                        // Storage next to sharing: what the snapshot
+                        // costs on disk when the engine lives in an
+                        // archive.
+                        format!("{i}: {l} ({n} vantages{sharing}{disk})")
+                    }
                 })
                 .collect();
+            if let Some(t) = engine.tier_stats() {
+                lines.push(format!(
+                    "tier: {}/{} hot (cap {}), {} attaches, {} hydrations, \
+                     {} evictions, {} cold hits",
+                    t.hot, t.snapshots, t.hot_cap, t.attaches, t.hydrations, t.evictions,
+                    t.cold_hits,
+                ));
+            }
             // Security state rides along: the loaded ROA table and the
             // engine-lifetime ROV/detection counters.
             let cache = engine.rov_cache_stats();
             let (rov, hijacks, leaks) = engine.sec_query_counts();
-            let mut lines = lines;
             lines.push(format!(
                 "sec: {} ROAs, rov cache {} hits / {} misses, \
                  queries rov {rov} / hijacks {hijacks} / leaks {leaks}",
@@ -134,6 +156,20 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
                     1 + info.snapshots.len() + usize::from(info.roas.is_some()),
                     fmt_bytes(info.total_bytes() as u64),
                 )];
+                // Chain structure: each snapshot's replay distance from
+                // the nearest keyframe (a self-contained full segment a
+                // cold reader can attach to). Pre-keyframe archives have
+                // no flagged segments and print no suffixes.
+                let mut depths: Vec<Option<usize>> = Vec::with_capacity(info.snapshots.len());
+                for meta in &info.snapshots {
+                    let depth = if meta.keyframe {
+                        Some(0)
+                    } else {
+                        depths.last().copied().flatten().map(|d| d + 1)
+                    };
+                    depths.push(depth);
+                }
+                let mut snap_idx = 0usize;
                 let all = std::iter::once(&info.symbols)
                     .chain(&info.snapshots)
                     .chain(&info.roas);
@@ -143,13 +179,39 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
                     } else {
                         format!(" label {}", meta.label)
                     };
+                    let chain = match meta.kind {
+                        SegmentKind::Full | SegmentKind::Delta => {
+                            let d = depths[snap_idx];
+                            snap_idx += 1;
+                            match d {
+                                Some(0) => " [keyframe]".to_string(),
+                                Some(d) => format!(" [chain {d}]"),
+                                None => String::new(),
+                            }
+                        }
+                        _ => String::new(),
+                    };
                     lines.push(format!(
-                        "  {}: {} {} {} crc 0x{:08x}{label}",
+                        "  {}: {} {} {} crc 0x{:08x}{label}{chain}",
                         meta.index,
                         meta.file,
                         meta.kind.name(),
                         fmt_bytes(meta.bytes),
                         meta.crc32,
+                    ));
+                }
+                let keyframes: Vec<String> = info
+                    .snapshots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.keyframe)
+                    .map(|(i, _)| i.to_string())
+                    .collect();
+                if !keyframes.is_empty() {
+                    let longest = depths.iter().flatten().max().copied().unwrap_or(0);
+                    lines.push(format!(
+                        "  keyframes at snapshot {{{}}}; longest replay chain {longest}",
+                        keyframes.join(", "),
                     ));
                 }
                 lines.join("\n")

@@ -30,7 +30,7 @@ use rpi_core::export_policy::sa_prefixes;
 use rpi_core::import_policy::lg_typicality;
 use rpi_core::view::BestTable;
 
-use crate::intern::{AsnSym, PrefixSym, WorldInterner};
+use crate::intern::{AsnSym, Interning, PrefixSym, WorldInterner};
 
 /// Index of a snapshot inside its engine, in ingestion order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -329,14 +329,19 @@ impl Snapshot {
     /// segment replay path (`crate::archive`), which is how "load of a
     /// delta segment ≡ full re-index" inherits the incremental ingest's
     /// differential-testing contract.
+    ///
+    /// Generic over [`Interning`] because the cold tier replays archived
+    /// deltas under a shared engine reference: it patches with a
+    /// read-only [`crate::intern::FrozenInterner`], while live ingest
+    /// keeps interning on miss.
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn patch_vantage(
+    pub(crate) fn patch_vantage<I: Interning>(
         &mut self,
         prev: &Snapshot,
         vantage: Asn,
         vd: Option<&VantageDelta>,
         oracle: &AsGraph,
-        interner: &mut WorldInterner,
+        interner: &mut I,
         cones: &mut HashMap<Asn, CustomerCone>,
         oracle_changed: bool,
     ) {
@@ -673,7 +678,7 @@ fn prev_kind(prev: &Snapshot, interner: &WorldInterner, vantage: Asn) -> Option<
 /// reused by the incremental patcher — the differential fuzz suite holds
 /// the two implementations byte-identical.
 #[allow(clippy::too_many_arguments)]
-fn classify_sa(
+fn classify_sa<I: Interning>(
     cache: &mut SaCache,
     prefix: PrefixSym,
     provider: Asn,
@@ -681,7 +686,7 @@ fn classify_sa(
     origin: Asn,
     oracle: &AsGraph,
     cone: &CustomerCone,
-    interner: &mut WorldInterner,
+    interner: &mut I,
 ) {
     if origin == provider || !cone.contains(origin) {
         return;

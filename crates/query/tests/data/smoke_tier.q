@@ -1,0 +1,49 @@
+# rpi-tier smoke: the tiny seed-11 world, 200 daily snapshots ingested
+# incrementally and saved with `--save /tmp/rpi-tier --keyframe-every 16`,
+# then attached with `--archive /tmp/rpi-tier --hot-cap 4` and piped through
+# this file. CI diffs the output against the committed golden — and drives
+# the same script over TCP — so every answer below is pinned byte-identical
+# whether the snapshot it touches is hot, cold, or hydrated mid-query.
+#
+# The listings run first, while the tier is untouched: 200 snapshots all
+# cold, zero hydrations, and the archive's keyframe/chain structure. Later
+# lines mix zero-copy cold point queries with verbs that hydrate through
+# the LRU (cap 4, far below 200) — their rendered answers carry no
+# residency state, which is exactly the contract.
+
+snapshots
+archive
+
+# Zero-copy off the cold mappings: exact route, resolve, rov at explicit
+# snapshot ids across the whole archive (keyframes sit at 0, 16, 32, …).
+route AS1 4.0.0.0/13
+route AS1 4.0.0.0/13 @0
+route AS1 4.0.0.0/13 @96
+resolve AS1 4.0.0.1/32
+resolve AS1 4.0.0.1/32 @160
+rov AS1 4.0.0.0/13
+rov AS1 3.0.0.0/14 @32
+rov AS1 2.0.0.0/12 @64
+rov AS1 2.0.0.0/8 @128
+
+# Hydrating verbs: delta-chain replay from the nearest keyframe, bounded
+# by --keyframe-every 16, evicting LRU past --hot-cap 4.
+sa AS1 4.0.0.0/13
+sa AS1 2.0.0.0/8 @17
+rel AS1 AS701 @50
+summary AS1 @199
+summary AS1 @3
+diff @0..199
+
+# History walks spanning hot and cold snapshots.
+sa-history AS1 4.0.0.0/13 @190..199
+uptime AS1 @0..24
+top-sa AS1 3 @90..110
+persistence AS1 4.0.0.0/13 @0..9
+hijacks @100..104
+leaks @199
+
+# Back to the cold path: these ids were hydrated and evicted above; the
+# answers must not care.
+route AS1 4.0.0.0/13 @16
+rov AS1 4.0.0.0/13 @48

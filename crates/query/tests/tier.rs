@@ -1,0 +1,550 @@
+//! The tier correctness contract, enforced differentially: a
+//! tier-attached engine (`--hot-cap`) must answer **every** protocol
+//! verb byte-identically to the fully hydrated engine over the same
+//! archive — zero-copy cold answers, chain-replayed hydrations, LRU
+//! evictions and re-hydrations included — and a damaged mapped segment
+//! must surface as a typed `QueryError::Corrupt`, never a panic and
+//! never a wrong answer.
+//!
+//! The scenario harness mirrors `archive.rs`: seeded churn series drive
+//! keyframed archives, and a seeded query fuzzer compares rendered
+//! responses byte for byte at several hot-cap settings.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use bgp_sim::churn::simulate_series;
+use bgp_sim::{ChurnConfig, GroundTruth, PolicyParams, SimOutput, VantageSpec};
+use bgp_types::{Asn, Ipv4Prefix};
+use net_topology::{AsGraph, InternetConfig, InternetSize};
+use rpi_query::{
+    render_response, Query, QueryEngine, QueryError, QueryRequest, Residency, SaveOptions, Scope,
+    SnapshotId,
+};
+use rpi_sec::{Roa, RoaTable};
+use rpi_store::{Manifest, SegmentKind};
+
+const SNAPSHOTS: usize = 6;
+const QUERIES: usize = 300;
+
+fn tmp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rpi-tier-test-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current()
+            .name()
+            .unwrap_or("t")
+            .replace("::", "-"),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+struct Scenario {
+    labels: Vec<String>,
+    outputs: Vec<SimOutput>,
+    oracles: Vec<AsGraph>,
+    vantages: Vec<Asn>,
+    prefixes: Vec<Ipv4Prefix>,
+}
+
+fn build_scenario(seed: u64) -> Scenario {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x71E2_0A11);
+    let g = InternetConfig::of_size(InternetSize::Tiny)
+        .with_seed(seed)
+        .build();
+    let truth = GroundTruth::generate(&g, &PolicyParams::default());
+    let spec = VantageSpec::paper_like(&g, 8, 4);
+    let cfg = ChurnConfig {
+        seed,
+        steps: SNAPSHOTS,
+        flip_prob: rng.gen_range(0.1..0.6),
+        link_failure_prob: rng.gen_range(0.05..0.4),
+        label: "tr",
+    };
+    let series = simulate_series(&g, &truth, &spec, &cfg);
+
+    let mut vantages: Vec<Asn> = spec.collector_peers.clone();
+    vantages.extend(&spec.lg_ases);
+    vantages.push(Asn(65_500)); // never a vantage
+    vantages.dedup();
+    let mut prefixes: Vec<Ipv4Prefix> = series
+        .snapshots
+        .iter()
+        .flat_map(|o| o.collector.rows.keys().copied())
+        .collect::<std::collections::BTreeSet<_>>()
+        .into_iter()
+        .collect();
+    prefixes.push("203.0.113.0/24".parse().unwrap());
+    prefixes.push("0.0.0.0/0".parse().unwrap());
+
+    Scenario {
+        labels: series.labels,
+        outputs: series.snapshots,
+        oracles: vec![g; SNAPSHOTS],
+        vantages,
+        prefixes,
+    }
+}
+
+fn scenario_roas(sc: &Scenario, seed: u64) -> RoaTable {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x40A5_0A75);
+    let roas = sc
+        .prefixes
+        .iter()
+        .filter(|p| p.len() > 0)
+        .take(8)
+        .map(|&prefix| Roa {
+            prefix,
+            max_len: (prefix.len() + rng.gen_range(0..4u8)).min(32),
+            origin: if rng.gen_bool(0.5) {
+                *sc.vantages.choose(&mut rng).unwrap()
+            } else {
+                Asn(64_496 + rng.gen_range(0..4u32))
+            },
+        })
+        .collect();
+    RoaTable::new(roas)
+}
+
+fn ingest(sc: &Scenario, shards: usize) -> QueryEngine {
+    let mut e = QueryEngine::new(shards);
+    for (i, (label, out)) in sc.labels.iter().zip(&sc.outputs).enumerate() {
+        if i == 0 {
+            e.ingest_output(out, &sc.oracles[i], label);
+        } else {
+            e.ingest_output_incremental(&sc.outputs[i - 1], out, &sc.oracles[i], label);
+        }
+    }
+    e
+}
+
+/// Saves the scenario with the given keyframe cadence and returns the
+/// archive directory plus its manifest.
+fn saved(
+    sc: &Scenario,
+    seed: u64,
+    keyframe_every: Option<usize>,
+    tag: &str,
+) -> (std::path::PathBuf, Manifest) {
+    let mut engine = ingest(sc, 4);
+    engine.set_roas(scenario_roas(sc, seed));
+    let dir = tmp_dir(tag);
+    let manifest = engine
+        .save_archive_with(&dir, false, SaveOptions { keyframe_every })
+        .expect("save");
+    (dir, manifest)
+}
+
+fn arb_point_scope(rng: &mut StdRng, n: usize) -> Scope {
+    match rng.gen_range(0..4u8) {
+        0 => Scope::Latest,
+        1 => Scope::Id(SnapshotId(rng.gen_range(0..n as u32))),
+        2 => Scope::Id(SnapshotId(n as u32 + 3)),
+        _ => Scope::All,
+    }
+}
+
+fn arb_history_scope(rng: &mut StdRng, n: usize) -> Scope {
+    match rng.gen_range(0..3u8) {
+        0 => Scope::All,
+        1 => {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(a..n as u32);
+            Scope::Range(SnapshotId(a), SnapshotId(b))
+        }
+        _ => Scope::Latest,
+    }
+}
+
+/// Every protocol verb, random scopes — the byte-equivalence surface.
+fn arb_request(rng: &mut StdRng, sc: &Scenario, n: usize) -> QueryRequest {
+    let vantage = *sc.vantages.choose(rng).unwrap();
+    let prefix = *sc.prefixes.choose(rng).unwrap();
+    match rng.gen_range(0..13u8) {
+        0 => Query::Route { vantage, prefix }.at(arb_point_scope(rng, n)),
+        1 => Query::Resolve { vantage, prefix }.at(arb_point_scope(rng, n)),
+        2 => Query::SaStatus { vantage, prefix }.at(arb_point_scope(rng, n)),
+        3 => {
+            let b = *sc.vantages.choose(rng).unwrap();
+            Query::Relationship { a: vantage, b }.at(arb_point_scope(rng, n))
+        }
+        4 => Query::PolicySummary { asn: vantage }.at(arb_point_scope(rng, n)),
+        5 => {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            Query::Diff.at(Scope::Range(SnapshotId(a), SnapshotId(b)))
+        }
+        6 => Query::SaHistory { vantage, prefix }.at(arb_history_scope(rng, n)),
+        7 => Query::UptimeHistogram { vantage }.at(arb_history_scope(rng, n)),
+        8 => Query::TopKSaOrigins {
+            vantage,
+            k: rng.gen_range(0..6usize),
+        }
+        .at(arb_history_scope(rng, n)),
+        9 => Query::PersistenceClass { vantage, prefix }.at(arb_history_scope(rng, n)),
+        10 => Query::Rov { vantage, prefix }.at(arb_point_scope(rng, n)),
+        11 => Query::Hijacks.at(arb_history_scope(rng, n)),
+        _ => Query::Leaks.at(arb_point_scope(rng, n)),
+    }
+}
+
+fn rendered(engine: &QueryEngine, req: &QueryRequest) -> String {
+    match engine.execute(req) {
+        Ok(resp) => render_response(req, &resp),
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+/// The tentpole contract: at every hot-cap (1 forces constant eviction,
+/// larger caps mix residencies) the tiered engine's rendered responses
+/// are byte-identical to the hydrated engine's across the whole verb
+/// surface.
+fn run_differential(seed: u64, keyframe_every: Option<usize>, tag: &str) {
+    let sc = build_scenario(seed);
+    let (dir, _) = saved(&sc, seed, keyframe_every, tag);
+    let hydrated = QueryEngine::load_archive(&dir).expect("hydrated load");
+    let n = hydrated.snapshot_count();
+
+    for hot_cap in [1usize, 2, 4] {
+        let tiered = QueryEngine::load_archive_tiered(&dir, hot_cap).expect("tiered load");
+        let stats = tiered.tier_stats().expect("v2 archives tier-attach");
+        assert_eq!(stats.snapshots, n);
+        assert_eq!(stats.hot, 0, "attach must not hydrate anything");
+        assert_eq!(stats.attaches, n as u64);
+        assert_eq!(
+            hydrated.labels().collect::<Vec<_>>(),
+            tiered.labels().collect::<Vec<_>>()
+        );
+
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0AAC_417E ^ hot_cap as u64);
+        let mut answered = 0usize;
+        for i in 0..QUERIES {
+            let req = arb_request(&mut rng, &sc, n);
+            let a = rendered(&hydrated, &req);
+            let b = rendered(&tiered, &req);
+            assert_eq!(
+                a, b,
+                "seed {seed}, hot_cap {hot_cap}, query {i}: tier diverged on {req:?}"
+            );
+            if !a.starts_with("error:") {
+                answered += 1;
+            }
+        }
+        assert!(
+            answered > QUERIES / 2,
+            "seed {seed}: degenerate scenario, only {answered}/{QUERIES} answered"
+        );
+
+        let stats = tiered.tier_stats().unwrap();
+        assert!(
+            stats.hot <= hot_cap.max(1),
+            "hot set exceeded its cap: {stats:?}"
+        );
+        assert!(
+            stats.hydrations > 0,
+            "the fuzz mix must hydrate for history verbs: {stats:?}"
+        );
+        if hot_cap < n {
+            assert!(
+                stats.evictions > 0,
+                "a cap below the snapshot count must evict: {stats:?}"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn differential_keyframed_seed_0xa1() {
+    run_differential(0xA1, Some(2), "a1");
+}
+
+#[test]
+fn differential_keyframed_seed_0xb2() {
+    run_differential(0xB2, Some(3), "b2");
+}
+
+#[test]
+fn differential_unkeyframed_seed_0xc3() {
+    // No forced cadence: only the leading full segment anchors chains.
+    run_differential(0xC3, None, "c3");
+}
+
+/// Extra seeds without a rebuild: `RPI_TIER_SEEDS=7,8 cargo test …`.
+#[test]
+fn differential_extra_seeds_from_env() {
+    let Ok(spec) = std::env::var("RPI_TIER_SEEDS") else {
+        return;
+    };
+    for part in spec.split(',').filter(|s| !s.trim().is_empty()) {
+        let seed: u64 = part
+            .trim()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad seed '{part}' in RPI_TIER_SEEDS"));
+        run_differential(seed, Some(2), "env");
+    }
+}
+
+/// `--keyframe-every N` writes self-contained keyframes on cadence:
+/// every delta chain is bounded by N, the leading full segment is a
+/// keyframe, and flagged entries are exactly the standalone fulls.
+#[test]
+fn keyframe_cadence_bounds_every_chain() {
+    let sc = build_scenario(0xD4);
+    let (dir, manifest) = saved(&sc, 0xD4, Some(2), "cadence");
+    let snaps: Vec<_> = manifest.snapshot_segments().collect();
+    assert_eq!(snaps.len(), SNAPSHOTS);
+    assert!(snaps[0].1.is_keyframe(), "the first segment anchors");
+
+    let mut since_keyframe = 0usize;
+    let mut keyframes = 0usize;
+    for (_, entry) in &snaps {
+        if entry.is_keyframe() {
+            assert_eq!(entry.kind, SegmentKind::Full, "keyframes are full");
+            since_keyframe = 0;
+            keyframes += 1;
+        } else {
+            since_keyframe += 1;
+        }
+        assert!(
+            since_keyframe < 2,
+            "a chain outran --keyframe-every 2: {:?}",
+            snaps
+                .iter()
+                .map(|(_, e)| (e.kind, e.flags))
+                .collect::<Vec<_>>()
+        );
+    }
+    assert!(
+        keyframes >= SNAPSHOTS / 2,
+        "cadence 2 over {SNAPSHOTS} snapshots"
+    );
+
+    // The keyframed archive still loads hydrated, byte-identical.
+    let hydrated = QueryEngine::load_archive(&dir).expect("load");
+    assert_eq!(hydrated.snapshot_count(), SNAPSHOTS);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cold point query against a keyframe-backed snapshot is answered
+/// zero-copy: cold hits accrue, hydrations stay at zero, residency
+/// stays cold.
+#[test]
+fn cold_point_queries_never_hydrate() {
+    let sc = build_scenario(0xE5);
+    let (dir, manifest) = saved(&sc, 0xE5, Some(1), "cold");
+    // Cadence 1: every snapshot is a keyframe — all cold-queryable.
+    assert!(manifest.snapshot_segments().all(|(_, e)| e.is_keyframe()));
+
+    let tiered = QueryEngine::load_archive_tiered(&dir, 1).expect("tiered load");
+    let vantage = sc.vantages[0];
+    let mut asked = 0u64;
+    for i in 0..SNAPSHOTS {
+        let id = SnapshotId(i as u32);
+        for &prefix in sc.prefixes.iter().take(5) {
+            for query in [
+                Query::Route { vantage, prefix },
+                Query::Resolve { vantage, prefix },
+                Query::Rov { vantage, prefix },
+            ] {
+                tiered
+                    .execute(&query.at(Scope::Id(id)))
+                    .expect("cold query");
+                asked += 1;
+            }
+        }
+        assert_eq!(tiered.residency(id), Some(Residency::Cold));
+    }
+    let stats = tiered.tier_stats().unwrap();
+    assert_eq!(
+        stats.hydrations, 0,
+        "point queries must stay on the mapping"
+    );
+    assert_eq!(stats.cold_hits, asked);
+    assert_eq!(stats.hot, 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// LRU round trip: hydrations land hot, the cap evicts the
+/// least-recently-used back to cold, and a re-hydration answers
+/// byte-identically to the first.
+#[test]
+fn eviction_and_rehydration_round_trip() {
+    let sc = build_scenario(0xF6);
+    let (dir, _) = saved(&sc, 0xF6, Some(2), "lru");
+    let hydrated = QueryEngine::load_archive(&dir).expect("hydrated load");
+    let tiered = QueryEngine::load_archive_tiered(&dir, 1).expect("tiered load");
+
+    let asn = sc.vantages[0];
+    let summary_at = |id: u32| Query::PolicySummary { asn }.at(Scope::Id(SnapshotId(id)));
+
+    // Hydrate snapshot 0, then 5 (evicting everything older), then 0
+    // again (re-hydrating from its keyframe).
+    let first = rendered(&tiered, &summary_at(0));
+    assert_eq!(tiered.residency(SnapshotId(0)), Some(Residency::Hot));
+
+    let _ = rendered(&tiered, &summary_at(SNAPSHOTS as u32 - 1));
+    assert_eq!(
+        tiered.residency(SnapshotId(0)),
+        Some(Residency::Cold),
+        "cap 1 must evict snapshot 0"
+    );
+    assert_eq!(
+        tiered.residency(SnapshotId(SNAPSHOTS as u32 - 1)),
+        Some(Residency::Hot)
+    );
+
+    let again = rendered(&tiered, &summary_at(0));
+    assert_eq!(first, again, "re-hydration changed an answer");
+    assert_eq!(first, rendered(&hydrated, &summary_at(0)));
+
+    let stats = tiered.tier_stats().unwrap();
+    assert!(stats.evictions > 0);
+    assert_eq!(stats.hot, 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// History walks spanning hot and cold snapshots answer identically to
+/// the hydrated engine (the walk hydrates cold members through the LRU
+/// mid-query).
+#[test]
+fn history_spans_hot_and_cold() {
+    let sc = build_scenario(0x17);
+    let (dir, _) = saved(&sc, 0x17, Some(2), "hist");
+    let hydrated = QueryEngine::load_archive(&dir).expect("hydrated load");
+    let tiered = QueryEngine::load_archive_tiered(&dir, 2).expect("tiered load");
+
+    // Pin one snapshot hot first, so the @all walk genuinely mixes
+    // residencies.
+    let asn = sc.vantages[0];
+    let _ = rendered(
+        &tiered,
+        &Query::PolicySummary { asn }.at(Scope::Id(SnapshotId(2))),
+    );
+
+    for &vantage in sc.vantages.iter().take(4) {
+        for &prefix in sc.prefixes.iter().take(4) {
+            for req in [
+                Query::SaHistory { vantage, prefix }.at(Scope::All),
+                Query::UptimeHistogram { vantage }.at(Scope::All),
+                Query::PersistenceClass { vantage, prefix }
+                    .at(Scope::Range(SnapshotId(1), SnapshotId(4))),
+                Query::Hijacks.at(Scope::All),
+            ] {
+                assert_eq!(
+                    rendered(&hydrated, &req),
+                    rendered(&tiered, &req),
+                    "history diverged on {req:?}"
+                );
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A flipped byte in a mapped segment surfaces on first touch as a typed
+/// `QueryError::Corrupt` naming the file — lazily, so the attach itself
+/// still succeeds, and the error is an answer, never a panic.
+#[test]
+fn corrupt_mapped_segment_is_a_typed_error() {
+    let sc = build_scenario(0x28);
+    let (dir, manifest) = saved(&sc, 0x28, Some(1), "corrupt");
+    let entry = manifest
+        .snapshot_segments()
+        .next()
+        .map(|(_, e)| e.clone())
+        .expect("snapshot segments exist");
+    let path = dir.join(&entry.file);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Attach succeeds: integrity is checked lazily, at first read.
+    let tiered = QueryEngine::load_archive_tiered(&dir, 1).expect("attach is lazy");
+    let req = Query::Route {
+        vantage: sc.vantages[0],
+        prefix: sc.prefixes[0],
+    }
+    .at(Scope::Id(SnapshotId(0)));
+    match tiered.execute(&req) {
+        Err(QueryError::Corrupt { file, what, .. }) => {
+            assert_eq!(file, entry.file);
+            assert!(what.contains("checksum"), "unexpected what: {what}");
+        }
+        other => panic!("wanted Corrupt, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tier-attached engines are read-only servers: saving one is a typed
+/// `Unsupported` error, not a half-serialized archive.
+#[test]
+fn tiered_engine_refuses_to_save() {
+    let sc = build_scenario(0x39);
+    let (dir, _) = saved(&sc, 0x39, Some(2), "resave");
+    let mut tiered = QueryEngine::load_archive_tiered(&dir, 1).expect("tiered load");
+    let dir2 = tmp_dir("resave2");
+    match tiered.save_archive(&dir2, false) {
+        Err(rpi_store::StoreError::Unsupported { .. }) => {}
+        other => panic!("wanted Unsupported, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir2);
+}
+
+/// An archive whose full segments predate the vantage directory (the v1
+/// segment layout) cannot be mapped; `load_archive_tiered` falls back to
+/// the fully hydrated loader and still answers every query. The fixture
+/// is fabricated by stripping the directory back out of a v2 segment —
+/// byte-exactly the v1 layout.
+#[test]
+fn v1_archive_falls_back_to_hydrated_load() {
+    let sc = build_scenario(0x4B);
+    let (dir, manifest) = saved(&sc, 0x4B, None, "v1");
+    let hydrated = QueryEngine::load_archive(&dir).expect("hydrated load");
+
+    // Strip every full snapshot segment down to its v1 layout: clear the
+    // directory flag (it sits right after the label) and drop the
+    // trailing directory + footer.
+    let mut fixed = manifest.clone();
+    for (idx, entry) in manifest.snapshot_segments() {
+        if entry.kind != SegmentKind::Full {
+            continue;
+        }
+        let path = dir.join(&entry.file);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let label_len = bytes[0] as usize; // short labels: 1-byte varint
+        assert_eq!(&bytes[1..1 + label_len], entry.label.as_bytes());
+        let flags_at = 1 + label_len;
+        assert_ne!(bytes[flags_at] & 0x2, 0, "v2 fulls carry a directory");
+        bytes[flags_at] &= !0x2;
+        let dir_offset =
+            u64::from_be_bytes(bytes[bytes.len() - 12..bytes.len() - 4].try_into().unwrap());
+        bytes.truncate(dir_offset as usize);
+        std::fs::write(&path, &bytes).unwrap();
+        fixed.segments[idx].bytes = bytes.len() as u64;
+        fixed.segments[idx].crc32 = rpi_store::crc32(&bytes);
+        fixed.segments[idx].flags = 0; // v1 had no keyframe flags
+    }
+    fixed.write(&dir, true).unwrap();
+
+    let fallback = QueryEngine::load_archive_tiered(&dir, 2).expect("fallback load");
+    assert!(
+        fallback.tier_stats().is_none(),
+        "a v1 archive must load hydrated"
+    );
+    assert_eq!(fallback.snapshot_count(), hydrated.snapshot_count());
+
+    let mut rng = StdRng::seed_from_u64(0x4B ^ 0x0AAC_417E);
+    for _ in 0..60 {
+        let req = arb_request(&mut rng, &sc, SNAPSHOTS);
+        assert_eq!(
+            rendered(&hydrated, &req),
+            rendered(&fallback, &req),
+            "v1 fallback diverged on {req:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -96,6 +96,13 @@ pub enum StoreError {
         /// What was being decoded.
         what: String,
     },
+    /// The operation needs state this engine does not hold (e.g. saving
+    /// from a tiered cold-start, which never materializes every
+    /// snapshot).
+    Unsupported {
+        /// What was attempted and why it cannot work.
+        what: String,
+    },
 }
 
 impl StoreError {
@@ -131,7 +138,7 @@ impl fmt::Display for StoreError {
             }
             StoreError::Version { found, supported } => write!(
                 f,
-                "unsupported archive format version {found} (this build reads version {supported})"
+                "unsupported archive format version {found} (this build reads versions up to {supported})"
             ),
             StoreError::ManifestCorrupt { offset, what } => {
                 write!(f, "manifest corrupt at byte {offset}: {what}")
@@ -162,6 +169,7 @@ impl fmt::Display for StoreError {
                 offset,
                 what,
             } => write!(f, "{segment} corrupt at byte {offset}: {what}"),
+            StoreError::Unsupported { what } => write!(f, "unsupported operation: {what}"),
         }
     }
 }

@@ -14,8 +14,18 @@
 //! manifest := magic[8] version:u32 n_shards:u32 n_segments:u32
 //!             segment* crc32:u32
 //! segment  := kind:u8 bytes:u64 crc32:u32 str(file) str(label)
+//!             [flags:u8]                      (version ≥ 2)
 //! str      := len:u32 utf8[len]
 //! ```
+//!
+//! ## Version negotiation
+//!
+//! The segment layout is a versioned, backward-compatible contract:
+//! this build writes [`FORMAT_VERSION`] and reads every version from
+//! [`MIN_FORMAT_VERSION`] up. Version 1 rows have no flags byte —
+//! parsing defaults their flags to zero, so v1 archives load unchanged.
+//! Within a version, unknown flag bits are rejected loudly: a future
+//! writer that needs new per-segment state must bump the version.
 
 use std::path::Path;
 
@@ -27,8 +37,19 @@ use crate::error::StoreError;
 /// First 8 bytes of every manifest.
 pub const MAGIC: [u8; 8] = *b"RPISTOR\x01";
 
-/// The manifest format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The manifest format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest manifest format version this build still reads.
+pub const MIN_FORMAT_VERSION: u32 = 1;
+
+/// Segment flag (version ≥ 2): the segment is a **keyframe** — a fully
+/// self-contained snapshot that can be decoded with no predecessor, so
+/// a cold reader can attach here and replay only the chain after it.
+pub const SEG_FLAG_KEYFRAME: u8 = 1;
+
+/// All segment flag bits this build understands.
+const SEG_FLAG_MASK: u8 = SEG_FLAG_KEYFRAME;
 
 /// Name of the manifest file inside an archive directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -91,6 +112,16 @@ pub struct SegmentEntry {
     pub crc32: u32,
     /// Snapshot label (empty for the symbols segment).
     pub label: String,
+    /// Per-segment flag bits ([`SEG_FLAG_KEYFRAME`]); always zero when
+    /// parsed from a version-1 manifest, which has no flags byte.
+    pub flags: u8,
+}
+
+impl SegmentEntry {
+    /// Whether the segment is a self-contained keyframe.
+    pub fn is_keyframe(&self) -> bool {
+        self.flags & SEG_FLAG_KEYFRAME != 0
+    }
 }
 
 /// The archive's table of contents.
@@ -142,6 +173,9 @@ impl Manifest {
             out.put_u32(seg.crc32);
             put_str(&mut out, &seg.file);
             put_str(&mut out, &seg.label);
+            if self.version >= 2 {
+                out.put_u8(seg.flags);
+            }
         }
         let crc = crc32(&out);
         out.put_u32(crc);
@@ -216,7 +250,7 @@ impl Manifest {
         };
 
         let version = buf.try_get_u32().map_err(|_| short(&buf, "version"))?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(StoreError::Version {
                 found: version,
                 supported: FORMAT_VERSION,
@@ -243,12 +277,26 @@ impl Manifest {
                 .map_err(|_| short(&buf, "segment checksum"))?;
             let file = get_str(&mut buf, at, "segment file name")?;
             let label = get_str(&mut buf, at, "segment label")?;
+            let flags = if version >= 2 {
+                let offset = at(&buf);
+                let flags = buf.try_get_u8().map_err(|_| short(&buf, "segment flags"))?;
+                if flags & !SEG_FLAG_MASK != 0 {
+                    return Err(StoreError::ManifestCorrupt {
+                        offset,
+                        what: format!("unknown segment flags {flags:#04x} in row {i}"),
+                    });
+                }
+                flags
+            } else {
+                0
+            };
             segments.push(SegmentEntry {
                 kind,
                 file,
                 bytes,
                 crc32,
                 label,
+                flags,
             });
         }
         if buf.has_remaining() {
@@ -305,6 +353,7 @@ mod tests {
             bytes: 1234,
             crc32: 0xAABBCCDD,
             label: String::new(),
+            flags: 0,
         });
         m.segments.push(SegmentEntry {
             kind: SegmentKind::Full,
@@ -312,6 +361,7 @@ mod tests {
             bytes: 9876,
             crc32: 1,
             label: "day-01".into(),
+            flags: SEG_FLAG_KEYFRAME,
         });
         m.segments.push(SegmentEntry {
             kind: SegmentKind::Delta,
@@ -319,6 +369,7 @@ mod tests {
             bytes: 55,
             crc32: 2,
             label: "day-02".into(),
+            flags: 0,
         });
         m.segments.push(SegmentEntry {
             kind: SegmentKind::Roa,
@@ -326,6 +377,7 @@ mod tests {
             bytes: 77,
             crc32: 3,
             label: String::new(),
+            flags: 0,
         });
         m
     }
@@ -339,6 +391,34 @@ mod tests {
         assert_eq!(back.total_bytes(), 1234 + 9876 + 55 + 77);
         // Symbols and ROA rows are engine state, not snapshots.
         assert_eq!(back.snapshot_segments().count(), 2);
+        assert!(back.segments[1].is_keyframe());
+        assert!(!back.segments[2].is_keyframe());
+    }
+
+    #[test]
+    fn version_1_manifests_still_parse() {
+        // A v1 writer encoded no flags byte; its archives must load
+        // unchanged, with every row's flags defaulted to zero.
+        let mut m = sample();
+        m.version = 1;
+        for seg in &mut m.segments {
+            seg.flags = 0;
+        }
+        let bytes = m.to_bytes();
+        let back = Manifest::parse(&bytes, Path::new("M")).unwrap();
+        assert_eq!(back, m);
+        assert!(back.segments.iter().all(|s| !s.is_keyframe()));
+    }
+
+    #[test]
+    fn unknown_segment_flags_are_rejected() {
+        let mut m = sample();
+        m.segments[1].flags = 0x80 | SEG_FLAG_KEYFRAME;
+        let bytes = m.to_bytes();
+        assert!(matches!(
+            Manifest::parse(&bytes, Path::new("M")),
+            Err(StoreError::ManifestCorrupt { .. })
+        ));
     }
 
     #[test]

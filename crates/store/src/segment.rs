@@ -34,6 +34,7 @@ pub fn write_segment(
         bytes: payload.len() as u64,
         crc32: crc32(payload),
         label: label.to_string(),
+        flags: 0,
     })
 }
 
