@@ -32,6 +32,7 @@ pub mod engine;
 pub mod export;
 pub mod policy;
 pub mod routers;
+pub mod stream;
 
 pub use attack::{inject_attack, AttackKind, AttackScenario};
 pub use churn::{output_delta, ChurnConfig, DeltaRoute, OutputDelta, SnapshotSeries, VantageDelta};
@@ -44,3 +45,4 @@ pub use policy::{
     PolicyParams, Scope,
 };
 pub use routers::{split_into_routers, RouterView};
+pub use stream::{StreamFrame, StreamStep, StreamWriter, STREAM_MAGIC};

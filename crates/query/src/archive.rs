@@ -80,7 +80,7 @@ pub struct SegmentMeta {
 }
 
 impl SegmentMeta {
-    fn from_entry(index: usize, e: &SegmentEntry) -> SegmentMeta {
+    pub(crate) fn from_entry(index: usize, e: &SegmentEntry) -> SegmentMeta {
         SegmentMeta {
             index,
             kind: e.kind,
@@ -394,7 +394,7 @@ fn rel_maps_equal(a: &Snapshot, b: &Snapshot) -> bool {
 /// relationship sharing so the segment decodes with no predecessor — the
 /// keyframe policy's lever. Returns the payload and whether it came out
 /// self-contained (a keyframe the cold tier can attach to).
-fn encode_full(
+pub(crate) fn encode_full(
     snap: &Snapshot,
     prev: Option<&Snapshot>,
     force_standalone: bool,
@@ -895,7 +895,7 @@ pub(crate) fn decode_full(
 
 /// The archive's full-vs-delta policy: the retained events, iff they are
 /// cleanly replayable against the predecessor without any view data.
-fn delta_plan<'a>(snap: &'a Snapshot, prev: &Snapshot) -> Option<&'a Arc<OutputDelta>> {
+pub(crate) fn delta_plan<'a>(snap: &'a Snapshot, prev: &Snapshot) -> Option<&'a Arc<OutputDelta>> {
     let Provenance::Delta(delta) = &snap.provenance else {
         return None;
     };
@@ -916,7 +916,7 @@ fn delta_plan<'a>(snap: &'a Snapshot, prev: &Snapshot) -> Option<&'a Arc<OutputD
     survives.then_some(delta)
 }
 
-fn encode_delta(
+pub(crate) fn encode_delta(
     snap: &Snapshot,
     prev: &Snapshot,
     delta: &OutputDelta,

@@ -64,6 +64,11 @@ struct Options {
     listen: Option<String>,
     max_conns: usize,
     write_buf_cap: usize,
+    follow: Option<String>,
+    window: usize,
+    spill: Option<String>,
+    emit_deltas: Option<String>,
+    emit_delay_ms: u64,
 }
 
 fn usage() -> &'static str {
@@ -72,7 +77,9 @@ fn usage() -> &'static str {
      [--roas FILE] [--bench] \
      [--save DIR [--force] [--keyframe-every N]] \
      [--archive DIR [--hot-cap N]] \
-     [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]]"
+     [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]] \
+     [--follow FILE [--window N] [--spill DIR]] \
+     [--emit-deltas FILE [--emit-delay-ms MS]]"
 }
 
 fn flag_help() -> &'static str {
@@ -102,6 +109,20 @@ fn flag_help() -> &'static str {
   --max-conns N        serve: concurrent connection cap (default 64)
   --write-buf-cap B    serve: per-connection response-buffer cap in bytes,
                        past which the connection is backpressured (default 262144)
+  --follow FILE        serve while ingesting: tail the structured delta-event
+                       stream in FILE (what --emit-deltas writes), publish an
+                       immutable engine epoch per snapshot, and answer queries
+                       — over --listen or the stdin REPL — from the latest
+                       published epoch; readers are never blocked by, and never
+                       observe, a publication in progress
+  --window N           follow: snapshots kept hydrated in memory (default 4);
+                       older ones spill to segments and stay queryable cold
+  --spill DIR          follow: spill segment directory (default FILE.spill)
+  --emit-deltas FILE   simulate the churn series and write it to FILE as a
+                       delta-event stream for --follow, then exit
+  --emit-delay-ms MS   emit-deltas: pause MS milliseconds before each snapshot
+                       frame, so a concurrent --follow daemon ingests a
+                       genuinely growing file (default 0)
 
 serve example (the same grammar, line by line; `quit` ends a connection,
 `shutdown` stops the server and prints its stats):
@@ -127,6 +148,11 @@ fn parse_args() -> Result<Options, String> {
         listen: None,
         max_conns: 64,
         write_buf_cap: 256 * 1024,
+        follow: None,
+        window: 4,
+        spill: None,
+        emit_deltas: None,
+        emit_delay_ms: 0,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -206,6 +232,24 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--write-buf-cap must be at least 1".into());
                 }
             }
+            "--follow" => opts.follow = Some(value("--follow")?),
+            "--window" => {
+                let v = value("--window")?;
+                opts.window = v
+                    .parse()
+                    .map_err(|_| format!("--window wants a count, got '{v}'"))?;
+                if opts.window == 0 {
+                    return Err("--window must be at least 1".into());
+                }
+            }
+            "--spill" => opts.spill = Some(value("--spill")?),
+            "--emit-deltas" => opts.emit_deltas = Some(value("--emit-deltas")?),
+            "--emit-delay-ms" => {
+                let v = value("--emit-delay-ms")?;
+                opts.emit_delay_ms = v
+                    .parse()
+                    .map_err(|_| format!("--emit-delay-ms wants milliseconds, got '{v}'"))?;
+            }
             "--help" | "-h" => {
                 println!("{}\n\n{}", usage(), flag_help());
                 std::process::exit(0);
@@ -233,12 +277,33 @@ fn main() -> ExitCode {
         eprintln!("rpi-queryd: --hot-cap tiers an archive; it needs --archive");
         return ExitCode::FAILURE;
     }
-    if opts.keyframe_every.is_some() && opts.save.is_none() {
-        eprintln!("rpi-queryd: --keyframe-every shapes an archive; it needs --save");
+    if opts.keyframe_every.is_some() && opts.save.is_none() && opts.follow.is_none() {
+        eprintln!("rpi-queryd: --keyframe-every shapes an archive; it needs --save or --follow");
         return ExitCode::FAILURE;
     }
     if opts.listen.is_some() && (opts.bench || opts.queries.is_some() || opts.save.is_some()) {
         eprintln!("rpi-queryd: --listen serves TCP; drop --bench/--queries/--save");
+        return ExitCode::FAILURE;
+    }
+    if opts.follow.is_some()
+        && (opts.bench || opts.queries.is_some() || opts.save.is_some() || opts.archive.is_some())
+    {
+        eprintln!("rpi-queryd: --follow ingests live; drop --bench/--queries/--save/--archive");
+        return ExitCode::FAILURE;
+    }
+    if opts.emit_deltas.is_some()
+        && (opts.follow.is_some()
+            || opts.listen.is_some()
+            || opts.bench
+            || opts.queries.is_some()
+            || opts.save.is_some()
+            || opts.archive.is_some())
+    {
+        eprintln!("rpi-queryd: --emit-deltas writes a stream and exits; run it alone");
+        return ExitCode::FAILURE;
+    }
+    if (opts.spill.is_some() || opts.window != 4) && opts.follow.is_none() {
+        eprintln!("rpi-queryd: --window/--spill tune live ingest; they need --follow");
         return ExitCode::FAILURE;
     }
 
@@ -283,6 +348,23 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+
+    // Generator mode: simulate the churn series and write it as a
+    // structured delta-event stream a concurrent `--follow` daemon can
+    // tail. The file is created (with its header) before the expensive
+    // world build finishes frame production, and each frame is written
+    // atomically enough for a tailing reader: frames are length-prefixed,
+    // so a partial tail parses as "need more bytes", never as a frame.
+    if let Some(path) = &opts.emit_deltas {
+        return emit_deltas(&opts, path);
+    }
+
+    // Live mode: a writer thread tails the stream and publishes an
+    // engine epoch per snapshot; the server (or stdin REPL) answers
+    // every batch from the latest published epoch.
+    if let Some(path) = opts.follow.clone() {
+        return follow_and_serve(&opts, path, roa_table, listener);
+    }
 
     let mut exp = None;
     let mut engine;
@@ -482,6 +564,200 @@ fn main() -> ExitCode {
                 let _ = std::io::stdout().flush();
             }
             ExitCode::SUCCESS
+        }
+    }
+}
+
+/// `--emit-deltas`: simulate, then stream — header first, one
+/// length-prefixed frame per snapshot (paced by `--emit-delay-ms`), the
+/// end marker last.
+fn emit_deltas(opts: &Options, path: &str) -> ExitCode {
+    use std::io::Write as _;
+    eprintln!(
+        "building {:?} world (seed {}, {} snapshot{}) …",
+        opts.size,
+        opts.seed,
+        opts.snapshots,
+        if opts.snapshots == 1 { "" } else { "s" }
+    );
+    let t0 = Instant::now();
+    let e = Experiment::standard(opts.size, opts.seed);
+    let cfg = ChurnConfig {
+        steps: opts.snapshots,
+        ..ChurnConfig::daily(opts.seed ^ 0xC0FFEE)
+    };
+    let series = simulate_series(&e.graph, &e.truth, &e.spec, &cfg);
+    let mut file = match std::fs::File::create(path) {
+        Ok(f) => f,
+        Err(err) => {
+            eprintln!("rpi-queryd: --emit-deltas: cannot create {path}: {err}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let write = |file: &mut std::fs::File, bytes: &[u8]| -> Result<(), std::io::Error> {
+        file.write_all(bytes)?;
+        file.flush()
+    };
+    let (mut sw, header) = bgp_sim::StreamWriter::open(&e.inferred_graph);
+    let mut emitted = 0usize;
+    let result = write(&mut file, &header).and_then(|()| {
+        for (i, (label, out)) in series.labels.iter().zip(&series.snapshots).enumerate() {
+            if opts.emit_delay_ms > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(opts.emit_delay_ms));
+            }
+            let frame = sw.frame(label, out, None);
+            write(&mut file, &frame)?;
+            emitted = i + 1;
+            eprintln!("emit: wrote snapshot {emitted} ({label})");
+        }
+        write(&mut file, &sw.end())
+    });
+    if let Err(err) = result {
+        eprintln!("rpi-queryd: --emit-deltas: writing {path}: {err}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "emitted {emitted} snapshot{} to {path} in {:.2?}",
+        if emitted == 1 { "" } else { "s" },
+        t0.elapsed(),
+    );
+    ExitCode::SUCCESS
+}
+
+/// `--follow`: spawn the live writer thread, then serve (TCP or stdin
+/// REPL) from the latest published epoch until shutdown.
+fn follow_and_serve(
+    opts: &Options,
+    path: String,
+    roa_table: Option<rpi_sec::RoaTable>,
+    listener: Option<std::net::TcpListener>,
+) -> ExitCode {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let mut base = QueryEngine::new(opts.shards);
+    if let Some(table) = roa_table {
+        let roa_path = opts.roas.as_deref().expect("table implies --roas");
+        eprintln!("loaded {} ROAs from {roa_path}", table.len());
+        base.set_roas(table);
+    }
+    let handle = rpi_query::LiveHandle::new(base);
+    let spill = opts
+        .spill
+        .clone()
+        .unwrap_or_else(|| format!("{path}.spill"));
+    let live_opts = rpi_query::LiveOptions {
+        window: opts.window,
+        keyframe_every: opts.keyframe_every.unwrap_or(4),
+    };
+    eprintln!(
+        "live: following {path} (window {}, keyframe every {}, spill {spill})",
+        live_opts.window, live_opts.keyframe_every,
+    );
+    let stop = Arc::new(AtomicBool::new(false));
+    let writer = {
+        let handle = Arc::clone(&handle);
+        let stop = Arc::clone(&stop);
+        let path = path.clone();
+        let spill = spill.clone();
+        std::thread::spawn(move || {
+            // The generator may not have created the file yet.
+            while !Path::new(&path).exists() {
+                if stop.load(Ordering::Acquire) {
+                    return Ok(rpi_query::FollowReport {
+                        snapshots: 0,
+                        end: rpi_query::FollowEnd::Stopped,
+                    });
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            let result = rpi_query::follow_stream(
+                Path::new(&path),
+                handle,
+                Path::new(&spill),
+                live_opts,
+                std::time::Duration::from_millis(2),
+                &stop,
+                |n, label| eprintln!("live: published snapshot {n} ({label})"),
+            );
+            match &result {
+                Ok(report) if report.end == rpi_query::FollowEnd::EndMarker => eprintln!(
+                    "live: reached end of stream after {} snapshots; serving the final world",
+                    report.snapshots
+                ),
+                Ok(_) => {}
+                Err(e) => eprintln!("rpi-queryd: --follow: {e}"),
+            }
+            result
+        })
+    };
+
+    let served = if let Some(listener) = listener {
+        let cfg = ServeConfig {
+            max_conns: opts.max_conns,
+            write_buf_cap: opts.write_buf_cap,
+            ..ServeConfig::default()
+        };
+        let source = rpi_query::EngineSource::Live(Arc::clone(&handle));
+        let server = match Server::with_listener_source(source, listener, cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("rpi-queryd: --listen: {e}");
+                stop.store(true, Ordering::Release);
+                let _ = writer.join();
+                return ExitCode::FAILURE;
+            }
+        };
+        match server.local_addr() {
+            Ok(addr) => eprintln!(
+                "serving on {addr} ({} max conns, {} write-buf cap); a 'shutdown' line stops the server",
+                opts.max_conns,
+                fmt_bytes(opts.write_buf_cap as u64),
+            ),
+            Err(e) => {
+                eprintln!("rpi-queryd: --listen: {e}");
+                stop.store(true, Ordering::Release);
+                let _ = writer.join();
+                return ExitCode::FAILURE;
+            }
+        }
+        match server.run() {
+            Ok(stats) => {
+                eprintln!("{}", stats.render());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("rpi-queryd: serve: {e}");
+                ExitCode::FAILURE
+            }
+        }
+    } else {
+        // Stdin REPL against the moving world: each line loads the
+        // epoch current at that moment, so one line's answer is one
+        // consistent snapshot of the published state.
+        let stdin = std::io::stdin();
+        print!("> ");
+        let _ = std::io::stdout().flush();
+        for line in stdin.lock().lines() {
+            let Ok(line) = line else { break };
+            let epoch = handle.current();
+            match run_line(&epoch, &line) {
+                Outcome::Quit => break,
+                Outcome::Ok => {}
+                Outcome::Err(e) => println!("error: {e}"),
+            }
+            print!("> ");
+            let _ = std::io::stdout().flush();
+        }
+        ExitCode::SUCCESS
+    };
+
+    stop.store(true, Ordering::Release);
+    match writer.join() {
+        Ok(Ok(_)) => served,
+        Ok(Err(_)) => ExitCode::FAILURE,
+        Err(_) => {
+            eprintln!("rpi-queryd: --follow: the writer thread panicked");
+            ExitCode::FAILURE
         }
     }
 }

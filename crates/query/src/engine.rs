@@ -282,15 +282,25 @@ pub struct QueryEngine {
     /// every route validates `unknown`). Engine-wide, not per snapshot —
     /// ROAs come from the registry side of the world, not from ingest.
     pub(crate) roas: Arc<RoaTable>,
-    /// Bounded (prefix, origin) → verdict cache over `roas`.
-    pub(crate) rov_cache: RovCache,
-    /// Monotonic counts of executed security queries.
-    pub(crate) sec_counters: SecCounters,
+    /// Bounded (prefix, origin) → verdict cache over `roas`. Behind an
+    /// `Arc` so live epochs share one cache (and its hit counters)
+    /// across publications.
+    pub(crate) rov_cache: Arc<RovCache>,
+    /// Monotonic counts of executed security queries; shared across live
+    /// epochs the same way.
+    pub(crate) sec_counters: Arc<SecCounters>,
     /// Set when the engine is **tier-attached**: segments stay memory-
     /// mapped on disk and snapshots hydrate on demand into a bounded hot
     /// set. `snapshots` is empty in that mode — every snapshot handle
-    /// comes through [`Self::snap_arc`].
-    pub(crate) tier: Option<crate::tier::Tier>,
+    /// comes through [`Self::snap_arc`]. Behind an `Arc` because a live
+    /// writer appends to the tier while published epochs read it.
+    pub(crate) tier: Option<Arc<crate::tier::Tier>>,
+    /// Set on **live epoch** engines ([`crate::live`]): the number of
+    /// snapshots this epoch exposes. The shared tier keeps growing after
+    /// publication; the horizon pins every scope resolution — and so
+    /// every query — to the world as of this epoch, so a reader holding
+    /// the epoch never observes a half-published snapshot.
+    pub(crate) horizon: Option<u32>,
 }
 
 /// Per-verb security-query counters (`rov` counts every point
@@ -320,9 +330,10 @@ impl QueryEngine {
             cones: HashMap::new(),
             archive: None,
             roas: Arc::new(RoaTable::default()),
-            rov_cache: RovCache::default(),
-            sec_counters: SecCounters::default(),
+            rov_cache: Arc::new(RovCache::default()),
+            sec_counters: Arc::new(SecCounters::default()),
             tier: None,
+            horizon: None,
         }
     }
 
@@ -359,20 +370,31 @@ impl QueryEngine {
     }
 
     /// Number of ingested snapshots (in tiered mode: archived snapshots,
-    /// resident or not).
+    /// resident or not; on a live epoch: published as of this epoch).
     pub fn snapshot_count(&self) -> usize {
-        match &self.tier {
+        let n = match &self.tier {
             Some(t) => t.len(),
             None => self.snapshots.len(),
+        };
+        match self.horizon {
+            Some(h) => n.min(h as usize),
+            None => n,
         }
     }
 
     /// Snapshot labels in ingestion order.
-    pub fn labels(&self) -> impl Iterator<Item = &str> {
-        match &self.tier {
-            Some(t) => Box::new(t.labels()) as Box<dyn Iterator<Item = &str> + '_>,
-            None => Box::new(self.snapshots.iter().map(|s| s.label.as_str())),
-        }
+    pub fn labels(&self) -> Vec<String> {
+        let n = self.snapshot_count();
+        let mut labels = match &self.tier {
+            Some(t) => t.labels(n),
+            None => self
+                .snapshots
+                .iter()
+                .map(|s| s.label.clone())
+                .collect::<Vec<_>>(),
+        };
+        labels.truncate(n);
+        labels
     }
 
     /// The most recently ingested snapshot (the default query target).
@@ -381,16 +403,18 @@ impl QueryEngine {
         (n > 0).then(|| SnapshotId((n - 1) as u32))
     }
 
-    /// The snapshot carrying `label`, if any (first match wins).
+    /// The snapshot carrying `label`, if any (first match wins; on a
+    /// live epoch, only snapshots published as of this epoch match).
     pub fn find_label(&self, label: &str) -> Option<SnapshotId> {
-        match &self.tier {
+        let id = match &self.tier {
             Some(t) => t.find_label(label),
             None => self
                 .snapshots
                 .iter()
                 .position(|s| s.label == label)
                 .map(|i| SnapshotId(i as u32)),
-        }
+        }?;
+        (id.index() < self.snapshot_count()).then_some(id)
     }
 
     /// `(distinct ASNs, distinct prefixes, distinct communities)` interned.
@@ -629,11 +653,16 @@ impl QueryEngine {
 
     /// The cold tier's residency counters, when tier-attached.
     pub fn tier_stats(&self) -> Option<crate::tier::TierStats> {
-        self.tier.as_ref().map(|t| t.stats())
+        self.tier
+            .as_ref()
+            .map(|t| t.stats(self.horizon.map(|h| h as usize)))
     }
 
     /// Where snapshot `id` currently lives, when tier-attached.
     pub fn residency(&self, id: SnapshotId) -> Option<crate::tier::Residency> {
+        if id.index() >= self.snapshot_count() {
+            return None;
+        }
         self.tier.as_ref().and_then(|t| t.residency(id))
     }
 
@@ -694,6 +723,11 @@ impl QueryEngine {
     /// in-memory list, or hydrated out of the cold tier (replaying its
     /// delta chain from the nearest keyframe) when tier-attached.
     pub(crate) fn snap_arc(&self, id: SnapshotId) -> Result<Arc<Snapshot>, QueryError> {
+        if id.index() >= self.snapshot_count() {
+            // Beyond the epoch horizon: the shared tier may already hold
+            // newer snapshots, but this epoch must not serve them.
+            return Err(QueryError::UnknownSnapshot(id));
+        }
         match &self.tier {
             Some(tier) => tier.snapshot(self, id),
             None => self
@@ -714,6 +748,9 @@ impl QueryEngine {
     /// tier-attached engine this reads the mapped segment's vantage
     /// directory where possible, so listing vantages never hydrates.
     pub fn vantages_in(&self, id: SnapshotId) -> Vec<(Asn, VantageKind)> {
+        if id.index() >= self.snapshot_count() {
+            return Vec::new();
+        }
         if let Some(tier) = &self.tier {
             return tier.vantages(self, id);
         }
@@ -791,12 +828,27 @@ impl QueryEngine {
     /// mapped bytes; everything else hydrates through
     /// [`Self::snap_arc`].
     pub(crate) fn eval_point(&self, query: &Query, id: SnapshotId) -> Result<Response, QueryError> {
-        if let Some(tier) = &self.tier {
-            if let Some(resp) = tier.try_cold(self, query, id)? {
-                return Ok(resp);
+        let snap = match &self.tier {
+            Some(tier) => {
+                if id.index() >= self.snapshot_count() {
+                    // Beyond the epoch horizon: the shared tier may
+                    // already hold newer snapshots, but this epoch must
+                    // not serve them.
+                    return Err(QueryError::UnknownSnapshot(id));
+                }
+                match tier.hot_get(id.0) {
+                    // Hot hit: answer from the in-memory snapshot.
+                    Some(snap) => snap,
+                    None => {
+                        if let Some(resp) = tier.try_cold(self, query, id)? {
+                            return Ok(resp);
+                        }
+                        tier.snapshot(self, id)?
+                    }
+                }
             }
-        }
-        let snap = self.snap_arc(id)?;
+            None => self.snap_arc(id)?,
+        };
         Ok(match *query {
             Query::Route { vantage, prefix } => {
                 Response::Route(self.route_point(&snap, vantage, prefix))

@@ -93,6 +93,7 @@ pub mod archive;
 pub mod diff;
 pub mod engine;
 pub mod intern;
+pub mod live;
 pub mod plan;
 pub mod proto;
 pub mod sec;
@@ -107,12 +108,16 @@ pub use engine::{
     SeriesIngestReport, SharingStats,
 };
 pub use intern::{AsnSym, CommSym, PrefixSym, WorldInterner};
+pub use live::{
+    drain_stream, follow_stream, FollowEnd, FollowReport, LiveError, LiveHandle, LiveOptions,
+    LiveWriter,
+};
 pub use plan::QueryError;
 pub use proto::{
     parse, parse_control, parse_script, render, render_response, render_scope, Control, Frame,
     HijackEvent, HijackKind, LeakEvent, LineFramer, ParseError, PersistenceAnswer, Query,
     QueryRequest, Response, RovAnswer, SaHistoryPoint, SaOriginCount, Scope, ScriptError, GRAMMAR,
 };
-pub use serve::{ServeConfig, ServeStats, Server, ServerHandle};
+pub use serve::{EngineSource, ServeConfig, ServeStats, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};
 pub use tier::{Residency, TierStats};

@@ -60,6 +60,29 @@ impl StatsInner {
     }
 }
 
+/// Where the serve loop gets its world: one frozen engine for the
+/// server's lifetime, or a live publication handle whose **current
+/// epoch** is loaded once per processing round — so every batch (and
+/// every listing) runs against one consistent world even while the
+/// writer publishes the next snapshot.
+#[derive(Debug, Clone)]
+pub enum EngineSource {
+    /// One immutable engine (the pre-live behavior, byte-identical).
+    Frozen(Arc<QueryEngine>),
+    /// Epoch-published engines from a live ingest writer.
+    Live(Arc<crate::live::LiveHandle>),
+}
+
+impl EngineSource {
+    /// The engine to run the next batch against.
+    pub fn current(&self) -> Arc<QueryEngine> {
+        match self {
+            EngineSource::Frozen(e) => Arc::clone(e),
+            EngineSource::Live(h) => h.current(),
+        }
+    }
+}
+
 /// A remote control for a running [`Server`]: request shutdown and read
 /// live stats from any thread.
 #[derive(Debug, Clone)]
@@ -67,7 +90,7 @@ pub struct ServerHandle {
     stats: Arc<StatsInner>,
     shutdown: Arc<AtomicBool>,
     started: Instant,
-    engine: Arc<QueryEngine>,
+    engine: EngineSource,
 }
 
 impl ServerHandle {
@@ -77,9 +100,10 @@ impl ServerHandle {
         self.shutdown.store(true, Ordering::Relaxed);
     }
 
-    /// A live snapshot of the server's counters.
+    /// A live snapshot of the server's counters, read against one
+    /// consistent epoch.
     pub fn stats(&self) -> ServeStats {
-        self.stats.snapshot(self.started, &self.engine)
+        self.stats.snapshot(self.started, &self.engine.current())
     }
 }
 
@@ -89,7 +113,7 @@ impl ServerHandle {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    engine: Arc<QueryEngine>,
+    engine: EngineSource,
     cfg: ServeConfig,
     stats: Arc<StatsInner>,
     shutdown: Arc<AtomicBool>,
@@ -116,6 +140,25 @@ impl Server {
         listener: TcpListener,
         cfg: ServeConfig,
     ) -> io::Result<Server> {
+        Server::with_listener_source(EngineSource::Frozen(engine), listener, cfg)
+    }
+
+    /// [`Server::bind`] over any [`EngineSource`] — what a live daemon
+    /// uses to serve epoch-published engines while the writer ingests.
+    pub fn bind_source(
+        source: EngineSource,
+        addr: impl ToSocketAddrs,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
+        Server::with_listener_source(source, TcpListener::bind(addr)?, cfg)
+    }
+
+    /// [`Server::with_listener`] over any [`EngineSource`].
+    pub fn with_listener_source(
+        engine: EngineSource,
+        listener: TcpListener,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
         listener.set_nonblocking(true)?;
         Ok(Server {
             listener,
@@ -138,7 +181,7 @@ impl Server {
             stats: Arc::clone(&self.stats),
             shutdown: Arc::clone(&self.shutdown),
             started: self.started,
-            engine: Arc::clone(&self.engine),
+            engine: self.engine.clone(),
         }
     }
 
@@ -203,7 +246,11 @@ impl Server {
                 }
             }
 
-            // Connection sweep.
+            // Connection sweep. The epoch is loaded once per sweep:
+            // every batch processed this round — queries and listings
+            // alike — sees one consistent world, and a live writer
+            // publishing mid-sweep is observed only from the next sweep.
+            let epoch = self.engine.current();
             let now = Instant::now();
             let mut i = 0;
             while i < conns.len() {
@@ -222,7 +269,7 @@ impl Server {
                     }
                     let backpressured = c.pending_write() > self.cfg.write_buf_cap;
                     if !drop_conn && !c.closing && !backpressured {
-                        match c.read_and_process(&self.engine, &mut rbuf) {
+                        match c.read_and_process(&epoch, &mut rbuf) {
                             Ok(out) => {
                                 if out.bytes_in > 0 {
                                     progressed = true;
@@ -342,6 +389,6 @@ impl Server {
         }
         drop(conns);
         self.stats.active.store(0, Ordering::Relaxed);
-        Ok(self.stats.snapshot(self.started, &self.engine))
+        Ok(self.stats.snapshot(self.started, &self.engine.current()))
     }
 }

@@ -47,7 +47,7 @@ pub mod session;
 
 use std::time::Duration;
 
-pub use event_loop::{Server, ServerHandle};
+pub use event_loop::{EngineSource, Server, ServerHandle};
 
 /// Tunables of the serve loop. `Default` matches the daemon's CLI
 /// defaults.

@@ -96,6 +96,7 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
             let tiered = engine.tier_stats().is_some();
             let mut lines: Vec<String> = engine
                 .labels()
+                .into_iter()
                 .enumerate()
                 .map(|(i, l)| {
                     let id = SnapshotId(i as u32);

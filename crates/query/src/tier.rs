@@ -40,7 +40,7 @@
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 
 use bgp_types::codec::{CodecError, Reader};
 use bgp_types::{flat, Asn, Ipv4Prefix};
@@ -88,7 +88,7 @@ pub struct TierStats {
 
 /// One mapped snapshot segment.
 #[derive(Debug)]
-struct TierSnap {
+pub(crate) struct TierSnap {
     file: String,
     kind: SegmentKind,
     label: String,
@@ -102,6 +102,33 @@ struct TierSnap {
     /// Set once the segment's CRC has been verified against the
     /// manifest (lazily, at first actual read of the bytes).
     verified: AtomicBool,
+}
+
+impl TierSnap {
+    /// A mapped segment record. `verified` is `true` when the caller has
+    /// already checksummed the bytes (the live writer just wrote them).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        file: String,
+        kind: SegmentKind,
+        label: String,
+        crc32: u32,
+        map: Mmap,
+        dir: Option<VantageDir>,
+        self_contained: bool,
+        verified: bool,
+    ) -> TierSnap {
+        TierSnap {
+            file,
+            kind,
+            label,
+            crc32,
+            map,
+            dir,
+            self_contained,
+            verified: AtomicBool::new(verified),
+        }
+    }
 }
 
 /// The hot set: hydrated snapshots under a strict LRU bound.
@@ -137,14 +164,23 @@ impl HotSet {
     }
 }
 
+/// The appendable part of the tier: the mapped segments and their
+/// interner watermarks, in snapshot order. Readers take the lock only
+/// long enough to clone the `Arc`s they need; the live writer appends
+/// under a brief write lock, so attach never blocks a query mid-flight.
+#[derive(Debug, Default)]
+struct TierIndex {
+    snaps: Vec<Arc<TierSnap>>,
+    /// Per-snapshot interner watermarks from the symbol segment, stamped
+    /// onto hydrated snapshots so they match a full load's.
+    watermarks: Vec<(usize, usize, usize)>,
+}
+
 /// The tier state a tier-attached [`QueryEngine`] carries.
 #[derive(Debug)]
 pub(crate) struct Tier {
     hot_cap: usize,
-    snaps: Vec<TierSnap>,
-    /// Per-snapshot interner watermarks from the symbol segment, stamped
-    /// onto hydrated snapshots so they match a full load's.
-    watermarks: Vec<(usize, usize, usize)>,
+    index: RwLock<TierIndex>,
     hot: Mutex<HotSet>,
     attaches: AtomicU64,
     hydrations: AtomicU64,
@@ -166,19 +202,63 @@ fn corrupt(file: &str, e: CodecError) -> QueryError {
 }
 
 impl Tier {
-    /// Archived snapshots behind the tier.
-    pub(crate) fn len(&self) -> usize {
-        self.snaps.len()
+    /// An empty tier for a live engine: the writer appends mapped spill
+    /// segments as it publishes.
+    pub(crate) fn new_live(hot_cap: usize) -> Tier {
+        Tier {
+            hot_cap: hot_cap.max(1),
+            index: RwLock::new(TierIndex::default()),
+            hot: Mutex::new(HotSet::default()),
+            attaches: AtomicU64::new(0),
+            hydrations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+        }
     }
 
-    /// Snapshot labels in archive order.
-    pub(crate) fn labels(&self) -> impl Iterator<Item = &str> {
-        self.snaps.iter().map(|s| s.label.as_str())
+    /// Appends one just-written snapshot segment and its hydrated form.
+    /// The segment is attached (visible to the chain walk and the cold
+    /// path) before any epoch that references it is published, and the
+    /// hydrated snapshot enters the hot set, evicting LRU members past
+    /// the window. Returns the new snapshot count.
+    pub(crate) fn append(
+        &self,
+        snap: TierSnap,
+        watermark: (usize, usize, usize),
+        hydrated: Arc<Snapshot>,
+    ) -> usize {
+        let (id, count) = {
+            let mut idx = self.index.write().expect("tier index poisoned");
+            let id = idx.snaps.len() as u32;
+            idx.snaps.push(Arc::new(snap));
+            idx.watermarks.push(watermark);
+            (id, idx.snaps.len())
+        };
+        self.attaches.fetch_add(1, Ordering::Relaxed);
+        let mut hot = self.hot.lock().expect("tier hot set poisoned");
+        hot.insert(id, hydrated, self.hot_cap, &self.evictions);
+        count
+    }
+
+    /// Archived snapshots behind the tier.
+    pub(crate) fn len(&self) -> usize {
+        self.index.read().expect("tier index poisoned").snaps.len()
+    }
+
+    /// The first `limit` snapshot labels, in archive order.
+    pub(crate) fn labels(&self, limit: usize) -> Vec<String> {
+        let idx = self.index.read().expect("tier index poisoned");
+        idx.snaps
+            .iter()
+            .take(limit)
+            .map(|s| s.label.clone())
+            .collect()
     }
 
     /// The snapshot carrying `label`, if any (first match wins).
     pub(crate) fn find_label(&self, label: &str) -> Option<SnapshotId> {
-        self.snaps
+        let idx = self.index.read().expect("tier index poisoned");
+        idx.snaps
             .iter()
             .position(|s| s.label == label)
             .map(|i| SnapshotId(i as u32))
@@ -187,7 +267,7 @@ impl Tier {
     /// Where snapshot `id` currently lives. Pure observation: does not
     /// touch LRU recency.
     pub(crate) fn residency(&self, id: SnapshotId) -> Option<Residency> {
-        if id.index() >= self.snaps.len() {
+        if id.index() >= self.len() {
             return None;
         }
         let hot = self.hot.lock().expect("tier hot set poisoned");
@@ -199,11 +279,16 @@ impl Tier {
     }
 
     /// The residency counters.
-    pub(crate) fn stats(&self) -> TierStats {
+    /// `horizon` clamps the view to the snapshots a live epoch exposes:
+    /// the shared tier may already hold segments published after this
+    /// epoch was frozen, and a listing must describe one world.
+    pub(crate) fn stats(&self, horizon: Option<usize>) -> TierStats {
+        let limit = horizon.unwrap_or(usize::MAX);
+        let snapshots = self.len().min(limit);
         let hot = self.hot.lock().expect("tier hot set poisoned");
         TierStats {
-            snapshots: self.snaps.len(),
-            hot: hot.map.len(),
+            snapshots,
+            hot: hot.map.keys().filter(|&&id| (id as usize) < limit).count(),
             hot_cap: self.hot_cap,
             attaches: self.attaches.load(Ordering::Relaxed),
             hydrations: self.hydrations.load(Ordering::Relaxed),
@@ -212,10 +297,17 @@ impl Tier {
         }
     }
 
+    /// The mapped segment behind `id`, cloned out of the index under a
+    /// brief read lock.
+    fn seg(&self, id: SnapshotId) -> Option<Arc<TierSnap>> {
+        let idx = self.index.read().expect("tier index poisoned");
+        idx.snaps.get(id.index()).cloned()
+    }
+
     /// The vantages of snapshot `id`, ascending by ASN — read from the
     /// mapped directory when there is one, so listing never hydrates.
     pub(crate) fn vantages(&self, engine: &QueryEngine, id: SnapshotId) -> Vec<(Asn, VantageKind)> {
-        let Some(ts) = self.snaps.get(id.index()) else {
+        let Some(ts) = self.seg(id) else {
             return Vec::new();
         };
         let mut out: Vec<(Asn, VantageKind)> = match &ts.dir {
@@ -266,12 +358,6 @@ impl Tier {
         query: &Query,
         id: SnapshotId,
     ) -> Result<Option<Response>, QueryError> {
-        let Some(ts) = self.snaps.get(id.index()) else {
-            return Err(QueryError::UnknownSnapshot(id));
-        };
-        let Some(dir) = &ts.dir else {
-            return Ok(None);
-        };
         if !matches!(
             query,
             Query::Route { .. } | Query::Resolve { .. } | Query::Rov { .. }
@@ -281,17 +367,23 @@ impl Tier {
         if self.residency(id) == Some(Residency::Hot) {
             return Ok(None);
         }
-        self.verify(ts)?;
+        let Some(ts) = self.seg(id) else {
+            return Err(QueryError::UnknownSnapshot(id));
+        };
+        let Some(dir) = &ts.dir else {
+            return Ok(None);
+        };
+        self.verify(&ts)?;
         let resp = match *query {
             Query::Route { vantage, prefix } => {
-                Response::Route(self.cold_route(engine, ts, dir, id, vantage, prefix, false)?)
+                Response::Route(self.cold_route(engine, &ts, dir, id, vantage, prefix, false)?)
             }
             Query::Resolve { vantage, prefix } => {
-                Response::Route(self.cold_route(engine, ts, dir, id, vantage, prefix, true)?)
+                Response::Route(self.cold_route(engine, &ts, dir, id, vantage, prefix, true)?)
             }
             Query::Rov { vantage, prefix } => {
                 engine.sec_counters.rov.fetch_add(1, Ordering::Relaxed);
-                Response::Rov(self.cold_rov(engine, ts, dir, vantage, prefix)?)
+                Response::Rov(self.cold_rov(engine, &ts, dir, vantage, prefix)?)
             }
             _ => unreachable!("matched above"),
         };
@@ -424,14 +516,36 @@ impl Tier {
     /// the LRU-bounded hot set on a miss. The hot-set lock is held
     /// across the hydration so concurrent queries for the same cold
     /// snapshot decode it once.
+    /// The snapshot behind `id` if it is already hot — one bounded
+    /// lock, no hydration, no chain-prefix clone. Bumps LRU recency on
+    /// a hit. A hit also validates `id`: only attached snapshots ever
+    /// enter the hot set.
+    pub(crate) fn hot_get(&self, id: u32) -> Option<Arc<Snapshot>> {
+        self.hot.lock().expect("tier hot set poisoned").get(id)
+    }
+
     pub(crate) fn snapshot(
         &self,
         engine: &QueryEngine,
         id: SnapshotId,
     ) -> Result<Arc<Snapshot>, QueryError> {
-        if id.index() >= self.snaps.len() {
-            return Err(QueryError::UnknownSnapshot(id));
+        // Hot fast path: the common case under serving load.
+        if let Some(snap) = self.hot_get(id.0) {
+            return Ok(snap);
         }
+        // Clone the chain's possible members out of the index first so
+        // hydration never holds the index lock (a live writer may be
+        // appending the next snapshot at the same time).
+        let (snaps, watermarks) = {
+            let idx = self.index.read().expect("tier index poisoned");
+            if id.index() >= idx.snaps.len() {
+                return Err(QueryError::UnknownSnapshot(id));
+            }
+            (
+                idx.snaps[..=id.index()].to_vec(),
+                idx.watermarks[..=id.index()].to_vec(),
+            )
+        };
         let mut hot = self.hot.lock().expect("tier hot set poisoned");
         if let Some(snap) = hot.get(id.0) {
             return Ok(snap);
@@ -449,7 +563,7 @@ impl Tier {
                 break;
             }
             chain.push(j);
-            let ts = &self.snaps[j];
+            let ts = &snaps[j];
             if ts.kind == SegmentKind::Full && ts.self_contained {
                 break;
             }
@@ -470,7 +584,7 @@ impl Tier {
         let mut oracle: Option<(*const (), AsGraph)> = None;
         let mut cones: HashMap<Asn, CustomerCone> = HashMap::new();
         for &k in &chain {
-            let ts = &self.snaps[k];
+            let ts = &snaps[k];
             self.verify(ts)?;
             let kid = SnapshotId(k as u32);
             let raw: &[u8] = &ts.map;
@@ -505,7 +619,7 @@ impl Tier {
                     unreachable!("the tier maps only snapshot segments")
                 }
             };
-            snap.interned_watermark = self.watermarks[k];
+            snap.interned_watermark = watermarks[k];
             let arc = Arc::new(snap);
             self.hydrations.fetch_add(1, Ordering::Relaxed);
             hot.insert(k as u32, Arc::clone(&arc), self.hot_cap, &self.evictions);
@@ -586,7 +700,7 @@ pub(crate) fn load_tiered(dir: &Path, hot_cap: usize) -> Result<QueryEngine, Sto
                 unreachable!("snapshot_segments() yields only full and delta segments")
             }
         };
-        snaps.push(TierSnap {
+        snaps.push(Arc::new(TierSnap {
             file: entry.file.clone(),
             kind: entry.kind,
             label: entry.label.clone(),
@@ -595,7 +709,7 @@ pub(crate) fn load_tiered(dir: &Path, hot_cap: usize) -> Result<QueryEngine, Sto
             dir: vdir,
             self_contained,
             verified: AtomicBool::new(false),
-        });
+        }));
     }
 
     if !tier_capable {
@@ -607,15 +721,14 @@ pub(crate) fn load_tiered(dir: &Path, hot_cap: usize) -> Result<QueryEngine, Sto
     crate::archive::load_roas(dir, &manifest, &mut engine)?;
     let attaches = snaps.len() as u64;
     engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));
-    engine.tier = Some(Tier {
+    engine.tier = Some(Arc::new(Tier {
         hot_cap: hot_cap.max(1),
-        snaps,
-        watermarks,
+        index: RwLock::new(TierIndex { snaps, watermarks }),
         hot: Mutex::new(HotSet::default()),
         attaches: AtomicU64::new(attaches),
         hydrations: AtomicU64::new(0),
         evictions: AtomicU64::new(0),
         cold_hits: AtomicU64::new(0),
-    });
+    }));
     Ok(engine)
 }

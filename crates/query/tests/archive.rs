@@ -238,10 +238,7 @@ fn assert_round_trip(seed: u64, saved: &mut QueryEngine, sc: &Scenario, tag: &st
     let loaded = QueryEngine::load_archive(&dir).expect("load");
 
     assert_eq!(saved.snapshot_count(), loaded.snapshot_count());
-    assert_eq!(
-        saved.labels().collect::<Vec<_>>(),
-        loaded.labels().collect::<Vec<_>>()
-    );
+    assert_eq!(saved.labels(), loaded.labels());
     assert_eq!(saved.interned_sizes(), loaded.interned_sizes());
     assert_eq!(saved.shard_count(), loaded.shard_count());
     assert_eq!(
@@ -278,7 +275,7 @@ fn assert_round_trip(seed: u64, saved: &mut QueryEngine, sc: &Scenario, tag: &st
         for i in 0..n {
             let meta = engine.segment_meta(SnapshotId(i as u32)).expect("meta");
             assert!(meta.bytes > 0);
-            assert_eq!(meta.label, saved.labels().nth(i).unwrap());
+            assert_eq!(meta.label, saved.labels()[i]);
         }
     }
 

@@ -1,0 +1,31 @@
+# rpi-query live smoke: the tiny seed-11 world written as a delta-event
+# stream by `rpi-queryd --emit-deltas` and tailed by `rpi-queryd --follow`
+# while CI drives this script over TCP MID-INGEST. Every query pins an
+# explicit @scope over snapshots 0..2 — epoch publication freezes those
+# answers the moment snapshot 3 is published, so the golden holds no
+# matter how far past them the writer has advanced by the time each
+# line is answered.
+
+route AS1 4.0.0.0/13 @0
+route AS1 4.0.0.0/13 @2
+resolve AS1 4.0.0.1/32 @1
+sa AS1 4.0.0.0/13 @2
+sa AS1 2.0.0.0/8 @label:day-02
+rel AS1 AS701 @0
+summary AS1 @1
+diff @0..2
+# Deliberate error: pins the reversed-range diagnostic over TCP.
+diff @2..0
+sa-history AS1 4.0.0.0/13 @0..2
+uptime AS1 @0..2
+top-sa AS1 3 @0..2
+persistence AS1 4.0.0.0/13 @0..2
+persistence AS1 2.0.0.0/8 @1..2
+
+# rpi-sec over the pinned prefix: ROV against tests/data/smoke.roas and
+# the detectors (benign stream: zero events is the answer).
+rov AS1 4.0.0.0/13 @0
+rov AS1 3.0.0.0/14 @2
+rov AS42424 4.0.0.0/13 @1
+hijacks @0..2
+leaks @1

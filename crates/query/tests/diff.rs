@@ -44,10 +44,7 @@ fn zero_churn_series_diffs_empty() {
     let mut engine = QueryEngine::new(4);
     let ids = engine.ingest_series(&series, &g);
     assert_eq!(ids.len(), 3);
-    assert_eq!(
-        engine.labels().collect::<Vec<_>>(),
-        vec!["hour-01", "hour-02", "hour-03"]
-    );
+    assert_eq!(engine.labels(), vec!["hour-01", "hour-02", "hour-03"]);
     for w in ids.windows(2) {
         let d = engine.diff(w[0], w[1]).unwrap();
         assert!(

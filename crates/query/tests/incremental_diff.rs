@@ -239,10 +239,7 @@ fn run_differential(seed: u64) {
     let (full, incr) = ingest_both(&sc, 4);
 
     assert_eq!(full.snapshot_count(), incr.snapshot_count());
-    assert_eq!(
-        full.labels().collect::<Vec<_>>(),
-        incr.labels().collect::<Vec<_>>()
-    );
+    assert_eq!(full.labels(), incr.labels());
     // Append-only interning from identical inputs interns identical sets.
     assert_eq!(full.interned_sizes(), incr.interned_sizes(), "seed {seed}");
 

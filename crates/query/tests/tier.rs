@@ -212,10 +212,7 @@ fn run_differential(seed: u64, keyframe_every: Option<usize>, tag: &str) {
         assert_eq!(stats.snapshots, n);
         assert_eq!(stats.hot, 0, "attach must not hydrate anything");
         assert_eq!(stats.attaches, n as u64);
-        assert_eq!(
-            hydrated.labels().collect::<Vec<_>>(),
-            tiered.labels().collect::<Vec<_>>()
-        );
+        assert_eq!(hydrated.labels(), tiered.labels());
 
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0AAC_417E ^ hot_cap as u64);
         let mut answered = 0usize;
