@@ -224,6 +224,9 @@ fn main() {
     shandle.shutdown();
     sjoin.join().expect("live serve thread");
     let live_qps = live_queries as f64 / ingest_window.as_secs_f64();
+    // Per-query latency during ingest, off the live engine's registry
+    // (every epoch shares the base engine's histograms).
+    let live_latency = handle.current().metrics().query_latency_overall();
 
     // Frozen baseline: the same server and workload over the finished
     // world, for the same wall-clock window.
@@ -275,6 +278,13 @@ fn main() {
             "  [BELOW TARGET]"
         }
     );
+    let ms = |q: f64| live_latency.quantile(q) as f64 / 1e6;
+    let (p50_ms, p99_ms, p999_ms) = (ms(0.5), ms(0.99), ms(0.999));
+    println!(
+        "    (per-query segment latency during ingest over {} samples: \
+         p50 {p50_ms:.3} ms / p99 {p99_ms:.3} ms / p999 {p999_ms:.3} ms)",
+        live_latency.count(),
+    );
 
     let publish_list = publish_ms
         .iter()
@@ -288,6 +298,8 @@ fn main() {
          \"publish_max_ms\": {max_ms:.3},\n  \"live_queries\": {live_queries},\n  \
          \"live_queries_per_s\": {live_qps:.0},\n  \"frozen_queries_per_s\": {frozen_qps:.0},\n  \
          \"live_fraction_of_frozen\": {fraction:.4},\n  \
+         \"latency_p50_ms\": {p50_ms:.3},\n  \"latency_p99_ms\": {p99_ms:.3},\n  \
+         \"latency_p999_ms\": {p999_ms:.3},\n  \
          \"target_fraction\": {TARGET_FRACTION},\n  \"meets_target\": {},\n  \
          \"smoke_profile\": {}\n}}\n",
         fraction >= TARGET_FRACTION,

@@ -75,7 +75,12 @@ fn main() {
     let queries_per_conn = if smoke { 50_000 } else { 250_000 };
     // Warmup window (connection setup, first batches) before the timed run.
     run_load(addr, CONNS, PIPELINE, 5_000, &lines).expect("warmup load");
+    // Percentiles come from the engine's per-verb latency histograms,
+    // restricted to the timed window by diffing against the post-warmup
+    // snapshot.
+    let warm = engine.metrics().query_latency_overall();
     let report = run_load(addr, CONNS, PIPELINE, queries_per_conn, &lines).expect("timed load");
+    let timed = engine.metrics().query_latency_overall().delta(&warm);
 
     handle.shutdown();
     let stats = join.join().expect("serve thread");
@@ -105,12 +110,20 @@ fn main() {
             "  [BELOW TARGET]"
         }
     );
+    let ms = |q: f64| timed.quantile(q) as f64 / 1e6;
+    let (p50_ms, p99_ms, p999_ms) = (ms(0.5), ms(0.99), ms(0.999));
+    println!(
+        "    (per-query segment latency over {} samples: p50 {p50_ms:.3} ms / p99 {p99_ms:.3} ms / p999 {p999_ms:.3} ms)",
+        timed.count(),
+    );
 
     let json = format!(
         "{{\n  \"bench\": \"serve\",\n  \"world\": \"small\",\n  \"shards\": {SHARDS},\n  \
          \"conns\": {CONNS},\n  \"pipeline\": {PIPELINE},\n  \"queries\": {},\n  \
          \"tcp_queries_per_s\": {:.0},\n  \"inproc_batch_queries_per_s\": {:.0},\n  \
          \"tcp_fraction_of_inproc\": {:.4},\n  \"bytes_in\": {},\n  \"bytes_out\": {},\n  \
+         \"latency_p50_ms\": {p50_ms:.3},\n  \"latency_p99_ms\": {p99_ms:.3},\n  \
+         \"latency_p999_ms\": {p999_ms:.3},\n  \
          \"target_queries_per_s\": {:.0},\n  \"meets_target\": {},\n  \"smoke_profile\": {}\n}}\n",
         report.queries,
         tcp_qps,

@@ -45,6 +45,7 @@ use bgp_types::{Asn, Ipv4Prefix};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
 use rpi_query::serve::session::{classify_line, fmt_bytes, repl_reply, Line};
+use rpi_query::serve::ServeStats;
 use rpi_query::{Control, Query, QueryEngine, Scope, ServeConfig, Server};
 
 struct Options {
@@ -69,6 +70,9 @@ struct Options {
     spill: Option<String>,
     emit_deltas: Option<String>,
     emit_delay_ms: u64,
+    metrics_interval: Option<u64>,
+    metrics_file: Option<String>,
+    slow_query_ms: Option<u64>,
 }
 
 fn usage() -> &'static str {
@@ -79,7 +83,8 @@ fn usage() -> &'static str {
      [--archive DIR [--hot-cap N]] \
      [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]] \
      [--follow FILE [--window N] [--spill DIR]] \
-     [--emit-deltas FILE [--emit-delay-ms MS]]"
+     [--emit-deltas FILE [--emit-delay-ms MS]] \
+     [--metrics-interval SECS [--metrics-file FILE]] [--slow-query-ms N]"
 }
 
 fn flag_help() -> &'static str {
@@ -123,6 +128,18 @@ fn flag_help() -> &'static str {
   --emit-delay-ms MS   emit-deltas: pause MS milliseconds before each snapshot
                        frame, so a concurrent --follow daemon ingests a
                        genuinely growing file (default 0)
+  --metrics-interval S serve/follow: every S seconds append one JSON line of
+                       interval-diffed metrics (counter deltas, current gauges,
+                       interval latency percentiles) to stderr, and track the
+                       peak per-interval query rate reported on exit
+  --metrics-file FILE  write the interval JSON lines to FILE (append) instead
+                       of stderr; needs --metrics-interval
+  --slow-query-ms N    record query segments slower than N ms in a bounded
+                       in-memory ring; the `slowlog` REPL verb dumps it
+
+the `metrics` verb (stdin or TCP) scrapes the full Prometheus-style
+exposition; `metrics names` prints just the name/kind schema and `stats`
+a human per-verb latency table.
 
 serve example (the same grammar, line by line; `quit` ends a connection,
 `shutdown` stops the server and prints its stats):
@@ -153,6 +170,9 @@ fn parse_args() -> Result<Options, String> {
         spill: None,
         emit_deltas: None,
         emit_delay_ms: 0,
+        metrics_interval: None,
+        metrics_file: None,
+        slow_query_ms: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -250,6 +270,27 @@ fn parse_args() -> Result<Options, String> {
                     .parse()
                     .map_err(|_| format!("--emit-delay-ms wants milliseconds, got '{v}'"))?;
             }
+            "--metrics-interval" => {
+                let v = value("--metrics-interval")?;
+                let secs = v
+                    .parse()
+                    .map_err(|_| format!("--metrics-interval wants seconds, got '{v}'"))?;
+                if secs == 0 {
+                    return Err("--metrics-interval must be at least 1".into());
+                }
+                opts.metrics_interval = Some(secs);
+            }
+            "--metrics-file" => opts.metrics_file = Some(value("--metrics-file")?),
+            "--slow-query-ms" => {
+                let v = value("--slow-query-ms")?;
+                let ms = v
+                    .parse()
+                    .map_err(|_| format!("--slow-query-ms wants milliseconds, got '{v}'"))?;
+                if ms == 0 {
+                    return Err("--slow-query-ms must be at least 1".into());
+                }
+                opts.slow_query_ms = Some(ms);
+            }
             "--help" | "-h" => {
                 println!("{}\n\n{}", usage(), flag_help());
                 std::process::exit(0);
@@ -306,6 +347,14 @@ fn main() -> ExitCode {
         eprintln!("rpi-queryd: --window/--spill tune live ingest; they need --follow");
         return ExitCode::FAILURE;
     }
+    if opts.metrics_file.is_some() && opts.metrics_interval.is_none() {
+        eprintln!("rpi-queryd: --metrics-file needs --metrics-interval");
+        return ExitCode::FAILURE;
+    }
+    if opts.metrics_interval.is_some() && opts.listen.is_none() && opts.follow.is_none() {
+        eprintln!("rpi-queryd: --metrics-interval snapshots a serving daemon; it needs --listen or --follow");
+        return ExitCode::FAILURE;
+    }
 
     // Fail fast on bad inputs *before* the expensive world build / archive
     // load: a missing query file or an unbindable listen address is a
@@ -348,6 +397,22 @@ fn main() -> ExitCode {
         },
         None => None,
     };
+    // The metrics sink opens before the world build too: an unwritable
+    // path fails in milliseconds, not after ingest.
+    let metrics_file = match &opts.metrics_file {
+        Some(path) => match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            Ok(f) => Some(f),
+            Err(e) => {
+                eprintln!("rpi-queryd: --metrics-file: cannot open {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     // Generator mode: simulate the churn series and write it as a
     // structured delta-event stream a concurrent `--follow` daemon can
@@ -363,7 +428,7 @@ fn main() -> ExitCode {
     // engine epoch per snapshot; the server (or stdin REPL) answers
     // every batch from the latest published epoch.
     if let Some(path) = opts.follow.clone() {
-        return follow_and_serve(&opts, path, roa_table, listener);
+        return follow_and_serve(&opts, path, roa_table, listener, metrics_file);
     }
 
     let mut exp = None;
@@ -456,6 +521,9 @@ fn main() -> ExitCode {
         eprintln!("loaded {} ROAs from {path}", table.len());
         engine.set_roas(table);
     }
+    if let Some(ms) = opts.slow_query_ms {
+        engine.metrics().set_slow_threshold_ms(ms);
+    }
 
     if let Some(dir) = &opts.save {
         let t0 = Instant::now();
@@ -517,7 +585,7 @@ fn main() -> ExitCode {
             ..ServeConfig::default()
         };
         let engine = Arc::new(engine);
-        let server = match Server::with_listener(engine, listener, cfg) {
+        let server = match Server::with_listener(Arc::clone(&engine), listener, cfg) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("rpi-queryd: --listen: {e}");
@@ -535,9 +603,21 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        let emitter = opts.metrics_interval.map(|secs| {
+            let e = Arc::clone(&engine);
+            MetricsEmitter::spawn(
+                move || Arc::clone(&e),
+                std::time::Duration::from_secs(secs),
+                metrics_file,
+            )
+        });
         return match server.run() {
             Ok(stats) => {
+                if let Some(em) = emitter {
+                    em.finish();
+                }
                 eprintln!("{}", stats.render());
+                report_peak_rate(&opts, engine.metrics(), &stats);
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -631,6 +711,7 @@ fn follow_and_serve(
     path: String,
     roa_table: Option<rpi_sec::RoaTable>,
     listener: Option<std::net::TcpListener>,
+    metrics_file: Option<std::fs::File>,
 ) -> ExitCode {
     use std::sync::atomic::{AtomicBool, Ordering};
 
@@ -640,7 +721,21 @@ fn follow_and_serve(
         eprintln!("loaded {} ROAs from {roa_path}", table.len());
         base.set_roas(table);
     }
+    if let Some(ms) = opts.slow_query_ms {
+        base.metrics().set_slow_threshold_ms(ms);
+    }
+    // Every published epoch shares the base engine's metrics registry,
+    // so this handle observes the whole run regardless of epoch swaps.
+    let base_metrics = base.metrics_arc();
     let handle = rpi_query::LiveHandle::new(base);
+    let emitter = opts.metrics_interval.map(|secs| {
+        let h = Arc::clone(&handle);
+        MetricsEmitter::spawn(
+            move || h.current(),
+            std::time::Duration::from_secs(secs),
+            metrics_file,
+        )
+    });
     let spill = opts
         .spill
         .clone()
@@ -723,6 +818,7 @@ fn follow_and_serve(
         match server.run() {
             Ok(stats) => {
                 eprintln!("{}", stats.render());
+                report_peak_rate(opts, &base_metrics, &stats);
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -752,6 +848,9 @@ fn follow_and_serve(
     };
 
     stop.store(true, Ordering::Release);
+    if let Some(em) = emitter {
+        em.finish();
+    }
     match writer.join() {
         Ok(Ok(_)) => served,
         Ok(Err(_)) => ExitCode::FAILURE,
@@ -759,6 +858,92 @@ fn follow_and_serve(
             eprintln!("rpi-queryd: --follow: the writer thread panicked");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The companion to [`ServeStats::render`]'s lifetime-average rate: the
+/// lifetime figure flattens bursts (satellite fix for
+/// `queries_per_sec`), so when the interval emitter ran, the daemon also
+/// reports the fastest single interval it observed.
+fn report_peak_rate(opts: &Options, metrics: &rpi_query::QueryMetrics, stats: &ServeStats) {
+    if opts.metrics_interval.is_none() {
+        return;
+    }
+    eprintln!(
+        "peak interval rate {:.0} queries/s over any {}s window (lifetime average {:.0} queries/s)",
+        metrics.peak_interval_qps(),
+        opts.metrics_interval.unwrap_or(0),
+        stats.queries_per_sec(),
+    );
+}
+
+/// The `--metrics-interval` emitter thread: every tick it syncs the
+/// engine's derived gauges, snapshots the registry, and appends one
+/// interval-diffed JSON line (counter deltas, current gauges, interval
+/// latency percentiles) to stderr or the `--metrics-file`. Each
+/// interval's query rate feeds [`rpi_query::QueryMetrics::note_interval_qps`].
+struct MetricsEmitter {
+    stop: Arc<std::sync::atomic::AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl MetricsEmitter {
+    fn spawn(
+        engine_fn: impl Fn() -> Arc<QueryEngine> + Send + 'static,
+        interval: std::time::Duration,
+        mut file: Option<std::fs::File>,
+    ) -> MetricsEmitter {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut prev = {
+                    let engine = engine_fn();
+                    engine.sync_obs();
+                    let snap = engine.metrics().registry().snapshot();
+                    (snap, engine.metrics().total_queries())
+                };
+                let mut prev_at = Instant::now();
+                'ticks: loop {
+                    // Sleep in short slices so shutdown stays prompt
+                    // under long intervals.
+                    let tick_end = prev_at + interval;
+                    while Instant::now() < tick_end {
+                        if stop.load(Ordering::Acquire) {
+                            break 'ticks;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                    }
+                    let engine = engine_fn();
+                    engine.sync_obs();
+                    let m = engine.metrics();
+                    let snap = m.registry().snapshot();
+                    let queries = m.total_queries();
+                    let elapsed = prev_at.elapsed();
+                    prev_at = Instant::now();
+                    m.note_interval_qps(
+                        queries.saturating_sub(prev.1) as f64 / elapsed.as_secs_f64().max(1e-9),
+                    );
+                    let line = snap.delta_json(&prev.0, elapsed);
+                    prev = (snap, queries);
+                    match &mut file {
+                        Some(f) => {
+                            use std::io::Write as _;
+                            let _ = writeln!(f, "{line}");
+                            let _ = f.flush();
+                        }
+                        None => eprintln!("{line}"),
+                    }
+                }
+            })
+        };
+        MetricsEmitter { stop, thread }
+    }
+
+    fn finish(self) {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        let _ = self.thread.join();
     }
 }
 
@@ -812,13 +997,28 @@ fn run_line(engine: &QueryEngine, line: &str) -> Outcome {
             println!("{}", repl_reply(engine, cmd));
             Outcome::Ok
         }
-        Line::Query(req) => match engine.execute(&req) {
-            Ok(resp) => {
-                println!("{}", rpi_query::render_response(&req, &resp));
-                Outcome::Ok
+        Line::Query(req) => {
+            // Stdin queries feed the same per-verb counters and latency
+            // histograms as served ones, so `stats`/`metrics`/`slowlog`
+            // are live in every session shape.
+            let t0 = Instant::now();
+            let result = engine.execute(&req);
+            let elapsed = t0.elapsed();
+            let m = engine.metrics();
+            let v = req.query.verb_index();
+            m.serve_queries_total[v].inc();
+            m.serve_query_seconds[v].record(elapsed);
+            if m.slow_threshold().is_some_and(|thr| elapsed >= thr) {
+                m.push_slow(elapsed, 1, line.trim());
             }
-            Err(e) => Outcome::Err(e.to_string()),
-        },
+            match result {
+                Ok(resp) => {
+                    println!("{}", rpi_query::render_response(&req, &resp));
+                    Outcome::Ok
+                }
+                Err(e) => Outcome::Err(e.to_string()),
+            }
+        }
         Line::Bad(msg) => Outcome::Err(msg),
     }
 }

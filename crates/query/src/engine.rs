@@ -10,7 +10,6 @@
 //! build a request and delegate.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use bgp_sim::{output_delta, SimOutput, SnapshotSeries};
@@ -286,9 +285,12 @@ pub struct QueryEngine {
     /// `Arc` so live epochs share one cache (and its hit counters)
     /// across publications.
     pub(crate) rov_cache: Arc<RovCache>,
-    /// Monotonic counts of executed security queries; shared across live
-    /// epochs the same way.
-    pub(crate) sec_counters: Arc<SecCounters>,
+    /// The unified metrics surface ([`crate::metrics`]): per-verb query
+    /// counters and latency histograms, per-stage span histograms, tier
+    /// and live gauges — including the executed-security-query counts.
+    /// Shared across live epochs the same way the ROV cache is, so
+    /// counts survive epoch swaps.
+    pub(crate) metrics: Arc<crate::metrics::QueryMetrics>,
     /// Set when the engine is **tier-attached**: segments stay memory-
     /// mapped on disk and snapshots hydrate on demand into a bounded hot
     /// set. `snapshots` is empty in that mode — every snapshot handle
@@ -301,15 +303,6 @@ pub struct QueryEngine {
     /// every query — to the world as of this epoch, so a reader holding
     /// the epoch never observes a half-published snapshot.
     pub(crate) horizon: Option<u32>,
-}
-
-/// Per-verb security-query counters (`rov` counts every point
-/// evaluation, batched or not).
-#[derive(Debug, Default)]
-pub(crate) struct SecCounters {
-    pub rov: AtomicU64,
-    pub hijacks: AtomicU64,
-    pub leaks: AtomicU64,
 }
 
 // `Arc<QueryEngine>` sharing across the serve loop and batch workers
@@ -331,7 +324,7 @@ impl QueryEngine {
             archive: None,
             roas: Arc::new(RoaTable::default()),
             rov_cache: Arc::new(RovCache::default()),
-            sec_counters: Arc::new(SecCounters::default()),
+            metrics: Arc::new(crate::metrics::QueryMetrics::new()),
             tier: None,
             horizon: None,
         }
@@ -355,13 +348,50 @@ impl QueryEngine {
         self.rov_cache.stats()
     }
 
-    /// Executed security-query counts `(rov, hijacks, leaks)`.
+    /// Executed security-query counts `(rov, hijacks, leaks)` — a view
+    /// over the `rpi_sec_queries_total` registry counters.
     pub fn sec_query_counts(&self) -> (u64, u64, u64) {
         (
-            self.sec_counters.rov.load(Ordering::Relaxed),
-            self.sec_counters.hijacks.load(Ordering::Relaxed),
-            self.sec_counters.leaks.load(Ordering::Relaxed),
+            self.metrics.sec_rov_total.get(),
+            self.metrics.sec_hijacks_total.get(),
+            self.metrics.sec_leaks_total.get(),
         )
+    }
+
+    /// The engine's metrics surface (shared with live epochs, the tier
+    /// and every server on this engine).
+    pub fn metrics(&self) -> &crate::metrics::QueryMetrics {
+        &self.metrics
+    }
+
+    /// The shared metrics handle (for emitter threads that outlive one
+    /// epoch's engine).
+    pub fn metrics_arc(&self) -> Arc<crate::metrics::QueryMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Mirrors externally-owned and derived values into the registry —
+    /// ROA count, ROV cache hits/misses and hit ratio, tier residency,
+    /// epoch age. Call before rendering an exposition or capturing an
+    /// interval snapshot; recording paths never need it.
+    pub fn sync_obs(&self) {
+        let m = &self.metrics;
+        m.sec_roas.set_u64(self.roas.len() as u64);
+        let cache = self.rov_cache.stats();
+        m.sec_rov_cache_hits_total.set(cache.hits);
+        m.sec_rov_cache_misses_total.set(cache.misses);
+        let looked = cache.hits + cache.misses;
+        m.sec_rov_cache_hit_ratio.set(if looked == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / looked as f64
+        });
+        if let Some(tier) = &self.tier {
+            let stats = tier.stats(self.horizon.map(|h| h as usize));
+            m.tier_hot_snapshots.set_u64(stats.hot as u64);
+            m.tier_total_snapshots.set_u64(stats.snapshots as u64);
+        }
+        m.live_epoch_age_seconds.set(m.epoch_age_secs());
     }
 
     /// Shards per vantage table.
@@ -787,7 +817,7 @@ impl QueryEngine {
             // so it cannot share `eval_history`'s vantage validation.
             Query::Hijacks => {
                 let ids = self.scope_ids(&req.query, &req.scope)?;
-                self.sec_counters.hijacks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.sec_hijacks_total.inc();
                 Ok(Response::Hijacks(crate::sec::hijack_events(self, &ids)?))
             }
             q if q.is_history() => {
@@ -862,11 +892,11 @@ impl QueryEngine {
             Query::Relationship { a, b } => Response::Relationship(self.rel_point(&snap, a, b)),
             Query::PolicySummary { asn } => Response::Summary(self.summary_point(&snap, asn)),
             Query::Rov { vantage, prefix } => {
-                self.sec_counters.rov.fetch_add(1, Ordering::Relaxed);
+                self.metrics.sec_rov_total.inc();
                 Response::Rov(crate::sec::rov_point(self, &snap, vantage, prefix))
             }
             Query::Leaks => {
-                self.sec_counters.leaks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.sec_leaks_total.inc();
                 Response::Leaks(crate::sec::leak_events(self, &snap))
             }
             _ => unreachable!("history and diff queries never reach eval_point"),

@@ -94,6 +94,7 @@ pub mod diff;
 pub mod engine;
 pub mod intern;
 pub mod live;
+pub mod metrics;
 pub mod plan;
 pub mod proto;
 pub mod sec;
@@ -112,6 +113,7 @@ pub use live::{
     drain_stream, follow_stream, FollowEnd, FollowReport, LiveError, LiveHandle, LiveOptions,
     LiveWriter,
 };
+pub use metrics::QueryMetrics;
 pub use plan::QueryError;
 pub use proto::{
     parse, parse_control, parse_script, render, render_response, render_scope, Control, Frame,

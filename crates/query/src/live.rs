@@ -182,6 +182,9 @@ impl LiveHandle {
 pub struct LiveWriter {
     handle: Arc<LiveHandle>,
     tier: Arc<Tier>,
+    /// The base engine's metrics, shared by every published epoch:
+    /// publication latency/counts and the follower-lag gauge land here.
+    metrics: Arc<crate::metrics::QueryMetrics>,
     spill: PathBuf,
     opts: LiveOptions,
     n_shards: usize,
@@ -209,7 +212,8 @@ impl LiveWriter {
         let base = handle.current();
         debug_assert_eq!(base.snapshot_count(), 0, "live handles start empty");
         Ok(LiveWriter {
-            tier: Arc::new(Tier::new_live(opts.window)),
+            tier: Arc::new(Tier::new_live(opts.window, base.metrics())),
+            metrics: base.metrics_arc(),
             spill: spill.to_path_buf(),
             n_shards: base.n_shards,
             interner: base.interner.clone(),
@@ -236,6 +240,7 @@ impl LiveWriter {
     /// holding the previous epoch is never blocked and never sees the
     /// snapshot until it is fully queryable.
     pub fn publish_frame(&mut self, frame: &StreamFrame) -> Result<SnapshotId, LiveError> {
+        let publish_start = std::time::Instant::now();
         let out = frame.apply(&self.prev_out);
         let same_oracle = frame.oracle.is_none();
         if let Some(g) = &frame.oracle {
@@ -353,6 +358,11 @@ impl LiveWriter {
         self.handle
             .published
             .store(self.count as u64, Ordering::Release);
+        self.metrics.live_published_total.inc();
+        self.metrics
+            .live_publish_seconds
+            .record(publish_start.elapsed());
+        self.metrics.note_publish();
         Ok(id)
     }
 
@@ -368,7 +378,7 @@ impl LiveWriter {
         e.interner = self.interner.clone();
         e.roas = Arc::clone(&base.roas);
         e.rov_cache = Arc::clone(&base.rov_cache);
-        e.sec_counters = Arc::clone(&base.sec_counters);
+        e.metrics = Arc::clone(&base.metrics);
         e.tier = Some(Arc::clone(&self.tier));
         e.horizon = Some(self.count);
         e.archive = Some(ArchiveInfo {
@@ -495,24 +505,49 @@ fn run_stream(
             }
         }
         if let Some(w) = &mut writer {
-            loop {
+            // First collect every complete frame already buffered (up to
+            // a bound, so a huge drain never holds the whole stream as
+            // parsed frames at once): the backlog between what the
+            // producer wrote and what we've published is the follower's
+            // lag, surfaced as the `rpi_live_frames_behind` gauge and
+            // drained frame by frame below.
+            const PENDING_CAP: usize = 256;
+            let mut pending = Vec::new();
+            let mut ended = false;
+            while pending.len() < PENDING_CAP {
                 match next_step(&buf, parsed).map_err(stream_err)? {
                     StreamStep::NeedMore => break,
                     StreamStep::Frame(frame, next) => {
-                        w.publish_frame(&frame)?;
-                        published = w.published();
-                        on_publish(published, &frame.label);
+                        pending.push(frame);
                         parsed = next;
-                        progressed = true;
                     }
                     StreamStep::End(_) => {
-                        w.end();
-                        return Ok(FollowReport {
-                            snapshots: published,
-                            end: FollowEnd::EndMarker,
-                        });
+                        ended = true;
+                        break;
                     }
                 }
+            }
+            let mut behind = pending.len() as u64;
+            w.metrics.live_frames_behind.set_u64(behind);
+            for frame in &pending {
+                w.publish_frame(frame)?;
+                published = w.published();
+                behind -= 1;
+                w.metrics.live_frames_behind.set_u64(behind);
+                on_publish(published, &frame.label);
+                progressed = true;
+            }
+            if ended {
+                w.end();
+                return Ok(FollowReport {
+                    snapshots: published,
+                    end: FollowEnd::EndMarker,
+                });
+            }
+            if pending.len() == PENDING_CAP {
+                // The buffer may hold more complete frames; go parse
+                // them before consulting the refill/truncation logic.
+                continue;
             }
         }
 

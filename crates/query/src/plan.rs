@@ -280,8 +280,10 @@ pub(crate) fn run_batch(
             for (lane, busy, answers) in h.join().expect("batch worker panicked") {
                 if lane < n_shards {
                     profile.shard_busy[lane] = busy;
+                    engine.metrics.plan_lane_shard_seconds.record(busy);
                 } else {
                     profile.general_busy[lane - n_shards] = busy;
+                    engine.metrics.plan_lane_general_seconds.record(busy);
                 }
                 for (i, answer) in answers {
                     results[i] = Some(answer);
@@ -291,6 +293,7 @@ pub(crate) fn run_batch(
     });
 
     profile.wall = wall_start.elapsed();
+    engine.metrics.plan_batch_seconds.record(profile.wall);
     let results = results
         .into_iter()
         .map(|r| r.expect("every request routed to a lane"))

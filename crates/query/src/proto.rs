@@ -184,6 +184,26 @@ impl Query {
         }
     }
 
+    /// This verb's index into the per-verb metric families
+    /// ([`crate::metrics::VERBS`] — declaration order).
+    pub fn verb_index(&self) -> usize {
+        match self {
+            Query::Route { .. } => 0,
+            Query::Resolve { .. } => 1,
+            Query::SaStatus { .. } => 2,
+            Query::Relationship { .. } => 3,
+            Query::PolicySummary { .. } => 4,
+            Query::Diff => 5,
+            Query::SaHistory { .. } => 6,
+            Query::UptimeHistogram { .. } => 7,
+            Query::TopKSaOrigins { .. } => 8,
+            Query::PersistenceClass { .. } => 9,
+            Query::Rov { .. } => 10,
+            Query::Hijacks => 11,
+            Query::Leaks => 12,
+        }
+    }
+
     /// `true` for the multi-snapshot history queries (whose default
     /// scope is `@all`).
     pub fn is_history(&self) -> bool {

@@ -155,6 +155,7 @@ pub(crate) fn hijack_events(
     engine: &QueryEngine,
     ids: &[SnapshotId],
 ) -> Result<Vec<HijackEvent>, QueryError> {
+    let _scan = rpi_obs::span(&engine.metrics.sec_scan_hijacks_seconds);
     let Some(&first) = ids.first() else {
         return Ok(Vec::new());
     };
@@ -257,6 +258,7 @@ fn valley_leaker(
 /// must cover the final hop into the vantage too. Events are ordered by
 /// (vantage, prefix).
 pub(crate) fn leak_events(engine: &QueryEngine, snap: &Snapshot) -> Vec<LeakEvent> {
+    let _scan = rpi_obs::span(&engine.metrics.sec_scan_leaks_seconds);
     let mut vantages: Vec<(Asn, AsnSym)> = snap
         .vantages
         .keys()

@@ -24,8 +24,6 @@ use crate::serve::session::{classify_line, repl_reply, Line};
 pub(crate) struct ReadOutcome {
     /// Bytes consumed from the socket.
     pub bytes_in: u64,
-    /// Grammar queries executed (controls/listings not counted).
-    pub queries: u64,
     /// In-band error responses emitted (garbage + oversized lines and
     /// execution errors).
     pub errors: u64,
@@ -48,6 +46,12 @@ pub(crate) struct Conn {
     fin_sent: bool,
     /// Last instant any byte moved in either direction.
     pub(crate) last_activity: Instant,
+    /// When the listener handed us this socket — the start of the
+    /// accept-to-first-byte latency measurement.
+    accepted_at: Instant,
+    /// Whether the first request byte has been seen (the latency above
+    /// is recorded exactly once, on that byte).
+    saw_first_byte: bool,
 }
 
 impl Conn {
@@ -65,6 +69,8 @@ impl Conn {
             closing: false,
             fin_sent: false,
             last_activity: Instant::now(),
+            accepted_at: Instant::now(),
+            saw_first_byte: false,
         })
     }
 
@@ -162,6 +168,13 @@ impl Conn {
             Err(e) => return Err(e),
         };
         out.bytes_in = n as u64;
+        if !self.saw_first_byte {
+            self.saw_first_byte = true;
+            engine
+                .metrics()
+                .serve_accept_to_first_byte_seconds
+                .record(self.accepted_at.elapsed());
+        }
         let frames = self.framer.push(&rbuf[..n]);
         self.process_frames(engine, frames, &mut out);
         Ok(out)
@@ -171,7 +184,9 @@ impl Conn {
     /// control), batch-executes the queries among them, and renders
     /// every output line *in input order* into the write buffer.
     fn process_frames(&mut self, engine: &QueryEngine, frames: Vec<Frame>, out: &mut ReadOutcome) {
-        let mut items: Vec<(usize, Line)> = Vec::with_capacity(frames.len());
+        // The raw text rides along so a slow segment can quote its first
+        // query verbatim in the slowlog.
+        let mut items: Vec<(usize, Line, String)> = Vec::with_capacity(frames.len());
         for frame in frames {
             match frame {
                 Frame::Line { line, text } => {
@@ -180,7 +195,7 @@ impl Conn {
                         class,
                         Line::Control(Control::Quit) | Line::Control(Control::Shutdown)
                     );
-                    items.push((line, class));
+                    items.push((line, class, text));
                     if ends {
                         // Lines pipelined after a quit are not executed —
                         // the same contract as a `--queries` file.
@@ -193,6 +208,7 @@ impl Conn {
                         "line too long ({length}+ bytes, cap {})",
                         self.max_line_len
                     )),
+                    String::new(),
                 )),
             }
         }
@@ -207,10 +223,10 @@ impl Conn {
         loop {
             let end = items[start..]
                 .iter()
-                .position(|(_, l)| matches!(l, Line::Repl(_)))
+                .position(|(_, l, _)| matches!(l, Line::Repl(_)))
                 .map_or(items.len(), |p| start + p);
             self.run_segment(engine, &items[start..end], out);
-            let Some((_, Line::Repl(cmd))) = items.get(end) else {
+            let Some((_, Line::Repl(cmd), _)) = items.get(end) else {
                 break;
             };
             let reply = repl_reply(engine, *cmd);
@@ -225,16 +241,21 @@ impl Conn {
     fn run_segment(
         &mut self,
         engine: &QueryEngine,
-        segment: &[(usize, Line)],
+        segment: &[(usize, Line, String)],
         out: &mut ReadOutcome,
     ) {
         let reqs: Vec<_> = segment
             .iter()
-            .filter_map(|(_, l)| match l {
+            .filter_map(|(_, l, _)| match l {
                 Line::Query(req) => Some(req.clone()),
                 _ => None,
             })
             .collect();
+        // Latency is the whole segment — execute *and* render — because
+        // that is what the client observes between its last pipelined
+        // byte and the first response byte being queued. Every query in
+        // the segment is attributed the segment's wall time.
+        let seg_start = (!reqs.is_empty()).then(Instant::now);
         let mut answers = if reqs.len() > 1 {
             engine.execute_batch(&reqs).into_iter()
         } else {
@@ -243,9 +264,8 @@ impl Conn {
                 .collect::<Vec<_>>()
                 .into_iter()
         };
-        out.queries += reqs.len() as u64;
 
-        for (line_no, item) in segment {
+        for (line_no, item, _) in segment {
             match item {
                 Line::Skip => {}
                 Line::Control(Control::Ping) => self.push_output("pong"),
@@ -266,6 +286,23 @@ impl Conn {
                     out.errors += 1;
                     self.push_output(&format!("error line {line_no}: {msg}"));
                 }
+            }
+        }
+
+        if let Some(t0) = seg_start {
+            let elapsed = t0.elapsed();
+            let m = engine.metrics();
+            for req in &reqs {
+                let v = req.query.verb_index();
+                m.serve_queries_total[v].inc();
+                m.serve_query_seconds[v].record(elapsed);
+            }
+            if m.slow_threshold().is_some_and(|thr| elapsed >= thr) {
+                let first = segment
+                    .iter()
+                    .find_map(|(_, l, text)| matches!(l, Line::Query(_)).then_some(text.trim()))
+                    .unwrap_or("");
+                m.push_slow(elapsed, reqs.len() as u64, first);
             }
         }
     }

@@ -9,7 +9,7 @@
 
 use std::io::{self};
 use std::net::{TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -17,34 +17,35 @@ use crate::engine::QueryEngine;
 use crate::serve::conn::Conn;
 use crate::serve::{ServeConfig, ServeStats};
 
-/// Monotonic counters shared between the loop and [`ServerHandle`]s.
-#[derive(Debug, Default)]
+/// The serve loop's window onto the engine's metrics registry. The
+/// counters themselves live in [`crate::metrics::QueryMetrics`] (so the
+/// `metrics` exposition, the interval emitter, and [`ServeStats`] all
+/// read the same atomics); this wrapper pins the `Arc` identity once —
+/// in live mode every published epoch shares the base engine's registry,
+/// so the handle stays valid across epoch swaps.
+#[derive(Debug)]
 pub(crate) struct StatsInner {
-    pub(crate) accepted: AtomicU64,
-    pub(crate) rejected: AtomicU64,
-    pub(crate) active: AtomicU64,
-    pub(crate) queries: AtomicU64,
-    pub(crate) errors: AtomicU64,
-    pub(crate) bytes_in: AtomicU64,
-    pub(crate) bytes_out: AtomicU64,
-    pub(crate) shed_idle: AtomicU64,
-    pub(crate) max_write_buf: AtomicU64,
+    metrics: Arc<crate::metrics::QueryMetrics>,
 }
 
 impl StatsInner {
+    /// [`ServeStats`] is a *view*: every field reads registry atomics
+    /// (or live engine state), so a snapshot taken mid-load and the
+    /// `metrics` exposition can never disagree.
     fn snapshot(&self, started: Instant, engine: &QueryEngine) -> ServeStats {
         let (rov_queries, hijack_queries, leak_queries) = engine.sec_query_counts();
         let cache = engine.rov_cache_stats();
+        let m = &self.metrics;
         ServeStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            shed_idle: self.shed_idle.load(Ordering::Relaxed),
-            max_write_buf: self.max_write_buf.load(Ordering::Relaxed),
+            accepted: m.serve_accepted_total.get(),
+            rejected: m.serve_rejected_total.get(),
+            active: m.serve_active_connections.get() as u64,
+            queries: m.total_queries(),
+            errors: m.serve_errors_total.get(),
+            bytes_in: m.serve_bytes_in_total.get(),
+            bytes_out: m.serve_bytes_out_total.get(),
+            shed_idle: m.serve_shed_idle_total.get(),
+            max_write_buf: m.serve_write_buf_peak_bytes.get() as u64,
             rov_queries,
             hijack_queries,
             leak_queries,
@@ -53,10 +54,6 @@ impl StatsInner {
             tier: engine.tier_stats(),
             elapsed: started.elapsed(),
         }
-    }
-
-    fn note_write_buf(&self, pending: u64) {
-        self.max_write_buf.fetch_max(pending, Ordering::Relaxed);
     }
 }
 
@@ -160,11 +157,14 @@ impl Server {
         cfg: ServeConfig,
     ) -> io::Result<Server> {
         listener.set_nonblocking(true)?;
+        let stats = Arc::new(StatsInner {
+            metrics: engine.current().metrics_arc(),
+        });
         Ok(Server {
             listener,
             engine,
             cfg,
-            stats: Arc::new(StatsInner::default()),
+            stats,
             shutdown: Arc::new(AtomicBool::new(false)),
             started: Instant::now(),
         })
@@ -192,6 +192,7 @@ impl Server {
     /// it is backpressured (pending output over `write_buf_cap`), and
     /// shed it if idle past `idle_timeout`.
     pub fn run(self) -> io::Result<ServeStats> {
+        let m = Arc::clone(&self.stats.metrics);
         let mut conns: Vec<Conn> = Vec::new();
         let mut rbuf = vec![0u8; 64 * 1024];
         let mut idle_streak: u32 = 0;
@@ -202,6 +203,7 @@ impl Server {
         // of file descriptors.
         let hard_conn_cap = self.cfg.max_conns + self.cfg.max_conns.clamp(16, 256);
         while !self.shutdown.load(Ordering::Relaxed) {
+            let sweep_start = Instant::now();
             let mut progressed = false;
 
             // Accept sweep. Capacity is measured against *live* sessions:
@@ -213,7 +215,7 @@ impl Server {
                     Ok((stream, _peer)) => {
                         progressed = true;
                         if conns.len() >= hard_conn_cap {
-                            self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                            m.serve_rejected_total.inc();
                             drop(stream);
                             continue;
                         }
@@ -221,20 +223,20 @@ impl Server {
                             Ok(mut c) => {
                                 if live >= self.cfg.max_conns {
                                     // Overload: answer in-band, flush, close.
-                                    self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                    m.serve_rejected_total.inc();
                                     c.push_notice(&format!(
                                         "error: server full ({} connections)",
                                         self.cfg.max_conns
                                     ));
                                     c.closing = true;
                                 } else {
-                                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                                    m.serve_accepted_total.inc();
                                     live += 1;
                                 }
                                 conns.push(c);
                             }
                             Err(_) => {
-                                self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                                m.serve_rejected_total.inc();
                             }
                         }
                     }
@@ -253,6 +255,7 @@ impl Server {
             let epoch = self.engine.current();
             let now = Instant::now();
             let mut i = 0;
+            let mut pending_total = 0u64;
             while i < conns.len() {
                 let mut drop_conn = false;
                 let mut shed = false;
@@ -261,7 +264,7 @@ impl Server {
                     match c.flush() {
                         Ok(n) if n > 0 => {
                             progressed = true;
-                            self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                            m.serve_bytes_out_total.add(n);
                             c.last_activity = now;
                         }
                         Ok(_) => {}
@@ -273,13 +276,10 @@ impl Server {
                             Ok(out) => {
                                 if out.bytes_in > 0 {
                                     progressed = true;
-                                    self.stats
-                                        .bytes_in
-                                        .fetch_add(out.bytes_in, Ordering::Relaxed);
+                                    m.serve_bytes_in_total.add(out.bytes_in);
                                     c.last_activity = now;
                                 }
-                                self.stats.queries.fetch_add(out.queries, Ordering::Relaxed);
-                                self.stats.errors.fetch_add(out.errors, Ordering::Relaxed);
+                                m.serve_errors_total.add(out.errors);
                                 if out.eof {
                                     c.closing = true;
                                 }
@@ -295,7 +295,7 @@ impl Server {
                             match c.flush() {
                                 Ok(n) if n > 0 => {
                                     progressed = true;
-                                    self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                                    m.serve_bytes_out_total.add(n);
                                     c.last_activity = now;
                                 }
                                 Ok(_) => {}
@@ -303,7 +303,9 @@ impl Server {
                             }
                         }
                     }
-                    self.stats.note_write_buf(c.pending_write() as u64);
+                    let pending = c.pending_write() as u64;
+                    pending_total += pending;
+                    m.serve_write_buf_peak_bytes.set_max(pending as f64);
                     if !drop_conn && c.wants_close() {
                         // Done and fully flushed: half-close, then linger
                         // discarding the peer's remaining input — closing
@@ -325,7 +327,7 @@ impl Server {
                 }
                 if drop_conn {
                     if shed {
-                        self.stats.shed_idle.fetch_add(1, Ordering::Relaxed);
+                        m.serve_shed_idle_total.inc();
                     }
                     conns.swap_remove(i);
                 } else {
@@ -334,13 +336,15 @@ impl Server {
             }
             // `active` counts live sessions; closing connections are
             // drains in progress, not service.
-            self.stats.active.store(
-                conns.iter().filter(|c| !c.closing).count() as u64,
-                Ordering::Relaxed,
-            );
+            m.serve_active_connections
+                .set_u64(conns.iter().filter(|c| !c.closing).count() as u64);
+            m.serve_write_buf_bytes.set_u64(pending_total);
 
             if progressed {
                 idle_streak = 0;
+                // Only sweeps that moved bytes are worth timing: an idle
+                // tick measures the backoff sleep, not the loop.
+                m.serve_sweep_seconds.record(sweep_start.elapsed());
             } else {
                 // Idle backoff with a grace window: the first few quiet
                 // sweeps keep the 200 µs tick (a pipelining client's
@@ -372,7 +376,7 @@ impl Server {
                 match c.flush() {
                     Ok(n) if n > 0 => {
                         moved = true;
-                        self.stats.bytes_out.fetch_add(n, Ordering::Relaxed);
+                        m.serve_bytes_out_total.add(n);
                     }
                     Ok(_) => {}
                     Err(_) => return false,
@@ -388,7 +392,7 @@ impl Server {
             }
         }
         drop(conns);
-        self.stats.active.store(0, Ordering::Relaxed);
+        m.serve_active_connections.set_u64(0);
         Ok(self.stats.snapshot(self.started, &self.engine.current()))
     }
 }

@@ -129,7 +129,12 @@ pub struct ServeStats {
 }
 
 impl ServeStats {
-    /// Queries per second over the server's lifetime.
+    /// Queries per second averaged over the server's **lifetime** —
+    /// which understates bursty load (a 10 s burst at 500k q/s inside a
+    /// 100 s run averages to 50k q/s). The interval emitter
+    /// (`--metrics-interval`) feeds per-interval rates into
+    /// [`crate::metrics::QueryMetrics::note_interval_qps`], whose peak
+    /// the daemon reports next to this lifetime figure on exit.
     pub fn queries_per_sec(&self) -> f64 {
         let s = self.elapsed.as_secs_f64();
         if s > 0.0 {

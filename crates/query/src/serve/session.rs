@@ -26,6 +26,18 @@ pub enum ReplCmd {
     Archive,
     /// `vantages` — every vantage AS and its kind.
     Vantages,
+    /// `metrics` — the full Prometheus-style exposition of the engine's
+    /// metrics registry (sorted, deterministic key set).
+    Metrics,
+    /// `metrics names` — just the `name kind` schema of the registry,
+    /// value-free so goldens can pin it.
+    MetricsNames,
+    /// `stats` — per-verb counts and latency percentiles plus the
+    /// per-stage timing table, human-shaped.
+    Stats,
+    /// `slowlog` — the bounded ring of recent slow query segments
+    /// (requires `--slow-query-ms`).
+    Slowlog,
 }
 
 /// The meaning of one session line.
@@ -59,6 +71,10 @@ pub fn classify_line(line: &str) -> Line {
         "snapshots" => return Line::Repl(ReplCmd::Snapshots),
         "archive" => return Line::Repl(ReplCmd::Archive),
         "vantages" => return Line::Repl(ReplCmd::Vantages),
+        "metrics" => return Line::Repl(ReplCmd::Metrics),
+        "metrics names" => return Line::Repl(ReplCmd::MetricsNames),
+        "stats" => return Line::Repl(ReplCmd::Stats),
+        "slowlog" => return Line::Repl(ReplCmd::Slowlog),
         _ => {}
     }
     match parse(trimmed) {
@@ -87,7 +103,10 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
     match cmd {
         ReplCmd::Help => format!(
             "{GRAMMAR}\nrepl: snapshots (list snapshots), vantages (list vantages), \
-             archive (list on-disk segments), ping, quit, shutdown (stop the whole server)"
+             archive (list on-disk segments), stats (per-verb latency percentiles), \
+             metrics (Prometheus-style exposition; 'metrics names' for the schema), \
+             slowlog (recent slow segments, needs --slow-query-ms), \
+             ping, quit, shutdown (stop the whole server)"
         ),
         ReplCmd::Snapshots => {
             // A tier-attached engine lists residency instead of trie
@@ -232,6 +251,21 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
                 .collect();
             lines.join("\n")
         }
+        // Derived gauges (ROA count, cache ratio, tier residency, epoch
+        // age) are synced from engine state at render time so every
+        // front end scrapes the same freshness.
+        ReplCmd::Metrics => {
+            engine.sync_obs();
+            // The registry renders newline-terminated; this reply's
+            // framing is the caller's (same as every other listing).
+            engine.metrics().registry().render().trim_end().to_string()
+        }
+        ReplCmd::MetricsNames => engine.metrics().registry().schema().trim_end().to_string(),
+        ReplCmd::Stats => {
+            engine.sync_obs();
+            engine.metrics().render_stats()
+        }
+        ReplCmd::Slowlog => engine.metrics().render_slowlog(),
     }
 }
 
@@ -246,6 +280,13 @@ mod tests {
         assert_eq!(classify_line("ping"), Line::Control(Control::Ping));
         assert_eq!(classify_line("exit"), Line::Control(Control::Quit));
         assert_eq!(classify_line("snapshots"), Line::Repl(ReplCmd::Snapshots));
+        assert_eq!(classify_line("metrics"), Line::Repl(ReplCmd::Metrics));
+        assert_eq!(
+            classify_line("metrics names"),
+            Line::Repl(ReplCmd::MetricsNames)
+        );
+        assert_eq!(classify_line("stats"), Line::Repl(ReplCmd::Stats));
+        assert_eq!(classify_line("slowlog"), Line::Repl(ReplCmd::Slowlog));
         assert!(matches!(
             classify_line("route AS1 1.0.0.0/8"),
             Line::Query(_)

@@ -39,13 +39,15 @@
 
 use std::collections::HashMap;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use bgp_types::codec::{CodecError, Reader};
 use bgp_types::{flat, Asn, Ipv4Prefix};
 use net_topology::{AsGraph, CustomerCone};
 use rpi_mmap::Mmap;
+use rpi_obs::{Counter, Histogram};
 use rpi_store::{crc32, Manifest, SegmentKind, SegmentRef, StoreError};
 
 use crate::archive::{
@@ -148,7 +150,7 @@ impl HotSet {
         })
     }
 
-    fn insert(&mut self, id: u32, snap: Arc<Snapshot>, cap: usize, evictions: &AtomicU64) {
+    fn insert(&mut self, id: u32, snap: Arc<Snapshot>, cap: usize, evictions: &Counter) {
         self.tick += 1;
         self.map.insert(id, (snap, self.tick));
         while self.map.len() > cap {
@@ -159,7 +161,7 @@ impl HotSet {
                 .map(|(&k, _)| k)
                 .expect("hot set over capacity is non-empty");
             self.map.remove(&victim);
-            evictions.fetch_add(1, Ordering::Relaxed);
+            evictions.inc();
         }
     }
 }
@@ -176,16 +178,22 @@ struct TierIndex {
     watermarks: Vec<(usize, usize, usize)>,
 }
 
-/// The tier state a tier-attached [`QueryEngine`] carries.
+/// The tier state a tier-attached [`QueryEngine`] carries. The counters
+/// and latency histograms are handles into the owning engine's metrics
+/// registry ([`crate::metrics::QueryMetrics`]), so [`TierStats`] is a
+/// view over the same atomics the `metrics` exposition renders.
 #[derive(Debug)]
 pub(crate) struct Tier {
     hot_cap: usize,
     index: RwLock<TierIndex>,
     hot: Mutex<HotSet>,
-    attaches: AtomicU64,
-    hydrations: AtomicU64,
-    evictions: AtomicU64,
-    cold_hits: AtomicU64,
+    attaches: Arc<Counter>,
+    hydrations: Arc<Counter>,
+    evictions: Arc<Counter>,
+    cold_hits: Arc<Counter>,
+    hydration_seconds: Arc<Histogram>,
+    chain_replay_seconds: Arc<Histogram>,
+    cold_hit_seconds: Arc<Histogram>,
 }
 
 fn corrupt(file: &str, e: CodecError) -> QueryError {
@@ -203,16 +211,20 @@ fn corrupt(file: &str, e: CodecError) -> QueryError {
 
 impl Tier {
     /// An empty tier for a live engine: the writer appends mapped spill
-    /// segments as it publishes.
-    pub(crate) fn new_live(hot_cap: usize) -> Tier {
+    /// segments as it publishes. Counters live in `metrics` — the base
+    /// engine's registry, shared by every published epoch.
+    pub(crate) fn new_live(hot_cap: usize, metrics: &crate::metrics::QueryMetrics) -> Tier {
         Tier {
             hot_cap: hot_cap.max(1),
             index: RwLock::new(TierIndex::default()),
             hot: Mutex::new(HotSet::default()),
-            attaches: AtomicU64::new(0),
-            hydrations: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            cold_hits: AtomicU64::new(0),
+            attaches: Arc::clone(&metrics.tier_attaches_total),
+            hydrations: Arc::clone(&metrics.tier_hydrations_total),
+            evictions: Arc::clone(&metrics.tier_evictions_total),
+            cold_hits: Arc::clone(&metrics.tier_cold_hits_total),
+            hydration_seconds: Arc::clone(&metrics.tier_hydration_seconds),
+            chain_replay_seconds: Arc::clone(&metrics.tier_chain_replay_seconds),
+            cold_hit_seconds: Arc::clone(&metrics.tier_cold_hit_seconds),
         }
     }
 
@@ -234,7 +246,7 @@ impl Tier {
             idx.watermarks.push(watermark);
             (id, idx.snaps.len())
         };
-        self.attaches.fetch_add(1, Ordering::Relaxed);
+        self.attaches.inc();
         let mut hot = self.hot.lock().expect("tier hot set poisoned");
         hot.insert(id, hydrated, self.hot_cap, &self.evictions);
         count
@@ -290,10 +302,10 @@ impl Tier {
             snapshots,
             hot: hot.map.keys().filter(|&&id| (id as usize) < limit).count(),
             hot_cap: self.hot_cap,
-            attaches: self.attaches.load(Ordering::Relaxed),
-            hydrations: self.hydrations.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            cold_hits: self.cold_hits.load(Ordering::Relaxed),
+            attaches: self.attaches.get(),
+            hydrations: self.hydrations.get(),
+            evictions: self.evictions.get(),
+            cold_hits: self.cold_hits.get(),
         }
     }
 
@@ -373,6 +385,7 @@ impl Tier {
         let Some(dir) = &ts.dir else {
             return Ok(None);
         };
+        let cold_start = Instant::now();
         self.verify(&ts)?;
         let resp = match *query {
             Query::Route { vantage, prefix } => {
@@ -382,12 +395,13 @@ impl Tier {
                 Response::Route(self.cold_route(engine, &ts, dir, id, vantage, prefix, true)?)
             }
             Query::Rov { vantage, prefix } => {
-                engine.sec_counters.rov.fetch_add(1, Ordering::Relaxed);
+                engine.metrics.sec_rov_total.inc();
                 Response::Rov(self.cold_rov(engine, &ts, dir, vantage, prefix)?)
             }
             _ => unreachable!("matched above"),
         };
-        self.cold_hits.fetch_add(1, Ordering::Relaxed);
+        self.cold_hits.inc();
+        self.cold_hit_seconds.record(cold_start.elapsed());
         Ok(Some(resp))
     }
 
@@ -550,6 +564,7 @@ impl Tier {
         if let Some(snap) = hot.get(id.0) {
             return Ok(snap);
         }
+        let hydrate_start = Instant::now();
 
         // Walk back to the nearest anchor, collecting the chain to
         // replay forward. The anchor is either a hot snapshot (cheapest)
@@ -584,6 +599,7 @@ impl Tier {
         let mut oracle: Option<(*const (), AsGraph)> = None;
         let mut cones: HashMap<Asn, CustomerCone> = HashMap::new();
         for &k in &chain {
+            let replay_start = Instant::now();
             let ts = &snaps[k];
             self.verify(ts)?;
             let kid = SnapshotId(k as u32);
@@ -621,10 +637,12 @@ impl Tier {
             };
             snap.interned_watermark = watermarks[k];
             let arc = Arc::new(snap);
-            self.hydrations.fetch_add(1, Ordering::Relaxed);
+            self.hydrations.inc();
+            self.chain_replay_seconds.record(replay_start.elapsed());
             hot.insert(k as u32, Arc::clone(&arc), self.hot_cap, &self.evictions);
             cur = Some(arc);
         }
+        self.hydration_seconds.record(hydrate_start.elapsed());
         Ok(cur.expect("an anchor or a non-empty chain produced a snapshot"))
     }
 }
@@ -721,14 +739,19 @@ pub(crate) fn load_tiered(dir: &Path, hot_cap: usize) -> Result<QueryEngine, Sto
     crate::archive::load_roas(dir, &manifest, &mut engine)?;
     let attaches = snaps.len() as u64;
     engine.archive = Some(ArchiveInfo::from_manifest(dir, &manifest));
+    let m = &engine.metrics;
+    m.tier_attaches_total.add(attaches);
     engine.tier = Some(Arc::new(Tier {
         hot_cap: hot_cap.max(1),
         index: RwLock::new(TierIndex { snaps, watermarks }),
         hot: Mutex::new(HotSet::default()),
-        attaches: AtomicU64::new(attaches),
-        hydrations: AtomicU64::new(0),
-        evictions: AtomicU64::new(0),
-        cold_hits: AtomicU64::new(0),
+        attaches: Arc::clone(&m.tier_attaches_total),
+        hydrations: Arc::clone(&m.tier_hydrations_total),
+        evictions: Arc::clone(&m.tier_evictions_total),
+        cold_hits: Arc::clone(&m.tier_cold_hits_total),
+        hydration_seconds: Arc::clone(&m.tier_hydration_seconds),
+        chain_replay_seconds: Arc::clone(&m.tier_chain_replay_seconds),
+        cold_hit_seconds: Arc::clone(&m.tier_cold_hit_seconds),
     }));
     Ok(engine)
 }

@@ -29,3 +29,7 @@ rov AS1 2.0.0.0/12
 rov AS1 2.0.0.0/8
 hijacks
 leaks
+
+# rpi-obs: the metrics schema is part of the wire contract — value-free, so
+# the golden pins the exact family set without pinning nondeterministic values.
+metrics names

@@ -29,3 +29,7 @@ rov AS1 3.0.0.0/14 @2
 rov AS42424 4.0.0.0/13 @1
 hijacks @0..2
 leaks @1
+
+# rpi-obs: the schema is identical in live mode — every family is registered
+# up front, never lazily on first traffic.
+metrics names

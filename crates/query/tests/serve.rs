@@ -459,6 +459,105 @@ fn concurrent_clients_get_exactly_direct_execute_answers() {
     assert_eq!(final_stats.queries, pairs.len() as u64);
 }
 
+/// Every pipelined query increments its verb's counter exactly once —
+/// the contract the `metrics` exposition (and `ServeStats::queries`,
+/// now a sum over these counters) rests on.
+#[test]
+fn per_verb_counters_increment_exactly_once_per_pipelined_query() {
+    use rpi_query::metrics::VERBS;
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let pairs = query_pairs(&engine, &exp);
+    let (v, p) = &pairs[0];
+    // A known verb mix in one pipelined write: 3 route, 2 resolve,
+    // 1 sa, 1 summary, 1 uptime.
+    let input = format!(
+        "route {v} {p}\nroute {v} {p}\nresolve {v} {p}\nroute {v} {p}\n\
+         resolve {v} {p}\nsa {v} {p}\nsummary {v}\nuptime {v}\nquit\n"
+    );
+    let _ = roundtrip(addr, &input);
+
+    let want = [
+        ("route", 3),
+        ("resolve", 2),
+        ("sa", 1),
+        ("summary", 1),
+        ("uptime", 1),
+    ];
+    let m = engine.metrics();
+    for (i, verb) in VERBS.iter().enumerate() {
+        let expect = want.iter().find(|(w, _)| w == verb).map_or(0, |&(_, n)| n);
+        assert_eq!(
+            m.serve_queries_total[i].get(),
+            expect,
+            "verb '{verb}' count"
+        );
+        assert_eq!(
+            m.serve_query_seconds[i].snapshot().count(),
+            expect,
+            "verb '{verb}' latency samples"
+        );
+    }
+    assert_eq!(handle.stats().queries, 8);
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// The exposition's key set and ordering never depend on traffic or
+/// transport: two TCP scrapes taken mid-load differ only in sample
+/// values, and a stdin-rendered scrape of the same engine carries the
+/// identical key sequence ('metrics names' is byte-identical outright).
+#[test]
+fn metrics_exposition_keys_are_stable_across_scrapes_and_transports() {
+    fn keys(exposition: &str) -> Vec<String> {
+        exposition
+            .lines()
+            .map(|l| {
+                if l.starts_with('#') {
+                    l.to_string() // TYPE lines are value-free already
+                } else {
+                    l[..l.rfind(' ').expect("sample lines end in a value")].to_string()
+                }
+            })
+            .collect()
+    }
+
+    let (engine, exp) = tiny_engine();
+    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+
+    let (v, p) = &query_pairs(&engine, &exp)[0];
+    let first = roundtrip(addr, "metrics\nquit\n");
+    let second = roundtrip(
+        addr,
+        &format!("route {v} {p}\nresolve {v} {p}\nmetrics\nquit\n"),
+    );
+    let second_metrics = second
+        .split_once("# TYPE")
+        .map(|(_, rest)| format!("# TYPE{rest}"))
+        .expect("scrape contains the exposition");
+    assert_eq!(
+        keys(&first),
+        keys(&second_metrics),
+        "key set/order must not depend on traffic"
+    );
+
+    // Transport equivalence: the stdin REPL renders through the same
+    // function, against the same registry.
+    let stdin_render = repl_reply(&engine, ReplCmd::Metrics);
+    assert_eq!(keys(&first), keys(&stdin_render));
+    let names_tcp = roundtrip(addr, "metrics names\nquit\n");
+    assert_eq!(
+        names_tcp,
+        format!("{}\n", repl_reply(&engine, ReplCmd::MetricsNames)),
+        "'metrics names' is byte-identical across transports"
+    );
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 #[test]
 fn shutdown_verb_stops_the_server_and_reports_stats() {
     let (engine, exp) = tiny_engine();
