@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! serve-load --addr HOST:PORT [--script FILE] [--shutdown]
+//! serve-load --addr HOST:PORT --idle-conns N [--hold-secs S]
 //! ```
 //!
 //! With `--script`, the file's lines are sent and the session ends with
@@ -14,19 +15,30 @@
 //! `shutdown` instead, stopping the whole server. With only `--addr`
 //! and `--shutdown`, nothing but the shutdown verb is sent — the CI
 //! smoke's clean-stop step.
+//!
+//! With `--idle-conns N`, the client opens N connections that never
+//! send a byte, prints `holding N idle connections` once they are all
+//! established (the scale smoke polls for that line), and keeps them
+//! open for `--hold-secs` (default 60) before closing them all — the
+//! background population for the 10k-connection scale smoke.
 
+use std::io::Write;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use rpi_bench::serveload::{drive_script, Terminator};
+use rpi_bench::serveload::{drive_script, open_idle_conns, Terminator};
 
 fn usage() -> &'static str {
-    "usage: serve-load --addr HOST:PORT [--script FILE] [--shutdown]"
+    "usage: serve-load --addr HOST:PORT [--script FILE] [--shutdown]\n\
+     \x20      serve-load --addr HOST:PORT --idle-conns N [--hold-secs S]"
 }
 
 fn main() -> ExitCode {
     let mut addr: Option<String> = None;
     let mut script: Option<String> = None;
     let mut shutdown = false;
+    let mut idle_conns: Option<usize> = None;
+    let mut hold_secs: u64 = 60;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| {
@@ -36,6 +48,16 @@ fn main() -> ExitCode {
         let r = match arg.as_str() {
             "--addr" => value("--addr").map(|v| addr = Some(v)),
             "--script" => value("--script").map(|v| script = Some(v)),
+            "--idle-conns" => value("--idle-conns").and_then(|v| {
+                v.parse()
+                    .map(|n| idle_conns = Some(n))
+                    .map_err(|_| format!("--idle-conns wants a count, got '{v}'"))
+            }),
+            "--hold-secs" => value("--hold-secs").and_then(|v| {
+                v.parse()
+                    .map(|s| hold_secs = s)
+                    .map_err(|_| format!("--hold-secs wants seconds, got '{v}'"))
+            }),
             "--shutdown" => {
                 shutdown = true;
                 Ok(())
@@ -56,6 +78,23 @@ fn main() -> ExitCode {
         eprintln!("serve-load: --addr is required\n{}", usage());
         return ExitCode::FAILURE;
     };
+
+    if let Some(count) = idle_conns {
+        let held = match open_idle_conns(addr.as_str(), count) {
+            Ok(h) => h,
+            Err(e) => {
+                eprintln!("serve-load: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        println!("holding {} idle connections", held.len());
+        let _ = std::io::stdout().flush();
+        std::thread::sleep(Duration::from_secs(hold_secs));
+        drop(held);
+        println!("released idle connections");
+        return ExitCode::SUCCESS;
+    }
+
     let text = match &script {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(t) => t,

@@ -165,6 +165,39 @@ pub fn run_load(
     })
 }
 
+/// Opens `count` connections that send nothing and read nothing — the
+/// scale-smoke's background population. Returns the held sockets (the
+/// caller keeps them alive for the measurement window; dropping the Vec
+/// closes them all). Connects retry briefly so a kernel accept-queue
+/// burst (10k serial connects against a backlog of 128) sheds into
+/// retries instead of failures.
+pub fn open_idle_conns(
+    addr: impl ToSocketAddrs + Clone,
+    count: usize,
+) -> io::Result<Vec<TcpStream>> {
+    let mut held = Vec::with_capacity(count);
+    for i in 0..count {
+        let mut attempt = 0u32;
+        let conn = loop {
+            match TcpStream::connect(addr.clone()) {
+                Ok(c) => break c,
+                Err(e) => {
+                    attempt += 1;
+                    if attempt > 50 {
+                        return Err(io::Error::new(
+                            e.kind(),
+                            format!("idle conn {i}/{count} failed after {attempt} attempts: {e}"),
+                        ));
+                    }
+                    std::thread::sleep(Duration::from_millis(2 * attempt as u64));
+                }
+            }
+        };
+        held.push(conn);
+    }
+    Ok(held)
+}
+
 /// Writes a benchmark-trend JSON file. The directory comes from
 /// `RPI_BENCH_JSON_DIR` (CI sets it and uploads the results as a
 /// workflow artifact); without the variable the emission is skipped so

@@ -46,7 +46,7 @@ use net_topology::InternetSize;
 use rpi_core::Experiment;
 use rpi_query::serve::session::{classify_line, fmt_bytes, repl_reply, Line};
 use rpi_query::serve::ServeStats;
-use rpi_query::{Control, Query, QueryEngine, Scope, ServeConfig, Server};
+use rpi_query::{Control, PollBackend, Query, QueryEngine, Scope, ServeConfig, Server};
 
 struct Options {
     size: InternetSize,
@@ -65,6 +65,9 @@ struct Options {
     listen: Option<String>,
     max_conns: usize,
     write_buf_cap: usize,
+    backend: Option<PollBackend>,
+    serve_threads: usize,
+    idle_timeout_secs: u64,
     follow: Option<String>,
     window: usize,
     spill: Option<String>,
@@ -81,7 +84,8 @@ fn usage() -> &'static str {
      [--roas FILE] [--bench] \
      [--save DIR [--force] [--keyframe-every N]] \
      [--archive DIR [--hot-cap N]] \
-     [--listen ADDR [--max-conns N] [--write-buf-cap BYTES]] \
+     [--listen ADDR [--max-conns N] [--write-buf-cap BYTES] \
+      [--backend sweep|epoll|auto] [--serve-threads N] [--idle-timeout SECS]] \
      [--follow FILE [--window N] [--spill DIR]] \
      [--emit-deltas FILE [--emit-delay-ms MS]] \
      [--metrics-interval SECS [--metrics-file FILE]] [--slow-query-ms N]"
@@ -114,6 +118,15 @@ fn flag_help() -> &'static str {
   --max-conns N        serve: concurrent connection cap (default 64)
   --write-buf-cap B    serve: per-connection response-buffer cap in bytes,
                        past which the connection is backpressured (default 262144)
+  --backend KIND       serve: readiness backend — epoll (kernel notification,
+                       Linux; idle connections cost nothing) or sweep (portable
+                       attempt-and-WouldBlock fallback); auto picks epoll where
+                       supported (default: $RPI_SERVE_BACKEND, else auto)
+  --serve-threads N    serve: shard connections across N event-loop threads
+                       behind a dedicated acceptor (round-robin handoff); 1
+                       keeps the listener inline in a single loop (default 1)
+  --idle-timeout SECS  serve: shed connections with no byte movement for SECS
+                       seconds (default 30)
   --follow FILE        serve while ingesting: tail the structured delta-event
                        stream in FILE (what --emit-deltas writes), publish an
                        immutable engine epoch per snapshot, and answer queries
@@ -165,6 +178,9 @@ fn parse_args() -> Result<Options, String> {
         listen: None,
         max_conns: 64,
         write_buf_cap: 256 * 1024,
+        backend: None,
+        serve_threads: 1,
+        idle_timeout_secs: 30,
         follow: None,
         window: 4,
         spill: None,
@@ -252,6 +268,34 @@ fn parse_args() -> Result<Options, String> {
                     return Err("--write-buf-cap must be at least 1".into());
                 }
             }
+            "--backend" => {
+                let v = value("--backend")?;
+                let backend: PollBackend = v.parse()?;
+                if !backend.supported() {
+                    return Err(format!(
+                        "--backend {v} is not supported on this platform (try auto)"
+                    ));
+                }
+                opts.backend = Some(backend);
+            }
+            "--serve-threads" => {
+                let v = value("--serve-threads")?;
+                opts.serve_threads = v
+                    .parse()
+                    .map_err(|_| format!("--serve-threads wants a count, got '{v}'"))?;
+                if opts.serve_threads == 0 {
+                    return Err("--serve-threads must be at least 1".into());
+                }
+            }
+            "--idle-timeout" => {
+                let v = value("--idle-timeout")?;
+                opts.idle_timeout_secs = v
+                    .parse()
+                    .map_err(|_| format!("--idle-timeout wants seconds, got '{v}'"))?;
+                if opts.idle_timeout_secs == 0 {
+                    return Err("--idle-timeout must be at least 1".into());
+                }
+            }
             "--follow" => opts.follow = Some(value("--follow")?),
             "--window" => {
                 let v = value("--window")?;
@@ -299,6 +343,40 @@ fn parse_args() -> Result<Options, String> {
         }
     }
     Ok(opts)
+}
+
+/// The serve tunables from the CLI: `--backend` (else the
+/// `RPI_SERVE_BACKEND`/auto default), `--serve-threads`,
+/// `--idle-timeout` and the connection caps.
+fn serve_config(opts: &Options) -> ServeConfig {
+    let mut cfg = ServeConfig {
+        max_conns: opts.max_conns,
+        write_buf_cap: opts.write_buf_cap,
+        idle_timeout: std::time::Duration::from_secs(opts.idle_timeout_secs),
+        serve_threads: opts.serve_threads,
+        ..ServeConfig::default()
+    };
+    if let Some(backend) = opts.backend {
+        cfg.backend = backend;
+    }
+    cfg
+}
+
+/// The one-line startup banner (the serve smokes poll for `serving on`).
+fn serving_banner(addr: std::net::SocketAddr, opts: &Options, cfg: &ServeConfig) -> String {
+    format!(
+        "serving on {addr} ({} max conns, {} write-buf cap, {} backend, {} serve thread{}); \
+         a 'shutdown' line stops the server",
+        opts.max_conns,
+        fmt_bytes(opts.write_buf_cap as u64),
+        cfg.backend.effective(),
+        cfg.serve_threads.max(1),
+        if cfg.serve_threads.max(1) == 1 {
+            ""
+        } else {
+            "s"
+        },
+    )
 }
 
 fn main() -> ExitCode {
@@ -579,13 +657,9 @@ fn main() -> ExitCode {
     // run until a `shutdown` control line, then report the stats
     // snapshot (SIGINT-free shutdown).
     if let Some(listener) = listener {
-        let cfg = ServeConfig {
-            max_conns: opts.max_conns,
-            write_buf_cap: opts.write_buf_cap,
-            ..ServeConfig::default()
-        };
+        let cfg = serve_config(&opts);
         let engine = Arc::new(engine);
-        let server = match Server::with_listener(Arc::clone(&engine), listener, cfg) {
+        let server = match Server::with_listener(Arc::clone(&engine), listener, cfg.clone()) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("rpi-queryd: --listen: {e}");
@@ -593,11 +667,7 @@ fn main() -> ExitCode {
             }
         };
         match server.local_addr() {
-            Ok(addr) => eprintln!(
-                "serving on {addr} ({} max conns, {} write-buf cap); a 'shutdown' line stops the server",
-                opts.max_conns,
-                fmt_bytes(opts.write_buf_cap as u64),
-            ),
+            Ok(addr) => eprintln!("{}", serving_banner(addr, &opts, &cfg)),
             Err(e) => {
                 eprintln!("rpi-queryd: --listen: {e}");
                 return ExitCode::FAILURE;
@@ -787,13 +857,9 @@ fn follow_and_serve(
     };
 
     let served = if let Some(listener) = listener {
-        let cfg = ServeConfig {
-            max_conns: opts.max_conns,
-            write_buf_cap: opts.write_buf_cap,
-            ..ServeConfig::default()
-        };
+        let cfg = serve_config(opts);
         let source = rpi_query::EngineSource::Live(Arc::clone(&handle));
-        let server = match Server::with_listener_source(source, listener, cfg) {
+        let server = match Server::with_listener_source(source, listener, cfg.clone()) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("rpi-queryd: --listen: {e}");
@@ -803,11 +869,7 @@ fn follow_and_serve(
             }
         };
         match server.local_addr() {
-            Ok(addr) => eprintln!(
-                "serving on {addr} ({} max conns, {} write-buf cap); a 'shutdown' line stops the server",
-                opts.max_conns,
-                fmt_bytes(opts.write_buf_cap as u64),
-            ),
+            Ok(addr) => eprintln!("{}", serving_banner(addr, opts, &cfg)),
             Err(e) => {
                 eprintln!("rpi-queryd: --listen: {e}");
                 stop.store(true, Ordering::Release);

@@ -120,6 +120,6 @@ pub use proto::{
     HijackEvent, HijackKind, LeakEvent, LineFramer, ParseError, PersistenceAnswer, Query,
     QueryRequest, Response, RovAnswer, SaHistoryPoint, SaOriginCount, Scope, ScriptError, GRAMMAR,
 };
-pub use serve::{EngineSource, ServeConfig, ServeStats, Server, ServerHandle};
+pub use serve::{EngineSource, PollBackend, ServeConfig, ServeStats, Server, ServerHandle};
 pub use snapshot::{Snapshot, SnapshotId, VantageKind};
 pub use tier::{Residency, TierStats};

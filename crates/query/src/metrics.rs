@@ -251,6 +251,22 @@ impl QueryMetrics {
         &self.registry
     }
 
+    /// Per-shard instances of the serve-loop gauges (`shard="N"` labels
+    /// on `rpi_serve_active_connections` / `rpi_serve_write_buf_bytes`),
+    /// registered by a multi-thread server at startup. Labeled instances
+    /// join the *existing* families, so the goldenable `metrics names`
+    /// schema (one line per family) is unchanged and the merged
+    /// exposition carries both the aggregate and the per-shard samples.
+    pub fn shard_gauges(&self, shard: usize) -> (Arc<Gauge>, Arc<Gauge>) {
+        let label = format!("shard=\"{shard}\"");
+        (
+            self.registry
+                .gauge("rpi_serve_active_connections", Some(&label)),
+            self.registry
+                .gauge("rpi_serve_write_buf_bytes", Some(&label)),
+        )
+    }
+
     /// Total queries served across every verb.
     pub fn total_queries(&self) -> u64 {
         self.serve_queries_total.iter().map(|c| c.get()).sum()

@@ -42,6 +42,10 @@ pub(crate) struct Conn {
     wpos: usize,
     /// After `quit`/`shutdown`/EOF: stop reading, flush, then close.
     pub(crate) closing: bool,
+    /// Whether this connection is counted in the shared live-session
+    /// total (set at admission, cleared exactly once on the closing
+    /// transition or the drop — whichever the shard sees first).
+    pub(crate) counted_live: bool,
     /// Write side half-closed (FIN sent after the final flush).
     fin_sent: bool,
     /// Last instant any byte moved in either direction.
@@ -67,6 +71,7 @@ impl Conn {
             wbuf: Vec::new(),
             wpos: 0,
             closing: false,
+            counted_live: false,
             fin_sent: false,
             last_activity: Instant::now(),
             accepted_at: Instant::now(),
@@ -105,6 +110,12 @@ impl Conn {
     /// Bytes queued but not yet accepted by the socket.
     pub(crate) fn pending_write(&self) -> usize {
         self.wbuf.len() - self.wpos
+    }
+
+    /// The raw fd the readiness backend keys on (unused by the sweep
+    /// backend, which is the only one off unix).
+    pub(crate) fn raw_fd(&self) -> i32 {
+        crate::serve::poll::fd_of(&self.stream)
     }
 
     /// `true` once the connection is done and fully flushed.

@@ -1,20 +1,35 @@
-//! The readiness poll loop: one thread, every socket nonblocking, each
-//! iteration drains whatever the kernel has ready — accepts, reads,
-//! batch execution, writes — and sleeps a tick only when nothing moved.
+//! The readiness event loop: every socket nonblocking, each iteration
+//! services whatever the readiness backend reports — accepts, reads,
+//! batch execution, writes — and backs off only when nothing moves.
 //!
 //! std-only by design (the build has no registry access, so no mio or
-//! tokio): readiness is discovered by attempting the nonblocking call
-//! and treating `WouldBlock` as "not ready", which on loopback-scale
-//! connection counts (tens to hundreds) costs microseconds per sweep.
+//! tokio). Readiness comes from a [`poll`] backend: the portable
+//! `sweep` backend reports every socket ready and lets `WouldBlock`
+//! sort it out (the original design — O(conns) per sweep), while the
+//! Linux `epoll` backend gets real kernel notification, so 10k idle
+//! connections cost nothing per wait.
+//!
+//! Scaling out: `serve_threads = N` runs N copies of the same shard
+//! loop, each owning a disjoint set of connections, fed round-robin by
+//! a dedicated acceptor thread over an mpsc handoff. Every shard runs
+//! the identical conn/session/backpressure state machine against the
+//! shared [`EngineSource`]; counters are the engine's registry atomics
+//! (shared by construction), capacity is enforced through two process-
+//! wide atomic counters, and the loop gauges carry per-shard labeled
+//! instances next to the aggregate. `serve_threads = 1` (the default)
+//! keeps the listener inline in the single loop — no acceptor thread,
+//! no handoff — preserving the original topology exactly.
 
 use std::io::{self};
-use std::net::{TcpListener, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 use crate::engine::QueryEngine;
+use crate::metrics::QueryMetrics;
 use crate::serve::conn::Conn;
+use crate::serve::poll::{self, Interest, PollBackend, Poller, LISTENER_TOKEN};
 use crate::serve::{ServeConfig, ServeStats};
 
 /// The serve loop's window onto the engine's metrics registry. The
@@ -91,8 +106,9 @@ pub struct ServerHandle {
 }
 
 impl ServerHandle {
-    /// Asks the serve loop to stop (it notices within one poll tick,
-    /// flushes every connection, and returns its final stats).
+    /// Asks the serve loop to stop (every shard notices within one poll
+    /// tick, flushes its connections, and [`Server::run`] returns the
+    /// final stats).
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::Relaxed);
     }
@@ -101,6 +117,37 @@ impl ServerHandle {
     /// consistent epoch.
     pub fn stats(&self) -> ServeStats {
         self.stats.snapshot(self.started, &self.engine.current())
+    }
+}
+
+/// Process-wide connection accounting shared by the acceptor and every
+/// shard. Capacity decisions are made against these (the shards no
+/// longer own a single connection vector to count), reserved with
+/// fetch-then-undo so concurrent admissions stay exact.
+#[derive(Debug)]
+struct SharedCounters {
+    /// Live (non-closing) sessions — the `max_conns` capacity measure.
+    live: AtomicUsize,
+    /// Every open connection in a shard slab (live + draining) — the
+    /// hard fd-cap measure.
+    open: AtomicUsize,
+    /// Accepted sockets handed to a shard but not yet admitted (counted
+    /// so a flood cannot hide unbounded fds inside the mpsc channels).
+    in_flight: AtomicUsize,
+    /// Per-shard pending-write totals, summed into the aggregate
+    /// `rpi_serve_write_buf_bytes` gauge by whichever shard updates
+    /// last.
+    wbuf: Vec<AtomicU64>,
+}
+
+impl SharedCounters {
+    fn new(shards: usize) -> SharedCounters {
+        SharedCounters {
+            live: AtomicUsize::new(0),
+            open: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            wbuf: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+        }
     }
 }
 
@@ -185,185 +232,564 @@ impl Server {
         }
     }
 
-    /// Runs the poll loop until shutdown, returning the final stats
-    /// snapshot. Per iteration: accept everything pending (rejecting
-    /// over-capacity connections with an in-band notice), then for every
-    /// connection drain its write buffer, read-and-batch-execute unless
-    /// it is backpressured (pending output over `write_buf_cap`), and
-    /// shed it if idle past `idle_timeout`.
+    /// Runs the event loop(s) until shutdown, returning the final stats
+    /// snapshot. With one serve thread the listener lives inside the
+    /// single shard loop; with N > 1 this thread becomes the acceptor,
+    /// distributing sockets round-robin to N shard threads running the
+    /// identical state machine.
     pub fn run(self) -> io::Result<ServeStats> {
         let m = Arc::clone(&self.stats.metrics);
-        let mut conns: Vec<Conn> = Vec::new();
-        let mut rbuf = vec![0u8; 64 * 1024];
-        let mut idle_streak: u32 = 0;
+        let threads = self.cfg.serve_threads.max(1);
+        let backend = self.cfg.backend.effective();
         // Hard bound on open sockets: served sessions plus a bounded tail
         // of closing/rejected ones still draining their final bytes. Past
         // it, over-capacity accepts are dropped outright (no notice, no
         // linger) — under a connection flood, shedding beats running out
         // of file descriptors.
-        let hard_conn_cap = self.cfg.max_conns + self.cfg.max_conns.clamp(16, 256);
-        while !self.shutdown.load(Ordering::Relaxed) {
-            let sweep_start = Instant::now();
-            let mut progressed = false;
+        let hard_cap = self.cfg.max_conns + self.cfg.max_conns.clamp(16, 256);
+        let shared = SharedCounters::new(threads);
 
-            // Accept sweep. Capacity is measured against *live* sessions:
-            // connections already closing (rejected, quit, EOF) are
-            // draining, not serving, and must not lock new clients out.
-            let mut live = conns.iter().filter(|c| !c.closing).count();
-            loop {
-                match self.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        progressed = true;
-                        if conns.len() >= hard_conn_cap {
-                            m.serve_rejected_total.inc();
-                            drop(stream);
-                            continue;
-                        }
-                        match Conn::new(stream, self.cfg.max_line_len) {
-                            Ok(mut c) => {
-                                if live >= self.cfg.max_conns {
-                                    // Overload: answer in-band, flush, close.
-                                    m.serve_rejected_total.inc();
-                                    c.push_notice(&format!(
-                                        "error: server full ({} connections)",
-                                        self.cfg.max_conns
-                                    ));
-                                    c.closing = true;
-                                } else {
-                                    m.serve_accepted_total.inc();
-                                    live += 1;
-                                }
-                                conns.push(c);
-                            }
-                            Err(_) => {
-                                m.serve_rejected_total.inc();
-                            }
-                        }
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                    // Transient accept errors (peer reset mid-handshake)
-                    // must not kill the server.
-                    Err(_) => break,
+        let run_result: io::Result<()> = if threads == 1 {
+            Shard::new(
+                0,
+                backend,
+                &self.cfg,
+                self.engine.clone(),
+                Arc::clone(&m),
+                &self.shutdown,
+                &shared,
+                hard_cap,
+                Some(&self.listener),
+                None,
+                None,
+            )?
+            .run()
+        } else {
+            std::thread::scope(|scope| {
+                let mut txs = Vec::with_capacity(threads);
+                let mut shards = Vec::with_capacity(threads);
+                for id in 0..threads {
+                    let (tx, rx) = mpsc::channel::<TcpStream>();
+                    txs.push(tx);
+                    shards.push(Shard::new(
+                        id,
+                        backend,
+                        &self.cfg,
+                        self.engine.clone(),
+                        Arc::clone(&m),
+                        &self.shutdown,
+                        &shared,
+                        hard_cap,
+                        None,
+                        Some(rx),
+                        Some(m.shard_gauges(id)),
+                    )?);
                 }
-            }
-
-            // Connection sweep. The epoch is loaded once per sweep:
-            // every batch processed this round — queries and listings
-            // alike — sees one consistent world, and a live writer
-            // publishing mid-sweep is observed only from the next sweep.
-            let epoch = self.engine.current();
-            let now = Instant::now();
-            let mut i = 0;
-            let mut pending_total = 0u64;
-            while i < conns.len() {
-                let mut drop_conn = false;
-                let mut shed = false;
-                {
-                    let c = &mut conns[i];
-                    match c.flush() {
-                        Ok(n) if n > 0 => {
-                            progressed = true;
-                            m.serve_bytes_out_total.add(n);
-                            c.last_activity = now;
-                        }
-                        Ok(_) => {}
-                        Err(_) => drop_conn = true,
-                    }
-                    let backpressured = c.pending_write() > self.cfg.write_buf_cap;
-                    if !drop_conn && !c.closing && !backpressured {
-                        match c.read_and_process(&epoch, &mut rbuf) {
-                            Ok(out) => {
-                                if out.bytes_in > 0 {
-                                    progressed = true;
-                                    m.serve_bytes_in_total.add(out.bytes_in);
-                                    c.last_activity = now;
-                                }
-                                m.serve_errors_total.add(out.errors);
-                                if out.eof {
-                                    c.closing = true;
-                                }
-                                if out.shutdown {
-                                    self.shutdown.store(true, Ordering::Relaxed);
-                                }
-                            }
-                            Err(_) => drop_conn = true,
-                        }
-                        if !drop_conn {
-                            // Push freshly rendered responses out in the
-                            // same tick; leftovers stay for the next sweep.
-                            match c.flush() {
-                                Ok(n) if n > 0 => {
-                                    progressed = true;
-                                    m.serve_bytes_out_total.add(n);
-                                    c.last_activity = now;
-                                }
-                                Ok(_) => {}
-                                Err(_) => drop_conn = true,
+                let joins: Vec<_> = shards
+                    .into_iter()
+                    .map(|shard| scope.spawn(move || shard.run()))
+                    .collect();
+                accept_and_route(
+                    &self.listener,
+                    txs,
+                    &self.shutdown,
+                    &shared,
+                    &m,
+                    &self.cfg,
+                    hard_cap,
+                );
+                let mut result = Ok(());
+                for join in joins {
+                    match join.join() {
+                        Ok(r) => {
+                            if result.is_ok() && r.is_err() {
+                                result = r;
                             }
                         }
-                    }
-                    let pending = c.pending_write() as u64;
-                    pending_total += pending;
-                    m.serve_write_buf_peak_bytes.set_max(pending as f64);
-                    if !drop_conn && c.wants_close() {
-                        // Done and fully flushed: half-close, then linger
-                        // discarding the peer's remaining input — closing
-                        // with unread bytes queued would RST away the
-                        // final responses. The idle timeout below bounds
-                        // the linger if the peer never hangs up.
-                        c.send_fin();
-                        match c.discard_input(&mut rbuf) {
-                            Ok(true) | Err(_) => drop_conn = true,
-                            Ok(false) => {}
+                        Err(_) => {
+                            if result.is_ok() {
+                                result = Err(io::Error::other("serve shard panicked"))
+                            }
                         }
-                    }
-                    if !drop_conn && now.duration_since(c.last_activity) > self.cfg.idle_timeout {
-                        // Slow or silent peers (including permanently
-                        // backpressured ones) are shed, not kept forever.
-                        drop_conn = true;
-                        shed = true;
                     }
                 }
-                if drop_conn {
-                    if shed {
-                        m.serve_shed_idle_total.inc();
-                    }
-                    conns.swap_remove(i);
-                } else {
-                    i += 1;
-                }
-            }
-            // `active` counts live sessions; closing connections are
-            // drains in progress, not service.
-            m.serve_active_connections
-                .set_u64(conns.iter().filter(|c| !c.closing).count() as u64);
-            m.serve_write_buf_bytes.set_u64(pending_total);
+                result
+            })
+        };
+        m.serve_active_connections.set_u64(0);
+        m.serve_write_buf_bytes.set_u64(0);
+        run_result?;
+        Ok(self.stats.snapshot(self.started, &self.engine.current()))
+    }
+}
 
-            if progressed {
-                idle_streak = 0;
-                // Only sweeps that moved bytes are worth timing: an idle
-                // tick measures the backoff sleep, not the loop.
-                m.serve_sweep_seconds.record(sweep_start.elapsed());
-            } else {
-                // Idle backoff with a grace window: the first few quiet
-                // sweeps keep the 200 µs tick (a pipelining client's
-                // inter-window gap must not cost latency), then the
-                // sleep decays exponentially to ~64× the tick (≈13 ms
-                // default), so an open-but-quiet server burns almost no
-                // CPU while wakeup latency stays invisible at protocol
-                // scale.
-                idle_streak = idle_streak.saturating_add(1);
-                let decay = idle_streak.saturating_sub(8).min(6);
-                std::thread::sleep(self.cfg.poll_interval * (1u32 << decay));
+/// The dedicated acceptor (multi-shard mode): accepts everything
+/// pending, drops hard-over-cap floods at the door, and hands sockets
+/// round-robin to the shard channels. Runs on the [`Server::run`]
+/// caller's thread.
+fn accept_and_route(
+    listener: &TcpListener,
+    txs: Vec<mpsc::Sender<TcpStream>>,
+    shutdown: &AtomicBool,
+    shared: &SharedCounters,
+    m: &QueryMetrics,
+    cfg: &ServeConfig,
+    hard_cap: usize,
+) {
+    let mut next = 0usize;
+    let mut idle_streak: u32 = 0;
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    let held = shared.open.load(Ordering::Relaxed)
+                        + shared.in_flight.load(Ordering::Relaxed);
+                    if held >= hard_cap {
+                        m.serve_rejected_total.inc();
+                        drop(stream);
+                        continue;
+                    }
+                    shared.in_flight.fetch_add(1, Ordering::Relaxed);
+                    if txs[next % txs.len()].send(stream).is_err() {
+                        // A shard died; its error surfaces from run().
+                        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        return;
+                    }
+                    next = next.wrapping_add(1);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake)
+                // must not kill the server.
+                Err(_) => break,
             }
         }
+        if progressed {
+            idle_streak = 0;
+        } else {
+            idle_streak = idle_streak.saturating_add(1);
+            std::thread::sleep(cfg.poll_interval * (1u32 << backoff_decay(idle_streak)));
+        }
+    }
+}
 
-        // Graceful drain: give every connection one short window to take
-        // its buffered responses — flush, half-close (FIN after the last
-        // byte), then discard the peer's remaining input until it closes
-        // too, so no final response is lost to a RST. The deadline bounds
-        // peers that neither read nor hang up.
+/// Idle backoff with a grace window: the first few quiet iterations
+/// keep the 200 µs tick (a pipelining client's inter-window gap must
+/// not cost latency), then the wait decays exponentially to ~64× the
+/// tick (≈13 ms default) — which also bounds how stale a shard's view
+/// of the shutdown flag and the handoff channel can get.
+fn backoff_decay(idle_streak: u32) -> u32 {
+    idle_streak.saturating_sub(8).min(6)
+}
+
+/// One event-loop shard: a readiness backend instance plus the slab of
+/// connections it owns. `serve_threads = 1` runs exactly one, listener
+/// inline; otherwise each lives on its own thread behind the acceptor.
+struct Shard<'a> {
+    id: usize,
+    cfg: &'a ServeConfig,
+    engine: EngineSource,
+    m: Arc<QueryMetrics>,
+    shutdown: &'a AtomicBool,
+    shared: &'a SharedCounters,
+    hard_cap: usize,
+    listener: Option<&'a TcpListener>,
+    incoming: Option<mpsc::Receiver<TcpStream>>,
+    /// `shard="N"`-labeled (active, write-buf) gauge instances; `None`
+    /// on a single-shard server, whose exposition stays byte-compatible
+    /// with the original single-loop design.
+    gauges: Option<(Arc<rpi_obs::Gauge>, Arc<rpi_obs::Gauge>)>,
+    poller: Box<dyn Poller>,
+    /// Token-indexed connection slab; freed slots are reused so tokens
+    /// stay dense and far below [`LISTENER_TOKEN`].
+    slab: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    /// Last interest submitted per token (avoids redundant reregisters).
+    interests: Vec<Interest>,
+    local_live: usize,
+    rbuf: Vec<u8>,
+}
+
+impl<'a> Shard<'a> {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        id: usize,
+        backend: PollBackend,
+        cfg: &'a ServeConfig,
+        engine: EngineSource,
+        m: Arc<QueryMetrics>,
+        shutdown: &'a AtomicBool,
+        shared: &'a SharedCounters,
+        hard_cap: usize,
+        listener: Option<&'a TcpListener>,
+        incoming: Option<mpsc::Receiver<TcpStream>>,
+        gauges: Option<(Arc<rpi_obs::Gauge>, Arc<rpi_obs::Gauge>)>,
+    ) -> io::Result<Shard<'a>> {
+        Ok(Shard {
+            id,
+            cfg,
+            engine,
+            m,
+            shutdown,
+            shared,
+            hard_cap,
+            listener,
+            incoming,
+            gauges,
+            poller: poll::make_poller(backend)?,
+            slab: Vec::new(),
+            free: Vec::new(),
+            interests: Vec::new(),
+            local_live: 0,
+            rbuf: vec![0u8; 64 * 1024],
+        })
+    }
+
+    fn run(mut self) -> io::Result<()> {
+        if let Some(listener) = self.listener {
+            self.poller.register(
+                poll::fd_of(listener),
+                LISTENER_TOKEN,
+                Interest {
+                    read: true,
+                    write: false,
+                },
+            )?;
+        }
+        let mut ready: Vec<usize> = Vec::new();
+        let mut fresh: Vec<usize> = Vec::new();
+        let mut idle_streak: u32 = 0;
+        // Idle shedding and gauge refresh run as a periodic maintenance
+        // pass: under epoll a quiet connection raises no events, so
+        // per-event bookkeeping alone would never time it out.
+        let maint_interval =
+            (self.cfg.idle_timeout / 4).clamp(self.cfg.poll_interval, Duration::from_secs(1));
+        let mut last_maint = Instant::now();
+        while !self.shutdown.load(Ordering::Relaxed) {
+            // Sockets handed over by the acceptor enter the slab before
+            // the wait, so a fresh connection is serviced this round.
+            fresh.clear();
+            if self.incoming.is_some() {
+                loop {
+                    let stream = match self.incoming.as_ref().unwrap().try_recv() {
+                        Ok(s) => s,
+                        Err(_) => break,
+                    };
+                    self.shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(token) = self.admit(stream) {
+                        fresh.push(token);
+                    }
+                }
+            }
+            let timeout = if idle_streak == 0 || !fresh.is_empty() {
+                Duration::ZERO
+            } else {
+                self.cfg.poll_interval * (1u32 << backoff_decay(idle_streak))
+            };
+            self.poller.wait(timeout, &mut ready)?;
+
+            let sweep_start = Instant::now();
+            let mut progressed = !fresh.is_empty();
+            // The epoch is loaded once per round: every batch processed
+            // this round — queries and listings alike — sees one
+            // consistent world, and a live writer publishing mid-round
+            // is observed only from the next one.
+            let epoch = self.engine.current();
+            for &token in &ready {
+                if token == LISTENER_TOKEN {
+                    progressed |= self.accept_sweep(&mut fresh);
+                } else {
+                    progressed |= self.service(token, &epoch);
+                }
+            }
+            for &token in &fresh {
+                progressed |= self.service(token, &epoch);
+            }
+
+            let now = Instant::now();
+            if now.duration_since(last_maint) >= maint_interval {
+                last_maint = now;
+                self.maintain(now);
+            }
+            if progressed {
+                idle_streak = 0;
+                // Only rounds that moved bytes are worth timing: an idle
+                // tick measures the backoff wait, not the loop.
+                self.m.serve_sweep_seconds.record(sweep_start.elapsed());
+            } else {
+                idle_streak = idle_streak.saturating_add(1);
+            }
+        }
+        self.drain();
+        Ok(())
+    }
+
+    /// Accepts everything pending on the inline listener (single-shard
+    /// mode), admitting each socket into the slab.
+    fn accept_sweep(&mut self, fresh: &mut Vec<usize>) -> bool {
+        let Some(listener) = self.listener else {
+            return false;
+        };
+        let mut progressed = false;
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    if let Some(token) = self.admit(stream) {
+                        fresh.push(token);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient accept errors (peer reset mid-handshake)
+                // must not kill the server.
+                Err(_) => break,
+            }
+        }
+        progressed
+    }
+
+    /// Takes ownership of an accepted socket: capacity check (live
+    /// sessions are *reserved* on the shared counter, so concurrent
+    /// shards stay exact), over-capacity in-band notice, slab insert,
+    /// poller registration.
+    fn admit(&mut self, stream: TcpStream) -> Option<usize> {
+        let m = Arc::clone(&self.m);
+        if self.shared.open.load(Ordering::Relaxed) >= self.hard_cap {
+            m.serve_rejected_total.inc();
+            return None;
+        }
+        let mut c = match Conn::new(stream, self.cfg.max_line_len) {
+            Ok(c) => c,
+            Err(_) => {
+                m.serve_rejected_total.inc();
+                return None;
+            }
+        };
+        let reserved = self.shared.live.fetch_add(1, Ordering::Relaxed);
+        if reserved >= self.cfg.max_conns {
+            // Overload: answer in-band, flush, close.
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            m.serve_rejected_total.inc();
+            c.push_notice(&format!(
+                "error: server full ({} connections)",
+                self.cfg.max_conns
+            ));
+            c.closing = true;
+        } else {
+            m.serve_accepted_total.inc();
+            c.counted_live = true;
+            self.local_live += 1;
+        }
+        self.shared.open.fetch_add(1, Ordering::Relaxed);
+        let interest = desired_interest(&c, self.cfg.write_buf_cap);
+        let fd = c.raw_fd();
+        let token = match self.free.pop() {
+            Some(t) => {
+                self.slab[t] = Some(c);
+                t
+            }
+            None => {
+                self.slab.push(Some(c));
+                self.interests.push(Interest::default());
+                self.slab.len() - 1
+            }
+        };
+        if self.poller.register(fd, token, interest).is_err() {
+            // A socket the backend cannot watch cannot be served.
+            self.remove(token, false);
+            m.serve_rejected_total.inc();
+            return None;
+        }
+        self.interests[token] = interest;
+        self.publish_active();
+        Some(token)
+    }
+
+    /// One service round for one connection: flush, read-and-execute
+    /// unless closing/backpressured, flush the fresh output, then
+    /// close-bookkeeping. Returns whether any byte moved.
+    fn service(&mut self, token: usize, epoch: &Arc<QueryEngine>) -> bool {
+        let m = Arc::clone(&self.m);
+        let Some(c) = self.slab.get_mut(token).and_then(|s| s.as_mut()) else {
+            // Stale readiness for a slot freed (or reused) this round.
+            return false;
+        };
+        let now = Instant::now();
+        let mut progressed = false;
+        let mut drop_conn = false;
+        match c.flush() {
+            Ok(n) if n > 0 => {
+                progressed = true;
+                m.serve_bytes_out_total.add(n);
+                c.last_activity = now;
+            }
+            Ok(_) => {}
+            Err(_) => drop_conn = true,
+        }
+        let backpressured = c.pending_write() > self.cfg.write_buf_cap;
+        if !drop_conn && !c.closing && !backpressured {
+            match c.read_and_process(epoch, &mut self.rbuf) {
+                Ok(out) => {
+                    if out.bytes_in > 0 {
+                        progressed = true;
+                        m.serve_bytes_in_total.add(out.bytes_in);
+                        c.last_activity = now;
+                    }
+                    m.serve_errors_total.add(out.errors);
+                    if out.eof {
+                        c.closing = true;
+                    }
+                    if out.shutdown {
+                        self.shutdown.store(true, Ordering::Relaxed);
+                    }
+                }
+                Err(_) => drop_conn = true,
+            }
+            if !drop_conn {
+                // Push freshly rendered responses out in the same round;
+                // leftovers stay for the next one.
+                match c.flush() {
+                    Ok(n) if n > 0 => {
+                        progressed = true;
+                        m.serve_bytes_out_total.add(n);
+                        c.last_activity = now;
+                    }
+                    Ok(_) => {}
+                    Err(_) => drop_conn = true,
+                }
+            }
+        }
+        m.serve_write_buf_peak_bytes
+            .set_max(c.pending_write() as f64);
+        if !drop_conn && c.wants_close() {
+            // Done and fully flushed: half-close, then linger discarding
+            // the peer's remaining input — closing with unread bytes
+            // queued would RST away the final responses. The idle
+            // timeout bounds the linger if the peer never hangs up.
+            c.send_fin();
+            match c.discard_input(&mut self.rbuf) {
+                Ok(true) | Err(_) => drop_conn = true,
+                Ok(false) => {}
+            }
+        }
+        // `active` counts live sessions; closing connections are drains
+        // in progress, not service.
+        if c.counted_live && c.closing {
+            c.counted_live = false;
+            self.local_live -= 1;
+            self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            self.publish_active();
+        }
+        if drop_conn {
+            self.remove(token, false);
+        } else {
+            self.update_interest(token);
+        }
+        progressed
+    }
+
+    /// Drops a connection: poller deregistration, slab slot reuse,
+    /// shared-counter release, optional shed accounting.
+    fn remove(&mut self, token: usize, shed: bool) {
+        if let Some(mut c) = self.slab.get_mut(token).and_then(|s| s.take()) {
+            if shed {
+                self.m.serve_shed_idle_total.inc();
+            }
+            if c.counted_live {
+                c.counted_live = false;
+                self.local_live -= 1;
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            }
+            let _ = self.poller.deregister(c.raw_fd(), token);
+            drop(c);
+            self.shared.open.fetch_sub(1, Ordering::Relaxed);
+            self.free.push(token);
+            self.publish_active();
+        }
+    }
+
+    /// Re-submits a connection's interest when it changed: read while
+    /// not backpressured (or while discarding a closing connection's
+    /// input), write only while output is pending — so an idle epoll
+    /// connection parks with read-only interest and costs nothing.
+    fn update_interest(&mut self, token: usize) {
+        let Some(c) = self.slab.get(token).and_then(|s| s.as_ref()) else {
+            return;
+        };
+        let want = desired_interest(c, self.cfg.write_buf_cap);
+        if self.interests[token] != want {
+            let fd = c.raw_fd();
+            if self.poller.reregister(fd, token, want).is_err() {
+                self.remove(token, false);
+                return;
+            }
+            self.interests[token] = want;
+        }
+    }
+
+    /// The periodic pass: shed idle connections and republish the
+    /// write-buffer gauges (per-shard and the cross-shard aggregate).
+    fn maintain(&mut self, now: Instant) {
+        let mut shed_tokens: Vec<usize> = Vec::new();
+        let mut pending_total = 0u64;
+        for (token, slot) in self.slab.iter().enumerate() {
+            if let Some(c) = slot {
+                pending_total += c.pending_write() as u64;
+                if now.duration_since(c.last_activity) > self.cfg.idle_timeout {
+                    // Slow or silent peers (including permanently
+                    // backpressured ones) are shed, not kept forever.
+                    shed_tokens.push(token);
+                }
+            }
+        }
+        for token in shed_tokens {
+            self.remove(token, true);
+        }
+        self.shared.wbuf[self.id].store(pending_total, Ordering::Relaxed);
+        let total: u64 = self
+            .shared
+            .wbuf
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed))
+            .sum();
+        self.m.serve_write_buf_bytes.set_u64(total);
+        if let Some((active, wbuf)) = &self.gauges {
+            active.set_u64(self.local_live as u64);
+            wbuf.set_u64(pending_total);
+        }
+        self.publish_active();
+    }
+
+    /// Mirrors the shared live-session count into the aggregate gauge
+    /// (and this shard's labeled instance).
+    fn publish_active(&self) {
+        self.m
+            .serve_active_connections
+            .set_u64(self.shared.live.load(Ordering::Relaxed) as u64);
+        if let Some((active, _)) = &self.gauges {
+            active.set_u64(self.local_live as u64);
+        }
+    }
+
+    /// Graceful drain: give every connection one short window to take
+    /// its buffered responses — flush, half-close (FIN after the last
+    /// byte), then discard the peer's remaining input until it closes
+    /// too, so no final response is lost to a RST. The deadline bounds
+    /// peers that neither read nor hang up.
+    fn drain(&mut self) {
+        let mut conns: Vec<Conn> = self.slab.iter_mut().filter_map(|s| s.take()).collect();
+        for c in &mut conns {
+            if c.counted_live {
+                c.counted_live = false;
+                self.local_live -= 1;
+                self.shared.live.fetch_sub(1, Ordering::Relaxed);
+            }
+            self.shared.open.fetch_sub(1, Ordering::Relaxed);
+        }
+        let m = Arc::clone(&self.m);
         let deadline = Instant::now()
             + self
                 .cfg
@@ -385,14 +811,30 @@ impl Server {
                     return true;
                 }
                 c.send_fin();
-                !matches!(c.discard_input(&mut rbuf), Ok(true) | Err(_))
+                !matches!(c.discard_input(&mut self.rbuf), Ok(true) | Err(_))
             });
             if !moved {
                 std::thread::sleep(self.cfg.poll_interval);
             }
         }
-        drop(conns);
-        m.serve_active_connections.set_u64(0);
-        Ok(self.stats.snapshot(self.started, &self.engine.current()))
+        self.publish_active();
+    }
+}
+
+/// What should wake the loop for this connection right now.
+fn desired_interest(c: &Conn, write_buf_cap: usize) -> Interest {
+    let pending = c.pending_write();
+    Interest {
+        // A closing connection is read only in its discard phase (fully
+        // flushed, waiting for the peer's close); reading it earlier
+        // would busy-wake a level-triggered backend on input the state
+        // machine refuses to consume. A live connection reads unless
+        // backpressured.
+        read: if c.closing {
+            pending == 0
+        } else {
+            pending <= write_buf_cap
+        },
+        write: pending > 0,
     }
 }

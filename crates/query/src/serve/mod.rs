@@ -6,9 +6,15 @@
 //! smoke enforces by diffing TCP-served output for the committed smoke
 //! script against the stdin golden.
 //!
-//! The design is a single-threaded readiness poll loop over nonblocking
-//! std sockets (no tokio, no mio — the build is registry-free); the
-//! parallelism lives where it already existed, in the engine's
+//! The design is a readiness event loop over nonblocking std sockets
+//! (no tokio, no mio — the build is registry-free). Readiness comes
+//! from a pluggable [`PollBackend`]: the portable `sweep` fallback
+//! attempts every syscall and treats `WouldBlock` as "not ready", while
+//! the Linux `epoll` backend (a thin audited `extern "C"` shim in
+//! `rpi-epoll`) gets real kernel notification so idle connections cost
+//! nothing. `serve_threads = N` shards connections across N copies of
+//! the same loop behind a dedicated acceptor; query parallelism
+//! additionally lives where it always did, in the engine's
 //! shard-bucketed [`execute_batch`](crate::QueryEngine::execute_batch):
 //!
 //! * **Framing** ([`LineFramer`](crate::proto::LineFramer)): requests
@@ -43,11 +49,13 @@
 
 mod conn;
 mod event_loop;
+pub(crate) mod poll;
 pub mod session;
 
 use std::time::Duration;
 
 pub use event_loop::{EngineSource, Server, ServerHandle};
+pub use poll::PollBackend;
 
 /// Tunables of the serve loop. `Default` matches the daemon's CLI
 /// defaults.
@@ -70,6 +78,16 @@ pub struct ServeConfig {
     pub max_line_len: usize,
     /// Sleep between sweeps when no socket made progress.
     pub poll_interval: Duration,
+    /// Readiness backend. `Default` honors the `RPI_SERVE_BACKEND`
+    /// environment override (`sweep`/`epoll`/`auto`) so a CI matrix can
+    /// drive every test through both implementations, falling back to
+    /// [`PollBackend::auto`] (epoll where supported).
+    pub backend: PollBackend,
+    /// Event-loop shard threads. `1` (default) keeps the listener
+    /// inline in a single loop — the original topology; `N > 1` runs a
+    /// dedicated acceptor distributing connections round-robin across N
+    /// shard loops.
+    pub serve_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +98,8 @@ impl Default for ServeConfig {
             idle_timeout: Duration::from_secs(30),
             max_line_len: 16 * 1024,
             poll_interval: Duration::from_micros(200),
+            backend: PollBackend::from_env(),
+            serve_threads: 1,
         }
     }
 }

@@ -1,0 +1,52 @@
+//! The portable attempt-and-`WouldBlock` backend: every wait reports
+//! every registered token ready, sleeping the requested timeout first —
+//! exactly the original single-loop behavior, factored behind the
+//! [`Poller`] trait so the epoll path and this one share one event
+//! loop.
+
+use std::io;
+use std::time::Duration;
+
+use super::{Interest, Poller};
+
+/// Registered tokens in insertion order (the order the old loop swept
+/// its connection vector).
+#[derive(Debug, Default)]
+pub(crate) struct SweepPoller {
+    tokens: Vec<usize>,
+}
+
+impl SweepPoller {
+    pub(crate) fn new() -> SweepPoller {
+        SweepPoller::default()
+    }
+}
+
+impl Poller for SweepPoller {
+    fn register(&mut self, _fd: i32, token: usize, _interest: Interest) -> io::Result<()> {
+        if !self.tokens.contains(&token) {
+            self.tokens.push(token);
+        }
+        Ok(())
+    }
+
+    fn reregister(&mut self, _fd: i32, _token: usize, _interest: Interest) -> io::Result<()> {
+        // Interest is advisory here: the connection code re-discovers
+        // readiness by attempting the syscall regardless.
+        Ok(())
+    }
+
+    fn deregister(&mut self, _fd: i32, token: usize) -> io::Result<()> {
+        self.tokens.retain(|&t| t != token);
+        Ok(())
+    }
+
+    fn wait(&mut self, timeout: Duration, ready: &mut Vec<usize>) -> io::Result<()> {
+        if !timeout.is_zero() {
+            std::thread::sleep(timeout);
+        }
+        ready.clear();
+        ready.extend_from_slice(&self.tokens);
+        Ok(())
+    }
+}

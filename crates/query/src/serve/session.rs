@@ -106,7 +106,10 @@ pub fn repl_reply(engine: &QueryEngine, cmd: ReplCmd) -> String {
              archive (list on-disk segments), stats (per-verb latency percentiles), \
              metrics (Prometheus-style exposition; 'metrics names' for the schema), \
              slowlog (recent slow segments, needs --slow-query-ms), \
-             ping, quit, shutdown (stop the whole server)"
+             ping, quit, shutdown (stop the whole server)\n\
+             serve scale (daemon flags): --backend sweep|epoll|auto picks the \
+             readiness backend, --serve-threads N shards connections across N \
+             event-loop threads, --idle-timeout SECS tunes connection shedding"
         ),
         ReplCmd::Snapshots => {
             // A tier-attached engine lists residency instead of trie

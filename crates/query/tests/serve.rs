@@ -2,6 +2,11 @@
 //! across split writes, per-read pipelining, in-band error handling,
 //! read-side backpressure, idle shedding, and — the property everything
 //! else rests on — responses byte-identical to direct `engine.execute`.
+//!
+//! Every scenario runs over the full backend × serve-thread matrix
+//! ([`matrix`]): the portable sweep poller and the epoll poller (where
+//! supported), single-threaded and sharded across 4 event-loop threads.
+//! The responses must be byte-identical in every cell.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -11,7 +16,7 @@ use std::time::{Duration, Instant};
 use net_topology::InternetSize;
 use rpi_core::Experiment;
 use rpi_query::serve::session::{repl_reply, ReplCmd};
-use rpi_query::serve::{ServeConfig, ServeStats, Server, ServerHandle};
+use rpi_query::serve::{PollBackend, ServeConfig, ServeStats, Server, ServerHandle};
 use rpi_query::{parse, render_response, QueryEngine};
 
 /// A tiny single-snapshot engine plus its experiment (for valid
@@ -37,6 +42,39 @@ fn query_pairs(engine: &QueryEngine, exp: &Experiment) -> Vec<(String, String)> 
     }
     assert!(!out.is_empty(), "tiny world has routes");
     out
+}
+
+/// The backend × serve-threads cells every scenario sweeps. Epoll cells
+/// appear only where the platform supports the backend (everywhere CI
+/// runs; the sweep-only fallback keeps the suite green elsewhere).
+fn matrix() -> Vec<(PollBackend, usize)> {
+    let mut cells = vec![(PollBackend::Sweep, 1)];
+    if PollBackend::Epoll.supported() {
+        cells.push((PollBackend::Epoll, 1));
+    }
+    cells.push((PollBackend::Sweep, 4));
+    if PollBackend::Epoll.supported() {
+        cells.push((PollBackend::Epoll, 4));
+    }
+    cells
+}
+
+/// Just the backends (for scenarios whose property is per-connection
+/// and thread-count-independent, like the heavy backpressure run).
+fn backends() -> Vec<PollBackend> {
+    let mut b = vec![PollBackend::Sweep];
+    if PollBackend::Epoll.supported() {
+        b.push(PollBackend::Epoll);
+    }
+    b
+}
+
+fn cell_cfg(backend: PollBackend, threads: usize, base: ServeConfig) -> ServeConfig {
+    ServeConfig {
+        backend,
+        serve_threads: threads,
+        ..base
+    }
 }
 
 fn spawn_server(
@@ -104,70 +142,87 @@ fn expected_for(engine: &QueryEngine, lines: &[&str]) -> String {
 
 #[test]
 fn pipelined_multi_query_write_round_trips() {
-    let (engine, exp) = tiny_engine();
-    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
 
-    // One write carrying every protocol shape: point queries, listings,
-    // history walks, a control ping — then quit.
-    let pairs = query_pairs(&engine, &exp);
-    let (v, p) = &pairs[0];
-    let mut lines = vec![
-        "ping".to_string(),
-        "snapshots".to_string(),
-        "vantages".to_string(),
-        format!("route {v} {p}"),
-        format!("resolve {v} {p}"),
-        format!("sa {v} {p}"),
-        format!("summary {v}"),
-        format!("sa-history {v} {p}"),
-        format!("uptime {v}"),
-        format!("top-sa {v} 3"),
-        format!("persistence {v} {p} @all"),
-    ];
-    for (v, p) in pairs.iter().skip(1).take(40) {
-        lines.push(format!("route {v} {p}"));
+        // One write carrying every protocol shape: point queries,
+        // listings, history walks, a control ping — then quit.
+        let pairs = query_pairs(&engine, &exp);
+        let (v, p) = &pairs[0];
+        let mut lines = vec![
+            "ping".to_string(),
+            "snapshots".to_string(),
+            "vantages".to_string(),
+            format!("route {v} {p}"),
+            format!("resolve {v} {p}"),
+            format!("sa {v} {p}"),
+            format!("summary {v}"),
+            format!("sa-history {v} {p}"),
+            format!("uptime {v}"),
+            format!("top-sa {v} 3"),
+            format!("persistence {v} {p} @all"),
+        ];
+        for (v, p) in pairs.iter().skip(1).take(40) {
+            lines.push(format!("route {v} {p}"));
+        }
+        lines.push("quit".to_string());
+        let input = lines.join("\n") + "\n";
+
+        let got = roundtrip(addr, &input);
+        let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        assert_eq!(
+            got,
+            expected_for(&engine, &line_refs),
+            "[{backend} x{threads}] response bytes diverged"
+        );
+
+        let stats = handle.stats();
+        assert_eq!(
+            stats.queries, 48,
+            "[{backend} x{threads}] 8 verbs + 40 routes"
+        );
+        assert_eq!(stats.errors, 0, "[{backend} x{threads}]");
+
+        handle.shutdown();
+        join.join().unwrap();
     }
-    lines.push("quit".to_string());
-    let input = lines.join("\n") + "\n";
-
-    let got = roundtrip(addr, &input);
-    let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
-    assert_eq!(got, expected_for(&engine, &line_refs));
-
-    let stats = handle.stats();
-    assert_eq!(stats.queries, 48, "8 verbs + 40 extra routes");
-    assert_eq!(stats.errors, 0);
-
-    handle.shutdown();
-    join.join().unwrap();
 }
 
 #[test]
 fn split_frames_reassemble_across_writes() {
-    let (engine, exp) = tiny_engine();
-    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
 
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let line = format!("route {v} {p}\n");
-    let (a, b) = line.as_bytes().split_at(line.len() / 2);
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let line = format!("route {v} {p}\n");
+        let (a, b) = line.as_bytes().split_at(line.len() / 2);
 
-    let mut s = connect(addr);
-    s.write_all(a).unwrap();
-    s.flush().unwrap();
-    // Give the poll loop time to consume the first fragment on its own,
-    // so the query really is reassembled from two reads.
-    std::thread::sleep(Duration::from_millis(50));
-    s.write_all(b).unwrap();
-    s.write_all(b"quit\n").unwrap();
-    let mut got = String::new();
-    s.read_to_string(&mut got).unwrap();
+        let mut s = connect(addr);
+        s.write_all(a).unwrap();
+        s.flush().unwrap();
+        // Give the poll loop time to consume the first fragment on its
+        // own, so the query really is reassembled from two reads.
+        std::thread::sleep(Duration::from_millis(50));
+        s.write_all(b).unwrap();
+        s.write_all(b"quit\n").unwrap();
+        let mut got = String::new();
+        s.read_to_string(&mut got).unwrap();
 
-    let expected = expected_for(&engine, &[line.trim(), "quit"]);
-    assert_eq!(got, expected);
-    assert_eq!(handle.stats().queries, 1);
+        let expected = expected_for(&engine, &[line.trim(), "quit"]);
+        assert_eq!(got, expected, "[{backend} x{threads}]");
+        assert_eq!(handle.stats().queries, 1, "[{backend} x{threads}]");
 
-    handle.shutdown();
-    join.join().unwrap();
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
 
 /// The stdin path answers a final line that lacks its newline
@@ -175,288 +230,352 @@ fn split_frames_reassemble_across_writes() {
 /// on inputs like `printf 'route …' | nc`.
 #[test]
 fn unterminated_final_line_answers_on_half_close() {
-    let (engine, exp) = tiny_engine();
-    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
 
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let line = format!("route {v} {p}");
-    let mut s = connect(addr);
-    s.write_all(line.as_bytes()).unwrap(); // no trailing newline
-    s.shutdown(std::net::Shutdown::Write).unwrap();
-    let mut got = String::new();
-    s.read_to_string(&mut got).unwrap();
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let line = format!("route {v} {p}");
+        let mut s = connect(addr);
+        s.write_all(line.as_bytes()).unwrap(); // no trailing newline
+        s.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut got = String::new();
+        s.read_to_string(&mut got).unwrap();
 
-    let req = parse(&line).unwrap();
-    let expected = render_response(&req, &engine.execute(&req).unwrap());
-    assert_eq!(got, format!("{expected}\n"));
-    assert_eq!(handle.stats().queries, 1);
+        let req = parse(&line).unwrap();
+        let expected = render_response(&req, &engine.execute(&req).unwrap());
+        assert_eq!(got, format!("{expected}\n"), "[{backend} x{threads}]");
+        assert_eq!(handle.stats().queries, 1, "[{backend} x{threads}]");
 
-    handle.shutdown();
-    join.join().unwrap();
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
 
 /// An over-capacity client that pipelines queries in its very first
 /// window must still *receive* the in-band rejection notice: the server
 /// half-closes after the notice and discards the unread input instead
 /// of closing with bytes queued (which would turn into a RST and
-/// destroy the notice in flight).
+/// destroy the notice in flight). With serve threads, the live-conn
+/// budget is shared: a rejected connection may land on a different
+/// shard than the occupant and must still see the notice.
 #[test]
 fn server_full_notice_reaches_a_pipelining_client() {
-    let (engine, exp) = tiny_engine();
-    let cfg = ServeConfig {
-        max_conns: 1,
-        ..ServeConfig::default()
-    };
-    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let cfg = cell_cfg(
+            backend,
+            threads,
+            ServeConfig {
+                max_conns: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let (addr, handle, join) = spawn_server(engine.clone(), cfg);
 
-    // Occupy the only slot (round-trip a ping so the accept is done).
-    let mut occupant = connect(addr);
-    occupant.write_all(b"ping\n").unwrap();
-    let mut buf = [0u8; 8];
-    let n = occupant.read(&mut buf).unwrap();
-    assert_eq!(&buf[..n], b"pong\n");
+        // Occupy the only slot (round-trip a ping so the accept is done).
+        let mut occupant = connect(addr);
+        occupant.write_all(b"ping\n").unwrap();
+        let mut buf = [0u8; 8];
+        let n = occupant.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong\n", "[{backend} x{threads}]");
 
-    // The rejected client sends queries immediately — bytes the server
-    // will never read.
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let mut rejected = connect(addr);
-    rejected
-        .write_all(format!("route {v} {p}\nroute {v} {p}\n").as_bytes())
-        .unwrap();
-    let mut got = String::new();
-    rejected
-        .read_to_string(&mut got)
-        .expect("notice then EOF, not a connection reset");
-    assert_eq!(got, "error: server full (1 connections)\n");
-    assert_eq!(handle.stats().rejected, 1);
+        // The rejected client sends queries immediately — bytes the
+        // server will never read.
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let mut rejected = connect(addr);
+        rejected
+            .write_all(format!("route {v} {p}\nroute {v} {p}\n").as_bytes())
+            .unwrap();
+        let mut got = String::new();
+        rejected
+            .read_to_string(&mut got)
+            .expect("notice then EOF, not a connection reset");
+        assert_eq!(
+            got, "error: server full (1 connections)\n",
+            "[{backend} x{threads}]"
+        );
+        assert_eq!(handle.stats().rejected, 1, "[{backend} x{threads}]");
 
-    drop(occupant);
-    handle.shutdown();
-    join.join().unwrap();
+        drop(occupant);
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
 
 #[test]
 fn garbage_and_oversized_lines_error_in_band_without_killing_the_connection() {
-    let (engine, exp) = tiny_engine();
-    let cfg = ServeConfig {
-        max_line_len: 64,
-        ..ServeConfig::default()
-    };
-    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let cfg = cell_cfg(
+            backend,
+            threads,
+            ServeConfig {
+                max_line_len: 64,
+                ..ServeConfig::default()
+            },
+        );
+        let (addr, handle, join) = spawn_server(engine.clone(), cfg);
 
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let long = "x".repeat(200);
-    let input = format!("frobnicate AS1\n{long}\nroute {v} {p}\nbad line two\nquit\n");
-    let got = roundtrip(addr, &input);
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let long = "x".repeat(200);
+        let input = format!("frobnicate AS1\n{long}\nroute {v} {p}\nbad line two\nquit\n");
+        let got = roundtrip(addr, &input);
 
-    let mut lines = got.lines();
-    let l1 = lines.next().unwrap();
-    assert!(
-        l1.starts_with("error line 1: unknown query 'frobnicate'"),
-        "garbage must be a line-numbered error: {l1}"
-    );
-    let l2 = got
-        .lines()
-        .find(|l| l.starts_with("error line 2:"))
-        .expect("oversized line errors with its number");
-    assert!(
-        l2.contains("line too long") && l2.contains("cap 64"),
-        "oversized error names the cap: {l2}"
-    );
-    // The connection survived both: the valid query still answered …
-    let req = parse(&format!("route {v} {p}")).unwrap();
-    let expected = render_response(&req, &engine.execute(&req).unwrap());
-    assert!(
-        got.lines().any(|l| l == expected),
-        "valid query after errors must still answer.\ngot:\n{got}"
-    );
-    // … and the second garbage line is numbered *after* the long line.
-    assert!(
-        got.lines().any(|l| l.starts_with("error line 4:")),
-        "line numbering must count the oversized line:\n{got}"
-    );
+        let mut lines = got.lines();
+        let l1 = lines.next().unwrap();
+        assert!(
+            l1.starts_with("error line 1: unknown query 'frobnicate'"),
+            "[{backend} x{threads}] garbage must be a line-numbered error: {l1}"
+        );
+        let l2 = got
+            .lines()
+            .find(|l| l.starts_with("error line 2:"))
+            .expect("oversized line errors with its number");
+        assert!(
+            l2.contains("line too long") && l2.contains("cap 64"),
+            "[{backend} x{threads}] oversized error names the cap: {l2}"
+        );
+        // The connection survived both: the valid query still answered …
+        let req = parse(&format!("route {v} {p}")).unwrap();
+        let expected = render_response(&req, &engine.execute(&req).unwrap());
+        assert!(
+            got.lines().any(|l| l == expected),
+            "[{backend} x{threads}] valid query after errors must still answer.\ngot:\n{got}"
+        );
+        // … and the second garbage line is numbered *after* the long line.
+        assert!(
+            got.lines().any(|l| l.starts_with("error line 4:")),
+            "[{backend} x{threads}] line numbering must count the oversized line:\n{got}"
+        );
 
-    let stats = handle.stats();
-    assert_eq!(stats.queries, 1);
-    assert_eq!(stats.errors, 3);
+        let stats = handle.stats();
+        assert_eq!(stats.queries, 1, "[{backend} x{threads}]");
+        assert_eq!(stats.errors, 3, "[{backend} x{threads}]");
 
-    handle.shutdown();
-    join.join().unwrap();
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
 
+/// Heavy by design (200k pipelined queries): the property is strictly
+/// per-connection (one connection's write buffer versus one shard's
+/// read loop), so it sweeps the backends at one serve thread; the
+/// sharded cells exercise backpressure via the cross-shard totals and
+/// concurrency scenarios instead.
 #[test]
 fn backpressure_stops_reading_and_bounds_the_write_buffer() {
-    let (engine, exp) = tiny_engine();
-    let cap = 4 * 1024;
-    let cfg = ServeConfig {
-        write_buf_cap: cap,
-        idle_timeout: Duration::from_secs(120),
-        ..ServeConfig::default()
-    };
-    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+    for backend in backends() {
+        let (engine, exp) = tiny_engine();
+        let cap = 4 * 1024;
+        let cfg = cell_cfg(
+            backend,
+            1,
+            ServeConfig {
+                write_buf_cap: cap,
+                idle_timeout: Duration::from_secs(120),
+                ..ServeConfig::default()
+            },
+        );
+        let (addr, handle, join) = spawn_server(engine.clone(), cfg);
 
-    // A high-expansion query (~12 request bytes → ~150+ response bytes):
-    // kernel socket buffers on loopback autotune into the megabytes, so
-    // the *response* volume has to dwarf what sndbuf+rcvbuf can swallow
-    // before the server visibly wedges.
-    let (v, _) = &query_pairs(&engine, &exp)[0];
-    let line = format!("summary {v}\n");
-    let req = parse(line.trim()).unwrap();
-    let expected = render_response(&req, &engine.execute(&req).unwrap());
+        // A high-expansion query (~12 request bytes → ~150+ response
+        // bytes): kernel socket buffers on loopback autotune into the
+        // megabytes, so the *response* volume has to dwarf what
+        // sndbuf+rcvbuf can swallow before the server visibly wedges.
+        let (v, _) = &query_pairs(&engine, &exp)[0];
+        let line = format!("summary {v}\n");
+        let req = parse(line.trim()).unwrap();
+        let expected = render_response(&req, &engine.execute(&req).unwrap());
 
-    const N: usize = 200_000;
-    let payload: Vec<u8> = line.as_bytes().repeat(N);
-    let total_responses = (expected.len() + 1) * N;
-    assert!(
-        total_responses > 24 * 1024 * 1024,
-        "responses ({total_responses} B) must exceed any plausible kernel buffering"
-    );
+        const N: usize = 200_000;
+        let payload: Vec<u8> = line.as_bytes().repeat(N);
+        let total_responses = (expected.len() + 1) * N;
+        assert!(
+            total_responses > 24 * 1024 * 1024,
+            "responses ({total_responses} B) must exceed any plausible kernel buffering"
+        );
 
-    let mut s = connect(addr);
-    s.set_nonblocking(true).unwrap();
+        let mut s = connect(addr);
+        s.set_nonblocking(true).unwrap();
 
-    // Phase 1: shovel queries without ever reading, then watch the
-    // server's app-level read counter. Backpressure means it stops
-    // *consuming* input long before the payload runs out — the unread
-    // remainder parks in kernel buffers (and possibly our send loop),
-    // not in server memory.
-    let mut sent = 0usize;
-    let mut stalled_rounds = 0;
-    while sent < payload.len() && stalled_rounds < 500 {
-        match s.write(&payload[sent..]) {
-            Ok(n) => {
-                sent += n;
-                stalled_rounds = 0;
+        // Phase 1: shovel queries without ever reading, then watch the
+        // server's app-level read counter. Backpressure means it stops
+        // *consuming* input long before the payload runs out — the
+        // unread remainder parks in kernel buffers (and possibly our
+        // send loop), not in server memory.
+        let mut sent = 0usize;
+        let mut stalled_rounds = 0;
+        while sent < payload.len() && stalled_rounds < 500 {
+            match s.write(&payload[sent..]) {
+                Ok(n) => {
+                    sent += n;
+                    stalled_rounds = 0;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    stalled_rounds += 1;
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("send failed: {e}"),
             }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                stalled_rounds += 1;
-                std::thread::sleep(Duration::from_millis(2));
+        }
+        let deadline = Instant::now() + Duration::from_secs(20);
+        let mut consumed = handle.stats().bytes_in;
+        loop {
+            std::thread::sleep(Duration::from_millis(400));
+            let now_in = handle.stats().bytes_in;
+            if now_in == consumed {
+                break; // plateaued: the server stopped reading us
             }
-            Err(e) => panic!("send failed: {e}"),
+            consumed = now_in;
+            assert!(
+                Instant::now() < deadline,
+                "[{backend}] bytes_in never plateaued"
+            );
         }
+        assert!(
+            (consumed as usize) < payload.len(),
+            "[{backend}] server consumed the whole {} B payload from a client that never reads",
+            payload.len()
+        );
+        // Bounded growth: the write buffer may overshoot the cap by at
+        // most one read's worth of rendered responses (64 KiB of
+        // requests at this expansion ratio), never by the workload size.
+        let peak = handle.stats().max_write_buf as usize;
+        let one_read_slack = (64 * 1024 / line.len() + 1) * (expected.len() + 1);
+        assert!(
+            peak <= cap + one_read_slack,
+            "[{backend}] write buffer grew without bound: peak {peak} B vs cap {cap} B + slack {one_read_slack} B"
+        );
+
+        // Phase 2: start draining. Everything already accepted must
+        // arrive, then the rest of the payload flows and answers too.
+        s.set_nonblocking(false).unwrap();
+        let writer = {
+            let payload = payload[sent..].to_vec();
+            let mut s2 = s.try_clone().unwrap();
+            std::thread::spawn(move || {
+                s2.write_all(&payload).unwrap();
+                s2.write_all(b"quit\n").unwrap();
+            })
+        };
+        let mut got = String::new();
+        s.read_to_string(&mut got).unwrap();
+        writer.join().unwrap();
+
+        let lines: Vec<&str> = got.lines().collect();
+        assert_eq!(
+            lines.len(),
+            N,
+            "[{backend}] every pipelined query must answer"
+        );
+        assert!(lines.iter().all(|l| *l == expected), "[{backend}]");
+        assert_eq!(handle.stats().queries, N as u64, "[{backend}]");
+
+        handle.shutdown();
+        join.join().unwrap();
     }
-    let deadline = Instant::now() + Duration::from_secs(20);
-    let mut consumed = handle.stats().bytes_in;
-    loop {
-        std::thread::sleep(Duration::from_millis(400));
-        let now_in = handle.stats().bytes_in;
-        if now_in == consumed {
-            break; // plateaued: the server stopped reading us
-        }
-        consumed = now_in;
-        assert!(Instant::now() < deadline, "bytes_in never plateaued");
-    }
-    assert!(
-        (consumed as usize) < payload.len(),
-        "server consumed the whole {} B payload from a client that never reads",
-        payload.len()
-    );
-    // Bounded growth: the write buffer may overshoot the cap by at most
-    // one read's worth of rendered responses (64 KiB of requests at this
-    // expansion ratio), never by the workload size.
-    let peak = handle.stats().max_write_buf as usize;
-    let one_read_slack = (64 * 1024 / line.len() + 1) * (expected.len() + 1);
-    assert!(
-        peak <= cap + one_read_slack,
-        "write buffer grew without bound: peak {peak} B vs cap {cap} B + slack {one_read_slack} B"
-    );
-
-    // Phase 2: start draining. Everything already accepted must arrive,
-    // then the rest of the payload flows and answers too.
-    s.set_nonblocking(false).unwrap();
-    let writer = {
-        let payload = payload[sent..].to_vec();
-        let mut s2 = s.try_clone().unwrap();
-        std::thread::spawn(move || {
-            s2.write_all(&payload).unwrap();
-            s2.write_all(b"quit\n").unwrap();
-        })
-    };
-    let mut got = String::new();
-    s.read_to_string(&mut got).unwrap();
-    writer.join().unwrap();
-
-    let lines: Vec<&str> = got.lines().collect();
-    assert_eq!(lines.len(), N, "every pipelined query must answer");
-    assert!(lines.iter().all(|l| *l == expected));
-    assert_eq!(handle.stats().queries, N as u64);
-
-    handle.shutdown();
-    join.join().unwrap();
 }
 
 #[test]
 fn idle_connections_are_shed_and_counted() {
-    let (engine, _exp) = tiny_engine();
-    let cfg = ServeConfig {
-        idle_timeout: Duration::from_millis(250),
-        ..ServeConfig::default()
-    };
-    let (addr, handle, join) = spawn_server(engine, cfg);
+    for (backend, threads) in matrix() {
+        let (engine, _exp) = tiny_engine();
+        let cfg = cell_cfg(
+            backend,
+            threads,
+            ServeConfig {
+                idle_timeout: Duration::from_millis(250),
+                ..ServeConfig::default()
+            },
+        );
+        let (addr, handle, join) = spawn_server(engine, cfg);
 
-    let mut s = connect(addr);
-    s.write_all(b"ping\n").unwrap();
-    let mut buf = [0u8; 16];
-    let n = s.read(&mut buf).unwrap();
-    assert_eq!(&buf[..n], b"pong\n");
+        let mut s = connect(addr);
+        s.write_all(b"ping\n").unwrap();
+        let mut buf = [0u8; 16];
+        let n = s.read(&mut buf).unwrap();
+        assert_eq!(&buf[..n], b"pong\n", "[{backend} x{threads}]");
 
-    // Now go silent: the server must hang up on us (EOF or a reset,
-    // depending on how the close lands — both mean "shed", never a hang).
-    let mut rest = Vec::new();
-    match s.read_to_end(&mut rest) {
-        Ok(_) => assert!(rest.is_empty()),
-        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+        // Now go silent: the server must hang up on us (EOF or a reset,
+        // depending on how the close lands — both mean "shed", never a
+        // hang).
+        let mut rest = Vec::new();
+        match s.read_to_end(&mut rest) {
+            Ok(_) => assert!(rest.is_empty(), "[{backend} x{threads}]"),
+            Err(e) => assert_eq!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset,
+                "[{backend} x{threads}] {e}"
+            ),
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.stats().shed_idle == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(handle.stats().shed_idle, 1, "[{backend} x{threads}]");
+
+        handle.shutdown();
+        join.join().unwrap();
     }
-    let deadline = Instant::now() + Duration::from_secs(5);
-    while handle.stats().shed_idle == 0 && Instant::now() < deadline {
-        std::thread::sleep(Duration::from_millis(10));
-    }
-    assert_eq!(handle.stats().shed_idle, 1);
-
-    handle.shutdown();
-    join.join().unwrap();
 }
 
 #[test]
 fn concurrent_clients_get_exactly_direct_execute_answers() {
-    let (engine, exp) = tiny_engine();
-    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
 
-    let pairs = query_pairs(&engine, &exp);
-    const CLIENTS: usize = 6;
-    std::thread::scope(|scope| {
-        for c in 0..CLIENTS {
-            let engine = &engine;
-            let pairs = &pairs;
-            scope.spawn(move || {
-                // Each client gets its own slice of the workload, with
-                // every verb shape mixed in.
-                let mut lines: Vec<String> = Vec::new();
-                for (i, (v, p)) in pairs.iter().enumerate().filter(|(i, _)| i % CLIENTS == c) {
-                    lines.push(match i % 4 {
-                        0 => format!("route {v} {p}"),
-                        1 => format!("resolve {v} {p}"),
-                        2 => format!("sa {v} {p}"),
-                        _ => format!("summary {v}"),
-                    });
-                }
-                lines.push("quit".into());
-                let input = lines.join("\n") + "\n";
-                let got = roundtrip(addr, &input);
-                let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
-                assert_eq!(got, expected_for(engine, &refs), "client {c} diverged");
-            });
-        }
-    });
+        let pairs = query_pairs(&engine, &exp);
+        const CLIENTS: usize = 6;
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let engine = &engine;
+                let pairs = &pairs;
+                scope.spawn(move || {
+                    // Each client gets its own slice of the workload,
+                    // with every verb shape mixed in.
+                    let mut lines: Vec<String> = Vec::new();
+                    for (i, (v, p)) in pairs.iter().enumerate().filter(|(i, _)| i % CLIENTS == c) {
+                        lines.push(match i % 4 {
+                            0 => format!("route {v} {p}"),
+                            1 => format!("resolve {v} {p}"),
+                            2 => format!("sa {v} {p}"),
+                            _ => format!("summary {v}"),
+                        });
+                    }
+                    lines.push("quit".into());
+                    let input = lines.join("\n") + "\n";
+                    let got = roundtrip(addr, &input);
+                    let refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+                    assert_eq!(
+                        got,
+                        expected_for(engine, &refs),
+                        "[{backend} x{threads}] client {c} diverged"
+                    );
+                });
+            }
+        });
 
-    let stats = handle.stats();
-    assert_eq!(stats.accepted, CLIENTS as u64);
-    assert_eq!(stats.queries, pairs.len() as u64);
-    assert_eq!(stats.errors, 0);
+        let stats = handle.stats();
+        assert_eq!(stats.accepted, CLIENTS as u64, "[{backend} x{threads}]");
+        assert_eq!(stats.queries, pairs.len() as u64, "[{backend} x{threads}]");
+        assert_eq!(stats.errors, 0, "[{backend} x{threads}]");
 
-    handle.shutdown();
-    let final_stats = join.join().unwrap();
-    assert_eq!(final_stats.queries, pairs.len() as u64);
+        handle.shutdown();
+        let final_stats = join.join().unwrap();
+        assert_eq!(
+            final_stats.queries,
+            pairs.len() as u64,
+            "[{backend} x{threads}]"
+        );
+    }
 }
 
 /// Every pipelined query increments its verb's counter exactly once —
@@ -465,44 +584,110 @@ fn concurrent_clients_get_exactly_direct_execute_answers() {
 #[test]
 fn per_verb_counters_increment_exactly_once_per_pipelined_query() {
     use rpi_query::metrics::VERBS;
-    let (engine, exp) = tiny_engine();
-    let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
-
-    let pairs = query_pairs(&engine, &exp);
-    let (v, p) = &pairs[0];
-    // A known verb mix in one pipelined write: 3 route, 2 resolve,
-    // 1 sa, 1 summary, 1 uptime.
-    let input = format!(
-        "route {v} {p}\nroute {v} {p}\nresolve {v} {p}\nroute {v} {p}\n\
-         resolve {v} {p}\nsa {v} {p}\nsummary {v}\nuptime {v}\nquit\n"
-    );
-    let _ = roundtrip(addr, &input);
-
-    let want = [
-        ("route", 3),
-        ("resolve", 2),
-        ("sa", 1),
-        ("summary", 1),
-        ("uptime", 1),
-    ];
-    let m = engine.metrics();
-    for (i, verb) in VERBS.iter().enumerate() {
-        let expect = want.iter().find(|(w, _)| w == verb).map_or(0, |&(_, n)| n);
-        assert_eq!(
-            m.serve_queries_total[i].get(),
-            expect,
-            "verb '{verb}' count"
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
         );
-        assert_eq!(
-            m.serve_query_seconds[i].snapshot().count(),
-            expect,
-            "verb '{verb}' latency samples"
+
+        let pairs = query_pairs(&engine, &exp);
+        let (v, p) = &pairs[0];
+        // A known verb mix in one pipelined write: 3 route, 2 resolve,
+        // 1 sa, 1 summary, 1 uptime.
+        let input = format!(
+            "route {v} {p}\nroute {v} {p}\nresolve {v} {p}\nroute {v} {p}\n\
+             resolve {v} {p}\nsa {v} {p}\nsummary {v}\nuptime {v}\nquit\n"
         );
+        let _ = roundtrip(addr, &input);
+
+        let want = [
+            ("route", 3),
+            ("resolve", 2),
+            ("sa", 1),
+            ("summary", 1),
+            ("uptime", 1),
+        ];
+        let m = engine.metrics();
+        for (i, verb) in VERBS.iter().enumerate() {
+            let expect = want.iter().find(|(w, _)| w == verb).map_or(0, |&(_, n)| n);
+            assert_eq!(
+                m.serve_queries_total[i].get(),
+                expect,
+                "[{backend} x{threads}] verb '{verb}' count"
+            );
+            assert_eq!(
+                m.serve_query_seconds[i].snapshot().count(),
+                expect,
+                "[{backend} x{threads}] verb '{verb}' latency samples"
+            );
+        }
+        assert_eq!(handle.stats().queries, 8, "[{backend} x{threads}]");
+
+        handle.shutdown();
+        join.join().unwrap();
     }
-    assert_eq!(handle.stats().queries, 8);
+}
 
-    handle.shutdown();
-    join.join().unwrap();
+/// Sharded serving must lose nothing and double-count nothing: with
+/// connections spread round-robin across 4 event-loop threads, the
+/// per-verb counters (shared registry, one counter per verb) sum to
+/// exactly the client-side totals, and every client still gets
+/// byte-identical answers.
+#[test]
+fn per_verb_totals_sum_exactly_across_shards() {
+    use rpi_query::metrics::VERBS;
+    for backend in backends() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) =
+            spawn_server(engine.clone(), cell_cfg(backend, 4, ServeConfig::default()));
+
+        let pairs = query_pairs(&engine, &exp);
+        let (v, p) = &pairs[0];
+        // Per client: 3 route, 2 resolve, 1 sa, 1 summary — the
+        // round-robin acceptor spreads the clients over all 4 shards.
+        const CLIENTS: usize = 8;
+        let input = format!(
+            "route {v} {p}\nroute {v} {p}\nresolve {v} {p}\nroute {v} {p}\n\
+             resolve {v} {p}\nsa {v} {p}\nsummary {v}\nquit\n"
+        );
+        let lines: Vec<&str> = input.lines().collect();
+        let expected = expected_for(&engine, &lines);
+        std::thread::scope(|scope| {
+            for c in 0..CLIENTS {
+                let input = &input;
+                let expected = &expected;
+                scope.spawn(move || {
+                    let got = roundtrip(addr, input);
+                    assert_eq!(&got, expected, "[{backend}] client {c} diverged");
+                });
+            }
+        });
+
+        let want = [("route", 3), ("resolve", 2), ("sa", 1), ("summary", 1)];
+        let m = engine.metrics();
+        for (i, verb) in VERBS.iter().enumerate() {
+            let per_client = want.iter().find(|(w, _)| w == verb).map_or(0, |&(_, n)| n);
+            let expect = per_client * CLIENTS as u64;
+            assert_eq!(
+                m.serve_queries_total[i].get(),
+                expect,
+                "[{backend}] verb '{verb}' total across shards"
+            );
+            assert_eq!(
+                m.serve_query_seconds[i].snapshot().count(),
+                expect,
+                "[{backend}] verb '{verb}' latency samples across shards"
+            );
+        }
+        let stats = handle.stats();
+        assert_eq!(stats.queries, 7 * CLIENTS as u64, "[{backend}]");
+        assert_eq!(stats.accepted, CLIENTS as u64, "[{backend}]");
+        assert_eq!(stats.errors, 0, "[{backend}]");
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
 }
 
 /// The exposition's key set and ordering never depend on traffic or
@@ -524,53 +709,108 @@ fn metrics_exposition_keys_are_stable_across_scrapes_and_transports() {
             .collect()
     }
 
-    let (engine, exp) = tiny_engine();
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
+
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let first = roundtrip(addr, "metrics\nquit\n");
+        let second = roundtrip(
+            addr,
+            &format!("route {v} {p}\nresolve {v} {p}\nmetrics\nquit\n"),
+        );
+        let second_metrics = second
+            .split_once("# TYPE")
+            .map(|(_, rest)| format!("# TYPE{rest}"))
+            .expect("scrape contains the exposition");
+        assert_eq!(
+            keys(&first),
+            keys(&second_metrics),
+            "[{backend} x{threads}] key set/order must not depend on traffic"
+        );
+
+        // Transport equivalence: the stdin REPL renders through the same
+        // function, against the same registry.
+        let stdin_render = repl_reply(&engine, ReplCmd::Metrics);
+        assert_eq!(keys(&first), keys(&stdin_render), "[{backend} x{threads}]");
+        let names_tcp = roundtrip(addr, "metrics names\nquit\n");
+        assert_eq!(
+            names_tcp,
+            format!("{}\n", repl_reply(&engine, ReplCmd::MetricsNames)),
+            "[{backend} x{threads}] 'metrics names' is byte-identical across transports"
+        );
+
+        handle.shutdown();
+        join.join().unwrap();
+    }
+}
+
+/// Sharded servers expose per-shard instances of the connection gauges
+/// (`shard="N"` labels on the existing families) — and single-threaded
+/// servers must NOT, keeping the original exposition byte-compatible.
+#[test]
+fn per_shard_gauge_labels_appear_only_for_sharded_servers() {
+    let (engine, _exp) = tiny_engine();
     let (addr, handle, join) = spawn_server(engine.clone(), ServeConfig::default());
-
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let first = roundtrip(addr, "metrics\nquit\n");
-    let second = roundtrip(
-        addr,
-        &format!("route {v} {p}\nresolve {v} {p}\nmetrics\nquit\n"),
+    let single = roundtrip(addr, "metrics\nquit\n");
+    assert!(
+        !single.contains("rpi_serve_active_connections{"),
+        "single-thread exposition must carry no shard labels:\n{single}"
     );
-    let second_metrics = second
-        .split_once("# TYPE")
-        .map(|(_, rest)| format!("# TYPE{rest}"))
-        .expect("scrape contains the exposition");
+    handle.shutdown();
+    join.join().unwrap();
+
+    let (engine, _exp) = tiny_engine();
+    let cfg = ServeConfig {
+        serve_threads: 4,
+        ..ServeConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(engine.clone(), cfg);
+    let sharded = roundtrip(addr, "metrics\nquit\n");
+    for shard in 0..4 {
+        assert!(
+            sharded.contains(&format!(
+                "rpi_serve_active_connections{{shard=\"{shard}\"}}"
+            )),
+            "sharded exposition must list shard {shard}:\n{sharded}"
+        );
+        assert!(
+            sharded.contains(&format!("rpi_serve_write_buf_bytes{{shard=\"{shard}\"}}")),
+            "sharded exposition must list shard {shard} write-buf:\n{sharded}"
+        );
+    }
+    // The schema is per-family: shard labels add no new names.
+    let names = roundtrip(addr, "metrics names\nquit\n");
     assert_eq!(
-        keys(&first),
-        keys(&second_metrics),
-        "key set/order must not depend on traffic"
+        names.matches("rpi_serve_active_connections").count(),
+        1,
+        "labels must not add schema lines:\n{names}"
     );
-
-    // Transport equivalence: the stdin REPL renders through the same
-    // function, against the same registry.
-    let stdin_render = repl_reply(&engine, ReplCmd::Metrics);
-    assert_eq!(keys(&first), keys(&stdin_render));
-    let names_tcp = roundtrip(addr, "metrics names\nquit\n");
-    assert_eq!(
-        names_tcp,
-        format!("{}\n", repl_reply(&engine, ReplCmd::MetricsNames)),
-        "'metrics names' is byte-identical across transports"
-    );
-
     handle.shutdown();
     join.join().unwrap();
 }
 
 #[test]
 fn shutdown_verb_stops_the_server_and_reports_stats() {
-    let (engine, exp) = tiny_engine();
-    let (addr, _handle, join) = spawn_server(engine.clone(), ServeConfig::default());
+    for (backend, threads) in matrix() {
+        let (engine, exp) = tiny_engine();
+        let (addr, _handle, join) = spawn_server(
+            engine.clone(),
+            cell_cfg(backend, threads, ServeConfig::default()),
+        );
 
-    let (v, p) = &query_pairs(&engine, &exp)[0];
-    let got = roundtrip(addr, &format!("route {v} {p}\nshutdown\n"));
-    let req = parse(&format!("route {v} {p}")).unwrap();
-    let expected = render_response(&req, &engine.execute(&req).unwrap());
-    assert_eq!(got, format!("{expected}\n"));
+        let (v, p) = &query_pairs(&engine, &exp)[0];
+        let got = roundtrip(addr, &format!("route {v} {p}\nshutdown\n"));
+        let req = parse(&format!("route {v} {p}")).unwrap();
+        let expected = render_response(&req, &engine.execute(&req).unwrap());
+        assert_eq!(got, format!("{expected}\n"), "[{backend} x{threads}]");
 
-    // run() must return (no hang) with the final snapshot.
-    let stats = join.join().unwrap();
-    assert_eq!(stats.queries, 1);
-    assert_eq!(stats.active, 0);
+        // run() must return (no hang) with the final snapshot.
+        let stats = join.join().unwrap();
+        assert_eq!(stats.queries, 1, "[{backend} x{threads}]");
+        assert_eq!(stats.active, 0, "[{backend} x{threads}]");
+    }
 }

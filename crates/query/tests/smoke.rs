@@ -181,13 +181,11 @@ fn archive_cold_start_matches_its_golden() {
     );
 }
 
-/// The serve-path face of the golden: the same smoke script driven over
-/// TCP against `--listen` must produce **byte-identical** output to the
-/// stdin `--queries` path (the committed golden). A trailing `shutdown`
-/// control line stops the server without signals; the daemon must then
-/// exit 0 after printing its stats snapshot.
-#[test]
-fn tcp_served_queries_match_the_stdin_golden() {
+/// One TCP golden run: spawn the daemon with `--backend backend
+/// --serve-threads threads`, drive the committed smoke script over the
+/// socket, diff against the stdin golden, and require a clean
+/// shutdown-verb exit with the stats snapshot.
+fn tcp_golden_run(backend: &str, threads: usize) {
     use std::io::{BufRead, BufReader, Read as _, Write as _};
 
     let data = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/data");
@@ -206,7 +204,10 @@ fn tcp_served_queries_match_the_stdin_golden() {
             "4",
             "--listen",
             "127.0.0.1:0",
+            "--backend",
+            backend,
         ])
+        .args(["--serve-threads", &threads.to_string()])
         .arg("--roas")
         .arg(data.join("smoke.roas"))
         .stderr(std::process::Stdio::piped())
@@ -241,17 +242,36 @@ fn tcp_served_queries_match_the_stdin_golden() {
         .expect("responses until close");
     assert_eq!(
         got, golden,
-        "TCP-served output diverged from the stdin golden"
+        "[{backend} x{threads}] TCP-served output diverged from the stdin golden"
     );
 
     let status = child.wait().expect("daemon exits after shutdown verb");
-    assert!(status.success(), "daemon must exit 0 on protocol shutdown");
+    assert!(
+        status.success(),
+        "[{backend} x{threads}] daemon must exit 0 on protocol shutdown"
+    );
     let mut rest = String::new();
     stderr.read_to_string(&mut rest).unwrap();
     assert!(
         rest.contains("served ") && rest.contains("queries/s"),
-        "shutdown must print the stats snapshot:\n{rest}"
+        "[{backend} x{threads}] shutdown must print the stats snapshot:\n{rest}"
     );
+}
+
+/// The serve-path face of the golden: the same smoke script driven over
+/// TCP against `--listen` must produce **byte-identical** output to the
+/// stdin `--queries` path (the committed golden) — on every backend the
+/// platform supports, single-threaded and sharded. A trailing `shutdown`
+/// control line stops the server without signals; the daemon must then
+/// exit 0 after printing its stats snapshot.
+#[test]
+fn tcp_served_queries_match_the_stdin_golden() {
+    tcp_golden_run("sweep", 1);
+    tcp_golden_run("sweep", 4);
+    if rpi_query::serve::PollBackend::Epoll.supported() {
+        tcp_golden_run("epoll", 1);
+        tcp_golden_run("epoll", 4);
+    }
 }
 
 /// Bugfix coverage: a missing `--queries` file is a one-line error
